@@ -1,0 +1,129 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic workload suite:
+//
+//	experiments -fig 6          Figure 6  (normalized cycles + stall breakdown)
+//	experiments -fig 7          Figure 7  (speedups under three hierarchies)
+//	experiments -fig 8          Figure 8  (regrouping / restart ablations)
+//	experiments -table 1        Table 1   (power ratios)
+//	experiments -extras         §5.2 realistic OOO and §5.4 runahead comparisons
+//	experiments -all            everything (the default)
+//	experiments -scale 4        longer runs (higher fidelity, more time)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"multipass/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to reproduce (6, 7 or 8)")
+	table := flag.Int("table", 0, "table to reproduce (1)")
+	extras := flag.Bool("extras", false, "run the realistic-OOO and runahead comparisons")
+	restart := flag.Bool("restart-study", false, "compare compiler vs hardware advance restart (paper §3.3 footnote 1)")
+	sweepFlag := flag.String("sweep", "", "design-choice sweep: iq | asc")
+	all := flag.Bool("all", false, "run every experiment")
+	scale := flag.Int("scale", 2, "workload scale factor (dynamic length multiplier)")
+	chart := flag.Bool("chart", false, "render figures as ASCII bar charts")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
+	flag.Parse()
+
+	if *fig == 0 && *table == 0 && !*extras && !*restart && *sweepFlag == "" {
+		*all = true
+	}
+
+	emit := func(name, body string, start time.Time) {
+		fmt.Printf("=== %s (scale %d, %.1fs) ===\n%s\n", name, *scale, time.Since(start).Seconds(), body)
+	}
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	render := func(r interface {
+		Render() string
+	}) string {
+		if *jsonOut {
+			data, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				fail("json", err)
+			}
+			return string(data)
+		}
+		if *chart {
+			if c, ok := r.(interface{ Chart() string }); ok {
+				return c.Chart()
+			}
+		}
+		return r.Render()
+	}
+
+	if *all || *fig == 6 {
+		start := time.Now()
+		r, err := bench.Figure6(*scale)
+		if err != nil {
+			fail("Figure 6", err)
+		}
+		emit("Figure 6", render(r), start)
+	}
+	if *all || *fig == 7 {
+		start := time.Now()
+		r, err := bench.Figure7(*scale)
+		if err != nil {
+			fail("Figure 7", err)
+		}
+		emit("Figure 7", render(r), start)
+	}
+	if *all || *fig == 8 {
+		start := time.Now()
+		r, err := bench.Figure8(*scale)
+		if err != nil {
+			fail("Figure 8", err)
+		}
+		emit("Figure 8", render(r), start)
+	}
+	if *all || *table == 1 {
+		start := time.Now()
+		r, err := bench.Table1(*scale)
+		if err != nil {
+			fail("Table 1", err)
+		}
+		emit("Table 1", render(r), start)
+	}
+	if *all || *extras {
+		start := time.Now()
+		r, err := bench.Extras(*scale)
+		if err != nil {
+			fail("Extras", err)
+		}
+		emit("Extra comparisons (§5.2, §5.4)", render(r), start)
+	}
+	if *all || *restart {
+		start := time.Now()
+		r, err := bench.RestartStudy(*scale)
+		if err != nil {
+			fail("Restart study", err)
+		}
+		emit("Restart mechanisms (§3.3 footnote 1)", r.Render(), start)
+	}
+	if *all || *sweepFlag == "iq" {
+		start := time.Now()
+		r, err := bench.SweepIQ(*scale, []int{24, 64, 128, 256, 512})
+		if err != nil {
+			fail("IQ sweep", err)
+		}
+		emit("Instruction-queue size sweep", r.Render(), start)
+	}
+	if *all || *sweepFlag == "asc" {
+		start := time.Now()
+		r, err := bench.SweepASC(*scale, []int{8, 16, 64, 256})
+		if err != nil {
+			fail("ASC sweep", err)
+		}
+		emit("Advance-store-cache size sweep", r.Render(), start)
+	}
+}

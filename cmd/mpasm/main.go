@@ -1,0 +1,132 @@
+// Command mpasm assembles, disassembles, and runs programs in the
+// simulator's textual assembly format.
+//
+//	mpasm build prog.mpasm prog.mpo     assemble to the binary format
+//	mpasm dis prog.mpo                  disassemble
+//	mpasm run prog.mpasm                interpret (reference semantics)
+//	mpasm time prog.mpasm               run on every timing model
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"multipass/internal/arch"
+	"multipass/internal/bench"
+	"multipass/internal/isa"
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		err = build(os.Args[2], os.Args[3])
+	case "dis":
+		err = dis(os.Args[2])
+	case "run":
+		err = run(os.Args[2])
+	case "time":
+		err = timeAll(os.Args[2])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mpasm build <src.mpasm> <out.mpo> | dis <prog> | run <prog> | time <prog>")
+	os.Exit(2)
+}
+
+// load reads either assembly (.mpasm) or binary (.mpo) programs.
+func load(path string) (*isa.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".mpo") {
+		var p isa.Program
+		if err := p.UnmarshalBinary(data); err != nil {
+			return nil, err
+		}
+		return &p, nil
+	}
+	return isa.Assemble(string(data))
+}
+
+func build(src, out string) error {
+	p, err := load(src)
+	if err != nil {
+		return err
+	}
+	data, err := p.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+func dis(path string) error {
+	p, err := load(path)
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.String())
+	return nil
+}
+
+func run(path string) error {
+	p, err := load(path)
+	if err != nil {
+		return err
+	}
+	res, err := arch.Run(p, arch.NewMemory(), 100_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retired %d instructions (%d loads, %d stores, %d branches)\n",
+		res.State.Retired, res.Loads, res.Stores, res.Branches)
+	// Print the non-zero integer registers as the program's "output".
+	for i := 1; i < isa.NumIntRegs; i++ {
+		if v := res.State.RF.Read(isa.IntReg(i)); v != 0 {
+			fmt.Printf("  r%d = %d (%#x)\n", i, v.Uint32(), v.Uint32())
+		}
+	}
+	return nil
+}
+
+func timeAll(path string) error {
+	p, err := load(path)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tcycles\tIPC\tload-stall%")
+	for _, name := range []bench.ModelName{"inorder", "runahead", "multipass", "ooo"} {
+		m, err := bench.NewMachine(name, mem.BaseConfig())
+		if err != nil {
+			return err
+		}
+		res, err := m.Run(p, arch.NewMemory())
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		s := &res.Stats
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.1f%%\n", name, s.Cycles, s.IPC(),
+			100*float64(s.Cat[sim.StallLoad])/float64(s.Cycles))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,143 @@
+// Command mpsim runs one benchmark kernel on one timing model and prints
+// the cycle breakdown and model-specific statistics.
+//
+//	mpsim -w mcf -model multipass
+//	mpsim -w art -model ooo -hier config2 -scale 4
+//	mpsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"multipass/internal/bench"
+	"multipass/internal/compile"
+	"multipass/internal/core"
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+	"multipass/internal/workload"
+)
+
+// runTraced runs a multipass variant with the pipeline tracer attached.
+func runTraced(name bench.ModelName, w workload.Workload, scale int, hc mem.HierConfig) (*sim.Result, error) {
+	p, image, err := workload.Program(w, scale, compile.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Hier = hc
+	cfg.DisableRegroup = name == bench.MNoRegroup
+	cfg.DisableRestart = name == bench.MNoRestart
+	cfg.Trace = core.NewTracer(os.Stderr)
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(p, image)
+}
+
+func main() {
+	wname := flag.String("w", "mcf", "workload name (see -list)")
+	model := flag.String("model", "multipass", "inorder | multipass | multipass-noregroup | multipass-norestart | runahead | ooo | ooo-realistic")
+	hier := flag.String("hier", "base", "cache hierarchy: base | config1 | config2")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	list := flag.Bool("list", false, "list available workloads")
+	trace := flag.Bool("trace", false, "stream multipass pipeline events to stderr (multipass models only)")
+	jsonOut := flag.Bool("json", false, "emit the statistics as JSON")
+	flag.Parse()
+
+	if *list {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "name\tclass\tdescription")
+		for _, w := range workload.All() {
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", w.Name, w.Class, w.Description)
+		}
+		tw.Flush()
+		return
+	}
+
+	w, ok := workload.ByName(*wname)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *wname)
+		os.Exit(1)
+	}
+	var hc mem.HierConfig
+	switch *hier {
+	case "base":
+		hc = mem.BaseConfig()
+	case "config1":
+		hc = mem.Config1()
+	case "config2":
+		hc = mem.Config2()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown hierarchy %q\n", *hier)
+		os.Exit(1)
+	}
+
+	var res *sim.Result
+	var err error
+	if *trace && strings.HasPrefix(*model, "multipass") {
+		res, err = runTraced(bench.ModelName(*model), w, *scale, hc)
+	} else {
+		res, err = bench.Run(bench.ModelName(*model), w, *scale, hc)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		data, err := json.MarshalIndent(res.Stats, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	printResult(*wname, *model, *hier, res)
+}
+
+func printResult(w, model, hier string, res *sim.Result) {
+	s := &res.Stats
+	fmt.Printf("%s on %s (%s hierarchy)\n\n", w, model, hier)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "cycles\t%d\n", s.Cycles)
+	fmt.Fprintf(tw, "retired\t%d\n", s.Retired)
+	fmt.Fprintf(tw, "IPC\t%.3f\n", s.IPC())
+	for k := sim.StallKind(0); int(k) < sim.NumStallKinds; k++ {
+		fmt.Fprintf(tw, "cycles[%s]\t%d (%.1f%%)\n", k, s.Cat[k], 100*float64(s.Cat[k])/float64(s.Cycles))
+	}
+	fmt.Fprintf(tw, "branch accuracy\t%.2f%%\n", 100*s.Branch.Accuracy())
+	fmt.Fprintf(tw, "L1D miss rate\t%.2f%%\n", 100*s.Memory.L1D.MissRate())
+	fmt.Fprintf(tw, "L2 miss rate\t%.2f%%\n", 100*s.Memory.L2.MissRate())
+	fmt.Fprintf(tw, "L3 miss rate\t%.2f%%\n", 100*s.Memory.L3.MissRate())
+	fmt.Fprintf(tw, "MSHR stalls\t%d\n", s.Memory.MSHRStalls)
+	if mp := s.Multipass; mp.AdvanceEntries > 0 {
+		fmt.Fprintf(tw, "advance entries\t%d\n", mp.AdvanceEntries)
+		fmt.Fprintf(tw, "advance passes\t%d\n", mp.AdvancePasses)
+		fmt.Fprintf(tw, "advance restarts\t%d\n", mp.Restarts)
+		fmt.Fprintf(tw, "advance executed\t%d\n", mp.AdvanceExecuted)
+		fmt.Fprintf(tw, "advance deferred\t%d\n", mp.AdvanceDeferred)
+		fmt.Fprintf(tw, "RS merges\t%d\n", mp.Merged)
+		fmt.Fprintf(tw, "spec loads (S-bit)\t%d\n", mp.SpecLoads)
+		fmt.Fprintf(tw, "spec flushes\t%d\n", mp.SpecFlushes)
+		fmt.Fprintf(tw, "ASC hits\t%d\n", mp.ASCHits)
+		fmt.Fprintf(tw, "early-resolved branches\t%d\n", mp.EarlyResolved)
+		fmt.Fprintf(tw, "mode cycles (arch/adv/rally)\t%d/%d/%d\n", mp.ArchCycles, mp.AdvanceCycles, mp.RallyCycles)
+	}
+	if ra := s.Runahead; ra.Episodes > 0 {
+		fmt.Fprintf(tw, "runahead episodes\t%d\n", ra.Episodes)
+		fmt.Fprintf(tw, "runahead pre-executed\t%d\n", ra.PreExecuted)
+		fmt.Fprintf(tw, "runahead cycles\t%d\n", ra.Cycles)
+	}
+	if oo := s.OOO; oo.Flushes > 0 || oo.WindowFullCy > 0 {
+		fmt.Fprintf(tw, "OOO flushes\t%d\n", oo.Flushes)
+		fmt.Fprintf(tw, "OOO squashed\t%d\n", oo.Squashed)
+		fmt.Fprintf(tw, "OOO window-full events\t%d\n", oo.WindowFullCy)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,9 @@
+// Package multipass is the root of a from-scratch reproduction of
+// "Flea-flicker" Multipass Pipelining: An Alternative to the High-Power
+// Out-of-Order Offense (Barnes, Ryoo, Hwu; MICRO-38, 2005).
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; cmd/experiments does the same from the command line.
+package multipass

@@ -1,0 +1,96 @@
+// Custom-workload: shows how a downstream user defines a new benchmark
+// kernel against the public builder API, compiles it with and without the
+// compiler passes, and measures how much each pass contributes on the
+// multipass machine.
+//
+//	go run ./examples/custom_workload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multipass/internal/arch"
+	"multipass/internal/bench"
+	"multipass/internal/compile"
+	"multipass/internal/isa"
+	"multipass/internal/mem"
+	"multipass/internal/prog"
+)
+
+// buildHistogram is the user's kernel: a histogram over random keys — a
+// gather, an increment, and a scatter per element, with a multiply in the
+// binning function.
+func buildHistogram() (*prog.Unit, *arch.Memory) {
+	const (
+		keys     = 8192
+		keysBase = 0x0100_0000
+		binsBase = 0x0200_0000
+	)
+	image := arch.NewMemory()
+	seed := uint32(12345)
+	for i := 0; i < keys; i++ {
+		seed = seed*1664525 + 1013904223
+		image.Store(keysBase+uint32(4*i), 4, uint64(seed))
+	}
+
+	rKey, rBin, rVal, rIdx, rCnt := isa.IntReg(1), isa.IntReg(2), isa.IntReg(3), isa.IntReg(4), isa.IntReg(5)
+	rKeys, rBins, rMul := isa.IntReg(6), isa.IntReg(7), isa.IntReg(8)
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(rKeys, keysBase)
+	e.MovI(rBins, binsBase)
+	e.MovI(rCnt, keys)
+	e.MovI(rIdx, 0)
+	e.MovI(rMul, 0x45D9F3B)
+	b := u.NewBlock("loop")
+	b.Load(isa.OpLd4, rKey, rKeys, 0)
+	b.Op3(isa.OpMul, rBin, rKey, rMul) // binning hash (multi-cycle)
+	b.OpI(isa.OpShrI, rBin, rBin, 20)
+	b.OpI(isa.OpShlI, rBin, rBin, 2)
+	b.Op3(isa.OpAdd, rBin, rBin, rBins)
+	b.Load(isa.OpLd4, rVal, rBin, 0) // gather
+	b.OpI(isa.OpAddI, rVal, rVal, 1)
+	b.Store(isa.OpSt4, rBin, 0, rVal) // scatter
+	b.OpI(isa.OpAddI, rKeys, rKeys, 4)
+	b.OpI(isa.OpSubI, rCnt, rCnt, 1)
+	b.CmpI(isa.OpCmpNeI, isa.PredReg(1), isa.PredReg(2), rCnt, 0)
+	b.Br(isa.PredReg(1), "loop")
+	u.NewBlock("exit").Halt()
+	return u, image
+}
+
+func main() {
+	variants := []struct {
+		name string
+		opts compile.Options
+	}{
+		{"unscheduled", compile.Options{Caps: isa.DefaultFUCaps(), MinDownstream: 2, CriticalFactor: 2}},
+		{"scheduled", func() compile.Options {
+			o := compile.DefaultOptions()
+			o.InsertRestarts = false
+			return o
+		}()},
+		{"scheduled+restarts", compile.DefaultOptions()},
+	}
+
+	for _, v := range variants {
+		u, image := buildHistogram()
+		p, info, err := compile.Compile(u, v.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := bench.NewMachine(bench.MMultipass, mem.BaseConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Run(p, image)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %6d insts in %4d groups, %d RESTARTs -> %8d cycles (IPC %.2f)\n",
+			v.name, info.Insts, info.Groups, info.Restarts, res.Stats.Cycles, res.Stats.IPC())
+	}
+	fmt.Println("\nThe scheduler packs issue groups; RESTART insertion only appears when the")
+	fmt.Println("kernel has a load inside a dataflow SCC (the histogram pointer walk does not).")
+}

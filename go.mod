@@ -1,0 +1,3 @@
+module multipass
+
+go 1.22

@@ -1,0 +1,240 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multipass/internal/isa"
+)
+
+func TestMemoryBasics(t *testing.T) {
+	m := NewMemory()
+	if m.LoadByte(0x1234) != 0 {
+		t.Error("unwritten memory should read zero")
+	}
+	m.Store(0x100, 4, 0xdeadbeef)
+	if got := m.Load(0x100, 4); got != 0xdeadbeef {
+		t.Errorf("Load = %#x", got)
+	}
+	// Little-endian byte order.
+	if m.LoadByte(0x100) != 0xef || m.LoadByte(0x103) != 0xde {
+		t.Error("not little-endian")
+	}
+	// Sub-word loads.
+	if m.Load(0x100, 2) != 0xbeef {
+		t.Error("2-byte load")
+	}
+	if m.Load(0x102, 1) != 0xad {
+		t.Error("1-byte load")
+	}
+}
+
+func TestMemoryCrossPage(t *testing.T) {
+	m := NewMemory()
+	addr := uint32(pageSize - 2) // straddles page boundary
+	m.Store(addr, 4, 0x11223344)
+	if got := m.Load(addr, 4); got != 0x11223344 {
+		t.Errorf("cross-page load = %#x", got)
+	}
+}
+
+func TestMemoryCloneAndEqual(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x40, 4, 42)
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone should be equal")
+	}
+	c.Store(0x40, 4, 43)
+	if m.Equal(c) {
+		t.Fatal("diverged memories should not be equal")
+	}
+	if m.Load(0x40, 4) != 42 {
+		t.Fatal("clone write leaked into original")
+	}
+	// A page of explicit zeroes equals an untouched page.
+	a, b := NewMemory(), NewMemory()
+	a.Store(0x9000, 4, 0)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("explicit zero page should equal absent page")
+	}
+}
+
+func TestMemoryRoundTripQuick(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint32, v uint64, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		mask := ^uint64(0)
+		if n < 8 {
+			mask = (1 << (8 * n)) - 1
+		}
+		m.Store(addr, n, v)
+		return m.Load(addr, n) == v&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegFileHardwired(t *testing.T) {
+	rf := NewRegFile()
+	if rf.Read(isa.R0) != 0 {
+		t.Error("r0 should read zero")
+	}
+	if !rf.Read(isa.P0).Bool() {
+		t.Error("p0 should read true")
+	}
+	rf.Write(isa.R0, 99)
+	rf.Write(isa.P0, 0)
+	if rf.Read(isa.R0) != 0 || !rf.Read(isa.P0).Bool() {
+		t.Error("hardwired registers must ignore writes")
+	}
+	rf.WriteNaT(isa.R0)
+	if rf.ReadNaT(isa.R0) {
+		t.Error("hardwired register must ignore NaT writes")
+	}
+}
+
+func TestRegFileNaT(t *testing.T) {
+	rf := NewRegFile()
+	r := isa.IntReg(5)
+	rf.WriteNaT(r)
+	if !rf.ReadNaT(r) {
+		t.Error("NaT not set")
+	}
+	rf.Write(r, 1)
+	if rf.ReadNaT(r) {
+		t.Error("value write should clear NaT")
+	}
+}
+
+func TestRegFileDiff(t *testing.T) {
+	a, b := NewRegFile(), NewRegFile()
+	if !a.Equal(b) {
+		t.Fatal("fresh regfiles should be equal")
+	}
+	b.Write(isa.IntReg(3), 7)
+	b.Write(isa.FPReg(2), isa.FPWord(1.5))
+	d := a.Diff(b)
+	if len(d) != 2 || d[0] != isa.IntReg(3) || d[1] != isa.FPReg(2) {
+		t.Errorf("Diff = %v", d)
+	}
+	if a.Equal(b) {
+		t.Error("Equal after divergence")
+	}
+}
+
+// The reference interpreter runs the assembler's array-sum sample.
+func TestInterpArraySum(t *testing.T) {
+	p := isa.MustAssemble(`
+	movi r1 = 0
+	movi r2 = 0x100
+	movi r3 = 8
+loop:
+	ld4 r4 = [r2]
+	add r1 = r1, r4
+	addi r2 = r2, 4
+	subi r3 = r3, 1
+	cmpi.ne p1, p2 = r3, 0 ;;
+	(p1) br loop
+	st4 [r2+100] = r1
+	halt
+`)
+	mem := NewMemory()
+	want := uint32(0)
+	for i := 0; i < 8; i++ {
+		mem.Store(uint32(0x100+4*i), 4, uint64(i*i+1))
+		want += uint32(i*i + 1)
+	}
+	res, err := Run(p, mem, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.State.RF.Read(isa.IntReg(1)).Uint32(); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	// Final store lands at end-of-array base + 100.
+	if got := uint32(mem.Load(0x100+32+100, 4)); got != want {
+		t.Errorf("stored sum = %d, want %d", got, want)
+	}
+	if res.Loads != 8 || res.Stores != 1 {
+		t.Errorf("loads/stores = %d/%d", res.Loads, res.Stores)
+	}
+	if res.Branches != 8 || res.Taken != 7 {
+		t.Errorf("branches/taken = %d/%d", res.Branches, res.Taken)
+	}
+}
+
+func TestInterpPredication(t *testing.T) {
+	p := isa.MustAssemble(`
+	movi r1 = 5
+	movi r2 = 10
+	cmp.lt p1, p2 = r1, r2 ;;
+	(p1) movi r3 = 111
+	(p2) movi r3 = 222
+	halt
+`)
+	res, err := Run(p, NewMemory(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.State.RF.Read(isa.IntReg(3)).Uint32(); got != 111 {
+		t.Errorf("r3 = %d, want 111 (p2 path must be squashed)", got)
+	}
+	if !res.State.RF.Read(isa.PredReg(1)).Bool() || res.State.RF.Read(isa.PredReg(2)).Bool() {
+		t.Error("compare must write complementary predicates")
+	}
+}
+
+func TestInterpLimit(t *testing.T) {
+	p := isa.MustAssemble("loop: jmp loop\nhalt\n")
+	if _, err := Run(p, NewMemory(), 100); err == nil {
+		t.Error("infinite loop should exceed limit")
+	}
+}
+
+func TestInterpFP(t *testing.T) {
+	p := isa.MustAssemble(`
+	movi r1 = 3
+	movi r2 = 0x200
+	cvt.if f1 = r1
+	fadd f2 = f1, f1
+	fmul f3 = f2, f1
+	stf [r2] = f3
+	ldf f4 = [r2]
+	fcmp.lt p1, p2 = f1, f4
+	halt
+`)
+	res, err := Run(p, NewMemory(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.State.RF.Read(isa.FPReg(3)).Float64(); got != 18.0 {
+		t.Errorf("f3 = %v, want 18", got)
+	}
+	if got := res.State.RF.Read(isa.FPReg(4)).Float64(); got != 18.0 {
+		t.Errorf("f4 = %v, want 18 (stf/ldf round trip)", got)
+	}
+	if !res.State.RF.Read(isa.PredReg(1)).Bool() {
+		t.Error("3 < 18 should set p1")
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	p := isa.MustAssemble("halt")
+	s := NewState(NewMemory())
+	s.PC = 5
+	if _, err := s.Step(p); err == nil {
+		t.Error("out-of-range PC accepted")
+	}
+	s.PC = 0
+	if _, err := s.Step(p); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Halted {
+		t.Fatal("halt did not halt")
+	}
+	if _, err := s.Step(p); err == nil {
+		t.Error("step after halt accepted")
+	}
+}

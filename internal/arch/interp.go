@@ -1,0 +1,163 @@
+package arch
+
+import (
+	"fmt"
+
+	"multipass/internal/isa"
+)
+
+// State is the full architectural state of a running program.
+type State struct {
+	RF     *RegFile
+	Mem    *Memory
+	PC     int
+	Halted bool
+	// Retired counts every architecturally completed instruction, including
+	// instructions squashed by a false qualifying predicate.
+	Retired uint64
+}
+
+// NewState returns a reset state over the given memory image.
+func NewState(mem *Memory) *State {
+	return &State{RF: NewRegFile(), Mem: mem}
+}
+
+// StepInfo reports what one architectural step did, for tracing and for
+// timing models that piggyback on the interpreter.
+type StepInfo struct {
+	Index     int  // instruction index executed
+	Squashed  bool // qualifying predicate was false
+	IsLoad    bool
+	IsStore   bool
+	MemAddr   uint32 // valid when IsLoad or IsStore and not squashed
+	IsBranch  bool
+	Taken     bool
+	NextPC    int
+	WroteDst  bool
+	DstVal    isa.Word
+	DstVal2   isa.Word // complement predicate for compares
+	LoadedVal isa.Word
+}
+
+// EffAddr returns the effective address of a memory instruction given its
+// base register value.
+func EffAddr(in *isa.Inst, base isa.Word) uint32 {
+	return base.Uint32() + uint32(in.Imm)
+}
+
+// Step architecturally executes the instruction at s.PC and advances the
+// state. It returns an error if the PC is outside the program.
+func (s *State) Step(p *isa.Program) (StepInfo, error) {
+	if s.Halted {
+		return StepInfo{}, fmt.Errorf("arch: step after halt")
+	}
+	if s.PC < 0 || s.PC >= len(p.Insts) {
+		return StepInfo{}, fmt.Errorf("arch: PC %d outside program of %d instructions", s.PC, len(p.Insts))
+	}
+	in := &p.Insts[s.PC]
+	info := StepInfo{Index: s.PC, NextPC: s.PC + 1}
+	s.Retired++
+
+	if in.Op.IsBranch() {
+		// A branch with a false qualifying predicate is an architecturally
+		// not-taken branch (it still trains the predictor).
+		info.IsBranch = true
+		info.Taken = s.RF.Read(in.QP).Bool()
+		if info.Taken {
+			info.NextPC = int(in.Target)
+		}
+		s.PC = info.NextPC
+		return info, nil
+	}
+
+	if !s.RF.Read(in.QP).Bool() {
+		// Squashed by qualifying predicate.
+		info.Squashed = true
+		s.PC = info.NextPC
+		return info, nil
+	}
+
+	switch in.Op.Kind() {
+	case isa.KindNop, isa.KindRestart:
+		// No architectural effect.
+	case isa.KindHalt:
+		s.Halted = true
+	case isa.KindLoad:
+		info.IsLoad = true
+		base := s.RF.Read(in.Src1)
+		info.MemAddr = EffAddr(in, base)
+		info.LoadedVal = s.Mem.LoadWord(in.Op, info.MemAddr)
+		s.writeDst(in, info.LoadedVal, &info)
+		if s.RF.ReadNaT(in.Src1) {
+			s.RF.WriteNaT(in.Dst)
+		}
+	case isa.KindStore:
+		info.IsStore = true
+		base := s.RF.Read(in.Src1)
+		info.MemAddr = EffAddr(in, base)
+		s.Mem.StoreWord(in.Op, info.MemAddr, s.RF.Read(in.Src2))
+	default:
+		v := isa.Eval(in.Op, s.RF.Read(in.Src1), s.RF.Read(in.Src2), in.Imm)
+		s.writeDst(in, v, &info)
+		if s.RF.ReadNaT(in.Src1) || s.RF.ReadNaT(in.Src2) {
+			s.RF.WriteNaT(in.Dst)
+			s.RF.WriteNaT(in.Dst2)
+		}
+	}
+	s.PC = info.NextPC
+	return info, nil
+}
+
+// writeDst commits a computed value, including the complement predicate for
+// compare operations.
+func (s *State) writeDst(in *isa.Inst, v isa.Word, info *StepInfo) {
+	if in.Dst.IsNone() {
+		return
+	}
+	info.WroteDst = true
+	info.DstVal = v
+	s.RF.Write(in.Dst, v)
+	if !in.Dst2.IsNone() {
+		comp := isa.BoolWord(!v.Bool())
+		info.DstVal2 = comp
+		s.RF.Write(in.Dst2, comp)
+	}
+}
+
+// RunResult summarizes a completed reference run.
+type RunResult struct {
+	State    *State
+	Loads    uint64
+	Stores   uint64
+	Branches uint64
+	Taken    uint64
+}
+
+// Run interprets the program to completion (or until limit instructions have
+// retired, in which case it returns an error). The memory is mutated in
+// place.
+func Run(p *isa.Program, mem *Memory, limit uint64) (*RunResult, error) {
+	s := NewState(mem)
+	res := &RunResult{State: s}
+	for !s.Halted {
+		if s.Retired >= limit {
+			return res, fmt.Errorf("arch: instruction limit %d exceeded at PC %d", limit, s.PC)
+		}
+		info, err := s.Step(p)
+		if err != nil {
+			return res, err
+		}
+		switch {
+		case info.IsLoad:
+			res.Loads++
+		case info.IsStore:
+			res.Stores++
+		case info.IsBranch:
+			res.Branches++
+			if info.Taken {
+				res.Taken++
+			}
+		}
+	}
+	return res, nil
+}

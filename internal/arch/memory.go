@@ -1,0 +1,120 @@
+// Package arch holds the architectural (functional) machine state shared by
+// every timing model: the register files, a sparse byte-addressable memory,
+// and a reference interpreter. All pipelines commit through the same
+// semantics, which is what makes the cross-model equivalence tests
+// meaningful: any timing model that retires a different architectural result
+// than the reference interpreter has a correctness bug.
+package arch
+
+import "multipass/internal/isa"
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, little-endian, byte-addressable 32-bit memory.
+// The zero value is an empty memory; unwritten bytes read as zero.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+// Clone returns a deep copy of the memory, used to give each timing model an
+// identical initial image.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, pg := range m.pages {
+		cp := *pg
+		c.pages[pn] = &cp
+	}
+	return c
+}
+
+func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+	if m.pages == nil {
+		if !create {
+			return nil
+		}
+		m.pages = make(map[uint32]*[pageSize]byte)
+	}
+	pn := addr >> pageShift
+	pg := m.pages[pn]
+	if pg == nil && create {
+		pg = new([pageSize]byte)
+		m.pages[pn] = pg
+	}
+	return pg
+}
+
+// LoadByte reads one byte.
+func (m *Memory) LoadByte(addr uint32) byte {
+	pg := m.page(addr, false)
+	if pg == nil {
+		return 0
+	}
+	return pg[addr&pageMask]
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint32, v byte) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// Load reads an n-byte little-endian value (n in 1..8).
+func (m *Memory) Load(addr uint32, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(m.LoadByte(addr+uint32(i))) << (8 * i)
+	}
+	return v
+}
+
+// Store writes an n-byte little-endian value (n in 1..8).
+func (m *Memory) Store(addr uint32, n int, v uint64) {
+	for i := 0; i < n; i++ {
+		m.StoreByte(addr+uint32(i), byte(v>>(8*i)))
+	}
+}
+
+// LoadWord performs the load operation op at addr and returns the
+// register-file image of the result (zero-extended for integer loads, raw
+// bits for FP loads).
+func (m *Memory) LoadWord(op isa.Op, addr uint32) isa.Word {
+	return isa.Word(m.Load(addr, op.MemBytes()))
+}
+
+// StoreWord performs the store operation op at addr with register value v.
+func (m *Memory) StoreWord(op isa.Op, addr uint32, v isa.Word) {
+	m.Store(addr, op.MemBytes(), uint64(v))
+}
+
+// Equal reports whether two memories have identical contents.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.subsetOf(o) && o.subsetOf(m)
+}
+
+func (m *Memory) subsetOf(o *Memory) bool {
+	for pn, pg := range m.pages {
+		opg := o.pages[pn]
+		for i := range pg {
+			var ob byte
+			if opg != nil {
+				ob = opg[i]
+			}
+			if pg[i] != ob {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FootprintBytes returns the number of bytes in allocated pages, a coarse
+// measure of a workload's data footprint.
+func (m *Memory) FootprintBytes() int { return len(m.pages) * pageSize }

@@ -1,0 +1,86 @@
+package arch
+
+import (
+	"testing"
+
+	"multipass/internal/isa"
+)
+
+// NaT bits propagate from sources to destinations through computation and
+// loads (deferred speculative exceptions, paper §4's "additional NaT bit").
+func TestNaTPropagation(t *testing.T) {
+	p := isa.MustAssemble(`
+	movi r1 = 5
+	add r2 = r1, r1
+	add r3 = r2, r2
+	ld4 r4 = [r2]
+	halt
+`)
+	s := NewState(NewMemory())
+	// Poison r1 before execution begins.
+	if _, err := s.Step(p); err != nil { // movi r1: clears NaT
+		t.Fatal(err)
+	}
+	s.RF.WriteNaT(isa.IntReg(1))
+	for !s.Halted {
+		if _, err := s.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.RF.ReadNaT(isa.IntReg(2)) {
+		t.Error("NaT did not propagate through add")
+	}
+	if !s.RF.ReadNaT(isa.IntReg(3)) {
+		t.Error("NaT did not propagate transitively")
+	}
+	if !s.RF.ReadNaT(isa.IntReg(4)) {
+		t.Error("NaT did not propagate through the load's address")
+	}
+}
+
+func TestNaTClearedByCleanWrite(t *testing.T) {
+	p := isa.MustAssemble(`
+	movi r1 = 5
+	movi r2 = 6
+	add r3 = r1, r2
+	halt
+`)
+	s := NewState(NewMemory())
+	s.RF.WriteNaT(isa.IntReg(3)) // stale NaT from "before"
+	for !s.Halted {
+		if _, err := s.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.RF.ReadNaT(isa.IntReg(3)) {
+		t.Error("clean write did not clear NaT")
+	}
+	if got := s.RF.Read(isa.IntReg(3)).Uint32(); got != 11 {
+		t.Errorf("r3 = %d", got)
+	}
+}
+
+// Squashed instructions do not propagate NaT (they have no effect at all).
+func TestNaTNotPropagatedWhenSquashed(t *testing.T) {
+	p := isa.MustAssemble(`
+	movi r1 = 5
+	movi r4 = 1
+	cmpi.eq p1, p2 = r4, 0 ;;
+	(p1) add r2 = r1, r1
+	halt
+`)
+	s := NewState(NewMemory())
+	// Step movi r1 then poison it.
+	if _, err := s.Step(p); err != nil {
+		t.Fatal(err)
+	}
+	s.RF.WriteNaT(isa.IntReg(1))
+	for !s.Halted {
+		if _, err := s.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.RF.ReadNaT(isa.IntReg(2)) {
+		t.Error("squashed instruction propagated NaT")
+	}
+}

@@ -1,0 +1,78 @@
+package arch
+
+import "multipass/internal/isa"
+
+// RegFile is one architectural register file image covering all register
+// classes, with a NaT ("not a thing") bit per register for speculation
+// support. The hardwired registers (r0 = 0, p0 = true) are enforced on both
+// read and write.
+type RegFile struct {
+	vals [isa.NumFlatRegs]isa.Word
+	nat  [isa.NumFlatRegs]bool
+}
+
+// NewRegFile returns a register file with hardwired registers initialized.
+func NewRegFile() *RegFile {
+	rf := &RegFile{}
+	rf.vals[isa.P0.Flat()] = 1
+	return rf
+}
+
+// Read returns the value of r. Reading the absent register returns zero.
+func (rf *RegFile) Read(r isa.Reg) isa.Word {
+	f := r.Flat()
+	if f < 0 {
+		return 0
+	}
+	return rf.vals[f]
+}
+
+// ReadNaT returns the NaT bit of r.
+func (rf *RegFile) ReadNaT(r isa.Reg) bool {
+	f := r.Flat()
+	return f >= 0 && rf.nat[f]
+}
+
+// Write sets r to v and clears its NaT bit. Writes to hardwired registers
+// and to the absent register are discarded.
+func (rf *RegFile) Write(r isa.Reg, v isa.Word) {
+	f := r.Flat()
+	if f < 0 || r.IsZeroReg() {
+		return
+	}
+	rf.vals[f] = v
+	rf.nat[f] = false
+}
+
+// WriteNaT sets r's NaT bit (deferred speculative exception).
+func (rf *RegFile) WriteNaT(r isa.Reg) {
+	f := r.Flat()
+	if f < 0 || r.IsZeroReg() {
+		return
+	}
+	rf.nat[f] = true
+}
+
+// Clone returns a deep copy.
+func (rf *RegFile) Clone() *RegFile {
+	c := *rf
+	return &c
+}
+
+// Equal reports whether two register files hold identical values and NaT
+// bits.
+func (rf *RegFile) Equal(o *RegFile) bool {
+	return rf.vals == o.vals && rf.nat == o.nat
+}
+
+// Diff returns the registers whose values or NaT bits differ, for test
+// diagnostics.
+func (rf *RegFile) Diff(o *RegFile) []isa.Reg {
+	var out []isa.Reg
+	for i := 0; i < isa.NumFlatRegs; i++ {
+		if rf.vals[i] != o.vals[i] || rf.nat[i] != o.nat[i] {
+			out = append(out, isa.FromFlat(i))
+		}
+	}
+	return out
+}

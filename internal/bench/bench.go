@@ -1,0 +1,190 @@
+// Package bench is the experiment harness: it reproduces every table and
+// figure of the paper's evaluation (§5) on the synthetic workload suite.
+//
+//	Figure6  normalized execution cycles and stall breakdown for the
+//	         in-order baseline, multipass, and ideal out-of-order machines
+//	Figure7  multipass and out-of-order speedups under three cache
+//	         hierarchies (base, config1, config2)
+//	Figure8  percent of the full multipass speedup retained without issue
+//	         regrouping and without advance restart
+//	Table1   peak and average power ratios of out-of-order vs multipass
+//	         structures, using activity from the Figure 6 runs
+//	Extras   the §5.2 realistic out-of-order comparison and the §5.4
+//	         Dundas-Mudge runahead comparison
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"multipass/internal/arch"
+	"multipass/internal/compile"
+	"multipass/internal/core"
+	"multipass/internal/isa"
+	"multipass/internal/mem"
+	"multipass/internal/pipe/inorder"
+	"multipass/internal/pipe/ooo"
+	"multipass/internal/pipe/runahead"
+	"multipass/internal/sim"
+	"multipass/internal/workload"
+)
+
+// ModelName identifies one timing model in experiment output.
+type ModelName string
+
+// The machine models of the evaluation.
+const (
+	MInorder     ModelName = "inorder"
+	MMultipass   ModelName = "multipass"
+	MNoRegroup   ModelName = "multipass-noregroup"
+	MNoRestart   ModelName = "multipass-norestart"
+	MRunahead    ModelName = "runahead"
+	MOOO         ModelName = "ooo"
+	MOOORealistc ModelName = "ooo-realistic"
+)
+
+// NewMachine constructs the named model over the given hierarchy.
+func NewMachine(name ModelName, hier mem.HierConfig) (sim.Machine, error) {
+	switch name {
+	case MInorder:
+		cfg := sim.Default()
+		cfg.Hier = hier
+		return inorder.New(cfg)
+	case MMultipass, MNoRegroup, MNoRestart:
+		cfg := core.DefaultConfig()
+		cfg.Hier = hier
+		cfg.DisableRegroup = name == MNoRegroup
+		cfg.DisableRestart = name == MNoRestart
+		return core.New(cfg)
+	case MRunahead:
+		cfg := runahead.DefaultConfig()
+		cfg.Hier = hier
+		return runahead.New(cfg)
+	case MOOO:
+		cfg := ooo.DefaultConfig()
+		cfg.Hier = hier
+		return ooo.New(cfg)
+	case MOOORealistc:
+		cfg := ooo.RealisticConfig()
+		cfg.Hier = hier
+		return ooo.New(cfg)
+	}
+	return nil, fmt.Errorf("bench: unknown model %q", name)
+}
+
+// Run compiles one workload (paper-standard compiler options: scheduling and
+// RESTART insertion on) and runs it on one model. The same binary is used
+// for every model, as in the paper.
+func Run(name ModelName, w workload.Workload, scale int, hier mem.HierConfig) (*sim.Result, error) {
+	p, image, err := workload.Program(w, scale, compile.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return runProgram(name, p, image, hier)
+}
+
+func runProgram(name ModelName, p *isa.Program, image *arch.Memory, hier mem.HierConfig) (*sim.Result, error) {
+	m, err := NewMachine(name, hier)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run(p, image)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	return res, nil
+}
+
+// cell is one (workload, model) measurement.
+type cell struct {
+	Workload string
+	Model    ModelName
+	Hier     string
+	Result   *sim.Result
+	Err      error
+}
+
+// runMatrix executes every (workload, model, hierarchy) combination
+// concurrently, compiling each workload once per hierarchy.
+func runMatrix(ws []workload.Workload, models []ModelName, hiers map[string]mem.HierConfig, scale int) (map[string]*sim.Result, error) {
+	type job struct {
+		w     workload.Workload
+		model ModelName
+		hname string
+	}
+	var jobs []job
+	for _, w := range ws {
+		for hname := range hiers {
+			for _, m := range models {
+				jobs = append(jobs, job{w, m, hname})
+			}
+		}
+	}
+
+	// Share one compiled program+image per workload (images are cloned by
+	// the machines, so reuse is safe).
+	type built struct {
+		p     *isa.Program
+		image *arch.Memory
+	}
+	programs := make(map[string]built, len(ws))
+	for _, w := range ws {
+		p, image, err := workload.Program(w, scale, compile.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		programs[w.Name] = built{p, image}
+	}
+
+	results := make(map[string]*sim.Result, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			b := programs[j.w.Name]
+			res, err := runProgram(j.model, b.p, b.image, hiers[j.hname])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s/%s/%s: %w", j.w.Name, j.model, j.hname, err)
+				}
+				return
+			}
+			results[key(j.w.Name, j.model, j.hname)] = res
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+func key(w string, m ModelName, h string) string { return w + "/" + string(m) + "/" + h }
+
+// speedup returns base cycles / other cycles.
+func speedup(base, other *sim.Result) float64 {
+	if other.Stats.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Stats.Cycles) / float64(other.Stats.Cycles)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

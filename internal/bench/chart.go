@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"multipass/internal/sim"
+)
+
+// barScale is the character width of a full-length (1.0 normalized) bar.
+const barScale = 48
+
+// stallGlyphs maps each Figure 6 category to its bar glyph.
+var stallGlyphs = [sim.NumStallKinds]byte{'#', 'f', 'o', '.'}
+
+// bar renders one stacked horizontal bar of normalized cycle categories:
+// '#' execution, 'f' front-end, 'o' other, '.' load.
+func bar(s *sim.Stats, base float64) string {
+	var b strings.Builder
+	total := 0
+	for k := 0; k < sim.NumStallKinds; k++ {
+		n := int(float64(s.Cat[k]) / base * barScale)
+		total += n
+		b.WriteString(strings.Repeat(string(stallGlyphs[k]), n))
+	}
+	return b.String()
+}
+
+// Chart renders Figure 6 as stacked ASCII bars, one triplet per benchmark,
+// normalized to each benchmark's in-order cycles.
+func (r *Fig6Result) Chart() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: normalized execution cycles (" +
+		"'#' execution, 'f' front-end, 'o' other, '.' load stalls)\n\n")
+	for _, row := range r.Rows {
+		base := float64(row.Base.Cycles)
+		fmt.Fprintf(&b, "%-8s base |%s\n", row.Benchmark, bar(&row.Base, base))
+		fmt.Fprintf(&b, "%-8s MP   |%s\n", "", bar(&row.MP, base))
+		fmt.Fprintf(&b, "%-8s OOO  |%s\n\n", "", bar(&row.OOO, base))
+	}
+	return b.String()
+}
+
+// Chart renders Figure 8 as paired ASCII bars (percent of full multipass
+// speedup retained without each mechanism).
+func (r *Fig8Result) Chart() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: % of full multipass speedup without each mechanism\n\n")
+	pct := func(v float64) string {
+		n := int(v / 100 * barScale)
+		if n < 0 {
+			n = 0
+		}
+		if n > barScale {
+			n = barScale
+		}
+		return strings.Repeat("=", n)
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s w/o regroup |%-*s %3.0f%%\n", row.Benchmark, barScale, pct(row.PctWithoutRegroup), row.PctWithoutRegroup)
+		fmt.Fprintf(&b, "%-8s w/o restart |%-*s %3.0f%%\n\n", "", barScale, pct(row.PctWithoutRestart), row.PctWithoutRestart)
+	}
+	return b.String()
+}
+
+// Chart renders Figure 7 speedups as grouped bars per hierarchy.
+func (r *Fig7Result) Chart() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: speedup over in-order ('M' multipass, 'O' out-of-order)\n\n")
+	perHier := map[string][]Fig7Row{}
+	for _, row := range r.Rows {
+		perHier[row.Hier] = append(perHier[row.Hier], row)
+	}
+	speedBar := func(glyph byte, v float64) string {
+		n := int(v / 4 * barScale)
+		if n > barScale*2 {
+			n = barScale * 2
+		}
+		if n < 1 {
+			n = 1
+		}
+		return strings.Repeat(string(glyph), n)
+	}
+	for _, h := range []string{"base", "config1", "config2"} {
+		fmt.Fprintf(&b, "--- %s ---\n", h)
+		for _, row := range perHier[h] {
+			fmt.Fprintf(&b, "%-8s |%s %.2fx\n", row.Benchmark, speedBar('M', row.MPSpeedup), row.MPSpeedup)
+			fmt.Fprintf(&b, "%-8s |%s %.2fx\n", "", speedBar('O', row.OOOSpeed), row.OOOSpeed)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

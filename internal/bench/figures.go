@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"multipass/internal/mem"
+	"multipass/internal/power"
+	"multipass/internal/sim"
+	"multipass/internal/workload"
+)
+
+// Fig6Row is one benchmark's result in Figure 6.
+type Fig6Row struct {
+	Benchmark string
+	Base      sim.Stats
+	MP        sim.Stats
+	OOO       sim.Stats
+}
+
+// Fig6Result reproduces Figure 6: normalized execution cycles with the
+// execution / front-end / other / load breakdown, for base, multipass and
+// ideal out-of-order.
+type Fig6Result struct {
+	Rows []Fig6Row
+	// Aggregates reported in §5.2.
+	MeanStallReduction float64 // multipass vs base, all stall categories
+	MeanMPSpeedup      float64 // multipass over base
+	MeanOOOOverMP      float64 // ideal OOO over multipass
+}
+
+// Figure6 runs the experiment at the given workload scale.
+func Figure6(scale int) (*Fig6Result, error) {
+	ws := workload.All()
+	hiers := map[string]mem.HierConfig{"base": mem.BaseConfig()}
+	res, err := runMatrix(ws, []ModelName{MInorder, MMultipass, MOOO}, hiers, scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig6Result{}
+	var reductions, mpSpeed, oooOverMP []float64
+	for _, w := range ws {
+		base := res[key(w.Name, MInorder, "base")]
+		mp := res[key(w.Name, MMultipass, "base")]
+		o := res[key(w.Name, MOOO, "base")]
+		out.Rows = append(out.Rows, Fig6Row{w.Name, base.Stats, mp.Stats, o.Stats})
+		bStall := float64(base.Stats.TotalStalls())
+		mStall := float64(mp.Stats.TotalStalls())
+		if bStall > 0 {
+			reductions = append(reductions, 1-mStall/bStall)
+		}
+		mpSpeed = append(mpSpeed, speedup(base, mp))
+		oooOverMP = append(oooOverMP, float64(mp.Stats.Cycles)/float64(o.Stats.Cycles))
+	}
+	out.MeanStallReduction = mean(reductions)
+	out.MeanMPSpeedup = mean(mpSpeed)
+	out.MeanOOOOverMP = mean(oooOverMP)
+	return out, nil
+}
+
+// Render formats the figure as a text table of normalized cycles.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tmodel\tnorm.cycles\texec\tfront-end\tother\tload\tIPC")
+	for _, row := range r.Rows {
+		base := float64(row.Base.Cycles)
+		emit := func(name string, s *sim.Stats) {
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.2f\n",
+				row.Benchmark, name,
+				float64(s.Cycles)/base,
+				float64(s.Cat[sim.StallExecution])/base,
+				float64(s.Cat[sim.StallFrontEnd])/base,
+				float64(s.Cat[sim.StallOther])/base,
+				float64(s.Cat[sim.StallLoad])/base,
+				s.IPC())
+		}
+		emit("base", &row.Base)
+		emit("MP", &row.MP)
+		emit("OOO", &row.OOO)
+	}
+	tw.Flush()
+	fmt.Fprintf(&b, "\nmean stall-cycle reduction (MP vs base): %.0f%%   (paper: 49%%)\n", 100*r.MeanStallReduction)
+	fmt.Fprintf(&b, "mean MP speedup over base:               %.2fx  (paper: 1.36x)\n", r.MeanMPSpeedup)
+	fmt.Fprintf(&b, "mean ideal-OOO speedup over MP:          %.2fx  (paper: 1.14x)\n", r.MeanOOOOverMP)
+	return b.String()
+}
+
+// Fig7Row is one benchmark's speedups under one hierarchy.
+type Fig7Row struct {
+	Benchmark string
+	Hier      string
+	MPSpeedup float64
+	OOOSpeed  float64
+}
+
+// Fig7Result reproduces Figure 7: speedup over in-order for multipass and
+// out-of-order under the base, config1 and config2 hierarchies.
+type Fig7Result struct {
+	Rows []Fig7Row
+	// MeanMP and MeanOOO are per-hierarchy averages keyed by config name.
+	MeanMP  map[string]float64
+	MeanOOO map[string]float64
+}
+
+// Figure7 runs the experiment at the given workload scale.
+func Figure7(scale int) (*Fig7Result, error) {
+	ws := workload.All()
+	hiers := map[string]mem.HierConfig{
+		"base":    mem.BaseConfig(),
+		"config1": mem.Config1(),
+		"config2": mem.Config2(),
+	}
+	res, err := runMatrix(ws, []ModelName{MInorder, MMultipass, MOOO}, hiers, scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7Result{MeanMP: map[string]float64{}, MeanOOO: map[string]float64{}}
+	for _, hname := range []string{"base", "config1", "config2"} {
+		var mps, ooos []float64
+		for _, w := range ws {
+			base := res[key(w.Name, MInorder, hname)]
+			mp := speedup(base, res[key(w.Name, MMultipass, hname)])
+			oo := speedup(base, res[key(w.Name, MOOO, hname)])
+			out.Rows = append(out.Rows, Fig7Row{w.Name, hname, mp, oo})
+			mps = append(mps, mp)
+			ooos = append(ooos, oo)
+		}
+		out.MeanMP[hname] = mean(mps)
+		out.MeanOOO[hname] = mean(ooos)
+	}
+	return out, nil
+}
+
+// Render formats the figure.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\thierarchy\tMP speedup\tOOO speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\n", row.Benchmark, row.Hier, row.MPSpeedup, row.OOOSpeed)
+	}
+	tw.Flush()
+	for _, h := range []string{"base", "config1", "config2"} {
+		fmt.Fprintf(&b, "\n%s: mean MP %.2fx, mean OOO %.2fx, gap %.2fx",
+			h, r.MeanMP[h], r.MeanOOO[h], r.MeanOOO[h]/r.MeanMP[h])
+	}
+	b.WriteString("\n(paper: average speedups stay roughly flat across hierarchies; the MP/OOO gap narrows with the more restrictive ones)\n")
+	return b.String()
+}
+
+// Fig8Row is one benchmark's ablation result.
+type Fig8Row struct {
+	Benchmark string
+	// Percent of the full multipass speedup retained without the feature.
+	PctWithoutRegroup float64
+	PctWithoutRestart float64
+}
+
+// Fig8Result reproduces Figure 8.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// Figure8 runs the ablations at the given workload scale.
+func Figure8(scale int) (*Fig8Result, error) {
+	ws := workload.All()
+	hiers := map[string]mem.HierConfig{"base": mem.BaseConfig()}
+	res, err := runMatrix(ws, []ModelName{MInorder, MMultipass, MNoRegroup, MNoRestart}, hiers, scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig8Result{}
+	for _, w := range ws {
+		base := res[key(w.Name, MInorder, "base")]
+		full := speedup(base, res[key(w.Name, MMultipass, "base")])
+		noRegroup := speedup(base, res[key(w.Name, MNoRegroup, "base")])
+		noRestart := speedup(base, res[key(w.Name, MNoRestart, "base")])
+		pct := func(abl float64) float64 {
+			if full <= 1 {
+				return 100
+			}
+			return 100 * (abl - 1) / (full - 1)
+		}
+		out.Rows = append(out.Rows, Fig8Row{w.Name, pct(noRegroup), pct(noRestart)})
+	}
+	return out, nil
+}
+
+// Render formats the figure.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\t% speedup w/o regrouping\t% speedup w/o restart")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.0f%%\t%.0f%%\n", row.Benchmark, row.PctWithoutRegroup, row.PctWithoutRestart)
+	}
+	tw.Flush()
+	b.WriteString("(paper: regrouping matters nearly everywhere except mcf; restart matters for bzip2, gap and mcf)\n")
+	return b.String()
+}
+
+// Table1Result reproduces Table 1 using activity from full-suite runs.
+type Table1Result struct {
+	Rows []power.Table1Row
+}
+
+// Table1 aggregates statistics across the suite on the OOO and multipass
+// machines and evaluates the power models.
+func Table1(scale int) (*Table1Result, error) {
+	ws := workload.All()
+	hiers := map[string]mem.HierConfig{"base": mem.BaseConfig()}
+	res, err := runMatrix(ws, []ModelName{MMultipass, MOOO}, hiers, scale)
+	if err != nil {
+		return nil, err
+	}
+	var oooAgg, mpAgg sim.Stats
+	for _, w := range ws {
+		addStats(&oooAgg, &res[key(w.Name, MOOO, "base")].Stats)
+		addStats(&mpAgg, &res[key(w.Name, MMultipass, "base")].Stats)
+	}
+	return &Table1Result{Rows: power.Table1(&oooAgg, &mpAgg)}, nil
+}
+
+// addStats accumulates the counters the power model consumes.
+func addStats(dst, src *sim.Stats) {
+	dst.Cycles += src.Cycles
+	dst.Retired += src.Retired
+	for i := range dst.Cat {
+		dst.Cat[i] += src.Cat[i]
+	}
+	dst.Memory.L1D.Accesses += src.Memory.L1D.Accesses
+	dst.Memory.L1D.Misses += src.Memory.L1D.Misses
+	dst.Memory.L1D.AdvanceAccesses += src.Memory.L1D.AdvanceAccesses
+	dst.Memory.L1D.AdvanceMisses += src.Memory.L1D.AdvanceMisses
+	dst.Multipass.Merged += src.Multipass.Merged
+	dst.Multipass.AdvanceExecuted += src.Multipass.AdvanceExecuted
+	dst.Multipass.AdvanceCycles += src.Multipass.AdvanceCycles
+	dst.Multipass.RallyCycles += src.Multipass.RallyCycles
+	dst.Multipass.SpecLoads += src.Multipass.SpecLoads
+}
+
+// Render formats the table.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "structure group\tpeak ratio (OOO/MP)\tavg ratio (OOO/MP)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\n", row.Group, row.PeakRatio, row.AvgRatio)
+	}
+	tw.Flush()
+	b.WriteString("(paper: 0.99/1.20, 10.28/7.15, 3.21/9.79)\n")
+	return b.String()
+}
+
+// ExtrasResult holds the §5.2 and §5.4 comparisons.
+type ExtrasResult struct {
+	// MPOverRealOOO is the mean multipass speedup over the realistic
+	// (decentralized 16-entry queue) out-of-order model (paper: 1.05x).
+	MPOverRealOOO float64
+	// RunaheadCycleFraction is how many of the cycles multipass removes
+	// (relative to in-order) runahead removes (paper: about half).
+	RunaheadCycleFraction float64
+	PerBench              []ExtraRow
+}
+
+// ExtraRow is one benchmark's extra-comparison data.
+type ExtraRow struct {
+	Benchmark     string
+	MPOverRealOOO float64
+	RAFraction    float64
+}
+
+// Extras runs the additional comparisons.
+func Extras(scale int) (*ExtrasResult, error) {
+	ws := workload.All()
+	hiers := map[string]mem.HierConfig{"base": mem.BaseConfig()}
+	res, err := runMatrix(ws, []ModelName{MInorder, MMultipass, MRunahead, MOOORealistc}, hiers, scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &ExtrasResult{}
+	var ratios, fracs []float64
+	for _, w := range ws {
+		base := res[key(w.Name, MInorder, "base")]
+		mp := res[key(w.Name, MMultipass, "base")]
+		ra := res[key(w.Name, MRunahead, "base")]
+		ro := res[key(w.Name, MOOORealistc, "base")]
+		ratio := float64(ro.Stats.Cycles) / float64(mp.Stats.Cycles)
+		mpSaved := float64(base.Stats.Cycles) - float64(mp.Stats.Cycles)
+		raSaved := float64(base.Stats.Cycles) - float64(ra.Stats.Cycles)
+		frac := 0.0
+		if mpSaved > 0 {
+			frac = raSaved / mpSaved
+		}
+		out.PerBench = append(out.PerBench, ExtraRow{w.Name, ratio, frac})
+		ratios = append(ratios, ratio)
+		fracs = append(fracs, frac)
+	}
+	out.MPOverRealOOO = mean(ratios)
+	out.RunaheadCycleFraction = mean(fracs)
+	return out, nil
+}
+
+// Render formats the comparisons.
+func (r *ExtrasResult) Render() string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tMP speedup over realistic OOO\trunahead fraction of MP cycle savings")
+	for _, row := range r.PerBench {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\n", row.Benchmark, row.MPOverRealOOO, row.RAFraction)
+	}
+	tw.Flush()
+	fmt.Fprintf(&b, "\nmean MP speedup over realistic OOO: %.2fx (paper: 1.05x)\n", r.MPOverRealOOO)
+	fmt.Fprintf(&b, "mean runahead fraction of MP savings: %.2f (paper: ~0.5)\n", r.RunaheadCycleFraction)
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"multipass/internal/arch"
+	"multipass/internal/compile"
+	"multipass/internal/core"
+	"multipass/internal/isa"
+	"multipass/internal/mem"
+	"multipass/internal/workload"
+)
+
+// RestartStudyRow compares advance-restart mechanisms on one benchmark.
+type RestartStudyRow struct {
+	Benchmark string
+	// Speedups over the in-order baseline.
+	Compiler  float64 // compiler-inserted RESTART (the paper's §3.3 default)
+	Hardware  float64 // footnote-1 hardware deferral heuristic, no RESTARTs
+	Both      float64 // RESTART instructions plus the hardware heuristic
+	NoRestart float64
+	// HWRestarts fired by the heuristic in the hardware-only run.
+	HWRestarts uint64
+}
+
+// RestartStudyResult is the paper's footnote-1 question quantified: how
+// much of the compiler-directed restart benefit does a hardware-only
+// deferral heuristic recover?
+type RestartStudyResult struct {
+	Rows []RestartStudyRow
+}
+
+// RestartStudy runs the study on the restart-sensitive kernels plus one
+// insensitive control.
+func RestartStudy(scale int) (*RestartStudyResult, error) {
+	names := []string{"mcf", "gap", "bzip2", "art"}
+	out := &RestartStudyResult{}
+	for _, name := range names {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown workload %q", name)
+		}
+		// Two binaries: with and without RESTART instructions.
+		withR, imageA, err := workload.Program(w, scale, compile.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		noROpts := compile.DefaultOptions()
+		noROpts.InsertRestarts = false
+		withoutR, imageB, err := workload.Program(w, scale, noROpts)
+		if err != nil {
+			return nil, err
+		}
+
+		base, err := runProgram(MInorder, withR, imageA, mem.BaseConfig())
+		if err != nil {
+			return nil, err
+		}
+		runMP := func(cfg core.Config, p *isa.Program, image *arch.Memory) (uint64, uint64, error) {
+			m, err := core.New(cfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			res, err := m.Run(p, image)
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.Stats.Cycles, res.Stats.Multipass.HWRestarts, nil
+		}
+		speedup := func(cy uint64) float64 { return float64(base.Stats.Cycles) / float64(cy) }
+
+		row := RestartStudyRow{Benchmark: name}
+
+		cfg := core.DefaultConfig() // compiler restart (standard)
+		cy, _, err := runMP(cfg, withR, imageA)
+		if err != nil {
+			return nil, err
+		}
+		row.Compiler = speedup(cy)
+
+		cfg = core.DefaultConfig() // hardware-only on the RESTART-free binary
+		cfg.HardwareRestart = true
+		cy, hw, err := runMP(cfg, withoutR, imageB)
+		if err != nil {
+			return nil, err
+		}
+		row.Hardware = speedup(cy)
+		row.HWRestarts = hw
+
+		cfg = core.DefaultConfig() // both mechanisms
+		cfg.HardwareRestart = true
+		cy, _, err = runMP(cfg, withR, imageA)
+		if err != nil {
+			return nil, err
+		}
+		row.Both = speedup(cy)
+
+		cfg = core.DefaultConfig() // neither
+		cfg.DisableRestart = true
+		cy, _, err = runMP(cfg, withoutR, imageB)
+		if err != nil {
+			return nil, err
+		}
+		row.NoRestart = speedup(cy)
+
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the study.
+func (r *RestartStudyResult) Render() string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tcompiler RESTART\thardware heuristic\tboth\tno restart\tHW restarts fired")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.2fx\t%.2fx\t%.2fx\t%.2fx\t%d\n",
+			row.Benchmark, row.Compiler, row.Hardware, row.Both, row.NoRestart, row.HWRestarts)
+	}
+	tw.Flush()
+	b.WriteString("(paper footnote 1, §3.3: \"A hardware mechanism could also have been used\" — the\nheuristic restarts a pass after a run of consecutive deferrals)\n")
+	return b.String()
+}
+
+// SweepPoint is one (size, cycles) measurement of a design-choice sweep.
+type SweepPoint struct {
+	Benchmark string
+	Size      int
+	Cycles    uint64
+	Speedup   float64 // over the in-order baseline
+}
+
+// SweepResult is one parameter sweep.
+type SweepResult struct {
+	Param  string
+	Points []SweepPoint
+}
+
+// SweepIQ measures multipass sensitivity to the instruction-queue size
+// (the paper's Table 2 picks 256): the IQ bounds how far PEEK can run
+// ahead of DEQ.
+func SweepIQ(scale int, sizes []int) (*SweepResult, error) {
+	return sweep("IQ", scale, sizes, func(cfg *core.Config, size int) {
+		cfg.IQSize = size
+		cfg.BufferSize = size
+	})
+}
+
+// SweepASC measures multipass sensitivity to the advance store cache size
+// (§4 picks 64 entries, 2-way): too small an ASC loses forwarding and
+// makes more loads data-speculative.
+func SweepASC(scale int, sizes []int) (*SweepResult, error) {
+	return sweep("ASC", scale, sizes, func(cfg *core.Config, size int) {
+		cfg.ASCEntries = size
+	})
+}
+
+func sweep(param string, scale int, sizes []int, apply func(*core.Config, int)) (*SweepResult, error) {
+	names := []string{"mcf", "gzip", "equake"}
+	out := &SweepResult{Param: param}
+	for _, name := range names {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown workload %q", name)
+		}
+		p, image, err := workload.Program(w, scale, compile.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		base, err := runProgram(MInorder, p, image, mem.BaseConfig())
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range sizes {
+			cfg := core.DefaultConfig()
+			apply(&cfg, size)
+			m, err := core.New(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s size %d: %w", param, size, err)
+			}
+			res, err := m.Run(p, image)
+			if err != nil {
+				return nil, err
+			}
+			out.Points = append(out.Points, SweepPoint{
+				Benchmark: name,
+				Size:      size,
+				Cycles:    res.Stats.Cycles,
+				Speedup:   float64(base.Stats.Cycles) / float64(res.Stats.Cycles),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render formats the sweep.
+func (r *SweepResult) Render() string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\t%s size\tcycles\tspeedup over inorder\n", r.Param)
+	for _, pt := range r.Points {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2fx\n", pt.Benchmark, pt.Size, pt.Cycles, pt.Speedup)
+	}
+	tw.Flush()
+	return b.String()
+}

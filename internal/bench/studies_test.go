@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"multipass/internal/mem"
+	"multipass/internal/workload"
+)
+
+func TestRestartStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run study")
+	}
+	r, err := RestartStudy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]RestartStudyRow{}
+	for _, row := range r.Rows {
+		byName[row.Benchmark] = row
+	}
+	mcf := byName["mcf"]
+	if mcf.Compiler <= mcf.NoRestart {
+		t.Errorf("mcf: compiler restart (%.2f) no better than none (%.2f)", mcf.Compiler, mcf.NoRestart)
+	}
+	if mcf.Hardware <= mcf.NoRestart {
+		t.Errorf("mcf: hardware restart (%.2f) no better than none (%.2f)", mcf.Hardware, mcf.NoRestart)
+	}
+	if mcf.HWRestarts == 0 {
+		t.Error("mcf: hardware heuristic never fired")
+	}
+	// art is restart-insensitive: all variants within a few percent.
+	art := byName["art"]
+	if art.Compiler > 1.1*art.NoRestart {
+		t.Errorf("art: restart mattered (%.2f vs %.2f) on a streaming kernel", art.Compiler, art.NoRestart)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "hardware heuristic") {
+		t.Error("render missing content")
+	}
+}
+
+func TestSweepIQMonotoneOnStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	r, err := SweepIQ(1, []int{24, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the streaming equake kernel a bigger IQ must help.
+	var small, big uint64
+	for _, pt := range r.Points {
+		if pt.Benchmark == "equake" && pt.Size == 24 {
+			small = pt.Cycles
+		}
+		if pt.Benchmark == "equake" && pt.Size == 256 {
+			big = pt.Cycles
+		}
+	}
+	if small == 0 || big == 0 {
+		t.Fatal("missing sweep points")
+	}
+	if big >= small {
+		t.Errorf("equake: IQ 256 (%d cycles) no faster than IQ 24 (%d)", big, small)
+	}
+	if !strings.Contains(r.Render(), "IQ size") {
+		t.Error("render missing header")
+	}
+}
+
+func TestSweepASCRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	r, err := SweepASC(1, []int{8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 6 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, pt := range r.Points {
+		if pt.Cycles == 0 || pt.Speedup <= 0 {
+			t.Errorf("degenerate point %+v", pt)
+		}
+	}
+}
+
+func TestFigure7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-hierarchy sweep")
+	}
+	r, err := Figure7(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 36 {
+		t.Fatalf("rows = %d, want 12 benchmarks x 3 hierarchies", len(r.Rows))
+	}
+	for _, h := range []string{"base", "config1", "config2"} {
+		if r.MeanMP[h] <= 1.0 {
+			t.Errorf("%s: mean MP speedup %.2f <= 1", h, r.MeanMP[h])
+		}
+		if r.MeanOOO[h] < r.MeanMP[h] {
+			t.Errorf("%s: ideal OOO (%.2f) below MP (%.2f)", h, r.MeanOOO[h], r.MeanMP[h])
+		}
+	}
+	// The paper's observation: the MP/OOO gap must not widen under the
+	// more restrictive hierarchies.
+	gapBase := r.MeanOOO["base"] / r.MeanMP["base"]
+	gapC2 := r.MeanOOO["config2"] / r.MeanMP["config2"]
+	if gapC2 > gapBase*1.1 {
+		t.Errorf("MP/OOO gap widened: base %.2f -> config2 %.2f", gapBase, gapC2)
+	}
+	if !strings.Contains(r.Render(), "config2") {
+		t.Error("render missing content")
+	}
+}
+
+func TestExtrasShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model sweep")
+	}
+	r, err := Extras(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerBench) != 12 {
+		t.Fatalf("rows = %d", len(r.PerBench))
+	}
+	// Multipass competes with the realistic OOO (paper: 1.05x).
+	if r.MPOverRealOOO < 0.8 || r.MPOverRealOOO > 1.6 {
+		t.Errorf("MP over realistic OOO = %.2f, out of plausible band", r.MPOverRealOOO)
+	}
+	// Runahead captures only part of multipass's savings on the
+	// restart-dominated kernels.
+	for _, row := range r.PerBench {
+		if row.Benchmark == "mcf" && row.RAFraction > 0.8 {
+			t.Errorf("mcf: runahead fraction %.2f, expected well below 1", row.RAFraction)
+		}
+	}
+	if !strings.Contains(r.Render(), "runahead") {
+		t.Error("render missing content")
+	}
+}
+
+func TestChartsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model sweep")
+	}
+	f6, err := Figure6(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f6.Chart()
+	if !strings.Contains(c, "mcf") || !strings.Contains(c, "#") {
+		t.Error("figure 6 chart missing content")
+	}
+	f8, err := Figure8(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f8.Chart(), "w/o restart") {
+		t.Error("figure 8 chart missing content")
+	}
+	f7, err := Figure7(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f7.Chart(), "config2") {
+		t.Error("figure 7 chart missing content")
+	}
+}
+
+// TestDeterministicTiming: the simulators must be fully deterministic —
+// two runs of the same workload on the same model produce identical cycle
+// counts and stall breakdowns.
+func TestDeterministicTiming(t *testing.T) {
+	w, _ := workload.ByName("twolf")
+	for _, name := range []ModelName{MInorder, MMultipass, MRunahead, MOOO} {
+		a, err := Run(name, w, 1, mem.BaseConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(name, w, 1, mem.BaseConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Stats.Cycles != b.Stats.Cycles || a.Stats.Cat != b.Stats.Cat {
+			t.Errorf("%s: nondeterministic timing: %d vs %d cycles", name, a.Stats.Cycles, b.Stats.Cycles)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package bpred implements the branch direction predictor of paper Table 2:
+// a 1024-entry gshare predictor (global history XOR branch address indexing
+// a table of 2-bit saturating counters).
+package bpred
+
+// Gshare is the direction predictor. The zero value is not usable; call New.
+type Gshare struct {
+	table    []uint8
+	mask     uint32
+	history  uint32
+	histBits uint
+	stats    Stats
+}
+
+// Stats counts predictor activity.
+type Stats struct {
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// Accuracy returns the fraction of correct predictions, or 1 for an idle
+// predictor.
+func (s Stats) Accuracy() float64 {
+	if s.Lookups == 0 {
+		return 1
+	}
+	return 1 - float64(s.Mispredicts)/float64(s.Lookups)
+}
+
+// New returns a gshare predictor with the given number of 2-bit counters
+// (must be a power of two). Counters initialize to weakly not-taken.
+func New(entries int) *Gshare {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: entries must be a positive power of two")
+	}
+	g := &Gshare{table: make([]uint8, entries), mask: uint32(entries - 1)}
+	for 1<<g.histBits < entries {
+		g.histBits++
+	}
+	for i := range g.table {
+		g.table[i] = 1 // weakly not-taken
+	}
+	return g
+}
+
+// Default returns the paper's 1024-entry configuration.
+func Default() *Gshare { return New(1024) }
+
+func (g *Gshare) index(pc uint32) uint32 {
+	return (pc ^ g.history) & g.mask
+}
+
+// Predict returns the predicted direction for the branch at pc without
+// updating any state.
+func (g *Gshare) Predict(pc uint32) bool {
+	return g.table[g.index(pc)] >= 2
+}
+
+// Update trains the predictor with the resolved direction and records
+// whether the prediction (made with the pre-update state) was correct.
+// It returns true when the prediction was correct.
+func (g *Gshare) Update(pc uint32, taken bool) bool {
+	idx := g.index(pc)
+	predicted := g.table[idx] >= 2
+	g.stats.Lookups++
+	if predicted != taken {
+		g.stats.Mispredicts++
+	}
+	if taken {
+		if g.table[idx] < 3 {
+			g.table[idx]++
+		}
+	} else if g.table[idx] > 0 {
+		g.table[idx]--
+	}
+	g.history = ((g.history << 1) | boolBit(taken)) & ((1 << g.histBits) - 1)
+	return predicted == taken
+}
+
+// Stats returns a snapshot of the predictor's counters.
+func (g *Gshare) Stats() Stats { return g.stats }
+
+// Reset clears history, counters and statistics.
+func (g *Gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 1
+	}
+	g.history = 0
+	g.stats = Stats{}
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,154 @@
+package compile
+
+import (
+	"multipass/internal/isa"
+	"multipass/internal/prog"
+)
+
+// criticalAnalysis is the result of the critical-load pass.
+type criticalAnalysis struct {
+	SCCs          int // non-trivial SCCs (size > 1 or self-loop)
+	LoadSCCs      int // non-trivial SCCs containing at least one load
+	CriticalLoads []globalRef
+}
+
+// globalRef names a static instruction by block and index within the block.
+type globalRef struct {
+	Block int
+	Index int
+}
+
+// findCriticalLoads implements the paper's §3.3 heuristic: SCCs of the
+// data-flow graph represent loop-carried flow; if an SCC precedes (feeds)
+// many more variable-latency instructions than it succeeds, its loads are
+// critical, and a RESTART should follow each one.
+//
+// "Variable latency" counts loads and any operation with latency > 1.
+// The SCC's loads are critical when downstream > factor*upstream and
+// downstream >= minDownstream.
+func findCriticalLoads(g *dfg, factor float64, minDownstream int) criticalAnalysis {
+	var res criticalAnalysis
+	sccs := tarjanSCC(g.succs)
+
+	selfLoop := func(v int) bool {
+		for _, w := range g.succs[v] {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+
+	variable := func(v int) bool {
+		op := g.insts[v].Op
+		return op.IsLoad() || op.Latency() > 1
+	}
+
+	for _, comp := range sccs {
+		if len(comp) == 1 && !selfLoop(comp[0]) {
+			continue
+		}
+		res.SCCs++
+		hasLoad := false
+		for _, v := range comp {
+			if g.insts[v].Op.IsLoad() {
+				hasLoad = true
+				break
+			}
+		}
+		if !hasLoad {
+			continue
+		}
+		res.LoadSCCs++
+
+		inComp := make(map[int]bool, len(comp))
+		for _, v := range comp {
+			inComp[v] = true
+		}
+		down := reachCount(g.succs, comp, inComp, variable)
+		up := reachCount(g.preds, comp, inComp, variable)
+		if down < minDownstream || float64(down) <= factor*float64(up) {
+			continue
+		}
+		for _, v := range comp {
+			in := g.insts[v]
+			// RESTART consumes an integer register (the load's destination);
+			// FP loads in an SCC cannot drive a restart directly.
+			if in.Op.IsLoad() && in.Dst.Class == isa.RegClassInt {
+				bi := g.home[v]
+				for idx, gi := range g.blocks[bi] {
+					if gi == v {
+						res.CriticalLoads = append(res.CriticalLoads, globalRef{bi, idx})
+						break
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// reachCount counts nodes satisfying pred reachable from the component via
+// the given adjacency (excluding the component itself).
+func reachCount(adj [][]int, comp []int, inComp map[int]bool, pred func(int) bool) int {
+	seen := make(map[int]bool)
+	var stack []int
+	for _, v := range comp {
+		stack = append(stack, v)
+	}
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if seen[w] || inComp[w] {
+				continue
+			}
+			seen[w] = true
+			if pred(w) {
+				count++
+			}
+			stack = append(stack, w)
+		}
+	}
+	return count
+}
+
+// insertRestarts inserts a RESTART after each critical load, updating the
+// unit in place. Refs must identify loads. Returns the number of RESTART
+// instructions inserted.
+func insertRestarts(u *prog.Unit, refs []globalRef) int {
+	// Group by block, then insert from the highest index down so earlier
+	// indices stay valid.
+	byBlock := make(map[int][]int)
+	for _, r := range refs {
+		byBlock[r.Block] = append(byBlock[r.Block], r.Index)
+	}
+	inserted := 0
+	for bi, idxs := range byBlock {
+		b := u.Blocks[bi]
+		// Sort descending.
+		for i := 0; i < len(idxs); i++ {
+			for j := i + 1; j < len(idxs); j++ {
+				if idxs[j] > idxs[i] {
+					idxs[i], idxs[j] = idxs[j], idxs[i]
+				}
+			}
+		}
+		for _, idx := range idxs {
+			load := b.Insts[idx]
+			if !load.Op.IsLoad() {
+				continue
+			}
+			r := isa.Inst{Op: isa.OpRestart, QP: load.QP, Src1: load.Dst}
+			b.Insts = append(b.Insts, isa.Inst{})
+			copy(b.Insts[idx+2:], b.Insts[idx+1:])
+			b.Insts[idx+1] = r
+			b.BranchLabels = append(b.BranchLabels, "")
+			copy(b.BranchLabels[idx+2:], b.BranchLabels[idx+1:])
+			b.BranchLabels[idx+1] = ""
+			inserted++
+		}
+	}
+	return inserted
+}

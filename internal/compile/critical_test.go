@@ -1,0 +1,200 @@
+package compile
+
+import (
+	"testing"
+
+	"multipass/internal/isa"
+	"multipass/internal/prog"
+)
+
+// pointerChaseUnit builds the canonical critical-SCC shape: a loop whose
+// induction is itself a load (p = *p), feeding a body full of dependent
+// loads and multi-cycle work.
+func pointerChaseUnit(bodyLoads int) *prog.Unit {
+	u := prog.NewUnit()
+	ptr := isa.IntReg(1)
+	e := u.NewBlock("entry")
+	e.MovI(ptr, 0x1000)
+	e.MovI(isa.IntReg(2), 0)
+	loop := u.NewBlock("loop")
+	// The SCC: ptr = load [ptr] (loop-carried through itself).
+	loop.Load(isa.OpLd4, ptr, ptr, 0)
+	// Downstream variable-latency work dependent on ptr.
+	for i := 0; i < bodyLoads; i++ {
+		r := isa.IntReg(3 + i)
+		loop.Load(isa.OpLd4, r, ptr, int32(4+4*i))
+		loop.Op3(isa.OpAdd, isa.IntReg(2), isa.IntReg(2), r)
+	}
+	loop.CmpI(isa.OpCmpNeI, isa.PredReg(1), isa.PredReg(2), ptr, 0)
+	loop.Br(isa.PredReg(1), "loop")
+	u.NewBlock("exit").Halt()
+	return u
+}
+
+func TestCriticalLoadDetected(t *testing.T) {
+	u := pointerChaseUnit(4)
+	g := buildDFG(u)
+	ca := findCriticalLoads(g, 2, 2)
+	if ca.SCCs == 0 {
+		t.Fatal("no SCC found in a loop-carried pointer chase")
+	}
+	if ca.LoadSCCs == 0 {
+		t.Fatal("pointer-chase SCC does not contain the load")
+	}
+	if len(ca.CriticalLoads) == 0 {
+		t.Fatal("pointer-chase load not marked critical")
+	}
+	// The critical load is the chase load (block "loop", index 0).
+	found := false
+	for _, r := range ca.CriticalLoads {
+		if u.Blocks[r.Block].Label == "loop" && r.Index == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("critical loads = %v, expected the chase load", ca.CriticalLoads)
+	}
+}
+
+func TestStreamingLoopNotCritical(t *testing.T) {
+	// A streaming loop: induction is addi (no load in the SCC), loads are
+	// not loop-carried.
+	u := prog.NewUnit()
+	idx := isa.IntReg(1)
+	e := u.NewBlock("entry")
+	e.MovI(idx, 0x1000)
+	e.MovI(isa.IntReg(2), 0)
+	loop := u.NewBlock("loop")
+	loop.Load(isa.OpLd4, isa.IntReg(3), idx, 0)
+	loop.Op3(isa.OpAdd, isa.IntReg(2), isa.IntReg(2), isa.IntReg(3))
+	loop.OpI(isa.OpAddI, idx, idx, 4)
+	loop.CmpI(isa.OpCmpLtUI, isa.PredReg(1), isa.PredReg(2), idx, 0x2000)
+	loop.Br(isa.PredReg(1), "loop")
+	u.NewBlock("exit").Halt()
+
+	g := buildDFG(u)
+	ca := findCriticalLoads(g, 2, 2)
+	if len(ca.CriticalLoads) != 0 {
+		t.Errorf("streaming loop loads marked critical: %v", ca.CriticalLoads)
+	}
+	// The accumulator and induction SCCs exist, but contain no loads.
+	if ca.SCCs == 0 {
+		t.Error("expected induction/accumulator SCCs")
+	}
+	if ca.LoadSCCs != 0 {
+		t.Error("no load SCC expected in streaming loop")
+	}
+}
+
+func TestRestartInsertion(t *testing.T) {
+	u := pointerChaseUnit(4)
+	p, info, err := Compile(u, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Restarts == 0 {
+		t.Fatal("no RESTART inserted for pointer chase")
+	}
+	// The RESTART must consume the chase pointer and come after the load.
+	restartIdx, loadIdx := -1, -1
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		if in.Op == isa.OpRestart && in.Src1 == isa.IntReg(1) {
+			restartIdx = i
+		}
+		if in.Op == isa.OpLd4 && in.Dst == isa.IntReg(1) {
+			loadIdx = i
+		}
+	}
+	if restartIdx < 0 {
+		t.Fatalf("RESTART not found in program:\n%s", p)
+	}
+	if loadIdx < 0 || restartIdx < loadIdx {
+		t.Fatalf("RESTART at %d precedes its load at %d:\n%s", restartIdx, loadIdx, p)
+	}
+}
+
+func TestRestartDisabled(t *testing.T) {
+	u := pointerChaseUnit(4)
+	opts := DefaultOptions()
+	opts.InsertRestarts = false
+	p, info, err := Compile(u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Restarts != 0 {
+		t.Error("restarts inserted despite being disabled")
+	}
+	for i := range p.Insts {
+		if p.Insts[i].Op == isa.OpRestart {
+			t.Fatal("RESTART present despite being disabled")
+		}
+	}
+}
+
+func TestTarjanSmallGraphs(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 (one SCC), 3 isolated, 4 -> 4 self loop.
+	succs := [][]int{{1}, {2}, {0}, {}, {4}}
+	sccs := tarjanSCC(succs)
+	sizes := map[int]int{}
+	for _, c := range sccs {
+		sizes[len(c)]++
+	}
+	if len(sccs) != 3 || sizes[3] != 1 || sizes[1] != 2 {
+		t.Errorf("sccs = %v", sccs)
+	}
+
+	// DAG: all singletons.
+	dag := [][]int{{1, 2}, {3}, {3}, {}}
+	if got := tarjanSCC(dag); len(got) != 4 {
+		t.Errorf("dag sccs = %v", got)
+	}
+
+	// Two separate cycles sharing no nodes.
+	two := [][]int{{1}, {0}, {3}, {2}}
+	if got := tarjanSCC(two); len(got) != 2 {
+		t.Errorf("two-cycle sccs = %v", got)
+	}
+
+	// Empty graph.
+	if got := tarjanSCC(nil); len(got) != 0 {
+		t.Errorf("empty sccs = %v", got)
+	}
+}
+
+func TestTarjanReverseTopologicalOrder(t *testing.T) {
+	// 0 -> 1 -> 2; Tarjan emits callee components first.
+	succs := [][]int{{1}, {2}, {}}
+	sccs := tarjanSCC(succs)
+	if len(sccs) != 3 {
+		t.Fatalf("sccs = %v", sccs)
+	}
+	if sccs[0][0] != 2 || sccs[2][0] != 0 {
+		t.Errorf("order not reverse topological: %v", sccs)
+	}
+}
+
+func TestCompileInfoCounts(t *testing.T) {
+	u := pointerChaseUnit(3)
+	_, info, err := Compile(u, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Insts == 0 || info.Groups == 0 {
+		t.Error("empty compile info")
+	}
+	if info.CriticalLoads != info.Restarts {
+		t.Errorf("critical loads %d != restarts %d", info.CriticalLoads, info.Restarts)
+	}
+}
+
+func TestCompileDoesNotMutateInput(t *testing.T) {
+	u := pointerChaseUnit(2)
+	before := len(u.Blocks[1].Insts)
+	if _, _, err := Compile(u, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Blocks[1].Insts) != before {
+		t.Error("Compile mutated the input unit")
+	}
+}

@@ -1,0 +1,201 @@
+package compile
+
+import (
+	"multipass/internal/isa"
+	"multipass/internal/prog"
+)
+
+// dfg is the whole-program data-flow graph: one node per static instruction
+// (global index across the unit's layout order), with a flow edge from every
+// reaching definition to each of its uses. Loop-carried flow shows up as
+// cycles, which is what the SCC pass looks for (paper §3.3).
+type dfg struct {
+	unit   *prog.Unit
+	insts  []*isa.Inst // global index -> instruction
+	home   []int       // global index -> block index
+	succs  [][]int     // def -> uses
+	preds  [][]int     // use -> defs
+	inDeg  []int
+	blocks [][]int // block index -> global indices
+}
+
+// bitset is a fixed-size bit vector used by the reaching-definitions solver.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// orInto ors src into b, reporting whether b changed.
+func (b bitset) orInto(src bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | src[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) copyFrom(src bitset) { copy(b, src) }
+
+func (b bitset) andNot(src bitset) {
+	for i := range b {
+		b[i] &^= src[i]
+	}
+}
+
+// buildDFG computes reaching definitions over the unit's CFG and returns the
+// def-use flow graph.
+func buildDFG(u *prog.Unit) *dfg {
+	g := &dfg{unit: u}
+
+	// Global numbering.
+	blockOf := make(map[string]int, len(u.Blocks))
+	for bi, b := range u.Blocks {
+		blockOf[b.Label] = bi
+		row := make([]int, len(b.Insts))
+		for ii := range b.Insts {
+			row[ii] = len(g.insts)
+			g.insts = append(g.insts, &b.Insts[ii])
+			g.home = append(g.home, bi)
+		}
+		g.blocks = append(g.blocks, row)
+	}
+	n := len(g.insts)
+	g.succs = make([][]int, n)
+	g.preds = make([][]int, n)
+	g.inDeg = make([]int, n)
+
+	// Definition numbering: one def per (instruction, written register).
+	type def struct {
+		inst int
+		reg  int // flat register
+	}
+	var defs []def
+	defsOfReg := make([][]int, isa.NumFlatRegs)
+	defAt := make([][]int, n) // inst -> its def IDs
+	var regBuf [4]isa.Reg
+	for gi, in := range g.insts {
+		for _, r := range in.Writes(regBuf[:0]) {
+			if r.IsZeroReg() {
+				continue
+			}
+			d := len(defs)
+			defs = append(defs, def{gi, r.Flat()})
+			defsOfReg[r.Flat()] = append(defsOfReg[r.Flat()], d)
+			defAt[gi] = append(defAt[gi], d)
+		}
+	}
+	nd := len(defs)
+
+	// Per-block gen/kill.
+	nb := len(u.Blocks)
+	gen := make([]bitset, nb)
+	kill := make([]bitset, nb)
+	for bi := range u.Blocks {
+		gen[bi] = newBitset(nd)
+		kill[bi] = newBitset(nd)
+		lastDefOf := make(map[int]int) // flat reg -> def ID
+		for _, gi := range g.blocks[bi] {
+			for _, d := range defAt[gi] {
+				lastDefOf[defs[d].reg] = d
+			}
+		}
+		for reg, d := range lastDefOf {
+			gen[bi].set(d)
+			for _, other := range defsOfReg[reg] {
+				if other != d {
+					kill[bi].set(other)
+				}
+			}
+		}
+		// A def earlier in the block that is re-defined later in the same
+		// block is killed as well; the map already keeps only the last.
+	}
+
+	// CFG successors.
+	cfgSuccs := make([][]int, nb)
+	for bi, b := range u.Blocks {
+		next := ""
+		if bi+1 < nb {
+			next = u.Blocks[bi+1].Label
+		}
+		for _, lbl := range b.Succs(next) {
+			cfgSuccs[bi] = append(cfgSuccs[bi], blockOf[lbl])
+		}
+	}
+
+	// Iterate IN/OUT to fixpoint.
+	in := make([]bitset, nb)
+	out := make([]bitset, nb)
+	for bi := 0; bi < nb; bi++ {
+		in[bi] = newBitset(nd)
+		out[bi] = newBitset(nd)
+		out[bi].copyFrom(gen[bi])
+	}
+	changed := true
+	tmp := newBitset(nd)
+	for changed {
+		changed = false
+		for bi := 0; bi < nb; bi++ {
+			for pi := 0; pi < nb; pi++ {
+				for _, s := range cfgSuccs[pi] {
+					if s == bi {
+						if in[bi].orInto(out[pi]) {
+							changed = true
+						}
+					}
+				}
+			}
+			tmp.copyFrom(in[bi])
+			tmp.andNot(kill[bi])
+			if out[bi].orInto(tmp) {
+				changed = true
+			}
+			if out[bi].orInto(gen[bi]) {
+				changed = true
+			}
+		}
+	}
+
+	// Def-use edges: walk each block tracking the current reaching set per
+	// register, seeded from IN.
+	addEdge := func(from, to int) {
+		g.succs[from] = append(g.succs[from], to)
+		g.preds[to] = append(g.preds[to], from)
+		g.inDeg[to]++
+	}
+	for bi := range u.Blocks {
+		cur := make(map[int][]int) // flat reg -> producing instruction set
+		for reg, ds := range defsOfReg {
+			for _, d := range ds {
+				if in[bi].has(d) {
+					cur[reg] = append(cur[reg], defs[d].inst)
+				}
+			}
+		}
+		for _, gi := range g.blocks[bi] {
+			inst := g.insts[gi]
+			for _, r := range inst.Reads(regBuf[:0]) {
+				if r.IsZeroReg() {
+					continue
+				}
+				for _, producer := range cur[r.Flat()] {
+					addEdge(producer, gi)
+				}
+			}
+			for _, r := range inst.Writes(regBuf[:0]) {
+				if r.IsZeroReg() {
+					continue
+				}
+				cur[r.Flat()] = []int{gi}
+			}
+		}
+	}
+	return g
+}

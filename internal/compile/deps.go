@@ -1,0 +1,133 @@
+// Package compile is the compiler substrate the paper's evaluation relies
+// on. It provides:
+//
+//   - dependence analysis and list scheduling of each basic block into
+//     compiler-specified issue groups (stop bits), standing in for
+//     OpenIMPACT's acyclic intra-block scheduling;
+//   - strongly-connected-component analysis of the program's data-flow
+//     graph (via reaching definitions and Tarjan's algorithm) to identify
+//     critical loads, and insertion of RESTART instructions after them,
+//     implementing the advance-restart placement of paper §3.3.
+//
+// Compile is the top-level entry point.
+package compile
+
+import "multipass/internal/isa"
+
+// edge is one scheduling dependence: the consumer may not be scheduled
+// earlier than latency cycles after the producer.
+type edge struct {
+	to      int // index within segment
+	latency int
+}
+
+// depGraph is the dependence DAG of one block segment.
+type depGraph struct {
+	n     int
+	succs [][]edge
+	preds []int // count of incoming edges, for list scheduling
+}
+
+// buildDeps constructs the dependence DAG for insts, a branch-free segment
+// of a basic block (the final instruction may be a branch).
+//
+// Register dependences: RAW edges carry the producer's latency; WAR and WAW
+// edges carry zero latency, which is safe because same-cycle instructions
+// are always emitted (and architecturally committed) in original program
+// order. Memory dependences are conservative: stores are ordered against
+// every other memory operation; loads commute with loads. A RESTART is
+// anchored to its producer (see schedule).
+func buildDeps(insts []isa.Inst) *depGraph {
+	n := len(insts)
+	g := &depGraph{n: n, succs: make([][]edge, n), preds: make([]int, n)}
+	addEdge := func(from, to, lat int) {
+		if from == to {
+			return
+		}
+		g.succs[from] = append(g.succs[from], edge{to, lat})
+		g.preds[to]++
+	}
+
+	// lastWriter/lastReaders per flat register.
+	lastWriter := make([]int, isa.NumFlatRegs)
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	lastReaders := make([][]int, isa.NumFlatRegs)
+	lastStore := -1
+	var memSinceStore []int // memory ops after lastStore
+
+	var regBuf [4]isa.Reg
+	for i := range insts {
+		in := &insts[i]
+		// Register reads: RAW from the last writer.
+		for _, r := range in.Reads(regBuf[:0]) {
+			if r.IsZeroReg() {
+				continue
+			}
+			f := r.Flat()
+			if w := lastWriter[f]; w >= 0 {
+				addEdge(w, i, insts[w].Op.Latency())
+			}
+			lastReaders[f] = append(lastReaders[f], i)
+		}
+		// Register writes: WAR from readers, WAW from the last writer.
+		for _, r := range in.Writes(regBuf[:0]) {
+			if r.IsZeroReg() {
+				continue
+			}
+			f := r.Flat()
+			for _, rd := range lastReaders[f] {
+				addEdge(rd, i, 0)
+			}
+			if w := lastWriter[f]; w >= 0 {
+				addEdge(w, i, 0)
+			}
+			lastWriter[f] = i
+			lastReaders[f] = lastReaders[f][:0]
+		}
+		// Memory ordering.
+		if in.Op.IsMem() {
+			if lastStore >= 0 {
+				lat := 0
+				if insts[i].Op.IsLoad() {
+					lat = 1 // no same-cycle store-to-load forwarding
+				}
+				addEdge(lastStore, i, lat)
+			}
+			if in.Op.IsStore() {
+				for _, m := range memSinceStore {
+					addEdge(m, i, 0)
+				}
+				lastStore = i
+				memSinceStore = memSinceStore[:0]
+			} else {
+				memSinceStore = append(memSinceStore, i)
+			}
+		}
+		// The final branch (if any) must come after everything else in
+		// program order; order is preserved by same-cycle emission rules,
+		// but the branch must not be scheduled before a producer of a
+		// register live out of the block. Those are covered by RAW edges
+		// above. Ordering of the branch itself is enforced in schedule.
+	}
+	return g
+}
+
+// criticalPathPriorities returns, for each node, the longest latency path
+// from the node to any sink. Nodes are indexed in program order, so a
+// reverse sweep visits successors first (the DAG's edges always point
+// forward in program order).
+func (g *depGraph) criticalPathPriorities(insts []isa.Inst) []int {
+	prio := make([]int, g.n)
+	for i := g.n - 1; i >= 0; i-- {
+		best := insts[i].Op.Latency()
+		for _, e := range g.succs[i] {
+			if v := e.latency + prio[e.to]; v > best {
+				best = v
+			}
+		}
+		prio[i] = best
+	}
+	return prio
+}

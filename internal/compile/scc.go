@@ -1,0 +1,81 @@
+package compile
+
+// tarjanSCC returns the strongly connected components of a directed graph
+// given by succs, in reverse topological order. Components are slices of
+// node indices. The implementation is iterative so pathological programs
+// cannot overflow the goroutine stack.
+func tarjanSCC(succs [][]int) [][]int {
+	n := len(succs)
+	const undef = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = undef
+	}
+	var (
+		stack   []int
+		sccs    [][]int
+		counter int
+	)
+
+	type frame struct {
+		v    int
+		next int // next successor offset to visit
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != undef {
+			continue
+		}
+		work := []frame{{root, 0}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.next < len(succs[v]) {
+				w := succs[v][f.next]
+				f.next++
+				if index[w] == undef {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{w, 0})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			// Done with v.
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccs
+}

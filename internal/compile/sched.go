@@ -1,0 +1,173 @@
+package compile
+
+import (
+	"sort"
+
+	"multipass/internal/isa"
+)
+
+// scheduleBlock list-schedules one basic block into issue groups under the
+// machine's FU capacities, rewriting the block's instruction order and stop
+// bits. Branches partition the block into independently scheduled segments;
+// a branch is always the last instruction of its segment. Returns the number
+// of issue groups produced.
+func scheduleBlock(insts []isa.Inst, labels []string, caps *isa.FUCaps) ([]isa.Inst, []string, int) {
+	outInsts := make([]isa.Inst, 0, len(insts))
+	outLabels := make([]string, 0, len(labels))
+	groups := 0
+	start := 0
+	for i := 0; i <= len(insts); i++ {
+		atEnd := i == len(insts)
+		if !atEnd && !isTerminator(insts[i].Op) {
+			continue
+		}
+		segEnd := i
+		if !atEnd {
+			segEnd = i + 1 // include the branch in the segment
+		}
+		if segEnd > start {
+			si, sl, g := scheduleSegment(insts[start:segEnd], labels[start:segEnd], caps)
+			outInsts = append(outInsts, si...)
+			outLabels = append(outLabels, sl...)
+			groups += g
+		}
+		start = segEnd
+	}
+	return outInsts, outLabels, groups
+}
+
+// isTerminator reports whether op ends a scheduling segment: control
+// transfers and halt must keep their position relative to every other
+// instruction.
+func isTerminator(op isa.Op) bool {
+	return op.IsBranch() || op.Kind() == isa.KindHalt
+}
+
+// scheduleSegment schedules one branch-free segment (with at most a single
+// trailing terminator).
+func scheduleSegment(insts []isa.Inst, labels []string, caps *isa.FUCaps) ([]isa.Inst, []string, int) {
+	n := len(insts)
+	if n == 0 {
+		return nil, nil, 0
+	}
+	hasBranch := isTerminator(insts[n-1].Op)
+
+	g := buildDeps(insts)
+	prio := g.criticalPathPriorities(insts)
+
+	const unscheduled = -1
+	cycleOf := make([]int, n)
+	earliest := make([]int, n)
+	remaining := make([]int, n)
+	for i := range cycleOf {
+		cycleOf[i] = unscheduled
+		remaining[i] = g.preds[i]
+	}
+
+	// The branch is handled after everything else so that it lands in (or
+	// after) the final group.
+	nBody := n
+	if hasBranch {
+		nBody = n - 1
+	}
+
+	scheduled := 0
+	cycle := 0
+	var use isa.FUUse
+	maxCycle := 0
+	for scheduled < nBody {
+		// Collect ready instructions for this cycle.
+		var ready []int
+		for i := 0; i < nBody; i++ {
+			if cycleOf[i] == unscheduled && remaining[i] == 0 && earliest[i] <= cycle {
+				ready = append(ready, i)
+			}
+		}
+		// RESTART hints first (they must trail their producer as closely as
+		// possible, paper §3.3), then longest critical path, then program
+		// order.
+		sort.Slice(ready, func(a, b int) bool {
+			ia, ib := ready[a], ready[b]
+			ra, rb := insts[ia].Op == isa.OpRestart, insts[ib].Op == isa.OpRestart
+			if ra != rb {
+				return ra
+			}
+			if prio[ia] != prio[ib] {
+				return prio[ia] > prio[ib]
+			}
+			return ia < ib
+		})
+		for _, i := range ready {
+			if !use.Fits(insts[i].Op, caps) {
+				continue
+			}
+			use.Add(insts[i].Op)
+			cycleOf[i] = cycle
+			if cycle > maxCycle {
+				maxCycle = cycle
+			}
+			scheduled++
+			for _, e := range g.succs[i] {
+				remaining[e.to]--
+				if c := cycle + e.latency; c > earliest[e.to] {
+					earliest[e.to] = c
+				}
+			}
+		}
+		cycle++
+		use.Reset()
+	}
+
+	if hasBranch {
+		br := n - 1
+		c := earliest[br]
+		if remaining[br] != 0 {
+			// All producers are scheduled by now; remaining can only be
+			// nonzero if the DAG is inconsistent.
+			panic("compile: branch has unscheduled dependence")
+		}
+		if scheduled > 0 && c < maxCycle {
+			c = maxCycle
+		}
+		// Check branch-unit availability in cycle c against body usage.
+		var cu isa.FUUse
+		for i := 0; i < nBody; i++ {
+			if cycleOf[i] == c {
+				cu.Add(insts[i].Op)
+			}
+		}
+		if !cu.Fits(insts[br].Op, caps) {
+			c++
+		}
+		cycleOf[br] = c
+		if c > maxCycle {
+			maxCycle = c
+		}
+	}
+
+	// Emit in (cycle, original index) order; stop bit ends each group.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if cycleOf[ia] != cycleOf[ib] {
+			return cycleOf[ia] < cycleOf[ib]
+		}
+		return ia < ib
+	})
+	outInsts := make([]isa.Inst, n)
+	outLabels := make([]string, n)
+	groups := 0
+	for k, i := range order {
+		outInsts[k] = insts[i]
+		outLabels[k] = labels[i]
+		last := k == n-1 || cycleOf[order[k+1]] != cycleOf[i]
+		outInsts[k].Stop = last
+		if last {
+			groups++
+		}
+	}
+	return outInsts, outLabels, groups
+}

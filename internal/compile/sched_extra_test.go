@@ -1,0 +1,196 @@
+package compile
+
+import (
+	"testing"
+
+	"multipass/internal/isa"
+	"multipass/internal/prog"
+)
+
+// TestRestartStaysNearProducer: the scheduler must anchor a RESTART close
+// behind its producing load (paper §3.3 places it immediately after), not
+// let it drift to the end of the segment.
+func TestRestartStaysNearProducer(t *testing.T) {
+	u := prog.NewUnit()
+	b := u.NewBlock("entry")
+	b.MovI(isa.IntReg(1), 0x1000)
+	b.Load(isa.OpLd4, isa.IntReg(2), isa.IntReg(1), 0)
+	b.Restart(isa.IntReg(2))
+	// A pile of independent work that would otherwise fill the early
+	// groups.
+	for i := 3; i < 30; i++ {
+		b.MovI(isa.IntReg(i), int32(i))
+	}
+	b.Halt()
+	p, _, err := Compile(u, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadIdx, restartIdx := -1, -1
+	for i := range p.Insts {
+		if p.Insts[i].Op == isa.OpLd4 {
+			loadIdx = i
+		}
+		if p.Insts[i].Op == isa.OpRestart {
+			restartIdx = i
+		}
+	}
+	if loadIdx < 0 || restartIdx < 0 {
+		t.Fatal("load or restart missing")
+	}
+	if restartIdx < loadIdx {
+		t.Fatalf("restart at %d before its load at %d", restartIdx, loadIdx)
+	}
+	// With 27 independent movis competing, an unanchored restart would sink
+	// to the tail; anchored, it lands within a couple of groups of the load.
+	if restartIdx-loadIdx > 12 {
+		t.Errorf("restart drifted %d instructions past its load:\n%s", restartIdx-loadIdx, p)
+	}
+}
+
+// TestLatencySpacing: a consumer of a multiply must land in a later issue
+// group than the multiply. (Empty cycles between groups are not encoded in
+// the stop-bit stream — the hardware scoreboard enforces the actual
+// latency — so the observable contract is strictly-later group, never the
+// same group.)
+func TestLatencySpacing(t *testing.T) {
+	u := prog.NewUnit()
+	b := u.NewBlock("entry")
+	b.MovI(isa.IntReg(1), 3)
+	b.Op3(isa.OpMul, isa.IntReg(2), isa.IntReg(1), isa.IntReg(1))
+	b.Op3(isa.OpAdd, isa.IntReg(3), isa.IntReg(2), isa.IntReg(2))
+	b.Halt()
+	p, _, err := Compile(u, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count group boundaries between the mul and its consumer.
+	mulIdx, addIdx := -1, -1
+	for i := range p.Insts {
+		if p.Insts[i].Op == isa.OpMul {
+			mulIdx = i
+		}
+		if p.Insts[i].Op == isa.OpAdd {
+			addIdx = i
+		}
+	}
+	if mulIdx < 0 || addIdx < 0 || addIdx < mulIdx {
+		t.Fatalf("mul/add order wrong: %d, %d", mulIdx, addIdx)
+	}
+	groups := 0
+	for i := mulIdx; i < addIdx; i++ {
+		if p.Insts[i].Stop {
+			groups++
+		}
+	}
+	if groups < 1 {
+		t.Errorf("consumer shares the mul's issue group:\n%s", p)
+	}
+}
+
+// TestStopBitsTerminateEveryGroup: the final instruction of the program and
+// of every block must carry a stop bit.
+func TestStopBitsTerminateEveryGroup(t *testing.T) {
+	u := pointerChaseUnit(3)
+	p, _, err := Compile(u, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Insts[len(p.Insts)-1].Stop {
+		t.Error("program does not end on a stop bit")
+	}
+	// Branches end their group.
+	for i := range p.Insts {
+		if p.Insts[i].Op.IsBranch() && !p.Insts[i].Stop {
+			t.Errorf("branch at %d lacks a stop bit", i)
+		}
+	}
+}
+
+// TestSegmentationAroundMidBlockBranch: instructions after a mid-block
+// branch must never be scheduled before it.
+func TestSegmentationAroundMidBlockBranch(t *testing.T) {
+	u := prog.NewUnit()
+	b := u.NewBlock("entry")
+	b.MovI(isa.IntReg(1), 5)
+	b.CmpI(isa.OpCmpEqI, isa.PredReg(1), isa.PredReg(2), isa.IntReg(1), 5)
+	b.Br(isa.PredReg(1), "out")
+	b.MovI(isa.IntReg(2), 1) // fallthrough-only work
+	b.MovI(isa.IntReg(3), 2)
+	u.NewBlock("out").Halt()
+	p, _, err := Compile(u, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	brIdx := -1
+	for i := range p.Insts {
+		if p.Insts[i].Op == isa.OpBr {
+			brIdx = i
+		}
+	}
+	for i := 0; i < brIdx; i++ {
+		if p.Insts[i].Dst == isa.IntReg(2) || p.Insts[i].Dst == isa.IntReg(3) {
+			t.Fatalf("post-branch work hoisted above the branch:\n%s", p)
+		}
+	}
+}
+
+// TestDFGSelfLoop: a single instruction that feeds itself through the loop
+// (ld4 r1 = [r1] in a loop) forms an SCC by itself.
+func TestDFGSelfLoop(t *testing.T) {
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(isa.IntReg(1), 0x1000)
+	e.MovI(isa.IntReg(2), 10)
+	loop := u.NewBlock("loop")
+	loop.Load(isa.OpLd4, isa.IntReg(1), isa.IntReg(1), 0) // r1 = [r1]
+	loop.Load(isa.OpLd4, isa.IntReg(3), isa.IntReg(1), 4)
+	loop.Load(isa.OpLd4, isa.IntReg(4), isa.IntReg(1), 8)
+	loop.OpI(isa.OpSubI, isa.IntReg(2), isa.IntReg(2), 1)
+	loop.CmpI(isa.OpCmpNeI, isa.PredReg(1), isa.PredReg(2), isa.IntReg(2), 0)
+	loop.Br(isa.PredReg(1), "loop")
+	u.NewBlock("exit").Halt()
+
+	g := buildDFG(u)
+	ca := findCriticalLoads(g, 2, 2)
+	if len(ca.CriticalLoads) == 0 {
+		t.Fatal("self-loop chase load not detected as critical")
+	}
+}
+
+// TestReachingDefsAcrossBlocks: a use in a later block sees definitions
+// from every predecessor path.
+func TestReachingDefsAcrossBlocks(t *testing.T) {
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(isa.IntReg(1), 1) // def A
+	e.CmpI(isa.OpCmpEqI, isa.PredReg(1), isa.PredReg(2), isa.IntReg(1), 1)
+	e.Br(isa.PredReg(1), "join")
+	alt := u.NewBlock("alt")
+	alt.MovI(isa.IntReg(1), 2) // def B
+	j := u.NewBlock("join")
+	j.Op3(isa.OpAdd, isa.IntReg(2), isa.IntReg(1), isa.IntReg(1)) // use
+	j.Halt()
+
+	g := buildDFG(u)
+	// Find the global index of the use (the add) and check it has two
+	// distinct producers.
+	var useIdx = -1
+	for gi, in := range g.insts {
+		if in.Op == isa.OpAdd {
+			useIdx = gi
+		}
+	}
+	if useIdx < 0 {
+		t.Fatal("use not found")
+	}
+	producers := map[int]bool{}
+	for _, p := range g.preds[useIdx] {
+		if g.insts[p].Op == isa.OpMovI {
+			producers[p] = true
+		}
+	}
+	if len(producers) != 2 {
+		t.Errorf("use sees %d movi producers, want 2 (both paths)", len(producers))
+	}
+}

@@ -1,0 +1,282 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/prog"
+)
+
+// runBoth links the unit unscheduled and compiled with opts, runs both on
+// clones of mem, and checks that the final architectural states agree.
+func runBoth(t *testing.T, u *prog.Unit, opts Options, mem *arch.Memory) (*arch.RunResult, *arch.RunResult) {
+	t.Helper()
+	ref, err := u.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, info, err := Compile(u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem == nil {
+		mem = arch.NewMemory()
+	}
+	m1, m2 := mem.Clone(), mem.Clone()
+	r1, err := arch.Run(ref, m1, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := arch.Run(sched, m2, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := map[isa.Reg]bool{}
+	for _, r := range info.Scratch {
+		scratch[r] = true
+	}
+	var diverged []isa.Reg
+	for _, r := range r1.State.RF.Diff(r2.State.RF) {
+		if !scratch[r] {
+			diverged = append(diverged, r)
+		}
+	}
+	if len(diverged) > 0 {
+		t.Fatalf("register state diverged after scheduling: %v\nprogram:\n%s", diverged, sched)
+	}
+	if !m1.Equal(m2) {
+		t.Fatalf("memory diverged after scheduling\nprogram:\n%s", sched)
+	}
+	return r1, r2
+}
+
+func TestSchedulePreservesCountdown(t *testing.T) {
+	u := prog.NewUnit()
+	r1, r2 := isa.IntReg(1), isa.IntReg(2)
+	e := u.NewBlock("entry")
+	e.MovI(r1, 20)
+	e.MovI(r2, 0)
+	loop := u.NewBlock("loop")
+	loop.Op3(isa.OpAdd, r2, r2, r1)
+	loop.OpI(isa.OpSubI, r1, r1, 1)
+	loop.CmpI(isa.OpCmpNeI, isa.PredReg(1), isa.PredReg(2), r1, 0)
+	loop.Br(isa.PredReg(1), "loop")
+	u.NewBlock("exit").Halt()
+	runBoth(t, u, DefaultOptions(), nil)
+}
+
+func TestSchedulePacksIndependentOps(t *testing.T) {
+	u := prog.NewUnit()
+	b := u.NewBlock("entry")
+	for i := 1; i <= 6; i++ {
+		b.MovI(isa.IntReg(i), int32(i))
+	}
+	b.Halt()
+	p, info, err := Compile(u, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six independent movi fit in one 6-wide group; halt needs a branch
+	// unit in its own or the same group.
+	if info.Groups > 2 {
+		t.Errorf("independent ops scheduled into %d groups:\n%s", info.Groups, p)
+	}
+}
+
+func TestScheduleSerializesDependentChain(t *testing.T) {
+	u := prog.NewUnit()
+	b := u.NewBlock("entry")
+	b.MovI(isa.IntReg(1), 1)
+	for i := 2; i <= 7; i++ {
+		b.Op3(isa.OpAdd, isa.IntReg(i), isa.IntReg(i-1), isa.IntReg(i-1))
+	}
+	b.Halt()
+	_, info, err := Compile(u, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Groups < 7 {
+		t.Errorf("dependent chain packed into %d groups, want >= 7", info.Groups)
+	}
+	runBoth(t, u, DefaultOptions(), nil)
+}
+
+func TestScheduleRespectsLoadPorts(t *testing.T) {
+	u := prog.NewUnit()
+	b := u.NewBlock("entry")
+	b.MovI(isa.IntReg(1), 0x100)
+	for i := 2; i <= 7; i++ {
+		b.Load(isa.OpLd4, isa.IntReg(i), isa.IntReg(1), int32(4*i))
+	}
+	b.Halt()
+	p, _, err := Compile(u, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count loads per issue group; never more than MaxLoads.
+	caps := isa.DefaultFUCaps()
+	loads := 0
+	for i := range p.Insts {
+		if p.Insts[i].Op.IsLoad() {
+			loads++
+		}
+		if p.Insts[i].Stop {
+			if loads > caps.MaxLoads {
+				t.Fatalf("group ending at %d has %d loads (max %d):\n%s", i, loads, caps.MaxLoads, p)
+			}
+			loads = 0
+		}
+	}
+}
+
+func TestScheduleKeepsBranchLast(t *testing.T) {
+	u := prog.NewUnit()
+	b := u.NewBlock("entry")
+	b.MovI(isa.IntReg(1), 5)
+	b.CmpI(isa.OpCmpEqI, isa.PredReg(1), isa.PredReg(2), isa.IntReg(1), 5)
+	b.MovI(isa.IntReg(2), 9) // independent, could float anywhere
+	b.MovI(isa.IntReg(3), 9)
+	b.Br(isa.PredReg(1), "target")
+	b.MovI(isa.IntReg(4), 1) // fallthrough path
+	u.NewBlock("target").Halt()
+	p, _, err := Compile(u, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the branch; every instruction after it must come from the
+	// post-branch segment (here: the single movi r4 and halt).
+	brIdx := -1
+	for i := range p.Insts {
+		if p.Insts[i].Op == isa.OpBr {
+			brIdx = i
+		}
+	}
+	if brIdx < 0 {
+		t.Fatal("branch disappeared")
+	}
+	for i := 0; i < brIdx; i++ {
+		if p.Insts[i].Dst == isa.IntReg(4) {
+			t.Fatalf("post-branch instruction hoisted above branch:\n%s", p)
+		}
+	}
+	runBoth(t, u, DefaultOptions(), nil)
+}
+
+func TestScheduleStoreLoadOrder(t *testing.T) {
+	// st [r1]; ld r2=[r1] must not be reordered or co-issued such that the
+	// load misses the stored value.
+	u := prog.NewUnit()
+	b := u.NewBlock("entry")
+	b.MovI(isa.IntReg(1), 0x200)
+	b.MovI(isa.IntReg(3), 77)
+	b.Store(isa.OpSt4, isa.IntReg(1), 0, isa.IntReg(3))
+	b.Load(isa.OpLd4, isa.IntReg(2), isa.IntReg(1), 0)
+	b.Store(isa.OpSt4, isa.IntReg(1), 4, isa.IntReg(2))
+	b.Halt()
+	_, res := runBoth(t, u, DefaultOptions(), nil)
+	if got := res.State.RF.Read(isa.IntReg(2)).Uint32(); got != 77 {
+		t.Errorf("load after store read %d, want 77", got)
+	}
+}
+
+func TestScheduleWithoutScheduling(t *testing.T) {
+	u := prog.NewUnit()
+	b := u.NewBlock("entry")
+	b.MovI(isa.IntReg(1), 1)
+	b.MovI(isa.IntReg(2), 2)
+	b.Halt()
+	opts := DefaultOptions()
+	opts.Schedule = false
+	p, info, err := Compile(u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Groups != 3 {
+		t.Errorf("unscheduled groups = %d, want 3", info.Groups)
+	}
+	for i := range p.Insts {
+		if !p.Insts[i].Stop {
+			t.Errorf("inst %d missing stop bit in unscheduled mode", i)
+		}
+	}
+}
+
+// randomStraightLine generates a random branch-free program touching a small
+// register and memory window, for the semantic-preservation property test.
+func randomStraightLine(rng *rand.Rand, n int) *prog.Unit {
+	u := prog.NewUnit()
+	b := u.NewBlock("entry")
+	b.MovI(isa.IntReg(1), 0x1000) // memory base
+	regs := []isa.Reg{isa.IntReg(2), isa.IntReg(3), isa.IntReg(4), isa.IntReg(5), isa.IntReg(6)}
+	anyReg := func() isa.Reg { return regs[rng.Intn(len(regs))] }
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			b.Load(isa.OpLd4, anyReg(), isa.IntReg(1), int32(4*rng.Intn(16)))
+		case 1:
+			b.Store(isa.OpSt4, isa.IntReg(1), int32(4*rng.Intn(16)), anyReg())
+		case 2:
+			b.OpI(isa.OpAddI, anyReg(), anyReg(), int32(rng.Intn(100)))
+		case 3:
+			b.Op3(isa.OpMul, anyReg(), anyReg(), anyReg())
+		case 4:
+			b.CmpI(isa.OpCmpLtI, isa.PredReg(1), isa.PredReg(2), anyReg(), int32(rng.Intn(50)))
+		case 5:
+			in := b.OpI(isa.OpAddI, anyReg(), anyReg(), 1)
+			if rng.Intn(2) == 0 {
+				in.QP = isa.PredReg(1)
+			} else {
+				in.QP = isa.PredReg(2)
+			}
+		case 6:
+			b.Op3(isa.OpXor, anyReg(), anyReg(), anyReg())
+		case 7:
+			b.Op3(isa.OpSub, anyReg(), anyReg(), anyReg())
+		case 8:
+			b.OpI(isa.OpShlI, anyReg(), anyReg(), int32(rng.Intn(5)))
+		case 9:
+			b.Op3(isa.OpAnd, anyReg(), anyReg(), anyReg())
+		}
+	}
+	b.Halt()
+	return u
+}
+
+func TestSchedulePreservesRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		u := randomStraightLine(rng, 60)
+		mem := arch.NewMemory()
+		for i := 0; i < 16; i++ {
+			mem.Store(uint32(0x1000+4*i), 4, uint64(rng.Uint32()))
+		}
+		runBoth(t, u, DefaultOptions(), mem)
+	}
+}
+
+func TestSchedulePreservesRandomLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		u := prog.NewUnit()
+		e := u.NewBlock("entry")
+		e.MovI(isa.IntReg(10), int32(3+rng.Intn(8))) // trip count
+		e.MovI(isa.IntReg(1), 0x1000)
+		loop := u.NewBlock("loop")
+		body := randomStraightLine(rng, 25).Blocks[0]
+		// Copy the body (minus its own halt and base init).
+		for i := 1; i < len(body.Insts)-1; i++ {
+			loop.Emit(body.Insts[i], "")
+		}
+		loop.OpI(isa.OpSubI, isa.IntReg(10), isa.IntReg(10), 1)
+		loop.CmpI(isa.OpCmpNeI, isa.PredReg(3), isa.PredReg(4), isa.IntReg(10), 0)
+		loop.Br(isa.PredReg(3), "loop")
+		u.NewBlock("exit").Halt()
+		mem := arch.NewMemory()
+		for i := 0; i < 16; i++ {
+			mem.Store(uint32(0x1000+4*i), 4, uint64(rng.Uint32()))
+		}
+		runBoth(t, u, DefaultOptions(), mem)
+	}
+}

@@ -1,0 +1,280 @@
+package compile
+
+import (
+	"multipass/internal/isa"
+	"multipass/internal/prog"
+)
+
+// unrollLoops unrolls eligible single-block self-loops by the given factor,
+// standing in for the cross-iteration static ILP OpenIMPACT's unrolling and
+// modulo scheduling expose (paper §5.1). It returns the number of loops
+// unrolled.
+//
+// A block is eligible when:
+//
+//   - its final instruction is a conditional branch to the block itself,
+//   - the branch's qualifying predicate is produced, together with its
+//     complement, by a compare earlier in the block (our canonical loop
+//     tail: `cmp pT, pF = ...; (pT) br self`), with no later redefinition,
+//   - the block contains no other branches, and
+//   - the block is not the last in the unit (the fallthrough successor
+//     provides the early-exit target).
+//
+// The transformation emits factor copies of the body. Copies 1..factor-1
+// end with `(pF) br fallthrough` (exit as soon as the continue condition
+// fails); the final copy keeps `(pT) br self`. This preserves semantics for
+// every trip count. Block-local temporaries (registers defined before any
+// use inside the body and referenced nowhere else in the unit) are renamed
+// per copy from the unit's unused registers, giving the scheduler
+// independent dependence chains to interleave.
+func unrollLoops(u *prog.Unit, factor int) (int, []isa.Reg) {
+	if factor < 2 {
+		return 0, nil
+	}
+	unrolled := 0
+	var scratch []isa.Reg
+	for bi, b := range u.Blocks {
+		if bi+1 >= len(u.Blocks) {
+			continue
+		}
+		if !eligibleSelfLoop(b) {
+			continue
+		}
+		exitLabel := u.Blocks[bi+1].Label
+		if s := unrollOne(u, b, exitLabel, factor); s != nil {
+			unrolled++
+			scratch = append(scratch, s...)
+		}
+	}
+	return unrolled, scratch
+}
+
+// eligibleSelfLoop reports whether b matches the canonical self-loop shape.
+func eligibleSelfLoop(b *prog.Block) bool {
+	n := len(b.Insts)
+	if n < 2 {
+		return false
+	}
+	last := &b.Insts[n-1]
+	if last.Op != isa.OpBr || b.BranchLabels[n-1] != b.Label {
+		return false
+	}
+	// Exactly one branch (the back edge).
+	for i := 0; i < n-1; i++ {
+		if b.Insts[i].Op.Info().Shape.Branch {
+			return false
+		}
+	}
+	return findLoopCompare(b) >= 0
+}
+
+// findLoopCompare locates the compare producing the back edge's predicate
+// and its complement, with no later redefinition of either.
+func findLoopCompare(b *prog.Block) int {
+	n := len(b.Insts)
+	qp := b.Insts[n-1].QP
+	var regBuf [4]isa.Reg
+	for i := n - 2; i >= 0; i-- {
+		in := &b.Insts[i]
+		writesQP := false
+		for _, w := range in.Writes(regBuf[:0]) {
+			if w == qp {
+				writesQP = true
+			}
+		}
+		if !writesQP {
+			continue
+		}
+		// The last writer of the predicate must be a compare writing the
+		// complement too (Dst = qp, Dst2 = complement).
+		if in.Dst == qp && in.Dst2.Class == isa.RegClassPred && !in.Dst2.IsZeroReg() {
+			return i
+		}
+		return -1
+	}
+	return -1
+}
+
+// unrollOne rewrites one eligible block, returning the scratch registers
+// whose final values are no longer preserved (the renamed loop temporaries
+// and their fresh names), or nil if the rewrite was abandoned. The returned
+// slice is non-nil (possibly empty) on success.
+func unrollOne(u *prog.Unit, b *prog.Block, exitLabel string, factor int) []isa.Reg {
+	n := len(b.Insts)
+	cmpIdx := findLoopCompare(b)
+	if cmpIdx < 0 {
+		return nil
+	}
+	body := b.Insts[:n-1] // without the back edge
+	backEdge := b.Insts[n-1]
+	exitQP := b.Insts[cmpIdx].Dst2
+
+	renameable := renameableTemps(u, b, body)
+	pools := freeRegisters(u)
+	scratch := append([]isa.Reg{}, renameable...)
+
+	var outInsts []isa.Inst
+	var outLabels []string
+	emit := func(in isa.Inst, label string) {
+		outInsts = append(outInsts, in)
+		outLabels = append(outLabels, label)
+	}
+
+	var regBuf [4]isa.Reg
+	for copyIdx := 0; copyIdx < factor; copyIdx++ {
+		// Per-copy renaming of block-local temps. The final copy also gets
+		// fresh names (the temps are referenced nowhere else, so nothing
+		// downstream observes them).
+		rename := map[isa.Reg]isa.Reg{}
+		if copyIdx > 0 {
+			for _, r := range renameable {
+				if fresh, ok := pools.take(r.Class); ok {
+					rename[r] = fresh
+					scratch = append(scratch, fresh)
+				}
+			}
+		}
+		apply := func(r isa.Reg) isa.Reg {
+			if nr, ok := rename[r]; ok {
+				return nr
+			}
+			return r
+		}
+		exitQPCopy := exitQP
+		for i := range body {
+			in := body[i]
+			in.QP = apply(in.QP)
+			in.Dst = apply(in.Dst)
+			in.Dst2 = apply(in.Dst2)
+			in.Src1 = apply(in.Src1)
+			in.Src2 = apply(in.Src2)
+			if i == cmpIdx {
+				exitQPCopy = in.Dst2
+			}
+			emit(in, "")
+			_ = regBuf
+		}
+		if copyIdx < factor-1 {
+			// Early exit between copies: continue-condition false.
+			emit(isa.Inst{Op: isa.OpBr, QP: exitQPCopy, Target: -1}, exitLabel)
+		} else {
+			// Final copy keeps the back edge (with any renamed predicate).
+			be := backEdge
+			be.QP = apply(be.QP)
+			emit(be, b.Label)
+		}
+	}
+	b.Insts = outInsts
+	b.BranchLabels = outLabels
+	return scratch
+}
+
+// renameableTemps returns the registers that are defined before any use
+// within the body and referenced in no other block of the unit: pure
+// block-local temporaries safe to rename per copy.
+func renameableTemps(u *prog.Unit, home *prog.Block, body []isa.Inst) []isa.Reg {
+	var regBuf [4]isa.Reg
+	readFirst := map[isa.Reg]bool{}
+	written := map[isa.Reg]bool{}
+	for i := range body {
+		in := &body[i]
+		for _, r := range in.Reads(regBuf[:0]) {
+			if !written[r] {
+				readFirst[r] = true
+			}
+		}
+		// A predicated write merges with the destination's prior value (the
+		// write may be squashed), so it reads the register across the loop
+		// back edge; only an unpredicated write fully defines it.
+		predicated := in.QP != isa.P0
+		for _, w := range in.Writes(regBuf[:0]) {
+			if predicated {
+				if !written[w] {
+					readFirst[w] = true
+				}
+				continue
+			}
+			written[w] = true
+		}
+	}
+	usedElsewhere := map[isa.Reg]bool{}
+	for _, blk := range u.Blocks {
+		if blk == home {
+			continue
+		}
+		for i := range blk.Insts {
+			in := &blk.Insts[i]
+			for _, r := range in.Reads(regBuf[:0]) {
+				usedElsewhere[r] = true
+			}
+			for _, w := range in.Writes(regBuf[:0]) {
+				usedElsewhere[w] = true
+			}
+		}
+	}
+	var out []isa.Reg
+	for r := range written {
+		if r.IsZeroReg() || readFirst[r] || usedElsewhere[r] {
+			continue
+		}
+		out = append(out, r)
+	}
+	// Deterministic order.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Flat() < out[i].Flat() {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// regPools hands out registers unused anywhere in the unit.
+type regPools struct {
+	free map[isa.RegClass][]isa.Reg
+}
+
+func freeRegisters(u *prog.Unit) *regPools {
+	used := map[isa.Reg]bool{}
+	var regBuf [4]isa.Reg
+	for _, blk := range u.Blocks {
+		for i := range blk.Insts {
+			in := &blk.Insts[i]
+			for _, r := range in.Reads(regBuf[:0]) {
+				used[r] = true
+			}
+			for _, w := range in.Writes(regBuf[:0]) {
+				used[w] = true
+			}
+		}
+	}
+	p := &regPools{free: map[isa.RegClass][]isa.Reg{}}
+	for i := 1; i < isa.NumIntRegs; i++ {
+		if r := isa.IntReg(i); !used[r] {
+			p.free[isa.RegClassInt] = append(p.free[isa.RegClassInt], r)
+		}
+	}
+	for i := 0; i < isa.NumFPRegs; i++ {
+		if r := isa.FPReg(i); !used[r] {
+			p.free[isa.RegClassFP] = append(p.free[isa.RegClassFP], r)
+		}
+	}
+	for i := 1; i < isa.NumPredRegs; i++ {
+		if r := isa.PredReg(i); !used[r] {
+			p.free[isa.RegClassPred] = append(p.free[isa.RegClassPred], r)
+		}
+	}
+	return p
+}
+
+// take pops a free register of the class, if any remain.
+func (p *regPools) take(c isa.RegClass) (isa.Reg, bool) {
+	pool := p.free[c]
+	if len(pool) == 0 {
+		return isa.None, false
+	}
+	r := pool[len(pool)-1]
+	p.free[c] = pool[:len(pool)-1]
+	return r, true
+}

@@ -1,0 +1,182 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/prog"
+)
+
+// streamLoop builds a canonical eligible self-loop: load, FP-ish work
+// through a pure temporary, accumulate, advance, test, branch.
+func streamLoop(trip int32) *prog.Unit {
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(isa.IntReg(1), 0x1000) // base
+	e.MovI(isa.IntReg(2), trip)   // count
+	e.MovI(isa.IntReg(3), 0)      // acc
+	b := u.NewBlock("loop")
+	b.Load(isa.OpLd4, isa.IntReg(4), isa.IntReg(1), 0) // temp (renameable)
+	b.Op3(isa.OpMul, isa.IntReg(5), isa.IntReg(4), isa.IntReg(4))
+	b.Op3(isa.OpAdd, isa.IntReg(3), isa.IntReg(3), isa.IntReg(5))
+	b.OpI(isa.OpAddI, isa.IntReg(1), isa.IntReg(1), 4)
+	b.OpI(isa.OpSubI, isa.IntReg(2), isa.IntReg(2), 1)
+	b.CmpI(isa.OpCmpNeI, isa.PredReg(1), isa.PredReg(2), isa.IntReg(2), 0)
+	b.Br(isa.PredReg(1), "loop")
+	x := u.NewBlock("exit")
+	x.MovI(isa.IntReg(9), 0x8000)
+	x.Store(isa.OpSt4, isa.IntReg(9), 0, isa.IntReg(3))
+	x.Halt()
+	return u
+}
+
+// TestUnrollCorrectForAllTripCounts: unrolling must preserve the live-out
+// accumulator for every trip count, including those not divisible by the
+// unroll factor.
+func TestUnrollCorrectForAllTripCounts(t *testing.T) {
+	for _, factor := range []int{2, 3, 4} {
+		for trip := int32(1); trip <= 9; trip++ {
+			u := streamLoop(trip)
+			ref, err := u.Link()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.Unroll = factor
+			p, info, err := Compile(u, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Unrolled != 1 {
+				t.Fatalf("factor %d trip %d: unrolled %d loops, want 1", factor, trip, info.Unrolled)
+			}
+			mem := arch.NewMemory()
+			for i := 0; i < 16; i++ {
+				mem.Store(uint32(0x1000+4*i), 4, uint64(i+2))
+			}
+			r1, err := arch.Run(ref, mem.Clone(), 100000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := arch.Run(p, mem.Clone(), 100000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := r1.State.RF.Read(isa.IntReg(3)).Uint32()
+			got := r2.State.RF.Read(isa.IntReg(3)).Uint32()
+			if got != want {
+				t.Errorf("factor %d trip %d: acc = %d, want %d\n%s", factor, trip, got, want, p)
+			}
+		}
+	}
+}
+
+// TestUnrollRenamesTemps: the pure temporary (r4/r5 above) must get fresh
+// names in later copies so the chains are independent.
+func TestUnrollRenamesTemps(t *testing.T) {
+	u := streamLoop(10)
+	opts := DefaultOptions()
+	opts.Unroll = 2
+	opts.Schedule = false // keep program order readable
+	p, info, err := Compile(u, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Scratch) == 0 {
+		t.Fatal("no scratch registers reported")
+	}
+	// The second copy's load must not target r4.
+	loads := 0
+	secondLoadDst := isa.None
+	for i := range p.Insts {
+		if p.Insts[i].Op == isa.OpLd4 {
+			loads++
+			if loads == 2 {
+				secondLoadDst = p.Insts[i].Dst
+			}
+		}
+	}
+	if loads != 2 {
+		t.Fatalf("loads = %d, want 2", loads)
+	}
+	if secondLoadDst == isa.IntReg(4) {
+		t.Errorf("second copy's temp not renamed:\n%s", p)
+	}
+}
+
+// TestUnrollSkipsIneligibleLoops: multi-block loops and loops whose branch
+// predicate is not a complement-producing compare stay untouched.
+func TestUnrollSkipsIneligibleLoops(t *testing.T) {
+	// Multi-block loop.
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(isa.IntReg(1), 5)
+	h := u.NewBlock("head")
+	h.OpI(isa.OpSubI, isa.IntReg(1), isa.IntReg(1), 1)
+	h.CmpI(isa.OpCmpNeI, isa.PredReg(1), isa.PredReg(2), isa.IntReg(1), 3)
+	h.Br(isa.PredReg(1), "tail")
+	mid := u.NewBlock("mid")
+	mid.MovI(isa.IntReg(2), 9)
+	tl := u.NewBlock("tail")
+	tl.CmpI(isa.OpCmpNeI, isa.PredReg(3), isa.PredReg(4), isa.IntReg(1), 0)
+	tl.Br(isa.PredReg(3), "head")
+	u.NewBlock("exit").Halt()
+	_, info, err := Compile(u, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Unrolled != 0 {
+		t.Errorf("multi-block loop unrolled %d times", info.Unrolled)
+	}
+}
+
+// TestUnrollImprovesStaticILP: the unrolled stream loop packs into fewer
+// groups per iteration than 2x the rolled loop's groups.
+func TestUnrollImprovesStaticILP(t *testing.T) {
+	rolled := DefaultOptions()
+	rolled.Unroll = 1
+	_, rInfo, err := Compile(streamLoop(100), rolled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrolled := DefaultOptions()
+	unrolled.Unroll = 2
+	_, uInfo, err := Compile(streamLoop(100), unrolled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uInfo.Groups >= 2*rInfo.Groups {
+		t.Errorf("unrolled static schedule has %d groups vs rolled %d: no compaction",
+			uInfo.Groups, rInfo.Groups)
+	}
+}
+
+// TestUnrollRandomLoopsAllFactors fuzzes the transformation against the
+// reference across factors, masking scratch registers.
+func TestUnrollRandomLoopsAllFactors(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 40; trial++ {
+		u := prog.NewUnit()
+		e := u.NewBlock("entry")
+		e.MovI(isa.IntReg(10), int32(1+rng.Intn(9)))
+		e.MovI(isa.IntReg(1), 0x1000)
+		loop := u.NewBlock("loop")
+		body := randomStraightLine(rng, 18).Blocks[0]
+		for i := 1; i < len(body.Insts)-1; i++ {
+			loop.Emit(body.Insts[i], "")
+		}
+		loop.OpI(isa.OpSubI, isa.IntReg(10), isa.IntReg(10), 1)
+		loop.CmpI(isa.OpCmpNeI, isa.PredReg(3), isa.PredReg(4), isa.IntReg(10), 0)
+		loop.Br(isa.PredReg(3), "loop")
+		u.NewBlock("exit").Halt()
+		mem := arch.NewMemory()
+		for i := 0; i < 16; i++ {
+			mem.Store(uint32(0x1000+4*i), 4, uint64(rng.Uint32()))
+		}
+		opts := DefaultOptions()
+		opts.Unroll = 2 + trial%3
+		runBoth(t, u, opts, mem)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"multipass/internal/isa"
+)
+
+func TestASCExactForwarding(t *testing.T) {
+	a := newASC(64, 2)
+	a.insert(0x1000, 4, isa.IntWord(42), false)
+	res, v := a.lookup(0x1000, 4)
+	if res != ascHit || v.Uint32() != 42 {
+		t.Errorf("lookup = %v, %d", res, v.Uint32())
+	}
+	// Different address: miss.
+	if res, _ := a.lookup(0x2000, 4); res != ascMiss {
+		t.Errorf("unrelated lookup = %v", res)
+	}
+}
+
+func TestASCPartialOverlapConflicts(t *testing.T) {
+	a := newASC(64, 2)
+	a.insert(0x1000, 4, isa.IntWord(42), false)
+	// Narrower load inside the stored word: cannot forward, must conflict.
+	if res, _ := a.lookup(0x1001, 1); res != ascConflict {
+		t.Errorf("partial overlap = %v, want conflict", res)
+	}
+	// Wider load covering the stored word: conflict.
+	if res, _ := a.lookup(0x1000, 8); res != ascConflict {
+		t.Errorf("wider overlap = %v, want conflict", res)
+	}
+	// Same address, different size: conflict.
+	if res, _ := a.lookup(0x1000, 2); res != ascConflict {
+		t.Errorf("size mismatch = %v, want conflict", res)
+	}
+}
+
+func TestASCInvalidDataPoisons(t *testing.T) {
+	a := newASC(64, 2)
+	a.insert(0x3000, 4, 0, true) // store with invalid data operand
+	if res, _ := a.lookup(0x3000, 4); res != ascConflict {
+		t.Errorf("poisoned lookup = %v, want conflict", res)
+	}
+}
+
+func TestASCOverwriteSameLocation(t *testing.T) {
+	a := newASC(64, 2)
+	a.insert(0x4000, 4, isa.IntWord(1), false)
+	a.insert(0x4000, 4, isa.IntWord(2), false)
+	res, v := a.lookup(0x4000, 4)
+	if res != ascHit || v.Uint32() != 2 {
+		t.Errorf("overwrite lookup = %v, %d", res, v.Uint32())
+	}
+	// Overwriting the same location is not a replacement.
+	if a.setReplaced(0x4000) {
+		t.Error("same-location overwrite marked the set replaced")
+	}
+}
+
+func TestASCReplacementMarksSet(t *testing.T) {
+	a := newASC(8, 2) // 4 sets x 2 ways; set = (addr>>3) & 3
+	// Three distinct addresses in the same set (stride 4*8 = 32 bytes).
+	a.insert(0x0000, 4, isa.IntWord(1), false)
+	a.insert(0x0020, 4, isa.IntWord(2), false)
+	if a.setReplaced(0x0000) {
+		t.Fatal("set marked replaced before eviction")
+	}
+	a.insert(0x0040, 4, isa.IntWord(3), false) // evicts LRU (0x0000)
+	if !a.setReplaced(0x0000) {
+		t.Fatal("eviction did not mark the set replaced")
+	}
+	// The victim was the LRU entry.
+	if res, _ := a.lookup(0x0000, 4); res != ascMiss {
+		t.Error("LRU entry survived eviction")
+	}
+	if res, _ := a.lookup(0x0020, 4); res != ascHit {
+		t.Error("MRU entry evicted")
+	}
+	// Other sets unaffected.
+	if a.setReplaced(0x0008) {
+		t.Error("unrelated set marked replaced")
+	}
+}
+
+func TestASCClear(t *testing.T) {
+	a := newASC(8, 2)
+	a.insert(0x0000, 4, isa.IntWord(1), false)
+	a.insert(0x0020, 4, isa.IntWord(2), false)
+	a.insert(0x0040, 4, isa.IntWord(3), false)
+	a.clear()
+	if res, _ := a.lookup(0x0040, 4); res != ascMiss {
+		t.Error("entry survived clear")
+	}
+	if a.setReplaced(0x0000) {
+		t.Error("replaced flag survived clear")
+	}
+}
+
+func TestASCLRUOrdering(t *testing.T) {
+	a := newASC(8, 2)
+	a.insert(0x0000, 4, isa.IntWord(1), false)
+	a.insert(0x0020, 4, isa.IntWord(2), false)
+	a.lookup(0x0000, 4) // refresh the older entry
+	a.insert(0x0040, 4, isa.IntWord(3), false)
+	if res, _ := a.lookup(0x0000, 4); res != ascHit {
+		t.Error("recently used entry evicted")
+	}
+	if res, _ := a.lookup(0x0020, 4); res != ascMiss {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestOverlapsPredicate(t *testing.T) {
+	cases := []struct {
+		a    uint32
+		an   int
+		b    uint32
+		bn   int
+		want bool
+	}{
+		{0x100, 4, 0x100, 4, true},
+		{0x100, 4, 0x104, 4, false},
+		{0x100, 4, 0x103, 1, true},
+		{0x100, 4, 0x0fc, 4, false},
+		{0x100, 8, 0x104, 2, true},
+		{0x100, 1, 0x100, 1, true},
+		{0x100, 1, 0x101, 1, false},
+	}
+	for _, c := range cases {
+		if got := overlaps(c.a, c.an, c.b, c.bn); got != c.want {
+			t.Errorf("overlaps(%#x/%d, %#x/%d) = %v", c.a, c.an, c.b, c.bn, got)
+		}
+	}
+}
+
+func TestResultStoreFlushFrom(t *testing.T) {
+	rs := newResultStore()
+	for seq := uint64(0); seq < 10; seq++ {
+		rs.put(seq, &rsEntry{readyCycle: seq})
+	}
+	if rs.len() != 10 {
+		t.Fatalf("len = %d", rs.len())
+	}
+	n := rs.flushFrom(4)
+	if n != 6 {
+		t.Errorf("flushed %d, want 6", n)
+	}
+	if rs.get(3) == nil || rs.get(4) != nil {
+		t.Error("flush boundary wrong")
+	}
+	rs.drop(3)
+	if rs.get(3) != nil {
+		t.Error("drop failed")
+	}
+	if rs.len() != 3 {
+		t.Errorf("len after ops = %d", rs.len())
+	}
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/sim"
+)
+
+// commitCycle runs one cycle of the architectural stream (architectural or
+// rally mode): instructions are dequeued in order, merging preserved RS
+// results where possible (§3.2 regrouping), re-performing data-speculative
+// loads through the SMAQ with value verification (§3.6), executing the rest
+// normally, and entering advance mode on a stall-on-use of a load value.
+func (r *run) commitCycle() error {
+	if r.mode == modeRally {
+		r.st.Multipass.RallyCycles++
+	} else {
+		r.st.Multipass.ArchCycles++
+	}
+	r.fe.SetLimit(r.next + uint64(r.cfg.IQSize))
+
+	var use isa.FUUse
+	var groupWrites sim.RegSet
+	progress := 0
+	blocker := sim.StallFrontEnd
+	now := r.now
+
+group:
+	for progress < r.cfg.Caps.MaxIssue && !r.halted {
+		d, err := r.stream.At(r.next)
+		if err != nil {
+			return err
+		}
+		if d == nil {
+			return fmt.Errorf("core: stream ended before halt committed")
+		}
+		fready, ok, err := r.fe.ReadyAt(r.next)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("core: fetch ended before halt committed")
+		}
+		if fready > now {
+			blocker = sim.StallFrontEnd
+			break
+		}
+		in := d.Inst
+		if r.ownPC != d.Index {
+			return fmt.Errorf("core: machine PC %d diverged from stream index %d at seq %d", r.ownPC, d.Index, d.Seq)
+		}
+		e := r.rs.get(r.next)
+
+		// Data-speculative load: re-perform the access via the SMAQ address
+		// and verify the preserved value (§3.6).
+		if e != nil && e.spec && in.Op.IsLoad() {
+			done, err := r.commitSpecLoad(d, e, &use, &groupWrites, &progress, &blocker, now)
+			if err != nil {
+				return err
+			}
+			if !done {
+				break
+			}
+			continue
+		}
+
+		// Merge a preserved result (§3.1.3, §3.2).
+		if e != nil {
+			done, redirect, err := r.commitMerge(d, e, &use, &groupWrites, &progress, &blocker, now)
+			if err != nil {
+				return err
+			}
+			if !done {
+				break
+			}
+			if redirect {
+				break
+			}
+			continue
+		}
+
+		// Normal in-order execution with advance-entry detection.
+
+		// Qualifying predicate.
+		if groupWrites.Has(in.QP) {
+			break
+		}
+		if qf := in.QP.Flat(); r.readyAt[qf] > now {
+			if r.prodKind[qf] == sim.ProducerLoad {
+				r.enterAdvance(r.next, r.readyAt[qf])
+				blocker = sim.StallLoad
+				break
+			}
+			blocker = r.prodKind[qf].StallFor()
+			break
+		}
+		qpTrue := r.ownRF.Read(in.QP).Bool()
+
+		if qpTrue && !in.Op.IsBranch() {
+			for _, reg := range in.Reads(r.regBuf[:0]) {
+				if reg == in.QP {
+					continue
+				}
+				if groupWrites.Has(reg) {
+					break group
+				}
+				if f := reg.Flat(); r.readyAt[f] > now {
+					if r.prodKind[f] == sim.ProducerLoad {
+						r.enterAdvance(r.next, r.readyAt[f])
+						blocker = sim.StallLoad
+						break group
+					}
+					blocker = r.prodKind[f].StallFor()
+					break group
+				}
+			}
+		}
+		if qpTrue {
+			lat := uint64(in.Op.Latency())
+			for _, reg := range in.Writes(r.regBuf[:0]) {
+				if groupWrites.Has(reg) {
+					break group
+				}
+				if f := reg.Flat(); r.readyAt[f] > now+lat {
+					blocker = sim.StallOther
+					break group
+				}
+			}
+		}
+		if !use.Fits(in.Op, &r.cfg.Caps) {
+			blocker = sim.StallOther
+			break
+		}
+		use.Add(in.Op)
+
+		redirect, err := r.commitExec(d, qpTrue, &groupWrites, now)
+		if err != nil {
+			return err
+		}
+		progress++
+		if redirect {
+			break
+		}
+	}
+
+	if progress > 0 {
+		r.st.Cat[sim.StallExecution]++
+		r.lastWork = now
+	} else {
+		r.st.Cat[blocker]++
+	}
+	if r.mode == modeRally && r.next >= r.maxPeek {
+		r.mode = modeArch
+		r.traceArch()
+	}
+	return nil
+}
+
+// commitMerge merges one preserved RS entry into architectural state.
+// Returns done=false when the group must end without consuming the
+// instruction, redirect=true after a merged taken branch.
+func (r *run) commitMerge(d *sim.DynInst, e *rsEntry, use *isa.FUUse, groupWrites *sim.RegSet, progress *int, blocker *sim.StallKind, now uint64) (done, redirect bool, err error) {
+	in := d.Inst
+
+	if r.cfg.DisableRegroup {
+		// Without issue regrouping, group formation treats the merged
+		// instruction like a normal one: dependences on group members split
+		// the group and the instruction occupies its functional unit. The
+		// preserved result still avoids re-execution (and converts long
+		// latencies to availability at merge time).
+		if groupWrites.Has(in.QP) {
+			return false, false, nil
+		}
+		for _, reg := range in.Reads(r.regBuf[:0]) {
+			if groupWrites.Has(reg) {
+				return false, false, nil
+			}
+		}
+		for _, reg := range in.Writes(r.regBuf[:0]) {
+			if groupWrites.Has(reg) {
+				return false, false, nil
+			}
+		}
+		if !use.Fits(in.Op, &r.cfg.Caps) {
+			*blocker = sim.StallOther
+			return false, false, nil
+		}
+		use.Add(in.Op)
+	}
+
+	// Internal consistency: the preserved outcome must match the oracle
+	// path. Rally's in-order verify-then-flush of data-speculative loads
+	// guarantees this; a mismatch is a model bug.
+	if e.squashed != d.Squashed {
+		return false, false, fmt.Errorf("core: merged squash state diverged at seq %d", d.Seq)
+	}
+	if e.branchDone && e.branchTaken != d.Taken {
+		return false, false, fmt.Errorf("core: merged branch direction diverged at seq %d", d.Seq)
+	}
+
+	if !e.squashed {
+		if e.hasVal {
+			r.commitWrite(in, e.val)
+		}
+		if e.isStore {
+			r.ownMem.StoreWord(in.Op, e.addr, e.val)
+			r.hier.AccessData(e.addr, now, true, false)
+		}
+	}
+	kind := sim.ProducerOther
+	if in.Op.IsLoad() {
+		kind = sim.ProducerLoad
+	}
+	readyC := e.readyCycle
+	if r.cfg.DisableRegroup && readyC < now+1 {
+		readyC = now + 1
+	} else if readyC < now {
+		readyC = now
+	}
+	if !e.squashed {
+		r.setReady(in, readyC, kind, groupWrites, r.cfg.DisableRegroup)
+	}
+	r.st.Multipass.Merged++
+	r.traceMerge(d.Seq, e)
+	r.st.Retired++
+	*progress++
+
+	if e.branchDone && e.branchTaken {
+		r.ownPC = int(in.Target)
+		redirect = true
+	} else {
+		r.ownPC = d.Index + 1
+	}
+	if in.Op.Kind() == isa.KindHalt {
+		// Halt never receives an RS entry (advance stops before it).
+		return false, false, fmt.Errorf("core: halt had an RS entry at seq %d", d.Seq)
+	}
+	r.rs.drop(r.next)
+	r.next++
+	return true, redirect, nil
+}
+
+// commitSpecLoad re-performs a data-speculative load in rally mode using its
+// SMAQ address, verifying the preserved value and flushing on mismatch.
+func (r *run) commitSpecLoad(d *sim.DynInst, e *rsEntry, use *isa.FUUse, groupWrites *sim.RegSet, progress *int, blocker *sim.StallKind, now uint64) (bool, error) {
+	in := d.Inst
+	if groupWrites.Has(in.QP) {
+		return false, nil
+	}
+	if qf := in.QP.Flat(); r.readyAt[qf] > now {
+		*blocker = r.prodKind[qf].StallFor()
+		return false, nil
+	}
+	if !r.ownRF.Read(in.QP).Bool() {
+		return false, fmt.Errorf("core: data-speculative load was pre-executed but predicate is false at seq %d", d.Seq)
+	}
+	for _, reg := range in.Writes(r.regBuf[:0]) {
+		if groupWrites.Has(reg) {
+			return false, nil
+		}
+	}
+	if !use.Fits(in.Op, &r.cfg.Caps) {
+		*blocker = sim.StallOther
+		return false, nil
+	}
+	use.Add(in.Op)
+
+	ready := r.hier.AccessData(e.addr, now, false, false)
+	fresh := r.ownMem.LoadWord(in.Op, e.addr)
+	r.commitWrite(in, fresh)
+	r.setReady(in, ready, sim.ProducerLoad, groupWrites, true)
+	r.st.Retired++
+	*progress++
+	r.ownPC = d.Index + 1
+	r.rs.drop(r.next)
+	r.next++
+
+	if fresh != e.val {
+		// Value misspeculation: flush everything younger (§3.6).
+		r.st.Multipass.SpecFlushes++
+		flushed := r.rs.flushFrom(r.next)
+		r.traceFlush(d.Seq, flushed)
+		r.st.Multipass.Reexecuted += uint64(flushed)
+		r.fe.Flush(r.next, now+1+uint64(r.cfg.MispredictPenalty))
+		if r.maxPeek > r.next {
+			r.maxPeek = r.next
+		}
+		return false, nil // end the group; state beyond is gone
+	}
+	return true, nil
+}
+
+// commitExec executes one instruction architecturally (no RS entry).
+// Returns redirect=true when issue must stop at a control transfer.
+func (r *run) commitExec(d *sim.DynInst, qpTrue bool, groupWrites *sim.RegSet, now uint64) (bool, error) {
+	in := d.Inst
+	r.st.Retired++
+	r.rs.drop(r.next)
+	r.next++
+	r.ownPC = d.Index + 1
+
+	if in.Op.IsBranch() {
+		taken := qpTrue
+		if taken != d.Taken {
+			return false, fmt.Errorf("core: branch direction diverged from oracle at seq %d", d.Seq)
+		}
+		if taken {
+			r.ownPC = int(in.Target)
+		}
+		correct := r.pred.Update(d.Addr(), taken)
+		if !correct {
+			r.fe.Flush(r.next, now+1+uint64(r.cfg.MispredictPenalty))
+		}
+		return taken || !correct, nil
+	}
+
+	if !qpTrue {
+		return false, nil // squashed
+	}
+
+	switch in.Op.Kind() {
+	case isa.KindHalt:
+		r.halted = true
+		return true, nil
+	case isa.KindNop, isa.KindRestart:
+		return false, nil
+	case isa.KindLoad:
+		addr := arch.EffAddr(in, r.ownRF.Read(in.Src1))
+		if addr != d.MemAddr {
+			return false, fmt.Errorf("core: load address diverged from oracle at seq %d", d.Seq)
+		}
+		ready := r.hier.AccessData(addr, now, false, false)
+		r.commitWrite(in, r.ownMem.LoadWord(in.Op, addr))
+		r.setReady(in, ready, sim.ProducerLoad, groupWrites, true)
+	case isa.KindStore:
+		addr := arch.EffAddr(in, r.ownRF.Read(in.Src1))
+		if addr != d.MemAddr {
+			return false, fmt.Errorf("core: store address diverged from oracle at seq %d", d.Seq)
+		}
+		r.ownMem.StoreWord(in.Op, addr, r.ownRF.Read(in.Src2))
+		r.hier.AccessData(addr, now, true, false)
+	default:
+		v := isa.Eval(in.Op, r.ownRF.Read(in.Src1), r.ownRF.Read(in.Src2), in.Imm)
+		r.commitWrite(in, v)
+		r.setReady(in, now+uint64(in.Op.Latency()), sim.ProducerOther, groupWrites, true)
+	}
+	return false, nil
+}

@@ -1,0 +1,103 @@
+// Package core implements the paper's primary contribution: the multipass
+// pipeline (§3). A single in-order physical pipeline operates in three
+// modes:
+//
+//   - architectural: conventional scoreboarded in-order issue;
+//   - advance: on a stall-on-use of a load value, the pipeline pre-executes
+//     the subsequent instruction stream with a PEEK pointer, suppressing
+//     instructions with invalid operands (I-bits), writing speculative
+//     results to the speculative register file (SRF, redirected by A-bits),
+//     preserving valid results in the result store (RS, E-bits), and
+//     restarting the pass at the trigger when a compiler-inserted RESTART
+//     consumes an unready value;
+//   - rally: when the triggering value arrives, the architectural stream
+//     resumes, merging preserved RS results instead of re-executing them and
+//     regrouping issue groups around the eliminated dependences.
+//
+// Advance stores forward through the advance store cache (ASC); deferred
+// stores and ASC replacement make later advance loads data-speculative
+// (S-bits), which rally re-performs through the speculative memory address
+// queue (SMAQ) and verifies by value, flushing on mismatch (§3.6). Advance
+// loads that miss L1 do not write the SRF (the WAW rule of §3.5); their
+// results land in the RS when the fill returns, enabling the next pass to
+// proceed further.
+//
+// The model simulates its speculative and architectural values for real —
+// the final register file and memory come from the machine's own commits,
+// not from the reference interpreter — so the cross-model equivalence tests
+// in this repository genuinely verify the multipass machinery.
+package core
+
+import "multipass/internal/sim"
+
+// Config extends the common machine configuration with the multipass
+// structures of Table 2 and the Figure 8 ablation switches.
+type Config struct {
+	sim.Config
+	// IQSize is the multipass instruction queue capacity (Table 2: 256).
+	IQSize int
+	// ASCEntries and ASCWays shape the advance store cache (§4: 64-entry,
+	// 2-way set associative).
+	ASCEntries int
+	ASCWays    int
+	// DisableRegroup turns off issue regrouping (§3.2): preserved results
+	// still merge without re-execution, but group formation keeps the
+	// original dependences and functional-unit demands.
+	DisableRegroup bool
+	// DisableRestart turns off advance restart (§3.3): RESTART instructions
+	// become no-ops and each advance episode is a single pass.
+	DisableRestart bool
+	// HardwareRestart enables the hardware alternative the paper's footnote
+	// 1 (§3.3) sketches: instead of (or in addition to) compiler-inserted
+	// RESTART instructions, the pipeline restarts an advance pass after
+	// RestartDeferralWindow consecutive deferred instructions, on the
+	// theory that a long deferral run means the speculative state is too
+	// contaminated for further progress.
+	HardwareRestart bool
+	// RestartDeferralWindow is the consecutive-deferral threshold for
+	// HardwareRestart (default 16).
+	RestartDeferralWindow int
+	// Trace, when non-nil, receives a line-oriented event stream of mode
+	// transitions, restarts, merges and flushes (see Tracer).
+	Trace *Tracer
+}
+
+// DefaultConfig returns the paper's multipass configuration. The multipass
+// front end is two stages deeper than the baseline (ENQ and DEQ stages,
+// Figure 2), reflected in the misprediction penalty.
+func DefaultConfig() Config {
+	c := Config{Config: sim.Default()}
+	c.BufferSize = 256
+	c.IQSize = 256
+	c.ASCEntries = 64
+	c.ASCWays = 2
+	c.MispredictPenalty = 10
+	c.RestartDeferralWindow = 16
+	return c
+}
+
+// Validate checks the multipass-specific parameters.
+func (c *Config) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	if c.IQSize < c.Caps.MaxIssue {
+		return errInvalid("IQSize smaller than issue width")
+	}
+	if c.ASCEntries < 1 || c.ASCWays < 1 || c.ASCEntries%c.ASCWays != 0 {
+		return errInvalid("ASC geometry")
+	}
+	if s := c.ASCEntries / c.ASCWays; s&(s-1) != 0 {
+		return errInvalid("ASC set count not a power of two")
+	}
+	if c.HardwareRestart && c.RestartDeferralWindow < 1 {
+		return errInvalid("RestartDeferralWindow < 1")
+	}
+	return nil
+}
+
+type invalidError string
+
+func errInvalid(msg string) error { return invalidError(msg) }
+
+func (e invalidError) Error() string { return "core: invalid config: " + string(e) }

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/pipe/inorder"
+	"multipass/internal/sim"
+)
+
+// runMP runs the multipass machine and checks its final architectural state
+// against the reference interpreter.
+func runMP(t *testing.T, cfg Config, p *isa.Program, image *arch.Memory) *sim.Result {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(p, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := arch.Run(p, image.Clone(), 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RF.Equal(ref.State.RF) {
+		t.Fatalf("multipass final registers diverged: %v", res.RF.Diff(ref.State.RF))
+	}
+	if !res.Mem.Equal(ref.State.Mem) {
+		t.Fatal("multipass final memory diverged from reference")
+	}
+	if res.Stats.Retired != ref.State.Retired {
+		t.Fatalf("retired %d, reference %d", res.Stats.Retired, ref.State.Retired)
+	}
+	return res
+}
+
+// runInorder runs the baseline for cycle comparisons.
+func runInorder(t *testing.T, p *isa.Program, image *arch.Memory) *sim.Result {
+	t.Helper()
+	m, err := inorder.New(sim.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(p, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSimpleProgramsMatchReference(t *testing.T) {
+	progs := map[string]string{
+		"sum": `
+	movi r1 = 0
+	movi r2 = 0x1000
+	movi r3 = 50
+loop:
+	ld4 r4 = [r2]
+	add r1 = r1, r4
+	addi r2 = r2, 4
+	subi r3 = r3, 1
+	cmpi.ne p1, p2 = r3, 0 ;;
+	(p1) br loop
+	halt`,
+		"predication": `
+	movi r1 = 7
+	cmpi.lt p1, p2 = r1, 10 ;;
+	(p1) movi r2 = 1
+	(p2) movi r2 = 2
+	(p1) st4 [r1+0x100] = r2
+	halt`,
+		"fp": `
+	movi r1 = 5
+	cvt.if f1 = r1
+	fmul f2 = f1, f1
+	movi r2 = 0x400
+	stf [r2] = f2
+	ldf f3 = [r2]
+	fadd f4 = f3, f1
+	halt`,
+	}
+	for name, src := range progs {
+		t.Run(name, func(t *testing.T) {
+			image := arch.NewMemory()
+			for i := 0; i < 64; i++ {
+				image.Store(uint32(0x1000+4*i), 4, uint64(3*i+1))
+			}
+			runMP(t, DefaultConfig(), isa.MustAssemble(src), image)
+		})
+	}
+}
+
+// overlapProg has one long miss followed by independent long misses: the
+// multipass pipeline should overlap them during advance mode.
+const overlapProg = `
+	movi r10 = 0x100000
+	ld4 r1 = [r10]
+	add r2 = r1, r1
+	ld4 r3 = [r10+8192]
+	add r4 = r3, r3
+	ld4 r5 = [r10+16384]
+	add r6 = r5, r5
+	halt
+`
+
+func TestAdvanceOverlapsIndependentMisses(t *testing.T) {
+	p := isa.MustAssemble(overlapProg)
+	image := arch.NewMemory()
+	image.Store(0x100000, 4, 11)
+	image.Store(0x100000+8192, 4, 22)
+	image.Store(0x100000+16384, 4, 33)
+
+	mp := runMP(t, DefaultConfig(), p, image)
+	base := runInorder(t, p, image)
+
+	if mp.Stats.Multipass.AdvanceEntries == 0 {
+		t.Fatal("no advance episodes on a missing load")
+	}
+	if mp.Stats.Multipass.AdvanceExecuted == 0 {
+		t.Fatal("advance mode executed nothing")
+	}
+	// The baseline serializes three ~145-cycle misses; multipass overlaps
+	// the last two with the first.
+	if mp.Stats.Cycles+100 > base.Stats.Cycles {
+		t.Errorf("multipass %d cycles vs inorder %d: expected large overlap win",
+			mp.Stats.Cycles, base.Stats.Cycles)
+	}
+	if mp.Stats.Memory.L1D.AdvanceAccesses == 0 {
+		t.Error("no advance-mode cache accesses recorded")
+	}
+}
+
+func TestResultStoreAvoidsReexecution(t *testing.T) {
+	// Work that is pre-executed during the miss shadow merges at rally: the
+	// merged count must be substantial.
+	p := isa.MustAssemble(`
+	movi r10 = 0x100000
+	ld4 r1 = [r10]
+	add r2 = r1, r1
+	movi r3 = 1
+	addi r4 = r3, 1
+	addi r5 = r4, 1
+	addi r6 = r5, 1
+	mul r7 = r6, r6
+	addi r8 = r7, 3
+	halt
+`)
+	image := arch.NewMemory()
+	res := runMP(t, DefaultConfig(), p, image)
+	if res.Stats.Multipass.Merged < 4 {
+		t.Errorf("merged = %d, expected most of the independent tail to merge", res.Stats.Multipass.Merged)
+	}
+}
+
+// restartProg: a long miss (A), then a shorter independent miss (C) whose
+// dependent load (E) can only be pre-executed on a second pass after C
+// returns. The compiler-style RESTART after C drives the second pass.
+const restartProg = `
+	movi r10 = 0x100000
+	movi r11 = 0x200000
+	st4 [r11] = r0       # warm C's L2 line without a load stall
+	movi r20 = 60        # ALU-only spin while the warm-up fill lands
+spin:
+	mul r21 = r20, r20
+	subi r20 = r20, 1
+	cmpi.ne p1, p2 = r20, 0 ;;
+	(p1) br spin
+	ld4 r1 = [r10]       # A: cold long miss
+	add r2 = r1, r1      # B: trigger
+	ld4 r3 = [r11+64]    # C: L1 miss, L2 hit (same 128B line as warm-up)
+	restart r3           # D: restart when C is unready
+	ld4 r4 = [r3]        # E: dependent miss, overlappable only via restart
+	add r5 = r4, r4      # F
+	halt
+`
+
+func restartImage() *arch.Memory {
+	image := arch.NewMemory()
+	image.Store(0x100000, 4, 5)
+	image.Store(0x200000+64, 4, 0x300000) // C's value: pointer to E's data
+	image.Store(0x300000, 4, 77)
+	return image
+}
+
+func TestAdvanceRestartOverlapsChainedMiss(t *testing.T) {
+	p := isa.MustAssemble(restartProg)
+
+	withRestart := runMP(t, DefaultConfig(), p, restartImage())
+	noRestartCfg := DefaultConfig()
+	noRestartCfg.DisableRestart = true
+	withoutRestart := runMP(t, noRestartCfg, p, restartImage())
+
+	if withRestart.Stats.Multipass.Restarts == 0 {
+		t.Fatal("RESTART never fired")
+	}
+	if withRestart.Stats.Multipass.AdvancePasses < 2 {
+		t.Fatal("restart did not create a second pass")
+	}
+	if withoutRestart.Stats.Multipass.Restarts != 0 {
+		t.Fatal("restarts occurred despite DisableRestart")
+	}
+	// E's ~145-cycle miss overlaps A's only with restart.
+	if withRestart.Stats.Cycles+80 > withoutRestart.Stats.Cycles {
+		t.Errorf("restart %d cycles vs no-restart %d: expected chained-miss overlap",
+			withRestart.Stats.Cycles, withoutRestart.Stats.Cycles)
+	}
+}
+
+func TestASCForwardsAdvanceStores(t *testing.T) {
+	p := isa.MustAssemble(`
+	movi r10 = 0x100000
+	movi r11 = 0x2000
+	ld4 r1 = [r10]       # miss -> trigger
+	add r2 = r1, r1
+	movi r5 = 42
+	st4 [r11] = r5       # advance store, address known
+	ld4 r6 = [r11]       # must forward 42 from the ASC
+	add r7 = r6, r6
+	halt
+`)
+	image := arch.NewMemory()
+	image.Store(0x100000, 4, 9)
+	res := runMP(t, DefaultConfig(), p, image)
+	if res.Stats.Multipass.ASCHits == 0 {
+		t.Error("advance load did not forward from the ASC")
+	}
+	if got := res.RF.Read(isa.IntReg(7)).Uint32(); got != 84 {
+		t.Errorf("r7 = %d, want 84", got)
+	}
+}
+
+// specProg: the advance store's address depends on the missing load, so it
+// defers; the following load to the same location is data-speculative and
+// reads a stale value, forcing a rally value-mismatch flush.
+const specProg = `
+	movi r10 = 0x100000
+	movi r11 = 0x3000
+	movi r20 = 99
+	ld4 r1 = [r10]       # miss; loads the store's target address (0x3000)
+	st4 [r1] = r20       # address unknown during advance -> deferred
+	ld4 r3 = [r11]       # same location: stale in advance, S-bit set
+	add r4 = r3, r3
+	halt
+`
+
+func TestSpecLoadFlushPreservesCorrectness(t *testing.T) {
+	image := arch.NewMemory()
+	image.Store(0x100000, 4, 0x3000) // store target
+	image.Store(0x3000, 4, 7)        // stale value seen in advance
+
+	res := runMP(t, DefaultConfig(), isa.MustAssemble(specProg), image)
+	mp := res.Stats.Multipass
+	if mp.DeferredStores == 0 {
+		t.Error("store with unknown address was not deferred")
+	}
+	if mp.SpecLoads == 0 {
+		t.Error("load after deferred store not marked data-speculative")
+	}
+	if mp.SpecFlushes == 0 {
+		t.Error("stale speculative value did not trigger a flush")
+	}
+	if got := res.RF.Read(isa.IntReg(4)).Uint32(); got != 198 {
+		t.Errorf("r4 = %d, want 198 (99*2)", got)
+	}
+}
+
+func TestSpecLoadVerifiesWithoutFlushWhenValueMatches(t *testing.T) {
+	image := arch.NewMemory()
+	image.Store(0x100000, 4, 0x3000)
+	image.Store(0x3000, 4, 99) // store writes the same value: verify passes
+
+	res := runMP(t, DefaultConfig(), isa.MustAssemble(specProg), image)
+	mp := res.Stats.Multipass
+	if mp.SpecLoads == 0 {
+		t.Error("expected a data-speculative load")
+	}
+	if mp.SpecFlushes != 0 {
+		t.Error("matching value should not flush")
+	}
+}
+
+func TestRegroupingAblation(t *testing.T) {
+	// A long dependent chain pre-executed during a miss shadow: with
+	// regrouping the merges collapse into wide groups; without, they pay
+	// one group per dependence.
+	src := `
+	movi r10 = 0x100000
+	ld4 r1 = [r10]
+	add r2 = r1, r1
+	movi r3 = 1
+`
+	for i := 4; i < 40; i++ {
+		src += "	addi r" + itoa(i) + " = r" + itoa(i-1) + ", 1\n"
+	}
+	src += "	halt\n"
+	p := isa.MustAssemble(src)
+	image := arch.NewMemory()
+
+	full := runMP(t, DefaultConfig(), p, image)
+	noRegroup := DefaultConfig()
+	noRegroup.DisableRegroup = true
+	ablated := runMP(t, noRegroup, p, image)
+
+	if full.Stats.Cycles >= ablated.Stats.Cycles {
+		t.Errorf("regrouping did not help: full %d vs ablated %d cycles",
+			full.Stats.Cycles, ablated.Stats.Cycles)
+	}
+}
+
+func TestModeCyclesSumToTotal(t *testing.T) {
+	p := isa.MustAssemble(overlapProg)
+	image := arch.NewMemory()
+	res := runMP(t, DefaultConfig(), p, image)
+	mp := res.Stats.Multipass
+	if mp.ArchCycles+mp.AdvanceCycles+mp.RallyCycles != res.Stats.Cycles {
+		t.Errorf("mode cycles %d+%d+%d != total %d",
+			mp.ArchCycles, mp.AdvanceCycles, mp.RallyCycles, res.Stats.Cycles)
+	}
+	if mp.AdvanceCycles == 0 {
+		t.Error("no advance cycles on a missing-load program")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.IQSize = 2
+	if _, err := New(bad); err == nil {
+		t.Error("tiny IQ accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.ASCWays = 3
+	if _, err := New(bad2); err == nil {
+		t.Error("non-dividing ASC ways accepted")
+	}
+	bad3 := DefaultConfig()
+	bad3.ASCEntries = 48 // 24 sets: not a power of two
+	if _, err := New(bad3); err == nil {
+		t.Error("non-pow2 ASC sets accepted")
+	}
+}
+
+// Randomized cross-check: looping programs with loads, stores, predication
+// and pointer-dependent addresses must retire identical state on multipass.
+func TestRandomLoopsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		src := "	movi r1 = 0x1000\n	movi r10 = " + itoa(3+rng.Intn(6)) + "\n	movi r2 = 0\nloop:\n"
+		n := 10 + rng.Intn(25)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(8) {
+			case 0:
+				src += "	ld4 r" + itoa(3+rng.Intn(5)) + " = [r1+" + itoa(4*rng.Intn(12)) + "]\n"
+			case 1:
+				src += "	st4 [r1+" + itoa(4*rng.Intn(12)) + "] = r" + itoa(3+rng.Intn(5)) + "\n"
+			case 2:
+				src += "	add r" + itoa(3+rng.Intn(5)) + " = r" + itoa(3+rng.Intn(5)) + ", r" + itoa(3+rng.Intn(5)) + "\n"
+			case 3:
+				src += "	mul r" + itoa(3+rng.Intn(5)) + " = r" + itoa(3+rng.Intn(5)) + ", r" + itoa(3+rng.Intn(5)) + "\n"
+			case 4:
+				src += "	cmpi.lt p1, p2 = r" + itoa(3+rng.Intn(5)) + ", 1000\n"
+			case 5:
+				src += "	(p1) addi r" + itoa(3+rng.Intn(5)) + " = r" + itoa(3+rng.Intn(5)) + ", 7\n"
+			case 6:
+				src += "	xor r" + itoa(3+rng.Intn(5)) + " = r" + itoa(3+rng.Intn(5)) + ", r" + itoa(3+rng.Intn(5)) + "\n"
+			case 7:
+				// Occasionally chase into a pointer field.
+				src += "	ld4 r8 = [r1]\n	andi r8 = r8, 0xffc\n	ori r8 = r8, 0x1000\n	ld4 r9 = [r8]\n"
+			}
+		}
+		src += `
+	addi r2 = r2, 1
+	subi r10 = r10, 1
+	cmpi.ne p3, p4 = r10, 0 ;;
+	(p3) br loop
+	halt
+`
+		image := arch.NewMemory()
+		for i := 0; i < 64; i++ {
+			image.Store(uint32(0x1000+4*i), 4, uint64(rng.Uint32()))
+		}
+		runMP(t, DefaultConfig(), isa.MustAssemble(src), image)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/sim"
+)
+
+// TestWAWRuleMissingLoadDoesNotFeedSRF exercises the §3.5 rule: an advance
+// load that misses L1 must not provide its value to same-pass consumers;
+// those consumers defer to a later pass (or rally).
+func TestWAWRuleMissingLoadDoesNotFeedSRF(t *testing.T) {
+	// A: long miss (trigger). B: another long-missing load. C: consumer of
+	// B. If B fed the SRF immediately, C would be "executed" in pass 1 with
+	// AdvanceExecuted counting it; with the WAW rule it must be deferred.
+	p := isa.MustAssemble(`
+	movi r10 = 0x100000
+	ld4 r1 = [r10]
+	add r2 = r1, r1      # trigger
+	ld4 r3 = [r10+8192]  # B: advance load, L1 miss
+	add r4 = r3, r3      # C: must defer (B may not write the SRF)
+	halt
+`)
+	res := runMP(t, DefaultConfig(), p, arch.NewMemory())
+	mp := res.Stats.Multipass
+	// B executes in advance (prefetch); C is deferred at least once.
+	if mp.AdvanceExecuted == 0 {
+		t.Fatal("B never pre-executed")
+	}
+	if mp.AdvanceDeferred == 0 {
+		t.Fatal("C was not deferred despite the WAW rule")
+	}
+}
+
+// TestPendingMergeTriggersChainedEpisode checks the Figure 1(d) E” case:
+// a load pre-executed in a previous episode whose fill is still in flight
+// merges as pending, and its consumer starts a new advance episode.
+func TestPendingMergeTriggersChainedEpisode(t *testing.T) {
+	p := isa.MustAssemble(`
+	movi r10 = 0x100000
+	ld4 r1 = [r10]        # miss 1 (trigger of episode 1)
+	add r2 = r1, r1
+	ld4 r3 = [r10+8192]   # miss 2: pre-executed during episode 1
+	add r4 = r3, r3       # consumer: rally reaches it while miss 2 in flight
+	ld4 r5 = [r10+16384]  # miss 3
+	add r6 = r5, r5
+	halt
+`)
+	res := runMP(t, DefaultConfig(), p, arch.NewMemory())
+	if res.Stats.Multipass.AdvanceEntries < 2 {
+		t.Errorf("advance entries = %d, expected chained episodes", res.Stats.Multipass.AdvanceEntries)
+	}
+}
+
+// TestIQBoundLimitsPeek verifies that advance pre-execution cannot run
+// farther ahead than the instruction queue allows.
+func TestIQBoundLimitsPeek(t *testing.T) {
+	// A loop with a fresh long miss each iteration followed by a large
+	// amount of independent work; the loop shape keeps the I-cache warm
+	// after the first iteration so the IQ (not fetch) is the bound.
+	src := "	movi r10 = 0x100000\n	movi r20 = 4\nloop:\n	ld4 r1 = [r10]\n	add r2 = r1, r1\n"
+	for i := 0; i < 300; i++ {
+		src += "	addi r3 = r3, 1\n"
+	}
+	src += `
+	addi r10 = r10, 8192
+	subi r20 = r20, 1
+	cmpi.ne p1, p2 = r20, 0 ;;
+	(p1) br loop
+	halt
+`
+	p := isa.MustAssemble(src)
+
+	small := DefaultConfig()
+	small.IQSize = 32
+	small.BufferSize = 32
+	resSmall := runMP(t, small, p, arch.NewMemory())
+	resBig := runMP(t, DefaultConfig(), p, arch.NewMemory())
+
+	if resSmall.Stats.Multipass.IQFullCycles == 0 {
+		t.Error("small IQ never filled")
+	}
+	if resSmall.Stats.Multipass.AdvanceExecuted >= resBig.Stats.Multipass.AdvanceExecuted {
+		t.Errorf("small IQ pre-executed %d >= big IQ %d",
+			resSmall.Stats.Multipass.AdvanceExecuted, resBig.Stats.Multipass.AdvanceExecuted)
+	}
+}
+
+// TestHardwareRestartRecoversChainedMiss re-runs the compiler-restart
+// scenario with RESTART removed from the program and the hardware deferral
+// heuristic enabled instead.
+func TestHardwareRestartRecoversChainedMiss(t *testing.T) {
+	src := `
+	movi r10 = 0x100000
+	movi r11 = 0x200000
+	st4 [r11] = r0
+	movi r20 = 60
+spin:
+	mul r21 = r20, r20
+	subi r20 = r20, 1
+	cmpi.ne p1, p2 = r20, 0 ;;
+	(p1) br spin
+	ld4 r1 = [r10]       # A: cold long miss
+	add r2 = r1, r1      # B: trigger
+	ld4 r3 = [r11+64]    # C: short miss
+	ld4 r4 = [r3]        # D: dependent miss (no RESTART in this binary)
+	add r5 = r4, r4
+`
+	// Pad with deferral fodder so the heuristic window fills.
+	for i := 0; i < 24; i++ {
+		src += "	add r6 = r4, r5\n"
+	}
+	src += "	halt\n"
+	p := isa.MustAssemble(src)
+
+	hw := DefaultConfig()
+	hw.HardwareRestart = true
+	hw.RestartDeferralWindow = 8
+	withHW := runMP(t, hw, p, restartImage())
+
+	none := DefaultConfig()
+	none.DisableRestart = true
+	without := runMP(t, none, p, restartImage())
+
+	if withHW.Stats.Multipass.HWRestarts == 0 {
+		t.Fatal("hardware restart never fired")
+	}
+	if withHW.Stats.Cycles+80 > without.Stats.Cycles {
+		t.Errorf("hardware restart %d cycles vs none %d: expected chained-miss overlap",
+			withHW.Stats.Cycles, without.Stats.Cycles)
+	}
+}
+
+// TestSpecFlushDiscardsDependentResults verifies that a value-mismatch
+// flush discards pre-executed results computed from the stale value (they
+// must be re-executed, not merged).
+func TestSpecFlushDiscardsDependentResults(t *testing.T) {
+	image := arch.NewMemory()
+	image.Store(0x100000, 4, 0x3000) // store target
+	image.Store(0x3000, 4, 7)        // stale value
+	// The stale location is warmed first so the data-speculative advance
+	// load HITS L1 and feeds its (stale) value to dependents, which get
+	// preserved in the RS — exactly what the flush must then discard.
+	p := isa.MustAssemble(`
+	movi r10 = 0x100000
+	movi r11 = 0x3000
+	movi r20 = 99
+	ld4 r9 = [r11]       # warm the stale line
+	movi r21 = 60
+spin:
+	mul r22 = r21, r21
+	subi r21 = r21, 1
+	cmpi.ne p1, p2 = r21, 0 ;;
+	(p1) br spin
+	ld4 r1 = [r10]
+	st4 [r1] = r20
+	ld4 r3 = [r11]       # S-bit load, stale 7 in advance (L1 hit)
+	add r4 = r3, r3      # dependent: pre-executed with 14, must become 198
+	xor r5 = r4, r3      # deeper dependent
+	halt
+`)
+	res := runMP(t, DefaultConfig(), p, image)
+	mp := res.Stats.Multipass
+	if mp.SpecFlushes == 0 {
+		t.Fatal("no flush")
+	}
+	if mp.Reexecuted == 0 {
+		t.Error("flush did not discard any preserved results")
+	}
+	if got := res.RF.Read(isa.IntReg(5)).Uint32(); got != (198 ^ 99) {
+		t.Errorf("r5 = %d, want %d", got, 198^99)
+	}
+}
+
+// TestAdvanceStoreForwardsAcrossPasses: a store pre-executed in pass 1 must
+// still forward to a load first reached in pass 2 (the ASC is cleared at
+// the pass boundary; the RS merge re-inserts it).
+func TestAdvanceStoreForwardsAcrossPasses(t *testing.T) {
+	image := restartImage()
+	image.Store(0x4000, 4, 1)
+	p := isa.MustAssemble(`
+	movi r10 = 0x100000
+	movi r11 = 0x200000
+	movi r12 = 0x4000
+	movi r20 = 55
+	st4 [r11] = r0       # warm C's L2 line
+	movi r21 = 60
+spin:
+	mul r22 = r21, r21
+	subi r21 = r21, 1
+	cmpi.ne p1, p2 = r21, 0 ;;
+	(p1) br spin
+	ld4 r1 = [r10]       # long miss (trigger)
+	add r2 = r1, r1
+	st4 [r12] = r20      # pass-1 advance store
+	ld4 r3 = [r11+64]    # short miss -> pass boundary via restart
+	restart r3
+	ld4 r4 = [r12]       # reached executable in pass 2: must see 55
+	add r5 = r4, r4
+	halt
+`)
+	res := runMP(t, DefaultConfig(), p, image)
+	if got := res.RF.Read(isa.IntReg(5)).Uint32(); got != 110 {
+		t.Errorf("r5 = %d, want 110", got)
+	}
+	if res.Stats.Multipass.Restarts == 0 {
+		t.Error("restart never fired; the scenario did not cross a pass boundary")
+	}
+}
+
+// TestDisableBothAblations: with regrouping and restart both off the
+// machine still beats in-order via persistence alone, and still matches
+// the reference architecturally.
+func TestDisableBothAblations(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableRegroup = true
+	cfg.DisableRestart = true
+	p := isa.MustAssemble(overlapProg)
+	image := arch.NewMemory()
+	image.Store(0x100000, 4, 11)
+	res := runMP(t, cfg, p, image)
+	base := runInorder(t, p, image)
+	if res.Stats.Cycles >= base.Stats.Cycles {
+		t.Errorf("fully ablated multipass (%d) no faster than inorder (%d)",
+			res.Stats.Cycles, base.Stats.Cycles)
+	}
+}
+
+// TestMachineNames covers the ablation naming.
+func TestMachineNames(t *testing.T) {
+	mk := func(rg, rs bool) string {
+		cfg := DefaultConfig()
+		cfg.DisableRegroup = rg
+		cfg.DisableRestart = rs
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Name()
+	}
+	if mk(false, false) != "multipass" ||
+		mk(true, false) != "multipass-noregroup" ||
+		mk(false, true) != "multipass-norestart" ||
+		mk(true, true) != "multipass-noregroup-norestart" {
+		t.Error("ablation names wrong")
+	}
+}
+
+// TestRandomProgramsAcrossConfigs runs randomized looping programs through
+// every ablation combination and checks architectural equivalence.
+func TestRandomProgramsAcrossConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	cfgs := []Config{}
+	for _, rg := range []bool{false, true} {
+		for _, rs := range []bool{false, true} {
+			c := DefaultConfig()
+			c.DisableRegroup = rg
+			c.DisableRestart = rs
+			cfgs = append(cfgs, c)
+		}
+	}
+	hw := DefaultConfig()
+	hw.HardwareRestart = true
+	hw.RestartDeferralWindow = 4
+	cfgs = append(cfgs, hw)
+
+	for trial := 0; trial < 10; trial++ {
+		src := "	movi r1 = 0x1000\n	movi r10 = " + itoa(3+rng.Intn(5)) + "\nloop:\n"
+		for i := 0; i < 12+rng.Intn(15); i++ {
+			switch rng.Intn(7) {
+			case 0:
+				src += "	ld4 r" + itoa(3+rng.Intn(5)) + " = [r1+" + itoa(4*rng.Intn(12)) + "]\n"
+			case 1:
+				src += "	st4 [r1+" + itoa(4*rng.Intn(12)) + "] = r" + itoa(3+rng.Intn(5)) + "\n"
+			case 2:
+				src += "	mul r" + itoa(3+rng.Intn(5)) + " = r" + itoa(3+rng.Intn(5)) + ", r" + itoa(3+rng.Intn(5)) + "\n"
+			case 3:
+				src += "	cmpi.lt p1, p2 = r" + itoa(3+rng.Intn(5)) + ", 5000\n"
+			case 4:
+				src += "	(p1) addi r" + itoa(3+rng.Intn(5)) + " = r" + itoa(3+rng.Intn(5)) + ", 3\n"
+			case 5:
+				src += "	ld4 r8 = [r1]\n	andi r8 = r8, 0xffc\n	ori r8 = r8, 0x1000\n	ld4 r9 = [r8]\n	restart r9\n"
+			case 6:
+				src += "	xor r" + itoa(3+rng.Intn(5)) + " = r" + itoa(3+rng.Intn(5)) + ", r" + itoa(3+rng.Intn(5)) + "\n"
+			}
+		}
+		src += `
+	subi r10 = r10, 1
+	cmpi.ne p3, p4 = r10, 0 ;;
+	(p3) br loop
+	halt
+`
+		p := isa.MustAssemble(src)
+		image := arch.NewMemory()
+		for i := 0; i < 64; i++ {
+			image.Store(uint32(0x1000+4*i), 4, uint64(rng.Uint32()))
+		}
+		ref, err := arch.Run(p, image.Clone(), 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci, cfg := range cfgs {
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run(p, image)
+			if err != nil {
+				t.Fatalf("trial %d cfg %d: %v\nprogram:\n%s", trial, ci, err, src)
+			}
+			if !res.RF.Equal(ref.State.RF) || !res.Mem.Equal(ref.State.Mem) {
+				t.Fatalf("trial %d cfg %d: architectural divergence\nprogram:\n%s", trial, ci, src)
+			}
+		}
+	}
+}
+
+// TestStatsConsistentOnAllPrograms double-checks cycle attribution adds up
+// for a mix of programs.
+func TestStatsConsistentOnAllPrograms(t *testing.T) {
+	for _, src := range []string{overlapProg, restartProg, specProg} {
+		res := runMP(t, DefaultConfig(), isa.MustAssemble(src), restartImage())
+		if err := res.Stats.CheckConsistency(); err != nil {
+			t.Error(err)
+		}
+		mp := res.Stats.Multipass
+		if mp.ArchCycles+mp.AdvanceCycles+mp.RallyCycles != res.Stats.Cycles {
+			t.Error("mode cycles do not sum")
+		}
+	}
+	_ = sim.StallLoad
+}

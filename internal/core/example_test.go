@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"multipass/internal/arch"
+	"multipass/internal/core"
+	"multipass/internal/isa"
+)
+
+// Run a kernel with a cache-missing load on the multipass pipeline and
+// observe that independent work behind the stall was pre-executed and
+// merged rather than re-executed.
+func Example() {
+	p := isa.MustAssemble(`
+	movi r10 = 0x100000
+	ld4  r1 = [r10]      # long cache miss
+	add  r2 = r1, r1     # stall-on-use: advance mode begins here
+	movi r3 = 40         # independent: pre-executed during the miss
+	addi r4 = r3, 2
+	halt
+`)
+	image := arch.NewMemory()
+	image.Store(0x100000, 4, 21)
+
+	m, err := core.New(core.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	res, err := m.Run(p, image)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("r2 =", res.RF.Read(isa.IntReg(2)).Uint32())
+	fmt.Println("r4 =", res.RF.Read(isa.IntReg(4)).Uint32())
+	fmt.Println("advance episodes:", res.Stats.Multipass.AdvanceEntries)
+	fmt.Println("results merged:", res.Stats.Multipass.Merged > 0)
+	// Output:
+	// r2 = 42
+	// r4 = 42
+	// advance episodes: 1
+	// results merged: true
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+
+	"multipass/internal/arch"
+	"multipass/internal/bpred"
+	"multipass/internal/isa"
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+)
+
+// Machine is the multipass pipeline model.
+type Machine struct {
+	cfg Config
+}
+
+// New validates the configuration and returns the model.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := mem.NewHierarchy(cfg.Hier); err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// Name implements sim.Machine.
+func (m *Machine) Name() string {
+	switch {
+	case m.cfg.DisableRegroup && m.cfg.DisableRestart:
+		return "multipass-noregroup-norestart"
+	case m.cfg.DisableRegroup:
+		return "multipass-noregroup"
+	case m.cfg.DisableRestart:
+		return "multipass-norestart"
+	}
+	return "multipass"
+}
+
+// mode is the pipeline's operating mode (§3.1, Figure 3).
+type mode int
+
+const (
+	modeArch mode = iota
+	modeAdvance
+	modeRally
+)
+
+// run is the per-run state of the multipass pipeline.
+type run struct {
+	cfg    *Config
+	p      *isa.Program
+	hier   *mem.Hierarchy
+	pred   *bpred.Gshare
+	stream *sim.Stream
+	fe     *sim.FetchUnit
+
+	// Architectural state owned by the machine (not the oracle).
+	ownRF  *arch.RegFile
+	ownMem *arch.Memory
+	ownPC  int
+
+	// Architectural scoreboard.
+	readyAt  [isa.NumFlatRegs]uint64
+	prodKind [isa.NumFlatRegs]sim.ProducerKind
+
+	// Multipass structures.
+	rs  *resultStore
+	asc *asc
+	// Speculative register file with A-bits (redirect) and I-bits (invalid).
+	srf        [isa.NumFlatRegs]isa.Word
+	aBit       [isa.NumFlatRegs]bool
+	iBit       [isa.NumFlatRegs]bool
+	advReadyAt [isa.NumFlatRegs]uint64
+
+	st   sim.Stats
+	now  uint64
+	next uint64 // DEQ: next architectural sequence to process
+	mode mode
+	// maxPeek is one past the farthest pre-executed sequence; rally ends
+	// when next catches up (§3.1.3).
+	maxPeek uint64
+
+	// Advance episode state.
+	trigger       uint64
+	stallUntil    uint64
+	peek          uint64
+	storeDeferred bool
+	passBlocked   bool
+	// blockAt is the episode-persistent wrong-path point: the IQ is
+	// fetched once per episode along the predicted path, so a branch that
+	// was guessed wrong stays wrong for every pass of the episode.
+	blockAt uint64
+	// deferRun counts consecutive deferrals in the current pass, for the
+	// hardware restart heuristic.
+	deferRun int
+
+	halted   bool
+	lastWork uint64
+	regBuf   [4]isa.Reg
+}
+
+const progressWindow = 1 << 20
+
+// Run implements sim.Machine.
+func (m *Machine) Run(p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+	cfg := m.cfg
+	r := &run{
+		cfg:    &cfg,
+		p:      p,
+		hier:   mem.MustNewHierarchy(cfg.Hier),
+		pred:   bpred.New(cfg.PredictorEntries),
+		ownRF:  arch.NewRegFile(),
+		ownMem: image.Clone(),
+		rs:     newResultStore(),
+		asc:    newASC(cfg.ASCEntries, cfg.ASCWays),
+	}
+	r.stream = sim.NewStream(p, image.Clone(), cfg.MaxInsts)
+	r.fe = sim.NewFetchUnit(r.stream, r.hier, cfg.FetchWidth)
+
+	for !r.halted {
+		if r.mode == modeAdvance && r.now >= r.stallUntil {
+			r.exitAdvance()
+		}
+		var err error
+		if r.mode == modeAdvance {
+			err = r.advanceCycle()
+		} else {
+			err = r.commitCycle()
+		}
+		if err != nil {
+			return nil, err
+		}
+		r.st.Cycles++
+		r.now++
+		r.fe.Release(r.next)
+		if r.now-r.lastWork > progressWindow {
+			return nil, fmt.Errorf("core: no progress for %d cycles at seq %d (mode %d)", progressWindow, r.next, r.mode)
+		}
+	}
+
+	r.st.Branch = r.pred.Stats()
+	r.st.Memory = r.hier.Stats()
+	if err := r.st.CheckConsistency(); err != nil {
+		return nil, err
+	}
+	return &sim.Result{Stats: r.st, RF: r.ownRF, Mem: r.ownMem}, nil
+}
+
+// exitAdvance switches to rally mode: latched architectural instructions
+// displace the advance stream, and the A-bit vector is cleared, which
+// effectively clears the SRF (§3.1.3). The RS survives.
+func (r *run) exitAdvance() {
+	r.mode = modeRally
+	r.clearPassState()
+	r.traceRally()
+}
+
+// clearPassState clears the per-pass speculative state: A-bits/I-bits (the
+// SRF), the ASC, and the deferred-store poison flag.
+func (r *run) clearPassState() {
+	for i := range r.aBit {
+		r.aBit[i] = false
+		r.iBit[i] = false
+	}
+	r.asc.clear()
+	r.storeDeferred = false
+	r.passBlocked = false
+	r.deferRun = 0
+}
+
+// enterAdvance begins an advance episode triggered by the instruction at
+// seq stalling on reg (paper §3.1.2).
+func (r *run) enterAdvance(seq uint64, until uint64) {
+	r.mode = modeAdvance
+	r.trigger = seq
+	r.stallUntil = until
+	r.peek = seq
+	r.blockAt = ^uint64(0)
+	r.clearPassState()
+	r.st.Multipass.AdvanceEntries++
+	r.st.Multipass.AdvancePasses++
+	r.traceAdvanceEnter()
+}
+
+// restartPass implements advance restart (§3.3): speculative per-pass state
+// clears, the RS persists, and the PEEK pointer returns to the trigger.
+func (r *run) restartPass() {
+	r.clearPassState()
+	r.peek = r.trigger
+	r.st.Multipass.AdvancePasses++
+}
+
+// commitWrite commits a computed value to the machine's architectural
+// register file, including the complement predicate for compares.
+func (r *run) commitWrite(in *isa.Inst, v isa.Word) {
+	if in.Dst.IsNone() {
+		return
+	}
+	r.ownRF.Write(in.Dst, v)
+	if !in.Dst2.IsNone() {
+		r.ownRF.Write(in.Dst2, isa.BoolWord(!v.Bool()))
+	}
+}
+
+// setReady updates the architectural scoreboard for the instruction's
+// destinations.
+func (r *run) setReady(in *isa.Inst, at uint64, kind sim.ProducerKind, groupWrites *sim.RegSet, trackGroup bool) {
+	for _, reg := range in.Writes(r.regBuf[:0]) {
+		if trackGroup {
+			groupWrites.Add(reg)
+		}
+		if reg.IsZeroReg() {
+			continue
+		}
+		f := reg.Flat()
+		r.readyAt[f] = at
+		r.prodKind[f] = kind
+	}
+}

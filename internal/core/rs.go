@@ -1,0 +1,68 @@
+package core
+
+import "multipass/internal/isa"
+
+// rsEntry is one result-store entry (plus its SMAQ fields). There is one
+// entry per instruction-queue slot; the simulator keys entries by dynamic
+// sequence number and discards them at dequeue. An absent entry is an
+// E-bit=empty slot (the instruction was deferred or never pre-executed).
+type rsEntry struct {
+	// readyCycle is when the preserved result becomes usable; for advance
+	// loads that missed, this is the fill completion time.
+	readyCycle uint64
+	// squashed records a pre-executed instruction whose qualifying
+	// predicate was false: merging it writes nothing.
+	squashed bool
+	val      isa.Word
+	val2     isa.Word // complement predicate for compares
+	hasVal   bool     // the instruction writes a destination
+
+	// spec is the S-bit: a data-speculative load that rally must re-perform
+	// and verify by value (§3.6).
+	spec bool
+
+	// SMAQ: the resolved effective address of a pre-executed memory
+	// instruction, reused in rally without re-reading address operands.
+	addr    uint32
+	hasAddr bool
+
+	// isStore marks a pre-executed store; rally performs the memory write
+	// using addr and val.
+	isStore bool
+
+	// branchDone marks a branch resolved during advance execution: the
+	// predictor was already trained (and any misprediction penalty paid),
+	// so rally does not charge it again.
+	branchDone  bool
+	branchTaken bool
+}
+
+// resultStore is the RS keyed by dynamic sequence number.
+type resultStore struct {
+	entries map[uint64]*rsEntry
+}
+
+func newResultStore() *resultStore {
+	return &resultStore{entries: make(map[uint64]*rsEntry)}
+}
+
+func (rs *resultStore) get(seq uint64) *rsEntry { return rs.entries[seq] }
+
+func (rs *resultStore) put(seq uint64, e *rsEntry) { rs.entries[seq] = e }
+
+func (rs *resultStore) drop(seq uint64) { delete(rs.entries, seq) }
+
+// flushFrom discards all entries at or above seq (value-misspeculation
+// pipeline flush).
+func (rs *resultStore) flushFrom(seq uint64) int {
+	n := 0
+	for s := range rs.entries {
+		if s >= seq {
+			delete(rs.entries, s)
+			n++
+		}
+	}
+	return n
+}
+
+func (rs *resultStore) len() int { return len(rs.entries) }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+)
+
+func TestTracerEmitsLifecycle(t *testing.T) {
+	var buf strings.Builder
+	cfg := DefaultConfig()
+	cfg.Trace = NewTracer(&buf)
+	p := isa.MustAssemble(restartProg)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(p, restartImage()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"advance-enter", "restart(compiler)", "rally", "merge seq="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerFlushEvent(t *testing.T) {
+	var buf strings.Builder
+	cfg := DefaultConfig()
+	cfg.Trace = NewTracer(&buf)
+	image := arch.NewMemory()
+	image.Store(0x100000, 4, 0x3000)
+	image.Store(0x3000, 4, 7)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(isa.MustAssemble(specProg), image); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "spec-flush") {
+		t.Errorf("trace missing spec-flush:\n%s", buf.String())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	// A nil tracer (the default) must be a no-op, not a panic.
+	var tr *Tracer
+	tr.event(1, "x")
+	cfg := DefaultConfig()
+	if cfg.Trace != nil {
+		t.Fatal("default config has a tracer")
+	}
+	p := isa.MustAssemble(overlapProg)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(p, arch.NewMemory()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,337 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual assembly format into a linked Program.
+//
+// Syntax, one instruction per line:
+//
+//	# comment (also //)
+//	label:
+//	  (p1) add r4 = r2, r3
+//	  movi r1 = 42
+//	  ld4 r5 = [r6+8]
+//	  st4 [r6] = r5
+//	  cmp.lt p1, p2 = r4, r7
+//	  br loop ;;
+//	  restart r5
+//	  halt
+//
+// A trailing ";;" sets the stop bit (end of issue group). Branch operands
+// are label names. Numeric immediates may be decimal or 0x-hex, optionally
+// negative.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Symbols: make(map[string]int)}
+	type fixup struct {
+		inst  int
+		label string
+		line  int
+	}
+	var fixups []fixup
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly several on one line before an instruction.
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 || strings.ContainsAny(line[:colon], " \t=[(") {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if label == "" {
+				return nil, fmt.Errorf("asm line %d: empty label", lineNo+1)
+			}
+			if _, dup := p.Symbols[label]; dup {
+				return nil, fmt.Errorf("asm line %d: duplicate label %q", lineNo+1, label)
+			}
+			p.Symbols[label] = len(p.Insts)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		in, targetLabel, err := parseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("asm line %d: %w", lineNo+1, err)
+		}
+		if targetLabel != "" {
+			fixups = append(fixups, fixup{len(p.Insts), targetLabel, lineNo + 1})
+		}
+		p.Insts = append(p.Insts, in)
+	}
+
+	for _, f := range fixups {
+		idx, ok := p.Symbols[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm line %d: undefined label %q", f.line, f.label)
+		}
+		p.Insts[f.inst].Target = int32(idx)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for known-good sources; it panics on error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, "#"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+func parseInst(line string) (Inst, string, error) {
+	in := Inst{QP: P0, Target: -1}
+
+	// Stop bit.
+	if rest, ok := strings.CutSuffix(strings.TrimSpace(line), ";;"); ok {
+		in.Stop = true
+		line = rest
+	}
+	line = strings.TrimSpace(line)
+
+	// Qualifying predicate prefix "(pN)".
+	if strings.HasPrefix(line, "(") {
+		end := strings.Index(line, ")")
+		if end < 0 {
+			return in, "", fmt.Errorf("unterminated qualifying predicate")
+		}
+		qp, err := parseReg(strings.TrimSpace(line[1:end]))
+		if err != nil {
+			return in, "", err
+		}
+		if qp.Class != RegClassPred {
+			return in, "", fmt.Errorf("qualifying predicate %s is not a predicate register", qp)
+		}
+		in.QP = qp
+		line = strings.TrimSpace(line[end+1:])
+	}
+
+	// Mnemonic.
+	mnEnd := strings.IndexAny(line, " \t")
+	mn := line
+	rest := ""
+	if mnEnd >= 0 {
+		mn, rest = line[:mnEnd], strings.TrimSpace(line[mnEnd+1:])
+	}
+	op, ok := OpByName(mn)
+	if !ok {
+		return in, "", fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	in.Op = op
+	sh := op.Info().Shape
+
+	var dstPart, srcPart string
+	if eq := strings.Index(rest, "="); eq >= 0 {
+		dstPart, srcPart = strings.TrimSpace(rest[:eq]), strings.TrimSpace(rest[eq+1:])
+	} else {
+		srcPart = rest
+	}
+	dsts := splitOperands(dstPart)
+	srcs := splitOperands(srcPart)
+
+	take := func(list *[]string, what string) (string, error) {
+		if len(*list) == 0 {
+			return "", fmt.Errorf("%s: missing %s operand", mn, what)
+		}
+		s := (*list)[0]
+		*list = (*list)[1:]
+		return s, nil
+	}
+
+	var err error
+	switch {
+	case op.IsLoad():
+		var d, m string
+		if d, err = take(&dsts, "destination"); err != nil {
+			return in, "", err
+		}
+		if in.Dst, err = parseReg(d); err != nil {
+			return in, "", err
+		}
+		if m, err = take(&srcs, "memory"); err != nil {
+			return in, "", err
+		}
+		if in.Src1, in.Imm, err = parseMem(m); err != nil {
+			return in, "", err
+		}
+	case op.IsStore():
+		var m, s string
+		if m, err = take(&dsts, "memory"); err != nil {
+			return in, "", err
+		}
+		if in.Src1, in.Imm, err = parseMem(m); err != nil {
+			return in, "", err
+		}
+		if s, err = take(&srcs, "source"); err != nil {
+			return in, "", err
+		}
+		if in.Src2, err = parseReg(s); err != nil {
+			return in, "", err
+		}
+	case sh.Branch:
+		label, err := take(&srcs, "target")
+		if err != nil {
+			return in, "", err
+		}
+		return in, label, trailing(mn, dsts, srcs)
+	default:
+		if sh.Dst != RegClassNone {
+			d, err := take(&dsts, "destination")
+			if err != nil {
+				return in, "", err
+			}
+			if in.Dst, err = parseReg(d); err != nil {
+				return in, "", err
+			}
+		}
+		if sh.Dst2 != RegClassNone {
+			d, err := take(&dsts, "second destination")
+			if err != nil {
+				return in, "", err
+			}
+			if in.Dst2, err = parseReg(d); err != nil {
+				return in, "", err
+			}
+		}
+		if sh.Src1 != RegClassNone {
+			s, err := take(&srcs, "source")
+			if err != nil {
+				return in, "", err
+			}
+			if in.Src1, err = parseReg(s); err != nil {
+				return in, "", err
+			}
+		}
+		if sh.Src2 != RegClassNone {
+			s, err := take(&srcs, "second source")
+			if err != nil {
+				return in, "", err
+			}
+			if in.Src2, err = parseReg(s); err != nil {
+				return in, "", err
+			}
+		}
+		if sh.UsesImm {
+			s, err := take(&srcs, "immediate")
+			if err != nil {
+				return in, "", err
+			}
+			imm, err := parseImm(s)
+			if err != nil {
+				return in, "", err
+			}
+			in.Imm = imm
+		}
+	}
+	return in, "", trailing(mn, dsts, srcs)
+}
+
+func trailing(mn string, dsts, srcs []string) error {
+	if len(dsts) > 0 || len(srcs) > 0 {
+		return fmt.Errorf("%s: extra operands %v %v", mn, dsts, srcs)
+	}
+	return nil
+}
+
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseReg(s string) (Reg, error) {
+	if len(s) < 2 {
+		return None, fmt.Errorf("invalid register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return None, fmt.Errorf("invalid register %q", s)
+	}
+	switch s[0] {
+	case 'r':
+		if n < 0 || n >= NumIntRegs {
+			return None, fmt.Errorf("register %q out of range", s)
+		}
+		return IntReg(n), nil
+	case 'f':
+		if n < 0 || n >= NumFPRegs {
+			return None, fmt.Errorf("register %q out of range", s)
+		}
+		return FPReg(n), nil
+	case 'p':
+		if n < 0 || n >= NumPredRegs {
+			return None, fmt.Errorf("register %q out of range", s)
+		}
+		return PredReg(n), nil
+	}
+	return None, fmt.Errorf("invalid register %q", s)
+}
+
+// parseMem parses "[rN]", "[rN+imm]" or "[rN-imm]".
+func parseMem(s string) (Reg, int32, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return None, 0, fmt.Errorf("invalid memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	regPart, immPart := inner, ""
+	if sep > 0 {
+		regPart, immPart = inner[:sep], inner[sep:]
+	}
+	base, err := parseReg(strings.TrimSpace(regPart))
+	if err != nil {
+		return None, 0, err
+	}
+	if base.Class != RegClassInt {
+		return None, 0, fmt.Errorf("memory base %s is not an integer register", base)
+	}
+	var imm int32
+	if immPart != "" {
+		imm, err = parseImm(strings.TrimSpace(immPart))
+		if err != nil {
+			return None, 0, err
+		}
+	}
+	return base, imm, nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimPrefix(s, "+"), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid immediate %q", s)
+	}
+	if v < -1<<31 || v > 1<<32-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}

@@ -1,0 +1,212 @@
+package isa
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const sampleAsm = `
+# sum an array of 8 words
+	movi r1 = 0        # acc
+	movi r2 = 0x100    # base
+	movi r3 = 8        # count
+loop:
+	ld4 r4 = [r2]
+	add r1 = r1, r4
+	addi r2 = r2, 4
+	subi r3 = r3, 1
+	cmpi.ne p1, p2 = r3, 0 ;;
+	(p1) br loop
+	st4 [r2+100] = r1
+	halt
+`
+
+func TestAssembleSample(t *testing.T) {
+	p, err := Assemble(sampleAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 11 {
+		t.Fatalf("got %d instructions, want 11", len(p.Insts))
+	}
+	if idx, ok := p.Symbols["loop"]; !ok || idx != 3 {
+		t.Errorf("label loop = %d, %v", idx, ok)
+	}
+	br := p.Insts[8]
+	if br.Op != OpBr || br.QP != PredReg(1) || br.Target != 3 {
+		t.Errorf("branch mis-assembled: %+v", br)
+	}
+	if !p.Insts[7].Stop {
+		t.Error("stop bit not parsed")
+	}
+	if p.Insts[1].Imm != 0x100 {
+		t.Error("hex immediate not parsed")
+	}
+	st := p.Insts[9]
+	if st.Op != OpSt4 || st.Src1 != IntReg(2) || st.Imm != 100 || st.Src2 != IntReg(1) {
+		t.Errorf("store mis-assembled: %+v", st)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"bogus r1 = r2",            // unknown mnemonic
+		"add r1 = r2",              // missing operand
+		"add r1 = r2, r3, r4",      // extra operand
+		"br nowhere",               // undefined label
+		"ld4 r1 = r2",              // not a memory operand
+		"ld4 r1 = [p3]",            // non-int base
+		"(r1) add r1 = r2, r3",     // non-pred QP
+		"movi r1 = zzz",            // bad immediate
+		"add r999 = r1, r2",        // register out of range
+		"x: x: halt",               // duplicate label
+		"(p1 add r1 = r2, r3",      // unterminated QP
+		"movi r1 = 99999999999999", // immediate out of range
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src + "\nhalt\n"); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAssembleCommentsAndBlank(t *testing.T) {
+	p, err := Assemble("\n\n# only a comment\n// other comment\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 1 || p.Insts[0].Op != OpHalt {
+		t.Errorf("got %v", p.Insts)
+	}
+}
+
+// Assembling the disassembly of a program (modulo labels) reproduces it.
+func TestAsmDisasmRoundTrip(t *testing.T) {
+	p := MustAssemble(sampleAsm)
+	var b strings.Builder
+	for i, in := range p.Insts {
+		// Emit "@N" branch targets as labels at N.
+		_ = i
+		line := in.String()
+		if at := strings.Index(line, "@"); at >= 0 {
+			line = line[:at] + "t" + line[at+1:]
+		}
+		b.WriteString(line + "\n")
+	}
+	// Insert labels for each referenced target.
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	var out []string
+	for i, line := range lines {
+		for j := range p.Insts {
+			if p.Insts[j].Op.Info().Shape.Branch && int(p.Insts[j].Target) == i {
+				out = append(out, "t"+itoa(i)+":")
+				break
+			}
+		}
+		out = append(out, line)
+	}
+	p2, err := Assemble(strings.Join(out, "\n"))
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\nsource:\n%s", err, strings.Join(out, "\n"))
+	}
+	if len(p2.Insts) != len(p.Insts) {
+		t.Fatalf("reassembly length %d != %d", len(p2.Insts), len(p.Insts))
+	}
+	for i := range p.Insts {
+		if p.Insts[i] != p2.Insts[i] {
+			t.Errorf("inst %d: %v != %v", i, p.Insts[i], p2.Insts[i])
+		}
+	}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := MustAssemble(sampleAsm)
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Program
+	if err := q.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Insts) != len(p.Insts) {
+		t.Fatalf("lengths differ: %d != %d", len(q.Insts), len(p.Insts))
+	}
+	for i := range p.Insts {
+		if p.Insts[i] != q.Insts[i] {
+			t.Errorf("inst %d differs: %v != %v", i, p.Insts[i], q.Insts[i])
+		}
+	}
+	if len(q.Symbols) != len(p.Symbols) {
+		t.Errorf("symbols differ: %v != %v", q.Symbols, p.Symbols)
+	}
+	for name, idx := range p.Symbols {
+		if q.Symbols[name] != idx {
+			t.Errorf("symbol %q: %d != %d", name, q.Symbols[name], idx)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var p Program
+	if err := p.UnmarshalBinary([]byte("not a program at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	good, _ := MustAssemble("halt").MarshalBinary()
+	if err := p.UnmarshalBinary(good[:len(good)-3]); err == nil {
+		t.Error("truncated program accepted")
+	}
+}
+
+// Randomized round trip over random (valid) instructions.
+func TestMarshalRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var insts []Inst
+	for len(insts) < 200 {
+		op := Op(rng.Intn(NumOps))
+		sh := op.Info().Shape
+		in := Inst{Op: op, QP: PredReg(rng.Intn(NumPredRegs)), Target: -1}
+		pick := func(c RegClass) Reg {
+			switch c {
+			case RegClassInt:
+				return IntReg(rng.Intn(NumIntRegs))
+			case RegClassFP:
+				return FPReg(rng.Intn(NumFPRegs))
+			case RegClassPred:
+				return PredReg(rng.Intn(NumPredRegs))
+			}
+			return None
+		}
+		in.Dst, in.Dst2, in.Src1, in.Src2 = pick(sh.Dst), pick(sh.Dst2), pick(sh.Src1), pick(sh.Src2)
+		if sh.UsesImm {
+			in.Imm = int32(rng.Uint32())
+		}
+		if sh.Branch {
+			in.Target = 0
+		}
+		in.Stop = rng.Intn(4) == 0
+		insts = append(insts, in)
+	}
+	insts = append(insts, Inst{Op: OpHalt, QP: P0, Target: -1})
+	p := &Program{Insts: insts, Symbols: map[string]int{"start": 0}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("generated program invalid: %v", err)
+	}
+	data, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Program
+	if err := q.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Insts {
+		if p.Insts[i] != q.Insts[i] {
+			t.Fatalf("inst %d differs after round trip", i)
+		}
+	}
+}

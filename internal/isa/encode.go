@@ -1,0 +1,126 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Binary program format: a fixed 8-byte magic, an instruction count, 20
+// bytes per instruction, then a symbol table. All integers little-endian.
+// The format is versioned through the magic string.
+
+var programMagic = [8]byte{'M', 'P', 'A', 'S', 'M', '0', '1', '\n'}
+
+const instEncBytes = 20
+
+// MarshalBinary serializes the program.
+func (p *Program) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(programMagic[:])
+	var u32 [4]byte
+	putU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		buf.Write(u32[:])
+	}
+	putU32(uint32(len(p.Insts)))
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		var rec [instEncBytes]byte
+		rec[0] = byte(in.Op)
+		rec[1] = in.QP.Index
+		rec[2], rec[3] = byte(in.Dst.Class), in.Dst.Index
+		rec[4], rec[5] = byte(in.Dst2.Class), in.Dst2.Index
+		rec[6], rec[7] = byte(in.Src1.Class), in.Src1.Index
+		rec[8], rec[9] = byte(in.Src2.Class), in.Src2.Index
+		binary.LittleEndian.PutUint32(rec[10:14], uint32(in.Imm))
+		binary.LittleEndian.PutUint32(rec[14:18], uint32(in.Target))
+		if in.Stop {
+			rec[18] = 1
+		}
+		buf.Write(rec[:])
+	}
+	// Deterministic symbol order.
+	names := make([]string, 0, len(p.Symbols))
+	for name := range p.Symbols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	putU32(uint32(len(names)))
+	for _, name := range names {
+		putU32(uint32(len(name)))
+		buf.WriteString(name)
+		putU32(uint32(p.Symbols[name]))
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary deserializes a program written by MarshalBinary and
+// validates it.
+func (p *Program) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != programMagic {
+		return fmt.Errorf("isa: bad program magic")
+	}
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, fmt.Errorf("isa: truncated program: %w", err)
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	n, err := readU32()
+	if err != nil {
+		return err
+	}
+	if n > 1<<24 {
+		return fmt.Errorf("isa: unreasonable instruction count %d", n)
+	}
+	p.Insts = make([]Inst, n)
+	for i := range p.Insts {
+		var rec [instEncBytes]byte
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return fmt.Errorf("isa: truncated instruction %d: %w", i, err)
+		}
+		in := &p.Insts[i]
+		in.Op = Op(rec[0])
+		in.QP = Reg{RegClassPred, rec[1]}
+		in.Dst = Reg{RegClass(rec[2]), rec[3]}
+		in.Dst2 = Reg{RegClass(rec[4]), rec[5]}
+		in.Src1 = Reg{RegClass(rec[6]), rec[7]}
+		in.Src2 = Reg{RegClass(rec[8]), rec[9]}
+		in.Imm = int32(binary.LittleEndian.Uint32(rec[10:14]))
+		in.Target = int32(binary.LittleEndian.Uint32(rec[14:18]))
+		in.Stop = rec[18] != 0
+	}
+	nsym, err := readU32()
+	if err != nil {
+		return err
+	}
+	if nsym > 1<<20 {
+		return fmt.Errorf("isa: unreasonable symbol count %d", nsym)
+	}
+	p.Symbols = make(map[string]int, nsym)
+	for i := uint32(0); i < nsym; i++ {
+		l, err := readU32()
+		if err != nil {
+			return err
+		}
+		if l > 1<<16 {
+			return fmt.Errorf("isa: unreasonable symbol length %d", l)
+		}
+		name := make([]byte, l)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return fmt.Errorf("isa: truncated symbol table: %w", err)
+		}
+		idx, err := readU32()
+		if err != nil {
+			return err
+		}
+		p.Symbols[string(name)] = int(idx)
+	}
+	return p.Validate()
+}

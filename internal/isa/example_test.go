@@ -1,0 +1,52 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+)
+
+// Assemble a small program, run it on the reference interpreter, and read
+// the result out of the architectural register file.
+func Example() {
+	p := isa.MustAssemble(`
+	movi r1 = 6
+	movi r2 = 7
+	mul  r3 = r1, r2
+	halt
+`)
+	res, err := arch.Run(p, arch.NewMemory(), 1000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("r3 =", res.State.RF.Read(isa.IntReg(3)).Uint32())
+	// Output: r3 = 42
+}
+
+// Instructions disassemble to the same syntax the assembler accepts.
+func ExampleInst_String() {
+	in := isa.Inst{
+		Op:   isa.OpCmpLt,
+		QP:   isa.P0,
+		Dst:  isa.PredReg(1),
+		Dst2: isa.PredReg(2),
+		Src1: isa.IntReg(4),
+		Src2: isa.IntReg(7),
+		Stop: true,
+	}
+	fmt.Println(in.String())
+	// Output: cmp.lt p1, p2 = r4, r7 ;;
+}
+
+// Programs round-trip through the binary object format.
+func ExampleProgram_MarshalBinary() {
+	p := isa.MustAssemble("movi r1 = 5\nhalt")
+	data, _ := p.MarshalBinary()
+	var q isa.Program
+	if err := q.UnmarshalBinary(data); err != nil {
+		panic(err)
+	}
+	fmt.Println(len(q.Insts), "instructions")
+	// Output: 2 instructions
+}

@@ -1,0 +1,108 @@
+package isa
+
+import "testing"
+
+func TestDefaultFUCaps(t *testing.T) {
+	c := DefaultFUCaps()
+	if c.MaxIssue != 6 {
+		t.Errorf("MaxIssue = %d", c.MaxIssue)
+	}
+	if c.PerClass[FUInt] != 6 || c.PerClass[FUMem] != 4 || c.PerClass[FUFP] != 2 || c.PerClass[FUBr] != 3 {
+		t.Errorf("per-class caps = %v", c.PerClass)
+	}
+	if c.MaxLoads != 2 || c.MaxStores != 2 {
+		t.Errorf("mem port split = %d/%d", c.MaxLoads, c.MaxStores)
+	}
+}
+
+func TestFUUseIssueWidth(t *testing.T) {
+	caps := DefaultFUCaps()
+	var u FUUse
+	for i := 0; i < caps.MaxIssue; i++ {
+		if !u.Fits(OpAdd, &caps) {
+			t.Fatalf("add %d rejected before the issue width", i)
+		}
+		u.Add(OpAdd)
+	}
+	if u.Fits(OpAdd, &caps) {
+		t.Error("seventh instruction fit in a 6-wide cycle")
+	}
+	u.Reset()
+	if !u.Fits(OpAdd, &caps) {
+		t.Error("reset did not clear usage")
+	}
+}
+
+func TestFUUseClassLimits(t *testing.T) {
+	caps := DefaultFUCaps()
+	var u FUUse
+	// FP units: 2 per cycle, multiplies share them.
+	u.Add(OpFAdd)
+	u.Add(OpMul)
+	if u.Fits(OpFMul, &caps) {
+		t.Error("third FP op fit with 2 FP units")
+	}
+	if !u.Fits(OpAdd, &caps) {
+		t.Error("integer op blocked by FP saturation")
+	}
+
+	// Memory ports: at most 2 loads and 2 stores.
+	u.Reset()
+	u.Add(OpLd4)
+	u.Add(OpLd1)
+	if u.Fits(OpLd2, &caps) {
+		t.Error("third load fit with 2 load ports")
+	}
+	if !u.Fits(OpSt4, &caps) {
+		t.Error("store blocked by load port saturation")
+	}
+	u.Add(OpSt4)
+	u.Add(OpSt1)
+	if u.Fits(OpSt2, &caps) {
+		t.Error("third store fit with 2 store ports")
+	}
+	// Four memory ops total also saturates FUMem.
+	if u.Fits(OpLd4, &caps) || u.Fits(OpLdF, &caps) {
+		t.Error("fifth memory op fit with 4 memory ports")
+	}
+
+	// Branch units: 3.
+	u.Reset()
+	u.Add(OpBr)
+	u.Add(OpBr)
+	u.Add(OpJmp)
+	if u.Fits(OpBr, &caps) {
+		t.Error("fourth branch fit with 3 branch units")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if FUInt.String() != "int" || FUMem.String() != "mem" || FUFP.String() != "fp" || FUBr.String() != "br" || FUNone.String() != "none" {
+		t.Error("FUClass strings wrong")
+	}
+	if KindLoad.String() != "load" || KindStore.String() != "store" || KindBranch.String() != "branch" ||
+		KindALU.String() != "alu" || KindMulDiv.String() != "muldiv" || KindFP.String() != "fp" ||
+		KindNop.String() != "nop" || KindRestart.String() != "restart" || KindHalt.String() != "halt" {
+		t.Error("Kind strings wrong")
+	}
+	if RegClassInt.String() != "int" || RegClassFP.String() != "fp" || RegClassPred.String() != "pred" || RegClassNone.String() != "none" {
+		t.Error("RegClass strings wrong")
+	}
+	// Out-of-range enum values still render.
+	if Kind(200).String() == "" || FUClass(200).String() == "" || RegClass(200).String() == "" {
+		t.Error("out-of-range enum String empty")
+	}
+	if (Reg{RegClass(200), 3}).String() == "" {
+		t.Error("invalid reg String empty")
+	}
+}
+
+func TestOpInfoOutOfRange(t *testing.T) {
+	bad := Op(250)
+	if bad.Info().Name == "" {
+		t.Error("out-of-range op has empty info")
+	}
+	if bad.FU() != FUInt || bad.Latency() != 1 {
+		t.Error("out-of-range op defaults wrong")
+	}
+}

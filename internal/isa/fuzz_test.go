@@ -1,0 +1,99 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble: the assembler must never panic, and anything it accepts
+// must validate, disassemble, and survive a binary round trip.
+func FuzzAssemble(f *testing.F) {
+	f.Add(sampleAsm)
+	f.Add("halt")
+	f.Add("(p1) add r1 = r2, r3 ;;")
+	f.Add("loop: ld4 r5 = [r6+8]\n(p1) br loop\nhalt")
+	f.Add("st4 [r1-4] = r2\nhalt")
+	f.Add("x: y: z: jmp x")
+	f.Add("movi r1 = -0x80000000\nhalt")
+	f.Add("cmp.ltu p63, p62 = r127, r0\nhalt")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v", err)
+		}
+		if s := p.String(); s == "" && len(p.Insts) > 0 {
+			t.Fatal("non-empty program disassembles to nothing")
+		}
+		data, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted program fails to marshal: %v", err)
+		}
+		var q Program
+		if err := q.UnmarshalBinary(data); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(q.Insts) != len(p.Insts) {
+			t.Fatal("round trip changed length")
+		}
+		for i := range p.Insts {
+			if p.Insts[i] != q.Insts[i] {
+				t.Fatalf("round trip changed instruction %d", i)
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalBinary: the decoder must never panic and must reject any
+// bytes that do not validate.
+func FuzzUnmarshalBinary(f *testing.F) {
+	good, _ := MustAssemble(sampleAsm).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("MPASM01\n"))
+	f.Add(append(append([]byte{}, good...), 0xff, 0xfe))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Program
+		if err := p.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Anything accepted must be a valid program.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid program: %v", err)
+		}
+	})
+}
+
+// FuzzEval: evaluation must be total over valid value-producing opcodes.
+func FuzzEval(f *testing.F) {
+	f.Add(uint8(OpAdd), uint64(1), uint64(2), int32(3))
+	f.Add(uint8(OpDiv), uint64(5), uint64(0), int32(0))
+	f.Add(uint8(OpFDiv), uint64(0x7ff0000000000000), uint64(0), int32(0))
+	f.Add(uint8(OpCvtFI), uint64(0xfff8000000000000), uint64(0), int32(0))
+	f.Fuzz(func(t *testing.T, opRaw uint8, a, b uint64, imm int32) {
+		op := Op(opRaw % uint8(NumOps))
+		switch op.Kind() {
+		case KindLoad, KindStore, KindBranch, KindHalt:
+			return // no data result; Eval panics by contract
+		case KindNop:
+			if op != OpNop && op != OpRestart {
+				return
+			}
+		}
+		_ = Eval(op, Word(a), Word(b), imm)
+	})
+}
+
+// The fuzz seed inputs double as regression anchors; this test pins one
+// tricky case: whitespace-only and comment-only sources are empty programs
+// and must be rejected (a program must contain at least one instruction).
+func TestAssembleRejectsEmpty(t *testing.T) {
+	for _, src := range []string{"", "\n\n", "# nothing", "label:"} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) accepted an empty program", src)
+		}
+	}
+	_ = strings.TrimSpace
+}

@@ -1,0 +1,159 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpInfoComplete(t *testing.T) {
+	names := make(map[string]Op)
+	for op := Op(0); int(op) < NumOps; op++ {
+		info := op.Info()
+		if info.Name == "" || strings.HasPrefix(info.Name, "op") {
+			t.Errorf("op %d has no name", op)
+		}
+		if prev, dup := names[info.Name]; dup {
+			t.Errorf("ops %d and %d share name %q", prev, op, info.Name)
+		}
+		names[info.Name] = op
+		if info.Latency < 1 {
+			t.Errorf("op %s has latency %d", info.Name, info.Latency)
+		}
+		if info.FU == FUNone && op != OpNop {
+			t.Errorf("op %s has no FU class", info.Name)
+		}
+		got, ok := OpByName(info.Name)
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v", info.Name, got, ok)
+		}
+	}
+}
+
+func TestOpClassPredicates(t *testing.T) {
+	if !OpLd4.IsLoad() || OpLd4.IsStore() || !OpLd4.IsMem() {
+		t.Error("ld4 classification")
+	}
+	if !OpSt4.IsStore() || OpSt4.IsLoad() || !OpSt4.IsMem() {
+		t.Error("st4 classification")
+	}
+	if !OpBr.IsBranch() || OpAdd.IsBranch() {
+		t.Error("branch classification")
+	}
+	if OpAdd.IsMem() {
+		t.Error("add is not memory")
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	want := map[Op]int{
+		OpLd1: 1, OpLd2: 2, OpLd4: 4, OpLdF: 8,
+		OpSt1: 1, OpSt2: 2, OpSt4: 4, OpStF: 8,
+		OpAdd: 0, OpBr: 0,
+	}
+	for op, n := range want {
+		if got := op.MemBytes(); got != n {
+			t.Errorf("%s.MemBytes() = %d, want %d", op, got, n)
+		}
+	}
+}
+
+func TestInstReadsWrites(t *testing.T) {
+	add := Inst{Op: OpAdd, QP: P0, Dst: IntReg(4), Src1: IntReg(2), Src2: IntReg(3)}
+	reads := add.Reads(nil)
+	if len(reads) != 3 || reads[0] != P0 || reads[1] != IntReg(2) || reads[2] != IntReg(3) {
+		t.Errorf("add reads = %v", reads)
+	}
+	writes := add.Writes(nil)
+	if len(writes) != 1 || writes[0] != IntReg(4) {
+		t.Errorf("add writes = %v", writes)
+	}
+
+	cmp := Inst{Op: OpCmpLt, QP: P0, Dst: PredReg(1), Dst2: PredReg(2), Src1: IntReg(2), Src2: IntReg(3)}
+	if w := cmp.Writes(nil); len(w) != 2 {
+		t.Errorf("cmp writes = %v", w)
+	}
+
+	st := Inst{Op: OpSt4, QP: PredReg(3), Src1: IntReg(6), Src2: IntReg(5)}
+	r := st.Reads(nil)
+	if len(r) != 3 || r[0] != PredReg(3) {
+		t.Errorf("st reads = %v", r)
+	}
+	if w := st.Writes(nil); len(w) != 0 {
+		t.Errorf("st writes = %v", w)
+	}
+
+	movi := Inst{Op: OpMovI, QP: P0, Dst: IntReg(1), Imm: 42}
+	if r := movi.Reads(nil); len(r) != 1 {
+		t.Errorf("movi reads = %v", r)
+	}
+}
+
+func TestInstValidate(t *testing.T) {
+	good := Inst{Op: OpAdd, QP: P0, Dst: IntReg(4), Src1: IntReg(2), Src2: IntReg(3)}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid add rejected: %v", err)
+	}
+	bad := []Inst{
+		{Op: OpAdd, QP: IntReg(1), Dst: IntReg(4), Src1: IntReg(2), Src2: IntReg(3)}, // bad QP
+		{Op: OpAdd, QP: P0, Dst: FPReg(4), Src1: IntReg(2), Src2: IntReg(3)},         // wrong dst class
+		{Op: OpAdd, QP: P0, Dst: IntReg(4), Src1: PredReg(2), Src2: IntReg(3)},       // wrong src class
+		{Op: OpBr, QP: P0, Target: -1},                                               // unresolved branch
+		{Op: OpMovI, QP: P0, Dst: IntReg(1), Src1: IntReg(2)},                        // extra src operand
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad inst %d accepted: %v", i, in)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAdd, QP: P0, Dst: IntReg(4), Src1: IntReg(2), Src2: IntReg(3)}, "add r4 = r2, r3"},
+		{Inst{Op: OpAdd, QP: PredReg(1), Dst: IntReg(4), Src1: IntReg(2), Src2: IntReg(3)}, "(p1) add r4 = r2, r3"},
+		{Inst{Op: OpLd4, QP: P0, Dst: IntReg(5), Src1: IntReg(6), Imm: 8}, "ld4 r5 = [r6+8]"},
+		{Inst{Op: OpSt4, QP: P0, Src1: IntReg(6), Src2: IntReg(5)}, "st4 [r6+0] = r5"},
+		{Inst{Op: OpMovI, QP: P0, Dst: IntReg(1), Imm: 42, Stop: true}, "movi r1 = 42 ;;"},
+		{Inst{Op: OpBr, QP: PredReg(2), Target: 7}, "(p2) br @7"},
+		{Inst{Op: OpHalt, QP: P0}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := &Program{Insts: []Inst{
+		{Op: OpMovI, QP: P0, Dst: IntReg(1), Imm: 1},
+		{Op: OpHalt, QP: P0},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	empty := &Program{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty program accepted")
+	}
+	outOfRange := &Program{Insts: []Inst{{Op: OpJmp, QP: P0, Target: 5}}}
+	if err := outOfRange.Validate(); err == nil {
+		t.Error("out-of-range branch target accepted")
+	}
+}
+
+func TestInstAddr(t *testing.T) {
+	// Three instructions per 16-byte bundle.
+	if InstAddr(0) != 0 || InstAddr(2) != 0 {
+		t.Error("first bundle addresses wrong")
+	}
+	if InstAddr(3) != 16 || InstAddr(5) != 16 {
+		t.Error("second bundle addresses wrong")
+	}
+	if InstAddr(12) != 64 {
+		t.Error("line-crossing address wrong")
+	}
+}

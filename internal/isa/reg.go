@@ -1,0 +1,143 @@
+// Package isa defines the EPIC-style instruction set architecture used by the
+// multipass simulator suite: registers, opcodes and their semantics,
+// functional-unit classes, instruction encodings, and a text assembly format.
+//
+// The ISA is modeled loosely on the Itanium 2 target of the paper: 128
+// integer registers, 128 floating-point registers, 64 predicate registers,
+// qualifying predicates on every instruction, compiler-visible issue groups
+// (stop bits), and an explicit RESTART operation used by multipass advance
+// restart (paper §3.3). Data is 32 bits wide (ILP32); each register value
+// carries a NaT ("not a thing") bit for speculation support.
+package isa
+
+import "fmt"
+
+// Register file sizes visible to the instruction set (paper §4).
+const (
+	NumIntRegs  = 128
+	NumFPRegs   = 128
+	NumPredRegs = 64
+)
+
+// RegClass identifies which architectural register file a Reg names.
+type RegClass uint8
+
+const (
+	RegClassNone RegClass = iota
+	RegClassInt
+	RegClassFP
+	RegClassPred
+)
+
+func (c RegClass) String() string {
+	switch c {
+	case RegClassNone:
+		return "none"
+	case RegClassInt:
+		return "int"
+	case RegClassFP:
+		return "fp"
+	case RegClassPred:
+		return "pred"
+	}
+	return fmt.Sprintf("RegClass(%d)", uint8(c))
+}
+
+// Reg names one architectural register: a class plus an index within the
+// class. The zero value is "no register".
+//
+// Two registers are hardwired, as on Itanium: integer register r0 always
+// reads zero, and predicate register p0 always reads true. Writes to either
+// are ignored by the register files.
+type Reg struct {
+	Class RegClass
+	Index uint8
+}
+
+// None is the absent register operand.
+var None = Reg{}
+
+// IntReg returns the integer register r<i>.
+func IntReg(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register r%d out of range", i))
+	}
+	return Reg{RegClassInt, uint8(i)}
+}
+
+// FPReg returns the floating-point register f<i>.
+func FPReg(i int) Reg {
+	if i < 0 || i >= NumFPRegs {
+		panic(fmt.Sprintf("isa: fp register f%d out of range", i))
+	}
+	return Reg{RegClassFP, uint8(i)}
+}
+
+// PredReg returns the predicate register p<i>.
+func PredReg(i int) Reg {
+	if i < 0 || i >= NumPredRegs {
+		panic(fmt.Sprintf("isa: predicate register p%d out of range", i))
+	}
+	return Reg{RegClassPred, uint8(i)}
+}
+
+// P0 is the always-true qualifying predicate.
+var P0 = PredReg(0)
+
+// R0 is the always-zero integer register.
+var R0 = IntReg(0)
+
+// IsNone reports whether r is the absent operand.
+func (r Reg) IsNone() bool { return r.Class == RegClassNone }
+
+// IsZeroReg reports whether r is a hardwired register (r0 or p0) whose writes
+// are discarded.
+func (r Reg) IsZeroReg() bool {
+	return (r.Class == RegClassInt || r.Class == RegClassPred) && r.Index == 0
+}
+
+func (r Reg) String() string {
+	switch r.Class {
+	case RegClassNone:
+		return "-"
+	case RegClassInt:
+		return fmt.Sprintf("r%d", r.Index)
+	case RegClassFP:
+		return fmt.Sprintf("f%d", r.Index)
+	case RegClassPred:
+		return fmt.Sprintf("p%d", r.Index)
+	}
+	return fmt.Sprintf("?%d.%d", r.Class, r.Index)
+}
+
+// Flat maps a register to a dense index across all classes, suitable for
+// indexing unified scoreboards and A-bit vectors. The absent register maps to
+// -1. Layout: [0,128) int, [128,256) fp, [256,320) pred.
+func (r Reg) Flat() int {
+	switch r.Class {
+	case RegClassInt:
+		return int(r.Index)
+	case RegClassFP:
+		return NumIntRegs + int(r.Index)
+	case RegClassPred:
+		return NumIntRegs + NumFPRegs + int(r.Index)
+	}
+	return -1
+}
+
+// NumFlatRegs is the size of a dense per-register vector covering all classes.
+const NumFlatRegs = NumIntRegs + NumFPRegs + NumPredRegs
+
+// FromFlat is the inverse of Reg.Flat for valid indices.
+func FromFlat(i int) Reg {
+	switch {
+	case i < 0 || i >= NumFlatRegs:
+		return None
+	case i < NumIntRegs:
+		return Reg{RegClassInt, uint8(i)}
+	case i < NumIntRegs+NumFPRegs:
+		return Reg{RegClassFP, uint8(i - NumIntRegs)}
+	default:
+		return Reg{RegClassPred, uint8(i - NumIntRegs - NumFPRegs)}
+	}
+}

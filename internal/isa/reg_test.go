@@ -1,0 +1,119 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegConstructors(t *testing.T) {
+	if r := IntReg(5); r.Class != RegClassInt || r.Index != 5 {
+		t.Errorf("IntReg(5) = %v", r)
+	}
+	if r := FPReg(127); r.Class != RegClassFP || r.Index != 127 {
+		t.Errorf("FPReg(127) = %v", r)
+	}
+	if r := PredReg(63); r.Class != RegClassPred || r.Index != 63 {
+		t.Errorf("PredReg(63) = %v", r)
+	}
+}
+
+func TestRegConstructorsPanicOutOfRange(t *testing.T) {
+	for _, f := range []func(){
+		func() { IntReg(NumIntRegs) },
+		func() { IntReg(-1) },
+		func() { FPReg(NumFPRegs) },
+		func() { PredReg(NumPredRegs) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHardwiredRegs(t *testing.T) {
+	if !R0.IsZeroReg() {
+		t.Error("r0 should be hardwired")
+	}
+	if !P0.IsZeroReg() {
+		t.Error("p0 should be hardwired")
+	}
+	if IntReg(1).IsZeroReg() || PredReg(1).IsZeroReg() || FPReg(0).IsZeroReg() {
+		t.Error("only r0 and p0 are hardwired")
+	}
+	if !None.IsNone() || R0.IsNone() {
+		t.Error("IsNone misclassifies")
+	}
+}
+
+func TestFlatRoundTrip(t *testing.T) {
+	for i := 0; i < NumFlatRegs; i++ {
+		r := FromFlat(i)
+		if r.IsNone() {
+			t.Fatalf("FromFlat(%d) = None", i)
+		}
+		if got := r.Flat(); got != i {
+			t.Fatalf("Flat(FromFlat(%d)) = %d", i, got)
+		}
+	}
+	if !FromFlat(-1).IsNone() || !FromFlat(NumFlatRegs).IsNone() {
+		t.Error("FromFlat out of range should return None")
+	}
+	if None.Flat() != -1 {
+		t.Error("None.Flat() != -1")
+	}
+}
+
+func TestFlatDense(t *testing.T) {
+	seen := make(map[int]Reg)
+	add := func(r Reg) {
+		f := r.Flat()
+		if f < 0 || f >= NumFlatRegs {
+			t.Fatalf("%v.Flat() = %d out of range", r, f)
+		}
+		if prev, dup := seen[f]; dup {
+			t.Fatalf("flat index %d shared by %v and %v", f, prev, r)
+		}
+		seen[f] = r
+	}
+	for i := 0; i < NumIntRegs; i++ {
+		add(IntReg(i))
+	}
+	for i := 0; i < NumFPRegs; i++ {
+		add(FPReg(i))
+	}
+	for i := 0; i < NumPredRegs; i++ {
+		add(PredReg(i))
+	}
+	if len(seen) != NumFlatRegs {
+		t.Fatalf("flat mapping not dense: %d of %d", len(seen), NumFlatRegs)
+	}
+}
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{
+		None:        "-",
+		IntReg(7):   "r7",
+		FPReg(12):   "f12",
+		PredReg(63): "p63",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestFlatQuick(t *testing.T) {
+	f := func(i uint16) bool {
+		idx := int(i) % NumFlatRegs
+		return FromFlat(idx).Flat() == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

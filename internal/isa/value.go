@@ -1,0 +1,154 @@
+package isa
+
+import "math"
+
+// Word is the contents of one architectural register. Integer registers use
+// the low 32 bits (the simulated machine is ILP32, per paper §4);
+// floating-point registers hold an IEEE-754 double encoded with
+// math.Float64bits. Predicates are represented as 0 or 1.
+type Word uint64
+
+// IntWord packs a 32-bit integer value.
+func IntWord(v uint32) Word { return Word(v) }
+
+// FPWord packs a floating-point value.
+func FPWord(f float64) Word { return Word(math.Float64bits(f)) }
+
+// BoolWord packs a predicate value.
+func BoolWord(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Uint32 unpacks an integer value.
+func (w Word) Uint32() uint32 { return uint32(w) }
+
+// Int32 unpacks a signed integer value.
+func (w Word) Int32() int32 { return int32(uint32(w)) }
+
+// Float64 unpacks a floating-point value.
+func (w Word) Float64() float64 { return math.Float64frombits(uint64(w)) }
+
+// Bool unpacks a predicate value.
+func (w Word) Bool() bool { return w != 0 }
+
+// Eval computes the result of a non-memory, non-branch operation given its
+// source operand values and immediate. Compare results are BoolWord-encoded.
+// Division by zero is defined (not trapping): quotient 0, remainder a.
+// Eval panics for operations with no data result (stores, branches, nop).
+func Eval(op Op, a, b Word, imm int32) Word {
+	ai, bi := a.Uint32(), b.Uint32()
+	iu := uint32(imm)
+	switch op {
+	case OpAdd:
+		return IntWord(ai + bi)
+	case OpSub:
+		return IntWord(ai - bi)
+	case OpAnd:
+		return IntWord(ai & bi)
+	case OpOr:
+		return IntWord(ai | bi)
+	case OpXor:
+		return IntWord(ai ^ bi)
+	case OpShl:
+		return IntWord(ai << (bi & 31))
+	case OpShr:
+		return IntWord(ai >> (bi & 31))
+	case OpSar:
+		return IntWord(uint32(int32(ai) >> (bi & 31)))
+	case OpAddI:
+		return IntWord(ai + iu)
+	case OpSubI:
+		return IntWord(ai - iu)
+	case OpAndI:
+		return IntWord(ai & iu)
+	case OpOrI:
+		return IntWord(ai | iu)
+	case OpXorI:
+		return IntWord(ai ^ iu)
+	case OpShlI:
+		return IntWord(ai << (iu & 31))
+	case OpShrI:
+		return IntWord(ai >> (iu & 31))
+	case OpSarI:
+		return IntWord(uint32(int32(ai) >> (iu & 31)))
+	case OpMov:
+		return IntWord(ai)
+	case OpMovI:
+		return IntWord(iu)
+
+	case OpCmpEq:
+		return BoolWord(ai == bi)
+	case OpCmpNe:
+		return BoolWord(ai != bi)
+	case OpCmpLt:
+		return BoolWord(int32(ai) < int32(bi))
+	case OpCmpLe:
+		return BoolWord(int32(ai) <= int32(bi))
+	case OpCmpLtU:
+		return BoolWord(ai < bi)
+	case OpCmpLeU:
+		return BoolWord(ai <= bi)
+	case OpCmpEqI:
+		return BoolWord(ai == iu)
+	case OpCmpNeI:
+		return BoolWord(ai != iu)
+	case OpCmpLtI:
+		return BoolWord(int32(ai) < imm)
+	case OpCmpLeI:
+		return BoolWord(int32(ai) <= imm)
+	case OpCmpLtUI:
+		return BoolWord(ai < iu)
+
+	case OpMul:
+		return IntWord(ai * bi)
+	case OpDiv:
+		if bi == 0 {
+			return IntWord(0)
+		}
+		return IntWord(uint32(int32(ai) / int32(bi)))
+	case OpRem:
+		if bi == 0 {
+			return IntWord(ai)
+		}
+		return IntWord(uint32(int32(ai) % int32(bi)))
+
+	case OpFAdd:
+		return FPWord(a.Float64() + b.Float64())
+	case OpFSub:
+		return FPWord(a.Float64() - b.Float64())
+	case OpFMul:
+		return FPWord(a.Float64() * b.Float64())
+	case OpFDiv:
+		return FPWord(a.Float64() / b.Float64())
+	case OpFMov:
+		return a
+	case OpFNeg:
+		return FPWord(-a.Float64())
+	case OpCvtIF:
+		return FPWord(float64(int32(ai)))
+	case OpCvtFI:
+		f := a.Float64()
+		switch {
+		case math.IsNaN(f):
+			return IntWord(0)
+		case f >= math.MaxInt32:
+			return IntWord(uint32(math.MaxInt32))
+		case f <= math.MinInt32:
+			return IntWord(uint32(0x80000000))
+		}
+		return IntWord(uint32(int32(f)))
+	case OpFCmpEq:
+		return BoolWord(a.Float64() == b.Float64())
+	case OpFCmpLt:
+		return BoolWord(a.Float64() < b.Float64())
+	case OpFCmpLe:
+		return BoolWord(a.Float64() <= b.Float64())
+
+	case OpRestart, OpNop:
+		return 0
+	}
+	panic("isa: Eval called for op with no data result: " + op.String())
+}

@@ -1,0 +1,206 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordPacking(t *testing.T) {
+	if IntWord(0xdeadbeef).Uint32() != 0xdeadbeef {
+		t.Error("IntWord round trip failed")
+	}
+	if IntWord(0xffffffff).Int32() != -1 {
+		t.Error("Int32 sign extension failed")
+	}
+	if FPWord(3.5).Float64() != 3.5 {
+		t.Error("FPWord round trip failed")
+	}
+	if !BoolWord(true).Bool() || BoolWord(false).Bool() {
+		t.Error("BoolWord round trip failed")
+	}
+}
+
+func TestEvalIntALU(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint32
+		imm  int32
+		want uint32
+	}{
+		{OpAdd, 3, 4, 0, 7},
+		{OpAdd, 0xffffffff, 1, 0, 0}, // 32-bit wraparound
+		{OpSub, 3, 4, 0, 0xffffffff},
+		{OpAnd, 0b1100, 0b1010, 0, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0, 0b0110},
+		{OpShl, 1, 4, 0, 16},
+		{OpShl, 1, 36, 0, 16}, // shift amount mod 32
+		{OpShr, 0x80000000, 31, 0, 1},
+		{OpSar, 0x80000000, 31, 0, 0xffffffff},
+		{OpAddI, 10, 0, -3, 7},
+		{OpSubI, 10, 0, 3, 7},
+		{OpAndI, 0xff, 0, 0x0f, 0x0f},
+		{OpOrI, 0xf0, 0, 0x0f, 0xff},
+		{OpXorI, 0xff, 0, 0x0f, 0xf0},
+		{OpShlI, 3, 0, 2, 12},
+		{OpShrI, 12, 0, 2, 3},
+		{OpSarI, 0xfffffff4, 0, 2, 0xfffffffd},
+		{OpMov, 99, 0, 0, 99},
+		{OpMovI, 0, 0, -7, 0xfffffff9},
+		{OpMul, 7, 6, 0, 42},
+		{OpMul, 0x10000, 0x10000, 0, 0}, // wraps
+		{OpDiv, 42, 6, 0, 7},
+		{OpDiv, 42, 0, 0, 0},                           // defined: 0
+		{OpDiv, 0x80000000, 0xffffffff, 0, 0x80000000}, // MinInt32 / -1 wraps
+		{OpRem, 43, 6, 0, 1},
+		{OpRem, 43, 0, 0, 43}, // defined: a
+	}
+	for _, c := range cases {
+		got := Eval(c.op, IntWord(c.a), IntWord(c.b), c.imm)
+		if got.Uint32() != c.want {
+			t.Errorf("Eval(%s, %#x, %#x, %d) = %#x, want %#x", c.op, c.a, c.b, c.imm, got.Uint32(), c.want)
+		}
+	}
+}
+
+func TestEvalCompares(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint32
+		imm  int32
+		want bool
+	}{
+		{OpCmpEq, 5, 5, 0, true},
+		{OpCmpEq, 5, 6, 0, false},
+		{OpCmpNe, 5, 6, 0, true},
+		{OpCmpLt, 0xffffffff, 0, 0, true},   // -1 < 0 signed
+		{OpCmpLtU, 0xffffffff, 0, 0, false}, // unsigned
+		{OpCmpLe, 5, 5, 0, true},
+		{OpCmpLeU, 6, 5, 0, false},
+		{OpCmpEqI, 5, 0, 5, true},
+		{OpCmpNeI, 5, 0, 5, false},
+		{OpCmpLtI, 0xffffffff, 0, 0, true},
+		{OpCmpLeI, 5, 0, 5, true},
+		{OpCmpLtUI, 1, 0, 2, true},
+	}
+	for _, c := range cases {
+		got := Eval(c.op, IntWord(c.a), IntWord(c.b), c.imm)
+		if got.Bool() != c.want {
+			t.Errorf("Eval(%s, %#x, %#x, %d) = %v, want %v", c.op, c.a, c.b, c.imm, got.Bool(), c.want)
+		}
+	}
+}
+
+func TestEvalFP(t *testing.T) {
+	a, b := FPWord(3.0), FPWord(2.0)
+	if Eval(OpFAdd, a, b, 0).Float64() != 5.0 {
+		t.Error("fadd")
+	}
+	if Eval(OpFSub, a, b, 0).Float64() != 1.0 {
+		t.Error("fsub")
+	}
+	if Eval(OpFMul, a, b, 0).Float64() != 6.0 {
+		t.Error("fmul")
+	}
+	if Eval(OpFDiv, a, b, 0).Float64() != 1.5 {
+		t.Error("fdiv")
+	}
+	if !math.IsInf(Eval(OpFDiv, a, FPWord(0), 0).Float64(), 1) {
+		t.Error("fdiv by zero should be +inf")
+	}
+	if Eval(OpFNeg, a, 0, 0).Float64() != -3.0 {
+		t.Error("fneg")
+	}
+	if Eval(OpFMov, a, 0, 0) != a {
+		t.Error("fmov")
+	}
+	if Eval(OpCvtIF, IntWord(uint32(0xfffffff9)), 0, 0).Float64() != -7.0 {
+		t.Error("cvt.if should sign extend")
+	}
+	if Eval(OpCvtFI, FPWord(-7.9), 0, 0).Int32() != -7 {
+		t.Error("cvt.fi should truncate")
+	}
+	if Eval(OpCvtFI, FPWord(math.NaN()), 0, 0).Uint32() != 0 {
+		t.Error("cvt.fi(NaN) should be 0")
+	}
+	if Eval(OpCvtFI, FPWord(1e30), 0, 0).Int32() != math.MaxInt32 {
+		t.Error("cvt.fi should saturate high")
+	}
+	if Eval(OpCvtFI, FPWord(-1e30), 0, 0).Int32() != math.MinInt32 {
+		t.Error("cvt.fi should saturate low")
+	}
+	if !Eval(OpFCmpLt, b, a, 0).Bool() || Eval(OpFCmpLt, a, b, 0).Bool() {
+		t.Error("fcmp.lt")
+	}
+	if !Eval(OpFCmpEq, a, a, 0).Bool() {
+		t.Error("fcmp.eq")
+	}
+	if !Eval(OpFCmpLe, a, a, 0).Bool() {
+		t.Error("fcmp.le")
+	}
+}
+
+func TestEvalPanicsOnNonValueOps(t *testing.T) {
+	for _, op := range []Op{OpSt4, OpBr, OpJmp, OpHalt, OpLd4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Eval(%s) should panic", op)
+				}
+			}()
+			Eval(op, 0, 0, 0)
+		}()
+	}
+}
+
+// Property: compare ops and their immediate forms agree when imm == b.
+func TestCompareImmediateAgreement(t *testing.T) {
+	pairs := [][2]Op{
+		{OpCmpEq, OpCmpEqI},
+		{OpCmpNe, OpCmpNeI},
+		{OpCmpLt, OpCmpLtI},
+		{OpCmpLe, OpCmpLeI},
+		{OpCmpLtU, OpCmpLtUI},
+	}
+	f := func(a, b uint32) bool {
+		for _, p := range pairs {
+			reg := Eval(p[0], IntWord(a), IntWord(b), 0)
+			imm := Eval(p[1], IntWord(a), 0, int32(b))
+			if reg != imm {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: x + y - y == x under 32-bit wraparound.
+func TestAddSubInverse(t *testing.T) {
+	f := func(x, y uint32) bool {
+		sum := Eval(OpAdd, IntWord(x), IntWord(y), 0)
+		back := Eval(OpSub, sum, IntWord(y), 0)
+		return back.Uint32() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: signed and unsigned compares agree when both operands are
+// non-negative.
+func TestSignedUnsignedAgreement(t *testing.T) {
+	f := func(x, y uint32) bool {
+		x &= 0x7fffffff
+		y &= 0x7fffffff
+		s := Eval(OpCmpLt, IntWord(x), IntWord(y), 0)
+		u := Eval(OpCmpLtU, IntWord(x), IntWord(y), 0)
+		return s == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

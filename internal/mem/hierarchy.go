@@ -1,0 +1,264 @@
+package mem
+
+import "fmt"
+
+// HierConfig describes the whole hierarchy.
+type HierConfig struct {
+	L1I LevelConfig
+	L1D LevelConfig
+	L2  LevelConfig
+	L3  LevelConfig
+	// MemLatency is the total latency of an access satisfied by main memory.
+	MemLatency int
+	// MaxMisses is the number of MSHRs: the maximum number of data-side
+	// misses outstanding at once (Table 2: 16).
+	MaxMisses int
+}
+
+// BaseConfig returns the paper's Table 2 hierarchy: 16KB 4-way 64B 1-cycle
+// L1s, 256KB 8-way 128B 5-cycle L2, 3MB 12-way 128B 12-cycle L3, 145-cycle
+// main memory, 16 outstanding misses.
+func BaseConfig() HierConfig {
+	return HierConfig{
+		L1I:        LevelConfig{Name: "L1I", SizeBytes: 16 << 10, Assoc: 4, LineBytes: 64, Latency: 1},
+		L1D:        LevelConfig{Name: "L1D", SizeBytes: 16 << 10, Assoc: 4, LineBytes: 64, Latency: 1},
+		L2:         LevelConfig{Name: "L2", SizeBytes: 256 << 10, Assoc: 8, LineBytes: 128, Latency: 5},
+		L3:         LevelConfig{Name: "L3", SizeBytes: 3 << 20, Assoc: 12, LineBytes: 128, Latency: 12},
+		MemLatency: 145,
+		MaxMisses:  16,
+	}
+}
+
+// Config1 returns Figure 7's "config1": the base hierarchy with 200-cycle
+// main memory.
+func Config1() HierConfig {
+	c := BaseConfig()
+	c.MemLatency = 200
+	return c
+}
+
+// Config2 returns Figure 7's "config2": 8KB 1-cycle L1s, 128KB 7-cycle L2,
+// 1.5MB 16-cycle L3, 200-cycle main memory.
+func Config2() HierConfig {
+	c := BaseConfig()
+	c.L1I.SizeBytes = 8 << 10
+	c.L1D.SizeBytes = 8 << 10
+	c.L2.SizeBytes = 128 << 10
+	c.L2.Latency = 7
+	c.L3.SizeBytes = 1536 << 10
+	c.L3.Latency = 16
+	c.MemLatency = 200
+	return c
+}
+
+// Hierarchy is the timing model of the full cache system.
+type Hierarchy struct {
+	cfg HierConfig
+	l1i *cache
+	l1d *cache
+	l2  *cache
+	l3  *cache
+	// inflight maps an L2-line-aligned address to the cycle its ongoing
+	// fill completes; it implements both MSHR occupancy and miss merging.
+	inflight map[uint32]uint64
+	// mshrStalls counts accesses that had to wait for a free MSHR.
+	mshrStalls uint64
+}
+
+// NewHierarchy builds a hierarchy; it panics only on nil receivers, never on
+// config errors, which are returned.
+func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
+	if cfg.MemLatency < 1 {
+		return nil, fmt.Errorf("mem: main memory latency %d < 1", cfg.MemLatency)
+	}
+	if cfg.MaxMisses < 1 {
+		return nil, fmt.Errorf("mem: MaxMisses %d < 1", cfg.MaxMisses)
+	}
+	h := &Hierarchy{cfg: cfg, inflight: make(map[uint32]uint64)}
+	var err error
+	if h.l1i, err = newCache(cfg.L1I); err != nil {
+		return nil, err
+	}
+	if h.l1d, err = newCache(cfg.L1D); err != nil {
+		return nil, err
+	}
+	if h.l2, err = newCache(cfg.L2); err != nil {
+		return nil, err
+	}
+	if h.l3, err = newCache(cfg.L3); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustNewHierarchy is NewHierarchy for known-good configurations.
+func MustNewHierarchy(cfg HierConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() HierConfig { return h.cfg }
+
+// mergeAddr aligns addr to the largest line granularity for miss merging.
+func (h *Hierarchy) mergeAddr(addr uint32) uint32 {
+	return addr &^ uint32(h.cfg.L2.LineBytes-1)
+}
+
+// outstanding counts fills still in flight at cycle now, purging finished
+// entries.
+func (h *Hierarchy) outstanding(now uint64) int {
+	n := 0
+	for a, ready := range h.inflight {
+		if ready <= now {
+			delete(h.inflight, a)
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// earliestCompletion returns the soonest completion among in-flight fills;
+// callers must ensure at least one is in flight.
+func (h *Hierarchy) earliestCompletion(now uint64) uint64 {
+	var best uint64
+	first := true
+	for _, ready := range h.inflight {
+		if ready > now && (first || ready < best) {
+			best = ready
+			first = false
+		}
+	}
+	if first {
+		return now
+	}
+	return best
+}
+
+// AccessData performs a data-side access at cycle now and returns the cycle
+// the data is available. write distinguishes stores (which still allocate
+// and consume MSHRs on miss but whose completion the pipeline does not wait
+// for); advance marks speculative pre-execution for statistics.
+func (h *Hierarchy) AccessData(addr uint32, now uint64, write, advance bool) uint64 {
+	// A line already in flight merges with the ongoing fill regardless of
+	// which level it would otherwise hit: the first requester pays the MSHR,
+	// later ones share the completion.
+	if ready, ok := h.inflight[h.mergeAddr(addr)]; ok && ready > now {
+		// Keep LRU state warm.
+		h.l1d.lookupW(addr, write, advance)
+		h.l1d.install(addr, write)
+		return ready
+	}
+
+	if h.l1d.lookupW(addr, write, advance) {
+		return now + uint64(h.cfg.L1D.Latency)
+	}
+
+	// L1 miss: an MSHR is required. If all are busy, the request waits for
+	// the earliest completion.
+	issueAt := now
+	for h.outstanding(issueAt) >= h.cfg.MaxMisses {
+		h.mshrStalls++
+		issueAt = h.earliestCompletion(issueAt)
+	}
+
+	var ready uint64
+	switch {
+	case h.l2.lookup(addr, advance):
+		ready = issueAt + uint64(h.cfg.L2.Latency)
+	case h.l3.lookup(addr, advance):
+		ready = issueAt + uint64(h.cfg.L3.Latency)
+	default:
+		h.l3.install(addr, false)
+		ready = issueAt + uint64(h.cfg.MemLatency)
+	}
+	h.l2.install(addr, false)
+	h.l1d.install(addr, write)
+	h.inflight[h.mergeAddr(addr)] = ready
+	return ready
+}
+
+// Probe reports the level at which addr currently hits (1, 2, 3) or 4 for
+// main memory, without perturbing any state. Used by tests and by the
+// multipass WAW rule of paper §3.5 (advance loads that miss L1 skip the SRF
+// write-back).
+func (h *Hierarchy) Probe(addr uint32) int {
+	present := func(c *cache) bool {
+		tag := c.tag(addr)
+		for i := range c.set(addr) {
+			l := &c.set(addr)[i]
+			if l.valid && l.tag == tag {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case present(h.l1d):
+		return 1
+	case present(h.l2):
+		return 2
+	case present(h.l3):
+		return 3
+	}
+	return 4
+}
+
+// InFlight reports whether addr's line is still being filled at cycle now.
+func (h *Hierarchy) InFlight(addr uint32, now uint64) bool {
+	ready, ok := h.inflight[h.mergeAddr(addr)]
+	return ok && ready > now
+}
+
+// AccessInst performs an instruction-side access at cycle now. Instruction
+// fetches do not consume data MSHRs (the front end has its own port) but do
+// share L2/L3 content.
+func (h *Hierarchy) AccessInst(addr uint32, now uint64) uint64 {
+	if h.l1i.lookup(addr, false) {
+		return now + uint64(h.cfg.L1I.Latency)
+	}
+	var ready uint64
+	switch {
+	case h.l2.lookup(addr, false):
+		ready = now + uint64(h.cfg.L2.Latency)
+	case h.l3.lookup(addr, false):
+		ready = now + uint64(h.cfg.L3.Latency)
+	default:
+		h.l3.install(addr, false)
+		ready = now + uint64(h.cfg.MemLatency)
+	}
+	h.l2.install(addr, false)
+	h.l1i.install(addr, false)
+	return ready
+}
+
+// HierStats is a snapshot of all level statistics.
+type HierStats struct {
+	L1I, L1D, L2, L3 CacheStats
+	MSHRStalls       uint64
+}
+
+// Stats returns a snapshot of the hierarchy's counters.
+func (h *Hierarchy) Stats() HierStats {
+	return HierStats{
+		L1I:        h.l1i.stats,
+		L1D:        h.l1d.stats,
+		L2:         h.l2.stats,
+		L3:         h.l3.stats,
+		MSHRStalls: h.mshrStalls,
+	}
+}
+
+// Reset invalidates all caches and clears counters and in-flight state.
+func (h *Hierarchy) Reset() {
+	h.l1i.reset()
+	h.l1d.reset()
+	h.l2.reset()
+	h.l3.reset()
+	h.inflight = make(map[uint32]uint64)
+	h.mshrStalls = 0
+}

@@ -1,0 +1,208 @@
+// Package inorder implements the baseline machine of the paper's
+// evaluation: a 6-issue, scoreboarded, in-order EPIC pipeline with
+// stall-on-use semantics. Instructions issue in program order in dynamically
+// dependence-checked groups under the FU capacities of Table 2; the first
+// consumer of an unready value stalls the machine until the value arrives.
+package inorder
+
+import (
+	"fmt"
+
+	"multipass/internal/arch"
+	"multipass/internal/bpred"
+	"multipass/internal/isa"
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+)
+
+// Machine is the baseline in-order model.
+type Machine struct {
+	cfg sim.Config
+}
+
+// New validates the configuration and returns the model.
+func New(cfg sim.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := mem.NewHierarchy(cfg.Hier); err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// Name implements sim.Machine.
+func (m *Machine) Name() string { return "inorder" }
+
+// progressWindow bounds how many cycles the machine may go without issuing
+// before the run is declared wedged (a model bug, not a program property).
+const progressWindow = 1 << 20
+
+// Run implements sim.Machine.
+func (m *Machine) Run(p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+	cfg := &m.cfg
+	hier := mem.MustNewHierarchy(cfg.Hier)
+	pred := bpred.New(cfg.PredictorEntries)
+	stream := sim.NewStream(p, image.Clone(), cfg.MaxInsts)
+	fe := sim.NewFetchUnit(stream, hier, cfg.FetchWidth)
+	own := arch.NewState(image.Clone())
+
+	var (
+		readyAt  [isa.NumFlatRegs]uint64
+		prodKind [isa.NumFlatRegs]sim.ProducerKind
+		st       sim.Stats
+		now      uint64
+		next     uint64 // next sequence to issue
+		lastWork uint64 // last cycle that issued something
+		halted   bool
+		regBuf   [4]isa.Reg
+	)
+
+	for !halted {
+		fe.SetLimit(next + uint64(cfg.BufferSize))
+		var use isa.FUUse
+		var groupWrites sim.RegSet
+		issued := 0
+		blocker := sim.StallFrontEnd
+
+	group:
+		for issued < cfg.Caps.MaxIssue && !halted {
+			d, err := stream.At(next)
+			if err != nil {
+				return nil, err
+			}
+			if d == nil {
+				return nil, fmt.Errorf("inorder: stream ended before halt issued")
+			}
+			fready, ok, err := fe.ReadyAt(next)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("inorder: fetch ended before halt issued")
+			}
+			if fready > now {
+				blocker = sim.StallFrontEnd
+				break
+			}
+			in := d.Inst
+
+			// Qualifying predicate must be readable.
+			if groupWrites.Has(in.QP) {
+				break // written earlier in this group: issue next cycle
+			}
+			if qf := in.QP.Flat(); readyAt[qf] > now {
+				blocker = prodKind[qf].StallFor()
+				break
+			}
+			qpTrue := own.RF.Read(in.QP).Bool()
+
+			// Source operands: needed only when the instruction will
+			// actually execute (predicated-off instructions are nullified
+			// without stalling; branches consume only their predicate).
+			if qpTrue && !in.Op.IsBranch() {
+				for _, r := range in.Reads(regBuf[:0]) {
+					if r == in.QP {
+						continue
+					}
+					if groupWrites.Has(r) {
+						break group
+					}
+					if f := r.Flat(); readyAt[f] > now {
+						blocker = prodKind[f].StallFor()
+						break group
+					}
+				}
+			}
+			// Destinations: intra-group WAW splits the group; a pending
+			// longer-latency write to the same register scoreboards the
+			// issue (out-of-order completion, paper §3.5).
+			if qpTrue {
+				lat := uint64(in.Op.Latency())
+				for _, r := range in.Writes(regBuf[:0]) {
+					if groupWrites.Has(r) {
+						break group
+					}
+					if f := r.Flat(); readyAt[f] > now+lat {
+						blocker = sim.StallOther
+						break group
+					}
+				}
+			}
+			if !use.Fits(in.Op, &cfg.Caps) {
+				blocker = sim.StallOther
+				break
+			}
+
+			// Issue: architecturally execute on the machine's own state.
+			if own.PC != d.Index {
+				return nil, fmt.Errorf("inorder: own PC %d diverged from stream index %d at seq %d", own.PC, d.Index, d.Seq)
+			}
+			info, err := own.Step(p)
+			if err != nil {
+				return nil, err
+			}
+			use.Add(in.Op)
+			st.Retired++
+			issued++
+			lastWork = now
+
+			completion := now + uint64(in.Op.Latency())
+			kind := sim.ProducerOther
+			switch {
+			case info.IsLoad:
+				completion = hier.AccessData(info.MemAddr, now, false, false)
+				kind = sim.ProducerLoad
+			case info.IsStore:
+				// Stores retire into the machine's store path without
+				// stalling the pipeline; the access still occupies the
+				// hierarchy (allocation, MSHR).
+				hier.AccessData(info.MemAddr, now, true, false)
+			}
+			if !info.Squashed {
+				for _, r := range in.Writes(regBuf[:0]) {
+					groupWrites.Add(r)
+					if f := r.Flat(); !r.IsZeroReg() {
+						readyAt[f] = completion
+						prodKind[f] = kind
+					}
+				}
+			}
+
+			if in.Op.Kind() == isa.KindHalt {
+				halted = true
+			}
+			next++
+
+			if info.IsBranch {
+				correct := pred.Update(d.Addr(), d.Taken)
+				if !correct {
+					fe.Flush(next, now+1+uint64(cfg.MispredictPenalty))
+				}
+				if d.Taken || !correct {
+					break // no issue past a redirect in the same cycle
+				}
+			}
+		}
+
+		if issued > 0 {
+			st.Cat[sim.StallExecution]++
+		} else {
+			st.Cat[blocker]++
+		}
+		st.Cycles++
+		now++
+		fe.Release(next)
+
+		if now-lastWork > progressWindow {
+			return nil, fmt.Errorf("inorder: no issue for %d cycles at seq %d (model wedged)", progressWindow, next)
+		}
+	}
+
+	st.Branch = pred.Stats()
+	st.Memory = hier.Stats()
+	if err := st.CheckConsistency(); err != nil {
+		return nil, err
+	}
+	return &sim.Result{Stats: st, RF: own.RF, Mem: own.Mem}, nil
+}

@@ -1,0 +1,200 @@
+package ooo
+
+import (
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+)
+
+// TestFetchBarrierOnUnresolvableMispredict: a branch whose condition
+// depends on a missing load and whose prediction is wrong must stall the
+// front end until it resolves — the machine must not profit from work it
+// could only have fetched down the wrong path.
+func TestFetchBarrierOnUnresolvableMispredict(t *testing.T) {
+	// The branch direction alternates with the loaded value (PRNG-seeded
+	// memory), so gshare stays near 50%; each wrong prediction must cost a
+	// full miss-resolution delay, not just the flush penalty.
+	src := `
+	movi r10 = 0x100000
+	movi r20 = 40
+loop:
+	ld4 r1 = [r10]       # fresh long miss each iteration
+	andi r2 = r1, 1
+	cmpi.eq p1, p2 = r2, 1 ;;
+	(p1) br odd
+	addi r3 = r3, 1
+odd:
+	addi r10 = r10, 8192
+	subi r20 = r20, 1
+	cmpi.ne p3, p4 = r20, 0 ;;
+	(p3) br loop
+	halt
+`
+	p := isa.MustAssemble(src)
+	image := arch.NewMemory()
+	for i := 0; i < 48; i++ {
+		image.Store(uint32(0x100000+8192*i), 4, uint64(i*2654435761))
+	}
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(p, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the barrier, consecutive iterations' misses cannot overlap when
+	// the intervening branch is mispredicted: the run must cost at least
+	// (mispredicted branches) * memory latency.
+	miss := res.Stats.Branch.Mispredicts
+	if miss < 5 {
+		t.Fatalf("only %d mispredicts; PRNG data not unpredictable enough", miss)
+	}
+	if res.Stats.Cycles < miss*145 {
+		t.Errorf("cycles = %d < mispredicts(%d) * 145: machine profited from wrong-path work",
+			res.Stats.Cycles, miss)
+	}
+}
+
+// TestROBFillsOnLongMiss: a long-latency load at the ROB head must
+// eventually fill the ROB and stall rename.
+func TestROBFillsOnLongMiss(t *testing.T) {
+	// Loop shape keeps the I-cache warm; each iteration has a fresh long
+	// miss at the head with plenty of work behind it.
+	src := "	movi r10 = 0x100000\n	movi r20 = 4\nloop:\n	ld4 r1 = [r10]\n	add r9 = r1, r1\n"
+	for i := 0; i < 120; i++ {
+		src += "	addi r3 = r3, 1\n"
+	}
+	src += `
+	addi r10 = r10, 8192
+	subi r20 = r20, 1
+	cmpi.ne p1, p2 = r20, 0 ;;
+	(p1) br loop
+	halt
+`
+	cfg := DefaultConfig()
+	cfg.ROBSize = 64
+	cfg.WindowSize = 32
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(isa.MustAssemble(src), arch.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.OOO.ROBFullCy == 0 {
+		t.Error("ROB never filled behind a 145-cycle miss")
+	}
+}
+
+// TestRetireWidthBoundsIPC: with retire width 1 the machine cannot exceed
+// IPC 1 no matter how parallel the code is.
+func TestRetireWidthBoundsIPC(t *testing.T) {
+	src := "	movi r1 = 1\n	movi r20 = 200\nloop:\n"
+	for i := 0; i < 12; i++ {
+		src += "	addi r" + itoa(2+i%6) + " = r1, " + itoa(i) + "\n"
+	}
+	src += `
+	subi r20 = r20, 1
+	cmpi.ne p1, p2 = r20, 0 ;;
+	(p1) br loop
+	halt
+`
+	cfg := DefaultConfig()
+	cfg.RetireWidth = 1
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(isa.MustAssemble(src), arch.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc := res.Stats.IPC(); ipc > 1.0 {
+		t.Errorf("IPC %.2f exceeds retire width 1", ipc)
+	}
+	wide, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := wide.Run(isa.MustAssemble(src), arch.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Stats.Cycles >= res.Stats.Cycles {
+		t.Error("wider retire no faster")
+	}
+}
+
+// TestDecentralizedQueuePressure: the memory queue (16 entries) binds when
+// many loads wait on one producer; the unified window does not.
+func TestDecentralizedQueuePressure(t *testing.T) {
+	src := "	movi r10 = 0x100000\n	ld4 r1 = [r10]\n"
+	// 30 loads all dependent on the missing r1: they occupy the mem queue.
+	for i := 0; i < 30; i++ {
+		src += "	ld4 r" + itoa(2+i%50) + " = [r1+" + itoa(4*i) + "]\n"
+	}
+	src += "	halt\n"
+	m, err := New(RealisticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(isa.MustAssemble(src), arch.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.OOO.WindowFullCy == 0 {
+		t.Error("decentralized memory queue never filled")
+	}
+}
+
+// TestConservativeMemOrderCosts: with conservative disambiguation a load
+// behind a slow-addressed store must wait; the ideal model lets it issue.
+func TestConservativeMemOrderCosts(t *testing.T) {
+	src := `
+	movi r10 = 0x100000
+	movi r11 = 0x2000
+	movi r12 = 0x3000
+	ld4 r1 = [r10]       # long miss produces the store's address base
+	st4 [r1] = r12       # store cannot issue until the miss returns
+	ld4 r3 = [r11]       # independent load: ideal issues now, conservative waits
+	ld4 r4 = [r11+8192]
+	add r5 = r3, r4
+	halt
+`
+	p := isa.MustAssemble(src)
+	image := arch.NewMemory()
+	image.Store(0x100000, 4, 0x4000)
+	ideal, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iRes, err := ideal.Run(p, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ConservativeMemOrder = true
+	cons, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRes, err := cons.Run(p, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cRes.Stats.Cycles <= iRes.Stats.Cycles {
+		t.Errorf("conservative ordering (%d cycles) not slower than ideal (%d)",
+			cRes.Stats.Cycles, iRes.Stats.Cycles)
+	}
+	// Both must still match the reference architecturally.
+	ref, err := arch.Run(p, image.Clone(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cRes.RF.Equal(ref.State.RF) {
+		t.Error("conservative model diverged")
+	}
+}

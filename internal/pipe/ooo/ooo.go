@@ -1,0 +1,418 @@
+// Package ooo implements the paper's out-of-order comparison models (§5.1):
+// an idealized machine with register renaming free of WAW/WAR hazards, a
+// 128-entry scheduling window, a 256-entry reorder buffer, oldest-first
+// select, and three extra front-end stages reflected in the misprediction
+// penalty; and the §5.2 "realistic" variant with decentralized 16-entry
+// scheduling queues for memory, floating-point, and integer instructions.
+//
+// Idealizations, matching the paper's intent: scheduling and register read
+// happen together (no speculative wakeup), predicate renaming is ideal, and
+// memory disambiguation is perfect (loads issue as soon as their address
+// register is ready and always receive correct values).
+package ooo
+
+import (
+	"fmt"
+
+	"multipass/internal/arch"
+	"multipass/internal/bpred"
+	"multipass/internal/isa"
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+)
+
+// Config extends the common configuration with window geometry.
+type Config struct {
+	sim.Config
+	// WindowSize is the unified scheduling window capacity (Table 2: 128).
+	WindowSize int
+	// ROBSize is the reorder buffer capacity (Table 2: 256).
+	ROBSize int
+	// RetireWidth is instructions retired per cycle.
+	RetireWidth int
+	// Decentralized selects the §5.2 realistic variant: per-class
+	// scheduling queues of QueueSize entries each.
+	Decentralized bool
+	QueueSize     int
+	// ConservativeMemOrder replaces the ideal memory disambiguation with
+	// the conservative policy real load/store queues fall back on: a load
+	// may not issue until every older store has issued (its address is
+	// known). The paper's ideal model assumes perfect disambiguation; this
+	// knob quantifies what that idealization is worth.
+	ConservativeMemOrder bool
+}
+
+// DefaultConfig returns the idealized Table 2 out-of-order machine. The +3
+// front-end (rename/schedule) stages raise the misprediction penalty.
+func DefaultConfig() Config {
+	c := Config{Config: sim.Default()}
+	c.BufferSize = 256
+	c.MispredictPenalty = 11
+	c.WindowSize = 128
+	c.ROBSize = 256
+	c.RetireWidth = 6
+	c.QueueSize = 16
+	return c
+}
+
+// RealisticConfig returns the §5.2 variant with decentralized 16-entry
+// scheduling queues.
+func RealisticConfig() Config {
+	c := DefaultConfig()
+	c.Decentralized = true
+	return c
+}
+
+// Validate checks the OOO-specific parameters.
+func (c *Config) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	if c.WindowSize < 1 || c.ROBSize < c.WindowSize || c.RetireWidth < 1 {
+		return fmt.Errorf("ooo: invalid window/ROB geometry")
+	}
+	if c.Decentralized && c.QueueSize < 1 {
+		return fmt.Errorf("ooo: invalid queue size")
+	}
+	return nil
+}
+
+// Machine is the out-of-order model.
+type Machine struct {
+	cfg Config
+}
+
+// New validates the configuration and returns the model.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := mem.NewHierarchy(cfg.Hier); err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// Name implements sim.Machine.
+func (m *Machine) Name() string {
+	if m.cfg.Decentralized {
+		return "ooo-realistic"
+	}
+	return "ooo"
+}
+
+type entryState uint8
+
+const (
+	stWaiting entryState = iota
+	stIssued
+	stDone
+)
+
+// entry is one in-flight instruction.
+type entry struct {
+	d          *sim.DynInst
+	state      entryState
+	deps       []uint64 // producer sequence numbers (renamed operands)
+	completion uint64
+	queue      int // scheduling queue index (decentralized variant)
+}
+
+// queueOf maps an opcode to its decentralized scheduling queue.
+func queueOf(op isa.Op) int {
+	switch op.FU() {
+	case isa.FUMem:
+		return 0
+	case isa.FUFP:
+		return 1
+	default:
+		return 2
+	}
+}
+
+const progressWindow = 1 << 20
+
+// Run implements sim.Machine.
+func (m *Machine) Run(p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+	cfg := m.cfg
+	hier := mem.MustNewHierarchy(cfg.Hier)
+	pred := bpred.New(cfg.PredictorEntries)
+	stream := sim.NewStream(p, image.Clone(), cfg.MaxInsts)
+	fe := sim.NewFetchUnit(stream, hier, cfg.FetchWidth)
+
+	var (
+		st       sim.Stats
+		now      uint64
+		base     uint64 // seq of ents[0] (ROB head)
+		ents     []*entry
+		lastProd = map[int]uint64{} // flat reg -> producing seq
+		inWindow int
+		inQueue  [3]int
+		haltSeq  = ^uint64(0)
+		lastWork uint64
+		regBuf   [4]isa.Reg
+		// barrier is the sequence of an in-flight branch whose prediction
+		// is wrong: real hardware fetches the wrong path beyond it, so no
+		// younger instruction may enter the machine until it resolves.
+		barrier = ^uint64(0)
+	)
+	entAt := func(seq uint64) *entry { return ents[seq-base] }
+
+	rebuildRename := func() {
+		for k := range lastProd {
+			delete(lastProd, k)
+		}
+		for i, e := range ents {
+			for _, reg := range e.d.Inst.Writes(regBuf[:0]) {
+				if !reg.IsZeroReg() {
+					lastProd[reg.Flat()] = base + uint64(i)
+				}
+			}
+		}
+	}
+
+	for {
+		// Retire in order from the ROB head.
+		retired := 0
+		for retired < cfg.RetireWidth && len(ents) > 0 {
+			e := ents[0]
+			if e.state != stDone || e.completion > now {
+				break
+			}
+			if e.d.Halt {
+				haltSeq = e.d.Seq
+			}
+			ents = ents[1:]
+			base++
+			st.Retired++
+			retired++
+		}
+		fe.Release(base)
+		if haltSeq != ^uint64(0) {
+			st.Cycles++ // the retire cycle of halt
+			st.Cat[sim.StallExecution]++
+			break
+		}
+
+		// Rename/insert up to FetchWidth instructions.
+		fe.SetLimit(base + uint64(cfg.ROBSize))
+		inserted := 0
+		for inserted < cfg.FetchWidth && barrier == ^uint64(0) {
+			seq := base + uint64(len(ents))
+			if len(ents) >= cfg.ROBSize {
+				st.OOO.ROBFullCy++
+				break
+			}
+			if cfg.Decentralized {
+				// Peek class before committing to insert.
+				d, err := stream.At(seq)
+				if err != nil {
+					return nil, err
+				}
+				if d == nil {
+					break
+				}
+				if inQueue[queueOf(d.Inst.Op)] >= cfg.QueueSize {
+					st.OOO.WindowFullCy++
+					break
+				}
+			} else if inWindow >= cfg.WindowSize {
+				st.OOO.WindowFullCy++
+				break
+			}
+			d, err := stream.At(seq)
+			if err != nil {
+				return nil, err
+			}
+			if d == nil {
+				break
+			}
+			fready, ok, err := fe.ReadyAt(seq)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if fready > now {
+				break
+			}
+			e := &entry{d: d, queue: queueOf(d.Inst.Op)}
+			for _, reg := range d.Inst.Reads(regBuf[:0]) {
+				if reg.IsZeroReg() {
+					continue
+				}
+				if prod, okp := lastProd[reg.Flat()]; okp && prod >= base {
+					e.deps = append(e.deps, prod)
+				}
+			}
+			for _, reg := range d.Inst.Writes(regBuf[:0]) {
+				if !reg.IsZeroReg() {
+					lastProd[reg.Flat()] = seq
+				}
+			}
+			ents = append(ents, e)
+			inWindow++
+			inQueue[e.queue]++
+			inserted++
+			if d.Halt {
+				break
+			}
+			if d.IsBranch && pred.Predict(d.Addr()) != d.Taken {
+				// Everything fetched beyond this branch would be
+				// wrong-path; stall the front end until it resolves.
+				barrier = seq
+			}
+		}
+
+		// Select and issue: oldest-first among ready waiting entries.
+		var use isa.FUUse
+		issued := 0
+		for i := 0; i < len(ents) && issued < cfg.Caps.MaxIssue; i++ {
+			e := ents[i]
+			if e.state != stWaiting {
+				continue
+			}
+			ready := true
+			for _, dep := range e.deps {
+				if dep < base {
+					continue
+				}
+				de := entAt(dep)
+				if de.state != stDone || de.completion > now {
+					ready = false
+					break
+				}
+			}
+			if ready && cfg.ConservativeMemOrder && e.d.IsLoad {
+				// Conservative disambiguation: all older stores must have
+				// issued before a load may.
+				for j := 0; j < i; j++ {
+					if ents[j].d.IsStore && ents[j].state == stWaiting {
+						ready = false
+						break
+					}
+				}
+			}
+			if !ready {
+				continue
+			}
+			in := e.d.Inst
+			if !use.Fits(in.Op, &cfg.Caps) {
+				continue
+			}
+			use.Add(in.Op)
+			e.state = stIssued
+			inWindow--
+			inQueue[e.queue]--
+			issued++
+			lastWork = now
+
+			e.completion = now + uint64(in.Op.Latency())
+			switch {
+			case e.d.IsLoad:
+				e.completion = hier.AccessData(e.d.MemAddr, now, false, false)
+			case e.d.IsStore:
+				hier.AccessData(e.d.MemAddr, now, true, false)
+			}
+			if e.completion <= now {
+				e.completion = now + 1
+			}
+			if e.completion <= now+1 {
+				e.state = stDone
+			}
+
+			if e.d.IsBranch {
+				if e.d.Seq == barrier {
+					barrier = ^uint64(0) // resolved; fetch may resume
+				}
+				correct := pred.Update(e.d.Addr(), e.d.Taken)
+				if !correct {
+					// Squash younger in-flight instructions and refetch.
+					cut := int(e.d.Seq - base + 1)
+					squashed := len(ents) - cut
+					for _, y := range ents[cut:] {
+						if y.state == stWaiting {
+							inWindow--
+							inQueue[y.queue]--
+						}
+					}
+					ents = ents[:cut]
+					if barrier != ^uint64(0) && barrier >= base+uint64(cut) {
+						barrier = ^uint64(0)
+					}
+					st.OOO.Flushes++
+					st.OOO.Squashed += uint64(squashed)
+					fe.Flush(e.d.Seq+1, now+1+uint64(cfg.MispredictPenalty))
+					rebuildRename()
+					break
+				}
+			}
+		}
+		// Promote issued entries whose completion has arrived.
+		for _, e := range ents {
+			if e.state == stIssued && e.completion <= now+1 {
+				e.state = stDone
+			}
+		}
+
+		// Attribution (paper §5.2): a cycle with no issue is charged to the
+		// oldest unfinished instruction's stall cause, or to the front end
+		// when the machine is empty.
+		if issued > 0 {
+			st.Cat[sim.StallExecution]++
+		} else if len(ents) == 0 {
+			st.Cat[sim.StallFrontEnd]++
+		} else {
+			cause := sim.StallFrontEnd
+			for _, e := range ents {
+				if e.state == stDone && e.completion <= now {
+					continue
+				}
+				switch {
+				case e.state != stWaiting:
+					// Oldest unfinished is executing.
+					if e.d.IsLoad {
+						cause = sim.StallLoad
+					} else {
+						cause = sim.StallOther
+					}
+				default:
+					// Waiting on producers: find the slowest unfinished one.
+					cause = sim.StallOther
+					for _, dep := range e.deps {
+						if dep < base {
+							continue
+						}
+						de := entAt(dep)
+						if de.state == stDone && de.completion <= now {
+							continue
+						}
+						if de.d.IsLoad {
+							cause = sim.StallLoad
+							break
+						}
+					}
+				}
+				break
+			}
+			st.Cat[cause]++
+		}
+		st.Cycles++
+		now++
+		if now-lastWork > progressWindow {
+			return nil, fmt.Errorf("ooo: no issue for %d cycles at base %d", progressWindow, base)
+		}
+	}
+
+	st.Branch = pred.Stats()
+	st.Memory = hier.Stats()
+	if err := st.CheckConsistency(); err != nil {
+		return nil, err
+	}
+	// The OOO model does not simulate values; its architectural outcome is
+	// the oracle's final state (no wrong-path values can leak because
+	// wrong paths are never simulated).
+	fin := stream.FinalState()
+	return &sim.Result{Stats: st, RF: fin.RF, Mem: fin.Mem}, nil
+}

@@ -1,0 +1,194 @@
+package ooo
+
+import (
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/pipe/inorder"
+	"multipass/internal/sim"
+)
+
+func run(t *testing.T, cfg Config, src string, setup func(*arch.Memory)) *sim.Result {
+	t.Helper()
+	p := isa.MustAssemble(src)
+	image := arch.NewMemory()
+	if setup != nil {
+		setup(image)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(p, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := arch.Run(p, image.Clone(), 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Retired != ref.State.Retired {
+		t.Fatalf("retired %d, reference %d", res.Stats.Retired, ref.State.Retired)
+	}
+	if !res.RF.Equal(ref.State.RF) || !res.Mem.Equal(ref.State.Mem) {
+		t.Fatal("OOO final state diverged from reference")
+	}
+	return res
+}
+
+func runInorder(t *testing.T, src string, setup func(*arch.Memory)) *sim.Result {
+	t.Helper()
+	p := isa.MustAssemble(src)
+	image := arch.NewMemory()
+	if setup != nil {
+		setup(image)
+	}
+	m, err := inorder.New(sim.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(p, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const missOverlap = `
+	movi r10 = 0x100000
+	ld4 r1 = [r10]
+	add r2 = r1, r1
+	ld4 r3 = [r10+8192]
+	add r4 = r3, r3
+	ld4 r5 = [r10+16384]
+	add r6 = r5, r5
+	halt
+`
+
+func TestOverlapsIndependentMisses(t *testing.T) {
+	ooo := run(t, DefaultConfig(), missOverlap, nil)
+	base := runInorder(t, missOverlap, nil)
+	// Dynamic scheduling overlaps all three misses; in-order serializes
+	// them (both pay the same cold I-cache startup).
+	if ooo.Stats.Cycles+200 > base.Stats.Cycles {
+		t.Errorf("ooo %d cycles vs inorder %d: expected overlap win", ooo.Stats.Cycles, base.Stats.Cycles)
+	}
+}
+
+func TestLoopMatchesReference(t *testing.T) {
+	res := run(t, DefaultConfig(), `
+	movi r1 = 0
+	movi r2 = 0x1000
+	movi r3 = 100
+loop:
+	ld4 r4 = [r2]
+	add r1 = r1, r4
+	addi r2 = r2, 4
+	subi r3 = r3, 1
+	cmpi.ne p1, p2 = r3, 0 ;;
+	(p1) br loop
+	halt
+`, func(m *arch.Memory) {
+		for i := 0; i < 100; i++ {
+			m.Store(uint32(0x1000+4*i), 4, uint64(i))
+		}
+	})
+	if res.Stats.IPC() <= 0.5 {
+		t.Errorf("IPC = %.2f, unexpectedly low for a simple loop", res.Stats.IPC())
+	}
+}
+
+func TestMispredictionFlushes(t *testing.T) {
+	res := run(t, DefaultConfig(), `
+	movi r1 = 12345
+	movi r4 = 1000
+loop:
+	shli r5 = r1, 13
+	xor r1 = r1, r5
+	shri r5 = r1, 17
+	xor r1 = r1, r5
+	andi r6 = r1, 1
+	cmpi.eq p1, p2 = r6, 1 ;;
+	(p1) br skip
+	addi r3 = r3, 1
+skip:
+	subi r4 = r4, 1
+	cmpi.ne p1, p2 = r4, 0 ;;
+	(p1) br loop
+	halt
+`, nil)
+	if res.Stats.OOO.Flushes == 0 {
+		t.Error("unpredictable branches never flushed")
+	}
+	if res.Stats.Branch.Mispredicts == 0 {
+		t.Error("no mispredictions recorded")
+	}
+}
+
+func TestRealisticQueuesAreSlower(t *testing.T) {
+	// Many independent long-latency loads: the 16-entry memory queue limits
+	// how much parallelism the realistic variant can expose.
+	src := "	movi r10 = 0x100000\n"
+	for i := 0; i < 40; i++ {
+		src += "	ld4 r" + itoa(1+i%60) + " = [r10+" + itoa(8192*(i+1)) + "]\n"
+	}
+	src += "	halt\n"
+	ideal := run(t, DefaultConfig(), src, nil)
+	realistic := run(t, RealisticConfig(), src, nil)
+	if realistic.Stats.Cycles < ideal.Stats.Cycles {
+		t.Errorf("realistic (%d cycles) beat ideal (%d)", realistic.Stats.Cycles, ideal.Stats.Cycles)
+	}
+	if realistic.Stats.OOO.WindowFullCy == 0 {
+		t.Error("decentralized queues never filled")
+	}
+}
+
+func TestStallAttributionLoadDominatedByPointerChase(t *testing.T) {
+	res := run(t, DefaultConfig(), `
+	movi r1 = 0x1000
+	movi r3 = 100
+loop:
+	ld4 r1 = [r1]
+	subi r3 = r3, 1
+	cmpi.ne p1, p2 = r3, 0 ;;
+	(p1) br loop
+	halt
+`, func(m *arch.Memory) {
+		addr := uint32(0x1000)
+		for i := 0; i < 120; i++ {
+			nxt := addr + 8192
+			m.Store(addr, 4, uint64(nxt))
+			addr = nxt
+		}
+	})
+	s := &res.Stats
+	if s.Cat[sim.StallLoad] < s.Cycles/3 {
+		t.Errorf("load stalls %d of %d cycles: dependent chase should dominate", s.Cat[sim.StallLoad], s.Cycles)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.ROBSize = 10 // smaller than window
+	if _, err := New(bad); err == nil {
+		t.Error("ROB smaller than window accepted")
+	}
+	bad2 := RealisticConfig()
+	bad2.QueueSize = 0
+	if _, err := New(bad2); err == nil {
+		t.Error("zero queue size accepted")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

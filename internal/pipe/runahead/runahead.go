@@ -1,0 +1,514 @@
+// Package runahead implements the Dundas-Mudge runahead model the paper
+// compares against (§2, §5.4): an in-order pipeline that, on a stall-on-use
+// of a load value, continues executing speculatively past the stall purely
+// for its prefetching effect. No results are preserved: when the blocking
+// load returns, the pipeline flushes all speculative state and re-executes
+// every instruction from the stalled consumer onward. There is no advance
+// restart and no issue regrouping.
+package runahead
+
+import (
+	"fmt"
+
+	"multipass/internal/arch"
+	"multipass/internal/bpred"
+	"multipass/internal/isa"
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+)
+
+// Config extends the common configuration with the runahead exit penalty.
+type Config struct {
+	sim.Config
+	// ExitPenalty is the pipeline-restore cost in cycles when leaving a
+	// runahead episode.
+	ExitPenalty int
+}
+
+// DefaultConfig returns the runahead configuration used for the §5.4
+// comparison: the baseline in-order machine plus runahead.
+func DefaultConfig() Config {
+	return Config{Config: sim.Default(), ExitPenalty: 2}
+}
+
+// Machine is the runahead model.
+type Machine struct {
+	cfg Config
+}
+
+// New validates the configuration and returns the model.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ExitPenalty < 0 {
+		return nil, fmt.Errorf("runahead: negative exit penalty")
+	}
+	if _, err := mem.NewHierarchy(cfg.Hier); err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// Name implements sim.Machine.
+func (m *Machine) Name() string { return "runahead" }
+
+const progressWindow = 1 << 20
+
+type runState struct {
+	cfg    *Config
+	p      *isa.Program
+	hier   *mem.Hierarchy
+	pred   *bpred.Gshare
+	stream *sim.Stream
+	fe     *sim.FetchUnit
+	own    *arch.State
+
+	readyAt  [isa.NumFlatRegs]uint64
+	prodKind [isa.NumFlatRegs]sim.ProducerKind
+
+	// Runahead episode state (discarded at exit).
+	inEpisode  bool
+	stallUntil uint64
+	peek       uint64
+	blocked    bool
+	raBit      [isa.NumFlatRegs]bool
+	raInvalid  [isa.NumFlatRegs]bool
+	raVal      [isa.NumFlatRegs]isa.Word
+	raReady    [isa.NumFlatRegs]uint64
+	// Episode store buffer: exact (addr,size) keyed forwarding.
+	raStores map[uint64]raStore
+
+	st       sim.Stats
+	now      uint64
+	next     uint64
+	resumeAt uint64 // no architectural issue before this (exit penalty)
+	halted   bool
+	lastWork uint64
+	regBuf   [4]isa.Reg
+}
+
+type raStore struct {
+	val     isa.Word
+	invalid bool
+}
+
+func storeKey(addr uint32, size int) uint64 {
+	return uint64(addr)<<8 | uint64(size)
+}
+
+// Run implements sim.Machine.
+func (m *Machine) Run(p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+	cfg := m.cfg
+	r := &runState{
+		cfg:  &cfg,
+		p:    p,
+		hier: mem.MustNewHierarchy(cfg.Hier),
+		pred: bpred.New(cfg.PredictorEntries),
+		own:  arch.NewState(image.Clone()),
+	}
+	r.stream = sim.NewStream(p, image.Clone(), cfg.MaxInsts)
+	r.fe = sim.NewFetchUnit(r.stream, r.hier, cfg.FetchWidth)
+
+	for !r.halted {
+		if r.inEpisode && r.now >= r.stallUntil {
+			r.exitEpisode()
+		}
+		var err error
+		if r.inEpisode {
+			err = r.runaheadCycle()
+		} else {
+			err = r.archCycle()
+		}
+		if err != nil {
+			return nil, err
+		}
+		r.st.Cycles++
+		r.now++
+		r.fe.Release(r.next)
+		if r.now-r.lastWork > progressWindow {
+			return nil, fmt.Errorf("runahead: no progress for %d cycles at seq %d", progressWindow, r.next)
+		}
+	}
+	r.st.Branch = r.pred.Stats()
+	r.st.Memory = r.hier.Stats()
+	if err := r.st.CheckConsistency(); err != nil {
+		return nil, err
+	}
+	return &sim.Result{Stats: r.st, RF: r.own.RF, Mem: r.own.Mem}, nil
+}
+
+func (r *runState) enterEpisode(until uint64) {
+	r.inEpisode = true
+	r.stallUntil = until
+	r.peek = r.next
+	r.blocked = false
+	for i := range r.raBit {
+		r.raBit[i] = false
+		r.raInvalid[i] = false
+	}
+	r.raStores = make(map[uint64]raStore)
+	r.st.Runahead.Episodes++
+}
+
+func (r *runState) exitEpisode() {
+	// All speculative work is discarded; the pipeline restores and
+	// re-executes from the stalled instruction.
+	r.inEpisode = false
+	r.resumeAt = r.stallUntil + uint64(r.cfg.ExitPenalty)
+}
+
+// archCycle is the baseline in-order issue cycle with runahead entry on
+// load stall-on-use.
+func (r *runState) archCycle() error {
+	r.fe.SetLimit(r.next + uint64(r.cfg.BufferSize))
+	var use isa.FUUse
+	var groupWrites sim.RegSet
+	issued := 0
+	blocker := sim.StallFrontEnd
+	now := r.now
+
+	if now < r.resumeAt {
+		// Pipeline restore after a runahead episode.
+		r.st.Cat[sim.StallLoad]++
+		return nil
+	}
+
+group:
+	for issued < r.cfg.Caps.MaxIssue && !r.halted {
+		d, err := r.stream.At(r.next)
+		if err != nil {
+			return err
+		}
+		if d == nil {
+			return fmt.Errorf("runahead: stream ended before halt")
+		}
+		fready, ok, err := r.fe.ReadyAt(r.next)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("runahead: fetch ended before halt")
+		}
+		if fready > now {
+			blocker = sim.StallFrontEnd
+			break
+		}
+		in := d.Inst
+
+		if groupWrites.Has(in.QP) {
+			break
+		}
+		if qf := in.QP.Flat(); r.readyAt[qf] > now {
+			if r.prodKind[qf] == sim.ProducerLoad {
+				r.enterEpisode(r.readyAt[qf])
+				blocker = sim.StallLoad
+				break
+			}
+			blocker = r.prodKind[qf].StallFor()
+			break
+		}
+		qpTrue := r.own.RF.Read(in.QP).Bool()
+
+		if qpTrue && !in.Op.IsBranch() {
+			for _, reg := range in.Reads(r.regBuf[:0]) {
+				if reg == in.QP {
+					continue
+				}
+				if groupWrites.Has(reg) {
+					break group
+				}
+				if f := reg.Flat(); r.readyAt[f] > now {
+					if r.prodKind[f] == sim.ProducerLoad {
+						r.enterEpisode(r.readyAt[f])
+						blocker = sim.StallLoad
+						break group
+					}
+					blocker = r.prodKind[f].StallFor()
+					break group
+				}
+			}
+		}
+		if qpTrue {
+			lat := uint64(in.Op.Latency())
+			for _, reg := range in.Writes(r.regBuf[:0]) {
+				if groupWrites.Has(reg) {
+					break group
+				}
+				if f := reg.Flat(); r.readyAt[f] > now+lat {
+					blocker = sim.StallOther
+					break group
+				}
+			}
+		}
+		if !use.Fits(in.Op, &r.cfg.Caps) {
+			blocker = sim.StallOther
+			break
+		}
+
+		if r.own.PC != d.Index {
+			return fmt.Errorf("runahead: own PC %d diverged from stream %d", r.own.PC, d.Index)
+		}
+		info, err := r.own.Step(r.p)
+		if err != nil {
+			return err
+		}
+		use.Add(in.Op)
+		r.st.Retired++
+		issued++
+		r.lastWork = now
+
+		completion := now + uint64(in.Op.Latency())
+		kind := sim.ProducerOther
+		switch {
+		case info.IsLoad:
+			completion = r.hier.AccessData(info.MemAddr, now, false, false)
+			kind = sim.ProducerLoad
+		case info.IsStore:
+			r.hier.AccessData(info.MemAddr, now, true, false)
+		}
+		if !info.Squashed {
+			for _, reg := range in.Writes(r.regBuf[:0]) {
+				groupWrites.Add(reg)
+				if f := reg.Flat(); !reg.IsZeroReg() {
+					r.readyAt[f] = completion
+					r.prodKind[f] = kind
+				}
+			}
+		}
+		if in.Op.Kind() == isa.KindHalt {
+			r.halted = true
+		}
+		r.next++
+		if info.IsBranch {
+			correct := r.pred.Update(d.Addr(), d.Taken)
+			if !correct {
+				r.fe.Flush(r.next, now+1+uint64(r.cfg.MispredictPenalty))
+			}
+			if d.Taken || !correct {
+				break
+			}
+		}
+	}
+
+	if issued > 0 {
+		r.st.Cat[sim.StallExecution]++
+	} else {
+		r.st.Cat[blocker]++
+	}
+	return nil
+}
+
+// readRA reads an operand for the runahead stream.
+func (r *runState) readRA(reg isa.Reg) (valid bool, ready uint64, val isa.Word) {
+	if reg.IsNone() {
+		return true, 0, 0
+	}
+	f := reg.Flat()
+	if r.raBit[f] {
+		if r.raInvalid[f] {
+			return false, 0, 0
+		}
+		return true, r.raReady[f], r.raVal[f]
+	}
+	if r.readyAt[f] > r.now {
+		if r.prodKind[f] == sim.ProducerLoad {
+			return false, 0, 0
+		}
+		return true, r.readyAt[f], r.own.RF.Read(reg)
+	}
+	return true, 0, r.own.RF.Read(reg)
+}
+
+func (r *runState) writeRA(reg isa.Reg, v isa.Word, ready uint64) {
+	if reg.IsNone() || reg.IsZeroReg() {
+		return
+	}
+	f := reg.Flat()
+	r.raBit[f] = true
+	r.raInvalid[f] = false
+	r.raVal[f] = v
+	r.raReady[f] = ready
+}
+
+func (r *runState) poisonRA(in *isa.Inst) {
+	for _, reg := range in.Writes(r.regBuf[:0]) {
+		if reg.IsZeroReg() {
+			continue
+		}
+		f := reg.Flat()
+		r.raBit[f] = true
+		r.raInvalid[f] = true
+	}
+}
+
+// runaheadLookahead bounds how far an episode may fetch ahead. Runahead
+// instructions flow through the pipeline and are re-fetched after the
+// episode, so lookahead is fetch-limited rather than buffer-limited; the
+// bound is a safety valve only.
+const runaheadLookahead = 4096
+
+// runaheadCycle pre-executes speculatively for prefetching only.
+func (r *runState) runaheadCycle() error {
+	r.st.Runahead.Cycles++
+	r.fe.SetLimit(r.next + runaheadLookahead)
+
+	var use isa.FUUse
+	slots := 0
+	now := r.now
+
+	for slots < r.cfg.Caps.MaxIssue && !r.blocked {
+		if r.peek >= r.next+runaheadLookahead {
+			break
+		}
+		d, err := r.stream.At(r.peek)
+		if err != nil {
+			return err
+		}
+		if d == nil || d.Inst.Op.Kind() == isa.KindHalt {
+			r.blocked = true
+			break
+		}
+		fready, ok, err := r.fe.ReadyAt(r.peek)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			r.blocked = true
+			break
+		}
+		if fready > now {
+			break
+		}
+		in := d.Inst
+
+		qpValid, qpReady, qpVal := r.readRA(in.QP)
+		if !qpValid {
+			if in.Op.IsBranch() {
+				if r.pred.Predict(d.Addr()) != d.Taken {
+					r.blocked = true // wrong path beyond here
+					break
+				}
+				slots++
+				r.peek++
+				continue
+			}
+			r.poisonRA(in)
+			r.st.Runahead.Deferred++
+			slots++
+			r.peek++
+			continue
+		}
+		if qpReady > now {
+			break
+		}
+		qpTrue := qpVal.Bool()
+
+		if in.Op.IsBranch() {
+			if qpTrue != d.Taken {
+				r.blocked = true // speculative divergence from the true path
+				break
+			}
+			slots++
+			r.peek++
+			if d.Taken {
+				break
+			}
+			continue
+		}
+		if !qpTrue {
+			slots++
+			r.peek++
+			continue
+		}
+		if in.Op == isa.OpRestart {
+			// No advance restart in Dundas-Mudge runahead: plain nop.
+			slots++
+			r.peek++
+			continue
+		}
+
+		if in.Op.IsStore() {
+			av, ar, abase := r.readRA(in.Src1)
+			if !av {
+				slots++
+				r.peek++
+				continue
+			}
+			if ar > now {
+				break
+			}
+			dv, dr, dval := r.readRA(in.Src2)
+			if dv && dr > now {
+				break
+			}
+			if !use.Fits(in.Op, &r.cfg.Caps) {
+				break
+			}
+			use.Add(in.Op)
+			addr := abase.Uint32() + uint32(in.Imm)
+			r.raStores[storeKey(addr, in.Op.MemBytes())] = raStore{val: dval, invalid: !dv}
+			r.st.Runahead.PreExecuted++
+			slots++
+			r.peek++
+			continue
+		}
+
+		sv, sr, sval := r.readRA(in.Src1)
+		var s2v bool
+		var s2r uint64
+		var s2val isa.Word
+		if in.Op.IsLoad() {
+			s2v = true
+		} else {
+			s2v, s2r, s2val = r.readRA(in.Src2)
+		}
+		if !sv || !s2v {
+			r.poisonRA(in)
+			r.st.Runahead.Deferred++
+			slots++
+			r.peek++
+			continue
+		}
+		if sr > now || s2r > now {
+			break
+		}
+		if !use.Fits(in.Op, &r.cfg.Caps) {
+			break
+		}
+		use.Add(in.Op)
+
+		if in.Op.IsLoad() {
+			addr := sval.Uint32() + uint32(in.Imm)
+			if st, hit := r.raStores[storeKey(addr, in.Op.MemBytes())]; hit {
+				if st.invalid {
+					r.poisonRA(in)
+				} else {
+					r.writeRA(in.Dst, st.val, now+uint64(in.Op.Latency()))
+				}
+			} else {
+				ready := r.hier.AccessData(addr, now, false, true)
+				if ready <= now+uint64(r.cfg.Hier.L1D.Latency) {
+					r.writeRA(in.Dst, r.own.Mem.LoadWord(in.Op, addr), ready)
+				} else {
+					r.poisonRA(in) // missing loads yield no value
+				}
+			}
+		} else {
+			v := isa.Eval(in.Op, sval, s2val, in.Imm)
+			ready := now + uint64(in.Op.Latency())
+			r.writeRA(in.Dst, v, ready)
+			if !in.Dst2.IsNone() {
+				r.writeRA(in.Dst2, isa.BoolWord(!v.Bool()), ready)
+			}
+		}
+		r.st.Runahead.PreExecuted++
+		r.lastWork = now
+		slots++
+		r.peek++
+	}
+
+	// Runahead cycles are stall cycles hidden under the blocking load.
+	r.st.Cat[sim.StallLoad]++
+	return nil
+}

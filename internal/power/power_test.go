@@ -1,0 +1,179 @@
+package power
+
+import (
+	"testing"
+
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+)
+
+func TestEnergyScalesWithGeometry(t *testing.T) {
+	small := ArraySpec{Entries: 64, Bits: 32, ReadPorts: 2, WritePorts: 2}
+	big := small
+	big.Entries = 256
+	if big.ReadEnergy() <= small.ReadEnergy() {
+		t.Error("more entries should cost more energy")
+	}
+	wide := small
+	wide.Bits = 64
+	if wide.ReadEnergy() <= small.ReadEnergy() {
+		t.Error("wider entries should cost more energy")
+	}
+	ported := small
+	ported.ReadPorts = 8
+	if ported.ReadEnergy() <= small.ReadEnergy() {
+		t.Error("more ports should grow the cell and cost more per access")
+	}
+	if ported.PeakPower() <= small.PeakPower() {
+		t.Error("more ports should raise peak power")
+	}
+}
+
+func TestBankingReducesEnergy(t *testing.T) {
+	flat := ArraySpec{Entries: 256, Bits: 32, ReadPorts: 2, WritePorts: 2}
+	banked := flat
+	banked.Banks = 2
+	if banked.ReadEnergy() >= flat.ReadEnergy() {
+		t.Error("banking should shorten bitlines and cut access energy")
+	}
+}
+
+func TestCAMMoreExpensiveThanRAM(t *testing.T) {
+	ram := ArraySpec{Entries: 48, Bits: 33, ReadPorts: 2, WritePorts: 2}
+	cam := ram
+	cam.CAM = true
+	cam.TagBits = 32
+	if cam.ReadEnergy() <= 2.5*ram.ReadEnergy() {
+		t.Errorf("CAM search (%.3g J) should cost several times a RAM read (%.3g J)",
+			cam.ReadEnergy(), ram.ReadEnergy())
+	}
+}
+
+func TestAvgPowerBounds(t *testing.T) {
+	s := OOOIssue()
+	idle := s.AvgPower(Activity{})
+	peak := s.PeakPower()
+	if idle <= 0 || idle >= peak {
+		t.Errorf("idle power %.3g out of (0, peak=%.3g)", idle, peak)
+	}
+	// Clock-gating floor.
+	if idle < 0.99*ClockGateIdleFraction*peak || idle > 1.01*ClockGateIdleFraction*peak {
+		t.Errorf("idle power %.3g, want ~%.3g", idle, ClockGateIdleFraction*peak)
+	}
+	// Saturating activity approaches peak.
+	full := s.AvgPower(Activity{Reads: 100, Writes: 100, WideReads: 100, WideWrites: 100})
+	if full > peak*1.001 || full < peak*0.99 {
+		t.Errorf("saturated avg %.3g, want ~peak %.3g", full, peak)
+	}
+}
+
+// fakeStats builds plausible run statistics for the activity mappings.
+func fakeStats(mp bool) *sim.Stats {
+	st := &sim.Stats{}
+	st.Cycles = 1_000_000
+	st.Retired = 1_500_000
+	st.Cat[sim.StallExecution] = 500_000
+	st.Cat[sim.StallLoad] = 400_000
+	st.Cat[sim.StallFrontEnd] = 50_000
+	st.Cat[sim.StallOther] = 50_000
+	st.Memory = mem.HierStats{}
+	st.Memory.L1D.Accesses = 400_000
+	st.Memory.L1D.Misses = 40_000
+	if mp {
+		st.Memory.L1D.AdvanceAccesses = 120_000
+		st.Memory.L1D.AdvanceMisses = 30_000
+		st.Multipass.Merged = 300_000
+		st.Multipass.AdvanceExecuted = 350_000
+		st.Multipass.AdvanceCycles = 300_000
+		st.Multipass.RallyCycles = 200_000
+		st.Multipass.SpecLoads = 5_000
+	}
+	return st
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(fakeStats(false), fakeStats(true))
+	if len(rows) != 3 {
+		t.Fatalf("Table1 rows = %d", len(rows))
+	}
+	// Row 1 (register storage): peak near parity (paper: 0.99), average
+	// above 1 (paper: 1.20) because the SRF/RS are mostly clock-gated.
+	r1 := rows[0]
+	if r1.PeakRatio < 0.5 || r1.PeakRatio > 2.2 {
+		t.Errorf("register peak ratio = %.2f, want near parity", r1.PeakRatio)
+	}
+	if r1.AvgRatio <= r1.PeakRatio*0.8 {
+		t.Errorf("register avg ratio (%.2f) should exceed peak (%.2f) under clock gating",
+			r1.AvgRatio, r1.PeakRatio)
+	}
+	// Row 2 (scheduling): large OOO advantage cost (paper: 10.28 / 7.15).
+	r2 := rows[1]
+	if r2.PeakRatio < 4 {
+		t.Errorf("scheduling peak ratio = %.2f, want >> 1", r2.PeakRatio)
+	}
+	if r2.AvgRatio < 3 {
+		t.Errorf("scheduling avg ratio = %.2f, want >> 1", r2.AvgRatio)
+	}
+	// Row 3 (memory ordering): OOO CAMs cost more despite fewer entries
+	// (paper: 3.21 / 9.79).
+	r3 := rows[2]
+	if r3.PeakRatio <= 1 {
+		t.Errorf("memory-ordering peak ratio = %.2f, want > 1", r3.PeakRatio)
+	}
+	if r3.AvgRatio <= 1 {
+		t.Errorf("memory-ordering avg ratio = %.2f, want > 1", r3.AvgRatio)
+	}
+	// All powers positive.
+	for _, r := range rows {
+		if r.PeakOOO <= 0 || r.PeakMP <= 0 || r.AvgOOO <= 0 || r.AvgMP <= 0 {
+			t.Errorf("non-positive power in row %q: %+v", r.Group, r)
+		}
+	}
+}
+
+func TestActivitiesCoverAllStructures(t *testing.T) {
+	oact := OOOActivities(fakeStats(false))
+	for _, s := range []ArraySpec{OOORegisterFile(), OOORegisterAliasTable(), OOOWakeup(), OOOIssue(), OOOLoadBuffer(), OOOStoreBuffer()} {
+		if _, ok := oact[s.Name]; !ok {
+			t.Errorf("no activity mapping for %s", s.Name)
+		}
+	}
+	mact := MPActivities(fakeStats(true))
+	for _, s := range []ArraySpec{MPArchRegisterFile(), MPSpecRegisterFile(), MPResultStore(), MPInstructionQueue(), MPSMAQ(), MPASC()} {
+		if _, ok := mact[s.Name]; !ok {
+			t.Errorf("no activity mapping for %s", s.Name)
+		}
+	}
+}
+
+func TestZeroCycleStatsSafe(t *testing.T) {
+	rows := Table1(&sim.Stats{}, &sim.Stats{})
+	for _, r := range rows {
+		if r.PeakRatio <= 0 {
+			t.Errorf("peak ratio must come from geometry even with no activity: %+v", r.Group)
+		}
+	}
+}
+
+func TestGatedOffSuppressesIdleFloor(t *testing.T) {
+	s := MPASC()
+	idle := s.AvgPower(Activity{})
+	gated := s.AvgPower(Activity{GatedOffFraction: 1})
+	if gated >= idle {
+		t.Errorf("fully gated structure (%.3g W) not below idle floor (%.3g W)", gated, idle)
+	}
+	if gated != 0 {
+		t.Errorf("fully gated idle structure burns %.3g W, want 0", gated)
+	}
+	half := s.AvgPower(Activity{GatedOffFraction: 0.5})
+	if half <= gated || half >= idle {
+		t.Errorf("half-gated power %.3g outside (0, %.3g)", half, idle)
+	}
+	// Out-of-range fractions clamp.
+	if s.AvgPower(Activity{GatedOffFraction: 5}) != 0 {
+		t.Error("over-range gate fraction not clamped")
+	}
+	if s.AvgPower(Activity{GatedOffFraction: -3}) != idle {
+		t.Error("negative gate fraction not clamped")
+	}
+}

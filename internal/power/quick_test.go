@@ -1,0 +1,65 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: peak power is monotone in entries, width, and port count.
+func TestPeakPowerMonotone(t *testing.T) {
+	f := func(entriesRaw, bitsRaw, portsRaw uint8) bool {
+		entries := 16 + int(entriesRaw)%512
+		bits := 8 + int(bitsRaw)%64
+		ports := 1 + int(portsRaw)%8
+		base := ArraySpec{Entries: entries, Bits: bits, ReadPorts: ports, WritePorts: ports}
+		more := base
+		more.Entries *= 2
+		wider := base
+		wider.Bits *= 2
+		ported := base
+		ported.ReadPorts++
+		return more.PeakPower() > base.PeakPower() &&
+			wider.PeakPower() > base.PeakPower() &&
+			ported.PeakPower() > base.PeakPower()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: average power is bounded by [idle floor, peak] for any activity.
+func TestAvgPowerBounded(t *testing.T) {
+	f := func(r, w float64, entriesRaw uint8) bool {
+		if r < 0 {
+			r = -r
+		}
+		if w < 0 {
+			w = -w
+		}
+		s := ArraySpec{Entries: 32 + int(entriesRaw), Bits: 33, ReadPorts: 4, WritePorts: 4}
+		avg := s.AvgPower(Activity{Reads: r, Writes: w})
+		peak := s.PeakPower()
+		floor := ClockGateIdleFraction * peak
+		return avg >= floor*0.999 && avg <= peak*1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a CAM is always at least as expensive to search as the
+// equivalent RAM is to read, for any geometry.
+func TestCAMAlwaysAtLeastRAM(t *testing.T) {
+	f := func(entriesRaw, bitsRaw uint8) bool {
+		entries := 8 + int(entriesRaw)%256
+		bits := 8 + int(bitsRaw)%64
+		ram := ArraySpec{Entries: entries, Bits: bits, ReadPorts: 2, WritePorts: 2}
+		cam := ram
+		cam.CAM = true
+		cam.TagBits = 32
+		return cam.ReadEnergy() > ram.ReadEnergy()*0.8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

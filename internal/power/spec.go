@@ -1,0 +1,200 @@
+// Package power provides microarchitectural power models adapted from
+// Wattch (Brooks et al., ISCA 2000) at the level of detail the paper's §4
+// uses them: parameterized array and CAM energy models whose power scales
+// with entries, width, and port count, evaluated for a 100nm process at
+// Vdd = 1.2V and f = 2GHz, and combined with simulator activity counts
+// through Wattch's linear clock-gating model to produce the peak and
+// average power ratios of Table 1.
+//
+// As in the paper, the absolute watt values are "only meant to illustrate
+// the degree of disparity between out-of-order and multipass structures,
+// and not to represent the power consumption of any physical
+// implementation" — the reproduced quantities are the ratios.
+package power
+
+import "math"
+
+// Technology parameters (100nm-class, paper §4).
+const (
+	Vdd  = 1.2   // volts
+	Freq = 2.0e9 // hertz
+
+	// Per-unit capacitances in farads; calibrated so that structure
+	// energies land in the right relative regime. The model is linear in
+	// these constants, so ratios depend only on geometry.
+	cDecode    = 0.4e-15  // decoder cap per row-address bit, per row driven
+	cWordline  = 1.0e-15  // wordline cap per cell passed, per unit cell width
+	cBitline   = 1.0e-15  // bitline cap per cell on the column, per unit cell height
+	cSenseAmp  = 4.0e-15  // sense amplifier cap per bit read
+	cCAMDrive  = 5.0e-15  // taglines driven across all entries, per tag bit
+	cCAMMatch  = 10.0e-15 // matchline evaluation, per entry per tag bit
+	cPortPitch = 0.30     // cell width/height growth per extra port
+)
+
+// ClockGateIdleFraction is Wattch's linear clock-gating floor: an idle
+// structure still burns this fraction of its peak power.
+const ClockGateIdleFraction = 0.10
+
+// ArraySpec describes one storage structure.
+type ArraySpec struct {
+	Name    string
+	Entries int
+	Bits    int // payload width per entry
+	// Narrow (single-entry) ports.
+	ReadPorts  int
+	WritePorts int
+	// Wide ports move WideWidth entries per access (e.g. an issue-width
+	// read of the instruction queue).
+	WideReadPorts  int
+	WideWritePorts int
+	WideWidth      int
+	// Banks splits the rows into independently accessed banks, shortening
+	// bitlines.
+	Banks int
+	// CAM structures match TagBits across every entry on each search
+	// (read); their reads are searches.
+	CAM     bool
+	TagBits int
+}
+
+func (s ArraySpec) banks() int {
+	if s.Banks < 1 {
+		return 1
+	}
+	return s.Banks
+}
+
+func (s ArraySpec) totalPorts() int {
+	return s.ReadPorts + s.WritePorts + s.WideReadPorts + s.WideWritePorts
+}
+
+// cellScale returns the cell area growth factor from multi-porting.
+func (s ArraySpec) cellScale() float64 {
+	p := s.totalPorts()
+	if p < 1 {
+		p = 1
+	}
+	return 1 + cPortPitch*float64(p-1)
+}
+
+// rowsPerBank is the bitline length in cells.
+func (s ArraySpec) rowsPerBank() float64 {
+	return float64(s.Entries) / float64(s.banks())
+}
+
+// ReadEnergy returns the energy in joules of one narrow read access.
+func (s ArraySpec) ReadEnergy() float64 {
+	if s.CAM {
+		return s.searchEnergy()
+	}
+	return s.accessEnergy(float64(s.Bits), true)
+}
+
+// WriteEnergy returns the energy in joules of one narrow write access.
+func (s ArraySpec) WriteEnergy() float64 {
+	if s.CAM {
+		// CAM writes behave like RAM writes of tag+payload.
+		return s.accessEnergy(float64(s.Bits+s.TagBits), false)
+	}
+	return s.accessEnergy(float64(s.Bits), false)
+}
+
+// WideReadEnergy returns the energy of one wide read (WideWidth entries).
+func (s ArraySpec) WideReadEnergy() float64 {
+	return s.accessEnergy(float64(s.Bits*s.wideWidth()), true)
+}
+
+// WideWriteEnergy returns the energy of one wide write.
+func (s ArraySpec) WideWriteEnergy() float64 {
+	return s.accessEnergy(float64(s.Bits*s.wideWidth()), false)
+}
+
+func (s ArraySpec) wideWidth() int {
+	if s.WideWidth < 1 {
+		return 1
+	}
+	return s.WideWidth
+}
+
+// accessEnergy models one RAM port access moving `bits` bits:
+// decode + wordline + bitline (+ senseamps on reads).
+func (s ArraySpec) accessEnergy(bits float64, read bool) float64 {
+	v2 := Vdd * Vdd
+	rows := s.rowsPerBank()
+	addrBits := math.Log2(math.Max(rows, 2))
+	scale := s.cellScale()
+	e := cDecode * addrBits * rows * v2 // predecode + row drivers
+	e += cWordline * bits * scale * v2  // wordline across the row
+	e += cBitline * rows * scale * bits * v2
+	if read {
+		e += cSenseAmp * bits * v2
+	}
+	return e
+}
+
+// searchEnergy models one CAM search: tag broadcast to every entry plus
+// matchline evaluation, then a read of the matching entry.
+func (s ArraySpec) searchEnergy() float64 {
+	v2 := Vdd * Vdd
+	n := float64(s.Entries)
+	tb := float64(s.TagBits)
+	scale := s.cellScale()
+	e := cCAMDrive * tb * n * scale * v2
+	e += cCAMMatch * n * tb * v2
+	e += cSenseAmp * float64(s.Bits) * v2
+	return e
+}
+
+// PeakPower returns the structure's power in watts with every port active
+// every cycle.
+func (s ArraySpec) PeakPower() float64 {
+	perCycle := float64(s.ReadPorts)*s.ReadEnergy() +
+		float64(s.WritePorts)*s.WriteEnergy() +
+		float64(s.WideReadPorts)*s.WideReadEnergy() +
+		float64(s.WideWritePorts)*s.WideWriteEnergy()
+	return perCycle * Freq
+}
+
+// Activity is the observed per-cycle access rates of a structure.
+type Activity struct {
+	Reads      float64 // narrow reads (or CAM searches) per cycle
+	Writes     float64
+	WideReads  float64
+	WideWrites float64
+	// GatedOffFraction is the fraction of cycles the structure is clock
+	// gated off entirely and pays no idle floor (paper §3.1.1: the
+	// multipass structures are unused and gated during architectural
+	// mode). Zero (the default) keeps the structure's clock running.
+	GatedOffFraction float64
+}
+
+// clamp limits a rate to the available port count.
+func clamp(rate float64, ports int) float64 {
+	if rate < 0 {
+		return 0
+	}
+	if rate > float64(ports) {
+		return float64(ports)
+	}
+	return rate
+}
+
+// AvgPower returns the average power under Wattch's linear clock-gating
+// model: the used fraction of each port's peak plus the idle floor, with
+// the floor suppressed for the fraction of time the structure's clock is
+// gated off entirely.
+func (s ArraySpec) AvgPower(a Activity) float64 {
+	dynamic := clamp(a.Reads, s.ReadPorts)*s.ReadEnergy() +
+		clamp(a.Writes, s.WritePorts)*s.WriteEnergy() +
+		clamp(a.WideReads, s.WideReadPorts)*s.WideReadEnergy() +
+		clamp(a.WideWrites, s.WideWritePorts)*s.WideWriteEnergy()
+	gate := a.GatedOffFraction
+	if gate < 0 {
+		gate = 0
+	}
+	if gate > 1 {
+		gate = 1
+	}
+	floor := ClockGateIdleFraction * s.PeakPower() * (1 - gate)
+	return floor + (1-ClockGateIdleFraction)*dynamic*Freq
+}

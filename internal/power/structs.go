@@ -1,0 +1,95 @@
+package power
+
+// Structure geometries from paper §4 / Table 1. Data values are 32 bits
+// plus a NaT bit; register identifiers after renaming are 9 bits; decoded
+// instructions are 41 bits; the machine is 6-issue.
+const (
+	dataBits  = 33
+	renameBit = 9
+	instBits  = 41
+	issueWide = 6
+	addrBits  = 32
+)
+
+// OOO structures (left column of Table 1).
+
+// OOORegisterFile is the combined architectural & renamed register file:
+// 512 registers, 12R/8W ports.
+func OOORegisterFile() ArraySpec {
+	return ArraySpec{Name: "ooo-regfile", Entries: 512, Bits: dataBits, ReadPorts: 12, WritePorts: 8}
+}
+
+// OOORegisterAliasTable is the RAT: 256 entries, 9 bits, 12R/6W ports.
+func OOORegisterAliasTable() ArraySpec {
+	return ArraySpec{Name: "ooo-rat", Entries: 256, Bits: renameBit, ReadPorts: 12, WritePorts: 6}
+}
+
+// OOOWakeup is the wired-OR resource dependence matrix: 128 entries, 329
+// bits. Each completing instruction broadcasts its renamed tag across every
+// entry (a CAM-style search of the 9-bit tag over 128 entries); each
+// renamed instruction writes its 329-bit dependence row.
+func OOOWakeup() ArraySpec {
+	return ArraySpec{Name: "ooo-wakeup", Entries: 128, Bits: 329, CAM: true, TagBits: renameBit,
+		ReadPorts: issueWide, WritePorts: issueWide}
+}
+
+// OOOIssue is the issue table: 128 entries, 19 bits, 6R/6W ports.
+func OOOIssue() ArraySpec {
+	return ArraySpec{Name: "ooo-issue", Entries: 128, Bits: 19, ReadPorts: 6, WritePorts: 6}
+}
+
+// OOOLoadBuffer is the load-ordering CAM: 48 entries, 2R/2W ports.
+func OOOLoadBuffer() ArraySpec {
+	return ArraySpec{Name: "ooo-loadbuf", Entries: 48, Bits: dataBits, CAM: true, TagBits: addrBits,
+		ReadPorts: 2, WritePorts: 2}
+}
+
+// OOOStoreBuffer is the store-ordering CAM: 32 entries, 2R/2W ports.
+func OOOStoreBuffer() ArraySpec {
+	return ArraySpec{Name: "ooo-storebuf", Entries: 32, Bits: dataBits, CAM: true, TagBits: addrBits,
+		ReadPorts: 2, WritePorts: 2}
+}
+
+// Multipass structures (right column of Table 1).
+
+// MPArchRegisterFile is the ARF: 256 registers, 12R/8W ports.
+func MPArchRegisterFile() ArraySpec {
+	return ArraySpec{Name: "mp-arf", Entries: 256, Bits: dataBits, ReadPorts: 12, WritePorts: 8}
+}
+
+// MPSpecRegisterFile is the SRF: 256 registers, 12R/8W ports (conservative:
+// the paper notes the ports could be shared with the ARF).
+func MPSpecRegisterFile() ArraySpec {
+	return ArraySpec{Name: "mp-srf", Entries: 256, Bits: dataBits, ReadPorts: 12, WritePorts: 8}
+}
+
+// MPResultStore is the RS: 2-banked array, 256 entries, one wide-read, one
+// wide-write, and two single-write ports.
+func MPResultStore() ArraySpec {
+	return ArraySpec{Name: "mp-rs", Entries: 256, Bits: dataBits, Banks: 2,
+		WideReadPorts: 1, WideWritePorts: 1, WideWidth: issueWide, WritePorts: 2}
+}
+
+// MPInstructionQueue is the IQ: 2-banked array, 256 entries, one wide-read
+// and one wide-write port.
+func MPInstructionQueue() ArraySpec {
+	return ArraySpec{Name: "mp-iq", Entries: 256, Bits: instBits, Banks: 2,
+		WideReadPorts: 1, WideWritePorts: 1, WideWidth: issueWide}
+}
+
+// MPSMAQ is the speculative memory address queue: 2-banked array, 128
+// entries, 2R/2W ports.
+func MPSMAQ() ArraySpec {
+	return ArraySpec{Name: "mp-smaq", Entries: 128, Bits: addrBits, Banks: 2,
+		ReadPorts: 2, WritePorts: 2}
+}
+
+// MPASC is the advance store cache: a 2-way set-associative cache of 64
+// entries with 2R/2W ports; an access reads one set (two ways of tag +
+// data), far cheaper than a full CAM search.
+func MPASC() ArraySpec {
+	// Model: payload = 2 ways x (tag + data) read per access; the "entries"
+	// seen by a port are the 32 sets.
+	return ArraySpec{Name: "mp-asc", Entries: 32, Bits: 2 * (addrBits + dataBits),
+		ReadPorts: 2, WritePorts: 2}
+}

@@ -1,0 +1,144 @@
+package power
+
+import "multipass/internal/sim"
+
+// Table1Row is one row block of paper Table 1: a group of out-of-order
+// structures compared against the multipass structures serving the same
+// purpose.
+type Table1Row struct {
+	Group string
+	OOO   []ArraySpec
+	MP    []ArraySpec
+
+	PeakOOO, PeakMP float64 // watts
+	AvgOOO, AvgMP   float64 // watts
+
+	PeakRatio float64 // OOO/MP
+	AvgRatio  float64
+}
+
+// rate converts an event count over a run into per-cycle activity.
+func rate(events, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(events) / float64(cycles)
+}
+
+// OOOActivities derives per-structure access rates from an out-of-order
+// run. The mappings are documented approximations: every retired
+// instruction was renamed (RAT read/write, RF reads), issued (issue-table
+// read/write, wakeup broadcast at completion), and wrote back with
+// probability ~0.7 (the fraction of operations with destinations); every
+// memory operation searches both ordering CAMs.
+func OOOActivities(st *sim.Stats) map[string]Activity {
+	c := st.Cycles
+	ipc := rate(st.Retired, c)
+	memRate := rate(st.Memory.L1D.Accesses, c)
+	return map[string]Activity{
+		"ooo-regfile":  {Reads: 2 * ipc, Writes: 0.7 * ipc},
+		"ooo-rat":      {Reads: 2 * ipc, Writes: 0.7 * ipc},
+		"ooo-wakeup":   {Reads: ipc, Writes: ipc},
+		"ooo-issue":    {Reads: ipc, Writes: ipc},
+		"ooo-loadbuf":  {Reads: memRate, Writes: memRate / 2},
+		"ooo-storebuf": {Reads: memRate, Writes: memRate / 2},
+	}
+}
+
+// MPActivities derives per-structure access rates from a multipass run.
+// Architectural/rally instructions that execute read the ARF; merges write
+// it without reading; advance instructions read and write the SRF; the RS
+// is read wide once per rally/advance cycle and written by advance
+// execution; the IQ is written at fetch and read wide when issuing; the
+// SMAQ and ASC serve advance memory traffic.
+func MPActivities(st *sim.Stats) map[string]Activity {
+	c := st.Cycles
+	mp := &st.Multipass
+	executedArch := st.Retired - mp.Merged
+	advExec := mp.AdvanceExecuted
+	advMem := st.Memory.L1D.AdvanceAccesses
+	activeCycles := st.Cat[sim.StallExecution]
+	specCycles := mp.AdvanceCycles + mp.RallyCycles
+	// The multipass-specific structures are clock gated off during
+	// architectural mode (paper §3.1.1); only advance/rally cycles keep
+	// their clocks running.
+	gatedOff := 1 - rate(specCycles, c)
+	advOnly := 1 - rate(mp.AdvanceCycles, c)
+	return map[string]Activity{
+		"mp-arf": {
+			Reads:  2*rate(executedArch, c) + rate(advExec, c), // advance reads split ARF/SRF
+			Writes: 0.7 * rate(st.Retired, c),
+		},
+		"mp-srf": {
+			Reads:            rate(advExec, c),
+			Writes:           0.7 * rate(advExec, c),
+			GatedOffFraction: advOnly,
+		},
+		"mp-rs": {
+			WideReads:        rate(specCycles, c),
+			WideWrites:       rate(mp.AdvanceCycles, c),
+			Writes:           rate(st.Memory.L1D.AdvanceMisses, c), // late-arriving fills
+			GatedOffFraction: gatedOff,
+		},
+		"mp-iq": {
+			WideReads:  rate(activeCycles, c),
+			WideWrites: rate(st.Retired/uint64(issueWide)+1, c),
+		},
+		"mp-smaq": {
+			Reads:            rate(mp.SpecLoads+mp.Merged/8, c),
+			Writes:           rate(advMem, c),
+			GatedOffFraction: gatedOff,
+		},
+		"mp-asc": {
+			Reads:            rate(advMem, c),
+			Writes:           rate(advMem/4, c),
+			GatedOffFraction: advOnly,
+		},
+	}
+}
+
+// groupPower sums peak and average power over a structure group.
+func groupPower(specs []ArraySpec, acts map[string]Activity) (peak, avg float64) {
+	for _, s := range specs {
+		peak += s.PeakPower()
+		avg += s.AvgPower(acts[s.Name])
+	}
+	return peak, avg
+}
+
+// Table1 computes the paper's Table 1 from an out-of-order run and a
+// multipass run of the same workload set.
+func Table1(ooo, mp *sim.Stats) []Table1Row {
+	oact := OOOActivities(ooo)
+	mact := MPActivities(mp)
+
+	rows := []Table1Row{
+		{
+			Group: "Register files & result store vs. rename",
+			OOO:   []ArraySpec{OOORegisterFile(), OOORegisterAliasTable()},
+			MP:    []ArraySpec{MPArchRegisterFile(), MPSpecRegisterFile(), MPResultStore()},
+		},
+		{
+			Group: "Wakeup & issue vs. instruction queue",
+			OOO:   []ArraySpec{OOOWakeup(), OOOIssue()},
+			MP:    []ArraySpec{MPInstructionQueue()},
+		},
+		{
+			Group: "Load/store buffers vs. SMAQ & ASC",
+			OOO:   []ArraySpec{OOOLoadBuffer(), OOOStoreBuffer()},
+			MP:    []ArraySpec{MPSMAQ(), MPASC()},
+		},
+	}
+	for i := range rows {
+		r := &rows[i]
+		r.PeakOOO, r.AvgOOO = groupPower(r.OOO, oact)
+		r.PeakMP, r.AvgMP = groupPower(r.MP, mact)
+		if r.PeakMP > 0 {
+			r.PeakRatio = r.PeakOOO / r.PeakMP
+		}
+		if r.AvgMP > 0 {
+			r.AvgRatio = r.AvgOOO / r.AvgMP
+		}
+	}
+	return rows
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+
+	"multipass/internal/bpred"
+	"multipass/internal/mem"
+)
+
+// StallKind is the Figure 6 cycle attribution category.
+type StallKind int
+
+const (
+	// StallExecution: at least one instruction issued this cycle.
+	StallExecution StallKind = iota
+	// StallFrontEnd: the issue stage starved (branch flush, I-cache miss,
+	// empty buffer).
+	StallFrontEnd
+	// StallOther: waiting on a multi-cycle non-load result or a resource
+	// conflict.
+	StallOther
+	// StallLoad: waiting on consumption of an unready load result.
+	StallLoad
+	numStallKinds
+)
+
+// NumStallKinds is the number of attribution categories.
+const NumStallKinds = int(numStallKinds)
+
+func (k StallKind) String() string {
+	switch k {
+	case StallExecution:
+		return "execution"
+	case StallFrontEnd:
+		return "front-end"
+	case StallOther:
+		return "other"
+	case StallLoad:
+		return "load"
+	}
+	return fmt.Sprintf("StallKind(%d)", int(k))
+}
+
+// Stats is the outcome of one timing run.
+type Stats struct {
+	Cycles  uint64
+	Retired uint64
+	// Cat attributes every cycle to one category; the entries sum to Cycles.
+	Cat [NumStallKinds]uint64
+
+	Branch bpred.Stats
+	Memory mem.HierStats
+
+	// Model-specific counters; zero where not applicable.
+	Multipass MultipassStats
+	Runahead  RunaheadStats
+	OOO       OOOStats
+}
+
+// MultipassStats counts multipass-specific activity (paper §3).
+type MultipassStats struct {
+	AdvanceEntries   uint64 // architectural->advance transitions
+	AdvancePasses    uint64 // total passes (>= entries; restarts add passes)
+	Restarts         uint64 // advance restarts triggered by RESTART
+	HWRestarts       uint64 // advance restarts triggered by the hardware heuristic
+	AdvanceExecuted  uint64 // instructions executed in advance mode
+	AdvanceDeferred  uint64 // instructions suppressed in advance mode
+	Merged           uint64 // result-store merges in rally/architectural mode
+	Reexecuted       uint64 // E-bit results recomputed due to flush
+	SpecLoads        uint64 // data-speculative loads (S-bit)
+	SpecFlushes      uint64 // value-mismatch pipeline flushes (§3.6)
+	AdvanceCycles    uint64 // cycles spent in advance mode
+	RallyCycles      uint64 // cycles spent in rally mode
+	ArchCycles       uint64 // cycles spent in architectural mode
+	EarlyResolved    uint64 // branches resolved during advance execution
+	ASCHits          uint64 // advance loads forwarded from the ASC
+	ASCReplacements  uint64 // ASC evictions making later loads speculative
+	DeferredStores   uint64 // advance stores deferred on unknown address
+	IQFullCycles     uint64 // advance stalled on instruction queue limit
+	RestartInstsSeen uint64 // RESTART instructions processed in advance mode
+}
+
+// RunaheadStats counts Dundas-Mudge runahead activity.
+type RunaheadStats struct {
+	Episodes    uint64 // runahead entries
+	PreExecuted uint64 // instructions pre-executed during runahead
+	Deferred    uint64 // instructions suppressed during runahead
+	Cycles      uint64 // cycles spent in runahead mode
+}
+
+// OOOStats counts out-of-order model activity.
+type OOOStats struct {
+	Flushes      uint64 // branch misprediction flushes
+	Squashed     uint64 // in-flight instructions squashed by flushes
+	WindowFullCy uint64 // cycles rename stalled on a full window
+	ROBFullCy    uint64 // cycles rename stalled on a full ROB
+}
+
+// TotalStalls returns the cycles not attributed to execution.
+func (s *Stats) TotalStalls() uint64 {
+	return s.Cat[StallFrontEnd] + s.Cat[StallOther] + s.Cat[StallLoad]
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// Speedup returns base cycles divided by s cycles: how much faster s is than
+// base.
+func (s *Stats) Speedup(base *Stats) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(s.Cycles)
+}
+
+// CheckConsistency verifies internal invariants (cycle attribution sums to
+// the cycle count).
+func (s *Stats) CheckConsistency() error {
+	var sum uint64
+	for _, c := range s.Cat {
+		sum += c
+	}
+	if sum != s.Cycles {
+		return fmt.Errorf("sim: stall categories sum to %d, cycles = %d", sum, s.Cycles)
+	}
+	return nil
+}

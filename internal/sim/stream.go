@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+)
+
+// DynInst is one instruction of the dynamic (correct-path) instruction
+// stream, as produced by the oracle interpreter. Timing models use its
+// resolved address and branch outcome; the value-simulating models
+// (multipass, runahead, in-order) recompute results from their own state.
+type DynInst struct {
+	Seq      uint64
+	Index    int // static instruction index
+	Inst     *isa.Inst
+	Squashed bool // qualifying predicate was false
+	IsLoad   bool
+	IsStore  bool
+	MemAddr  uint32
+	IsBranch bool
+	Taken    bool
+	NextIdx  int
+	Halt     bool
+}
+
+// Addr returns the simulated fetch address of the instruction.
+func (d *DynInst) Addr() uint32 { return isa.InstAddr(d.Index) }
+
+// Stream lazily interprets the program along its architectural path,
+// retaining a sliding window of dynamic instructions. Pipelines index it by
+// sequence number; Release discards entries below a given sequence.
+type Stream struct {
+	prog  *isa.Program
+	state *arch.State
+	base  uint64 // seq of window[0]
+	win   []*DynInst
+	ended bool
+	limit uint64
+}
+
+// NewStream starts interpretation over mem (which the stream owns and
+// mutates; clone the image if the caller needs it pristine). limit bounds
+// the dynamic instruction count.
+func NewStream(p *isa.Program, m *arch.Memory, limit uint64) *Stream {
+	return &Stream{prog: p, state: arch.NewState(m), limit: limit}
+}
+
+// At returns the dynamic instruction at seq, interpreting forward as needed.
+// Requesting a sequence below the released window start panics (model bug).
+// Requesting at or beyond the halt returns nil. The returned pointer stays
+// valid even after Release (consumers may hold it across cycles).
+func (s *Stream) At(seq uint64) (*DynInst, error) {
+	if seq < s.base {
+		panic(fmt.Sprintf("sim: stream access to released seq %d (base %d)", seq, s.base))
+	}
+	for seq >= s.base+uint64(len(s.win)) {
+		if s.ended {
+			return nil, nil
+		}
+		if err := s.fetchOne(); err != nil {
+			return nil, err
+		}
+	}
+	return s.win[seq-s.base], nil
+}
+
+func (s *Stream) fetchOne() error {
+	if s.state.Retired >= s.limit {
+		return fmt.Errorf("sim: dynamic instruction limit %d exceeded", s.limit)
+	}
+	idx := s.state.PC
+	info, err := s.state.Step(s.prog)
+	if err != nil {
+		return err
+	}
+	d := &DynInst{
+		Seq:      s.base + uint64(len(s.win)),
+		Index:    idx,
+		Inst:     &s.prog.Insts[idx],
+		Squashed: info.Squashed,
+		IsLoad:   info.IsLoad,
+		IsStore:  info.IsStore,
+		MemAddr:  info.MemAddr,
+		IsBranch: info.IsBranch,
+		Taken:    info.Taken,
+		NextIdx:  info.NextPC,
+		Halt:     s.state.Halted,
+	}
+	s.win = append(s.win, d)
+	if s.state.Halted {
+		s.ended = true
+	}
+	return nil
+}
+
+// Release discards window entries with sequence below seq.
+func (s *Stream) Release(seq uint64) {
+	if seq <= s.base {
+		return
+	}
+	drop := seq - s.base
+	if drop > uint64(len(s.win)) {
+		drop = uint64(len(s.win))
+	}
+	s.base += drop
+	// Copy down rather than reslicing so the window's backing array does
+	// not grow without bound.
+	n := copy(s.win, s.win[drop:])
+	s.win = s.win[:n]
+}
+
+// Ended reports whether the halt instruction has been produced.
+func (s *Stream) Ended() bool { return s.ended }
+
+// EndSeq returns the sequence of the halt instruction; valid once a request
+// has reached it.
+func (s *Stream) EndSeq() uint64 { return s.base + uint64(len(s.win)) - 1 }
+
+// Retired returns how many instructions the oracle has interpreted.
+func (s *Stream) Retired() uint64 { return s.state.Retired }
+
+// FinalState exposes the oracle's architectural state; meaningful once the
+// stream has ended. Timing models that do not simulate values (the
+// out-of-order models) report this as their final state.
+func (s *Stream) FinalState() *arch.State { return s.state }

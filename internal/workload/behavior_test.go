@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+
+	"multipass/internal/compile"
+	"multipass/internal/mem"
+	"multipass/internal/pipe/inorder"
+	"multipass/internal/sim"
+)
+
+// runBaseline runs a kernel on the in-order machine for behavioural checks.
+func runBaseline(t *testing.T, name string) *sim.Result {
+	t.Helper()
+	w, ok := ByName(name)
+	if !ok {
+		t.Fatalf("no workload %q", name)
+	}
+	p, image, err := Program(w, 1, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := inorder.New(sim.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(p, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMissProfilesMatchIntent: the kernels' cache behaviour must line up
+// with their namesakes' characters — mcf misses hard, crafty and mesa are
+// cache-resident, the rest sit in between.
+func TestMissProfilesMatchIntent(t *testing.T) {
+	missRate := map[string]float64{}
+	loadShare := map[string]float64{}
+	for _, name := range []string{"mcf", "crafty", "mesa", "art", "gzip"} {
+		res := runBaseline(t, name)
+		missRate[name] = res.Stats.Memory.L1D.MissRate()
+		loadShare[name] = float64(res.Stats.Cat[sim.StallLoad]) / float64(res.Stats.Cycles)
+	}
+	if missRate["mcf"] <= missRate["crafty"] {
+		t.Errorf("mcf miss rate (%.3f) not above crafty (%.3f)", missRate["mcf"], missRate["crafty"])
+	}
+	if missRate["crafty"] > 0.05 {
+		t.Errorf("crafty miss rate %.3f; should be cache-resident", missRate["crafty"])
+	}
+	if loadShare["mcf"] < 0.5 {
+		t.Errorf("mcf load-stall share %.2f; should dominate its runtime", loadShare["mcf"])
+	}
+	if loadShare["crafty"] > 0.15 {
+		t.Errorf("crafty load-stall share %.2f; should be compute-bound", loadShare["crafty"])
+	}
+}
+
+// TestBranchProfilesMatchIntent: vpr/twolf carry data-dependent branches
+// that mispredict; art is a straight stream.
+func TestBranchProfilesMatchIntent(t *testing.T) {
+	vpr := runBaseline(t, "vpr")
+	art := runBaseline(t, "art")
+	if vpr.Stats.Branch.Accuracy() > 0.95 {
+		t.Errorf("vpr branch accuracy %.3f; its accept branches should mispredict", vpr.Stats.Branch.Accuracy())
+	}
+	if art.Stats.Branch.Accuracy() < 0.95 {
+		t.Errorf("art branch accuracy %.3f; a streaming loop should predict nearly perfectly", art.Stats.Branch.Accuracy())
+	}
+}
+
+// TestFPKernelsUseFPUnits: the CFP2000 stand-ins must actually exercise
+// floating point (visible as "other" stalls or FP instruction mix).
+func TestFPKernelsUseFPUnits(t *testing.T) {
+	for _, name := range []string{"art", "equake", "ammp"} {
+		res := runBaseline(t, name)
+		if res.Stats.Cat[sim.StallOther] == 0 {
+			t.Errorf("%s: no non-unit-latency stalls; FP content too thin", name)
+		}
+	}
+}
+
+// TestHierarchiesChangeBehaviour: config2 (smaller caches) must cost the
+// parser kernel (L2/L3-resident tables) more cycles than the base config.
+func TestHierarchiesChangeBehaviour(t *testing.T) {
+	w, _ := ByName("parser")
+	p, image, err := Program(w, 1, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runHier := func(h mem.HierConfig) uint64 {
+		cfg := sim.Default()
+		cfg.Hier = h
+		m, err := inorder.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(p, image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	base := runHier(mem.BaseConfig())
+	small := runHier(mem.Config2())
+	if small <= base {
+		t.Errorf("config2 (%d cycles) not slower than base (%d) for a cache-resident kernel", small, base)
+	}
+}

@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"math/rand"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/prog"
+)
+
+// buildArt models art's neural-network inner products: a single streaming
+// pass over two 2MB float64 arrays with multiply-accumulate work. Misses
+// are regular and independent (one new line per eight elements per array),
+// the pattern advance pre-execution prefetches almost perfectly.
+func buildArt(scale int) (*prog.Unit, *arch.Memory) {
+	const elems = 256 << 10 // 2MB per array
+	rng := rand.New(rand.NewSource(2001))
+	m := arch.NewMemory()
+	fillF64(m, region1, elems, func(i int) float64 { return rng.Float64() })
+	fillF64(m, region2, elems, func(i int) float64 { return rng.Float64() - 0.5 })
+
+	iters := 6000 * scale
+	if iters > elems {
+		iters = elems
+	}
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(rCnt, int32(iters))
+	e.MovI(rBase, region1)
+	e.MovI(rIdx, region2)
+	b := u.NewBlock("loop")
+	f1, f2, f3, facc, fw := isa.FPReg(1), isa.FPReg(2), isa.FPReg(3), isa.FPReg(4), isa.FPReg(5)
+	b.Load(isa.OpLdF, f1, rBase, 0)
+	b.Load(isa.OpLdF, f2, rIdx, 0)
+	b.Op3(isa.OpFMul, f3, f1, f2)
+	b.Op3(isa.OpFAdd, facc, facc, f3)
+	b.Op3(isa.OpFAdd, fw, fw, f1) // weight accumulation chain
+	emitFPCompute(b, facc, 2)
+	b.OpI(isa.OpAddI, rBase, rBase, 8)
+	b.OpI(isa.OpAddI, rIdx, rIdx, 8)
+	loopTail(b, "loop")
+	x := u.NewBlock("exit")
+	x.MovI(rBase, region4)
+	x.Store(isa.OpStF, rBase, 0, facc)
+	x.Store(isa.OpStF, rBase, 8, fw)
+	x.Halt()
+	return u, m
+}
+
+// buildEquake models equake's sparse matrix-vector product: streaming
+// column-index and value arrays drive an indirect gather from a 2MB vector.
+// The loop processes two nonzeros per iteration on independent register
+// sets (static ILP the EPIC compiler would expose).
+func buildEquake(scale int) (*prog.Unit, *arch.Memory) {
+	const (
+		nnz      = 512 << 10
+		vecElems = 256 << 10 // 2MB
+	)
+	rng := rand.New(rand.NewSource(2002))
+	m := arch.NewMemory()
+	fillWords(m, region1, nnz, func(i int) uint32 { return rng.Uint32() % vecElems }) // col[]
+	fillF64(m, region2, vecElems, func(i int) float64 { return rng.Float64() })       // X[]
+	fillF64(m, region3, 64<<10, func(i int) float64 { return rng.Float64() })         // val[] (reused)
+
+	iters := 2500 * scale
+	if iters > nnz/2 {
+		iters = nnz / 2
+	}
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(rCnt, int32(iters))
+	e.MovI(rBase, region1)
+	e.MovI(rIdx, region2)
+	e.MovI(rT7, region3)
+	e.MovI(rT6, 0)
+	b := u.NewBlock("loop")
+	for k := 0; k < 2; k++ {
+		col := isa.IntReg(20 + k)
+		adr := isa.IntReg(22 + k)
+		vof := isa.IntReg(24 + k)
+		fx := isa.FPReg(1 + 4*k)
+		fv := isa.FPReg(2 + 4*k)
+		fp := isa.FPReg(3 + 4*k)
+		facc := isa.FPReg(4 + 4*k)
+		b.Load(isa.OpLd4, col, rBase, int32(4*k)) // col[j+k] (streaming)
+		b.OpI(isa.OpShlI, adr, col, 3)
+		b.Op3(isa.OpAdd, adr, adr, rIdx)
+		b.Load(isa.OpLdF, fx, adr, 0) // X[col[j+k]] (irregular gather)
+		b.OpI(isa.OpAddI, vof, rT6, int32(k))
+		b.OpI(isa.OpAndI, vof, vof, (64<<10)-1)
+		b.OpI(isa.OpShlI, vof, vof, 3)
+		b.Op3(isa.OpAdd, vof, vof, rT7)
+		b.Load(isa.OpLdF, fv, vof, 0) // val[j+k] (streaming, reused region)
+		b.Op3(isa.OpFMul, fp, fx, fv)
+		b.Op3(isa.OpFAdd, facc, facc, fp)
+	}
+	b.OpI(isa.OpAddI, rBase, rBase, 8)
+	b.OpI(isa.OpAddI, rT6, rT6, 2)
+	loopTail(b, "loop")
+	x := u.NewBlock("exit")
+	x.Op3(isa.OpFAdd, isa.FPReg(4), isa.FPReg(4), isa.FPReg(8))
+	x.MovI(rBase, region4)
+	x.Store(isa.OpStF, rBase, 0, isa.FPReg(4))
+	x.Halt()
+	return u, m
+}
+
+// buildAmmp models ammp's neighbor-list walk: a pointer chase through a 1MB
+// atom list (SCC -> RESTART) with coordinate gathers from a 3MB table and a
+// short FP distance computation per neighbor.
+func buildAmmp(scale int) (*prog.Unit, *arch.Memory) {
+	const (
+		recBytes = 32
+		atoms    = 1 << 20 / recBytes
+		coords   = 128 << 10 // x,y,z triples of f64: 3MB
+	)
+	rng := rand.New(rand.NewSource(2003))
+	m := arch.NewMemory()
+	first := buildChain(m, rng, region1, atoms, recBytes)
+	for i := 0; i < atoms; i++ {
+		m.Store(region1+uint32(i*recBytes)+4, 4, uint64(rng.Intn(coords)))
+	}
+	fillF64(m, region2, 3*coords, func(i int) float64 { return rng.Float64() * 10 })
+
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(rPtr, int32(first))
+	e.MovI(rCnt, int32(1500*scale))
+	e.MovI(rBase, region2)
+	e.MovI(rT8, 150)
+	e.Emit(isa.Inst{Op: isa.OpCvtIF, Dst: isa.FPReg(6), Src1: rT8}, "") // cutoff
+	b := u.NewBlock("loop")
+	fx, fy, fz, fd, facc := isa.FPReg(1), isa.FPReg(2), isa.FPReg(3), isa.FPReg(4), isa.FPReg(5)
+	b.Load(isa.OpLd4, rT1, rPtr, 0) // next atom (critical chase)
+	b.Load(isa.OpLd4, rT2, rPtr, 4) // coordinate index (same line)
+	b.OpI(isa.OpShlI, rT3, rT2, 3)
+	b.Op3(isa.OpAdd, rT3, rT3, rBase)
+	b.Load(isa.OpLdF, fx, rT3, 0)
+	b.Load(isa.OpLdF, fy, rT3, 8)
+	b.Load(isa.OpLdF, fz, rT3, 16)
+	b.Op3(isa.OpFMul, fx, fx, fx)
+	b.Op3(isa.OpFMul, fy, fy, fy)
+	b.Op3(isa.OpFMul, fz, fz, fz)
+	b.Op3(isa.OpFAdd, fd, fx, fy)
+	b.Op3(isa.OpFAdd, fd, fd, fz)
+	// Distance cutoff: the branch depends on the gathered coordinates, so
+	// advance execution cannot resolve it while they are in flight.
+	fcut := isa.FPReg(6)
+	b.Emit(isa.Inst{Op: isa.OpFCmpLt, Dst: pT2, Dst2: pF2, Src1: fd, Src2: fcut}, "")
+	b.Br(pF2, "acut")
+	in := u.NewBlock("ain")
+	in.Op3(isa.OpFAdd, facc, facc, fd)
+	in.Jmp("ajoin")
+	cut := u.NewBlock("acut")
+	cut.Op3(isa.OpFAdd, facc, facc, fC2)
+	j := u.NewBlock("ajoin")
+	emitFPCompute(j, facc, 6)
+	j.Mov(rPtr, rT1)
+	loopTail(j, "loop")
+	x := u.NewBlock("exit")
+	x.MovI(rBase, region4)
+	x.Store(isa.OpStF, rBase, 0, facc)
+	x.Halt()
+	return u, m
+}
+
+// buildMesa models mesa's span rasterization: compute-bound texturing with
+// a cache-resident 64KB texture, abundant ILP, and sequential framebuffer
+// stores. The loop is unrolled three-wide with independent register sets —
+// the static ILP an EPIC compiler would expose — so the in-order machines
+// are not artificially serialized. Memory stalls are rare; this kernel
+// bounds the models' behaviour when there is little latency to tolerate.
+func buildMesa(scale int) (*prog.Unit, *arch.Memory) {
+	const texWords = 16 << 10 // 64KB
+	rng := rand.New(rand.NewSource(2004))
+	m := arch.NewMemory()
+	fillWords(m, region1, texWords, func(i int) uint32 { return rng.Uint32() })
+
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(rCnt, int32(1200*scale))
+	e.MovI(rBase, region1)
+	e.MovI(rIdx, region3) // framebuffer
+	e.MovI(rAcc, 0)
+	seeds := []int32{0x00BEEF01, 0x00BEEF47, 0x00BEEF93}
+	for k := 0; k < 3; k++ {
+		e.MovI(isa.IntReg(20+k), seeds[k])
+	}
+	b := u.NewBlock("loop")
+	for k := 0; k < 3; k++ {
+		prng := isa.IntReg(20 + k)
+		t1 := isa.IntReg(24 + k)
+		t2 := isa.IntReg(28 + k)
+		t3 := isa.IntReg(32 + k)
+		t4 := isa.IntReg(36 + k)
+		t5 := isa.IntReg(40 + k)
+		scratch := isa.IntReg(44 + k)
+		fs := isa.FPReg(1 + 3*k)
+		ft := isa.FPReg(2 + 3*k)
+		fr := isa.FPReg(3 + 3*k)
+		emitXorshift(b, prng, scratch)
+		b.OpI(isa.OpAndI, t1, prng, (texWords-1)<<2&^3)
+		b.Op3(isa.OpAdd, t1, t1, rBase)
+		b.Load(isa.OpLd4, t2, t1, 0) // texel (cache resident)
+		b.OpI(isa.OpAndI, t3, t2, 0xff)
+		b.OpI(isa.OpShrI, t4, t2, 8)
+		b.OpI(isa.OpAndI, t4, t4, 0xff)
+		b.Emit(isa.Inst{Op: isa.OpCvtIF, Dst: fs, Src1: t3}, "")
+		b.Emit(isa.Inst{Op: isa.OpCvtIF, Dst: ft, Src1: t4}, "")
+		b.Op3(isa.OpFMul, fs, fs, ft)
+		b.Op3(isa.OpFAdd, fr, fr, fs) // shade accumulator (converted at exit)
+		// Integer-only pixel pack: the FP accumulation chain is kept off
+		// the per-pixel critical path, as a software-pipelining compiler
+		// would arrange.
+		b.OpI(isa.OpShlI, t5, t4, 8)
+		b.Op3(isa.OpOr, t5, t5, t3)
+		b.Op3(isa.OpAdd, rAcc, rAcc, t5)
+		b.Store(isa.OpSt4, rIdx, int32(4*k), t5) // framebuffer write
+	}
+	b.OpI(isa.OpAddI, rIdx, rIdx, 12)
+	loopTail(b, "loop")
+	x := u.NewBlock("exit")
+	x.Op3(isa.OpFAdd, isa.FPReg(3), isa.FPReg(3), isa.FPReg(6))
+	x.Op3(isa.OpFAdd, isa.FPReg(3), isa.FPReg(3), isa.FPReg(9))
+	x.Emit(isa.Inst{Op: isa.OpCvtFI, Dst: rT5, Src1: isa.FPReg(3)}, "")
+	x.Op3(isa.OpAdd, rAcc, rAcc, rT5)
+	x.MovI(rBase, region4)
+	x.Store(isa.OpSt4, rBase, 0, rAcc)
+	x.Halt()
+	return u, m
+}

@@ -1,0 +1,466 @@
+package workload
+
+import (
+	"math/rand"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/prog"
+)
+
+// buildMCF models mcf's network simplex inner loop: a pointer chase around
+// a 128KB node ring (L2/L3-resident after the first lap, so each hop is a
+// short miss) where every node references an arc record in a cold 8MB
+// region through a rotating offset (so arc accesses miss to memory on every
+// lap). The chase load forms a dataflow SCC, so the compiler places a
+// RESTART after it: each short chase return unlocks the next iteration's
+// long arc miss during the same stall, which is exactly the chained-miss
+// overlap the paper credits advance restart for on mcf.
+func buildMCF(scale int) (*prog.Unit, *arch.Memory) {
+	const (
+		nodeBytes = 32
+		nodes     = 4096 // 128KB ring: L2/L3 resident
+		arcBytes  = 16
+		arcRegion = 8 << 20 // cold arena, far beyond the 3MB L3
+	)
+	rng := rand.New(rand.NewSource(1001))
+	m := arch.NewMemory()
+	first := buildChain(m, rng, region1, nodes, nodeBytes)
+	for i := 0; i < nodes; i++ {
+		node := region1 + uint32(i*nodeBytes)
+		m.Store(node+4, 4, uint64(rng.Uint32()))     // arc index seed
+		m.Store(node+8, 4, uint64(rng.Uint32()%997)) // node cost
+	}
+	// Initialize the cold arc arena so arc-value-dependent control is
+	// genuinely unpredictable.
+	for off := 0; off < arcRegion; off += arcBytes {
+		m.Store(region2+uint32(off), 4, uint64(rng.Uint32()%2048))
+	}
+
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(rPtr, int32(first))
+	e.MovI(rCnt, int32(9000*scale))
+	e.MovI(rAcc, 0)
+	e.MovI(rIdx, 0)      // rotating arc offset
+	e.MovI(rT7, region2) // arc arena base
+	b := u.NewBlock("loop")
+	b.Load(isa.OpLd4, rT1, rPtr, 0) // next hop (critical chase, short miss)
+	b.Load(isa.OpLd4, rT2, rPtr, 4) // arc index seed (same line)
+	b.Load(isa.OpLd4, rT3, rPtr, 8) // node cost (same line)
+	b.Op3(isa.OpAdd, rT6, rT2, rIdx)
+	b.OpI(isa.OpAndI, rT6, rT6, (arcRegion-1)&^(arcBytes-1))
+	b.Op3(isa.OpAdd, rT6, rT6, rT7)
+	b.Load(isa.OpLd4, rT4, rT6, 0) // arc cost (cold, long miss)
+	b.Load(isa.OpLd4, rT5, rT6, 4) // arc flow (same line)
+	b.Op3(isa.OpAdd, rAcc, rAcc, rT4)
+	b.Op3(isa.OpAdd, rAcc, rAcc, rT3) // node cost keeps the sum nonzero
+	b.Op3(isa.OpAdd, rT5, rT3, rT5)
+	// Pivot test on the (missing) arc value: a real data-dependent branch,
+	// unresolvable during advance execution until the arc returns. This is
+	// what bounds multipass lookahead on mcf, as in the original program.
+	b.Cmp(isa.OpCmpLtU, pT2, pF2, rT4, rT5)
+	b.Br(pT2, "mcfskip")
+	upd := u.NewBlock("mcfupd")
+	upd.Store(isa.OpSt4, rT6, 8, rAcc)
+	upd.OpI(isa.OpAddI, rAcc, rAcc, 3)
+	sk := u.NewBlock("mcfskip")
+	sk.OpI(isa.OpAddI, rIdx, rIdx, 0x10030) // decorrelate laps
+	emitCompute(sk, rAcc, 6)
+	sk.Mov(rPtr, rT1)
+	loopTail(sk, "loop")
+	x := u.NewBlock("exit")
+	x.MovI(rBase, region4)
+	x.Store(isa.OpSt4, rBase, 0, rAcc)
+	x.Halt()
+	return u, m
+}
+
+// buildGzip models gzip's scan loop: position-indexed byte reads from a
+// 128KB window plus probes and updates of a 128KB hash table, two positions
+// per iteration on independent register sets (the static ILP gzip's
+// unrolled scan exposes). The combined footprint lives mostly in L2/L3.
+func buildGzip(scale int) (*prog.Unit, *arch.Memory) {
+	const (
+		windowBytes = 128 << 10
+		hashEntries = 32 << 10
+	)
+	rng := rand.New(rand.NewSource(1002))
+	m := arch.NewMemory()
+	for i := 0; i < windowBytes; i++ {
+		m.StoreByte(region1+uint32(i), byte(rng.Intn(256)))
+	}
+	fillWords(m, region2, hashEntries, func(i int) uint32 { return rng.Uint32() % windowBytes })
+
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(rCnt, int32(1500*scale))
+	e.MovI(rBase, region1)
+	e.MovI(rIdx, region2)
+	e.MovI(rAcc, 0)
+	e.MovI(isa.IntReg(20), 0x2545F491)
+	e.MovI(isa.IntReg(21), 0x11223347)
+	b := u.NewBlock("loop")
+	for k := 0; k < 2; k++ {
+		prng := isa.IntReg(20 + k)
+		pos := isa.IntReg(22 + k)
+		b0 := isa.IntReg(24 + k)
+		b1 := isa.IntReg(26 + k)
+		b2 := isa.IntReg(28 + k)
+		h := isa.IntReg(30 + k)
+		t := isa.IntReg(32 + k)
+		prev := isa.IntReg(34 + k)
+		pd := isa.PredReg(3 + k)
+		pdn := isa.PredReg(5 + k)
+		emitXorshift(b, prng, t)
+		b.OpI(isa.OpAndI, pos, prng, windowBytes-4)
+		b.Op3(isa.OpAdd, pos, pos, rBase)
+		b.Load(isa.OpLd1, b0, pos, 0)
+		b.Load(isa.OpLd1, b1, pos, 1)
+		b.Load(isa.OpLd1, b2, pos, 2)
+		// h = ((b0*33 + b1)*33 + b2) & (hashEntries-1)
+		b.OpI(isa.OpShlI, h, b0, 5)
+		b.Op3(isa.OpAdd, h, h, b0)
+		b.Op3(isa.OpAdd, h, h, b1)
+		b.OpI(isa.OpShlI, t, h, 5)
+		b.Op3(isa.OpAdd, t, t, h)
+		b.Op3(isa.OpAdd, t, t, b2)
+		b.OpI(isa.OpAndI, t, t, hashEntries-1)
+		b.OpI(isa.OpShlI, t, t, 2)
+		b.Op3(isa.OpAdd, t, t, rIdx)
+		b.Load(isa.OpLd4, prev, t, 0) // hash probe
+		b.Op3(isa.OpAdd, prev, prev, rBase)
+		b.Load(isa.OpLd1, prev, prev, 0)
+		b.Cmp(isa.OpCmpEq, pd, pdn, prev, b0)
+		b.OpI(isa.OpAddI, rAcc, rAcc, 1).QP = pd
+		b.Op3(isa.OpSub, h, pos, rBase)
+		b.Store(isa.OpSt4, t, 0, h) // update hash head
+	}
+	emitCompute(b, rAcc, 8)
+	loopTail(b, "loop")
+	x := u.NewBlock("exit")
+	x.MovI(rBase, region4)
+	x.Store(isa.OpSt4, rBase, 0, rAcc)
+	x.Halt()
+	return u, m
+}
+
+// buildVPR models vpr's simulated-annealing move evaluation: two random
+// probes into a 1MB placement grid, a cost comparison, and a predicated
+// swap, with an accept branch that follows pseudo-random data (frequent
+// mispredictions).
+func buildVPR(scale int) (*prog.Unit, *arch.Memory) {
+	const gridWords = 128 << 10 // 512KB
+	rng := rand.New(rand.NewSource(1003))
+	m := arch.NewMemory()
+	fillWords(m, region1, gridWords, func(i int) uint32 { return rng.Uint32() % 4096 })
+
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(rCnt, int32(2500*scale))
+	e.MovI(rRng, 0x00C0FFEE)
+	e.MovI(rBase, region1)
+	e.MovI(rAcc, 0)
+	b := u.NewBlock("loop")
+	emitXorshift(b, rRng, rT8)
+	b.OpI(isa.OpAndI, rT1, rRng, (gridWords-1)&^3) // cell a index (word aligned)
+	b.OpI(isa.OpShrI, rT2, rRng, 12)
+	b.OpI(isa.OpAndI, rT2, rT2, (gridWords-1)&^3) // cell b index
+	b.OpI(isa.OpShlI, rT1, rT1, 2)
+	b.OpI(isa.OpShlI, rT2, rT2, 2)
+	b.Op3(isa.OpAdd, rT1, rT1, rBase)
+	b.Op3(isa.OpAdd, rT2, rT2, rBase)
+	b.Load(isa.OpLd4, rT3, rT1, 0)
+	b.Load(isa.OpLd4, rT4, rT2, 0)
+	b.Op3(isa.OpSub, rT5, rT3, rT4) // delta cost
+	b.Cmp(isa.OpCmpLt, pT2, pF2, rT5, isa.R0)
+	// Accept the move (swap) when the delta improves: data-dependent.
+	b.Store(isa.OpSt4, rT1, 0, rT4).QP = pT2
+	b.Store(isa.OpSt4, rT2, 0, rT3).QP = pT2
+	b.OpI(isa.OpAddI, rAcc, rAcc, 1).QP = pT2
+	// Data-dependent control: branch taken roughly half the time.
+	b.OpI(isa.OpAndI, rT8, rT5, 1)
+	b.CmpI(isa.OpCmpEqI, pT2, pF2, rT8, 1)
+	b.Br(pT2, "tail")
+	jb := u.NewBlock("bump")
+	jb.Op3(isa.OpAdd, rAcc, rAcc, rT3)
+	t := u.NewBlock("tail")
+	emitCompute(t, rAcc, 12)
+	loopTail(t, "loop")
+	x := u.NewBlock("exit")
+	x.MovI(rBase, region4)
+	x.Store(isa.OpSt4, rBase, 0, rAcc)
+	x.Halt()
+	return u, m
+}
+
+// buildCrafty models crafty's bitboard evaluation: cache-resident table
+// lookups feeding long chains of shifts and logical operations with high
+// instruction-level parallelism and almost no cache misses.
+func buildCrafty(scale int) (*prog.Unit, *arch.Memory) {
+	const tableWords = 256
+	rng := rand.New(rand.NewSource(1004))
+	m := arch.NewMemory()
+	fillWords(m, region1, tableWords, func(i int) uint32 { return rng.Uint32() })
+
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(rCnt, int32(3000*scale))
+	e.MovI(rRng, -1640531527) // 0x9E3779B9
+	e.MovI(rBase, region1)
+	e.MovI(rAcc, 0)
+	b := u.NewBlock("loop")
+	emitXorshift(b, rRng, rT8)
+	b.OpI(isa.OpAndI, rT1, rRng, (tableWords-1)<<2&^3)
+	b.Op3(isa.OpAdd, rT1, rT1, rBase)
+	b.Load(isa.OpLd4, rT2, rT1, 0)
+	b.Load(isa.OpLd4, rT3, rT1, 4)
+	// Two independent bit-twiddling chains (attack set evaluation).
+	b.OpI(isa.OpShlI, rT4, rT2, 7)
+	b.Op3(isa.OpXor, rT4, rT4, rT2)
+	b.OpI(isa.OpShrI, rT5, rT3, 9)
+	b.Op3(isa.OpXor, rT5, rT5, rT3)
+	b.Op3(isa.OpAnd, rT6, rT4, rT5)
+	b.Op3(isa.OpOr, rT7, rT4, rT5)
+	b.OpI(isa.OpShrI, rT6, rT6, 3)
+	b.OpI(isa.OpShlI, rT7, rT7, 2)
+	b.Op3(isa.OpXor, rT6, rT6, rT7)
+	b.Op3(isa.OpAdd, rAcc, rAcc, rT6)
+	// Evaluation branch on a data-dependent bit.
+	b.OpI(isa.OpAndI, rT7, rT6, 1)
+	b.CmpI(isa.OpCmpEqI, pT2, pF2, rT7, 1)
+	b.Br(pT2, "tail")
+	sb := u.NewBlock("side")
+	sb.OpI(isa.OpXorI, rAcc, rAcc, 0x5A5A)
+	t := u.NewBlock("tail")
+	loopTail(t, "loop")
+	x := u.NewBlock("exit")
+	x.MovI(rBase, region4)
+	x.Store(isa.OpSt4, rBase, 0, rAcc)
+	x.Halt()
+	return u, m
+}
+
+// buildParser models parser's dictionary lookups: a hashed bucket probe
+// followed by a short chain of dependent node loads in a table that mostly
+// fits in L3 (short dependent-miss chains).
+func buildParser(scale int) (*prog.Unit, *arch.Memory) {
+	const (
+		buckets   = 64 << 10
+		nodeBytes = 16
+		nodes     = 16 << 10 // 256KB node pool: mostly L2/L3 resident
+	)
+	rng := rand.New(rand.NewSource(1005))
+	m := arch.NewMemory()
+	nodeAddr := func(i int) uint32 { return region2 + uint32(i*nodeBytes) }
+	// Chains of length ~3: node -> node -> node -> 0.
+	for i := 0; i < nodes; i++ {
+		next := uint32(0)
+		if rng.Intn(3) > 0 {
+			next = nodeAddr(rng.Intn(nodes))
+		}
+		m.Store(nodeAddr(i), 4, uint64(next))
+		m.Store(nodeAddr(i)+4, 4, uint64(rng.Uint32()%977)) // key
+	}
+	fillWords(m, region1, buckets, func(i int) uint32 { return nodeAddr(rng.Intn(nodes)) })
+
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(rCnt, int32(2500*scale))
+	e.MovI(rRng, 0x13572468)
+	e.MovI(rBase, region1)
+	e.MovI(rAcc, 0)
+	b := u.NewBlock("loop")
+	emitXorshift(b, rRng, rT8)
+	b.OpI(isa.OpAndI, rT1, rRng, (buckets-1)<<2&^3)
+	b.Op3(isa.OpAdd, rT1, rT1, rBase)
+	b.Load(isa.OpLd4, rT2, rT1, 0) // bucket head
+	b.Load(isa.OpLd4, rT3, rT2, 4) // key 1
+	b.Load(isa.OpLd4, rT4, rT2, 0) // next 1
+	b.Op3(isa.OpAdd, rAcc, rAcc, rT3)
+	// Key comparison on the loaded key: branch, data-dependent.
+	b.OpI(isa.OpAndI, rT5, rT3, 1)
+	b.CmpI(isa.OpCmpEqI, pT2, pF2, rT5, 0)
+	b.Br(pT2, "pskip")
+	hop := u.NewBlock("phop")
+	// Second hop, guarded by a null check.
+	hop.CmpI(isa.OpCmpNeI, pT2, pF2, rT4, 0)
+	hop.Load(isa.OpLd4, rT5, rT4, 4).QP = pT2
+	hop.Op3(isa.OpAdd, rAcc, rAcc, rT5).QP = pT2
+	sk := u.NewBlock("pskip")
+	emitCompute(sk, rAcc, 12)
+	loopTail(sk, "loop")
+	x := u.NewBlock("exit")
+	x.MovI(rBase, region4)
+	x.Store(isa.OpSt4, rBase, 0, rAcc)
+	x.Halt()
+	return u, m
+}
+
+// buildGap models gap's bag traversal: a pointer chase around a 64KB
+// element ring (short misses once warm; the SCC drives RESTART insertion)
+// where each element gathers a payload from a cold 4MB vector through a
+// rotating offset, giving restart the chained short-then-long miss pattern
+// the paper reports for gap.
+func buildGap(scale int) (*prog.Unit, *arch.Memory) {
+	const (
+		recBytes  = 32
+		elems     = 2048 // 64KB ring
+		vecRegion = 4 << 20
+	)
+	rng := rand.New(rand.NewSource(1006))
+	m := arch.NewMemory()
+	first := buildChain(m, rng, region1, elems, recBytes)
+	for i := 0; i < elems; i++ {
+		m.Store(region1+uint32(i*recBytes)+4, 4, uint64(rng.Uint32()))
+	}
+	for off := 0; off < vecRegion; off += 4 {
+		m.Store(region2+uint32(off), 4, uint64(rng.Uint32()))
+	}
+
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(rPtr, int32(first))
+	e.MovI(rCnt, int32(7000*scale))
+	e.MovI(rBase, region2)
+	e.MovI(rIdx, 0)
+	e.MovI(rAcc, 0)
+	b := u.NewBlock("loop")
+	b.Load(isa.OpLd4, rT1, rPtr, 0) // next element (critical chase)
+	b.Load(isa.OpLd4, rT2, rPtr, 4) // payload index seed (same line)
+	b.Op3(isa.OpAdd, rT3, rT2, rIdx)
+	b.OpI(isa.OpAndI, rT3, rT3, (vecRegion-1)&^3)
+	b.Op3(isa.OpAdd, rT3, rT3, rBase)
+	b.Load(isa.OpLd4, rT4, rT3, 0) // gather (cold region)
+	// Filter on the gathered value: unresolvable during advance until the
+	// gather returns, bounding lookahead as in the original.
+	b.OpI(isa.OpAndI, rT5, rT4, 1)
+	b.CmpI(isa.OpCmpEqI, pT2, pF2, rT5, 0)
+	b.Br(pT2, "gapskip")
+	acc := u.NewBlock("gapacc")
+	acc.Op3(isa.OpAdd, rAcc, rAcc, rT4)
+	sk := u.NewBlock("gapskip")
+	sk.OpI(isa.OpAddI, rIdx, rIdx, 0x8050)
+	emitCompute(sk, rAcc, 10)
+	sk.Mov(rPtr, rT1)
+	loopTail(sk, "loop")
+	x := u.NewBlock("exit")
+	x.MovI(rBase, region4)
+	x.Store(isa.OpSt4, rBase, 0, rAcc)
+	x.Halt()
+	return u, m
+}
+
+// buildBzip2 models bzip2's rank walk: the next position is loaded from a
+// 128KB index ring (a loop-carried load, so the compiler inserts RESTART),
+// each position probes the cold 4MB block, and the rank computation
+// multiplies (exposing non-unit-latency stalls once memory stalls are
+// tolerated, as the paper notes for bzip2).
+func buildBzip2(scale int) (*prog.Unit, *arch.Memory) {
+	const (
+		ringWords  = 32 << 10 // 128KB index ring
+		blockBytes = 4 << 20
+	)
+	rng := rand.New(rand.NewSource(1007))
+	m := arch.NewMemory()
+	// The ring holds byte offsets of the next ring slot (a shuffled cycle).
+	perm := rng.Perm(ringWords)
+	for k := 0; k < ringWords; k++ {
+		m.Store(region1+uint32(4*perm[k]), 4, uint64(4*perm[(k+1)%ringWords]))
+	}
+	for off := 0; off < blockBytes; off += 4 {
+		m.Store(region2+uint32(off), 4, uint64(rng.Uint32()))
+	}
+
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(rPtr, int32(region1)) // current ring slot
+	e.MovI(rCnt, int32(7000*scale))
+	e.MovI(rBase, region1)
+	e.MovI(rT7, region2) // block base
+	e.MovI(rIdx, 0)
+	e.MovI(rAcc, 0)
+	e.MovI(rRng, 0x0BADF00D)
+	b := u.NewBlock("loop")
+	b.Load(isa.OpLd4, rT1, rPtr, 0) // next ring offset (critical chase)
+	emitXorshift(b, rRng, rT8)
+	b.Op3(isa.OpAdd, rT2, rT1, rIdx)
+	b.OpI(isa.OpAndI, rT2, rT2, (blockBytes-1)&^3)
+	b.Op3(isa.OpAdd, rT2, rT2, rT7)
+	b.Load(isa.OpLd4, rT3, rT2, 0)   // cold block probe
+	b.Op3(isa.OpMul, rT4, rT3, rRng) // rank hash: multi-cycle
+	b.OpI(isa.OpShrI, rT4, rT4, 16)
+	b.Op3(isa.OpAdd, rAcc, rAcc, rT4)
+	// Rank comparison on the probed value: a real branch the predictor
+	// cannot learn, unresolvable while the probe is in flight.
+	b.Cmp(isa.OpCmpLtU, pT2, pF2, rT4, rT3)
+	b.Br(pT2, "bzskip")
+	sw := u.NewBlock("bzswap")
+	sw.Store(isa.OpSt4, rT2, 4, rAcc)
+	sk := u.NewBlock("bzskip")
+	sk.OpI(isa.OpAddI, rIdx, rIdx, 0x20110)
+	emitCompute(sk, rAcc, 8)
+	sk.Op3(isa.OpAdd, rPtr, rT1, rBase) // follow the ring
+	loopTail(sk, "loop")
+	x := u.NewBlock("exit")
+	x.MovI(rBase, region4)
+	x.Store(isa.OpSt4, rBase, 0, rAcc)
+	x.Halt()
+	return u, m
+}
+
+// buildTwolf models twolf's cost evaluation: random small-struct reads from
+// a 2MB cell array, an indirect net lookup, and branchy accept/reject logic
+// whose pre-execution in advance mode shortens front-end stalls.
+func buildTwolf(scale int) (*prog.Unit, *arch.Memory) {
+	const (
+		cellBytes = 16
+		cells     = 32 << 10 // 512KB
+		netWords  = 64 << 10 // 256KB
+	)
+	rng := rand.New(rand.NewSource(1008))
+	m := arch.NewMemory()
+	for i := 0; i < cells; i++ {
+		base := region1 + uint32(i*cellBytes)
+		m.Store(base, 4, uint64(rng.Uint32()%netWords))
+		m.Store(base+4, 4, uint64(rng.Uint32()%4096))
+	}
+	fillWords(m, region2, netWords, func(i int) uint32 { return rng.Uint32() % 1024 })
+
+	u := prog.NewUnit()
+	e := u.NewBlock("entry")
+	e.MovI(rCnt, int32(2500*scale))
+	e.MovI(rRng, 0x7715A5A5)
+	e.MovI(rBase, region1)
+	e.MovI(rIdx, region2)
+	e.MovI(rAcc, 0)
+	b := u.NewBlock("loop")
+	emitXorshift(b, rRng, rT8)
+	b.OpI(isa.OpAndI, rT1, rRng, (cells-1)*cellBytes&^(cellBytes-1))
+	b.Op3(isa.OpAdd, rT1, rT1, rBase)
+	b.Load(isa.OpLd4, rT2, rT1, 0) // net index
+	b.Load(isa.OpLd4, rT3, rT1, 4) // cell cost (same line)
+	b.OpI(isa.OpShlI, rT4, rT2, 2)
+	b.Op3(isa.OpAdd, rT4, rT4, rIdx)
+	b.Load(isa.OpLd4, rT5, rT4, 0) // net weight (dependent indirect)
+	b.Op3(isa.OpAdd, rT6, rT5, rT3)
+	// Two layers of data-dependent branching.
+	b.CmpI(isa.OpCmpLtUI, pT2, pF2, rT6, 2048)
+	b.Br(pT2, "cheap")
+	exp := u.NewBlock("expensive")
+	exp.Op3(isa.OpAdd, rAcc, rAcc, rT6)
+	exp.OpI(isa.OpShrI, rT6, rT6, 1)
+	exp.Jmp("join")
+	ch := u.NewBlock("cheap")
+	ch.Op3(isa.OpSub, rAcc, rAcc, rT6)
+	j := u.NewBlock("join")
+	j.CmpI(isa.OpCmpLtUI, pT2, pF2, rT5, 512)
+	j.Store(isa.OpSt4, rT1, 8, rAcc).QP = pT2
+	emitCompute(j, rAcc, 10)
+	loopTail(j, "loop")
+	x := u.NewBlock("exit")
+	x.MovI(rBase, region4)
+	x.Store(isa.OpSt4, rBase, 0, rAcc)
+	x.Halt()
+	return u, m
+}

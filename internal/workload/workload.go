@@ -1,0 +1,200 @@
+// Package workload provides the twelve synthetic benchmark kernels standing
+// in for the paper's SPEC CPU2000 selection (§5.1). Each kernel is a real
+// program in the simulator's ISA, built through the prog/compile pipeline
+// and run over an initialized memory image, written to reproduce the
+// dominant loop and memory behaviour of its namesake:
+//
+//	mcf     dependent pointer chasing over an out-of-cache network (worst
+//	        miss behaviour; chase load sits in a dataflow SCC -> RESTART)
+//	gzip    byte scanning with hash-table probes (moderate misses)
+//	vpr     random grid probes with data-dependent accept branches
+//	crafty  cache-resident bitboard computation (high ILP, few misses)
+//	parser  hash chains: short dependent-load chains in a mid-size table
+//	gap     bag traversal (pointer SCC) with indirect element gathers
+//	bzip2   rank/suffix comparisons with multiplies and mispredicts
+//	twolf   small-struct random access, branchy cost evaluation
+//	art     streaming FP dot products over out-of-cache arrays
+//	equake  sparse matrix-vector product (indirect FP gather)
+//	ammp    neighbor-list chase with FP distance computation
+//	mesa    span rasterization: compute-bound FP/integer mix
+//
+// The kernels are parameterized by a scale factor so tests can run them
+// small and the experiment harness can run them long.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multipass/internal/arch"
+	"multipass/internal/compile"
+	"multipass/internal/isa"
+	"multipass/internal/prog"
+)
+
+// Workload is one benchmark kernel.
+type Workload struct {
+	Name        string
+	Class       string // "int" or "fp"
+	Description string
+	// Build returns the un-scheduled kernel and its initialized memory
+	// image. scale >= 1 multiplies the dynamic instruction count.
+	Build func(scale int) (*prog.Unit, *arch.Memory)
+}
+
+// All returns the twelve kernels in the paper's presentation order
+// (integer, then floating point).
+func All() []Workload {
+	return []Workload{
+		{"gzip", "int", "byte scan + hash probes", buildGzip},
+		{"vpr", "int", "random grid probes, accept branches", buildVPR},
+		{"mcf", "int", "pointer chase over out-of-cache network", buildMCF},
+		{"crafty", "int", "cache-resident bitboard compute", buildCrafty},
+		{"parser", "int", "hash chains with short dependent loads", buildParser},
+		{"gap", "int", "bag traversal with indirect gathers", buildGap},
+		{"bzip2", "int", "rank comparisons, multiplies, mispredicts", buildBzip2},
+		{"twolf", "int", "small-struct random access, branchy", buildTwolf},
+		{"art", "fp", "streaming FP dot products", buildArt},
+		{"equake", "fp", "sparse matrix-vector product", buildEquake},
+		{"ammp", "fp", "neighbor chase + FP distance", buildAmmp},
+		{"mesa", "fp", "compute-bound span rasterization", buildMesa},
+	}
+}
+
+// ByName returns the named kernel.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Program builds and compiles a kernel with the given compiler options.
+func Program(w Workload, scale int, opts compile.Options) (*isa.Program, *arch.Memory, error) {
+	if scale < 1 {
+		return nil, nil, fmt.Errorf("workload: scale %d < 1", scale)
+	}
+	u, image := w.Build(scale)
+	p, _, err := compile.Compile(u, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return p, image, nil
+}
+
+// Memory region bases, spaced far apart so kernels' regions never overlap.
+const (
+	region1 = 0x0100_0000
+	region2 = 0x0200_0000
+	region3 = 0x0300_0000
+	region4 = 0x0400_0000
+)
+
+// fillWords initializes n 4-byte words starting at base.
+func fillWords(m *arch.Memory, base uint32, n int, f func(i int) uint32) {
+	for i := 0; i < n; i++ {
+		m.Store(base+uint32(4*i), 4, uint64(f(i)))
+	}
+}
+
+// fillF64 initializes n 8-byte floats starting at base.
+func fillF64(m *arch.Memory, base uint32, n int, f func(i int) float64) {
+	for i := 0; i < n; i++ {
+		m.Store(base+uint32(8*i), 8, uint64(isa.FPWord(f(i))))
+	}
+}
+
+// buildChain lays out a shuffled singly linked list of nodes with the given
+// record size (bytes) across count records starting at base, writing each
+// node's successor pointer at offset 0. It returns the address of the first
+// node. The shuffle spreads successive nodes across the whole region so
+// every hop misses.
+func buildChain(m *arch.Memory, rng *rand.Rand, base uint32, count, recBytes int) uint32 {
+	perm := rng.Perm(count)
+	addr := func(i int) uint32 { return base + uint32(i*recBytes) }
+	for k := 0; k < count; k++ {
+		next := perm[(k+1)%count]
+		m.Store(addr(perm[k]), 4, uint64(addr(next)))
+	}
+	return addr(perm[0])
+}
+
+// Register naming helpers to keep kernels readable.
+var (
+	rPtr  = isa.IntReg(1)
+	rCnt  = isa.IntReg(2)
+	rAcc  = isa.IntReg(3)
+	rT1   = isa.IntReg(4)
+	rT2   = isa.IntReg(5)
+	rT3   = isa.IntReg(6)
+	rT4   = isa.IntReg(7)
+	rT5   = isa.IntReg(8)
+	rBase = isa.IntReg(9)
+	rIdx  = isa.IntReg(10)
+	rRng  = isa.IntReg(11)
+	rT6   = isa.IntReg(12)
+	rT7   = isa.IntReg(13)
+	rT8   = isa.IntReg(14)
+	rC1   = isa.IntReg(15)
+	rC2   = isa.IntReg(16)
+	fC1   = isa.FPReg(14)
+	fC2   = isa.FPReg(15)
+	pT    = isa.PredReg(1)
+	pF    = isa.PredReg(2)
+	pT2   = isa.PredReg(3)
+	pF2   = isa.PredReg(4)
+)
+
+// emitXorshift appends an xorshift PRNG step on reg into the block, using
+// scratch as a temporary.
+func emitXorshift(b *prog.Block, reg, scratch isa.Reg) {
+	b.OpI(isa.OpShlI, scratch, reg, 13)
+	b.Op3(isa.OpXor, reg, reg, scratch)
+	b.OpI(isa.OpShrI, scratch, reg, 17)
+	b.Op3(isa.OpXor, reg, reg, scratch)
+	b.OpI(isa.OpShlI, scratch, reg, 5)
+	b.Op3(isa.OpXor, reg, reg, scratch)
+}
+
+// emitCompute appends n ALU operations forming two interleaved dependence
+// chains (about n/2 critical-path cycles), standing in for the surrounding
+// computation real programs carry between memory accesses. It uses rC1/rC2
+// and folds the result into acc so the work is never dead.
+func emitCompute(b *prog.Block, acc isa.Reg, n int) {
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			b.Op3(isa.OpAdd, rC1, rC1, acc)
+		case 1:
+			b.OpI(isa.OpXorI, rC2, rC2, int32(0x55+i))
+		case 2:
+			b.OpI(isa.OpShlI, rC1, rC1, 1)
+		case 3:
+			b.Op3(isa.OpXor, rC2, rC2, rC1)
+		}
+	}
+	b.Op3(isa.OpAdd, acc, acc, rC2)
+}
+
+// emitFPCompute appends n floating-point operations on a dependence chain
+// through facc, modeling per-element scientific computation.
+func emitFPCompute(b *prog.Block, facc isa.Reg, n int) {
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			b.Op3(isa.OpFAdd, fC1, fC1, facc)
+		} else {
+			b.Op3(isa.OpFMul, fC1, fC1, fC2)
+		}
+	}
+	b.Op3(isa.OpFAdd, facc, facc, fC1)
+}
+
+// loopTail appends the canonical loop control: decrement rCnt and branch to
+// label while non-zero.
+func loopTail(b *prog.Block, label string) {
+	b.OpI(isa.OpSubI, rCnt, rCnt, 1)
+	b.CmpI(isa.OpCmpNeI, pT, pF, rCnt, 0)
+	b.Br(pT, label)
+}

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/compile"
+	"multipass/internal/isa"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("expected 12 workloads, got %d", len(all))
+	}
+	ints, fps := 0, 0
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		switch w.Class {
+		case "int":
+			ints++
+		case "fp":
+			fps++
+		default:
+			t.Errorf("workload %q has class %q", w.Name, w.Class)
+		}
+		if w.Description == "" || w.Build == nil {
+			t.Errorf("workload %q incomplete", w.Name)
+		}
+	}
+	if ints != 8 || fps != 4 {
+		t.Errorf("class split = %d int / %d fp, want 8/4", ints, fps)
+	}
+	if _, ok := ByName("mcf"); !ok {
+		t.Error("ByName(mcf) failed")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName accepted a bogus name")
+	}
+}
+
+func TestAllKernelsBuildCompileAndRun(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			p, image, err := Program(w, 1, compile.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := arch.Run(p, image.Clone(), 10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.State.Retired < 5000 {
+				t.Errorf("only %d dynamic instructions; kernel too small", res.State.Retired)
+			}
+			if res.Loads == 0 {
+				t.Error("kernel performs no loads")
+			}
+			// Every kernel writes a result to region4 so dead-code concerns
+			// never arise.
+			if image.FootprintBytes() == 0 {
+				t.Error("kernel has no data footprint")
+			}
+		})
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	w, _ := ByName("vpr")
+	p1, m1, err := Program(w, 1, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, m2, err := Program(w, 1, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Insts) != len(p2.Insts) {
+		t.Fatal("program differs between builds")
+	}
+	r1, err := arch.Run(p1, m1, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := arch.Run(p2, m2, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.State.RF.Equal(r2.State.RF) {
+		t.Error("nondeterministic result")
+	}
+}
+
+func TestChaseKernelsGetRestarts(t *testing.T) {
+	chasers := map[string]bool{"mcf": true, "gap": true, "ammp": true}
+	for _, w := range All() {
+		u, _ := w.Build(1)
+		_, info, err := compile.Compile(u, compile.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if chasers[w.Name] && info.Restarts == 0 {
+			t.Errorf("%s: pointer-chase kernel got no RESTART", w.Name)
+		}
+		if !chasers[w.Name] && info.Restarts > 0 && (w.Name == "art" || w.Name == "mesa") {
+			t.Errorf("%s: streaming/compute kernel got unexpected RESTART", w.Name)
+		}
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	w, _ := ByName("crafty")
+	p1, m1, err := Program(w, 1, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, m3, err := Program(w, 3, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := arch.Run(p1, m1, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := arch.Run(p3, m3, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.State.Retired < 2*r1.State.Retired {
+		t.Errorf("scale 3 retired %d, scale 1 retired %d", r3.State.Retired, r1.State.Retired)
+	}
+}
+
+func TestProgramRejectsBadScale(t *testing.T) {
+	w, _ := ByName("mcf")
+	if _, _, err := Program(w, 0, compile.DefaultOptions()); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}
+
+func TestChainBuilder(t *testing.T) {
+	m := arch.NewMemory()
+	rng := randSource()
+	first := buildChain(m, rng, 0x1000, 64, 16)
+	// Walking the chain visits all 64 nodes and returns to the start.
+	seen := map[uint32]bool{}
+	p := first
+	for i := 0; i < 64; i++ {
+		if seen[p] {
+			t.Fatalf("chain revisits %#x after %d hops", p, i)
+		}
+		seen[p] = true
+		p = uint32(m.Load(p, 4))
+	}
+	if p != first {
+		t.Error("chain is not circular")
+	}
+	if len(seen) != 64 {
+		t.Errorf("chain visited %d nodes", len(seen))
+	}
+}
+
+func TestMCFResultStored(t *testing.T) {
+	w, _ := ByName("mcf")
+	p, image, err := Program(w, 1, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arch.Run(p, image, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if image.Load(region4, 4) == 0 {
+		t.Error("mcf accumulated nothing")
+	}
+	_ = isa.OpNop
+}
+
+func randSource() *rand.Rand { return rand.New(rand.NewSource(7)) }
