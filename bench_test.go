@@ -9,6 +9,7 @@
 package multipass_test
 
 import (
+	"context"
 	"testing"
 
 	"multipass/internal/bench"
@@ -24,7 +25,7 @@ const benchScale = 1
 // reduction, 1.36x mean multipass speedup, and 1.14x ideal-OOO-over-MP.
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.Figure6(benchScale)
+		r, err := bench.Figure6(context.Background(), benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -40,7 +41,7 @@ func BenchmarkFigure6(b *testing.B) {
 // the more restrictive hierarchies.
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.Figure7(benchScale)
+		r, err := bench.Figure7(context.Background(), benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -57,7 +58,7 @@ func BenchmarkFigure7(b *testing.B) {
 // matters nearly everywhere except mcf.
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.Figure8(benchScale)
+		r, err := bench.Figure8(context.Background(), benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func BenchmarkFigure8(b *testing.B) {
 // 10.28/7.15, 3.21/9.79).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.Table1(benchScale)
+		r, err := bench.Table1(context.Background(), benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func BenchmarkTable1(b *testing.B) {
 // comparison (paper: runahead reduces about half as many cycles).
 func BenchmarkExtras(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.Extras(benchScale)
+		r, err := bench.Extras(context.Background(), benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func BenchmarkModels(b *testing.B) {
 		b.Run(string(name), func(b *testing.B) {
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
-				res, err := bench.Run(name, w, benchScale, mem.BaseConfig())
+				res, err := bench.Run(context.Background(), name, w, benchScale, mem.BaseConfig())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -134,7 +135,7 @@ func BenchmarkWorkloads(b *testing.B) {
 		w := w
 		b.Run(w.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := bench.Run(bench.MMultipass, w, benchScale, mem.BaseConfig())
+				res, err := bench.Run(context.Background(), bench.MMultipass, w, benchScale, mem.BaseConfig())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -149,7 +150,7 @@ func BenchmarkWorkloads(b *testing.B) {
 // kernels.
 func BenchmarkRestartStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.RestartStudy(benchScale)
+		r, err := bench.RestartStudy(context.Background(), benchScale)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +168,7 @@ func BenchmarkRestartStudy(b *testing.B) {
 // size around the paper's 256-entry choice.
 func BenchmarkSweepIQ(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.SweepIQ(benchScale, []int{24, 256})
+		r, err := bench.SweepIQ(context.Background(), benchScale, []int{24, 256})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,7 +189,7 @@ func BenchmarkSweepIQ(b *testing.B) {
 // cache size around the paper's 64-entry choice.
 func BenchmarkSweepASC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := bench.SweepASC(benchScale, []int{8, 64})
+		r, err := bench.SweepASC(context.Background(), benchScale, []int{8, 64})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"multipass/internal/bench"
@@ -31,6 +33,11 @@ func main() {
 	chart := flag.Bool("chart", false, "render figures as ASCII bar charts")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
 	flag.Parse()
+
+	// Ctrl-C cancels in-flight simulations promptly instead of waiting for
+	// the current figure to finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *fig == 0 && *table == 0 && !*extras && !*restart && *sweepFlag == "" {
 		*all = true
@@ -64,7 +71,7 @@ func main() {
 
 	if *all || *fig == 6 {
 		start := time.Now()
-		r, err := bench.Figure6(*scale)
+		r, err := bench.Figure6(ctx, *scale)
 		if err != nil {
 			fail("Figure 6", err)
 		}
@@ -72,7 +79,7 @@ func main() {
 	}
 	if *all || *fig == 7 {
 		start := time.Now()
-		r, err := bench.Figure7(*scale)
+		r, err := bench.Figure7(ctx, *scale)
 		if err != nil {
 			fail("Figure 7", err)
 		}
@@ -80,7 +87,7 @@ func main() {
 	}
 	if *all || *fig == 8 {
 		start := time.Now()
-		r, err := bench.Figure8(*scale)
+		r, err := bench.Figure8(ctx, *scale)
 		if err != nil {
 			fail("Figure 8", err)
 		}
@@ -88,7 +95,7 @@ func main() {
 	}
 	if *all || *table == 1 {
 		start := time.Now()
-		r, err := bench.Table1(*scale)
+		r, err := bench.Table1(ctx, *scale)
 		if err != nil {
 			fail("Table 1", err)
 		}
@@ -96,7 +103,7 @@ func main() {
 	}
 	if *all || *extras {
 		start := time.Now()
-		r, err := bench.Extras(*scale)
+		r, err := bench.Extras(ctx, *scale)
 		if err != nil {
 			fail("Extras", err)
 		}
@@ -104,7 +111,7 @@ func main() {
 	}
 	if *all || *restart {
 		start := time.Now()
-		r, err := bench.RestartStudy(*scale)
+		r, err := bench.RestartStudy(ctx, *scale)
 		if err != nil {
 			fail("Restart study", err)
 		}
@@ -112,7 +119,7 @@ func main() {
 	}
 	if *all || *sweepFlag == "iq" {
 		start := time.Now()
-		r, err := bench.SweepIQ(*scale, []int{24, 64, 128, 256, 512})
+		r, err := bench.SweepIQ(ctx, *scale, []int{24, 64, 128, 256, 512})
 		if err != nil {
 			fail("IQ sweep", err)
 		}
@@ -120,7 +127,7 @@ func main() {
 	}
 	if *all || *sweepFlag == "asc" {
 		start := time.Now()
-		r, err := bench.SweepASC(*scale, []int{8, 16, 64, 256})
+		r, err := bench.SweepASC(ctx, *scale, []int{8, 16, 64, 256})
 		if err != nil {
 			fail("ASC sweep", err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -120,7 +121,7 @@ func timeAll(path string) error {
 		if err != nil {
 			return err
 		}
-		res, err := m.Run(p, arch.NewMemory())
+		res, err := m.Run(context.Background(), p, arch.NewMemory())
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

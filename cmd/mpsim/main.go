@@ -7,10 +7,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"text/tabwriter"
 
@@ -23,7 +25,7 @@ import (
 )
 
 // runTraced runs a multipass variant with the pipeline tracer attached.
-func runTraced(name bench.ModelName, w workload.Workload, scale int, hc mem.HierConfig) (*sim.Result, error) {
+func runTraced(ctx context.Context, name bench.ModelName, w workload.Workload, scale int, hc mem.HierConfig) (*sim.Result, error) {
 	p, image, err := workload.Program(w, scale, compile.DefaultOptions())
 	if err != nil {
 		return nil, err
@@ -37,13 +39,17 @@ func runTraced(name bench.ModelName, w workload.Workload, scale int, hc mem.Hier
 	if err != nil {
 		return nil, err
 	}
-	return m.Run(p, image)
+	return m.Run(ctx, p, image)
 }
+
+// isMultipass reports whether the named model is a multipass variant (the
+// only models the pipeline tracer understands).
+func isMultipass(model string) bool { return strings.HasPrefix(model, "multipass") }
 
 func main() {
 	wname := flag.String("w", "mcf", "workload name (see -list)")
-	model := flag.String("model", "multipass", "inorder | multipass | multipass-noregroup | multipass-norestart | runahead | ooo | ooo-realistic")
-	hier := flag.String("hier", "base", "cache hierarchy: base | config1 | config2")
+	model := flag.String("model", "multipass", "timing model: "+strings.Join(sim.Names(), " | "))
+	hier := flag.String("hier", "base", "cache hierarchy: "+strings.Join(mem.ConfigNames(), " | "))
 	scale := flag.Int("scale", 1, "workload scale factor")
 	list := flag.Bool("list", false, "list available workloads")
 	trace := flag.Bool("trace", false, "stream multipass pipeline events to stderr (multipass models only)")
@@ -65,32 +71,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *wname)
 		os.Exit(1)
 	}
-	var hc mem.HierConfig
-	switch *hier {
-	case "base":
-		hc = mem.BaseConfig()
-	case "config1":
-		hc = mem.Config1()
-	case "config2":
-		hc = mem.Config2()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown hierarchy %q\n", *hier)
+	hc, ok := mem.ConfigByName(*hier)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown hierarchy %q (have %s)\n", *hier, strings.Join(mem.ConfigNames(), ", "))
+		os.Exit(1)
+	}
+	if *trace && !isMultipass(*model) {
+		fmt.Fprintf(os.Stderr, "-trace requires a multipass model (the tracer follows advance/rally mode transitions); model %q has no trace stream\n", *model)
 		os.Exit(1)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var res *sim.Result
 	var err error
-	if *trace && strings.HasPrefix(*model, "multipass") {
-		res, err = runTraced(bench.ModelName(*model), w, *scale, hc)
+	if *trace {
+		res, err = runTraced(ctx, bench.ModelName(*model), w, *scale, hc)
 	} else {
-		res, err = bench.Run(bench.ModelName(*model), w, *scale, hc)
+		res, err = bench.Run(ctx, bench.ModelName(*model), w, *scale, hc)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	if *jsonOut {
-		data, err := json.MarshalIndent(res.Stats, "", "  ")
+		data, err := json.MarshalIndent(&res.Stats, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,0 +1,65 @@
+// Command mpsimd serves the simulation suite over HTTP/JSON: single jobs,
+// fan-out sweeps, and registry enumeration, with a bounded worker pool and a
+// content-addressed result cache.
+//
+//	mpsimd -addr :8080
+//	curl -s localhost:8080/v1/models
+//	curl -s -X POST localhost:8080/v1/run -d '{"workload":"mcf","model":"multipass"}'
+//
+// See EXPERIMENTS.md for the endpoint reference and a sweep example
+// reproducing Figure 7 over HTTP.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"multipass/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request simulation deadline (0 = none)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		DefaultTimeout: *timeout,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mpsimd listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: in-flight simulations observe their request contexts
+	// being canceled by Shutdown's deadline expiring below.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

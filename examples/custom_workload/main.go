@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -84,7 +85,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := m.Run(p, image)
+		res, err := m.Run(context.Background(), p, image)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -80,7 +81,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := m.Run(p, image)
+		res, err := m.Run(context.Background(), p, image)
 		if err != nil {
 			log.Fatal(err)
 		}

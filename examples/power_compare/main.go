@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,11 +21,11 @@ import (
 
 func main() {
 	w, _ := workload.ByName("mcf")
-	oooRes, err := bench.Run(bench.MOOO, w, 1, mem.BaseConfig())
+	oooRes, err := bench.Run(context.Background(), bench.MOOO, w, 1, mem.BaseConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	mpRes, err := bench.Run(bench.MMultipass, w, 1, mem.BaseConfig())
+	mpRes, err := bench.Run(context.Background(), bench.MMultipass, w, 1, mem.BaseConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,7 @@ loop:
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := m.Run(p, image)
+		res, err := m.Run(context.Background(), p, image)
 		if err != nil {
 			log.Fatal(err)
 		}

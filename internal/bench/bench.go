@@ -14,20 +14,24 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"multipass/internal/arch"
 	"multipass/internal/compile"
-	"multipass/internal/core"
 	"multipass/internal/isa"
 	"multipass/internal/mem"
-	"multipass/internal/pipe/inorder"
-	"multipass/internal/pipe/ooo"
-	"multipass/internal/pipe/runahead"
 	"multipass/internal/sim"
 	"multipass/internal/workload"
+
+	// Link the evaluation's timing models into the sim registry. The
+	// harness constructs them by name; nothing here references the
+	// packages directly (studies.go uses core's config types).
+	_ "multipass/internal/pipe/inorder"
+	_ "multipass/internal/pipe/ooo"
+	_ "multipass/internal/pipe/runahead"
 )
 
 // ModelName identifies one timing model in experiment output.
@@ -44,52 +48,29 @@ const (
 	MOOORealistc ModelName = "ooo-realistic"
 )
 
-// NewMachine constructs the named model over the given hierarchy.
+// NewMachine constructs the named model over the given hierarchy, via the
+// sim registry the model packages register themselves into.
 func NewMachine(name ModelName, hier mem.HierConfig) (sim.Machine, error) {
-	switch name {
-	case MInorder:
-		cfg := sim.Default()
-		cfg.Hier = hier
-		return inorder.New(cfg)
-	case MMultipass, MNoRegroup, MNoRestart:
-		cfg := core.DefaultConfig()
-		cfg.Hier = hier
-		cfg.DisableRegroup = name == MNoRegroup
-		cfg.DisableRestart = name == MNoRestart
-		return core.New(cfg)
-	case MRunahead:
-		cfg := runahead.DefaultConfig()
-		cfg.Hier = hier
-		return runahead.New(cfg)
-	case MOOO:
-		cfg := ooo.DefaultConfig()
-		cfg.Hier = hier
-		return ooo.New(cfg)
-	case MOOORealistc:
-		cfg := ooo.RealisticConfig()
-		cfg.Hier = hier
-		return ooo.New(cfg)
-	}
-	return nil, fmt.Errorf("bench: unknown model %q", name)
+	return sim.NewMachine(string(name), sim.ModelOptions{Hier: hier})
 }
 
 // Run compiles one workload (paper-standard compiler options: scheduling and
 // RESTART insertion on) and runs it on one model. The same binary is used
 // for every model, as in the paper.
-func Run(name ModelName, w workload.Workload, scale int, hier mem.HierConfig) (*sim.Result, error) {
+func Run(ctx context.Context, name ModelName, w workload.Workload, scale int, hier mem.HierConfig) (*sim.Result, error) {
 	p, image, err := workload.Program(w, scale, compile.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
-	return runProgram(name, p, image, hier)
+	return runProgram(ctx, name, p, image, hier)
 }
 
-func runProgram(name ModelName, p *isa.Program, image *arch.Memory, hier mem.HierConfig) (*sim.Result, error) {
+func runProgram(ctx context.Context, name ModelName, p *isa.Program, image *arch.Memory, hier mem.HierConfig) (*sim.Result, error) {
 	m, err := NewMachine(name, hier)
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.Run(p, image)
+	res, err := m.Run(ctx, p, image)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", name, err)
 	}
@@ -107,7 +88,7 @@ type cell struct {
 
 // runMatrix executes every (workload, model, hierarchy) combination
 // concurrently, compiling each workload once per hierarchy.
-func runMatrix(ws []workload.Workload, models []ModelName, hiers map[string]mem.HierConfig, scale int) (map[string]*sim.Result, error) {
+func runMatrix(ctx context.Context, ws []workload.Workload, models []ModelName, hiers map[string]mem.HierConfig, scale int) (map[string]*sim.Result, error) {
 	type job struct {
 		w     workload.Workload
 		model ModelName
@@ -149,7 +130,7 @@ func runMatrix(ws []workload.Workload, models []ModelName, hiers map[string]mem.
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			b := programs[j.w.Name]
-			res, err := runProgram(j.model, b.p, b.image, hiers[j.hname])
+			res, err := runProgram(ctx, j.model, b.p, b.image, hiers[j.hname])
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestNewMachineAllModels(t *testing.T) {
 
 func TestRunSingle(t *testing.T) {
 	w, _ := workload.ByName("crafty")
-	res, err := Run(MInorder, w, 1, mem.BaseConfig())
+	res, err := Run(context.Background(), MInorder, w, 1, mem.BaseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestModelOrderingOnMCF(t *testing.T) {
 	w, _ := workload.ByName("mcf")
 	results := map[ModelName]*sim.Result{}
 	for _, n := range []ModelName{MInorder, MMultipass, MRunahead, MOOO} {
-		res, err := Run(n, w, 1, mem.BaseConfig())
+		res, err := Run(context.Background(), n, w, 1, mem.BaseConfig())
 		if err != nil {
 			t.Fatalf("%s: %v", n, err)
 		}
@@ -80,7 +81,7 @@ func TestAllModelsEquivalentOnAllWorkloads(t *testing.T) {
 			t.Parallel()
 			var ref *sim.Result
 			for _, n := range []ModelName{MInorder, MMultipass, MRunahead, MOOO} {
-				res, err := Run(n, w, 1, mem.BaseConfig())
+				res, err := Run(context.Background(), n, w, 1, mem.BaseConfig())
 				if err != nil {
 					t.Fatalf("%s: %v", n, err)
 				}
@@ -106,7 +107,7 @@ func TestFigure6SmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-model sweep")
 	}
-	r, err := Figure6(1)
+	r, err := Figure6(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestFigure8SmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-model sweep")
 	}
-	r, err := Figure8(1)
+	r, err := Figure8(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestTable1SmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-model sweep")
 	}
-	r, err := Table1(1)
+	r, err := Table1(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

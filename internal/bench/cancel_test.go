@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"multipass/internal/compile"
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+	"multipass/internal/workload"
+)
+
+// TestRegistryListsEvaluationModels: every model the harness names must be
+// registered, and the registry must not have lost the bogus-name error.
+func TestRegistryListsEvaluationModels(t *testing.T) {
+	want := []string{
+		"inorder", "multipass", "multipass-noregroup", "multipass-norestart",
+		"ooo", "ooo-realistic", "runahead",
+	}
+	have := map[string]bool{}
+	for _, n := range sim.Names() {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("model %q not registered (have %v)", n, sim.Names())
+		}
+	}
+}
+
+// TestCancellationAllModels: a pre-canceled context stops every registered
+// model before it simulates anything, and the returned error reports the
+// cancellation.
+func TestCancellationAllModels(t *testing.T) {
+	w, _ := workload.ByName("mcf")
+	p, image, err := workload.Program(w, 1, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range sim.Names() {
+		m, err := sim.NewMachine(name, sim.ModelOptions{Hier: mem.BaseConfig()})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		start := time.Now()
+		res, err := m.Run(ctx, p, image)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: returned a result after cancellation", name)
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Errorf("%s: took %v to notice a pre-canceled context", name, el)
+		}
+	}
+}
+
+// TestDeadlineMidRun: a deadline expiring mid-simulation aborts the run
+// promptly (well within one progress window) with DeadlineExceeded.
+func TestDeadlineMidRun(t *testing.T) {
+	w, _ := workload.ByName("mcf")
+	p, image, err := workload.Program(w, 8, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"inorder", "multipass", "runahead", "ooo"} {
+		m, err := sim.NewMachine(name, sim.ModelOptions{Hier: mem.BaseConfig()})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		start := time.Now()
+		_, err = m.Run(ctx, p, image)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want context.DeadlineExceeded", name, err)
+		}
+		if el := time.Since(start); el > 5*time.Second {
+			t.Errorf("%s: took %v to honor the deadline", name, el)
+		}
+	}
+}
+
+// TestMaxInstsOverride: the registry's ModelOptions.MaxInsts override
+// truncates a run instead of using the model default.
+func TestMaxInstsOverride(t *testing.T) {
+	w, _ := workload.ByName("crafty")
+	p, image, err := workload.Program(w, 1, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine("inorder", sim.ModelOptions{Hier: mem.BaseConfig(), MaxInsts: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(context.Background(), p, image); err == nil {
+		t.Error("run with a 100-instruction cap completed; expected a truncation error")
+	}
+}

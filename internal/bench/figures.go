@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -31,10 +32,10 @@ type Fig6Result struct {
 }
 
 // Figure6 runs the experiment at the given workload scale.
-func Figure6(scale int) (*Fig6Result, error) {
+func Figure6(ctx context.Context, scale int) (*Fig6Result, error) {
 	ws := workload.All()
 	hiers := map[string]mem.HierConfig{"base": mem.BaseConfig()}
-	res, err := runMatrix(ws, []ModelName{MInorder, MMultipass, MOOO}, hiers, scale)
+	res, err := runMatrix(ctx, ws, []ModelName{MInorder, MMultipass, MOOO}, hiers, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -105,14 +106,14 @@ type Fig7Result struct {
 }
 
 // Figure7 runs the experiment at the given workload scale.
-func Figure7(scale int) (*Fig7Result, error) {
+func Figure7(ctx context.Context, scale int) (*Fig7Result, error) {
 	ws := workload.All()
 	hiers := map[string]mem.HierConfig{
 		"base":    mem.BaseConfig(),
 		"config1": mem.Config1(),
 		"config2": mem.Config2(),
 	}
-	res, err := runMatrix(ws, []ModelName{MInorder, MMultipass, MOOO}, hiers, scale)
+	res, err := runMatrix(ctx, ws, []ModelName{MInorder, MMultipass, MOOO}, hiers, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -164,10 +165,10 @@ type Fig8Result struct {
 }
 
 // Figure8 runs the ablations at the given workload scale.
-func Figure8(scale int) (*Fig8Result, error) {
+func Figure8(ctx context.Context, scale int) (*Fig8Result, error) {
 	ws := workload.All()
 	hiers := map[string]mem.HierConfig{"base": mem.BaseConfig()}
-	res, err := runMatrix(ws, []ModelName{MInorder, MMultipass, MNoRegroup, MNoRestart}, hiers, scale)
+	res, err := runMatrix(ctx, ws, []ModelName{MInorder, MMultipass, MNoRegroup, MNoRestart}, hiers, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -208,10 +209,10 @@ type Table1Result struct {
 
 // Table1 aggregates statistics across the suite on the OOO and multipass
 // machines and evaluates the power models.
-func Table1(scale int) (*Table1Result, error) {
+func Table1(ctx context.Context, scale int) (*Table1Result, error) {
 	ws := workload.All()
 	hiers := map[string]mem.HierConfig{"base": mem.BaseConfig()}
-	res, err := runMatrix(ws, []ModelName{MMultipass, MOOO}, hiers, scale)
+	res, err := runMatrix(ctx, ws, []ModelName{MMultipass, MOOO}, hiers, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -273,10 +274,10 @@ type ExtraRow struct {
 }
 
 // Extras runs the additional comparisons.
-func Extras(scale int) (*ExtrasResult, error) {
+func Extras(ctx context.Context, scale int) (*ExtrasResult, error) {
 	ws := workload.All()
 	hiers := map[string]mem.HierConfig{"base": mem.BaseConfig()}
-	res, err := runMatrix(ws, []ModelName{MInorder, MMultipass, MRunahead, MOOORealistc}, hiers, scale)
+	res, err := runMatrix(ctx, ws, []ModelName{MInorder, MMultipass, MRunahead, MOOORealistc}, hiers, scale)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
@@ -34,7 +35,7 @@ type RestartStudyResult struct {
 
 // RestartStudy runs the study on the restart-sensitive kernels plus one
 // insensitive control.
-func RestartStudy(scale int) (*RestartStudyResult, error) {
+func RestartStudy(ctx context.Context, scale int) (*RestartStudyResult, error) {
 	names := []string{"mcf", "gap", "bzip2", "art"}
 	out := &RestartStudyResult{}
 	for _, name := range names {
@@ -54,7 +55,7 @@ func RestartStudy(scale int) (*RestartStudyResult, error) {
 			return nil, err
 		}
 
-		base, err := runProgram(MInorder, withR, imageA, mem.BaseConfig())
+		base, err := runProgram(ctx, MInorder, withR, imageA, mem.BaseConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +64,7 @@ func RestartStudy(scale int) (*RestartStudyResult, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			res, err := m.Run(p, image)
+			res, err := m.Run(ctx, p, image)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -141,8 +142,8 @@ type SweepResult struct {
 // SweepIQ measures multipass sensitivity to the instruction-queue size
 // (the paper's Table 2 picks 256): the IQ bounds how far PEEK can run
 // ahead of DEQ.
-func SweepIQ(scale int, sizes []int) (*SweepResult, error) {
-	return sweep("IQ", scale, sizes, func(cfg *core.Config, size int) {
+func SweepIQ(ctx context.Context, scale int, sizes []int) (*SweepResult, error) {
+	return sweep(ctx, "IQ", scale, sizes, func(cfg *core.Config, size int) {
 		cfg.IQSize = size
 		cfg.BufferSize = size
 	})
@@ -151,13 +152,13 @@ func SweepIQ(scale int, sizes []int) (*SweepResult, error) {
 // SweepASC measures multipass sensitivity to the advance store cache size
 // (§4 picks 64 entries, 2-way): too small an ASC loses forwarding and
 // makes more loads data-speculative.
-func SweepASC(scale int, sizes []int) (*SweepResult, error) {
-	return sweep("ASC", scale, sizes, func(cfg *core.Config, size int) {
+func SweepASC(ctx context.Context, scale int, sizes []int) (*SweepResult, error) {
+	return sweep(ctx, "ASC", scale, sizes, func(cfg *core.Config, size int) {
 		cfg.ASCEntries = size
 	})
 }
 
-func sweep(param string, scale int, sizes []int, apply func(*core.Config, int)) (*SweepResult, error) {
+func sweep(ctx context.Context, param string, scale int, sizes []int, apply func(*core.Config, int)) (*SweepResult, error) {
 	names := []string{"mcf", "gzip", "equake"}
 	out := &SweepResult{Param: param}
 	for _, name := range names {
@@ -169,7 +170,7 @@ func sweep(param string, scale int, sizes []int, apply func(*core.Config, int)) 
 		if err != nil {
 			return nil, err
 		}
-		base, err := runProgram(MInorder, p, image, mem.BaseConfig())
+		base, err := runProgram(ctx, MInorder, p, image, mem.BaseConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +181,7 @@ func sweep(param string, scale int, sizes []int, apply func(*core.Config, int)) 
 			if err != nil {
 				return nil, fmt.Errorf("%s size %d: %w", param, size, err)
 			}
-			res, err := m.Run(p, image)
+			res, err := m.Run(ctx, p, image)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestRestartStudyShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run study")
 	}
-	r, err := RestartStudy(1)
+	r, err := RestartStudy(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestSweepIQMonotoneOnStreaming(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run sweep")
 	}
-	r, err := SweepIQ(1, []int{24, 256})
+	r, err := SweepIQ(context.Background(), 1, []int{24, 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestSweepASCRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run sweep")
 	}
-	r, err := SweepASC(1, []int{8, 64})
+	r, err := SweepASC(context.Background(), 1, []int{8, 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestFigure7Shapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("3-hierarchy sweep")
 	}
-	r, err := Figure7(1)
+	r, err := Figure7(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestExtrasShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-model sweep")
 	}
-	r, err := Extras(1)
+	r, err := Extras(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestChartsRender(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-model sweep")
 	}
-	f6, err := Figure6(1)
+	f6, err := Figure6(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,14 +162,14 @@ func TestChartsRender(t *testing.T) {
 	if !strings.Contains(c, "mcf") || !strings.Contains(c, "#") {
 		t.Error("figure 6 chart missing content")
 	}
-	f8, err := Figure8(1)
+	f8, err := Figure8(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(f8.Chart(), "w/o restart") {
 		t.Error("figure 8 chart missing content")
 	}
-	f7, err := Figure7(1)
+	f7, err := Figure7(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,11 +184,11 @@ func TestChartsRender(t *testing.T) {
 func TestDeterministicTiming(t *testing.T) {
 	w, _ := workload.ByName("twolf")
 	for _, name := range []ModelName{MInorder, MMultipass, MRunahead, MOOO} {
-		a, err := Run(name, w, 1, mem.BaseConfig())
+		a, err := Run(context.Background(), name, w, 1, mem.BaseConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Run(name, w, 1, mem.BaseConfig())
+		b, err := Run(context.Background(), name, w, 1, mem.BaseConfig())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,8 +14,8 @@ type Gshare struct {
 
 // Stats counts predictor activity.
 type Stats struct {
-	Lookups     uint64
-	Mispredicts uint64
+	Lookups     uint64 `json:"lookups"`
+	Mispredicts uint64 `json:"mispredicts"`
 }
 
 // Accuracy returns the fraction of correct predictions, or 1 for an idle

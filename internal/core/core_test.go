@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -18,7 +19,7 @@ func runMP(t *testing.T, cfg Config, p *isa.Program, image *arch.Memory) *sim.Re
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Run(p, image)
+	res, err := m.Run(context.Background(), p, image)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func runInorder(t *testing.T, p *isa.Program, image *arch.Memory) *sim.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Run(p, image)
+	res, err := m.Run(context.Background(), p, image)
 	if err != nil {
 		t.Fatal(err)
 	}

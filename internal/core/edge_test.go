@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -307,7 +308,7 @@ func TestRandomProgramsAcrossConfigs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := m.Run(p, image)
+			res, err := m.Run(context.Background(), p, image)
 			if err != nil {
 				t.Fatalf("trial %d cfg %d: %v\nprogram:\n%s", trial, ci, err, src)
 			}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"multipass/internal/arch"
@@ -27,7 +28,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := m.Run(p, image)
+	res, err := m.Run(context.Background(), p, image)
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"multipass/internal/arch"
@@ -105,7 +106,7 @@ type run struct {
 const progressWindow = 1 << 20
 
 // Run implements sim.Machine.
-func (m *Machine) Run(p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (*sim.Result, error) {
 	cfg := m.cfg
 	r := &run{
 		cfg:    &cfg,
@@ -121,6 +122,9 @@ func (m *Machine) Run(p *isa.Program, image *arch.Memory) (*sim.Result, error) {
 	r.fe = sim.NewFetchUnit(r.stream, r.hier, cfg.FetchWidth)
 
 	for !r.halted {
+		if err := sim.PollContext(ctx, r.now); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 		if r.mode == modeAdvance && r.now >= r.stallUntil {
 			r.exitAdvance()
 		}

@@ -1,0 +1,23 @@
+package core
+
+import "multipass/internal/sim"
+
+// The multipass variants of the evaluation: the full machine and the two
+// Figure 8 ablations.
+func init() {
+	factory := func(noRegroup, noRestart bool) sim.Factory {
+		return func(opts sim.ModelOptions) (sim.Machine, error) {
+			cfg := DefaultConfig()
+			cfg.Hier = opts.Hier
+			if opts.MaxInsts != 0 {
+				cfg.MaxInsts = opts.MaxInsts
+			}
+			cfg.DisableRegroup = noRegroup
+			cfg.DisableRestart = noRestart
+			return New(cfg)
+		}
+	}
+	sim.Register("multipass", factory(false, false))
+	sim.Register("multipass-noregroup", factory(true, false))
+	sim.Register("multipass-norestart", factory(false, true))
+}

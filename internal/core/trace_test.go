@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestTracerEmitsLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(p, restartImage()); err != nil {
+	if _, err := m.Run(context.Background(), p, restartImage()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -39,7 +40,7 @@ func TestTracerFlushEvent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(isa.MustAssemble(specProg), image); err != nil {
+	if _, err := m.Run(context.Background(), isa.MustAssemble(specProg), image); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "spec-flush") {
@@ -60,7 +61,7 @@ func TestNilTracerSafe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(p, arch.NewMemory()); err != nil {
+	if _, err := m.Run(context.Background(), p, arch.NewMemory()); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -51,14 +51,14 @@ func (c LevelConfig) validate() error {
 
 // CacheStats counts per-level activity.
 type CacheStats struct {
-	Accesses uint64
-	Misses   uint64
+	Accesses uint64 `json:"accesses"`
+	Misses   uint64 `json:"misses"`
 	// AdvanceAccesses/AdvanceMisses count only accesses issued by
 	// speculative pre-execution (advance mode, runahead).
-	AdvanceAccesses uint64
-	AdvanceMisses   uint64
+	AdvanceAccesses uint64 `json:"advance_accesses"`
+	AdvanceMisses   uint64 `json:"advance_misses"`
 	// Writebacks counts dirty lines evicted from this level.
-	Writebacks uint64
+	Writebacks uint64 `json:"writebacks"`
 }
 
 // MissRate returns misses/accesses, or 0 for an idle cache.

@@ -51,6 +51,23 @@ func Config2() HierConfig {
 	return c
 }
 
+// ConfigByName returns the evaluation's named hierarchy configurations
+// ("base", "config1", "config2" — Table 2 and Figure 7).
+func ConfigByName(name string) (HierConfig, bool) {
+	switch name {
+	case "base":
+		return BaseConfig(), true
+	case "config1":
+		return Config1(), true
+	case "config2":
+		return Config2(), true
+	}
+	return HierConfig{}, false
+}
+
+// ConfigNames lists the named hierarchies in presentation order.
+func ConfigNames() []string { return []string{"base", "config1", "config2"} }
+
 // Hierarchy is the timing model of the full cache system.
 type Hierarchy struct {
 	cfg HierConfig
@@ -238,8 +255,11 @@ func (h *Hierarchy) AccessInst(addr uint32, now uint64) uint64 {
 
 // HierStats is a snapshot of all level statistics.
 type HierStats struct {
-	L1I, L1D, L2, L3 CacheStats
-	MSHRStalls       uint64
+	L1I        CacheStats `json:"l1i"`
+	L1D        CacheStats `json:"l1d"`
+	L2         CacheStats `json:"l2"`
+	L3         CacheStats `json:"l3"`
+	MSHRStalls uint64     `json:"mshr_stalls"`
 }
 
 // Stats returns a snapshot of the hierarchy's counters.

@@ -6,6 +6,7 @@
 package inorder
 
 import (
+	"context"
 	"fmt"
 
 	"multipass/internal/arch"
@@ -14,6 +15,17 @@ import (
 	"multipass/internal/mem"
 	"multipass/internal/sim"
 )
+
+func init() {
+	sim.Register("inorder", func(opts sim.ModelOptions) (sim.Machine, error) {
+		cfg := sim.Default()
+		cfg.Hier = opts.Hier
+		if opts.MaxInsts != 0 {
+			cfg.MaxInsts = opts.MaxInsts
+		}
+		return New(cfg)
+	})
+}
 
 // Machine is the baseline in-order model.
 type Machine struct {
@@ -39,7 +51,7 @@ func (m *Machine) Name() string { return "inorder" }
 const progressWindow = 1 << 20
 
 // Run implements sim.Machine.
-func (m *Machine) Run(p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (*sim.Result, error) {
 	cfg := &m.cfg
 	hier := mem.MustNewHierarchy(cfg.Hier)
 	pred := bpred.New(cfg.PredictorEntries)
@@ -59,6 +71,9 @@ func (m *Machine) Run(p *isa.Program, image *arch.Memory) (*sim.Result, error) {
 	)
 
 	for !halted {
+		if err := sim.PollContext(ctx, now); err != nil {
+			return nil, fmt.Errorf("inorder: %w", err)
+		}
 		fe.SetLimit(next + uint64(cfg.BufferSize))
 		var use isa.FUUse
 		var groupWrites sim.RegSet

@@ -1,6 +1,7 @@
 package inorder
 
 import (
+	"context"
 	"testing"
 
 	"multipass/internal/arch"
@@ -19,7 +20,7 @@ func mustRun(t *testing.T, src string, setup func(*arch.Memory)) (*sim.Result, *
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Run(p, image)
+	res, err := m.Run(context.Background(), p, image)
 	if err != nil {
 		t.Fatal(err)
 	}

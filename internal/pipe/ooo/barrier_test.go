@@ -1,6 +1,7 @@
 package ooo
 
 import (
+	"context"
 	"testing"
 
 	"multipass/internal/arch"
@@ -40,7 +41,7 @@ odd:
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Run(p, image)
+	res, err := m.Run(context.Background(), p, image)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestROBFillsOnLongMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Run(isa.MustAssemble(src), arch.NewMemory())
+	res, err := m.Run(context.Background(), isa.MustAssemble(src), arch.NewMemory())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestRetireWidthBoundsIPC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Run(isa.MustAssemble(src), arch.NewMemory())
+	res, err := m.Run(context.Background(), isa.MustAssemble(src), arch.NewMemory())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestRetireWidthBoundsIPC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wres, err := wide.Run(isa.MustAssemble(src), arch.NewMemory())
+	wres, err := wide.Run(context.Background(), isa.MustAssemble(src), arch.NewMemory())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestDecentralizedQueuePressure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Run(isa.MustAssemble(src), arch.NewMemory())
+	res, err := m.Run(context.Background(), isa.MustAssemble(src), arch.NewMemory())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestConservativeMemOrderCosts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	iRes, err := ideal.Run(p, image)
+	iRes, err := ideal.Run(context.Background(), p, image)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestConservativeMemOrderCosts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cRes, err := cons.Run(p, image)
+	cRes, err := cons.Run(context.Background(), p, image)
 	if err != nil {
 		t.Fatal(err)
 	}

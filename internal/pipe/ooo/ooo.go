@@ -12,6 +12,7 @@
 package ooo
 
 import (
+	"context"
 	"fmt"
 
 	"multipass/internal/arch"
@@ -20,6 +21,24 @@ import (
 	"multipass/internal/mem"
 	"multipass/internal/sim"
 )
+
+func init() {
+	factory := func(realistic bool) sim.Factory {
+		return func(opts sim.ModelOptions) (sim.Machine, error) {
+			cfg := DefaultConfig()
+			if realistic {
+				cfg = RealisticConfig()
+			}
+			cfg.Hier = opts.Hier
+			if opts.MaxInsts != 0 {
+				cfg.MaxInsts = opts.MaxInsts
+			}
+			return New(cfg)
+		}
+	}
+	sim.Register("ooo", factory(false))
+	sim.Register("ooo-realistic", factory(true))
+}
 
 // Config extends the common configuration with window geometry.
 type Config struct {
@@ -133,7 +152,7 @@ func queueOf(op isa.Op) int {
 const progressWindow = 1 << 20
 
 // Run implements sim.Machine.
-func (m *Machine) Run(p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (*sim.Result, error) {
 	cfg := m.cfg
 	hier := mem.MustNewHierarchy(cfg.Hier)
 	pred := bpred.New(cfg.PredictorEntries)
@@ -172,6 +191,9 @@ func (m *Machine) Run(p *isa.Program, image *arch.Memory) (*sim.Result, error) {
 	}
 
 	for {
+		if err := sim.PollContext(ctx, now); err != nil {
+			return nil, fmt.Errorf("ooo: %w", err)
+		}
 		// Retire in order from the ROB head.
 		retired := 0
 		for retired < cfg.RetireWidth && len(ents) > 0 {

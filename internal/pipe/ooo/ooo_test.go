@@ -1,6 +1,7 @@
 package ooo
 
 import (
+	"context"
 	"testing"
 
 	"multipass/internal/arch"
@@ -20,7 +21,7 @@ func run(t *testing.T, cfg Config, src string, setup func(*arch.Memory)) *sim.Re
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Run(p, image)
+	res, err := m.Run(context.Background(), p, image)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func runInorder(t *testing.T, src string, setup func(*arch.Memory)) *sim.Result 
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Run(p, image)
+	res, err := m.Run(context.Background(), p, image)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package runahead
 
 import (
+	"context"
 	"testing"
 
 	"multipass/internal/arch"
@@ -85,7 +86,7 @@ loop:
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := m.Run(p, arch.NewMemory())
+		res, err := m.Run(context.Background(), p, arch.NewMemory())
 		if err != nil {
 			t.Fatal(err)
 		}

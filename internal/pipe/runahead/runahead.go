@@ -8,6 +8,7 @@
 package runahead
 
 import (
+	"context"
 	"fmt"
 
 	"multipass/internal/arch"
@@ -16,6 +17,17 @@ import (
 	"multipass/internal/mem"
 	"multipass/internal/sim"
 )
+
+func init() {
+	sim.Register("runahead", func(opts sim.ModelOptions) (sim.Machine, error) {
+		cfg := DefaultConfig()
+		cfg.Hier = opts.Hier
+		if opts.MaxInsts != 0 {
+			cfg.MaxInsts = opts.MaxInsts
+		}
+		return New(cfg)
+	})
+}
 
 // Config extends the common configuration with the runahead exit penalty.
 type Config struct {
@@ -98,7 +110,7 @@ func storeKey(addr uint32, size int) uint64 {
 }
 
 // Run implements sim.Machine.
-func (m *Machine) Run(p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (*sim.Result, error) {
 	cfg := m.cfg
 	r := &runState{
 		cfg:  &cfg,
@@ -111,6 +123,9 @@ func (m *Machine) Run(p *isa.Program, image *arch.Memory) (*sim.Result, error) {
 	r.fe = sim.NewFetchUnit(r.stream, r.hier, cfg.FetchWidth)
 
 	for !r.halted {
+		if err := sim.PollContext(ctx, r.now); err != nil {
+			return nil, fmt.Errorf("runahead: %w", err)
+		}
 		if r.inEpisode && r.now >= r.stallUntil {
 			r.exitEpisode()
 		}

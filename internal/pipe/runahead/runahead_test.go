@@ -1,6 +1,7 @@
 package runahead
 
 import (
+	"context"
 	"testing"
 
 	"multipass/internal/arch"
@@ -21,7 +22,7 @@ func run(t *testing.T, src string, setup func(*arch.Memory)) *sim.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Run(p, image)
+	res, err := m.Run(context.Background(), p, image)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func otherModels(t *testing.T, src string, setup func(*arch.Memory)) (inorderCy,
 	if err != nil {
 		t.Fatal(err)
 	}
-	ir, err := im.Run(p, mk())
+	ir, err := im.Run(context.Background(), p, mk())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func otherModels(t *testing.T, src string, setup func(*arch.Memory)) (inorderCy,
 	if err != nil {
 		t.Fatal(err)
 	}
-	mr, err := mm.Run(p, mk())
+	mr, err := mm.Run(context.Background(), p, mk())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,240 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"multipass/internal/compile"
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+	"multipass/internal/workload"
+)
+
+// APISchemaVersion versions every response body of the v1 endpoints. Bump on
+// any wire-visible change.
+const APISchemaVersion = 1
+
+// CompileOverrides is the subset of compiler options a request may vary.
+// Nil fields keep the paper-standard defaults, so the canonical form of an
+// untouched request equals the canonical form of an explicit-default one.
+type CompileOverrides struct {
+	// Schedule toggles list scheduling into issue groups.
+	Schedule *bool `json:"schedule,omitempty"`
+	// InsertRestarts toggles the §3.3 critical-load RESTART insertion.
+	InsertRestarts *bool `json:"insert_restarts,omitempty"`
+	// Unroll overrides the unrolling factor (0 or 1 disables).
+	Unroll *int `json:"unroll,omitempty"`
+}
+
+// RunRequest is the body of POST /v1/run.
+type RunRequest struct {
+	Workload string `json:"workload"`
+	Model    string `json:"model"`
+	// Hier names the cache hierarchy (default "base").
+	Hier string `json:"hier,omitempty"`
+	// Scale multiplies the workload's dynamic length (default 1).
+	Scale   int               `json:"scale,omitempty"`
+	Compile *CompileOverrides `json:"compile,omitempty"`
+	// MaxInsts, when nonzero, caps the dynamic instruction count.
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// TimeoutMS bounds this request's simulation time; 0 uses the server
+	// default. The timeout is not part of the job identity.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobSpec is the canonical, fully-defaulted identity of one simulation job:
+// the tuple the result cache is keyed on. Two requests that normalize to the
+// same JobSpec are the same job and share one cached result.
+type JobSpec struct {
+	Workload       string `json:"workload"`
+	Model          string `json:"model"`
+	Hier           string `json:"hier"`
+	Scale          int    `json:"scale"`
+	Schedule       bool   `json:"schedule"`
+	InsertRestarts bool   `json:"insert_restarts"`
+	Unroll         int    `json:"unroll"`
+	MaxInsts       uint64 `json:"max_insts"`
+}
+
+// Key returns the content address of the job: the hex SHA-256 of the
+// canonical JSON encoding of the spec.
+func (j JobSpec) Key() string {
+	data, err := json.Marshal(j)
+	if err != nil {
+		// JobSpec is a flat struct of marshalable fields; this cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// CompileOptions materializes the spec's compiler configuration.
+func (j JobSpec) CompileOptions() compile.Options {
+	opts := compile.DefaultOptions()
+	opts.Schedule = j.Schedule
+	opts.InsertRestarts = j.InsertRestarts
+	opts.Unroll = j.Unroll
+	return opts
+}
+
+// normalize validates a RunRequest against the registries and returns its
+// canonical JobSpec.
+func normalize(req *RunRequest) (JobSpec, error) {
+	def := compile.DefaultOptions()
+	spec := JobSpec{
+		Workload:       req.Workload,
+		Model:          req.Model,
+		Hier:           req.Hier,
+		Scale:          req.Scale,
+		Schedule:       def.Schedule,
+		InsertRestarts: def.InsertRestarts,
+		Unroll:         def.Unroll,
+		MaxInsts:       req.MaxInsts,
+	}
+	if spec.Hier == "" {
+		spec.Hier = "base"
+	}
+	if spec.Scale == 0 {
+		spec.Scale = 1
+	}
+	if c := req.Compile; c != nil {
+		if c.Schedule != nil {
+			spec.Schedule = *c.Schedule
+		}
+		if c.InsertRestarts != nil {
+			spec.InsertRestarts = *c.InsertRestarts
+		}
+		if c.Unroll != nil {
+			spec.Unroll = *c.Unroll
+		}
+	}
+
+	if spec.Workload == "" {
+		return spec, fmt.Errorf("missing workload")
+	}
+	if _, ok := workload.ByName(spec.Workload); !ok {
+		return spec, fmt.Errorf("unknown workload %q", spec.Workload)
+	}
+	if spec.Model == "" {
+		return spec, fmt.Errorf("missing model")
+	}
+	if _, ok := sim.Lookup(spec.Model); !ok {
+		return spec, fmt.Errorf("unknown model %q (see /v1/models)", spec.Model)
+	}
+	if _, ok := mem.ConfigByName(spec.Hier); !ok {
+		return spec, fmt.Errorf("unknown hierarchy %q (have %v)", spec.Hier, mem.ConfigNames())
+	}
+	if spec.Scale < 1 {
+		return spec, fmt.Errorf("scale %d < 1", spec.Scale)
+	}
+	if spec.Unroll < 0 {
+		return spec, fmt.Errorf("unroll %d < 0", spec.Unroll)
+	}
+	if req.TimeoutMS < 0 {
+		return spec, fmt.Errorf("timeout_ms %d < 0", req.TimeoutMS)
+	}
+	return spec, nil
+}
+
+// RunResponse is the body of POST /v1/run — and exactly the bytes the result
+// cache stores, so a cache hit replays a byte-identical body.
+type RunResponse struct {
+	SchemaVersion int       `json:"schema_version"`
+	Job           JobSpec   `json:"job"`
+	Stats         sim.Stats `json:"stats"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: the cross product of the three
+// axes. Empty axes default to everything the registries enumerate.
+type SweepRequest struct {
+	Workloads []string          `json:"workloads,omitempty"`
+	Models    []string          `json:"models,omitempty"`
+	Hiers     []string          `json:"hiers,omitempty"`
+	Scale     int               `json:"scale,omitempty"`
+	Compile   *CompileOverrides `json:"compile,omitempty"`
+	MaxInsts  uint64            `json:"max_insts,omitempty"`
+	// TimeoutMS bounds the whole sweep; 0 uses the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Sweep job statuses.
+const (
+	JobDone   = "done"   // executed by this request
+	JobCached = "cached" // served from the result cache
+	JobFailed = "failed" // error reported in Error
+)
+
+// SweepJob is one cell of a sweep result.
+type SweepJob struct {
+	Job    JobSpec    `json:"job"`
+	Status string     `json:"status"`
+	Error  string     `json:"error,omitempty"`
+	Stats  *sim.Stats `json:"stats,omitempty"`
+}
+
+// SweepSummary accounts for every job of a sweep: Total = Done+Cached+Failed.
+type SweepSummary struct {
+	Total  int `json:"total"`
+	Done   int `json:"done"`
+	Cached int `json:"cached"`
+	Failed int `json:"failed"`
+}
+
+// SweepResponse is the body of POST /v1/sweep.
+type SweepResponse struct {
+	SchemaVersion int          `json:"schema_version"`
+	Jobs          []SweepJob   `json:"jobs"`
+	Summary       SweepSummary `json:"summary"`
+}
+
+// ModelsResponse is the body of GET /v1/models, enumerated from the sim
+// registry.
+type ModelsResponse struct {
+	SchemaVersion int      `json:"schema_version"`
+	Models        []string `json:"models"`
+	Hierarchies   []string `json:"hierarchies"`
+}
+
+// WorkloadInfo describes one kernel in GET /v1/workloads.
+type WorkloadInfo struct {
+	Name        string `json:"name"`
+	Class       string `json:"class"`
+	Description string `json:"description"`
+}
+
+// WorkloadsResponse is the body of GET /v1/workloads.
+type WorkloadsResponse struct {
+	SchemaVersion int            `json:"schema_version"`
+	Workloads     []WorkloadInfo `json:"workloads"`
+}
+
+// StatsResponse is the body of GET /v1/stats: server-level metrics.
+type StatsResponse struct {
+	SchemaVersion int `json:"schema_version"`
+	// Workers is the worker-pool size.
+	Workers int `json:"workers"`
+	// JobsExecuted counts simulations actually run (cache misses).
+	JobsExecuted uint64 `json:"jobs_executed"`
+	// JobsFailed counts executed simulations that returned an error.
+	JobsFailed  uint64 `json:"jobs_failed"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// CacheEntries is the current number of cached results.
+	CacheEntries int `json:"cache_entries"`
+	// InFlight is the number of simulations executing right now.
+	InFlight int64 `json:"in_flight"`
+	// LatencyP50MS/LatencyP99MS summarize executed-job wall time over a
+	// sliding window of recent jobs.
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+	// UptimeSeconds since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	SchemaVersion int    `json:"schema_version"`
+	Error         string `json:"error"`
+}

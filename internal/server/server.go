@@ -1,0 +1,453 @@
+// Package server implements mpsimd: an HTTP/JSON simulation service over
+// the timing models and workload suite. It executes jobs on a bounded
+// worker pool, memoizes results in a sharded content-addressed cache keyed
+// by the canonical job tuple (a cache hit replays byte-identical JSON), and
+// honors per-request deadlines by threading context cancellation into the
+// models' cycle loops.
+//
+// Endpoints:
+//
+//	POST /v1/run        one simulation job
+//	POST /v1/sweep      a (workloads x models x hierarchies) batch
+//	GET  /v1/models     registered timing models and named hierarchies
+//	GET  /v1/workloads  the benchmark kernels
+//	GET  /v1/stats      server metrics (jobs, cache, latency percentiles)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+	"multipass/internal/workload"
+
+	// Link the standard timing models into the sim registry so a bare
+	// server binary serves them all.
+	_ "multipass/internal/core"
+	_ "multipass/internal/pipe/inorder"
+	_ "multipass/internal/pipe/ooo"
+	_ "multipass/internal/pipe/runahead"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// Workers bounds concurrently executing simulations; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// DefaultTimeout applies to requests that do not set timeout_ms; 0
+	// means no server-imposed deadline.
+	DefaultTimeout time.Duration
+	// MaxSweepJobs rejects sweeps whose grid exceeds it; 0 means the
+	// default of 4096.
+	MaxSweepJobs int
+}
+
+// latencyWindow is the number of recent executed-job latencies kept for the
+// p50/p99 estimate.
+const latencyWindow = 1024
+
+// Server is the mpsimd HTTP service.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+	// sem is the worker pool: one token per concurrently executing
+	// simulation.
+	sem chan struct{}
+
+	jobsExecuted atomic.Uint64
+	jobsFailed   atomic.Uint64
+	inFlight     atomic.Int64
+
+	// flights coalesces concurrent executions of the same job: followers
+	// wait for the leader's bytes instead of re-simulating.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	latMu  sync.Mutex
+	lats   [latencyWindow]float64 // milliseconds, ring buffer
+	latLen int
+	latPos int
+
+	start time.Time
+}
+
+// flight is one in-progress execution; done is closed once data/err are set.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSweepJobs <= 0 {
+		cfg.MaxSweepJobs = 4096
+	}
+	return &Server{
+		cfg:     cfg,
+		cache:   newResultCache(),
+		sem:     make(chan struct{}, cfg.Workers),
+		flights: make(map[string]*flight),
+		start:   time.Now(),
+	}
+}
+
+// Handler returns the service's routed handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// writeJSON emits v with the canonical JSON encoder.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{SchemaVersion: APISchemaVersion, Error: fmt.Sprintf(format, args...)})
+}
+
+// statusFor maps a job error to an HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is moot but 499-style semantics
+		// map best onto 503 in net/http terms.
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// deadline derives the effective job context from the request timeout.
+func (s *Server) deadline(ctx context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// execute runs one job under the worker pool and returns the marshaled
+// canonical RunResponse. The caller has already missed the cache.
+func (s *Server) execute(ctx context.Context, spec JobSpec) ([]byte, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.sem }()
+
+	s.inFlight.Add(1)
+	start := time.Now()
+	defer func() {
+		s.inFlight.Add(-1)
+		s.observeLatency(time.Since(start))
+	}()
+
+	w, ok := workload.ByName(spec.Workload)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", spec.Workload)
+	}
+	hier, ok := mem.ConfigByName(spec.Hier)
+	if !ok {
+		return nil, fmt.Errorf("unknown hierarchy %q", spec.Hier)
+	}
+	p, image, err := workload.Program(w, spec.Scale, spec.CompileOptions())
+	if err != nil {
+		return nil, err
+	}
+	m, err := sim.NewMachine(spec.Model, sim.ModelOptions{Hier: hier, MaxInsts: spec.MaxInsts})
+	if err != nil {
+		return nil, err
+	}
+	s.jobsExecuted.Add(1)
+	res, err := m.Run(ctx, p, image)
+	if err != nil {
+		s.jobsFailed.Add(1)
+		return nil, err
+	}
+	return json.Marshal(RunResponse{SchemaVersion: APISchemaVersion, Job: spec, Stats: res.Stats})
+}
+
+// runCached returns the canonical response bytes for spec: from the result
+// cache when the job already ran, from a concurrent in-flight execution when
+// one exists, by executing otherwise. cached reports whether the bytes came
+// from memory rather than this call's own simulation.
+func (s *Server) runCached(ctx context.Context, spec JobSpec) (data []byte, cached bool, err error) {
+	key := spec.Key()
+	for {
+		if data, ok := s.cache.get(key); ok {
+			return data, true, nil
+		}
+
+		s.flightMu.Lock()
+		if f, ok := s.flights[key]; ok {
+			// Follow the in-flight leader.
+			s.flightMu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.err == nil {
+				return f.data, true, nil
+			}
+			// The leader failed — possibly on its own (shorter) deadline.
+			// Retry from the top; this caller becomes a leader unless its
+			// own context is also done.
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.flightMu.Unlock()
+
+		data, err = s.execute(ctx, spec)
+		if err == nil {
+			s.cache.put(key, data)
+		}
+		f.data, f.err = data, err
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(f.done)
+		return data, false, err
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, err := normalize(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
+	defer cancel()
+
+	data, cached, err := s.runCached(ctx, spec)
+	if err != nil {
+		writeError(w, statusFor(err), "%s/%s/%s: %v", spec.Workload, spec.Model, spec.Hier, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Mpsimd-Cache", "hit")
+	} else {
+		w.Header().Set("X-Mpsimd-Cache", "miss")
+	}
+	w.Write(data)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Workloads) == 0 {
+		for _, wl := range workload.All() {
+			req.Workloads = append(req.Workloads, wl.Name)
+		}
+	}
+	if len(req.Models) == 0 {
+		req.Models = sim.Names()
+	}
+	if len(req.Hiers) == 0 {
+		req.Hiers = mem.ConfigNames()
+	}
+
+	// Normalize the whole grid up front: an invalid axis value fails the
+	// sweep before any simulation runs.
+	var specs []JobSpec
+	for _, wl := range req.Workloads {
+		for _, hier := range req.Hiers {
+			for _, model := range req.Models {
+				rr := RunRequest{
+					Workload: wl, Model: model, Hier: hier,
+					Scale: req.Scale, Compile: req.Compile, MaxInsts: req.MaxInsts,
+				}
+				spec, err := normalize(&rr)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, "%v", err)
+					return
+				}
+				specs = append(specs, spec)
+			}
+		}
+	}
+	if len(specs) > s.cfg.MaxSweepJobs {
+		writeError(w, http.StatusBadRequest, "sweep grid has %d jobs, limit %d", len(specs), s.cfg.MaxSweepJobs)
+		return
+	}
+
+	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
+	defer cancel()
+
+	// Fan out; the worker pool inside execute bounds real concurrency.
+	// Every job is accounted for: done, cached, or failed.
+	resp := SweepResponse{SchemaVersion: APISchemaVersion, Jobs: make([]SweepJob, len(specs))}
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec JobSpec) {
+			defer wg.Done()
+			job := SweepJob{Job: spec}
+			data, cached, err := s.runCached(ctx, spec)
+			switch {
+			case err != nil:
+				job.Status = JobFailed
+				job.Error = err.Error()
+			default:
+				var rr RunResponse
+				if err := json.Unmarshal(data, &rr); err != nil {
+					job.Status = JobFailed
+					job.Error = fmt.Sprintf("decode cached result: %v", err)
+					break
+				}
+				job.Stats = &rr.Stats
+				if cached {
+					job.Status = JobCached
+				} else {
+					job.Status = JobDone
+				}
+			}
+			resp.Jobs[i] = job
+		}(i, spec)
+	}
+	wg.Wait()
+
+	for _, job := range resp.Jobs {
+		resp.Summary.Total++
+		switch job.Status {
+		case JobDone:
+			resp.Summary.Done++
+		case JobCached:
+			resp.Summary.Cached++
+		default:
+			resp.Summary.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, ModelsResponse{
+		SchemaVersion: APISchemaVersion,
+		Models:        sim.Names(),
+		Hierarchies:   mem.ConfigNames(),
+	})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	resp := WorkloadsResponse{SchemaVersion: APISchemaVersion}
+	for _, wl := range workload.All() {
+		resp.Workloads = append(resp.Workloads, WorkloadInfo{
+			Name: wl.Name, Class: wl.Class, Description: wl.Description,
+		})
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	p50, p99 := s.latencyPercentiles()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		SchemaVersion: APISchemaVersion,
+		Workers:       s.cfg.Workers,
+		JobsExecuted:  s.jobsExecuted.Load(),
+		JobsFailed:    s.jobsFailed.Load(),
+		CacheHits:     s.cache.hits.Load(),
+		CacheMisses:   s.cache.misses.Load(),
+		CacheEntries:  s.cache.len(),
+		InFlight:      s.inFlight.Load(),
+		LatencyP50MS:  p50,
+		LatencyP99MS:  p99,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// observeLatency records one executed-job wall time in the sliding window.
+func (s *Server) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	s.latMu.Lock()
+	s.lats[s.latPos] = ms
+	s.latPos = (s.latPos + 1) % latencyWindow
+	if s.latLen < latencyWindow {
+		s.latLen++
+	}
+	s.latMu.Unlock()
+}
+
+// latencyPercentiles estimates p50/p99 over the window (nearest-rank).
+func (s *Server) latencyPercentiles() (p50, p99 float64) {
+	s.latMu.Lock()
+	n := s.latLen
+	buf := make([]float64, n)
+	copy(buf, s.lats[:n])
+	s.latMu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(buf)
+	rank := func(p float64) float64 {
+		i := int(p*float64(n)+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return buf[i]
+	}
+	return rank(0.50), rank(0.99)
+}

@@ -1,0 +1,471 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readBody(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return buf.Bytes()
+}
+
+func getStats(t *testing.T, base string) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(readBody(t, resp), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRunCacheDeterminism: a repeated identical request is served from the
+// cache with byte-identical JSON, and the hit counter moves.
+func TestRunCacheDeterminism(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := RunRequest{Workload: "crafty", Model: "inorder"}
+
+	resp1 := postJSON(t, ts.URL+"/v1/run", req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d", resp1.StatusCode)
+	}
+	if got := resp1.Header.Get("X-Mpsimd-Cache"); got != "miss" {
+		t.Errorf("first run cache header = %q, want miss", got)
+	}
+	body1 := readBody(t, resp1)
+
+	before := getStats(t, ts.URL)
+
+	resp2 := postJSON(t, ts.URL+"/v1/run", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second run: status %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Mpsimd-Cache"); got != "hit" {
+		t.Errorf("second run cache header = %q, want hit", got)
+	}
+	body2 := readBody(t, resp2)
+
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("cache replay not byte-identical:\n first: %s\nsecond: %s", body1, body2)
+	}
+
+	after := getStats(t, ts.URL)
+	if after.CacheHits <= before.CacheHits {
+		t.Errorf("cache hits %d -> %d, want an increment", before.CacheHits, after.CacheHits)
+	}
+	if after.JobsExecuted != 1 {
+		t.Errorf("jobs_executed = %d, want 1", after.JobsExecuted)
+	}
+	if after.CacheEntries != 1 {
+		t.Errorf("cache_entries = %d, want 1", after.CacheEntries)
+	}
+
+	var rr RunResponse
+	if err := json.Unmarshal(body1, &rr); err != nil {
+		t.Fatalf("decode run response: %v", err)
+	}
+	if rr.SchemaVersion != APISchemaVersion {
+		t.Errorf("schema_version = %d", rr.SchemaVersion)
+	}
+	if rr.Job.Workload != "crafty" || rr.Job.Model != "inorder" || rr.Job.Hier != "base" || rr.Job.Scale != 1 {
+		t.Errorf("normalized job = %+v", rr.Job)
+	}
+	if rr.Stats.Cycles == 0 || rr.Stats.Retired == 0 {
+		t.Errorf("empty stats: %+v", rr.Stats)
+	}
+}
+
+// TestRunDeadlineMidRun: a 1 ms deadline on a long job makes every model
+// return promptly with 504, not run to completion.
+func TestRunDeadlineMidRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	for _, model := range []string{"inorder", "multipass", "runahead", "ooo"} {
+		start := time.Now()
+		resp := postJSON(t, ts.URL+"/v1/run", RunRequest{
+			Workload: "mcf", Model: model, Scale: 8, TimeoutMS: 1,
+		})
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Errorf("%s: status %d, body %s", model, resp.StatusCode, body)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("%s: deadline response took %v", model, elapsed)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Errorf("%s: error body not JSON: %v", model, err)
+		} else if !strings.Contains(er.Error, "deadline") {
+			t.Errorf("%s: error = %q, want deadline mention", model, er.Error)
+		}
+	}
+}
+
+// TestRunValidation: malformed and unresolvable requests are rejected up
+// front with 400, and the wrong method with 405.
+func TestRunValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		req  RunRequest
+		want string
+	}{
+		{"unknown workload", RunRequest{Workload: "nope", Model: "inorder"}, "unknown workload"},
+		{"unknown model", RunRequest{Workload: "mcf", Model: "nope"}, "unknown model"},
+		{"unknown hier", RunRequest{Workload: "mcf", Model: "inorder", Hier: "nope"}, "unknown hierarchy"},
+		{"missing workload", RunRequest{Model: "inorder"}, "missing workload"},
+		{"negative scale", RunRequest{Workload: "mcf", Model: "inorder", Scale: -1}, "scale"},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/run", tc.req)
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %s", tc.name, resp.StatusCode, body)
+			continue
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || !strings.Contains(er.Error, tc.want) {
+			t.Errorf("%s: error body %s, want mention of %q", tc.name, body, tc.want)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run: status %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestConcurrentMixedRuns: 64 concurrent /v1/run requests over a small mix of
+// jobs all complete cleanly, and every response for a given job is
+// byte-identical regardless of whether it was executed, coalesced, or cached.
+func TestConcurrentMixedRuns(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	specs := []RunRequest{
+		{Workload: "crafty", Model: "inorder"},
+		{Workload: "crafty", Model: "multipass"},
+		{Workload: "gzip", Model: "inorder"},
+		{Workload: "gzip", Model: "multipass"},
+	}
+	const n = 64
+
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, _ := json.Marshal(specs[i%len(specs)])
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(data))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var buf bytes.Buffer
+			_, err = buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, buf.Bytes())
+				return
+			}
+			bodies[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d (%+v): %v", i, specs[i%len(specs)], err)
+		}
+	}
+	// All responses for the same job must be identical bytes.
+	for i := len(specs); i < n; i++ {
+		if !bytes.Equal(bodies[i], bodies[i%len(specs)]) {
+			t.Errorf("request %d body diverges from request %d", i, i%len(specs))
+		}
+	}
+
+	st := getStats(t, ts.URL)
+	if st.JobsExecuted > uint64(n) {
+		t.Errorf("jobs_executed = %d for %d distinct jobs", st.JobsExecuted, len(specs))
+	}
+	if st.CacheEntries != len(specs) {
+		t.Errorf("cache_entries = %d, want %d", st.CacheEntries, len(specs))
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in_flight = %d after drain", st.InFlight)
+	}
+	if st.LatencyP50MS <= 0 || st.LatencyP99MS < st.LatencyP50MS {
+		t.Errorf("latency percentiles p50=%v p99=%v", st.LatencyP50MS, st.LatencyP99MS)
+	}
+}
+
+// TestSweepFigure7Grid: a model x hierarchy sweep in the shape of the paper's
+// Figure 7 completes with every job accounted for as done, cached, or failed.
+func TestSweepFigure7Grid(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+
+	// Pre-warm one cell so the sweep exercises the cached path too.
+	warm := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "crafty", Model: "inorder"})
+	readBody(t, warm)
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("warm run: status %d", warm.StatusCode)
+	}
+
+	models := []string{"inorder", "multipass", "runahead", "ooo"}
+	hiers := []string{"base", "config1", "config2"}
+	resp := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Workloads: []string{"crafty"},
+		Models:    models,
+		Hiers:     hiers,
+	})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d, body %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+
+	wantJobs := len(models) * len(hiers)
+	if sr.Summary.Total != wantJobs || len(sr.Jobs) != wantJobs {
+		t.Fatalf("summary total %d, jobs %d, want %d", sr.Summary.Total, len(sr.Jobs), wantJobs)
+	}
+	if got := sr.Summary.Done + sr.Summary.Cached + sr.Summary.Failed; got != sr.Summary.Total {
+		t.Errorf("done %d + cached %d + failed %d = %d, want total %d",
+			sr.Summary.Done, sr.Summary.Cached, sr.Summary.Failed, got, sr.Summary.Total)
+	}
+	if sr.Summary.Failed != 0 {
+		t.Errorf("failed = %d, want 0", sr.Summary.Failed)
+	}
+	if sr.Summary.Cached == 0 {
+		t.Error("cached = 0, want the pre-warmed cell to be served from cache")
+	}
+
+	seen := map[string]bool{}
+	for _, job := range sr.Jobs {
+		key := job.Job.Model + "/" + job.Job.Hier
+		seen[key] = true
+		if job.Status != JobDone && job.Status != JobCached {
+			t.Errorf("%s: status %q error %q", key, job.Status, job.Error)
+			continue
+		}
+		if job.Stats == nil || job.Stats.Cycles == 0 {
+			t.Errorf("%s: missing stats", key)
+		}
+	}
+	for _, m := range models {
+		for _, h := range hiers {
+			if !seen[m+"/"+h] {
+				t.Errorf("grid cell %s/%s missing from sweep", m, h)
+			}
+		}
+	}
+}
+
+// TestSweepPartialFailure: a sweep whose jobs hit the dynamic instruction
+// limit reports those cells failed while still accounting for every job.
+func TestSweepPartialFailure(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Workloads: []string{"crafty"},
+		Models:    []string{"inorder", "multipass"},
+		Hiers:     []string{"base"},
+		MaxInsts:  100,
+	})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d, body %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Summary.Total != 2 || sr.Summary.Failed != 2 {
+		t.Errorf("summary = %+v, want 2 jobs both failed", sr.Summary)
+	}
+	for _, job := range sr.Jobs {
+		if job.Status != JobFailed || job.Error == "" {
+			t.Errorf("%s: status %q error %q, want failed with an error", job.Job.Model, job.Status, job.Error)
+		}
+	}
+}
+
+// TestSweepValidation: an invalid axis value fails the whole sweep before any
+// simulation runs, and oversized grids are rejected.
+func TestSweepValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxSweepJobs: 2})
+
+	resp := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Workloads: []string{"crafty"},
+		Models:    []string{"inorder", "bogus"},
+		Hiers:     []string{"base"},
+	})
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid model axis: status %d, want 400", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Workloads: []string{"crafty"},
+		Models:    []string{"inorder", "multipass", "ooo"},
+		Hiers:     []string{"base"},
+	})
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("grid over MaxSweepJobs: status %d, want 400", resp.StatusCode)
+	}
+	if st := getStats(t, ts.URL); st.JobsExecuted != 0 {
+		t.Errorf("jobs_executed = %d after rejected sweeps, want 0", st.JobsExecuted)
+	}
+}
+
+// TestModelsAndWorkloads: the enumeration endpoints reflect the registries.
+func TestModelsAndWorkloads(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr ModelsResponse
+	if err := json.Unmarshal(readBody(t, resp), &mr); err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{}
+	for _, m := range mr.Models {
+		have[m] = true
+	}
+	for _, want := range []string{"inorder", "multipass", "multipass-noregroup", "multipass-norestart", "runahead", "ooo", "ooo-realistic"} {
+		if !have[want] {
+			t.Errorf("/v1/models missing %q (got %v)", want, mr.Models)
+		}
+	}
+	wantHiers := []string{"base", "config1", "config2"}
+	if len(mr.Hierarchies) != len(wantHiers) {
+		t.Errorf("hierarchies = %v, want %v", mr.Hierarchies, wantHiers)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wr WorkloadsResponse
+	if err := json.Unmarshal(readBody(t, resp), &wr); err != nil {
+		t.Fatal(err)
+	}
+	wl := map[string]WorkloadInfo{}
+	for _, w := range wr.Workloads {
+		wl[w.Name] = w
+	}
+	for _, want := range []string{"mcf", "gzip", "crafty"} {
+		info, ok := wl[want]
+		if !ok {
+			t.Errorf("/v1/workloads missing %q", want)
+			continue
+		}
+		if info.Class == "" || info.Description == "" {
+			t.Errorf("%s: empty class/description: %+v", want, info)
+		}
+	}
+}
+
+// TestJobSpecKeyStability: the content address ignores the non-identity
+// timeout field and distinguishes every identity field.
+func TestJobSpecKeyStability(t *testing.T) {
+	base := RunRequest{Workload: "mcf", Model: "multipass"}
+	s1, err := normalize(&base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTimeout := base
+	withTimeout.TimeoutMS = 5000
+	s2, err := normalize(&withTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Key() != s2.Key() {
+		t.Error("timeout_ms changed the job key")
+	}
+
+	explicit := RunRequest{Workload: "mcf", Model: "multipass", Hier: "base", Scale: 1}
+	s3, err := normalize(&explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Key() != s3.Key() {
+		t.Error("explicit defaults produce a different key than omitted defaults")
+	}
+
+	for name, mutate := range map[string]func(*RunRequest){
+		"workload": func(r *RunRequest) { r.Workload = "gzip" },
+		"model":    func(r *RunRequest) { r.Model = "inorder" },
+		"hier":     func(r *RunRequest) { r.Hier = "config1" },
+		"scale":    func(r *RunRequest) { r.Scale = 2 },
+		"maxinsts": func(r *RunRequest) { r.MaxInsts = 10 },
+	} {
+		req := base
+		mutate(&req)
+		s, err := normalize(&req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Key() == s1.Key() {
+			t.Errorf("changing %s did not change the job key", name)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"multipass/internal/mem"
+)
+
+// ModelOptions carries the per-run knobs a caller may vary without knowing a
+// model's concrete configuration type. Factories overlay these on their
+// package defaults (paper Table 2).
+type ModelOptions struct {
+	// Hier is the cache hierarchy configuration.
+	Hier mem.HierConfig
+	// MaxInsts, when nonzero, overrides the model's default dynamic
+	// instruction limit.
+	MaxInsts uint64
+}
+
+// Factory constructs a machine from the shared options.
+type Factory func(opts ModelOptions) (Machine, error)
+
+// Registry maps model names to factories. Model packages self-register their
+// variants in init(); consumers (the bench harness, the mpsim CLI, the mpsimd
+// service) enumerate and construct models without a hard-coded switch.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Register adds a factory under name. Registering a duplicate name panics:
+// it is a package wiring bug, not a runtime condition.
+func (r *Registry) Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("sim: Register with empty name or nil factory")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[name]; dup {
+		panic(fmt.Sprintf("sim: model %q registered twice", name))
+	}
+	r.factories[name] = f
+}
+
+// Lookup returns the factory registered under name.
+func (r *Registry) Lookup(name string) (Factory, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.factories[name]
+	return f, ok
+}
+
+// Names returns the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New constructs the named model, with a did-you-mean error listing the
+// registered names on failure.
+func (r *Registry) New(name string, opts ModelOptions) (Machine, error) {
+	f, ok := r.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown model %q (registered: %v)", name, r.Names())
+	}
+	return f(opts)
+}
+
+// DefaultRegistry is the process-wide registry model packages register into.
+var DefaultRegistry = NewRegistry()
+
+// Register adds a factory to the default registry.
+func Register(name string, f Factory) { DefaultRegistry.Register(name, f) }
+
+// Lookup consults the default registry.
+func Lookup(name string) (Factory, bool) { return DefaultRegistry.Lookup(name) }
+
+// Names lists the default registry's model names, sorted.
+func Names() []string { return DefaultRegistry.Names() }
+
+// NewMachine constructs a model from the default registry.
+func NewMachine(name string, opts ModelOptions) (Machine, error) {
+	return DefaultRegistry.New(name, opts)
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/mem"
+)
+
+type fakeMachine struct{ name string }
+
+func (m *fakeMachine) Name() string { return m.name }
+func (m *fakeMachine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (*Result, error) {
+	return &Result{}, nil
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	if names := r.Names(); len(names) != 0 {
+		t.Fatalf("empty registry lists %v", names)
+	}
+	r.Register("beta", func(opts ModelOptions) (Machine, error) {
+		return &fakeMachine{"beta"}, nil
+	})
+	r.Register("alpha", func(opts ModelOptions) (Machine, error) {
+		return &fakeMachine{"alpha"}, nil
+	})
+
+	if _, ok := r.Lookup("alpha"); !ok {
+		t.Error("alpha not found")
+	}
+	if _, ok := r.Lookup("gamma"); ok {
+		t.Error("gamma unexpectedly found")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Errorf("Names() = %v, want sorted [alpha beta]", names)
+	}
+
+	m, err := r.New("beta", ModelOptions{Hier: mem.BaseConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "beta" {
+		t.Errorf("constructed %q", m.Name())
+	}
+	if _, err := r.New("gamma", ModelOptions{}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	f := func(opts ModelOptions) (Machine, error) { return &fakeMachine{"x"}, nil }
+	r.Register("x", f)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Register("x", f)
+}

@@ -59,41 +59,41 @@ type Stats struct {
 
 // MultipassStats counts multipass-specific activity (paper §3).
 type MultipassStats struct {
-	AdvanceEntries   uint64 // architectural->advance transitions
-	AdvancePasses    uint64 // total passes (>= entries; restarts add passes)
-	Restarts         uint64 // advance restarts triggered by RESTART
-	HWRestarts       uint64 // advance restarts triggered by the hardware heuristic
-	AdvanceExecuted  uint64 // instructions executed in advance mode
-	AdvanceDeferred  uint64 // instructions suppressed in advance mode
-	Merged           uint64 // result-store merges in rally/architectural mode
-	Reexecuted       uint64 // E-bit results recomputed due to flush
-	SpecLoads        uint64 // data-speculative loads (S-bit)
-	SpecFlushes      uint64 // value-mismatch pipeline flushes (§3.6)
-	AdvanceCycles    uint64 // cycles spent in advance mode
-	RallyCycles      uint64 // cycles spent in rally mode
-	ArchCycles       uint64 // cycles spent in architectural mode
-	EarlyResolved    uint64 // branches resolved during advance execution
-	ASCHits          uint64 // advance loads forwarded from the ASC
-	ASCReplacements  uint64 // ASC evictions making later loads speculative
-	DeferredStores   uint64 // advance stores deferred on unknown address
-	IQFullCycles     uint64 // advance stalled on instruction queue limit
-	RestartInstsSeen uint64 // RESTART instructions processed in advance mode
+	AdvanceEntries   uint64 `json:"advance_entries"`    // architectural->advance transitions
+	AdvancePasses    uint64 `json:"advance_passes"`     // total passes (>= entries; restarts add passes)
+	Restarts         uint64 `json:"restarts"`           // advance restarts triggered by RESTART
+	HWRestarts       uint64 `json:"hw_restarts"`        // advance restarts triggered by the hardware heuristic
+	AdvanceExecuted  uint64 `json:"advance_executed"`   // instructions executed in advance mode
+	AdvanceDeferred  uint64 `json:"advance_deferred"`   // instructions suppressed in advance mode
+	Merged           uint64 `json:"merged"`             // result-store merges in rally/architectural mode
+	Reexecuted       uint64 `json:"reexecuted"`         // E-bit results recomputed due to flush
+	SpecLoads        uint64 `json:"spec_loads"`         // data-speculative loads (S-bit)
+	SpecFlushes      uint64 `json:"spec_flushes"`       // value-mismatch pipeline flushes (§3.6)
+	AdvanceCycles    uint64 `json:"advance_cycles"`     // cycles spent in advance mode
+	RallyCycles      uint64 `json:"rally_cycles"`       // cycles spent in rally mode
+	ArchCycles       uint64 `json:"arch_cycles"`        // cycles spent in architectural mode
+	EarlyResolved    uint64 `json:"early_resolved"`     // branches resolved during advance execution
+	ASCHits          uint64 `json:"asc_hits"`           // advance loads forwarded from the ASC
+	ASCReplacements  uint64 `json:"asc_replacements"`   // ASC evictions making later loads speculative
+	DeferredStores   uint64 `json:"deferred_stores"`    // advance stores deferred on unknown address
+	IQFullCycles     uint64 `json:"iq_full_cycles"`     // advance stalled on instruction queue limit
+	RestartInstsSeen uint64 `json:"restart_insts_seen"` // RESTART instructions processed in advance mode
 }
 
 // RunaheadStats counts Dundas-Mudge runahead activity.
 type RunaheadStats struct {
-	Episodes    uint64 // runahead entries
-	PreExecuted uint64 // instructions pre-executed during runahead
-	Deferred    uint64 // instructions suppressed during runahead
-	Cycles      uint64 // cycles spent in runahead mode
+	Episodes    uint64 `json:"episodes"`     // runahead entries
+	PreExecuted uint64 `json:"pre_executed"` // instructions pre-executed during runahead
+	Deferred    uint64 `json:"deferred"`     // instructions suppressed during runahead
+	Cycles      uint64 `json:"cycles"`       // cycles spent in runahead mode
 }
 
 // OOOStats counts out-of-order model activity.
 type OOOStats struct {
-	Flushes      uint64 // branch misprediction flushes
-	Squashed     uint64 // in-flight instructions squashed by flushes
-	WindowFullCy uint64 // cycles rename stalled on a full window
-	ROBFullCy    uint64 // cycles rename stalled on a full ROB
+	Flushes      uint64 `json:"flushes"`        // branch misprediction flushes
+	Squashed     uint64 `json:"squashed"`       // in-flight instructions squashed by flushes
+	WindowFullCy uint64 `json:"window_full_cy"` // cycles rename stalled on a full window
+	ROBFullCy    uint64 `json:"rob_full_cy"`    // cycles rename stalled on a full ROB
 }
 
 // TotalStalls returns the cycles not attributed to execution.

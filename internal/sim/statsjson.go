@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"multipass/internal/bpred"
+	"multipass/internal/mem"
+)
+
+// StatsSchemaVersion is the version stamped into every marshaled Stats. Bump
+// it on any change to field names, meanings, or structure; consumers reject
+// versions they do not understand instead of silently misreading counters.
+const StatsSchemaVersion = 1
+
+// stallBreakdown is the named form of the Cat array: the four Figure 6
+// cycle-attribution categories. Using names instead of array positions keeps
+// the wire format stable if the internal category order ever changes.
+type stallBreakdown struct {
+	Execution uint64 `json:"execution"`
+	FrontEnd  uint64 `json:"front_end"`
+	Other     uint64 `json:"other"`
+	Load      uint64 `json:"load"`
+}
+
+// statsJSON is the canonical wire form of Stats. Model-specific sections are
+// pointers with omitempty so a run only carries the counters of its own
+// machine; field order here is the field order of the encoding.
+type statsJSON struct {
+	SchemaVersion  int             `json:"schema_version"`
+	Cycles         uint64          `json:"cycles"`
+	Retired        uint64          `json:"retired"`
+	CycleBreakdown stallBreakdown  `json:"cycle_breakdown"`
+	Branch         bpred.Stats     `json:"branch"`
+	Memory         mem.HierStats   `json:"memory"`
+	Multipass      *MultipassStats `json:"multipass,omitempty"`
+	Runahead       *RunaheadStats  `json:"runahead,omitempty"`
+	OOO            *OOOStats       `json:"ooo,omitempty"`
+}
+
+// MarshalJSON implements the canonical versioned encoding. The receiver is a
+// value so embedded and non-addressable Stats (experiment result rows, map
+// values) encode identically to pointers.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	out := statsJSON{
+		SchemaVersion: StatsSchemaVersion,
+		Cycles:        s.Cycles,
+		Retired:       s.Retired,
+		CycleBreakdown: stallBreakdown{
+			Execution: s.Cat[StallExecution],
+			FrontEnd:  s.Cat[StallFrontEnd],
+			Other:     s.Cat[StallOther],
+			Load:      s.Cat[StallLoad],
+		},
+		Branch: s.Branch,
+		Memory: s.Memory,
+	}
+	if s.Multipass != (MultipassStats{}) {
+		mp := s.Multipass
+		out.Multipass = &mp
+	}
+	if s.Runahead != (RunaheadStats{}) {
+		ra := s.Runahead
+		out.Runahead = &ra
+	}
+	if s.OOO != (OOOStats{}) {
+		oo := s.OOO
+		out.OOO = &oo
+	}
+	return json.Marshal(&out)
+}
+
+// UnmarshalJSON decodes the canonical encoding, rejecting schema versions
+// this build does not know.
+func (s *Stats) UnmarshalJSON(data []byte) error {
+	var in statsJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.SchemaVersion != StatsSchemaVersion {
+		return fmt.Errorf("sim: stats schema version %d, this build reads %d", in.SchemaVersion, StatsSchemaVersion)
+	}
+	*s = Stats{
+		Cycles:  in.Cycles,
+		Retired: in.Retired,
+		Branch:  in.Branch,
+		Memory:  in.Memory,
+	}
+	s.Cat[StallExecution] = in.CycleBreakdown.Execution
+	s.Cat[StallFrontEnd] = in.CycleBreakdown.FrontEnd
+	s.Cat[StallOther] = in.CycleBreakdown.Other
+	s.Cat[StallLoad] = in.CycleBreakdown.Load
+	if in.Multipass != nil {
+		s.Multipass = *in.Multipass
+	}
+	if in.Runahead != nil {
+		s.Runahead = *in.Runahead
+	}
+	if in.OOO != nil {
+		s.OOO = *in.OOO
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleStats() Stats {
+	s := Stats{Cycles: 1000, Retired: 900}
+	s.Cat[StallExecution] = 400
+	s.Cat[StallFrontEnd] = 100
+	s.Cat[StallOther] = 200
+	s.Cat[StallLoad] = 300
+	s.Branch.Lookups = 50
+	s.Branch.Mispredicts = 5
+	s.Memory.L1D.Accesses = 700
+	s.Memory.L1D.Misses = 70
+	s.Memory.MSHRStalls = 3
+	return s
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	in := sampleStats()
+	in.Multipass.AdvanceEntries = 7
+	in.Multipass.AdvancePasses = 9
+
+	data, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Stats
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if in != out {
+		t.Errorf("round trip diverged:\n in: %+v\nout: %+v", in, out)
+	}
+
+	// The canonical encoding is identical whether marshaled from a value,
+	// a pointer, or an embedding struct field.
+	fromValue, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fromValue) != string(data) {
+		t.Error("value and pointer marshals differ")
+	}
+	embedded, err := json.Marshal(struct{ S Stats }{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(embedded), string(data)) {
+		t.Error("embedded marshal differs from canonical encoding")
+	}
+}
+
+func TestStatsJSONShape(t *testing.T) {
+	s := sampleStats()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m["schema_version"].(float64); !ok || int(v) != StatsSchemaVersion {
+		t.Errorf("schema_version = %v", m["schema_version"])
+	}
+	for _, k := range []string{"cycles", "retired", "cycle_breakdown", "branch", "memory"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("missing key %q", k)
+		}
+	}
+	// No model ran: the model-specific sections must be omitted entirely.
+	for _, k := range []string{"multipass", "runahead", "ooo"} {
+		if _, ok := m[k]; ok {
+			t.Errorf("zero-valued section %q not omitted", k)
+		}
+	}
+
+	s.Runahead.Episodes = 2
+	data, err = json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = nil
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["runahead"]; !ok {
+		t.Error("runahead section missing after runahead activity")
+	}
+	if _, ok := m["multipass"]; ok {
+		t.Error("multipass section present without multipass activity")
+	}
+}
+
+func TestStatsJSONRejectsUnknownVersion(t *testing.T) {
+	var s Stats
+	err := json.Unmarshal([]byte(`{"schema_version": 999}`), &s)
+	if err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("err = %v, want schema version rejection", err)
+	}
+}

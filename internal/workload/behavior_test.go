@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"multipass/internal/compile"
@@ -24,7 +25,7 @@ func runBaseline(t *testing.T, name string) *sim.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Run(p, image)
+	res, err := m.Run(context.Background(), p, image)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestHierarchiesChangeBehaviour(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := m.Run(p, image)
+		res, err := m.Run(context.Background(), p, image)
 		if err != nil {
 			t.Fatal(err)
 		}
