@@ -1,0 +1,152 @@
+// Command benchsnap snapshots simulator throughput: it runs every timing
+// model over a compiled kernel, measures simulated cycles per wall second and
+// allocations per simulated cycle, and writes the result to BENCH_<date>.json
+// so performance regressions leave a dated record next to the repo.
+//
+//	benchsnap                       # mcf, scale 1, 3 reps, BENCH_YYYY-MM-DD.json
+//	benchsnap -kernel crafty -reps 5 -out /tmp
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"multipass/internal/bench"
+	"multipass/internal/mem"
+	"multipass/internal/workload"
+)
+
+// modelSnap is one model's measurement.
+type modelSnap struct {
+	Model           string  `json:"model"`
+	Cycles          uint64  `json:"cycles_per_run"`
+	Reps            int     `json:"reps"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimCyclesPerSec float64 `json:"simcycles_per_sec"`
+	AllocsPerRun    float64 `json:"allocs_per_run"`
+	AllocsPerCycle  float64 `json:"allocs_per_cycle"`
+}
+
+// snapshot is the file schema.
+type snapshot struct {
+	Date            string      `json:"date"`
+	GoVersion       string      `json:"go_version"`
+	GOARCH          string      `json:"goarch"`
+	Kernel          string      `json:"kernel"`
+	Scale           int         `json:"scale"`
+	Hier            string      `json:"hier"`
+	Models          []modelSnap `json:"models"`
+	GeomeanCyclesPS float64     `json:"geomean_simcycles_per_sec"`
+}
+
+var allModels = []bench.ModelName{
+	bench.MInorder, bench.MRunahead, bench.MMultipass, bench.MOOO, bench.MOOORealistc,
+}
+
+func main() {
+	kernel := flag.String("kernel", "mcf", "workload kernel to measure")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	reps := flag.Int("reps", 3, "measured runs per model")
+	outDir := flag.String("out", ".", "directory for BENCH_<date>.json")
+	models := flag.String("models", "", "comma-separated model subset (default: all)")
+	flag.Parse()
+
+	if err := run(*kernel, *scale, *reps, *outDir, *models); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kernel string, scale, reps int, outDir, models string) error {
+	w, ok := workload.ByName(kernel)
+	if !ok {
+		return fmt.Errorf("unknown kernel %q", kernel)
+	}
+	names := allModels
+	if models != "" {
+		names = nil
+		for _, m := range strings.Split(models, ",") {
+			names = append(names, bench.ModelName(strings.TrimSpace(m)))
+		}
+	}
+	if reps < 1 {
+		reps = 1
+	}
+
+	pr, err := bench.Prepare(w, scale)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	hier := mem.BaseConfig()
+
+	snap := snapshot{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Kernel:    kernel,
+		Scale:     scale,
+		Hier:      "base",
+	}
+
+	logGeo := 0.0
+	for _, name := range names {
+		// Warm-up run: touch every lazily-grown structure and the page
+		// cache so the measured reps see steady state.
+		if _, err := pr.Run(ctx, name, hier); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		var cycles, total uint64
+		for i := 0; i < reps; i++ {
+			res, err := pr.Run(ctx, name, hier)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			cycles = res.Stats.Cycles
+			total += res.Stats.Cycles
+		}
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+
+		allocsPerRun := float64(ms1.Mallocs-ms0.Mallocs) / float64(reps)
+		cps := float64(total) / wall
+		snap.Models = append(snap.Models, modelSnap{
+			Model:           string(name),
+			Cycles:          cycles,
+			Reps:            reps,
+			WallSeconds:     wall,
+			SimCyclesPerSec: cps,
+			AllocsPerRun:    allocsPerRun,
+			AllocsPerCycle:  allocsPerRun / float64(cycles),
+		})
+		logGeo += math.Log(cps)
+		fmt.Printf("%-16s %12.0f simcycles/s  %8.0f allocs/run  %.6f allocs/cycle\n",
+			name, cps, allocsPerRun, allocsPerRun/float64(cycles))
+	}
+	snap.GeomeanCyclesPS = math.Exp(logGeo / float64(len(snap.Models)))
+	fmt.Printf("geomean          %12.0f simcycles/s\n", snap.GeomeanCyclesPS)
+
+	path := filepath.Join(outDir, "BENCH_"+snap.Date+".json")
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only behind -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,6 +29,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request simulation deadline (0 = none)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -38,6 +40,18 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *pprofAddr != "" {
+		// The profiler gets its own listener and mux so the debug surface is
+		// never exposed on the service address. net/http/pprof registers on
+		// http.DefaultServeMux; serve that.
+		go func() {
+			fmt.Fprintf(os.Stderr, "mpsimd pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -6,7 +6,11 @@
 // than the reference interpreter has a correctness bug.
 package arch
 
-import "multipass/internal/isa"
+import (
+	"encoding/binary"
+
+	"multipass/internal/isa"
+)
 
 const (
 	pageShift = 12
@@ -16,8 +20,14 @@ const (
 
 // Memory is a sparse, little-endian, byte-addressable 32-bit memory.
 // The zero value is an empty memory; unwritten bytes read as zero.
+//
+// A one-entry translation cache short-circuits the page-map lookup: the
+// cycle loops touch memory with strong page locality (pointer chases stay in
+// a record, streams walk lines), so most accesses hit the last page used.
 type Memory struct {
-	pages map[uint32]*[pageSize]byte
+	pages  map[uint32]*[pageSize]byte
+	lastPN uint32
+	lastPG *[pageSize]byte
 }
 
 // NewMemory returns an empty memory.
@@ -37,18 +47,26 @@ func (m *Memory) Clone() *Memory {
 }
 
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	if m.lastPG != nil && m.lastPN == pn {
+		return m.lastPG
+	}
 	if m.pages == nil {
 		if !create {
 			return nil
 		}
 		m.pages = make(map[uint32]*[pageSize]byte)
 	}
-	pn := addr >> pageShift
 	pg := m.pages[pn]
-	if pg == nil && create {
+	if pg == nil {
+		if !create {
+			return nil
+		}
 		pg = new([pageSize]byte)
 		m.pages[pn] = pg
 	}
+	m.lastPN = pn
+	m.lastPG = pg
 	return pg
 }
 
@@ -66,8 +84,31 @@ func (m *Memory) StoreByte(addr uint32, v byte) {
 	m.page(addr, true)[addr&pageMask] = v
 }
 
-// Load reads an n-byte little-endian value (n in 1..8).
+// Load reads an n-byte little-endian value (n in 1..8). Accesses contained
+// in one page decode straight out of the page; only page-straddling accesses
+// fall back to the byte loop.
 func (m *Memory) Load(addr uint32, n int) uint64 {
+	if off := int(addr & pageMask); off+n <= pageSize {
+		pg := m.page(addr, false)
+		if pg == nil {
+			return 0
+		}
+		switch n {
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(pg[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(pg[off:])
+		case 1:
+			return uint64(pg[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(pg[off:]))
+		}
+		var v uint64
+		for i := 0; i < n; i++ {
+			v |= uint64(pg[off+i]) << (8 * i)
+		}
+		return v
+	}
 	var v uint64
 	for i := 0; i < n; i++ {
 		v |= uint64(m.LoadByte(addr+uint32(i))) << (8 * i)
@@ -75,8 +116,30 @@ func (m *Memory) Load(addr uint32, n int) uint64 {
 	return v
 }
 
-// Store writes an n-byte little-endian value (n in 1..8).
+// Store writes an n-byte little-endian value (n in 1..8), with the same
+// single-page fast path as Load.
 func (m *Memory) Store(addr uint32, n int, v uint64) {
+	if off := int(addr & pageMask); off+n <= pageSize {
+		pg := m.page(addr, true)
+		switch n {
+		case 4:
+			binary.LittleEndian.PutUint32(pg[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(pg[off:], v)
+			return
+		case 1:
+			pg[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(pg[off:], uint16(v))
+			return
+		}
+		for i := 0; i < n; i++ {
+			pg[off+i] = byte(v >> (8 * i))
+		}
+		return
+	}
 	for i := 0; i < n; i++ {
 		m.StoreByte(addr+uint32(i), byte(v>>(8*i)))
 	}

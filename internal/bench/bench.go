@@ -62,13 +62,56 @@ func Run(ctx context.Context, name ModelName, w workload.Workload, scale int, hi
 	if err != nil {
 		return nil, err
 	}
-	return runProgram(ctx, name, p, image, hier)
+	return runProgram(ctx, name, p, image, decodeTrace(p, image), hier)
 }
 
-func runProgram(ctx context.Context, name ModelName, p *isa.Program, image *arch.Memory, hier mem.HierConfig) (*sim.Result, error) {
+// traceLimit caps pre-decoded traces; a workload longer than this falls back
+// to the lazy per-run interpreter rather than holding a huge flat trace.
+const traceLimit = 1 << 22
+
+// decodeTrace pre-decodes a program once for read-only sharing across models.
+// Any failure (too long, interpreter fault) degrades to the lazy path, where
+// the run will produce the real error if there is one.
+func decodeTrace(p *isa.Program, image *arch.Memory) *sim.Trace {
+	tr, err := sim.BuildTrace(p, image, traceLimit)
+	if err != nil {
+		return nil
+	}
+	return tr
+}
+
+// Prepared is one compiled workload plus its pre-decoded oracle trace, for
+// callers (throughput benchmarks, benchsnap) that run many models or many
+// repetitions over the same binary without paying compilation or decoding
+// inside the measured region.
+type Prepared struct {
+	P     *isa.Program
+	Image *arch.Memory
+	Tr    *sim.Trace
+}
+
+// Prepare compiles the workload with the paper-standard options and
+// pre-decodes its trace.
+func Prepare(w workload.Workload, scale int) (*Prepared, error) {
+	p, image, err := workload.Program(w, scale, compile.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{P: p, Image: image, Tr: decodeTrace(p, image)}, nil
+}
+
+// Run executes one model over the prepared binary.
+func (pr *Prepared) Run(ctx context.Context, name ModelName, hier mem.HierConfig) (*sim.Result, error) {
+	return runProgram(ctx, name, pr.P, pr.Image, pr.Tr, hier)
+}
+
+func runProgram(ctx context.Context, name ModelName, p *isa.Program, image *arch.Memory, tr *sim.Trace, hier mem.HierConfig) (*sim.Result, error) {
 	m, err := NewMachine(name, hier)
 	if err != nil {
 		return nil, err
+	}
+	if tu, ok := m.(sim.TraceUser); ok {
+		tu.UseTrace(tr)
 	}
 	res, err := m.Run(ctx, p, image)
 	if err != nil {
@@ -104,10 +147,12 @@ func runMatrix(ctx context.Context, ws []workload.Workload, models []ModelName, 
 	}
 
 	// Share one compiled program+image per workload (images are cloned by
-	// the machines, so reuse is safe).
+	// the machines, so reuse is safe), plus one pre-decoded trace consulted
+	// read-only by every model.
 	type built struct {
 		p     *isa.Program
 		image *arch.Memory
+		tr    *sim.Trace
 	}
 	programs := make(map[string]built, len(ws))
 	for _, w := range ws {
@@ -115,7 +160,7 @@ func runMatrix(ctx context.Context, ws []workload.Workload, models []ModelName, 
 		if err != nil {
 			return nil, err
 		}
-		programs[w.Name] = built{p, image}
+		programs[w.Name] = built{p, image, decodeTrace(p, image)}
 	}
 
 	results := make(map[string]*sim.Result, len(jobs))
@@ -130,7 +175,7 @@ func runMatrix(ctx context.Context, ws []workload.Workload, models []ModelName, 
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			b := programs[j.w.Name]
-			res, err := runProgram(ctx, j.model, b.p, b.image, hiers[j.hname])
+			res, err := runProgram(ctx, j.model, b.p, b.image, b.tr, hiers[j.hname])
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -194,7 +194,7 @@ func (r *run) advanceCycle() error {
 			if !correct {
 				r.fe.Flush(r.peek+1, r.now+1+uint64(r.cfg.MispredictPenalty))
 			}
-			r.rs.put(r.peek, &rsEntry{readyCycle: r.now, branchDone: true, branchTaken: taken})
+			r.rs.put(r.peek, rsEntry{readyCycle: r.now, branchDone: true, branchTaken: taken})
 			mp.AdvanceExecuted++
 			executed++
 			slots++
@@ -207,7 +207,7 @@ func (r *run) advanceCycle() error {
 
 		if !qpTrue {
 			// Squashed by a (valid) false predicate: preserve that outcome.
-			r.rs.put(r.peek, &rsEntry{readyCycle: r.now, squashed: true})
+			r.rs.put(r.peek, rsEntry{readyCycle: r.now, squashed: true})
 			slots++
 			r.bumpPeek()
 			continue
@@ -275,7 +275,7 @@ func (r *run) advanceCycle() error {
 		if !in.Dst2.IsNone() {
 			r.writeAdv(in.Dst2, isa.BoolWord(!v.Bool()), ready)
 		}
-		r.rs.put(r.peek, &rsEntry{readyCycle: ready, val: v, hasVal: !in.Dst.IsNone()})
+		r.rs.put(r.peek, rsEntry{readyCycle: ready, val: v, hasVal: !in.Dst.IsNone()})
 		mp.AdvanceExecuted++
 		executed++
 		slots++
@@ -367,7 +367,7 @@ func (r *run) advanceStore(in *isa.Inst, d *sim.DynInst, use *isa.FUUse, slots, 
 	}
 	use.Add(in.Op)
 	r.asc.insert(addr, in.Op.MemBytes(), dataOp.val, false)
-	r.rs.put(r.peek, &rsEntry{readyCycle: r.now, val: dataOp.val, isStore: true, addr: addr, hasAddr: true})
+	r.rs.put(r.peek, rsEntry{readyCycle: r.now, val: dataOp.val, isStore: true, addr: addr, hasAddr: true})
 	mp.AdvanceExecuted++
 	*executed++
 	*slots++
@@ -395,7 +395,7 @@ func (r *run) advanceLoad(in *isa.Inst, use *isa.FUUse, slots, executed *int, ba
 		use.Add(in.Op)
 		ready := r.now + uint64(in.Op.Latency())
 		r.writeAdv(in.Dst, fwd, ready)
-		r.rs.put(r.peek, &rsEntry{readyCycle: ready, val: fwd, hasVal: true, addr: addr, hasAddr: true})
+		r.rs.put(r.peek, rsEntry{readyCycle: ready, val: fwd, hasVal: true, addr: addr, hasAddr: true})
 		mp.ASCHits++
 		mp.AdvanceExecuted++
 		*executed++
@@ -408,7 +408,7 @@ func (r *run) advanceLoad(in *isa.Inst, use *isa.FUUse, slots, executed *int, ba
 	use.Add(in.Op)
 	ready := r.hier.AccessData(addr, r.now, false, true)
 	val := r.ownMem.LoadWord(in.Op, addr)
-	r.rs.put(r.peek, &rsEntry{readyCycle: ready, val: val, hasVal: true, spec: spec, addr: addr, hasAddr: true})
+	r.rs.put(r.peek, rsEntry{readyCycle: ready, val: val, hasVal: true, spec: spec, addr: addr, hasAddr: true})
 	if spec {
 		mp.SpecLoads++
 	}

@@ -135,9 +135,9 @@ func TestOverlapsPredicate(t *testing.T) {
 }
 
 func TestResultStoreFlushFrom(t *testing.T) {
-	rs := newResultStore()
+	rs := newResultStore(256)
 	for seq := uint64(0); seq < 10; seq++ {
-		rs.put(seq, &rsEntry{readyCycle: seq})
+		rs.put(seq, rsEntry{readyCycle: seq})
 	}
 	if rs.len() != 10 {
 		t.Fatalf("len = %d", rs.len())

@@ -14,7 +14,12 @@ import (
 // Machine is the multipass pipeline model.
 type Machine struct {
 	cfg Config
+	tr  *sim.Trace
 }
+
+// UseTrace implements sim.TraceUser: subsequent runs of the traced program
+// read the pre-decoded stream instead of re-interpreting it.
+func (m *Machine) UseTrace(tr *sim.Trace) { m.tr = tr }
 
 // New validates the configuration and returns the model.
 func New(cfg Config) (*Machine, error) {
@@ -115,10 +120,10 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		pred:   bpred.New(cfg.PredictorEntries),
 		ownRF:  arch.NewRegFile(),
 		ownMem: image.Clone(),
-		rs:     newResultStore(),
+		rs:     newResultStore(cfg.IQSize),
 		asc:    newASC(cfg.ASCEntries, cfg.ASCWays),
 	}
-	r.stream = sim.NewStream(p, image.Clone(), cfg.MaxInsts)
+	r.stream = sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
 	r.fe = sim.NewFetchUnit(r.stream, r.hier, cfg.FetchWidth)
 
 	for !r.halted {

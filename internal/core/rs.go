@@ -37,32 +37,94 @@ type rsEntry struct {
 	branchTaken bool
 }
 
-// resultStore is the RS keyed by dynamic sequence number.
+// rsSlot is one ring slot: the entry plus the sequence number that owns it
+// (the E-bit is the live flag).
+type rsSlot struct {
+	e    rsEntry
+	seq  uint64
+	live bool
+}
+
+// resultStore is the RS keyed by dynamic sequence number. Sequence numbers
+// with a live entry are dense and bounded: they all lie in the current
+// instruction-queue window [next, next+IQSize), so the store is a
+// power-of-two ring indexed by seq&mask with at most one live owner per
+// slot — no per-instruction allocation, O(window) flush.
 type resultStore struct {
-	entries map[uint64]*rsEntry
+	slots []rsSlot
+	mask  uint64
+	n     int
+	// maxSeq is one past the highest sequence ever stored (and not yet
+	// flushed); flushFrom walks [seq, maxSeq) instead of scanning every slot.
+	maxSeq uint64
 }
 
-func newResultStore() *resultStore {
-	return &resultStore{entries: make(map[uint64]*rsEntry)}
+// newResultStore sizes the ring for an instruction queue of iqSize entries.
+func newResultStore(iqSize int) *resultStore {
+	capSlots := 1
+	for capSlots < iqSize {
+		capSlots <<= 1
+	}
+	return &resultStore{
+		slots: make([]rsSlot, capSlots),
+		mask:  uint64(capSlots - 1),
+	}
 }
 
-func (rs *resultStore) get(seq uint64) *rsEntry { return rs.entries[seq] }
+// get returns the entry preserved for seq, or nil (E-bit empty).
+func (rs *resultStore) get(seq uint64) *rsEntry {
+	s := &rs.slots[seq&rs.mask]
+	if s.live && s.seq == seq {
+		return &s.e
+	}
+	return nil
+}
 
-func (rs *resultStore) put(seq uint64, e *rsEntry) { rs.entries[seq] = e }
+// put preserves an entry for seq. The caller guarantees seq lies within the
+// current IQ window; two live sequences can therefore never collide on a
+// slot, and a collision is a model bug.
+func (rs *resultStore) put(seq uint64, e rsEntry) {
+	s := &rs.slots[seq&rs.mask]
+	if s.live {
+		if s.seq != seq {
+			panic("core: result-store ring collision (sequence outside IQ window)")
+		}
+	} else {
+		s.live = true
+		rs.n++
+	}
+	s.e = e
+	s.seq = seq
+	if seq+1 > rs.maxSeq {
+		rs.maxSeq = seq + 1
+	}
+}
 
-func (rs *resultStore) drop(seq uint64) { delete(rs.entries, seq) }
+func (rs *resultStore) drop(seq uint64) {
+	s := &rs.slots[seq&rs.mask]
+	if s.live && s.seq == seq {
+		s.live = false
+		rs.n--
+	}
+}
 
 // flushFrom discards all entries at or above seq (value-misspeculation
-// pipeline flush).
+// pipeline flush). It walks only the occupied tail of the window, not the
+// whole store.
 func (rs *resultStore) flushFrom(seq uint64) int {
 	n := 0
-	for s := range rs.entries {
-		if s >= seq {
-			delete(rs.entries, s)
+	for q := seq; q < rs.maxSeq; q++ {
+		s := &rs.slots[q&rs.mask]
+		if s.live && s.seq == q {
+			s.live = false
+			rs.n--
 			n++
 		}
+	}
+	if rs.maxSeq > seq {
+		rs.maxSeq = seq
 	}
 	return n
 }
 
-func (rs *resultStore) len() int { return len(rs.entries) }
+func (rs *resultStore) len() int { return rs.n }

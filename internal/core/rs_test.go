@@ -1,0 +1,105 @@
+package core
+
+import "testing"
+
+// TestResultStoreFullFlush fills a full 256-entry RS window at a sequence
+// range that wraps the ring, flushes the tail, and checks the survivors: the
+// exact scenario a value-misspeculation flush hits at steady state.
+func TestResultStoreFullFlush(t *testing.T) {
+	const iq = 256
+	rs := newResultStore(iq)
+
+	// A window that straddles a ring-wrap boundary: 256 live entries in
+	// [base, base+256) with base not a multiple of the ring size.
+	const base = uint64(1000)
+	for seq := base; seq < base+iq; seq++ {
+		rs.put(seq, rsEntry{readyCycle: seq, hasVal: true})
+	}
+	if rs.len() != iq {
+		t.Fatalf("full RS len = %d, want %d", rs.len(), iq)
+	}
+
+	// Flush the younger half.
+	cut := base + iq/2
+	if n := rs.flushFrom(cut); n != iq/2 {
+		t.Fatalf("flushFrom(%d) discarded %d, want %d", cut, n, iq/2)
+	}
+	if rs.len() != iq/2 {
+		t.Fatalf("survivors = %d, want %d", rs.len(), iq/2)
+	}
+	for seq := base; seq < cut; seq++ {
+		e := rs.get(seq)
+		if e == nil || e.readyCycle != seq {
+			t.Fatalf("survivor %d missing or corrupt", seq)
+		}
+	}
+	for seq := cut; seq < base+iq; seq++ {
+		if rs.get(seq) != nil {
+			t.Fatalf("flushed seq %d still present", seq)
+		}
+	}
+
+	// The freed slots are reusable by the next window without interference
+	// from the survivors that share ring positions.
+	for seq := cut; seq < base+iq; seq++ {
+		rs.put(seq, rsEntry{readyCycle: seq + 1})
+	}
+	if rs.len() != iq {
+		t.Fatalf("refilled len = %d, want %d", rs.len(), iq)
+	}
+	if e := rs.get(cut); e == nil || e.readyCycle != cut+1 {
+		t.Fatal("refilled entry not the new generation")
+	}
+
+	// Flushing everything empties the store.
+	if n := rs.flushFrom(base); n != iq {
+		t.Fatalf("full flush discarded %d, want %d", n, iq)
+	}
+	if rs.len() != 0 {
+		t.Fatalf("len after full flush = %d", rs.len())
+	}
+}
+
+// TestResultStoreWindowAdvance drives the ring through several full window
+// generations, as DEQ/PEEK do, checking that slot reuse never resurrects a
+// stale sequence.
+func TestResultStoreWindowAdvance(t *testing.T) {
+	const iq = 256
+	rs := newResultStore(iq)
+	for gen := uint64(0); gen < 5; gen++ {
+		lo := gen * iq
+		for seq := lo; seq < lo+iq; seq++ {
+			rs.put(seq, rsEntry{val: 0, readyCycle: seq})
+		}
+		for seq := lo; seq < lo+iq; seq++ {
+			if rs.get(seq) == nil {
+				t.Fatalf("gen %d: live seq %d not found", gen, seq)
+			}
+			rs.drop(seq)
+			if rs.get(seq) != nil {
+				t.Fatalf("gen %d: dropped seq %d still present", gen, seq)
+			}
+		}
+		if rs.len() != 0 {
+			t.Fatalf("gen %d: len = %d after drain", gen, rs.len())
+		}
+		// Stale probes from the drained generation must miss even though
+		// their ring slots are about to be reused.
+		if rs.get(lo) != nil || rs.get(lo+iq-1) != nil {
+			t.Fatalf("gen %d: stale sequence resurrected", gen)
+		}
+	}
+}
+
+// TestResultStoreCollisionPanics documents the ownership invariant: a put
+// outside the IQ window that lands on a live slot is a model bug and panics.
+func TestResultStoreCollisionPanics(t *testing.T) {
+	rs := newResultStore(256)
+	rs.put(0, rsEntry{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("colliding put did not panic")
+		}
+	}()
+	rs.put(256, rsEntry{}) // same slot (0 & mask == 256 & mask), different seq
+}

@@ -25,8 +25,14 @@ type Tracer struct {
 // NewTracer wraps a writer.
 func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
 
+// enabled reports whether events will be written. Every trace helper checks
+// it before building its argument list: the variadic event call boxes its
+// arguments into a []any at the call site, and that boxing must not run (or
+// allocate) on the hot path when tracing is off.
+func (t *Tracer) enabled() bool { return t != nil && t.w != nil }
+
 func (t *Tracer) event(now uint64, format string, args ...any) {
-	if t == nil || t.w == nil {
+	if !t.enabled() {
 		return
 	}
 	fmt.Fprintf(t.w, "cyc %d %s\n", now, fmt.Sprintf(format, args...))
@@ -34,33 +40,48 @@ func (t *Tracer) event(now uint64, format string, args ...any) {
 
 // traceAdvanceEnter records an architectural->advance transition.
 func (r *run) traceAdvanceEnter() {
+	if !r.cfg.Trace.enabled() {
+		return
+	}
 	r.cfg.Trace.event(r.now, "advance-enter trigger=%d until=%d", r.trigger, r.stallUntil)
 }
 
 // traceRestart records an advance restart (compiler- or hardware-driven).
 func (r *run) traceRestart(kind string) {
+	if !r.cfg.Trace.enabled() {
+		return
+	}
 	r.cfg.Trace.event(r.now, "restart(%s) pass=%d peek->%d", kind, r.st.Multipass.AdvancePasses, r.trigger)
 }
 
 // traceRally records an advance->rally transition.
 func (r *run) traceRally() {
+	if !r.cfg.Trace.enabled() {
+		return
+	}
 	r.cfg.Trace.event(r.now, "rally next=%d maxPeek=%d rs=%d", r.next, r.maxPeek, r.rs.len())
 }
 
 // traceArch records a rally->architectural transition.
 func (r *run) traceArch() {
+	if !r.cfg.Trace.enabled() {
+		return
+	}
 	r.cfg.Trace.event(r.now, "architectural next=%d", r.next)
 }
 
 // traceFlush records a §3.6 value-misspeculation flush.
 func (r *run) traceFlush(seq uint64, discarded int) {
+	if !r.cfg.Trace.enabled() {
+		return
+	}
 	r.cfg.Trace.event(r.now, "spec-flush seq=%d discarded=%d", seq, discarded)
 }
 
 // traceMerge is sampled (it would otherwise dominate the stream): only
 // merges of loads and stores are reported.
 func (r *run) traceMerge(seq uint64, e *rsEntry) {
-	if e.hasAddr || e.isStore {
+	if (e.hasAddr || e.isStore) && r.cfg.Trace.enabled() {
 		r.cfg.Trace.event(r.now, "merge seq=%d addr=%#x spec=%v", seq, e.addr, e.spec)
 	}
 }

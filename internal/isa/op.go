@@ -273,6 +273,36 @@ var (
 	shapeStore = OperandShape{Src1: RegClassInt, Src2: RegClassInt, UsesImm: true}
 )
 
+// Packed per-opcode property tables, derived from opInfos at package
+// initialization. The cycle loops query Kind/FU/Latency/MemBytes several
+// times per instruction per simulated cycle; indexing a small table avoids
+// copying the whole OpInfo (name string, operand shape) on every query.
+var (
+	opKinds     [NumOps]Kind
+	opFUs       [NumOps]FUClass
+	opLatencies [NumOps]uint8
+	opMemBytes  [NumOps]uint8
+)
+
+func init() {
+	for op := Op(0); int(op) < NumOps; op++ {
+		info := opInfos[op]
+		opKinds[op] = info.Kind
+		opFUs[op] = info.FU
+		opLatencies[op] = uint8(info.Latency)
+		switch op {
+		case OpLd1, OpSt1:
+			opMemBytes[op] = 1
+		case OpLd2, OpSt2:
+			opMemBytes[op] = 2
+		case OpLd4, OpSt4:
+			opMemBytes[op] = 4
+		case OpLdF, OpStF:
+			opMemBytes[op] = 8
+		}
+	}
+}
+
 // Info returns the static description of op.
 func (op Op) Info() OpInfo {
 	if int(op) >= NumOps {
@@ -282,14 +312,29 @@ func (op Op) Info() OpInfo {
 }
 
 // Kind returns the coarse classification of op.
-func (op Op) Kind() Kind { return op.Info().Kind }
+func (op Op) Kind() Kind {
+	if int(op) >= NumOps {
+		return KindNop
+	}
+	return opKinds[op]
+}
 
 // FU returns the functional-unit class op issues to.
-func (op Op) FU() FUClass { return op.Info().FU }
+func (op Op) FU() FUClass {
+	if int(op) >= NumOps {
+		return FUInt
+	}
+	return opFUs[op]
+}
 
 // Latency returns the execution latency of op in cycles (L1-hit latency for
 // loads).
-func (op Op) Latency() int { return op.Info().Latency }
+func (op Op) Latency() int {
+	if int(op) >= NumOps {
+		return 1
+	}
+	return int(opLatencies[op])
+}
 
 func (op Op) String() string { return op.Info().Name }
 
@@ -307,17 +352,10 @@ func (op Op) IsBranch() bool { return op.Kind() == KindBranch }
 
 // MemBytes returns the access width in bytes for memory operations, or 0.
 func (op Op) MemBytes() int {
-	switch op {
-	case OpLd1, OpSt1:
-		return 1
-	case OpLd2, OpSt2:
-		return 2
-	case OpLd4, OpSt4:
-		return 4
-	case OpLdF, OpStF:
-		return 8
+	if int(op) >= NumOps {
+		return 0
 	}
-	return 0
+	return int(opMemBytes[op])
 }
 
 // OpByName resolves an assembler mnemonic to its opcode.

@@ -68,6 +68,14 @@ func ConfigByName(name string) (HierConfig, bool) {
 // ConfigNames lists the named hierarchies in presentation order.
 func ConfigNames() []string { return []string{"base", "config1", "config2"} }
 
+// mshr is one miss-status holding register: the L2-line-aligned address of
+// an ongoing fill and the cycle it completes. A slot whose ready cycle has
+// passed is free.
+type mshr struct {
+	addr  uint32
+	ready uint64
+}
+
 // Hierarchy is the timing model of the full cache system.
 type Hierarchy struct {
 	cfg HierConfig
@@ -75,9 +83,11 @@ type Hierarchy struct {
 	l1d *cache
 	l2  *cache
 	l3  *cache
-	// inflight maps an L2-line-aligned address to the cycle its ongoing
-	// fill completes; it implements both MSHR occupancy and miss merging.
-	inflight map[uint32]uint64
+	// inflight is the MSHR file: exactly MaxMisses slots (Table 2: 16),
+	// implementing both occupancy and miss merging. The architectural bound
+	// makes a linear scan cheaper than any map, and the structure is
+	// allocation-free across runs and Resets.
+	inflight []mshr
 	// mshrStalls counts accesses that had to wait for a free MSHR.
 	mshrStalls uint64
 }
@@ -91,7 +101,7 @@ func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
 	if cfg.MaxMisses < 1 {
 		return nil, fmt.Errorf("mem: MaxMisses %d < 1", cfg.MaxMisses)
 	}
-	h := &Hierarchy{cfg: cfg, inflight: make(map[uint32]uint64)}
+	h := &Hierarchy{cfg: cfg, inflight: make([]mshr, cfg.MaxMisses)}
 	var err error
 	if h.l1i, err = newCache(cfg.L1I); err != nil {
 		return nil, err
@@ -125,16 +135,14 @@ func (h *Hierarchy) mergeAddr(addr uint32) uint32 {
 	return addr &^ uint32(h.cfg.L2.LineBytes-1)
 }
 
-// outstanding counts fills still in flight at cycle now, purging finished
-// entries.
+// outstanding counts fills still in flight at cycle now. Slots whose fills
+// have completed are implicitly free (no purge needed).
 func (h *Hierarchy) outstanding(now uint64) int {
 	n := 0
-	for a, ready := range h.inflight {
-		if ready <= now {
-			delete(h.inflight, a)
-			continue
+	for i := range h.inflight {
+		if h.inflight[i].ready > now {
+			n++
 		}
-		n++
 	}
 	return n
 }
@@ -144,8 +152,8 @@ func (h *Hierarchy) outstanding(now uint64) int {
 func (h *Hierarchy) earliestCompletion(now uint64) uint64 {
 	var best uint64
 	first := true
-	for _, ready := range h.inflight {
-		if ready > now && (first || ready < best) {
+	for i := range h.inflight {
+		if ready := h.inflight[i].ready; ready > now && (first || ready < best) {
 			best = ready
 			first = false
 		}
@@ -156,6 +164,30 @@ func (h *Hierarchy) earliestCompletion(now uint64) uint64 {
 	return best
 }
 
+// fillFor returns the completion cycle of an ongoing fill of addr's merge
+// line, or 0 when none is in flight at cycle now.
+func (h *Hierarchy) fillFor(addr uint32, now uint64) uint64 {
+	for i := range h.inflight {
+		if h.inflight[i].addr == addr && h.inflight[i].ready > now {
+			return h.inflight[i].ready
+		}
+	}
+	return 0
+}
+
+// startFill claims a free MSHR for a fill of line addr completing at ready.
+// The caller has already bounded occupancy below MaxMisses, so a free slot
+// always exists.
+func (h *Hierarchy) startFill(addr uint32, now, ready uint64) {
+	for i := range h.inflight {
+		if h.inflight[i].ready <= now {
+			h.inflight[i] = mshr{addr: addr, ready: ready}
+			return
+		}
+	}
+	panic("mem: no free MSHR despite occupancy bound")
+}
+
 // AccessData performs a data-side access at cycle now and returns the cycle
 // the data is available. write distinguishes stores (which still allocate
 // and consume MSHRs on miss but whose completion the pipeline does not wait
@@ -164,7 +196,7 @@ func (h *Hierarchy) AccessData(addr uint32, now uint64, write, advance bool) uin
 	// A line already in flight merges with the ongoing fill regardless of
 	// which level it would otherwise hit: the first requester pays the MSHR,
 	// later ones share the completion.
-	if ready, ok := h.inflight[h.mergeAddr(addr)]; ok && ready > now {
+	if ready := h.fillFor(h.mergeAddr(addr), now); ready != 0 {
 		// Keep LRU state warm.
 		h.l1d.lookupW(addr, write, advance)
 		h.l1d.install(addr, write)
@@ -195,7 +227,7 @@ func (h *Hierarchy) AccessData(addr uint32, now uint64, write, advance bool) uin
 	}
 	h.l2.install(addr, false)
 	h.l1d.install(addr, write)
-	h.inflight[h.mergeAddr(addr)] = ready
+	h.startFill(h.mergeAddr(addr), issueAt, ready)
 	return ready
 }
 
@@ -227,8 +259,7 @@ func (h *Hierarchy) Probe(addr uint32) int {
 
 // InFlight reports whether addr's line is still being filled at cycle now.
 func (h *Hierarchy) InFlight(addr uint32, now uint64) bool {
-	ready, ok := h.inflight[h.mergeAddr(addr)]
-	return ok && ready > now
+	return h.fillFor(h.mergeAddr(addr), now) != 0
 }
 
 // AccessInst performs an instruction-side access at cycle now. Instruction
@@ -273,12 +304,16 @@ func (h *Hierarchy) Stats() HierStats {
 	}
 }
 
-// Reset invalidates all caches and clears counters and in-flight state.
+// Reset invalidates all caches and clears counters and in-flight state. The
+// MSHR file is cleared in place, not reallocated, so a hierarchy can be
+// reused across runs without allocating.
 func (h *Hierarchy) Reset() {
 	h.l1i.reset()
 	h.l1d.reset()
 	h.l2.reset()
 	h.l3.reset()
-	h.inflight = make(map[uint32]uint64)
+	for i := range h.inflight {
+		h.inflight[i] = mshr{}
+	}
 	h.mshrStalls = 0
 }

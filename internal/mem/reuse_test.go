@@ -1,0 +1,64 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+// driveHierarchy performs a deterministic access pattern and returns the
+// final stats snapshot.
+func driveHierarchy(h *Hierarchy) HierStats {
+	now := uint64(0)
+	for i := 0; i < 2000; i++ {
+		addr := uint32(i%37) * 4096 // page-strided: misses, MSHR pressure
+		now = h.AccessData(addr, now, i%5 == 0, false)
+		h.AccessInst(uint32(i%13)*64, now)
+	}
+	return h.Stats()
+}
+
+// TestHierarchyResetReuse verifies that Reset restores a hierarchy to its
+// just-constructed behavior — identical stats under an identical access
+// sequence — and does so without allocating: the MSHR file and cache arrays
+// are cleared in place, never reallocated.
+func TestHierarchyResetReuse(t *testing.T) {
+	h := MustNewHierarchy(BaseConfig())
+	fresh := driveHierarchy(h)
+
+	if allocs := testing.AllocsPerRun(10, h.Reset); allocs != 0 {
+		t.Errorf("Reset allocates %.0f objects per call, want 0", allocs)
+	}
+
+	h.Reset()
+	reused := driveHierarchy(h)
+	if fresh != reused {
+		t.Errorf("stats after Reset differ from a fresh hierarchy:\nfresh:  %+v\nreused: %+v", fresh, reused)
+	}
+}
+
+// TestHierarchyReuseParallel exercises the reuse pattern under the race
+// detector: distinct goroutines each own one hierarchy and Reset it between
+// runs, the way the bench harness reuses per-worker state. Hierarchies are
+// not shared, so this must be race-clean.
+func TestHierarchyReuseParallel(t *testing.T) {
+	var want HierStats
+	{
+		h := MustNewHierarchy(BaseConfig())
+		want = driveHierarchy(h)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := MustNewHierarchy(BaseConfig())
+			for run := 0; run < 3; run++ {
+				if got := driveHierarchy(h); got != want {
+					t.Errorf("run %d: stats diverged after Reset", run)
+				}
+				h.Reset()
+			}
+		}()
+	}
+	wg.Wait()
+}

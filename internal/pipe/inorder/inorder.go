@@ -30,7 +30,12 @@ func init() {
 // Machine is the baseline in-order model.
 type Machine struct {
 	cfg sim.Config
+	tr  *sim.Trace
 }
+
+// UseTrace implements sim.TraceUser: subsequent runs of the traced program
+// read the pre-decoded stream instead of re-interpreting it.
+func (m *Machine) UseTrace(tr *sim.Trace) { m.tr = tr }
 
 // New validates the configuration and returns the model.
 func New(cfg sim.Config) (*Machine, error) {
@@ -55,7 +60,7 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 	cfg := &m.cfg
 	hier := mem.MustNewHierarchy(cfg.Hier)
 	pred := bpred.New(cfg.PredictorEntries)
-	stream := sim.NewStream(p, image.Clone(), cfg.MaxInsts)
+	stream := sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
 	fe := sim.NewFetchUnit(stream, hier, cfg.FetchWidth)
 	own := arch.NewState(image.Clone())
 

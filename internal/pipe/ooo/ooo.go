@@ -99,7 +99,12 @@ func (c *Config) Validate() error {
 // Machine is the out-of-order model.
 type Machine struct {
 	cfg Config
+	tr  *sim.Trace
 }
+
+// UseTrace implements sim.TraceUser: subsequent runs of the traced program
+// read the pre-decoded stream instead of re-interpreting it.
+func (m *Machine) UseTrace(tr *sim.Trace) { m.tr = tr }
 
 // New validates the configuration and returns the model.
 func New(cfg Config) (*Machine, error) {
@@ -128,14 +133,20 @@ const (
 	stDone
 )
 
-// entry is one in-flight instruction.
+// entry is one in-flight instruction. Entries live in a ring indexed by
+// seq&mask, and operands rename to at most four producer sequences (QP plus
+// three sources), so the whole ROB is a fixed-size value array.
 type entry struct {
 	d          *sim.DynInst
 	state      entryState
-	deps       []uint64 // producer sequence numbers (renamed operands)
+	ndeps      uint8
+	queue      int8 // scheduling queue index (decentralized variant)
+	deps       [4]uint64
 	completion uint64
-	queue      int // scheduling queue index (decentralized variant)
 }
+
+// noSeq marks an empty rename-table slot.
+const noSeq = ^uint64(0)
 
 // queueOf maps an opcode to its decentralized scheduling queue.
 func queueOf(op isa.Op) int {
@@ -156,15 +167,24 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 	cfg := m.cfg
 	hier := mem.MustNewHierarchy(cfg.Hier)
 	pred := bpred.New(cfg.PredictorEntries)
-	stream := sim.NewStream(p, image.Clone(), cfg.MaxInsts)
+	stream := sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
 	fe := sim.NewFetchUnit(stream, hier, cfg.FetchWidth)
+
+	// The ROB is a power-of-two ring of entry values indexed by seq&mask;
+	// live entries are [base, base+count).
+	robCap := 1
+	for robCap < cfg.ROBSize {
+		robCap <<= 1
+	}
+	ring := make([]entry, robCap)
+	mask := uint64(robCap - 1)
 
 	var (
 		st       sim.Stats
 		now      uint64
-		base     uint64 // seq of ents[0] (ROB head)
-		ents     []*entry
-		lastProd = map[int]uint64{} // flat reg -> producing seq
+		base     uint64                  // seq of the ROB head
+		count    int                     // live ROB entries
+		lastProd [isa.NumFlatRegs]uint64 // flat reg -> producing seq
 		inWindow int
 		inQueue  [3]int
 		haltSeq  = ^uint64(0)
@@ -175,16 +195,20 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		// younger instruction may enter the machine until it resolves.
 		barrier = ^uint64(0)
 	)
-	entAt := func(seq uint64) *entry { return ents[seq-base] }
+	for i := range lastProd {
+		lastProd[i] = noSeq
+	}
+	entAt := func(seq uint64) *entry { return &ring[seq&mask] }
 
 	rebuildRename := func() {
-		for k := range lastProd {
-			delete(lastProd, k)
+		for i := range lastProd {
+			lastProd[i] = noSeq
 		}
-		for i, e := range ents {
-			for _, reg := range e.d.Inst.Writes(regBuf[:0]) {
+		for k := 0; k < count; k++ {
+			seq := base + uint64(k)
+			for _, reg := range entAt(seq).d.Inst.Writes(regBuf[:0]) {
 				if !reg.IsZeroReg() {
-					lastProd[reg.Flat()] = base + uint64(i)
+					lastProd[reg.Flat()] = seq
 				}
 			}
 		}
@@ -196,16 +220,16 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		}
 		// Retire in order from the ROB head.
 		retired := 0
-		for retired < cfg.RetireWidth && len(ents) > 0 {
-			e := ents[0]
+		for retired < cfg.RetireWidth && count > 0 {
+			e := entAt(base)
 			if e.state != stDone || e.completion > now {
 				break
 			}
 			if e.d.Halt {
 				haltSeq = e.d.Seq
 			}
-			ents = ents[1:]
 			base++
+			count--
 			st.Retired++
 			retired++
 		}
@@ -220,8 +244,8 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		fe.SetLimit(base + uint64(cfg.ROBSize))
 		inserted := 0
 		for inserted < cfg.FetchWidth && barrier == ^uint64(0) {
-			seq := base + uint64(len(ents))
-			if len(ents) >= cfg.ROBSize {
+			seq := base + uint64(count)
+			if count >= cfg.ROBSize {
 				st.OOO.ROBFullCy++
 				break
 			}
@@ -259,13 +283,17 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 			if fready > now {
 				break
 			}
-			e := &entry{d: d, queue: queueOf(d.Inst.Op)}
+			e := entAt(seq)
+			*e = entry{d: d, queue: int8(queueOf(d.Inst.Op))}
 			for _, reg := range d.Inst.Reads(regBuf[:0]) {
 				if reg.IsZeroReg() {
 					continue
 				}
-				if prod, okp := lastProd[reg.Flat()]; okp && prod >= base {
-					e.deps = append(e.deps, prod)
+				// noSeq passes the >= base filter (it is the max uint64),
+				// so an empty slot must be rejected explicitly.
+				if prod := lastProd[reg.Flat()]; prod != noSeq && prod >= base {
+					e.deps[e.ndeps] = prod
+					e.ndeps++
 				}
 			}
 			for _, reg := range d.Inst.Writes(regBuf[:0]) {
@@ -273,7 +301,7 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 					lastProd[reg.Flat()] = seq
 				}
 			}
-			ents = append(ents, e)
+			count++
 			inWindow++
 			inQueue[e.queue]++
 			inserted++
@@ -290,13 +318,13 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		// Select and issue: oldest-first among ready waiting entries.
 		var use isa.FUUse
 		issued := 0
-		for i := 0; i < len(ents) && issued < cfg.Caps.MaxIssue; i++ {
-			e := ents[i]
+		for i := 0; i < count && issued < cfg.Caps.MaxIssue; i++ {
+			e := entAt(base + uint64(i))
 			if e.state != stWaiting {
 				continue
 			}
 			ready := true
-			for _, dep := range e.deps {
+			for _, dep := range e.deps[:e.ndeps] {
 				if dep < base {
 					continue
 				}
@@ -310,7 +338,7 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 				// Conservative disambiguation: all older stores must have
 				// issued before a load may.
 				for j := 0; j < i; j++ {
-					if ents[j].d.IsStore && ents[j].state == stWaiting {
+					if ej := entAt(base + uint64(j)); ej.d.IsStore && ej.state == stWaiting {
 						ready = false
 						break
 					}
@@ -352,14 +380,14 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 				if !correct {
 					// Squash younger in-flight instructions and refetch.
 					cut := int(e.d.Seq - base + 1)
-					squashed := len(ents) - cut
-					for _, y := range ents[cut:] {
-						if y.state == stWaiting {
+					squashed := count - cut
+					for j := cut; j < count; j++ {
+						if y := entAt(base + uint64(j)); y.state == stWaiting {
 							inWindow--
 							inQueue[y.queue]--
 						}
 					}
-					ents = ents[:cut]
+					count = cut
 					if barrier != ^uint64(0) && barrier >= base+uint64(cut) {
 						barrier = ^uint64(0)
 					}
@@ -372,8 +400,8 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 			}
 		}
 		// Promote issued entries whose completion has arrived.
-		for _, e := range ents {
-			if e.state == stIssued && e.completion <= now+1 {
+		for k := 0; k < count; k++ {
+			if e := entAt(base + uint64(k)); e.state == stIssued && e.completion <= now+1 {
 				e.state = stDone
 			}
 		}
@@ -383,11 +411,12 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		// when the machine is empty.
 		if issued > 0 {
 			st.Cat[sim.StallExecution]++
-		} else if len(ents) == 0 {
+		} else if count == 0 {
 			st.Cat[sim.StallFrontEnd]++
 		} else {
 			cause := sim.StallFrontEnd
-			for _, e := range ents {
+			for k := 0; k < count; k++ {
+				e := entAt(base + uint64(k))
 				if e.state == stDone && e.completion <= now {
 					continue
 				}
@@ -402,7 +431,7 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 				default:
 					// Waiting on producers: find the slowest unfinished one.
 					cause = sim.StallOther
-					for _, dep := range e.deps {
+					for _, dep := range e.deps[:e.ndeps] {
 						if dep < base {
 							continue
 						}

@@ -46,7 +46,12 @@ func DefaultConfig() Config {
 // Machine is the runahead model.
 type Machine struct {
 	cfg Config
+	tr  *sim.Trace
 }
+
+// UseTrace implements sim.TraceUser: subsequent runs of the traced program
+// read the pre-decoded stream instead of re-interpreting it.
+func (m *Machine) UseTrace(tr *sim.Trace) { m.tr = tr }
 
 // New validates the configuration and returns the model.
 func New(cfg Config) (*Machine, error) {
@@ -88,8 +93,13 @@ type runState struct {
 	raInvalid  [isa.NumFlatRegs]bool
 	raVal      [isa.NumFlatRegs]isa.Word
 	raReady    [isa.NumFlatRegs]uint64
-	// Episode store buffer: exact (addr,size) keyed forwarding.
-	raStores map[uint64]raStore
+	// Episode store buffer: exact (addr,size) keyed forwarding. The buffer
+	// is append-only within an episode and resliced to zero on entry, and
+	// the bucket heads chain entries newest-first, so a lookup that stops at
+	// the first key match sees exactly the map-overwrite semantics the
+	// episode needs — without a per-episode map allocation.
+	raStoreBuf []raStoreEnt
+	raStoreIdx [raStoreBuckets]int32
 
 	st       sim.Stats
 	now      uint64
@@ -100,13 +110,38 @@ type runState struct {
 	regBuf   [4]isa.Reg
 }
 
-type raStore struct {
+const raStoreBuckets = 512
+
+type raStoreEnt struct {
+	key     uint64
 	val     isa.Word
 	invalid bool
+	prev    int32 // next-older entry in this bucket, -1 at chain end
 }
 
 func storeKey(addr uint32, size int) uint64 {
 	return uint64(addr)<<8 | uint64(size)
+}
+
+func storeBucket(key uint64) int {
+	return int(key * 0x9E3779B97F4A7C15 >> 55) // top 9 bits of a Fibonacci hash
+}
+
+// putStore records a runahead store, shadowing any older entry with the key.
+func (r *runState) putStore(key uint64, val isa.Word, invalid bool) {
+	b := storeBucket(key)
+	r.raStoreBuf = append(r.raStoreBuf, raStoreEnt{key: key, val: val, invalid: invalid, prev: r.raStoreIdx[b]})
+	r.raStoreIdx[b] = int32(len(r.raStoreBuf) - 1)
+}
+
+// getStore returns the newest runahead store with the key, if any.
+func (r *runState) getStore(key uint64) (raStoreEnt, bool) {
+	for i := r.raStoreIdx[storeBucket(key)]; i >= 0; i = r.raStoreBuf[i].prev {
+		if r.raStoreBuf[i].key == key {
+			return r.raStoreBuf[i], true
+		}
+	}
+	return raStoreEnt{}, false
 }
 
 // Run implements sim.Machine.
@@ -119,7 +154,7 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		pred: bpred.New(cfg.PredictorEntries),
 		own:  arch.NewState(image.Clone()),
 	}
-	r.stream = sim.NewStream(p, image.Clone(), cfg.MaxInsts)
+	r.stream = sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
 	r.fe = sim.NewFetchUnit(r.stream, r.hier, cfg.FetchWidth)
 
 	for !r.halted {
@@ -162,7 +197,10 @@ func (r *runState) enterEpisode(until uint64) {
 		r.raBit[i] = false
 		r.raInvalid[i] = false
 	}
-	r.raStores = make(map[uint64]raStore)
+	r.raStoreBuf = r.raStoreBuf[:0]
+	for i := range r.raStoreIdx {
+		r.raStoreIdx[i] = -1
+	}
 	r.st.Runahead.Episodes++
 }
 
@@ -462,7 +500,7 @@ func (r *runState) runaheadCycle() error {
 			}
 			use.Add(in.Op)
 			addr := abase.Uint32() + uint32(in.Imm)
-			r.raStores[storeKey(addr, in.Op.MemBytes())] = raStore{val: dval, invalid: !dv}
+			r.putStore(storeKey(addr, in.Op.MemBytes()), dval, !dv)
 			r.st.Runahead.PreExecuted++
 			slots++
 			r.peek++
@@ -495,7 +533,7 @@ func (r *runState) runaheadCycle() error {
 
 		if in.Op.IsLoad() {
 			addr := sval.Uint32() + uint32(in.Imm)
-			if st, hit := r.raStores[storeKey(addr, in.Op.MemBytes())]; hit {
+			if st, hit := r.getStore(storeKey(addr, in.Op.MemBytes())); hit {
 				if st.invalid {
 					r.poisonRA(in)
 				} else {

@@ -26,6 +26,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"multipass/internal/arch"
+	"multipass/internal/isa"
 	"multipass/internal/mem"
 	"multipass/internal/sim"
 	"multipass/internal/workload"
@@ -72,6 +74,13 @@ type Server struct {
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
+	// progs memoizes compiled programs and their pre-decoded traces, keyed
+	// by the job fields that determine the binary (workload, scale, compile
+	// options). A sweep then decodes each workload once and every model in
+	// the grid reads the same trace.
+	progMu sync.Mutex
+	progs  map[string]*builtProgram
+
 	latMu  sync.Mutex
 	lats   [latencyWindow]float64 // milliseconds, ring buffer
 	latLen int
@@ -85,6 +94,59 @@ type flight struct {
 	done chan struct{}
 	data []byte
 	err  error
+}
+
+// builtProgram is one memoized compilation: the binary, its initial image,
+// and the pre-decoded oracle trace (nil when the workload is too long to
+// trace, in which case runs fall back to the lazy interpreter).
+type builtProgram struct {
+	once  sync.Once
+	p     *isa.Program
+	image *arch.Memory
+	tr    *sim.Trace
+	err   error
+}
+
+// progCacheCap bounds the program memo; the whole map is dropped when full
+// (compilations are cheap relative to simulation, the memo exists to share
+// traces within a sweep).
+const progCacheCap = 64
+
+// traceLimit caps pre-decoded traces; longer workloads use the lazy path.
+const traceLimit = 1 << 22
+
+// program returns the memoized compilation for the spec's binary-identity
+// fields, compiling and tracing on first use.
+func (s *Server) program(spec JobSpec) (*isa.Program, *arch.Memory, *sim.Trace, error) {
+	key := fmt.Sprintf("%s|%d|%t|%t|%d", spec.Workload, spec.Scale, spec.Schedule, spec.InsertRestarts, spec.Unroll)
+	s.progMu.Lock()
+	if s.progs == nil || len(s.progs) >= progCacheCap {
+		s.progs = make(map[string]*builtProgram)
+	}
+	b, ok := s.progs[key]
+	if !ok {
+		b = &builtProgram{}
+		s.progs[key] = b
+	}
+	s.progMu.Unlock()
+
+	b.once.Do(func() {
+		w, ok := workload.ByName(spec.Workload)
+		if !ok {
+			b.err = fmt.Errorf("unknown workload %q", spec.Workload)
+			return
+		}
+		b.p, b.image, b.err = workload.Program(w, spec.Scale, spec.CompileOptions())
+		if b.err != nil {
+			return
+		}
+		// A failed trace is not an error: the run interprets lazily and
+		// reports the real fault, if any.
+		if tr, err := sim.BuildTrace(b.p, b.image, traceLimit); err == nil {
+			b.tr = tr
+		}
+	})
+	return b.p, b.image, b.tr, b.err
 }
 
 // New builds a Server.
@@ -168,21 +230,20 @@ func (s *Server) execute(ctx context.Context, spec JobSpec) ([]byte, error) {
 		s.observeLatency(time.Since(start))
 	}()
 
-	w, ok := workload.ByName(spec.Workload)
-	if !ok {
-		return nil, fmt.Errorf("unknown workload %q", spec.Workload)
-	}
 	hier, ok := mem.ConfigByName(spec.Hier)
 	if !ok {
 		return nil, fmt.Errorf("unknown hierarchy %q", spec.Hier)
 	}
-	p, image, err := workload.Program(w, spec.Scale, spec.CompileOptions())
+	p, image, tr, err := s.program(spec)
 	if err != nil {
 		return nil, err
 	}
 	m, err := sim.NewMachine(spec.Model, sim.ModelOptions{Hier: hier, MaxInsts: spec.MaxInsts})
 	if err != nil {
 		return nil, err
+	}
+	if tu, ok := m.(sim.TraceUser); ok {
+		tu.UseTrace(tr)
 	}
 	s.jobsExecuted.Add(1)
 	res, err := m.Run(ctx, p, image)

@@ -31,6 +31,10 @@ func (d *DynInst) Addr() uint32 { return isa.InstAddr(d.Index) }
 // Stream lazily interprets the program along its architectural path,
 // retaining a sliding window of dynamic instructions. Pipelines index it by
 // sequence number; Release discards entries below a given sequence.
+//
+// A stream built over a pre-decoded Trace (StreamFor) serves the same
+// interface straight out of the trace's flat slice: At is a bounds check and
+// an index, Release is a no-op, and nothing allocates.
 type Stream struct {
 	prog  *isa.Program
 	state *arch.State
@@ -38,6 +42,13 @@ type Stream struct {
 	win   []*DynInst
 	ended bool
 	limit uint64
+	// free recycles DynInst records released from the window, making the
+	// steady-state interpret loop allocation-free. A pointer returned by At
+	// is therefore valid only until its sequence is released.
+	free []*DynInst
+	// tr, when non-nil, backs the stream with a pre-decoded trace and the
+	// lazy fields above are unused.
+	tr *Trace
 }
 
 // NewStream starts interpretation over mem (which the stream owns and
@@ -50,8 +61,15 @@ func NewStream(p *isa.Program, m *arch.Memory, limit uint64) *Stream {
 // At returns the dynamic instruction at seq, interpreting forward as needed.
 // Requesting a sequence below the released window start panics (model bug).
 // Requesting at or beyond the halt returns nil. The returned pointer stays
-// valid even after Release (consumers may hold it across cycles).
+// valid until the sequence is released (consumers may hold it across cycles
+// while the sequence remains in flight).
 func (s *Stream) At(seq uint64) (*DynInst, error) {
+	if s.tr != nil {
+		if seq >= uint64(len(s.tr.insts)) {
+			return nil, nil
+		}
+		return &s.tr.insts[seq], nil
+	}
 	if seq < s.base {
 		panic(fmt.Sprintf("sim: stream access to released seq %d (base %d)", seq, s.base))
 	}
@@ -75,7 +93,14 @@ func (s *Stream) fetchOne() error {
 	if err != nil {
 		return err
 	}
-	d := &DynInst{
+	var d *DynInst
+	if n := len(s.free); n > 0 {
+		d = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		d = new(DynInst)
+	}
+	*d = DynInst{
 		Seq:      s.base + uint64(len(s.win)),
 		Index:    idx,
 		Inst:     &s.prog.Insts[idx],
@@ -95,9 +120,10 @@ func (s *Stream) fetchOne() error {
 	return nil
 }
 
-// Release discards window entries with sequence below seq.
+// Release discards window entries with sequence below seq, recycling their
+// records.
 func (s *Stream) Release(seq uint64) {
-	if seq <= s.base {
+	if s.tr != nil || seq <= s.base {
 		return
 	}
 	drop := seq - s.base
@@ -105,6 +131,7 @@ func (s *Stream) Release(seq uint64) {
 		drop = uint64(len(s.win))
 	}
 	s.base += drop
+	s.free = append(s.free, s.win[:drop]...)
 	// Copy down rather than reslicing so the window's backing array does
 	// not grow without bound.
 	n := copy(s.win, s.win[drop:])
@@ -116,12 +143,27 @@ func (s *Stream) Ended() bool { return s.ended }
 
 // EndSeq returns the sequence of the halt instruction; valid once a request
 // has reached it.
-func (s *Stream) EndSeq() uint64 { return s.base + uint64(len(s.win)) - 1 }
+func (s *Stream) EndSeq() uint64 {
+	if s.tr != nil {
+		return uint64(len(s.tr.insts)) - 1
+	}
+	return s.base + uint64(len(s.win)) - 1
+}
 
 // Retired returns how many instructions the oracle has interpreted.
-func (s *Stream) Retired() uint64 { return s.state.Retired }
+func (s *Stream) Retired() uint64 {
+	if s.tr != nil {
+		return uint64(len(s.tr.insts))
+	}
+	return s.state.Retired
+}
 
 // FinalState exposes the oracle's architectural state; meaningful once the
 // stream has ended. Timing models that do not simulate values (the
 // out-of-order models) report this as their final state.
-func (s *Stream) FinalState() *arch.State { return s.state }
+func (s *Stream) FinalState() *arch.State {
+	if s.tr != nil {
+		return s.tr.final
+	}
+	return s.state
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"fmt"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+)
+
+// Trace is a fully pre-decoded dynamic instruction stream: the oracle
+// interpreter's output for one (program, image) pair, flattened into a
+// contiguous slice, plus the final architectural state. A Trace is immutable
+// after construction and safe for concurrent use, so a sweep can decode each
+// workload once and share the result read-only across every model and
+// hierarchy instead of re-interpreting the program per run.
+type Trace struct {
+	prog  *isa.Program
+	insts []DynInst
+	final *arch.State
+}
+
+// BuildTrace interprets the program over a clone of image to completion and
+// returns the flattened stream. It fails if the program does not halt within
+// limit dynamic instructions. The image itself is not mutated.
+func BuildTrace(p *isa.Program, image *arch.Memory, limit uint64) (*Trace, error) {
+	st := arch.NewState(image.Clone())
+	tr := &Trace{prog: p}
+	for !st.Halted {
+		if st.Retired >= limit {
+			return nil, fmt.Errorf("sim: trace exceeds %d dynamic instructions", limit)
+		}
+		idx := st.PC
+		info, err := st.Step(p)
+		if err != nil {
+			return nil, err
+		}
+		tr.insts = append(tr.insts, DynInst{
+			Seq:      uint64(len(tr.insts)),
+			Index:    idx,
+			Inst:     &p.Insts[idx],
+			Squashed: info.Squashed,
+			IsLoad:   info.IsLoad,
+			IsStore:  info.IsStore,
+			MemAddr:  info.MemAddr,
+			IsBranch: info.IsBranch,
+			Taken:    info.Taken,
+			NextIdx:  info.NextPC,
+			Halt:     st.Halted,
+		})
+	}
+	tr.final = st
+	return tr, nil
+}
+
+// Prog returns the program the trace was decoded from.
+func (t *Trace) Prog() *isa.Program { return t.prog }
+
+// Len returns the dynamic instruction count, including the halt.
+func (t *Trace) Len() uint64 { return uint64(len(t.insts)) }
+
+// FinalState returns the architectural state at the halt. Callers must treat
+// it as read-only.
+func (t *Trace) FinalState() *arch.State { return t.final }
+
+// TraceUser is implemented by machines that can run from a pre-decoded
+// trace. UseTrace supplies a trace the machine may (but need not) consult on
+// subsequent Run calls; a trace built from a different program than the one
+// passed to Run is ignored.
+type TraceUser interface {
+	UseTrace(*Trace)
+}
+
+// StreamFor returns the stream for one run: a zero-allocation view over tr
+// when tr was decoded from p and fits within limit, otherwise a fresh lazy
+// interpreter over a clone of image.
+func StreamFor(p *isa.Program, image *arch.Memory, limit uint64, tr *Trace) *Stream {
+	if tr != nil && tr.prog == p && tr.Len() <= limit {
+		return &Stream{prog: p, tr: tr, ended: true}
+	}
+	return NewStream(p, image.Clone(), limit)
+}
