@@ -1,0 +1,127 @@
+// Command xcheck runs the cross-model differential checker: seeded random
+// EPIC programs through the architectural oracle and every timing model,
+// asserting functional equivalence and timing invariants.
+//
+//	xcheck -n 500 -seed 1
+//	xcheck -n 100 -models inorder,multipass -hier config2
+//	xcheck -n 200 -inject            # demonstrate bug detection + shrinking
+//
+// Failing programs are shrunk (unless -shrink=false) and written as
+// assemblable repros into the corpus directory; exit status is nonzero if
+// any seed fails.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+	"multipass/internal/xcheck"
+)
+
+func main() {
+	n := flag.Int("n", 100, "number of seeds to check")
+	seed0 := flag.Uint64("seed", 1, "first seed")
+	models := flag.String("models", "", "comma-separated model names (default: the five canonical models; 'all' for every registered model)")
+	hier := flag.String("hier", "base", "cache hierarchy: "+strings.Join(mem.ConfigNames(), " | "))
+	shrink := flag.Bool("shrink", true, "minimize failing programs before reporting")
+	corpus := flag.String("corpus", "internal/xcheck/testdata/corpus", "directory for failure repros")
+	inject := flag.Bool("inject", false, "also check the deliberately broken "+xcheck.BuggyModelName+" model (must fail)")
+	quiet := flag.Bool("q", false, "suppress per-progress output")
+	flag.Parse()
+
+	hc, ok := mem.ConfigByName(*hier)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "xcheck: unknown hierarchy %q (have %v)\n", *hier, mem.ConfigNames())
+		os.Exit(2)
+	}
+	opts := xcheck.Options{Hier: hc}
+	switch *models {
+	case "":
+	case "all":
+		opts.Models = sim.Names()
+	default:
+		opts.Models = strings.Split(*models, ",")
+	}
+	if *inject {
+		xcheck.RegisterBuggy(sim.DefaultRegistry)
+		if opts.Models == nil {
+			opts.Models = xcheck.CanonicalModels
+		}
+		opts.Models = append(append([]string(nil), opts.Models...), xcheck.BuggyModelName)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	progress := func(done int, rep *xcheck.Report) {
+		if *quiet {
+			return
+		}
+		if rep.Failed() {
+			fmt.Printf("seed %d: FAIL (%d failures)\n", rep.Seed, len(rep.Failures))
+		} else if done%100 == 0 {
+			fmt.Printf("%d/%d seeds ok\n", done, *n)
+		}
+	}
+	sum, err := xcheck.Run(ctx, *n, *seed0, opts, *shrink, progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	modelList := opts.Models
+	if modelList == nil {
+		modelList = xcheck.CanonicalModels
+	}
+	if len(sum.Failed) == 0 {
+		fmt.Printf("xcheck: %d seeds, %d models, zero divergences, zero invariant violations\n",
+			sum.Checked, len(modelList))
+		if *inject {
+			fmt.Fprintln(os.Stderr, "xcheck: -inject was set but the buggy model was not caught")
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, rep := range sum.Failed {
+		fmt.Printf("\nseed %d: %d issue groups after shrinking\n", rep.Seed, len(xcheck.Groups(rep.Program)))
+		for _, f := range rep.Failures {
+			fmt.Printf("  %s\n", f)
+		}
+		if err := os.MkdirAll(*corpus, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "xcheck: %v\n", err)
+			os.Exit(2)
+		}
+		path := filepath.Join(*corpus, fmt.Sprintf("seed%d.asm", rep.Seed))
+		if err := os.WriteFile(path, []byte(xcheck.ReproText(rep)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "xcheck: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("  repro: %s\n", path)
+	}
+	if *inject && onlyBuggyFailed(sum.Failed) {
+		fmt.Printf("\nxcheck: injected bug caught and shrunk as expected; real models clean\n")
+		return
+	}
+	os.Exit(1)
+}
+
+// onlyBuggyFailed reports whether every failure involves the injected model,
+// so -inject runs can distinguish "worked as intended" from a real bug.
+func onlyBuggyFailed(reports []*xcheck.Report) bool {
+	for _, rep := range reports {
+		for _, f := range rep.Failures {
+			if f.Model != xcheck.BuggyModelName {
+				return false
+			}
+		}
+	}
+	return true
+}

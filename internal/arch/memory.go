@@ -8,6 +8,7 @@ package arch
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"multipass/internal/isa"
 )
@@ -181,3 +182,50 @@ func (m *Memory) subsetOf(o *Memory) bool {
 // FootprintBytes returns the number of bytes in allocated pages, a coarse
 // measure of a workload's data footprint.
 func (m *Memory) FootprintBytes() int { return len(m.pages) * pageSize }
+
+// WordDiff is one differing aligned 32-bit word between two memories, for
+// divergence diagnostics.
+type WordDiff struct {
+	Addr uint32
+	A, B uint32
+}
+
+// DiffWords returns up to limit aligned words that differ between m and o, in
+// ascending address order. Unallocated pages compare as zero.
+func (m *Memory) DiffWords(o *Memory, limit int) []WordDiff {
+	pns := make(map[uint32]bool, len(m.pages)+len(o.pages))
+	for pn := range m.pages {
+		pns[pn] = true
+	}
+	for pn := range o.pages {
+		pns[pn] = true
+	}
+	sorted := make([]uint32, 0, len(pns))
+	for pn := range pns {
+		sorted = append(sorted, pn)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var out []WordDiff
+	var zero [pageSize]byte
+	for _, pn := range sorted {
+		a, b := m.pages[pn], o.pages[pn]
+		if a == nil {
+			a = &zero
+		}
+		if b == nil {
+			b = &zero
+		}
+		for off := 0; off < pageSize; off += 4 {
+			wa := binary.LittleEndian.Uint32(a[off:])
+			wb := binary.LittleEndian.Uint32(b[off:])
+			if wa != wb {
+				out = append(out, WordDiff{Addr: pn<<pageShift | uint32(off), A: wa, B: wb})
+				if len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

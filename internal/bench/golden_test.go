@@ -16,10 +16,18 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden stats files")
 
 // goldenModels x goldenKernels is the determinism matrix: every timing model
-// on one memory-bound kernel (mcf) and one compute-bound kernel (crafty).
+// on every kernel of the suite, so cycle-exactness is pinned suite-wide.
 var goldenModels = []ModelName{MInorder, MRunahead, MMultipass, MOOO, MOOORealistc}
 
-var goldenKernels = []string{"mcf", "crafty"}
+var goldenKernels = allKernelNames()
+
+func allKernelNames() []string {
+	var names []string
+	for _, w := range workload.All() {
+		names = append(names, w.Name)
+	}
+	return names
+}
 
 // goldenScale matches the repo-root benchScale so the goldens pin exactly the
 // runs the benchmarks measure.

@@ -228,6 +228,47 @@ func TestConfigVariants(t *testing.T) {
 	}
 }
 
+// TestConfigByName pins the name -> hierarchy lookup used by the HTTP layer
+// and cmd tools: every advertised name resolves to the expected latency
+// profile, and anything else (including case or whitespace variants) is
+// rejected with a zero config rather than silently falling back to base.
+func TestConfigByName(t *testing.T) {
+	cases := []struct {
+		name       string
+		ok         bool
+		memLatency int // checked only when ok
+	}{
+		{"base", true, 145},
+		{"config1", true, 200},
+		{"config2", true, 200},
+		{"", false, 0},
+		{"Base", false, 0},
+		{"CONFIG1", false, 0},
+		{"base ", false, 0},
+		{"config3", false, 0},
+		{"l2-only", false, 0},
+	}
+	for _, tc := range cases {
+		cfg, ok := ConfigByName(tc.name)
+		if ok != tc.ok {
+			t.Errorf("ConfigByName(%q) ok = %v, want %v", tc.name, ok, tc.ok)
+			continue
+		}
+		if tc.ok && cfg.MemLatency != tc.memLatency {
+			t.Errorf("ConfigByName(%q).MemLatency = %d, want %d", tc.name, cfg.MemLatency, tc.memLatency)
+		}
+		if !tc.ok && cfg != (HierConfig{}) {
+			t.Errorf("ConfigByName(%q) returned non-zero config %+v for unknown name", tc.name, cfg)
+		}
+	}
+	// Every name ConfigNames advertises must resolve.
+	for _, name := range ConfigNames() {
+		if _, ok := ConfigByName(name); !ok {
+			t.Errorf("advertised hierarchy %q does not resolve", name)
+		}
+	}
+}
+
 func TestWritebackCounting(t *testing.T) {
 	h := MustNewHierarchy(BaseConfig())
 	// Dirty a line, then evict it from L1 by filling its set (4-way, set

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRunErrorMapping pins how /v1/run maps registry lookup failures into
+// HTTP errors: unknown models and hierarchies are rejected at normalization
+// with 400, and the error body names the bad value and points at where the
+// valid ones are listed — so a client never has to guess which field was
+// wrong or what the legal values are.
+func TestRunErrorMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		req  RunRequest
+		// every substring must appear in the error body
+		want []string
+	}{
+		{
+			"unknown model quotes name and hints /v1/models",
+			RunRequest{Workload: "mcf", Model: "oooo"},
+			[]string{`unknown model "oooo"`, "/v1/models"},
+		},
+		{
+			"model name is case sensitive",
+			RunRequest{Workload: "mcf", Model: "Inorder"},
+			[]string{`unknown model "Inorder"`, "/v1/models"},
+		},
+		{
+			"unknown hierarchy quotes name and lists valid ones",
+			RunRequest{Workload: "mcf", Model: "inorder", Hier: "config9"},
+			[]string{`unknown hierarchy "config9"`, "base", "config1", "config2"},
+		},
+		{
+			"hierarchy name is case sensitive",
+			RunRequest{Workload: "mcf", Model: "inorder", Hier: "Base"},
+			[]string{`unknown hierarchy "Base"`, "base", "config1", "config2"},
+		},
+		{
+			"model checked before hierarchy",
+			RunRequest{Workload: "mcf", Model: "nope", Hier: "also-nope"},
+			[]string{`unknown model "nope"`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+"/v1/run", tc.req)
+			body := readBody(t, resp)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, body %s, want 400", resp.StatusCode, body)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("error body %s is not an ErrorResponse: %v", body, err)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(er.Error, want) {
+					t.Errorf("error %q missing %q", er.Error, want)
+				}
+			}
+		})
+	}
+}

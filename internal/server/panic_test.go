@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/sim"
+)
+
+// panicModelName is a deliberately broken model registered only by these
+// tests: it panics mid-Run, the way an internal consistency guard (for
+// example the result-store collision check) would.
+const panicModelName = "test-panic-model"
+
+var registerPanicModel = sync.OnceFunc(func() {
+	sim.Register(panicModelName, func(opts sim.ModelOptions) (sim.Machine, error) {
+		return panicMachine{}, nil
+	})
+})
+
+type panicMachine struct{}
+
+func (panicMachine) Name() string { return panicModelName }
+
+func (panicMachine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+	panic("resultStore: collision guard tripped (injected)")
+}
+
+// TestRunModelPanicFailsJob: a panicking model fails the /v1/run job with
+// the panic message; the server keeps serving and counts the failure.
+func TestRunModelPanicFailsJob(t *testing.T) {
+	registerPanicModel()
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "crafty", Model: panicModelName})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want %d", resp.StatusCode, http.StatusInternalServerError)
+	}
+	body := string(readBody(t, resp))
+	if !strings.Contains(body, "panicked") || !strings.Contains(body, "collision guard") {
+		t.Errorf("error body %q does not report the panic", body)
+	}
+
+	st := getStats(t, ts.URL)
+	if st.JobsFailed == 0 {
+		t.Errorf("jobs_failed = 0 after a panicked job")
+	}
+
+	// The worker slot must have been released: a healthy job still runs.
+	resp2 := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "crafty", Model: "inorder"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthy job after panic: status %d", resp2.StatusCode)
+	}
+	readBody(t, resp2)
+}
+
+// TestSweepModelPanicFailsOnlyThatJob: in a sweep, the panicking model's
+// cells report failed while the healthy model's cells complete — the panic
+// does not kill the sweep goroutines or the process.
+func TestSweepModelPanicFailsOnlyThatJob(t *testing.T) {
+	registerPanicModel()
+	_, ts := newTestServer(t, Config{Workers: 4})
+
+	resp := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Workloads: []string{"crafty"},
+		Models:    []string{"inorder", panicModelName},
+		Hiers:     []string{"base"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(readBody(t, resp), &sr); err != nil {
+		t.Fatal(err)
+	}
+
+	if sr.Summary.Total != 2 || sr.Summary.Failed != 1 {
+		t.Fatalf("summary %+v, want total 2 with 1 failed", sr.Summary)
+	}
+	for _, job := range sr.Jobs {
+		switch job.Job.Model {
+		case panicModelName:
+			if job.Status != JobFailed || !strings.Contains(job.Error, "panicked") {
+				t.Errorf("panic job = %+v, want failed with panic message", job)
+			}
+		case "inorder":
+			if job.Status != JobDone && job.Status != JobCached {
+				t.Errorf("healthy job status = %q", job.Status)
+			}
+		}
+	}
+}

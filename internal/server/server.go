@@ -246,12 +246,27 @@ func (s *Server) execute(ctx context.Context, spec JobSpec) ([]byte, error) {
 		tu.UseTrace(tr)
 	}
 	s.jobsExecuted.Add(1)
-	res, err := m.Run(ctx, p, image)
+	res, err := runModel(ctx, m, p, image)
 	if err != nil {
 		s.jobsFailed.Add(1)
 		return nil, err
 	}
 	return json.Marshal(RunResponse{SchemaVersion: APISchemaVersion, Job: spec, Stats: res.Stats})
+}
+
+// runModel executes the model under a panic guard: a model bug (for example
+// an internal consistency check firing mid-run) fails the one job with a
+// descriptive error instead of killing the process. This matters doubly for
+// sweeps, whose jobs run on bare goroutines — an unrecovered panic there
+// would take down the whole server.
+func runModel(ctx context.Context, m sim.Machine, p *isa.Program, image *arch.Memory) (res *sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("model %s panicked: %v", m.Name(), r)
+		}
+	}()
+	return m.Run(ctx, p, image)
 }
 
 // runCached returns the canonical response bytes for spec: from the result

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"context"
+	"fmt"
+	"strings"
 	"testing"
 
 	"multipass/internal/arch"
@@ -48,6 +50,48 @@ func TestRegistryBasics(t *testing.T) {
 	}
 	if _, err := r.New("gamma", ModelOptions{}); err == nil {
 		t.Error("unknown model accepted")
+	}
+}
+
+// TestRegistryUnknownModelErrors pins the error contract of Registry.New for
+// every flavor of bad name: the error must quote the requested name and list
+// the registered models, so callers (the HTTP layer, cmd/mpsim, xcheck) can
+// surface an actionable message without re-querying the registry.
+func TestRegistryUnknownModelErrors(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"alpha", "beta"} {
+		name := name
+		r.Register(name, func(opts ModelOptions) (Machine, error) {
+			return &fakeMachine{name}, nil
+		})
+	}
+	cases := []struct {
+		name  string
+		model string
+	}{
+		{"misspelled", "alhpa"},
+		{"case mismatch", "Alpha"},
+		{"empty", ""},
+		{"whitespace", " alpha"},
+		{"near miss suffix", "alpha2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := r.New(tc.model, ModelOptions{Hier: mem.BaseConfig()})
+			if err == nil {
+				t.Fatalf("New(%q) succeeded with %v", tc.model, m.Name())
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, fmt.Sprintf("%q", tc.model)) {
+				t.Errorf("error %q does not quote the requested name", msg)
+			}
+			if !strings.Contains(msg, "alpha") || !strings.Contains(msg, "beta") {
+				t.Errorf("error %q does not list registered models", msg)
+			}
+			if _, ok := r.Lookup(tc.model); ok {
+				t.Errorf("Lookup(%q) = ok for unregistered name", tc.model)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"fmt"
+
+	"multipass/internal/arch"
+)
+
+// Snapshot is the model-independent architectural outcome of a run: the
+// final register file (values and NaT bits), the final memory image, and the
+// retired-instruction count. Two machines simulating the same program are
+// functionally equivalent exactly when their snapshots are Equal; timing is
+// deliberately excluded.
+type Snapshot struct {
+	RF      *arch.RegFile
+	Mem     *arch.Memory
+	Retired uint64
+}
+
+// Snapshot returns the architectural outcome of the run. The snapshot
+// aliases the result's state; callers that mutate it should Clone first.
+func (r *Result) Snapshot() *Snapshot {
+	return &Snapshot{RF: r.RF, Mem: r.Mem, Retired: r.Stats.Retired}
+}
+
+// Equal reports whether two runs produced byte-identical architectural
+// outcomes: every register value and NaT bit, every touched memory page, and
+// the retired-instruction count.
+func (s *Snapshot) Equal(o *Snapshot) bool {
+	return s.Retired == o.Retired && s.RF.Equal(o.RF) && s.Mem.Equal(o.Mem)
+}
+
+// Diff describes how s differs from o in at most limit lines, for divergence
+// reports. Lines are of the form "r5: 0x1 vs 0x2", "mem[0x1000]: ...", or
+// "retired: 10 vs 12". An empty slice means the snapshots are Equal.
+func (s *Snapshot) Diff(o *Snapshot, limit int) []string {
+	var out []string
+	if s.Retired != o.Retired {
+		out = append(out, fmt.Sprintf("retired: %d vs %d", s.Retired, o.Retired))
+	}
+	for _, r := range s.RF.Diff(o.RF) {
+		if len(out) >= limit {
+			return out
+		}
+		out = append(out, fmt.Sprintf("%s: %#x vs %#x (nat %v vs %v)",
+			r, uint64(s.RF.Read(r)), uint64(o.RF.Read(r)), s.RF.ReadNaT(r), o.RF.ReadNaT(r)))
+	}
+	if len(out) >= limit {
+		return out
+	}
+	for _, d := range s.Mem.DiffWords(o.Mem, limit-len(out)) {
+		out = append(out, fmt.Sprintf("mem[%#x]: %#x vs %#x", d.Addr, d.A, d.B))
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package xcheck
+
+import (
+	"context"
+	"fmt"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/sim"
+)
+
+// BuggyModelName is the registry name of the deliberately broken model used
+// to demonstrate (in tests and via cmd/xcheck -inject) that the checker
+// catches real model bugs and shrinks them to small repros.
+const BuggyModelName = "buggy-predstore"
+
+// RegisterBuggy adds the deliberately broken model to r. The bug is the
+// classic predication mistake: the machine treats every predicated store as
+// squashed, dropping its memory effect whenever the qualifying predicate is
+// actually true — exactly the class of bug a rally-pass or store-buffer
+// defect would produce.
+func RegisterBuggy(r *sim.Registry) {
+	r.Register(BuggyModelName, func(opts sim.ModelOptions) (sim.Machine, error) {
+		maxInsts := opts.MaxInsts
+		if maxInsts == 0 {
+			maxInsts = sim.Default().MaxInsts
+		}
+		return &buggyMachine{maxInsts: maxInsts}, nil
+	})
+}
+
+// buggyMachine executes architecturally (no timing) but first rewrites every
+// predicated store into a nop, so its final memory image is wrong whenever a
+// predicated store should have retired.
+type buggyMachine struct {
+	maxInsts uint64
+}
+
+func (m *buggyMachine) Name() string { return BuggyModelName }
+
+func (m *buggyMachine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q := &isa.Program{Insts: append([]isa.Inst(nil), p.Insts...), Symbols: p.Symbols}
+	for i := range q.Insts {
+		in := &q.Insts[i]
+		if in.Op.IsStore() && in.QP != isa.P0 {
+			*in = isa.Inst{Op: isa.OpNop, QP: in.QP, Stop: in.Stop, Target: -1}
+		}
+	}
+	res, err := arch.Run(q, image.Clone(), m.maxInsts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", BuggyModelName, err)
+	}
+	var st sim.Stats
+	st.Retired = res.State.Retired
+	st.Cycles = res.State.Retired // 1 IPC placeholder; timing is not the point
+	st.Cat[sim.StallExecution] = st.Cycles
+	return &sim.Result{Stats: st, RF: res.State.RF, Mem: res.State.Mem}, nil
+}

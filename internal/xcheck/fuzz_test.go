@@ -1,0 +1,39 @@
+package xcheck
+
+import (
+	"context"
+	"testing"
+
+	"multipass/internal/xcheck/progen"
+)
+
+// FuzzCrossModel drives the differential checker from the native fuzzer:
+// each input is a generator seed, and any architectural divergence or
+// invariant violation between the oracle and the five models fails the run
+// with an assemblable repro. Without -fuzz this replays the seed corpus
+// below, keeping `go test` fast; with -fuzz it explores seeds indefinitely:
+//
+//	go test ./internal/xcheck -fuzz=FuzzCrossModel -fuzztime=2m
+func FuzzCrossModel(f *testing.F) {
+	for _, seed := range []uint64{1, 7, 42, 1337, 99991} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		// Smaller programs than the default template: fuzzing throughput
+		// matters more than per-program coverage here.
+		opts := Options{Gen: progen.Options{
+			Segments:   5,
+			MaxTrip:    6,
+			ChainNodes: 24,
+			Compile:    seed%3 == 2,
+		}}
+		rep, err := CheckSeed(context.Background(), seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			rep = ShrinkReport(context.Background(), rep, opts)
+			t.Fatalf("seed %d diverged:\n%s", seed, ReproText(rep))
+		}
+	})
+}

@@ -1,0 +1,541 @@
+// Package progen generates random, valid, terminating EPIC programs for
+// cross-model differential checking.
+//
+// Every generated program is self-contained: it starts from an empty memory
+// image and a reset register file, initializes its own data (including a
+// shuffled pointer chain whose hops miss the caches), runs a random body of
+// stop-bit issue groups, and halts. Termination is guaranteed by
+// construction — the only backward branches are counted loops over dedicated
+// counter registers, and every other branch is forward — so the architectural
+// oracle always reaches the halt within a bounded dynamic instruction count.
+//
+// The generator is biased toward the hazards the timing models historically
+// disagree on: chained cache misses (pointer chases), store-to-load
+// forwarding over a small set of hot addresses, predicate-squashed memory
+// operations, long independent tails after a missing load (advance-window
+// wraparound), and RESTART consumers of chase loads.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"multipass/internal/compile"
+	"multipass/internal/isa"
+	"multipass/internal/prog"
+)
+
+// Register conventions. The generator partitions the register files so the
+// random body can never corrupt loop control or region bases:
+//
+//	r1..r15    general integer pool (random destinations and sources)
+//	r20..r23   region base registers, written only in the prologue
+//	r24..r27   loop counters, written only by loop control
+//	r28        pointer-chase cursor
+//	r29, r30   scratch (prologue and masked wild addresses)
+//	f1..f8     general FP pool
+//	p1..p4     random compare results (also used as qualifying predicates)
+//	p5, p6     loop-control predicates
+var (
+	genInts  = poolInts(1, 15)
+	genFPs   = poolFPs(1, 8)
+	genPreds = []isa.Reg{isa.PredReg(1), isa.PredReg(2), isa.PredReg(3), isa.PredReg(4)}
+
+	baseRegs = []isa.Reg{isa.IntReg(20), isa.IntReg(21), isa.IntReg(22), isa.IntReg(23)}
+	loopRegs = []isa.Reg{isa.IntReg(24), isa.IntReg(25), isa.IntReg(26), isa.IntReg(27)}
+	chasePtr = isa.IntReg(28)
+	scratchA = isa.IntReg(29)
+	scratchB = isa.IntReg(30)
+	loopPT   = isa.PredReg(5)
+	loopPF   = isa.PredReg(6)
+)
+
+func poolInts(lo, hi int) []isa.Reg {
+	var out []isa.Reg
+	for i := lo; i <= hi; i++ {
+		out = append(out, isa.IntReg(i))
+	}
+	return out
+}
+
+func poolFPs(lo, hi int) []isa.Reg {
+	var out []isa.Reg
+	for i := lo; i <= hi; i++ {
+		out = append(out, isa.FPReg(i))
+	}
+	return out
+}
+
+// Memory layout: four disjoint regions, 64 KiB each. Region 0 holds the
+// pointer chain; regions 1..3 are scratch data the body loads and stores.
+const (
+	regionBytes = 1 << 16
+	region0     = 0x0100_0000
+)
+
+var regionBases = []int32{region0, 0x0200_0000, 0x0300_0000, 0x0400_0000}
+
+// Options shapes one generated program.
+type Options struct {
+	// Segments is the number of body segments (straight-line runs, forward
+	// skips, counted loops). Zero means a default of 8.
+	Segments int
+	// MaxTrip bounds counted-loop trip counts. Zero means 10.
+	MaxTrip int
+	// ChainNodes is the pointer-chain length built in the prologue. Zero
+	// means 40. The chain is shuffled across region 0 so hops miss.
+	ChainNodes int
+	// Compile, when true, runs the generated unit through the paper-standard
+	// compiler (list scheduling, RESTART insertion) instead of emitting raw
+	// random stop bits. Both paths produce valid scheduled programs; the
+	// compiled path additionally exercises the scheduler's regrouping.
+	Compile bool
+	// Seed selects the program. Equal Options generate identical programs.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Segments == 0 {
+		o.Segments = 8
+	}
+	if o.MaxTrip == 0 {
+		o.MaxTrip = 10
+	}
+	if o.ChainNodes == 0 {
+		o.ChainNodes = 40
+	}
+	return o
+}
+
+// ForSeed returns the standard checking options for one seed: moderate size,
+// and every third program additionally list-scheduled by the compiler.
+func ForSeed(seed uint64) Options {
+	return Options{Seed: seed, Compile: seed%3 == 2}
+}
+
+// Generate builds a random program from the options. The program runs over an
+// empty memory image (it initializes its own data) and always halts.
+func Generate(opts Options) (*isa.Program, error) {
+	opts = opts.withDefaults()
+	g := &gen{
+		rng:         rand.New(rand.NewSource(int64(opts.Seed))),
+		opts:        opts,
+		unit:        prog.NewUnit(),
+		predReady:   make(map[isa.Reg]bool),
+		counterBusy: make(map[isa.Reg]bool),
+	}
+	g.emit()
+	if opts.Compile {
+		copts := compile.DefaultOptions()
+		copts.Unroll = 0 // keep every register's final value comparable
+		p, _, err := compile.Compile(g.unit, copts)
+		if err != nil {
+			return nil, fmt.Errorf("progen: seed %d: %w", opts.Seed, err)
+		}
+		return p, nil
+	}
+	g.scatterStops()
+	p, err := g.unit.Link()
+	if err != nil {
+		return nil, fmt.Errorf("progen: seed %d: %w", opts.Seed, err)
+	}
+	return p, nil
+}
+
+// MustGenerate is Generate for known-good options; it panics on error.
+func MustGenerate(opts Options) *isa.Program {
+	p, err := Generate(opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type gen struct {
+	rng    *rand.Rand
+	opts   Options
+	unit   *prog.Unit
+	labels int
+	// hotOffs are per-region offsets shared by stores and loads so
+	// store-to-load forwarding and memory aliasing actually happen.
+	hotOffs [4][]int32
+	// predReady marks predicate registers written at least once; qualifying
+	// predicates are only drawn from these (an unwritten predicate reads
+	// zero and squashes everything, which is legal but boring).
+	predReady map[isa.Reg]bool
+	loopDepth int
+	loopNext  int
+	// counterBusy marks loop counters owned by an enclosing (still-open)
+	// loop; a nested loop must not reuse one, or it would reset the outer
+	// trip count every iteration and spin forever.
+	counterBusy map[isa.Reg]bool
+}
+
+// allocCounter hands out a loop counter register no enclosing loop is using,
+// cycling through the pool for variety. Loop nesting is bounded well below
+// the pool size, so a free counter always exists.
+func (g *gen) allocCounter() isa.Reg {
+	for i := 0; i < len(loopRegs); i++ {
+		r := loopRegs[(g.loopNext+i)%len(loopRegs)]
+		if !g.counterBusy[r] {
+			g.loopNext = (g.loopNext + i + 1) % len(loopRegs)
+			g.counterBusy[r] = true
+			return r
+		}
+	}
+	panic("progen: loop counters exhausted")
+}
+
+func (g *gen) label(prefix string) string {
+	g.labels++
+	return fmt.Sprintf("%s%d", prefix, g.labels)
+}
+
+func (g *gen) emit() {
+	for r := range g.hotOffs {
+		n := 3 + g.rng.Intn(4)
+		for i := 0; i < n; i++ {
+			g.hotOffs[r] = append(g.hotOffs[r], int32(4*g.rng.Intn(regionBytes/8)))
+		}
+	}
+
+	b := g.unit.NewBlock("entry")
+	g.prologue(b)
+	for i := 0; i < g.opts.Segments; i++ {
+		b = g.segment(b)
+	}
+	fin := g.unit.NewBlock("fin")
+	// Fold an FP value through the integer file so FP-only divergence also
+	// perturbs integer state (and cvt.fi sees arbitrary values).
+	fin.Emit(isa.Inst{Op: isa.OpCvtFI, Dst: scratchA, Src1: g.pick(genFPs)}, "")
+	fin.Halt()
+}
+
+// prologue seeds registers and memory. Everything is done with architectural
+// instructions, so a program is reproducible from its assembly text alone.
+func (g *gen) prologue(b *prog.Block) {
+	for i, r := range baseRegs {
+		b.MovI(r, regionBases[i])
+	}
+	for _, r := range genInts {
+		b.MovI(r, int32(g.rng.Uint32()))
+	}
+	// FP pool: converted from random ints, then divided pairwise so the
+	// values are not all integral.
+	for i, f := range genFPs {
+		b.MovI(scratchA, int32(g.rng.Intn(2048)-1024))
+		b.Emit(isa.Inst{Op: isa.OpCvtIF, Dst: f, Src1: scratchA}, "")
+		if i > 0 {
+			b.Op3(isa.OpFDiv, f, f, genFPs[i-1])
+		}
+	}
+	// Give every random predicate a defined value.
+	for i, p := range genPreds {
+		alt := genPreds[(i+1)%len(genPreds)]
+		b.CmpI(isa.OpCmpLtI, p, alt, g.pick(genInts), g.rng.Int31())
+		g.predReady[p] = true
+		g.predReady[alt] = true
+	}
+
+	// Shuffled pointer chain across region 0: node k at region0 + perm[k]*64,
+	// payload word at +4. The shuffle makes successive hops jump across the
+	// whole region, so chase loads miss all the way out.
+	nodes := g.opts.ChainNodes
+	const stride = 64
+	perm := g.rng.Perm(nodes)
+	addrOf := func(k int) int32 { return region0 + int32(perm[k])*stride }
+	for k := 0; k < nodes; k++ {
+		b.MovI(scratchA, addrOf(k))
+		b.MovI(scratchB, addrOf((k+1)%nodes))
+		b.Store(isa.OpSt4, scratchA, 0, scratchB)
+		b.MovI(scratchB, int32(g.rng.Uint32()))
+		b.Store(isa.OpSt4, scratchA, 4, scratchB)
+	}
+	b.MovI(chasePtr, addrOf(0))
+
+	// Seed the hot offsets of the scratch regions.
+	for r := 1; r < len(baseRegs); r++ {
+		for _, off := range g.hotOffs[r] {
+			b.MovI(scratchA, int32(g.rng.Uint32()))
+			b.Store(isa.OpSt4, baseRegs[r], off, scratchA)
+		}
+	}
+}
+
+// segment appends one random body segment and returns the block new code
+// should continue in.
+func (g *gen) segment(b *prog.Block) *prog.Block {
+	switch k := g.rng.Intn(10); {
+	case k < 4:
+		g.straight(b, 4+g.rng.Intn(10))
+		return b
+	case k < 7:
+		return g.skip(b)
+	default:
+		return g.loop(b)
+	}
+}
+
+// straight emits n random instructions into the current block.
+func (g *gen) straight(b *prog.Block, n int) {
+	for i := 0; i < n; i++ {
+		g.randomInst(b)
+	}
+}
+
+// skip emits a data-dependent forward branch over a short run of
+// instructions — biased toward memory operations, some predicate-squashed —
+// and returns the join block. Both arms rejoin, so the branch direction is
+// free to depend on loaded data without threatening termination.
+func (g *gen) skip(b *prog.Block) *prog.Block {
+	join := g.label("join")
+	p := g.pick(genPreds)
+	alt := g.altPred(p)
+	b.Cmp(g.pickCmp(), p, alt, g.pick(genInts), g.pick(genInts))
+	b.Br(p, join)
+
+	skipped := g.unit.NewBlock(g.label("skip"))
+	for i, n := 0, 2+g.rng.Intn(6); i < n; i++ {
+		if g.rng.Intn(2) == 0 {
+			g.memInst(skipped)
+		} else {
+			g.randomInst(skipped)
+		}
+	}
+	jb := g.unit.NewBlock(join)
+	return jb
+}
+
+// loop emits a counted loop. The trip count is a program constant and the
+// counter register is dedicated, so the loop terminates no matter what the
+// random body computes. At most two loops nest (outer x inner trip counts
+// bound the dynamic length).
+func (g *gen) loop(b *prog.Block) *prog.Block {
+	counter := g.allocCounter()
+	trip := 2 + g.rng.Intn(g.opts.MaxTrip-1)
+	head := g.label("loop")
+
+	b.MovI(counter, int32(trip))
+	if g.rng.Intn(3) == 0 {
+		// Re-aim the chase cursor at the chain head so a chase inside the
+		// loop re-walks the (now cached or evicted) chain.
+		b.MovI(chasePtr, region0+int32(g.rng.Intn(g.opts.ChainNodes))*64)
+	}
+
+	body := g.unit.NewBlock(head)
+	g.loopDepth++
+	n := 3 + g.rng.Intn(8)
+	for i := 0; i < n; i++ {
+		switch {
+		case g.loopDepth < 2 && g.rng.Intn(12) == 0:
+			// Nested counted loop; continue the outer body afterwards.
+			body = g.loop(body)
+		case g.rng.Intn(4) == 0:
+			g.chaseStep(body)
+		default:
+			g.randomInst(body)
+		}
+	}
+	g.loopDepth--
+
+	body.OpI(isa.OpSubI, counter, counter, 1)
+	body.CmpI(isa.OpCmpNeI, loopPT, loopPF, counter, 0)
+	body.Br(loopPT, head)
+	g.counterBusy[counter] = false
+	return g.unit.NewBlock(g.label("after"))
+}
+
+// chaseStep advances the pointer chase: a dependent load feeding its own next
+// address, the paper's worst-case miss chain. Sometimes a RESTART consumer
+// and a payload load ride along, as the compiler would emit for a load in a
+// dataflow SCC.
+func (g *gen) chaseStep(b *prog.Block) {
+	b.Load(isa.OpLd4, chasePtr, chasePtr, 0)
+	if g.rng.Intn(2) == 0 {
+		b.Restart(chasePtr)
+	}
+	if g.rng.Intn(2) == 0 {
+		b.Load(isa.OpLd4, g.pick(genInts), chasePtr, 4)
+	}
+}
+
+// memInst emits one memory operation, usually on a hot offset so stores and
+// loads alias, and sometimes predicate-squashed.
+func (g *gen) memInst(b *prog.Block) {
+	region := g.rng.Intn(len(baseRegs))
+	base := baseRegs[region]
+	var off int32
+	if g.rng.Intn(4) != 0 {
+		off = g.hotOffs[region][g.rng.Intn(len(g.hotOffs[region]))]
+	} else {
+		off = int32(g.rng.Intn(regionBytes - 8))
+	}
+	qp := g.qualPred()
+
+	var in *isa.Inst
+	switch g.rng.Intn(8) {
+	case 0:
+		in = b.Load(isa.OpLd1, g.pick(genInts), base, off)
+	case 1:
+		in = b.Load(isa.OpLd2, g.pick(genInts), base, off)
+	case 2, 3:
+		in = b.Load(isa.OpLd4, g.pick(genInts), base, off)
+	case 4:
+		in = b.Emit(isa.Inst{Op: isa.OpLdF, Dst: g.pick(genFPs), Src1: base, Imm: off}, "")
+	case 5:
+		in = b.Store(isa.OpSt1, base, off, g.pick(genInts))
+	case 6:
+		in = b.Store(isa.OpSt4, base, off, g.pick(genInts))
+	default:
+		in = b.Emit(isa.Inst{Op: isa.OpStF, Src1: base, Src2: g.pick(genFPs), Imm: off}, "")
+	}
+	in.QP = qp
+}
+
+// randomInst emits one random instruction of any category.
+func (g *gen) randomInst(b *prog.Block) {
+	qp := g.qualPred()
+	var in *isa.Inst
+	switch g.rng.Intn(20) {
+	case 0, 1, 2, 3:
+		ops := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSar}
+		in = b.Op3(ops[g.rng.Intn(len(ops))], g.pick(genInts), g.pickIntSrc(), g.pickIntSrc())
+	case 4, 5, 6:
+		ops := []isa.Op{isa.OpAddI, isa.OpSubI, isa.OpAndI, isa.OpOrI, isa.OpXorI, isa.OpShlI, isa.OpShrI, isa.OpSarI}
+		in = b.OpI(ops[g.rng.Intn(len(ops))], g.pick(genInts), g.pickIntSrc(), int32(g.rng.Uint32()))
+	case 7:
+		in = b.MovI(g.pick(genInts), int32(g.rng.Uint32()))
+	case 8:
+		p := g.pick(genPreds)
+		in = b.Cmp(g.pickCmp(), p, g.altPred(p), g.pickIntSrc(), g.pickIntSrc())
+	case 9:
+		ops := []isa.Op{isa.OpMul, isa.OpDiv, isa.OpRem}
+		in = b.Op3(ops[g.rng.Intn(len(ops))], g.pick(genInts), g.pickIntSrc(), g.pickIntSrc())
+	case 10, 11:
+		ops := []isa.Op{isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv}
+		in = b.Op3(ops[g.rng.Intn(len(ops))], g.pick(genFPs), g.pick(genFPs), g.pick(genFPs))
+	case 12:
+		if g.rng.Intn(2) == 0 {
+			in = b.Emit(isa.Inst{Op: isa.OpCvtIF, Dst: g.pick(genFPs), Src1: g.pickIntSrc()}, "")
+		} else {
+			in = b.Emit(isa.Inst{Op: isa.OpCvtFI, Dst: g.pick(genInts), Src1: g.pick(genFPs)}, "")
+		}
+	case 13:
+		p := g.pick(genPreds)
+		fops := []isa.Op{isa.OpFCmpEq, isa.OpFCmpLt, isa.OpFCmpLe}
+		in = b.Emit(isa.Inst{
+			Op: fops[g.rng.Intn(len(fops))], Dst: p, Dst2: g.altPred(p),
+			Src1: g.pick(genFPs), Src2: g.pick(genFPs),
+		}, "")
+	case 14:
+		// Masked wild store: bound an arbitrary register value into a 1 MiB
+		// window so random addresses stay cheap to clone and compare.
+		b.OpI(isa.OpAndI, scratchB, g.pick(genInts), 0x000F_FFFC)
+		in = b.Store(isa.OpSt4, scratchB, int32(4*g.rng.Intn(16)), g.pick(genInts))
+	case 15:
+		g.chaseStep(b)
+		return
+	case 16:
+		in = b.Restart(g.pick(genInts))
+	case 17:
+		in = b.Nop()
+	default:
+		g.memInst(b)
+		return
+	}
+	in.QP = qp
+}
+
+// qualPred picks a qualifying predicate: p0 usually, a data-dependent
+// predicate often enough that squashed instructions are common.
+func (g *gen) qualPred() isa.Reg {
+	if g.rng.Intn(10) < 7 {
+		return isa.P0
+	}
+	return g.pick(genPreds)
+}
+
+// pickIntSrc picks an integer source: the general pool usually, occasionally
+// a region base or the chase cursor so address values flow into computation.
+func (g *gen) pickIntSrc() isa.Reg {
+	switch g.rng.Intn(12) {
+	case 0:
+		return g.pick(baseRegs)
+	case 1:
+		return chasePtr
+	default:
+		return g.pick(genInts)
+	}
+}
+
+func (g *gen) pick(pool []isa.Reg) isa.Reg {
+	return pool[g.rng.Intn(len(pool))]
+}
+
+func (g *gen) altPred(p isa.Reg) isa.Reg {
+	for {
+		if q := g.pick(genPreds); q != p {
+			return q
+		}
+	}
+}
+
+func (g *gen) pickCmp() isa.Op {
+	ops := []isa.Op{isa.OpCmpEq, isa.OpCmpNe, isa.OpCmpLt, isa.OpCmpLe, isa.OpCmpLtU, isa.OpCmpLeU}
+	return ops[g.rng.Intn(len(ops))]
+}
+
+// scatterStops assigns random stop bits: every branch and block end closes an
+// issue group, and interior instructions close one with probability ~1/3.
+// Any placement is architecturally valid — groups execute sequentially — but
+// placement shapes how the models form issue groups.
+func (g *gen) scatterStops() {
+	for _, b := range g.unit.Blocks {
+		for i := range b.Insts {
+			last := i == len(b.Insts)-1
+			if last || b.Insts[i].Op.IsBranch() || g.rng.Intn(3) == 0 {
+				b.Insts[i].Stop = true
+			}
+		}
+	}
+}
+
+// Format renders p as assemblable source, the inverse of isa.Assemble for
+// generated programs: branch targets become labels, everything else reuses
+// the canonical instruction syntax. header lines are emitted as comments.
+func Format(p *isa.Program, header string) string {
+	targets := make(map[int32]bool)
+	for i := range p.Insts {
+		if p.Insts[i].Op.Info().Shape.Branch {
+			targets[p.Insts[i].Target] = true
+		}
+	}
+	var sb strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(header, "\n"), "\n") {
+		if line != "" {
+			fmt.Fprintf(&sb, "# %s\n", line)
+		}
+	}
+	for i := range p.Insts {
+		if targets[int32(i)] {
+			fmt.Fprintf(&sb, "L%d:\n", i)
+		}
+		in := &p.Insts[i]
+		if in.Op.Info().Shape.Branch {
+			if in.QP != isa.P0 {
+				fmt.Fprintf(&sb, "  (%s) ", in.QP)
+			} else {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%s L%d", in.Op.Info().Name, in.Target)
+			if in.Stop {
+				sb.WriteString(" ;;")
+			}
+			sb.WriteByte('\n')
+			continue
+		}
+		fmt.Fprintf(&sb, "  %s\n", in.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,113 @@
+package progen
+
+import (
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+)
+
+// budget bounds the oracle run of any generated program; termination by
+// construction should land far below it.
+const budget = 2_000_000
+
+func TestDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		a := MustGenerate(ForSeed(seed))
+		b := MustGenerate(ForSeed(seed))
+		if len(a.Insts) != len(b.Insts) {
+			t.Fatalf("seed %d: lengths differ: %d vs %d", seed, len(a.Insts), len(b.Insts))
+		}
+		for i := range a.Insts {
+			if a.Insts[i] != b.Insts[i] {
+				t.Fatalf("seed %d: inst %d differs: %v vs %v", seed, i, a.Insts[i], b.Insts[i])
+			}
+		}
+	}
+}
+
+func TestTerminatesAndValid(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		p, err := Generate(ForSeed(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid program: %v", seed, err)
+		}
+		res, err := arch.Run(p, arch.NewMemory(), budget)
+		if err != nil {
+			t.Fatalf("seed %d: oracle run: %v", seed, err)
+		}
+		if !res.State.Halted {
+			t.Fatalf("seed %d: did not halt", seed)
+		}
+	}
+}
+
+// TestFormatRoundTrip checks Format's output reassembles to an equivalent
+// program: same final architectural state under the oracle.
+func TestFormatRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		p := MustGenerate(ForSeed(seed))
+		src := Format(p, "progen round-trip test\nseed test")
+		q, err := isa.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: reassemble: %v\n%s", seed, err, src)
+		}
+		if len(q.Insts) != len(p.Insts) {
+			t.Fatalf("seed %d: length changed: %d vs %d", seed, len(p.Insts), len(q.Insts))
+		}
+		rp, err := arch.Run(p, arch.NewMemory(), budget)
+		if err != nil {
+			t.Fatalf("seed %d: original run: %v", seed, err)
+		}
+		rq, err := arch.Run(q, arch.NewMemory(), budget)
+		if err != nil {
+			t.Fatalf("seed %d: round-trip run: %v", seed, err)
+		}
+		if !rp.State.RF.Equal(rq.State.RF) {
+			t.Fatalf("seed %d: register state diverged after round-trip", seed)
+		}
+		if !rp.State.Mem.Equal(rq.State.Mem) {
+			t.Fatalf("seed %d: memory state diverged after round-trip", seed)
+		}
+		if rp.State.Retired != rq.State.Retired {
+			t.Fatalf("seed %d: retired %d vs %d", seed, rp.State.Retired, rq.State.Retired)
+		}
+	}
+}
+
+// TestHazardCoverage checks the generator actually emits the hazard shapes
+// the checker exists for, over a modest seed range.
+func TestHazardCoverage(t *testing.T) {
+	var loads, stores, restarts, predicated, backward int
+	for seed := uint64(0); seed < 20; seed++ {
+		p := MustGenerate(Options{Seed: seed})
+		for i := range p.Insts {
+			in := &p.Insts[i]
+			switch {
+			case in.Op.IsLoad():
+				loads++
+			case in.Op.IsStore():
+				stores++
+			case in.Op == isa.OpRestart:
+				restarts++
+			}
+			if in.QP != isa.P0 && in.Op != isa.OpBr {
+				predicated++
+			}
+			if in.Op.IsBranch() && int(in.Target) <= i {
+				backward++
+			}
+		}
+	}
+	for name, n := range map[string]int{
+		"loads": loads, "stores": stores, "restarts": restarts,
+		"predicated": predicated, "backward branches": backward,
+	} {
+		if n == 0 {
+			t.Errorf("no %s generated across 20 seeds", name)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package xcheck
+
+import (
+	"context"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+)
+
+// Group is one stop-bit issue group: a half-open instruction index range.
+type Group struct{ Start, End int }
+
+// Groups splits p at its stop bits. The final instruction closes the last
+// group whether or not its stop bit is set.
+func Groups(p *isa.Program) []Group {
+	var gs []Group
+	start := 0
+	for i := range p.Insts {
+		if p.Insts[i].Stop || i == len(p.Insts)-1 {
+			gs = append(gs, Group{start, i + 1})
+			start = i + 1
+		}
+	}
+	return gs
+}
+
+// deleteRange returns a copy of p with instruction range [lo, hi) removed and
+// branch targets remapped: targets inside the range land on the instruction
+// that follows it, targets past it shift down. Returns nil if the result is
+// not a valid program.
+func deleteRange(p *isa.Program, lo, hi int) *isa.Program {
+	if lo >= hi || hi-lo >= len(p.Insts) {
+		return nil
+	}
+	q := &isa.Program{Insts: make([]isa.Inst, 0, len(p.Insts)-(hi-lo))}
+	q.Insts = append(q.Insts, p.Insts[:lo]...)
+	q.Insts = append(q.Insts, p.Insts[hi:]...)
+	for i := range q.Insts {
+		in := &q.Insts[i]
+		if !in.Op.IsBranch() {
+			continue
+		}
+		switch t := int(in.Target); {
+		case t >= hi:
+			in.Target = int32(t - (hi - lo))
+		case t >= lo:
+			in.Target = int32(lo)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil
+	}
+	return q
+}
+
+// halts reports whether the oracle runs p to completion within budget. The
+// shrinker only considers candidates that still terminate: deleting a loop's
+// counter update must not produce a spinning repro.
+func halts(p *isa.Program, budget uint64) bool {
+	res, err := arch.Run(p, arch.NewMemory(), budget)
+	return err == nil && res.State.Halted
+}
+
+// Shrink greedily minimizes p while keep(p) stays true: first stop-bit issue
+// groups in ddmin fashion (large contiguous chunks, halving down to single
+// groups), then single instructions (deleting an instruction whose stop bit
+// closed a group also merges groups), repeating both until a fixpoint. keep
+// must be deterministic. Every candidate is validated and oracle-terminated
+// before keep sees it.
+func Shrink(ctx context.Context, p *isa.Program, budget uint64, keep func(*isa.Program) bool) *isa.Program {
+	cur := p
+	accept := func(cand *isa.Program) bool {
+		return cand != nil && halts(cand, budget) && keep(cand)
+	}
+	for {
+		improvedPass := false
+		for chunk := len(Groups(cur)) / 2; chunk >= 1; chunk /= 2 {
+			for i := 0; ctx.Err() == nil; {
+				gs := Groups(cur)
+				if i+chunk > len(gs) {
+					break
+				}
+				if cand := deleteRange(cur, gs[i].Start, gs[i+chunk-1].End); accept(cand) {
+					cur = cand
+					improvedPass = true
+					continue // same i, groups shifted down
+				}
+				i++
+			}
+		}
+		for i := 0; ctx.Err() == nil && i < len(cur.Insts); {
+			if cand := deleteRange(cur, i, i+1); accept(cand) {
+				cur = cand
+				improvedPass = true
+				continue
+			}
+			i++
+		}
+		if !improvedPass || ctx.Err() != nil {
+			return cur
+		}
+	}
+}
+
+// ShrinkReport minimizes a failing report's program while it keeps failing
+// (any failure, not necessarily the original one — shrinking may surface a
+// simpler bug, which is fine) and re-checks the minimized program so the
+// reported failures match it.
+func ShrinkReport(ctx context.Context, rep *Report, opts Options) *Report {
+	opts = opts.withDefaults()
+	small := Shrink(ctx, rep.Program, opts.MaxInsts, func(cand *isa.Program) bool {
+		r, err := CheckProgram(ctx, cand, opts)
+		return err == nil && r.Failed()
+	})
+	out, err := CheckProgram(ctx, small, opts)
+	if err != nil || !out.Failed() {
+		return rep // should not happen; keep the unshrunk evidence
+	}
+	out.Seed = rep.Seed
+	return out
+}

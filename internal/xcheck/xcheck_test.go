@@ -1,0 +1,173 @@
+package xcheck
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multipass/internal/isa"
+	"multipass/internal/sim"
+)
+
+// testRegistry returns a private registry holding the canonical models plus
+// the deliberately broken one, so tests never mutate sim.DefaultRegistry.
+func testRegistry(t *testing.T) *sim.Registry {
+	t.Helper()
+	r := sim.NewRegistry()
+	for _, name := range CanonicalModels {
+		f, ok := sim.Lookup(name)
+		if !ok {
+			t.Fatalf("model %q not registered", name)
+		}
+		r.Register(name, f)
+	}
+	RegisterBuggy(r)
+	return r
+}
+
+// TestCrossModelSeeds is the deterministic slice of the differential check
+// that runs in every `go test ./...`: a few dozen seeds, all five models.
+func TestCrossModelSeeds(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	sum, err := Run(context.Background(), n, 1, Options{}, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range sum.Failed {
+		for _, f := range rep.Failures {
+			t.Errorf("seed %d: %s", rep.Seed, f)
+		}
+	}
+	if sum.Checked != n {
+		t.Errorf("checked %d seeds, want %d", sum.Checked, n)
+	}
+}
+
+// TestSeededBugCaughtAndShrunk injects the deliberately broken model
+// (predicated stores dropped) and asserts the checker catches it and the
+// shrinker reduces some repro to at most 3 issue groups.
+func TestSeededBugCaughtAndShrunk(t *testing.T) {
+	opts := Options{
+		Registry: testRegistry(t),
+		Models:   append(append([]string(nil), CanonicalModels...), BuggyModelName),
+	}
+	// Shrinking re-checks candidates on every deletion attempt; doing that
+	// against the buggy model alone keeps the test fast without weakening
+	// it (the failure being preserved is buggy-vs-oracle state).
+	shrinkOpts := Options{Registry: opts.Registry, Models: []string{BuggyModelName}}
+	ctx := context.Background()
+	caught, best := 0, 1<<30
+	for seed := uint64(1); seed <= 20 && caught < 2; seed++ {
+		rep, err := CheckSeed(ctx, seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Failed() {
+			continue
+		}
+		caught++
+		for _, f := range rep.Failures {
+			if f.Model != BuggyModelName {
+				t.Fatalf("seed %d: unexpected failure in real model: %s", seed, f)
+			}
+			if f.Kind != FailState {
+				t.Fatalf("seed %d: want state divergence, got %s", seed, f)
+			}
+		}
+		small := ShrinkReport(ctx, rep, shrinkOpts)
+		if !small.Failed() {
+			t.Fatalf("seed %d: shrinking lost the failure", seed)
+		}
+		if g := len(Groups(small.Program)); g < best {
+			best = g
+		}
+		// The repro must reassemble.
+		if _, err := isa.Assemble(ReproText(small)); err != nil {
+			t.Fatalf("seed %d: repro does not reassemble: %v", seed, err)
+		}
+	}
+	if caught == 0 {
+		t.Fatal("buggy model never caught over 20 seeds")
+	}
+	if best > 3 {
+		t.Errorf("best shrunk repro has %d issue groups, want <= 3", best)
+	}
+}
+
+// TestCorpusReplay reruns every committed corpus program through the full
+// check: the corpus pins previously-interesting programs (and, when a model
+// bug is found and fixed, its shrunken repro) as deterministic regressions.
+func TestCorpusReplay(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.asm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("empty corpus: testdata/corpus should hold committed .asm programs")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := isa.Assemble(string(src))
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			rep, err := CheckProgram(context.Background(), p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range rep.Failures {
+				t.Errorf("%s", f)
+			}
+		})
+	}
+}
+
+// TestShrinkPreservesOracleBehavior checks the shrinker's candidate filter:
+// whatever it returns still assembles, validates, and halts.
+func TestShrinkKeepsValidPrograms(t *testing.T) {
+	opts := Options{
+		Registry: testRegistry(t),
+		Models:   []string{BuggyModelName},
+	}
+	ctx := context.Background()
+	for seed := uint64(1); seed <= 12; seed++ {
+		rep, err := CheckSeed(ctx, seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Failed() {
+			continue
+		}
+		small := ShrinkReport(ctx, rep, opts)
+		if err := small.Program.Validate(); err != nil {
+			t.Fatalf("seed %d: shrunk program invalid: %v", seed, err)
+		}
+		if len(small.Program.Insts) > len(rep.Program.Insts) {
+			t.Fatalf("seed %d: shrinking grew the program", seed)
+		}
+		if !halts(small.Program, 4_000_000) {
+			t.Fatalf("seed %d: shrunk program does not halt", seed)
+		}
+		return
+	}
+	t.Skip("no failing seed in range (generator changed?)")
+}
+
+// TestFailureString pins the human-readable failure format used in repro
+// headers and cmd/xcheck output.
+func TestFailureString(t *testing.T) {
+	f := Failure{Model: "ooo", Kind: FailState, Detail: "r5: 0x1 vs 0x2"}
+	if got := f.String(); !strings.Contains(got, "ooo") || !strings.Contains(got, "state") {
+		t.Errorf("unexpected failure format %q", got)
+	}
+}
