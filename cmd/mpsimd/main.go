@@ -1,13 +1,16 @@
 // Command mpsimd serves the simulation suite over HTTP/JSON: single jobs,
-// fan-out sweeps, and registry enumeration, with a bounded worker pool and a
-// content-addressed result cache.
+// fan-out sweeps, registry enumeration, and a Prometheus /metrics endpoint,
+// with a bounded worker pool and a byte-bounded content-addressed result
+// cache.
 //
 //	mpsimd -addr :8080
 //	curl -s localhost:8080/v1/models
 //	curl -s -X POST localhost:8080/v1/run -d '{"workload":"mcf","model":"multipass"}'
+//	curl -s localhost:8080/metrics
 //
 // See EXPERIMENTS.md for the endpoint reference and a sweep example
-// reproducing Figure 7 over HTTP.
+// reproducing Figure 7 over HTTP, and the README "Observability" section
+// for the metric catalog.
 package main
 
 import (
@@ -15,10 +18,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // profiling endpoints, served only behind -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -29,12 +34,23 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request simulation deadline (0 = none)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache byte budget (0 = 256 MiB default)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
+
+	log, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		DefaultTimeout: *timeout,
+		MaxCacheBytes:  *cacheBytes,
+		Logger:         log,
 	})
 	hs := &http.Server{
 		Addr:              *addr,
@@ -47,9 +63,9 @@ func main() {
 		// never exposed on the service address. net/http/pprof registers on
 		// http.DefaultServeMux; serve that.
 		go func() {
-			fmt.Fprintf(os.Stderr, "mpsimd pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			log.Info("pprof listening", "addr", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "pprof:", err)
+				log.Error("pprof server failed", "error", err)
 			}
 		}()
 	}
@@ -59,13 +75,14 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "mpsimd listening on %s\n", *addr)
+	log.Info("mpsimd listening", "addr", *addr, "workers", *workers, "timeout", timeout.String())
 
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("server failed", "error", err)
 		os.Exit(1)
 	case <-ctx.Done():
+		log.Info("shutdown signal received")
 	}
 
 	// Graceful drain: in-flight simulations observe their request contexts
@@ -73,7 +90,34 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("shutdown failed", "error", err)
 		os.Exit(1)
 	}
+	log.Info("mpsimd stopped")
+}
+
+// newLogger builds the process logger from the -log-format and -log-level
+// flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 }

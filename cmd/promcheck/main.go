@@ -1,0 +1,26 @@
+// Command promcheck validates a Prometheus text-format exposition read
+// from stdin: every sample must belong to a declared family, no family or
+// series may repeat, and every value must parse. CI pipes a live server's
+// /metrics through it:
+//
+//	curl -fsS localhost:8080/metrics | promcheck
+//
+// Exit status 0 means the exposition is well-formed; 1 reports the first
+// malformation on stderr.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"multipass/internal/obs"
+)
+
+func main() {
+	st, err := obs.Lint(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok (%d families, %d samples)\n", st.Families, st.Samples)
+}

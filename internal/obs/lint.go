@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintStats summarizes what Lint saw in a well-formed exposition.
+type LintStats struct {
+	Families int
+	Samples  int
+}
+
+// Lint validates a Prometheus text-format exposition: every sample belongs
+// to a family declared by a preceding # TYPE line, no family or series is
+// emitted twice, histogram suffixes match their family, and every value
+// parses. It is intentionally stricter than the format itself (which
+// permits untyped, undeclared samples): this server declares everything it
+// exports, so an undeclared sample is a wiring bug.
+func Lint(r io.Reader) (LintStats, error) {
+	var st LintStats
+	types := make(map[string]string) // family -> kind
+	seen := make(map[string]bool)    // name+labels -> emitted
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return st, fmt.Errorf("line %d: malformed comment %q", line, text)
+			}
+			if fields[1] == "TYPE" {
+				name := fields[2]
+				if len(fields) < 4 {
+					return st, fmt.Errorf("line %d: TYPE without a kind", line)
+				}
+				kind := strings.TrimSpace(fields[3])
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return st, fmt.Errorf("line %d: unknown type %q", line, kind)
+				}
+				if _, dup := types[name]; dup {
+					return st, fmt.Errorf("line %d: duplicate TYPE for %q", line, name)
+				}
+				types[name] = kind
+				st.Families++
+			}
+			continue
+		}
+
+		name, labels, value, err := splitSample(text)
+		if err != nil {
+			return st, fmt.Errorf("line %d: %v", line, err)
+		}
+		if !validMetricName(name) {
+			return st, fmt.Errorf("line %d: invalid metric name %q", line, name)
+		}
+		fam, ok := lookupFamily(types, name)
+		if !ok {
+			return st, fmt.Errorf("line %d: sample %q has no preceding TYPE declaration", line, name)
+		}
+		if kind := types[fam]; kind == "histogram" && fam == name {
+			return st, fmt.Errorf("line %d: histogram %q emitted a bare sample", line, name)
+		}
+		series := name + labels
+		if seen[series] {
+			return st, fmt.Errorf("line %d: duplicate series %s", line, series)
+		}
+		seen[series] = true
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return st, fmt.Errorf("line %d: bad value %q: %v", line, value, err)
+		}
+		st.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	if st.Samples == 0 {
+		return st, fmt.Errorf("no samples in exposition")
+	}
+	return st, nil
+}
+
+// lookupFamily resolves a sample name to its declared family, accepting
+// the histogram/summary suffixes.
+func lookupFamily(types map[string]string, name string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if kind := types[base]; kind == "histogram" || kind == "summary" {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+// splitSample parses `name{labels} value [timestamp]` into parts, keeping
+// the raw label block (including braces) as the series discriminator.
+func splitSample(text string) (name, labels, value string, err error) {
+	rest := text
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := labelBlockEnd(rest[i:])
+		if end < 0 {
+			return "", "", "", fmt.Errorf("unterminated label block in %q", text)
+		}
+		labels = rest[i : i+end+1]
+		if err := validateLabels(labels); err != nil {
+			return "", "", "", err
+		}
+		rest = strings.TrimSpace(rest[i+end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", "", fmt.Errorf("sample %q has no value", text)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", "", fmt.Errorf("sample %q has %d trailing fields, want value [timestamp]", text, len(fields))
+	}
+	return name, labels, fields[0], nil
+}
+
+// labelBlockEnd returns the index of the closing brace of a label block
+// starting at s[0]=='{', honoring escapes inside quoted values, or -1.
+func labelBlockEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++ // skip escaped char
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// validateLabels checks `{k="v",k2="v2"}` shape.
+func validateLabels(block string) error {
+	inner := block[1 : len(block)-1]
+	if inner == "" {
+		return nil
+	}
+	for len(inner) > 0 {
+		eq := strings.IndexByte(inner, '=')
+		if eq <= 0 || !validLabelName(inner[:eq]) {
+			return fmt.Errorf("bad label name in %q", block)
+		}
+		rest := inner[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", block)
+		}
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated label value in %q", block)
+		}
+		inner = rest[i+1:]
+		if strings.HasPrefix(inner, ",") {
+			inner = inner[1:]
+			if inner == "" {
+				return fmt.Errorf("trailing comma in %q", block)
+			}
+		} else if inner != "" {
+			return fmt.Errorf("missing comma in %q", block)
+		}
+	}
+	return nil
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,393 @@
+// Package obs is the stdlib-only observability layer: a Prometheus
+// text-format metrics registry (counters, gauges, fixed-bucket histograms,
+// plus a bridge to runtime/metrics), per-request traces with named spans,
+// and a linter for the exposition format used both in tests and by
+// cmd/promcheck against a live server.
+//
+// The package deliberately has no dependencies outside the standard
+// library: the simulator serves scientific workloads and must stay
+// self-contained, and the exposition format is simple enough that a full
+// client library buys nothing but surface area.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime/metrics"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricKind is the Prometheus family type.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one registered metric family: a name, help text, a type, and
+// exactly one backing implementation.
+type family struct {
+	name, help string
+	kind       metricKind
+
+	counter   *Counter
+	counterFn func() uint64
+	gaugeFn   func() float64
+	vec       *CounterVec
+	hist      *Histogram
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration is not concurrency-safe (do it at
+// construction time); collection and rendering are.
+type Registry struct {
+	mu      sync.Mutex
+	fams    []*family
+	names   map[string]bool
+	runtime bool
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) add(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[f.name] {
+		panic(fmt.Sprintf("obs: duplicate metric registration %q", f.name))
+	}
+	r.names[f.name] = true
+	r.fams = append(r.fams, f)
+}
+
+// Counter registers and returns a monotonically increasing counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&family{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time. fn must be monotonic (e.g. it loads an atomic that is only ever
+// incremented).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.add(&family{name: name, help: help, kind: kindCounter, counterFn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, kind: kindGauge, gaugeFn: fn})
+}
+
+// CounterVec registers a counter family with a fixed label set. Children
+// are created on first use and live forever; keep label cardinality small.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: labels, children: make(map[string]*Counter)}
+	r.add(&family{name: name, help: help, kind: kindCounter, vec: v})
+	return v
+}
+
+// Histogram registers a fixed-bucket histogram. buckets are the finite
+// upper bounds, strictly ascending; an implicit +Inf bucket is appended.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	r.add(&family{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// EnableRuntimeMetrics appends a curated set of Go runtime statistics
+// (sampled from runtime/metrics at scrape time) to every exposition.
+func (r *Registry) EnableRuntimeMetrics() {
+	r.mu.Lock()
+	r.runtime = true
+	r.mu.Unlock()
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// CounterVec is a set of Counters distinguished by label values.
+type CounterVec struct {
+	labels   []string
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label values (one per
+// registered label name, in registration order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: CounterVec.With got %d values for %d labels", len(values), len(v.labels)))
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, name := range v.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	key := b.String()
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[key]
+	if !ok {
+		c = &Counter{}
+		v.children[key] = c
+	}
+	return c
+}
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus
+// semantics (bucket counts rendered as `le` upper bounds).
+type Histogram struct {
+	bounds []float64       // finite upper bounds, ascending
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomicFloat
+	total  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: `le` semantics
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts,
+// interpolating linearly within the containing bucket. Observations in the
+// +Inf bucket clamp to the largest finite bound. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if cum+n >= target {
+			if i >= len(h.bounds) {
+				// +Inf bucket: clamp to the largest finite bound.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := float64(target-cum) / float64(n)
+			return lower + frac*(upper-lower)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// atomicFloat is a float64 accumulated with CAS on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// escapeLabel escapes a label value per the exposition format.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders every family (and, if enabled, the runtime bridge) in
+// Prometheus text exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	withRuntime := r.runtime
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		writeFamilyHeader(&b, f.name, f.help, f.kind)
+		switch {
+		case f.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.counter.Value())
+		case f.counterFn != nil:
+			fmt.Fprintf(&b, "%s %d\n", f.name, f.counterFn())
+		case f.gaugeFn != nil:
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.gaugeFn()))
+		case f.vec != nil:
+			f.vec.mu.Lock()
+			keys := make([]string, 0, len(f.vec.children))
+			for k := range f.vec.children {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, k, f.vec.children[k].Value())
+			}
+			f.vec.mu.Unlock()
+		case f.hist != nil:
+			h := f.hist
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", f.name, formatFloat(bound), cum)
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", f.name, formatFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", f.name, cum)
+		}
+	}
+	if withRuntime {
+		writeRuntimeMetrics(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeFamilyHeader(b *strings.Builder, name, help string, kind metricKind) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, kind)
+}
+
+// Handler returns an http.Handler serving the registry as a /metrics
+// endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// runtimeDefs maps a curated subset of runtime/metrics onto stable
+// Prometheus names. Entries missing from the running Go version are
+// skipped silently, so the set is safe across toolchains.
+var runtimeDefs = []struct {
+	src, name, help string
+	counter         bool
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", "Number of live goroutines.", false},
+	{"/sched/gomaxprocs:threads", "go_gomaxprocs", "Current GOMAXPROCS.", false},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes of allocated heap objects.", false},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", "All memory mapped by the Go runtime.", false},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles.", true},
+	{"/gc/heap/allocs:bytes", "go_heap_allocs_bytes_total", "Cumulative bytes allocated on the heap.", true},
+}
+
+func writeRuntimeMetrics(b *strings.Builder) {
+	samples := make([]metrics.Sample, len(runtimeDefs))
+	for i, d := range runtimeDefs {
+		samples[i].Name = d.src
+	}
+	metrics.Read(samples)
+	for i, d := range runtimeDefs {
+		var v float64
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			v = float64(samples[i].Value.Uint64())
+		case metrics.KindFloat64:
+			v = samples[i].Value.Float64()
+		default:
+			continue // metric not present in this runtime
+		}
+		kind := kindGauge
+		if d.counter {
+			kind = kindCounter
+		}
+		writeFamilyHeader(b, d.name, d.help, kind)
+		if d.counter {
+			fmt.Fprintf(b, "%s %d\n", d.name, uint64(v))
+		} else {
+			fmt.Fprintf(b, "%s %s\n", d.name, formatFloat(v))
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestCounterAndVecRendering: counters and labeled counters render with one
+// TYPE line per family and sorted, escaped children.
+func TestCounterAndVecRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Ops.")
+	c.Add(3)
+	v := r.CounterVec("test_jobs_total", "Jobs.", "model", "status")
+	v.With("inorder", "ok").Add(2)
+	v.With("multipass", "error").Inc()
+	v.With(`we"ird`, "ok").Inc()
+	r.GaugeFunc("test_depth", "Depth.", func() float64 { return 1.5 })
+	r.CounterFunc("test_reads_total", "Reads.", func() uint64 { return 7 })
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE test_ops_total counter\ntest_ops_total 3\n",
+		"# TYPE test_jobs_total counter\n",
+		`test_jobs_total{model="inorder",status="ok"} 2`,
+		`test_jobs_total{model="multipass",status="error"} 1`,
+		`test_jobs_total{model="we\"ird",status="ok"} 1`,
+		"# TYPE test_depth gauge\ntest_depth 1.5\n",
+		"test_reads_total 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := Lint(strings.NewReader(out)); err != nil {
+		t.Errorf("Lint rejects own exposition: %v", err)
+	}
+}
+
+// TestHistogramRendering: cumulative buckets, sum, count, and +Inf.
+func TestHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_dur_seconds", "Durations.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE test_dur_seconds histogram",
+		`test_dur_seconds_bucket{le="0.1"} 1`,
+		`test_dur_seconds_bucket{le="1"} 3`,
+		`test_dur_seconds_bucket{le="10"} 4`,
+		`test_dur_seconds_bucket{le="+Inf"} 5`,
+		"test_dur_seconds_sum 106.05",
+		"test_dur_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := Lint(strings.NewReader(out)); err != nil {
+		t.Errorf("Lint rejects histogram exposition: %v", err)
+	}
+}
+
+// oldRingPercentile reimplements the estimator this histogram replaced: a
+// 1024-sample sliding window with nearest-rank selection.
+func oldRingPercentile(window []float64, p float64) float64 {
+	n := len(window)
+	if n > 1024 {
+		window = window[n-1024:]
+		n = 1024
+	}
+	buf := append([]float64(nil), window...)
+	sort.Float64s(buf)
+	i := int(p*float64(n)+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return buf[i]
+}
+
+// TestHistogramQuantileAccuracy: the bucket-interpolated quantile tracks
+// both the exact percentile and the old ring estimate to within the width
+// of the containing bucket, across a skewed latency-like distribution.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	buckets := []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+	r := NewRegistry()
+	h := r.Histogram("test_lat_ms", "Latency.", buckets)
+
+	rng := rand.New(rand.NewSource(42))
+	var samples []float64
+	for i := 0; i < 20000; i++ {
+		// Log-normal-ish: most mass near 1-20ms with a long tail.
+		v := 2 * (1 + rng.ExpFloat64()*5)
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+
+	bucketWidth := func(v float64) float64 {
+		lower := 0.0
+		for _, b := range buckets {
+			if v <= b {
+				return b - lower
+			}
+			lower = b
+		}
+		return buckets[len(buckets)-1]
+	}
+
+	exactQ := func(p float64) float64 {
+		buf := append([]float64(nil), samples...)
+		sort.Float64s(buf)
+		i := int(p*float64(len(buf))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		return buf[i]
+	}
+
+	for _, p := range []float64{0.50, 0.90, 0.99} {
+		got := h.Quantile(p)
+		exact := exactQ(p)
+		ring := oldRingPercentile(samples, p)
+		if tol := bucketWidth(exact); got < exact-tol || got > exact+tol {
+			t.Errorf("p%.0f: histogram %.3f, exact %.3f (tolerance %.3f)", p*100, got, exact, tol)
+		}
+		if tol := bucketWidth(ring) + bucketWidth(exact); got < ring-tol || got > ring+tol {
+			t.Errorf("p%.0f: histogram %.3f diverges from ring estimate %.3f beyond %.3f", p*100, got, ring, tol)
+		}
+	}
+
+	if h.Quantile(0.99) < h.Quantile(0.50) {
+		t.Error("quantile not monotonic: p99 < p50")
+	}
+}
+
+// TestHistogramEmpty: quantiles of an empty histogram are 0.
+func TestHistogramEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_empty", "Empty.", []float64{1, 2})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+// TestRuntimeMetrics: the runtime bridge emits at least goroutines and
+// lints cleanly alongside app families.
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x_total", "X.").Inc()
+	r.EnableRuntimeMetrics()
+	out := render(t, r)
+	if !strings.Contains(out, "go_goroutines ") {
+		t.Errorf("runtime bridge missing go_goroutines:\n%s", out)
+	}
+	if _, err := Lint(strings.NewReader(out)); err != nil {
+		t.Errorf("Lint rejects runtime exposition: %v", err)
+	}
+}
+
+// TestLintRejections: the linter catches the malformations the CI scrape
+// check exists to catch.
+func TestLintRejections(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{
+			"duplicate series",
+			"# TYPE a counter\na 1\na 2\n",
+			"duplicate series",
+		},
+		{
+			"duplicate TYPE",
+			"# TYPE a counter\na 1\n# TYPE a counter\n",
+			"duplicate TYPE",
+		},
+		{
+			"undeclared sample",
+			"# TYPE a counter\nb 1\n",
+			"no preceding TYPE",
+		},
+		{
+			"bad value",
+			"# TYPE a counter\na one\n",
+			"bad value",
+		},
+		{
+			"unterminated labels",
+			"# TYPE a counter\na{x=\"1\" 1\n",
+			"unterminated",
+		},
+		{
+			"empty exposition",
+			"",
+			"no samples",
+		},
+	}
+	for _, tc := range cases {
+		_, err := Lint(strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTraceSpansAndHeader: spans record durations, the header carries the
+// ID and every span, and concurrent recording is safe.
+func TestTraceSpansAndHeader(t *testing.T) {
+	tr := NewTrace("abc123")
+	end := tr.StartSpan("compile")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.Observe("simulate", 5*time.Millisecond)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Observe("job", time.Millisecond)
+		}()
+	}
+	wg.Wait()
+
+	spans := tr.Spans()
+	if len(spans) != 10 {
+		t.Fatalf("got %d spans, want 10", len(spans))
+	}
+	if spans[0].Name != "compile" || spans[0].Dur <= 0 {
+		t.Errorf("first span = %+v", spans[0])
+	}
+	hv := tr.HeaderValue()
+	for _, want := range []string{"id=abc123", "compile=", "simulate=5.000ms", "total="} {
+		if !strings.Contains(hv, want) {
+			t.Errorf("header %q missing %q", hv, want)
+		}
+	}
+	j := tr.JSON()
+	if j.RequestID != "abc123" || len(j.Spans) != 10 || j.TotalMS <= 0 {
+		t.Errorf("JSON = %+v", j)
+	}
+}
+
+// TestTraceNilSafety: every method no-ops on a nil Trace.
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x")()
+	tr.Observe("y", time.Second)
+	if tr.Spans() != nil || tr.HeaderValue() != "" || tr.Elapsed() != 0 {
+		t.Error("nil trace leaked data")
+	}
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Error("FromContext on empty ctx != nil")
+	}
+	ctx = WithTrace(ctx, NewTrace(""))
+	if got := FromContext(ctx); got == nil || len(got.ID) != 16 {
+		t.Errorf("roundtrip trace = %+v", got)
+	}
+}
+
+// TestSanitizeRequestID: hostile inbound IDs are constrained.
+func TestSanitizeRequestID(t *testing.T) {
+	cases := map[string]string{
+		"abc-123.X_y":            "abc-123.X_y",
+		"a b\nc":                 "abc",
+		"":                       "",
+		"<script>":               "script",
+		strings.Repeat("a", 100): strings.Repeat("a", 64),
+	}
+	for in, want := range cases {
+		if got := SanitizeRequestID(in); got != want {
+			t.Errorf("SanitizeRequestID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one named, timed segment of a request: queue wait, compile,
+// simulate, marshal, and so on.
+type Span struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Trace accumulates the spans of one request. All methods are safe for
+// concurrent use (sweep jobs record into their request's trace from many
+// goroutines) and safe on a nil receiver, so call sites need no guards.
+type Trace struct {
+	ID    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace returns a Trace with the given request ID, generating one when
+// id is empty.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewRequestID()
+	}
+	return &Trace{ID: id, start: time.Now()}
+}
+
+// reqFallback feeds request IDs if the system randomness source fails.
+var reqFallback atomic.Uint64
+
+// NewRequestID returns a 16-hex-character random request ID.
+func NewRequestID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return fmt.Sprintf("req-%012x", reqFallback.Add(1))
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// StartSpan begins a span; the returned func ends it and records the
+// duration.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: start, Dur: time.Since(start)})
+		t.mu.Unlock()
+	}
+}
+
+// Observe records a span whose duration was measured externally.
+func (t *Trace) Observe(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: time.Now().Add(-d), Dur: d})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Elapsed is the wall time since the trace began.
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// HeaderValue renders the trace for a response header:
+//
+//	id=4f1c9e02a77b3d10;queue_wait=0.012ms;compile=1.204ms;simulate=48.310ms;total=49.821ms
+func (t *Trace) HeaderValue() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "id=%s", t.ID)
+	for _, sp := range t.Spans() {
+		fmt.Fprintf(&b, ";%s=%.3fms", sp.Name, float64(sp.Dur)/float64(time.Millisecond))
+	}
+	fmt.Fprintf(&b, ";total=%.3fms", float64(t.Elapsed())/float64(time.Millisecond))
+	return b.String()
+}
+
+// SpanJSON is one span in the debug=true response section.
+type SpanJSON struct {
+	Name string  `json:"name"`
+	MS   float64 `json:"ms"`
+}
+
+// TraceJSON is the debug=true response section.
+type TraceJSON struct {
+	RequestID string     `json:"request_id"`
+	TotalMS   float64    `json:"total_ms"`
+	Spans     []SpanJSON `json:"spans"`
+}
+
+// JSON renders the trace for embedding in a response body.
+func (t *Trace) JSON() TraceJSON {
+	if t == nil {
+		return TraceJSON{}
+	}
+	spans := t.Spans()
+	out := TraceJSON{
+		RequestID: t.ID,
+		TotalMS:   float64(t.Elapsed()) / float64(time.Millisecond),
+		Spans:     make([]SpanJSON, len(spans)),
+	}
+	for i, sp := range spans {
+		out.Spans[i] = SpanJSON{Name: sp.Name, MS: float64(sp.Dur) / float64(time.Millisecond)}
+	}
+	return out
+}
+
+// ctxKey keys the Trace in a context.
+type ctxKey struct{}
+
+// WithTrace returns ctx carrying t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the Trace carried by ctx, or nil. The nil result is
+// usable: every Trace method no-ops on a nil receiver.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// SanitizeRequestID constrains a client-supplied request ID to at most 64
+// characters drawn from [A-Za-z0-9._-]; anything else is dropped. Returns
+// "" when nothing survives, signaling the caller to generate a fresh ID.
+func SanitizeRequestID(id string) string {
+	var b strings.Builder
+	for _, r := range id {
+		if b.Len() >= 64 {
+			break
+		}
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

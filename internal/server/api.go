@@ -218,11 +218,20 @@ type StatsResponse struct {
 	// JobsExecuted counts simulations actually run (cache misses).
 	JobsExecuted uint64 `json:"jobs_executed"`
 	// JobsFailed counts executed simulations that returned an error.
-	JobsFailed  uint64 `json:"jobs_failed"`
-	CacheHits   uint64 `json:"cache_hits"`
-	CacheMisses uint64 `json:"cache_misses"`
+	JobsFailed uint64 `json:"jobs_failed"`
+	// CacheHits, CacheMisses, and CacheCoalesced partition every request
+	// that reached the cache layer: served from cache, executed, or joined
+	// an in-flight execution of the same job. They sum to the request
+	// total.
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheCoalesced uint64 `json:"cache_coalesced"`
+	// CacheEvictions counts entries evicted by the byte-budget clock.
+	CacheEvictions uint64 `json:"cache_evictions"`
 	// CacheEntries is the current number of cached results.
 	CacheEntries int `json:"cache_entries"`
+	// CacheBytes is the cache footprint charged against MaxCacheBytes.
+	CacheBytes int64 `json:"cache_bytes"`
 	// InFlight is the number of simulations executing right now.
 	InFlight int64 `json:"in_flight"`
 	// LatencyP50MS/LatencyP99MS summarize executed-job wall time over a

@@ -10,61 +10,156 @@ import (
 // rest.
 const cacheShards = 32
 
+// defaultMaxCacheBytes bounds the result cache when Config.MaxCacheBytes is
+// unset: distinct scale/max_insts values must not grow memory without bound.
+const defaultMaxCacheBytes = 256 << 20 // 256 MiB
+
+// entryOverhead approximates the per-entry bookkeeping cost (map bucket,
+// ring slot, struct headers) charged against the byte budget on top of the
+// key and payload.
+const entryOverhead = 96
+
+// cacheEntry is one immutable cached result plus its clock reference bit.
+type cacheEntry struct {
+	key  string
+	data []byte
+	// ref is the second-chance bit: set on every hit, cleared by the clock
+	// hand, evicted when found clear. Atomic so get needs only the read
+	// lock.
+	ref atomic.Bool
+}
+
+func (e *cacheEntry) size() int64 {
+	return int64(len(e.key)) + int64(len(e.data)) + entryOverhead
+}
+
+// cacheShard is one lock domain: a map for lookup plus a clock ring for
+// eviction order.
+type cacheShard struct {
+	mu    sync.RWMutex
+	m     map[string]*cacheEntry
+	ring  []*cacheEntry
+	hand  int
+	bytes int64
+}
+
 // resultCache is a sharded, content-addressed map from a job key (hex
-// SHA-256 of the canonical JobSpec) to the marshaled response body. Values
+// SHA-256 of the canonical JobSpec) to the marshaled response body, bounded
+// by a byte budget with clock (second-chance) eviction per shard. Values
 // are immutable once inserted: simulations are deterministic, so any two
 // computations of the same key produce the same bytes and last-write-wins
 // racing is harmless.
+//
+// The hit/miss/coalesced counters are owned by the request path (runCached
+// resolves exactly one disposition per request); the cache itself maintains
+// evictions and totalBytes.
 type resultCache struct {
-	shards [cacheShards]struct {
-		mu sync.RWMutex
-		m  map[string][]byte
-	}
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	shards      [cacheShards]cacheShard
+	shardBudget int64
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	coalesced  atomic.Uint64
+	evictions  atomic.Uint64
+	totalBytes atomic.Int64
 }
 
-func newResultCache() *resultCache {
-	c := &resultCache{}
+// newResultCache builds a cache bounded to roughly maxBytes across all
+// shards; maxBytes <= 0 uses the default.
+func newResultCache(maxBytes int64) *resultCache {
+	if maxBytes <= 0 {
+		maxBytes = defaultMaxCacheBytes
+	}
+	budget := maxBytes / cacheShards
+	if budget < 1 {
+		budget = 1
+	}
+	c := &resultCache{shardBudget: budget}
 	for i := range c.shards {
-		c.shards[i].m = make(map[string][]byte)
+		c.shards[i].m = make(map[string]*cacheEntry)
 	}
 	return c
 }
 
-// shard picks a shard from the first byte of the hex key — already uniform,
-// since the key is a cryptographic hash.
-func (c *resultCache) shard(key string) *struct {
-	mu sync.RWMutex
-	m  map[string][]byte
-} {
-	var b byte
-	if len(key) > 0 {
-		b = key[0]
+// shardIndex hashes the full key with FNV-1a. The previous picker used
+// key[0]%32, which maps hex keys (16 possible first bytes) onto only 16 of
+// the 32 shards; hashing every byte restores uniform coverage.
+func shardIndex(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
 	}
-	return &c.shards[int(b)%cacheShards]
+	return h % cacheShards
 }
 
-// get returns the cached bytes for key, counting the outcome.
+func (c *resultCache) shard(key string) *cacheShard {
+	return &c.shards[shardIndex(key)]
+}
+
+// get returns the cached bytes for key and marks the entry recently used.
+// It does not count hits or misses: the request path resolves each
+// request's disposition exactly once.
 func (c *resultCache) get(key string) ([]byte, bool) {
 	s := c.shard(key)
 	s.mu.RLock()
-	data, ok := s.m[key]
+	e, ok := s.m[key]
 	s.mu.RUnlock()
-	if ok {
-		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
+	if !ok {
+		return nil, false
 	}
-	return data, ok
+	e.ref.Store(true)
+	return e.data, true
 }
 
-// put stores the bytes for key.
+// put stores the bytes for key, then evicts clock-style until the shard is
+// back under its byte budget (always keeping at least one entry, so a
+// single oversized result still caches rather than thrashing).
 func (c *resultCache) put(key string, data []byte) {
 	s := c.shard(key)
 	s.mu.Lock()
-	s.m[key] = data
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; ok {
+		// Entries are immutable; a racing duplicate insert is the same bytes.
+		return
+	}
+	// Inserted with the ref bit clear, per classic clock: an entry earns
+	// its second chance from a hit, not from insertion, so a repeatedly
+	// hit entry outlives a stream of never-read ones.
+	e := &cacheEntry{key: key, data: data}
+	s.m[key] = e
+	s.ring = append(s.ring, e)
+	s.bytes += e.size()
+	c.totalBytes.Add(e.size())
+
+	for s.bytes > c.shardBudget && len(s.ring) > 1 {
+		c.evictOne(s)
+	}
+}
+
+// evictOne advances the clock hand under the shard lock: referenced entries
+// get a second chance, the first unreferenced one is evicted.
+func (c *resultCache) evictOne(s *cacheShard) {
+	for {
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+		e := s.ring[s.hand]
+		if e.ref.CompareAndSwap(true, false) {
+			s.hand++
+			continue
+		}
+		delete(s.m, e.key)
+		s.ring = append(s.ring[:s.hand], s.ring[s.hand+1:]...)
+		s.bytes -= e.size()
+		c.totalBytes.Add(-e.size())
+		c.evictions.Add(1)
+		return
+	}
 }
 
 // len returns the total number of cached entries.
@@ -77,3 +172,6 @@ func (c *resultCache) len() int {
 	}
 	return n
 }
+
+// bytes returns the total byte footprint charged against the budget.
+func (c *resultCache) bytes() int64 { return c.totalBytes.Load() }

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardDistribution: real job keys (hex SHA-256) must reach every
+// shard. The pre-fix picker hashed only the first hex character, so 16
+// possible bytes could never cover 32 shards — this test fails on that
+// code by construction.
+func TestShardDistribution(t *testing.T) {
+	counts := make(map[uint32]int)
+	n := 0
+	for scale := 1; scale <= 64; scale++ {
+		for _, model := range []string{"inorder", "multipass", "runahead", "ooo"} {
+			for _, wl := range []string{"mcf", "gzip", "crafty", "twolf"} {
+				spec := JobSpec{Workload: wl, Model: model, Hier: "base", Scale: scale, Unroll: 1}
+				counts[shardIndex(spec.Key())]++
+				n++
+			}
+		}
+	}
+	if len(counts) != cacheShards {
+		t.Fatalf("%d job keys landed on %d of %d shards: %v", n, len(counts), cacheShards, counts)
+	}
+	// No shard should dominate: with 1024 uniform keys over 32 shards the
+	// expected load is 32; 4x that means the hash is badly skewed.
+	for shard, c := range counts {
+		if c > 4*n/cacheShards {
+			t.Errorf("shard %d holds %d of %d keys — skewed", shard, c, n)
+		}
+	}
+}
+
+// TestShardIndexRange: every index is in [0, cacheShards).
+func TestShardIndexRange(t *testing.T) {
+	for _, key := range []string{"", "a", "0123456789abcdef"} {
+		if i := shardIndex(key); i >= cacheShards {
+			t.Errorf("shardIndex(%q) = %d out of range", key, i)
+		}
+	}
+}
+
+// TestCacheEviction: a byte-bounded cache under sustained distinct inserts
+// stays under budget, evicts, and still serves what it kept.
+func TestCacheEviction(t *testing.T) {
+	const budget = 64 << 10 // 64 KiB total, 2 KiB per shard
+	c := newResultCache(budget)
+	payload := make([]byte, 2048)
+	const inserts = 512
+	for i := 0; i < inserts; i++ {
+		key := JobSpec{Workload: "mcf", Model: "inorder", Hier: "base", Scale: i + 1}.Key()
+		c.put(key, payload)
+	}
+
+	if ev := c.evictions.Load(); ev == 0 {
+		t.Fatal("no evictions after inserting 1 MiB into a 64 KiB cache")
+	}
+	if c.len() >= inserts {
+		t.Errorf("cache holds %d entries, want fewer than %d inserted", c.len(), inserts)
+	}
+	// Budget holds per shard up to one entry of slack (a shard never evicts
+	// its last entry).
+	perShard := int64(budget / cacheShards)
+	slack := int64(len(payload)) + 64 + entryOverhead
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		b, n, ringN := s.bytes, len(s.m), len(s.ring)
+		s.mu.RUnlock()
+		if n != ringN {
+			t.Errorf("shard %d: map %d entries vs ring %d", i, n, ringN)
+		}
+		if b > perShard+slack {
+			t.Errorf("shard %d: %d bytes over per-shard budget %d", i, b, perShard)
+		}
+	}
+
+	// Total accounting matches the shards.
+	var want int64
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		want += c.shards[i].bytes
+		c.shards[i].mu.RUnlock()
+	}
+	if got := c.bytes(); got != want {
+		t.Errorf("totalBytes %d != shard sum %d", got, want)
+	}
+
+	// Survivors are still served; evicted keys miss.
+	hits := 0
+	for i := 0; i < inserts; i++ {
+		key := JobSpec{Workload: "mcf", Model: "inorder", Hier: "base", Scale: i + 1}.Key()
+		if data, ok := c.get(key); ok {
+			hits++
+			if len(data) != len(payload) {
+				t.Fatalf("survivor %d returned %d bytes", i, len(data))
+			}
+		}
+	}
+	if hits == 0 || hits >= inserts {
+		t.Errorf("post-eviction survivors = %d of %d, want some but not all", hits, inserts)
+	}
+}
+
+// TestCacheSecondChance: a hot entry (its ref bit set by gets) survives an
+// eviction pass that removes cold entries around it.
+func TestCacheSecondChance(t *testing.T) {
+	c := newResultCache(cacheShards * 1024) // 1 KiB per shard
+	payload := make([]byte, 300)
+
+	// Find keys that land on one shard so the clock competition is real.
+	var keys []string
+	for i := 0; len(keys) < 8; i++ {
+		key := fmt.Sprintf("synthetic-%d", i)
+		if shardIndex(key) == 0 {
+			keys = append(keys, key)
+		}
+	}
+	hot := keys[0]
+	c.put(hot, payload)
+	for _, k := range keys[1:] {
+		// Keep the hot entry referenced while cold entries pour in.
+		if _, ok := c.get(hot); !ok {
+			t.Fatal("hot entry evicted while referenced")
+		}
+		c.put(k, payload)
+	}
+	if _, ok := c.get(hot); !ok {
+		t.Error("hot entry evicted despite second-chance references")
+	}
+	if c.evictions.Load() == 0 {
+		t.Error("no evictions: shard budget not exercised")
+	}
+}
+
+// TestCacheDuplicatePut: re-inserting an existing key neither double-counts
+// bytes nor duplicates the ring slot.
+func TestCacheDuplicatePut(t *testing.T) {
+	c := newResultCache(1 << 20)
+	key := JobSpec{Workload: "mcf", Model: "inorder", Hier: "base", Scale: 1}.Key()
+	c.put(key, []byte("payload"))
+	before := c.bytes()
+	c.put(key, []byte("payload"))
+	if got := c.bytes(); got != before {
+		t.Errorf("duplicate put changed bytes %d -> %d", before, got)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+}

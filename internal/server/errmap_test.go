@@ -65,3 +65,37 @@ func TestRunErrorMapping(t *testing.T) {
 		})
 	}
 }
+
+// TestNegativeTimeoutRejected pins the timeout contract on both job
+// endpoints: a negative timeout_ms is a 400 naming the field, never a
+// silent fall-through to the server default. The sweep variant used to
+// slip past deadline's `> 0` check — the regression this guards.
+func TestNegativeTimeoutRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	for _, tc := range []struct {
+		name, path string
+		body       any
+	}{
+		{"run", "/v1/run", RunRequest{Workload: "mcf", Model: "inorder", TimeoutMS: -1}},
+		{"sweep", "/v1/sweep", SweepRequest{Workloads: []string{"mcf"}, Models: []string{"inorder"}, TimeoutMS: -250}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+tc.path, tc.body)
+			body := readBody(t, resp)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, body %s, want 400", resp.StatusCode, body)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("error body %s is not an ErrorResponse: %v", body, err)
+			}
+			if !strings.Contains(er.Error, "timeout_ms") || !strings.Contains(er.Error, "< 0") {
+				t.Errorf("error %q does not name timeout_ms", er.Error)
+			}
+		})
+	}
+	if st := getStats(t, ts.URL); st.JobsExecuted != 0 {
+		t.Errorf("jobs_executed = %d after rejected requests, want 0", st.JobsExecuted)
+	}
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"time"
+
+	"multipass/internal/obs"
+)
+
+// latencyBuckets are the fixed upper bounds (seconds) of the job-duration
+// histogram: sub-millisecond cache-adjacent work through multi-minute
+// simulations.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// serverMetrics is the /metrics surface: counters the request path bumps
+// directly, plus scrape-time readers over the server's existing atomics so
+// /v1/stats and /metrics can never disagree.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	// jobs counts executed simulations by identity and outcome.
+	jobs *obs.CounterVec // labels: model, workload, status (ok|error)
+	// httpRequests counts requests by (bounded) path and status code.
+	httpRequests *obs.CounterVec // labels: path, code
+	// jobDuration is executed-job wall time in seconds; /v1/stats derives
+	// its p50/p99 from this histogram.
+	jobDuration *obs.Histogram
+}
+
+// newServerMetrics registers every family against s. Called once from New,
+// after the cache and worker pool exist.
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{reg: reg}
+
+	m.jobs = reg.CounterVec("mpsimd_jobs_total",
+		"Simulations executed, by model, workload, and outcome.",
+		"model", "workload", "status")
+	m.jobDuration = reg.Histogram("mpsimd_job_duration_seconds",
+		"Wall time of executed simulation jobs.", latencyBuckets)
+	m.httpRequests = reg.CounterVec("mpsimd_http_requests_total",
+		"HTTP requests served, by path and status code.",
+		"path", "code")
+
+	reg.CounterFunc("mpsimd_cache_hits_total",
+		"Requests served from the result cache.",
+		func() uint64 { return s.cache.hits.Load() })
+	reg.CounterFunc("mpsimd_cache_misses_total",
+		"Requests that executed a simulation.",
+		func() uint64 { return s.cache.misses.Load() })
+	reg.CounterFunc("mpsimd_cache_coalesced_total",
+		"Requests that joined an in-flight execution of the same job.",
+		func() uint64 { return s.cache.coalesced.Load() })
+	reg.CounterFunc("mpsimd_cache_evictions_total",
+		"Result-cache entries evicted by the byte-budget clock.",
+		func() uint64 { return s.cache.evictions.Load() })
+	reg.GaugeFunc("mpsimd_cache_entries",
+		"Current result-cache entries.",
+		func() float64 { return float64(s.cache.len()) })
+	reg.GaugeFunc("mpsimd_cache_bytes",
+		"Current result-cache footprint charged against MaxCacheBytes.",
+		func() float64 { return float64(s.cache.bytes()) })
+
+	reg.GaugeFunc("mpsimd_workers",
+		"Worker-pool size (max concurrently executing simulations).",
+		func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("mpsimd_workers_busy",
+		"Worker-pool slots currently held by executing simulations.",
+		func() float64 { return float64(len(s.sem)) })
+	reg.GaugeFunc("mpsimd_in_flight_jobs",
+		"Simulations executing right now.",
+		func() float64 { return float64(s.inFlight.Load()) })
+	reg.GaugeFunc("mpsimd_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	reg.EnableRuntimeMetrics()
+	return m
+}

@@ -1,0 +1,373 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"multipass/internal/obs"
+)
+
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	return string(body)
+}
+
+// TestMetricsScrapeGolden: after one successful and one failed job, the
+// exposition is well-formed, every expected family is declared with its
+// type, and the per-job counters carry the exact expected values.
+func TestMetricsScrapeGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "crafty", Model: "inorder"})
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm run status %d", resp.StatusCode)
+	}
+	// MaxInsts forces a mid-run failure, exercising the error status label.
+	resp = postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "crafty", Model: "inorder", MaxInsts: 100})
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("limited run status %d, want 500", resp.StatusCode)
+	}
+
+	out := scrapeMetrics(t, ts.URL)
+	if _, err := obs.Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("scrape does not lint: %v\n%s", err, out)
+	}
+
+	// The family catalog is API: renames or type changes break dashboards.
+	for family, kind := range map[string]string{
+		"mpsimd_jobs_total":            "counter",
+		"mpsimd_job_duration_seconds":  "histogram",
+		"mpsimd_http_requests_total":   "counter",
+		"mpsimd_cache_hits_total":      "counter",
+		"mpsimd_cache_misses_total":    "counter",
+		"mpsimd_cache_coalesced_total": "counter",
+		"mpsimd_cache_evictions_total": "counter",
+		"mpsimd_cache_entries":         "gauge",
+		"mpsimd_cache_bytes":           "gauge",
+		"mpsimd_workers":               "gauge",
+		"mpsimd_workers_busy":          "gauge",
+		"mpsimd_in_flight_jobs":        "gauge",
+		"mpsimd_uptime_seconds":        "gauge",
+		"go_goroutines":                "gauge",
+		"go_gc_cycles_total":           "counter",
+	} {
+		want := fmt.Sprintf("# TYPE %s %s\n", family, kind)
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", strings.TrimSpace(want))
+		}
+	}
+
+	for _, want := range []string{
+		`mpsimd_jobs_total{model="inorder",workload="crafty",status="ok"} 1`,
+		`mpsimd_jobs_total{model="inorder",workload="crafty",status="error"} 1`,
+		"mpsimd_cache_misses_total 2",
+		"mpsimd_cache_hits_total 0",
+		"mpsimd_cache_coalesced_total 0",
+		"mpsimd_cache_entries 1",
+		"mpsimd_job_duration_seconds_count 2",
+		`mpsimd_job_duration_seconds_bucket{le="+Inf"} 2`,
+		`mpsimd_http_requests_total{path="/v1/run",code="200"} 1`,
+		`mpsimd_http_requests_total{path="/v1/run",code="500"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestStatsAccountingBalance: with one job requested 16 times concurrently,
+// exactly one request executes and every other is a hit or a coalesced
+// flight join — hits + misses + coalesced equals the request total. The
+// pre-fix code counted flight followers as misses (and their joins never as
+// hits), so this fails on it.
+func TestStatsAccountingBalance(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	const n = 16
+	req := RunRequest{Workload: "gzip", Model: "multipass"}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(data))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			readBody(t, resp)
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			if disp := resp.Header.Get("X-Mpsimd-Cache"); disp != "hit" && disp != "miss" && disp != "coalesced" {
+				errs[i] = fmt.Errorf("cache header %q", disp)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	st := getStats(t, ts.URL)
+	if st.CacheMisses != 1 {
+		t.Errorf("misses = %d, want exactly 1 execution for 1 distinct job", st.CacheMisses)
+	}
+	if got := st.CacheHits + st.CacheMisses + st.CacheCoalesced; got != n {
+		t.Errorf("hits %d + misses %d + coalesced %d = %d, want %d requests",
+			st.CacheHits, st.CacheMisses, st.CacheCoalesced, got, n)
+	}
+	if st.JobsExecuted != 1 {
+		t.Errorf("jobs_executed = %d, want 1", st.JobsExecuted)
+	}
+	if st.CacheBytes <= 0 {
+		t.Errorf("cache_bytes = %d, want > 0 with one cached entry", st.CacheBytes)
+	}
+}
+
+// TestRunDebugTrace: ?debug=true adds a trace section whose request ID
+// matches the response header, with every execution phase present; the
+// stats portion stays byte-identical to the cached body.
+func TestRunDebugTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp := postJSON(t, ts.URL+"/v1/run?debug=true", RunRequest{Workload: "crafty", Model: "multipass"})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug run status %d: %s", resp.StatusCode, body)
+	}
+	reqID := resp.Header.Get("X-Mpsimd-Request-Id")
+	if len(reqID) != 16 {
+		t.Errorf("generated request id %q, want 16 hex chars", reqID)
+	}
+	traceHeader := resp.Header.Get("X-Mpsimd-Trace")
+	if !strings.HasPrefix(traceHeader, "id="+reqID) {
+		t.Errorf("trace header %q does not lead with id=%s", traceHeader, reqID)
+	}
+
+	var dbg struct {
+		RunResponse
+		Trace obs.TraceJSON `json:"trace"`
+	}
+	if err := json.Unmarshal(body, &dbg); err != nil {
+		t.Fatalf("decode debug body: %v\n%s", err, body)
+	}
+	if dbg.Trace.RequestID != reqID {
+		t.Errorf("trace.request_id = %q, header id = %q", dbg.Trace.RequestID, reqID)
+	}
+	if dbg.Stats.Cycles == 0 {
+		t.Error("debug body lost the stats section")
+	}
+	have := map[string]bool{}
+	for _, sp := range dbg.Trace.Spans {
+		have[sp.Name] = true
+	}
+	for _, want := range []string{"queue_wait", "compile", "trace_decode", "simulate", "marshal"} {
+		if !have[want] {
+			t.Errorf("trace spans missing %q (got %v)", want, dbg.Trace.Spans)
+		}
+	}
+
+	// A plain request for the same job replays the cached bytes, which must
+	// equal the debug body with its trace section removed.
+	resp2 := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "crafty", Model: "multipass"})
+	cachedBody := readBody(t, resp2)
+	if got := resp2.Header.Get("X-Mpsimd-Cache"); got != "hit" {
+		t.Fatalf("second run disposition %q, want hit", got)
+	}
+	idx := bytes.Index(body, []byte(`,"trace":`))
+	if idx < 0 {
+		t.Fatal("debug body has no trace section")
+	}
+	spliced := append(append([]byte{}, body[:idx]...), '}')
+	if !bytes.Equal(bytes.TrimSpace(spliced), bytes.TrimSpace(cachedBody)) {
+		t.Errorf("debug body is not cached bytes + trace:\n debug: %s\ncached: %s", body, cachedBody)
+	}
+}
+
+// logCapture is a concurrency-safe sink for slog JSON output.
+type logCapture struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (c *logCapture) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(p)
+}
+
+func (c *logCapture) lines(t *testing.T) []map[string]any {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []map[string]any
+	for _, line := range bytes.Split(c.buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("log line not JSON: %v: %s", err, line)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestRequestIDPropagation: a client-supplied request ID flows through a
+// sweep — echoed on the response and stamped on every per-job log record.
+func TestRequestIDPropagation(t *testing.T) {
+	capture := &logCapture{}
+	logger := slog.New(slog.NewJSONHandler(capture, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	_, ts := newTestServer(t, Config{Workers: 4, Logger: logger})
+
+	const reqID = "sweep-test-42"
+	body, _ := json.Marshal(SweepRequest{
+		Workloads: []string{"crafty", "gzip"},
+		Models:    []string{"inorder", "multipass"},
+		Hiers:     []string{"base"},
+	})
+	httpReq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("X-Mpsimd-Request-Id", reqID)
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respBody := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, respBody)
+	}
+	if got := resp.Header.Get("X-Mpsimd-Request-Id"); got != reqID {
+		t.Errorf("response id %q, want %q", got, reqID)
+	}
+	if got := resp.Header.Get("X-Mpsimd-Trace"); !strings.Contains(got, "id="+reqID) || !strings.Contains(got, "jobs=4") {
+		t.Errorf("sweep trace header = %q", got)
+	}
+
+	jobLogs := 0
+	for _, rec := range capture.lines(t) {
+		if rec["msg"] == "sweep job" {
+			jobLogs++
+			if rec["request_id"] != reqID {
+				t.Errorf("sweep job log request_id = %v, want %q", rec["request_id"], reqID)
+			}
+			if rec["status"] == "" || rec["model"] == "" {
+				t.Errorf("sweep job log missing fields: %v", rec)
+			}
+		}
+	}
+	if jobLogs != 4 {
+		t.Errorf("got %d per-job log records, want 4", jobLogs)
+	}
+
+	// Hostile inbound IDs are sanitized, not reflected verbatim.
+	httpReq, err = http.NewRequest(http.MethodGet, ts.URL+"/v1/models", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("X-Mpsimd-Request-Id", "evil id<script>")
+	resp, err = http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if got := resp.Header.Get("X-Mpsimd-Request-Id"); got != "evilidscript" {
+		t.Errorf("sanitized id = %q, want %q", got, "evilidscript")
+	}
+}
+
+// TestConcurrentScrapesDuringSweep: /metrics and /v1/stats stay well-formed
+// while a full 72-job sweep hammers the counters from every worker. Run
+// under -race this is the data-race proof for the whole metrics layer.
+func TestConcurrentScrapesDuringSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid sweep")
+	}
+	_, ts := newTestServer(t, Config{Workers: 8})
+
+	done := make(chan struct{})
+	var sweepErr error
+	go func() {
+		defer close(done)
+		resp := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+			Models: []string{"inorder", "multipass"},
+			Hiers:  []string{"base", "config1", "config2"},
+		})
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			sweepErr = fmt.Errorf("sweep status %d: %s", resp.StatusCode, body)
+			return
+		}
+		var sr SweepResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			sweepErr = err
+			return
+		}
+		if sr.Summary.Total != 72 || sr.Summary.Failed != 0 {
+			sweepErr = fmt.Errorf("summary %+v, want 72 jobs none failed", sr.Summary)
+		}
+	}()
+
+	scrapes := 0
+	for {
+		select {
+		case <-done:
+			if sweepErr != nil {
+				t.Fatal(sweepErr)
+			}
+			if scrapes == 0 {
+				t.Fatal("sweep finished before any scrape")
+			}
+			// Final consistency: a post-sweep scrape lints and the stats
+			// accounting balances against 72 sweep cells.
+			out := scrapeMetrics(t, ts.URL)
+			if _, err := obs.Lint(strings.NewReader(out)); err != nil {
+				t.Fatalf("final scrape does not lint: %v", err)
+			}
+			st := getStats(t, ts.URL)
+			if got := st.CacheHits + st.CacheMisses + st.CacheCoalesced; got != 72 {
+				t.Errorf("hits %d + misses %d + coalesced %d = %d, want 72",
+					st.CacheHits, st.CacheMisses, st.CacheCoalesced, got)
+			}
+			if st.InFlight != 0 {
+				t.Errorf("in_flight = %d after sweep", st.InFlight)
+			}
+			return
+		default:
+			out := scrapeMetrics(t, ts.URL)
+			if _, err := obs.Lint(strings.NewReader(out)); err != nil {
+				t.Fatalf("mid-sweep scrape does not lint: %v", err)
+			}
+			getStats(t, ts.URL)
+			scrapes++
+		}
+	}
+}

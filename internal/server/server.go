@@ -7,11 +7,16 @@
 //
 // Endpoints:
 //
-//	POST /v1/run        one simulation job
+//	POST /v1/run        one simulation job (?debug=true adds a trace section)
 //	POST /v1/sweep      a (workloads x models x hierarchies) batch
 //	GET  /v1/models     registered timing models and named hierarchies
 //	GET  /v1/workloads  the benchmark kernels
 //	GET  /v1/stats      server metrics (jobs, cache, latency percentiles)
+//	GET  /metrics       Prometheus text-format exposition
+//
+// Every response carries X-Mpsimd-Request-Id; /v1/run adds X-Mpsimd-Cache
+// (hit|miss|coalesced) and X-Mpsimd-Trace (per-phase spans). Request logs
+// go through the configured slog.Logger.
 package server
 
 import (
@@ -19,9 +24,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
-	"sort"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +36,7 @@ import (
 	"multipass/internal/arch"
 	"multipass/internal/isa"
 	"multipass/internal/mem"
+	"multipass/internal/obs"
 	"multipass/internal/sim"
 	"multipass/internal/workload"
 
@@ -51,16 +59,29 @@ type Config struct {
 	// MaxSweepJobs rejects sweeps whose grid exceeds it; 0 means the
 	// default of 4096.
 	MaxSweepJobs int
+	// MaxCacheBytes bounds the result cache's byte footprint; 0 means the
+	// default of 256 MiB. Entries beyond the budget are evicted
+	// clock-style (second chance).
+	MaxCacheBytes int64
+	// Logger receives structured request and job logs; nil discards them.
+	Logger *slog.Logger
 }
 
-// latencyWindow is the number of recent executed-job latencies kept for the
-// p50/p99 estimate.
-const latencyWindow = 1024
+// Cache dispositions: how runCached satisfied a request. Exactly one is
+// counted per request, so hits + misses + coalesced equals the number of
+// /v1/run requests plus sweep cells that reached the cache layer.
+const (
+	dispHit       = "hit"       // served from the result cache
+	dispMiss      = "miss"      // executed (or attempted) a simulation
+	dispCoalesced = "coalesced" // joined another request's in-flight execution
+)
 
 // Server is the mpsimd HTTP service.
 type Server struct {
-	cfg   Config
-	cache *resultCache
+	cfg     Config
+	cache   *resultCache
+	log     *slog.Logger
+	metrics *serverMetrics
 	// sem is the worker pool: one token per concurrently executing
 	// simulation.
 	sem chan struct{}
@@ -81,11 +102,6 @@ type Server struct {
 	progMu sync.Mutex
 	progs  map[string]*builtProgram
 
-	latMu  sync.Mutex
-	lats   [latencyWindow]float64 // milliseconds, ring buffer
-	latLen int
-	latPos int
-
 	start time.Time
 }
 
@@ -98,13 +114,19 @@ type flight struct {
 
 // builtProgram is one memoized compilation: the binary, its initial image,
 // and the pre-decoded oracle trace (nil when the workload is too long to
-// trace, in which case runs fall back to the lazy interpreter).
+// trace, in which case runs fall back to the lazy interpreter). The build
+// runs in its own goroutine and done is closed when the fields are set, so
+// waiters can give up when their deadline expires without abandoning the
+// build. The phase durations are kept so the triggering request can report
+// them as spans.
 type builtProgram struct {
-	once  sync.Once
-	p     *isa.Program
-	image *arch.Memory
-	tr    *sim.Trace
-	err   error
+	done       chan struct{}
+	p          *isa.Program
+	image      *arch.Memory
+	tr         *sim.Trace
+	err        error
+	compileDur time.Duration
+	traceDur   time.Duration
 }
 
 // progCacheCap bounds the program memo; the whole map is dropped when full
@@ -116,37 +138,65 @@ const progCacheCap = 64
 const traceLimit = 1 << 22
 
 // program returns the memoized compilation for the spec's binary-identity
-// fields, compiling and tracing on first use.
-func (s *Server) program(spec JobSpec) (*isa.Program, *arch.Memory, *sim.Trace, error) {
+// fields, compiling and tracing on first use. The build itself runs
+// detached: a waiter whose ctx expires returns ctx.Err() immediately while
+// the compilation finishes for later requests. The request that triggered
+// the build reports compile and trace_decode spans on otr; memo hits
+// report only their wait.
+func (s *Server) program(ctx context.Context, spec JobSpec, otr *obs.Trace) (*isa.Program, *arch.Memory, *sim.Trace, error) {
 	key := fmt.Sprintf("%s|%d|%t|%t|%d", spec.Workload, spec.Scale, spec.Schedule, spec.InsertRestarts, spec.Unroll)
 	s.progMu.Lock()
 	if s.progs == nil || len(s.progs) >= progCacheCap {
 		s.progs = make(map[string]*builtProgram)
 	}
 	b, ok := s.progs[key]
+	triggered := !ok
 	if !ok {
-		b = &builtProgram{}
+		b = &builtProgram{done: make(chan struct{})}
 		s.progs[key] = b
+		go buildProgram(b, spec)
 	}
 	s.progMu.Unlock()
 
-	b.once.Do(func() {
-		w, ok := workload.ByName(spec.Workload)
-		if !ok {
-			b.err = fmt.Errorf("unknown workload %q", spec.Workload)
-			return
-		}
-		b.p, b.image, b.err = workload.Program(w, spec.Scale, spec.CompileOptions())
-		if b.err != nil {
-			return
-		}
-		// A failed trace is not an error: the run interprets lazily and
-		// reports the real fault, if any.
-		if tr, err := sim.BuildTrace(b.p, b.image, traceLimit); err == nil {
-			b.tr = tr
-		}
-	})
+	wait := time.Now()
+	select {
+	case <-b.done:
+	case <-ctx.Done():
+		otr.Observe("compile", time.Since(wait))
+		return nil, nil, nil, ctx.Err()
+	}
+	if triggered {
+		otr.Observe("compile", b.compileDur)
+		otr.Observe("trace_decode", b.traceDur)
+	} else {
+		otr.Observe("compile", time.Since(wait))
+	}
 	return b.p, b.image, b.tr, b.err
+}
+
+// buildProgram compiles and traces one memo entry, then publishes it by
+// closing done. It never holds progMu: a slow compilation must not block
+// memo lookups for other programs.
+func buildProgram(b *builtProgram, spec JobSpec) {
+	defer close(b.done)
+	w, ok := workload.ByName(spec.Workload)
+	if !ok {
+		b.err = fmt.Errorf("unknown workload %q", spec.Workload)
+		return
+	}
+	compileStart := time.Now()
+	b.p, b.image, b.err = workload.Program(w, spec.Scale, spec.CompileOptions())
+	b.compileDur = time.Since(compileStart)
+	if b.err != nil {
+		return
+	}
+	// A failed trace is not an error: the run interprets lazily and
+	// reports the real fault, if any.
+	traceStart := time.Now()
+	if tr, err := sim.BuildTrace(b.p, b.image, traceLimit); err == nil {
+		b.tr = tr
+	}
+	b.traceDur = time.Since(traceStart)
 }
 
 // New builds a Server.
@@ -157,16 +207,24 @@ func New(cfg Config) *Server {
 	if cfg.MaxSweepJobs <= 0 {
 		cfg.MaxSweepJobs = 4096
 	}
-	return &Server{
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Server{
 		cfg:     cfg,
-		cache:   newResultCache(),
+		cache:   newResultCache(cfg.MaxCacheBytes),
+		log:     log,
 		sem:     make(chan struct{}, cfg.Workers),
 		flights: make(map[string]*flight),
 		start:   time.Now(),
 	}
+	s.metrics = newServerMetrics(s)
+	return s
 }
 
-// Handler returns the service's routed handler.
+// Handler returns the service's routed handler, wrapped in the
+// observability envelope (request IDs, request logs, HTTP metrics).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
@@ -174,7 +232,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	return mux
+	mux.Handle("/metrics", s.metrics.reg.Handler())
+	return s.withObs(mux)
 }
 
 // writeJSON emits v with the canonical JSON encoder.
@@ -214,27 +273,39 @@ func (s *Server) deadline(ctx context.Context, timeoutMS int64) (context.Context
 }
 
 // execute runs one job under the worker pool and returns the marshaled
-// canonical RunResponse. The caller has already missed the cache.
-func (s *Server) execute(ctx context.Context, spec JobSpec) ([]byte, error) {
+// canonical RunResponse. The caller has already missed the cache. key is
+// the job's content address, used to label CPU profiles so pprof
+// attributes simulation time to jobs.
+func (s *Server) execute(ctx context.Context, spec JobSpec, key string) ([]byte, error) {
+	tr := obs.FromContext(ctx)
+	endQueue := tr.StartSpan("queue_wait")
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
+		endQueue()
 		return nil, ctx.Err()
 	}
+	endQueue()
 	defer func() { <-s.sem }()
+
+	// The deadline may have expired while queued; don't start compiling
+	// for a request that is already dead.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	s.inFlight.Add(1)
 	start := time.Now()
 	defer func() {
 		s.inFlight.Add(-1)
-		s.observeLatency(time.Since(start))
+		s.metrics.jobDuration.Observe(time.Since(start).Seconds())
 	}()
 
 	hier, ok := mem.ConfigByName(spec.Hier)
 	if !ok {
 		return nil, fmt.Errorf("unknown hierarchy %q", spec.Hier)
 	}
-	p, image, tr, err := s.program(spec)
+	p, image, simTrace, err := s.program(ctx, spec, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -243,15 +314,35 @@ func (s *Server) execute(ctx context.Context, spec JobSpec) ([]byte, error) {
 		return nil, err
 	}
 	if tu, ok := m.(sim.TraceUser); ok {
-		tu.UseTrace(tr)
+		tu.UseTrace(simTrace)
 	}
 	s.jobsExecuted.Add(1)
-	res, err := runModel(ctx, m, p, image)
+
+	// Label the simulation for CPU profiles: `go tool pprof -tagfocus` can
+	// then attribute time per job, model, or workload.
+	simStart := time.Now()
+	var res *sim.Result
+	pprof.Do(ctx, pprof.Labels("job", key, "model", spec.Model, "workload", spec.Workload),
+		func(ctx context.Context) {
+			res, err = s.runModel(ctx, m, p, image)
+		})
+	simDur := time.Since(simStart)
 	if err != nil {
 		s.jobsFailed.Add(1)
+		s.metrics.jobs.With(spec.Model, spec.Workload, "error").Inc()
+		tr.Observe("simulate", simDur)
 		return nil, err
 	}
-	return json.Marshal(RunResponse{SchemaVersion: APISchemaVersion, Job: spec, Stats: res.Stats})
+	s.metrics.jobs.With(spec.Model, spec.Workload, "ok").Inc()
+	res.AddPhase("simulate", simDur)
+	for _, ph := range res.Phases {
+		tr.Observe(ph.Name, ph.Dur)
+	}
+
+	endMarshal := tr.StartSpan("marshal")
+	data, err := json.Marshal(RunResponse{SchemaVersion: APISchemaVersion, Job: spec, Stats: res.Stats})
+	endMarshal()
+	return data, err
 }
 
 // runModel executes the model under a panic guard: a model bug (for example
@@ -259,11 +350,19 @@ func (s *Server) execute(ctx context.Context, spec JobSpec) ([]byte, error) {
 // descriptive error instead of killing the process. This matters doubly for
 // sweeps, whose jobs run on bare goroutines — an unrecovered panic there
 // would take down the whole server.
-func runModel(ctx context.Context, m sim.Machine, p *isa.Program, image *arch.Memory) (res *sim.Result, err error) {
+func (s *Server) runModel(ctx context.Context, m sim.Machine, p *isa.Program, image *arch.Memory) (res *sim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
 			err = fmt.Errorf("model %s panicked: %v", m.Name(), r)
+			reqID := ""
+			if tr := obs.FromContext(ctx); tr != nil {
+				reqID = tr.ID
+			}
+			s.log.Error("model panicked",
+				"request_id", reqID,
+				"model", m.Name(),
+				"panic", fmt.Sprint(r))
 		}
 	}()
 	return m.Run(ctx, p, image)
@@ -271,13 +370,25 @@ func runModel(ctx context.Context, m sim.Machine, p *isa.Program, image *arch.Me
 
 // runCached returns the canonical response bytes for spec: from the result
 // cache when the job already ran, from a concurrent in-flight execution when
-// one exists, by executing otherwise. cached reports whether the bytes came
-// from memory rather than this call's own simulation.
-func (s *Server) runCached(ctx context.Context, spec JobSpec) (data []byte, cached bool, err error) {
+// one exists, by executing otherwise. disp reports how the request was
+// satisfied (dispHit, dispMiss, or dispCoalesced) and is counted exactly
+// once per call, so the three counters always balance against request
+// totals — a coalesced follower is no longer misaccounted as a miss.
+func (s *Server) runCached(ctx context.Context, spec JobSpec) (data []byte, disp string, err error) {
+	defer func() {
+		switch disp {
+		case dispHit:
+			s.cache.hits.Add(1)
+		case dispMiss:
+			s.cache.misses.Add(1)
+		case dispCoalesced:
+			s.cache.coalesced.Add(1)
+		}
+	}()
 	key := spec.Key()
 	for {
 		if data, ok := s.cache.get(key); ok {
-			return data, true, nil
+			return data, dispHit, nil
 		}
 
 		s.flightMu.Lock()
@@ -287,24 +398,33 @@ func (s *Server) runCached(ctx context.Context, spec JobSpec) (data []byte, cach
 			select {
 			case <-f.done:
 			case <-ctx.Done():
-				return nil, false, ctx.Err()
+				return nil, dispCoalesced, ctx.Err()
 			}
 			if f.err == nil {
-				return f.data, true, nil
+				return f.data, dispCoalesced, nil
 			}
 			// The leader failed — possibly on its own (shorter) deadline.
 			// Retry from the top; this caller becomes a leader unless its
 			// own context is also done.
 			if err := ctx.Err(); err != nil {
-				return nil, false, err
+				return nil, dispCoalesced, err
 			}
 			continue
+		}
+		// Re-check the cache before claiming leadership: a leader publishes
+		// its bytes before removing its flight, so a request that missed
+		// the first lookup but finds no flight here may already have a
+		// result waiting — re-executing it would double-count a miss and
+		// waste a worker.
+		if data, ok := s.cache.get(key); ok {
+			s.flightMu.Unlock()
+			return data, dispHit, nil
 		}
 		f := &flight{done: make(chan struct{})}
 		s.flights[key] = f
 		s.flightMu.Unlock()
 
-		data, err = s.execute(ctx, spec)
+		data, err = s.execute(ctx, spec, key)
 		if err == nil {
 			s.cache.put(key, data)
 		}
@@ -313,7 +433,7 @@ func (s *Server) runCached(ctx context.Context, spec JobSpec) (data []byte, cach
 		delete(s.flights, key)
 		s.flightMu.Unlock()
 		close(f.done)
-		return data, false, err
+		return data, dispMiss, err
 	}
 }
 
@@ -332,19 +452,34 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
+	tr := obs.FromContext(r.Context())
+	if tr == nil {
+		tr = obs.NewTrace("")
+	}
+	ctx, cancel := s.deadline(obs.WithTrace(r.Context(), tr), req.TimeoutMS)
 	defer cancel()
 
-	data, cached, err := s.runCached(ctx, spec)
+	data, disp, err := s.runCached(ctx, spec)
+	status := http.StatusOK
 	if err != nil {
-		writeError(w, statusFor(err), "%s/%s/%s: %v", spec.Workload, spec.Model, spec.Hier, err)
+		status = statusFor(err)
+	}
+	s.log.Info("run",
+		"request_id", tr.ID,
+		"workload", spec.Workload, "model", spec.Model, "hier", spec.Hier,
+		"scale", spec.Scale, "max_insts", spec.MaxInsts,
+		"status", status, "cache", disp,
+		"dur_ms", float64(tr.Elapsed())/float64(time.Millisecond),
+	)
+	if err != nil {
+		writeError(w, status, "%s/%s/%s: %v", spec.Workload, spec.Model, spec.Hier, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if cached {
-		w.Header().Set("X-Mpsimd-Cache", "hit")
-	} else {
-		w.Header().Set("X-Mpsimd-Cache", "miss")
+	w.Header().Set(headerCache, disp)
+	w.Header().Set(headerTrace, tr.HeaderValue())
+	if debugRequested(r) {
+		data = withTraceSection(data, tr)
 	}
 	w.Write(data)
 }
@@ -357,6 +492,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Match the /v1/run contract: a negative timeout is a client error,
+	// not something to silently fall through to the server default.
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "timeout_ms %d < 0", req.TimeoutMS)
 		return
 	}
 	if len(req.Workloads) == 0 {
@@ -395,7 +536,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := s.deadline(r.Context(), req.TimeoutMS)
+	tr := obs.FromContext(r.Context())
+	if tr == nil {
+		tr = obs.NewTrace("")
+	}
+	ctx, cancel := s.deadline(obs.WithTrace(r.Context(), tr), req.TimeoutMS)
 	defer cancel()
 
 	// Fan out; the worker pool inside execute bounds real concurrency.
@@ -406,8 +551,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, spec JobSpec) {
 			defer wg.Done()
+			jobStart := time.Now()
 			job := SweepJob{Job: spec}
-			data, cached, err := s.runCached(ctx, spec)
+			data, disp, err := s.runCached(ctx, spec)
 			switch {
 			case err != nil:
 				job.Status = JobFailed
@@ -420,13 +566,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					break
 				}
 				job.Stats = &rr.Stats
-				if cached {
-					job.Status = JobCached
-				} else {
+				if disp == dispMiss {
 					job.Status = JobDone
+				} else {
+					job.Status = JobCached
 				}
 			}
 			resp.Jobs[i] = job
+			s.log.Debug("sweep job",
+				"request_id", tr.ID,
+				"workload", spec.Workload, "model", spec.Model, "hier", spec.Hier,
+				"status", job.Status, "cache", disp,
+				"dur_ms", float64(time.Since(jobStart))/float64(time.Millisecond),
+			)
 		}(i, spec)
 	}
 	wg.Wait()
@@ -442,6 +594,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			resp.Summary.Failed++
 		}
 	}
+	s.log.Info("sweep",
+		"request_id", tr.ID,
+		"jobs", resp.Summary.Total, "done", resp.Summary.Done,
+		"cached", resp.Summary.Cached, "failed", resp.Summary.Failed,
+		"dur_ms", float64(tr.Elapsed())/float64(time.Millisecond),
+	)
+	// A full span list over hundreds of jobs would bloat the header; the
+	// sweep reports its shape and total only.
+	w.Header().Set(headerTrace, fmt.Sprintf("id=%s;jobs=%d;total=%.3fms",
+		tr.ID, resp.Summary.Total, float64(tr.Elapsed())/float64(time.Millisecond)))
 	writeJSON(w, http.StatusOK, &resp)
 }
 
@@ -476,54 +638,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	p50, p99 := s.latencyPercentiles()
+	// The percentile estimate reads the same fixed-bucket histogram that
+	// /metrics exposes, replacing the old 1024-sample ring.
+	const msPerSecond = 1000
+	p50 := s.metrics.jobDuration.Quantile(0.50) * msPerSecond
+	p99 := s.metrics.jobDuration.Quantile(0.99) * msPerSecond
 	writeJSON(w, http.StatusOK, StatsResponse{
-		SchemaVersion: APISchemaVersion,
-		Workers:       s.cfg.Workers,
-		JobsExecuted:  s.jobsExecuted.Load(),
-		JobsFailed:    s.jobsFailed.Load(),
-		CacheHits:     s.cache.hits.Load(),
-		CacheMisses:   s.cache.misses.Load(),
-		CacheEntries:  s.cache.len(),
-		InFlight:      s.inFlight.Load(),
-		LatencyP50MS:  p50,
-		LatencyP99MS:  p99,
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		SchemaVersion:  APISchemaVersion,
+		Workers:        s.cfg.Workers,
+		JobsExecuted:   s.jobsExecuted.Load(),
+		JobsFailed:     s.jobsFailed.Load(),
+		CacheHits:      s.cache.hits.Load(),
+		CacheMisses:    s.cache.misses.Load(),
+		CacheCoalesced: s.cache.coalesced.Load(),
+		CacheEvictions: s.cache.evictions.Load(),
+		CacheEntries:   s.cache.len(),
+		CacheBytes:     s.cache.bytes(),
+		InFlight:       s.inFlight.Load(),
+		LatencyP50MS:   p50,
+		LatencyP99MS:   p99,
+		UptimeSeconds:  time.Since(s.start).Seconds(),
 	})
-}
-
-// observeLatency records one executed-job wall time in the sliding window.
-func (s *Server) observeLatency(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	s.latMu.Lock()
-	s.lats[s.latPos] = ms
-	s.latPos = (s.latPos + 1) % latencyWindow
-	if s.latLen < latencyWindow {
-		s.latLen++
-	}
-	s.latMu.Unlock()
-}
-
-// latencyPercentiles estimates p50/p99 over the window (nearest-rank).
-func (s *Server) latencyPercentiles() (p50, p99 float64) {
-	s.latMu.Lock()
-	n := s.latLen
-	buf := make([]float64, n)
-	copy(buf, s.lats[:n])
-	s.latMu.Unlock()
-	if n == 0 {
-		return 0, 0
-	}
-	sort.Float64s(buf)
-	rank := func(p float64) float64 {
-		i := int(p*float64(n)+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= n {
-			i = n - 1
-		}
-		return buf[i]
-	}
-	return rank(0.50), rank(0.99)
 }

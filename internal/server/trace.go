@@ -1,0 +1,122 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"multipass/internal/obs"
+)
+
+// Observability headers.
+const (
+	// headerRequestID carries the request ID: honored (after sanitizing)
+	// when the client sends one, generated otherwise, echoed on every
+	// response.
+	headerRequestID = "X-Mpsimd-Request-Id"
+	// headerTrace summarizes the request's phase spans.
+	headerTrace = "X-Mpsimd-Trace"
+	// headerCache reports the cache disposition of /v1/run.
+	headerCache = "X-Mpsimd-Cache"
+)
+
+// knownPaths bounds the path label of mpsimd_http_requests_total; anything
+// else (scans, typos) collapses into "other" so cardinality stays fixed.
+var knownPaths = map[string]bool{
+	"/v1/run": true, "/v1/sweep": true, "/v1/models": true,
+	"/v1/workloads": true, "/v1/stats": true, "/metrics": true,
+}
+
+// statusRecorder captures the response code for logs and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// withObs wraps the routed handler with the per-request observability
+// envelope: request-ID assignment, a Trace in the context, the request log,
+// and the HTTP request counter.
+func (s *Server) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := obs.SanitizeRequestID(r.Header.Get(headerRequestID))
+		tr := obs.NewTrace(id) // generates an ID when sanitizing emptied it
+		w.Header().Set(headerRequestID, tr.ID)
+
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		if rec.code == 0 {
+			rec.code = http.StatusOK
+		}
+
+		path := r.URL.Path
+		if !knownPaths[path] {
+			path = "other"
+		}
+		s.metrics.httpRequests.With(path, httpCodeLabel(rec.code)).Inc()
+
+		// Scrapes and registry reads are high-frequency and uninteresting;
+		// keep them out of Info logs.
+		level := slog.LevelInfo
+		if r.Method == http.MethodGet {
+			level = slog.LevelDebug
+		}
+		s.log.Log(r.Context(), level, "http request",
+			"request_id", tr.ID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.code,
+			"dur_ms", float64(tr.Elapsed())/float64(time.Millisecond),
+		)
+	})
+}
+
+// httpCodeLabel renders a status code as a metric label value.
+func httpCodeLabel(code int) string {
+	return strconv.Itoa(code)
+}
+
+// debugRequested reports whether the request asked for the debug trace
+// section (?debug=true).
+func debugRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("debug") {
+	case "1", "true":
+		return true
+	}
+	return false
+}
+
+// withTraceSection splices a "trace" member into a marshaled JSON object
+// without re-encoding it, so the stats bytes stay exactly the cached ones.
+func withTraceSection(data []byte, tr *obs.Trace) []byte {
+	tj, err := json.Marshal(tr.JSON())
+	if err != nil {
+		return data
+	}
+	i := bytes.LastIndexByte(data, '}')
+	if i < 0 {
+		return data
+	}
+	out := make([]byte, 0, len(data)+len(tj)+16)
+	out = append(out, data[:i]...)
+	out = append(out, `,"trace":`...)
+	out = append(out, tj...)
+	out = append(out, data[i:]...)
+	return out
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"time"
 
 	"multipass/internal/arch"
 	"multipass/internal/isa"
@@ -14,6 +15,23 @@ type Result struct {
 	Stats Stats
 	RF    *arch.RegFile
 	Mem   *arch.Memory
+	// Phases are named wall-clock segments of producing this result
+	// (simulate, plus anything a model or harness records via AddPhase).
+	// They describe the run that produced the Result, not the simulated
+	// machine, so they are excluded from Stats and from cached JSON.
+	Phases []Phase
+}
+
+// Phase is one named wall-clock segment recorded against a Result.
+type Phase struct {
+	Name string
+	Dur  time.Duration
+}
+
+// AddPhase appends a timing phase. Callers own the Result; the method is
+// not concurrency-safe.
+func (r *Result) AddPhase(name string, d time.Duration) {
+	r.Phases = append(r.Phases, Phase{Name: name, Dur: d})
 }
 
 // Machine is one timing model.
