@@ -1,10 +1,14 @@
 // Command benchsnap snapshots simulator throughput: it runs every timing
-// model over a compiled kernel, measures simulated cycles per wall second and
-// allocations per simulated cycle, and writes the result to BENCH_<date>.json
-// so performance regressions leave a dated record next to the repo.
+// model over one or more compiled kernels, measures simulated cycles per wall
+// second and allocations per simulated cycle, and writes the result to
+// BENCH_<date><tag>.json so performance regressions leave a dated record next
+// to the repo. It also compares two snapshots, as a ratio table with a
+// geomean regression gate, for use as a CI check.
 //
-//	benchsnap                       # mcf, scale 1, 3 reps, BENCH_YYYY-MM-DD.json
-//	benchsnap -kernel crafty -reps 5 -out /tmp
+//	benchsnap                                  # mcf, scale 1, 3 reps
+//	benchsnap -kernels all -reps 1 -tag -skip  # full matrix, BENCH_<date>-skip.json
+//	benchsnap -kernels gzip,mcf -skip=false    # skip-off timing
+//	benchsnap -compare old.json new.json       # ratio table; exit 1 on regression
 package main
 
 import (
@@ -21,10 +25,11 @@ import (
 
 	"multipass/internal/bench"
 	"multipass/internal/mem"
+	"multipass/internal/sim"
 	"multipass/internal/workload"
 )
 
-// modelSnap is one model's measurement.
+// modelSnap is one model's measurement on one kernel.
 type modelSnap struct {
 	Model           string  `json:"model"`
 	Cycles          uint64  `json:"cycles_per_run"`
@@ -35,16 +40,32 @@ type modelSnap struct {
 	AllocsPerCycle  float64 `json:"allocs_per_cycle"`
 }
 
-// snapshot is the file schema.
+// kernelSnap is one kernel's measurements across models.
+type kernelSnap struct {
+	Kernel string      `json:"kernel"`
+	Models []modelSnap `json:"models"`
+}
+
+// snapshot is the file schema. Version 2 adds multi-kernel Kernels plus the
+// environment fields (goos, cpu, skip) needed to tell whether two snapshots
+// are comparable at all; version 1 files (single flat Kernel/Models) are
+// still read by -compare.
 type snapshot struct {
-	Date            string      `json:"date"`
-	GoVersion       string      `json:"go_version"`
-	GOARCH          string      `json:"goarch"`
-	Kernel          string      `json:"kernel"`
-	Scale           int         `json:"scale"`
-	Hier            string      `json:"hier"`
-	Models          []modelSnap `json:"models"`
-	GeomeanCyclesPS float64     `json:"geomean_simcycles_per_sec"`
+	SchemaVersion   int          `json:"schema_version"`
+	Date            string       `json:"date"`
+	GoVersion       string       `json:"go_version"`
+	GOOS            string       `json:"goos"`
+	GOARCH          string       `json:"goarch"`
+	CPU             string       `json:"cpu,omitempty"`
+	Skip            string       `json:"skip"` // "on" | "off"
+	Scale           int          `json:"scale"`
+	Hier            string       `json:"hier"`
+	Kernels         []kernelSnap `json:"kernels"`
+	GeomeanCyclesPS float64      `json:"geomean_simcycles_per_sec"`
+
+	// Legacy v1 fields, populated only when reading old files.
+	Kernel       string      `json:"kernel,omitempty"`
+	LegacyModels []modelSnap `json:"models,omitempty"`
 }
 
 var allModels = []bench.ModelName{
@@ -52,23 +73,81 @@ var allModels = []bench.ModelName{
 }
 
 func main() {
-	kernel := flag.String("kernel", "mcf", "workload kernel to measure")
+	kernels := flag.String("kernels", "mcf", `comma-separated kernels to measure, or "all" for the full suite`)
 	scale := flag.Int("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "measured runs per model")
-	outDir := flag.String("out", ".", "directory for BENCH_<date>.json")
+	outDir := flag.String("out", ".", "directory for BENCH_<date><tag>.json")
 	models := flag.String("models", "", "comma-separated model subset (default: all)")
+	tag := flag.String("tag", "", "suffix for the snapshot filename: BENCH_<date>-<tag>.json")
+	skip := flag.Bool("skip", true, "idle-cycle fast-forwarding during measured runs")
+	compare := flag.Bool("compare", false, "compare two snapshot files (positional: old.json new.json) instead of measuring")
+	tolerance := flag.Float64("tolerance", 0.05, "with -compare: allowed geomean regression fraction before exiting nonzero")
 	flag.Parse()
 
-	if err := run(*kernel, *scale, *reps, *outDir, *models); err != nil {
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchsnap: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		ok, err := runCompare(flag.Arg(0), flag.Arg(1), *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(*kernels, *scale, *reps, *outDir, *models, *tag, *skip); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernel string, scale, reps int, outDir, models string) error {
-	w, ok := workload.ByName(kernel)
-	if !ok {
-		return fmt.Errorf("unknown kernel %q", kernel)
+func kernelList(spec string) ([]workload.Workload, error) {
+	if spec == "all" {
+		return workload.All(), nil
+	}
+	var ws []workload.Workload
+	for _, name := range strings.Split(spec, ",") {
+		w, ok := workload.ByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown kernel %q", name)
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// cpuModel extracts the CPU model string, best effort: /proc/cpuinfo "model
+// name" on Linux, empty elsewhere. Its job is detecting cross-machine
+// comparisons, so absence is acceptable and mismatch is a warning.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+func skipLabel(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
+}
+
+func run(kernels string, scale, reps int, outDir, models, tag string, skipOn bool) error {
+	ws, err := kernelList(kernels)
+	if err != nil {
+		return err
 	}
 	names := allModels
 	if models != "" {
@@ -81,65 +160,80 @@ func run(kernel string, scale, reps int, outDir, models string) error {
 		reps = 1
 	}
 
-	pr, err := bench.Prepare(w, scale)
-	if err != nil {
-		return err
-	}
 	ctx := context.Background()
 	hier := mem.BaseConfig()
+	opts := sim.ModelOptions{Hier: hier, DisableSkip: !skipOn}
 
 	snap := snapshot{
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-		Kernel:    kernel,
-		Scale:     scale,
-		Hier:      "base",
+		SchemaVersion: 2,
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPU:           cpuModel(),
+		Skip:          skipLabel(skipOn),
+		Scale:         scale,
+		Hier:          "base",
 	}
 
 	logGeo := 0.0
-	for _, name := range names {
-		// Warm-up run: touch every lazily-grown structure and the page
-		// cache so the measured reps see steady state.
-		if _, err := pr.Run(ctx, name, hier); err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+	cells := 0
+	for _, w := range ws {
+		pr, err := bench.Prepare(w, scale)
+		if err != nil {
+			return err
 		}
-
-		var ms0, ms1 runtime.MemStats
-		runtime.GC()
-		runtime.ReadMemStats(&ms0)
-		start := time.Now()
-		var cycles, total uint64
-		for i := 0; i < reps; i++ {
-			res, err := pr.Run(ctx, name, hier)
-			if err != nil {
-				return fmt.Errorf("%s: %w", name, err)
+		ks := kernelSnap{Kernel: w.Name}
+		for _, name := range names {
+			// Warm-up run: touch every lazily-grown structure and the page
+			// cache so the measured reps see steady state.
+			if _, err := pr.RunOpts(ctx, name, opts); err != nil {
+				return fmt.Errorf("%s/%s: %w", w.Name, name, err)
 			}
-			cycles = res.Stats.Cycles
-			total += res.Stats.Cycles
+
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			var cycles, total uint64
+			for i := 0; i < reps; i++ {
+				res, err := pr.RunOpts(ctx, name, opts)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", w.Name, name, err)
+				}
+				cycles = res.Stats.Cycles
+				total += res.Stats.Cycles
+			}
+			wall := time.Since(start).Seconds()
+			runtime.ReadMemStats(&ms1)
+
+			allocsPerRun := float64(ms1.Mallocs-ms0.Mallocs) / float64(reps)
+			cps := float64(total) / wall
+			ks.Models = append(ks.Models, modelSnap{
+				Model:           string(name),
+				Cycles:          cycles,
+				Reps:            reps,
+				WallSeconds:     wall,
+				SimCyclesPerSec: cps,
+				AllocsPerRun:    allocsPerRun,
+				AllocsPerCycle:  allocsPerRun / float64(cycles),
+			})
+			logGeo += math.Log(cps)
+			cells++
+			fmt.Printf("%-8s %-16s %12.0f simcycles/s  %8.0f allocs/run  %.6f allocs/cycle\n",
+				w.Name, name, cps, allocsPerRun, allocsPerRun/float64(cycles))
 		}
-		wall := time.Since(start).Seconds()
-		runtime.ReadMemStats(&ms1)
-
-		allocsPerRun := float64(ms1.Mallocs-ms0.Mallocs) / float64(reps)
-		cps := float64(total) / wall
-		snap.Models = append(snap.Models, modelSnap{
-			Model:           string(name),
-			Cycles:          cycles,
-			Reps:            reps,
-			WallSeconds:     wall,
-			SimCyclesPerSec: cps,
-			AllocsPerRun:    allocsPerRun,
-			AllocsPerCycle:  allocsPerRun / float64(cycles),
-		})
-		logGeo += math.Log(cps)
-		fmt.Printf("%-16s %12.0f simcycles/s  %8.0f allocs/run  %.6f allocs/cycle\n",
-			name, cps, allocsPerRun, allocsPerRun/float64(cycles))
+		snap.Kernels = append(snap.Kernels, ks)
 	}
-	snap.GeomeanCyclesPS = math.Exp(logGeo / float64(len(snap.Models)))
-	fmt.Printf("geomean          %12.0f simcycles/s\n", snap.GeomeanCyclesPS)
+	snap.GeomeanCyclesPS = math.Exp(logGeo / float64(cells))
+	fmt.Printf("geomean %12.0f simcycles/s (%d kernel x model cells, skip %s)\n",
+		snap.GeomeanCyclesPS, cells, snap.Skip)
 
-	path := filepath.Join(outDir, "BENCH_"+snap.Date+".json")
+	name := "BENCH_" + snap.Date
+	if tag != "" {
+		name += "-" + tag
+	}
+	path := filepath.Join(outDir, name+".json")
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -149,4 +243,98 @@ func run(kernel string, scale, reps int, outDir, models string) error {
 	}
 	fmt.Println("wrote", path)
 	return nil
+}
+
+// readSnapshot loads a snapshot file, normalizing legacy v1 files (flat
+// Kernel/Models, no environment fields) into the v2 shape.
+func readSnapshot(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.SchemaVersion == 0 {
+		// v1: single kernel, skip mode predates the knob (always off).
+		s.SchemaVersion = 1
+		s.Kernels = []kernelSnap{{Kernel: s.Kernel, Models: s.LegacyModels}}
+		if s.Skip == "" {
+			s.Skip = "off"
+		}
+	}
+	return &s, nil
+}
+
+// envWarnings lists environment mismatches that make a throughput comparison
+// between the two snapshots unreliable.
+func envWarnings(old, new *snapshot) []string {
+	var warns []string
+	mismatch := func(field, a, b string) {
+		if a != b && a != "" && b != "" {
+			warns = append(warns, fmt.Sprintf("%s differs: %q vs %q", field, a, b))
+		}
+	}
+	mismatch("goos", old.GOOS, new.GOOS)
+	mismatch("goarch", old.GOARCH, new.GOARCH)
+	mismatch("cpu", old.CPU, new.CPU)
+	mismatch("go version", old.GoVersion, new.GoVersion)
+	mismatch("skip mode", old.Skip, new.Skip)
+	if old.Scale != new.Scale {
+		warns = append(warns, fmt.Sprintf("scale differs: %d vs %d", old.Scale, new.Scale))
+	}
+	return warns
+}
+
+// runCompare prints a per-cell ratio table (new/old simcycles/s) for every
+// kernel x model pair present in both snapshots and gates on the geomean
+// ratio: below 1-tolerance it reports a regression and returns false.
+func runCompare(oldPath, newPath string, tolerance float64) (bool, error) {
+	old, err := readSnapshot(oldPath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := readSnapshot(newPath)
+	if err != nil {
+		return false, err
+	}
+
+	for _, w := range envWarnings(old, cur) {
+		fmt.Printf("warning: %s\n", w)
+	}
+
+	oldCells := make(map[string]float64)
+	for _, ks := range old.Kernels {
+		for _, m := range ks.Models {
+			oldCells[ks.Kernel+"/"+m.Model] = m.SimCyclesPerSec
+		}
+	}
+
+	fmt.Printf("%-8s %-16s %14s %14s %8s\n", "kernel", "model", "old cyc/s", "new cyc/s", "ratio")
+	logGeo := 0.0
+	n := 0
+	for _, ks := range cur.Kernels {
+		for _, m := range ks.Models {
+			oldCPS, ok := oldCells[ks.Kernel+"/"+m.Model]
+			if !ok || oldCPS <= 0 || m.SimCyclesPerSec <= 0 {
+				continue
+			}
+			ratio := m.SimCyclesPerSec / oldCPS
+			fmt.Printf("%-8s %-16s %14.0f %14.0f %7.2fx\n",
+				ks.Kernel, m.Model, oldCPS, m.SimCyclesPerSec, ratio)
+			logGeo += math.Log(ratio)
+			n++
+		}
+	}
+	if n == 0 {
+		return false, fmt.Errorf("no common kernel/model cells between %s and %s", oldPath, newPath)
+	}
+	geo := math.Exp(logGeo / float64(n))
+	fmt.Printf("geomean ratio %.3fx over %d cells (tolerance %.0f%%)\n", geo, n, 100*tolerance)
+	if geo < 1-tolerance {
+		fmt.Printf("REGRESSION: geomean %.3fx below %.3fx floor\n", geo, 1-tolerance)
+		return false, nil
+	}
+	return true, nil
 }

@@ -25,7 +25,7 @@ import (
 )
 
 // runTraced runs a multipass variant with the pipeline tracer attached.
-func runTraced(ctx context.Context, name bench.ModelName, w workload.Workload, scale int, hc mem.HierConfig) (*sim.Result, error) {
+func runTraced(ctx context.Context, name bench.ModelName, w workload.Workload, scale int, hc mem.HierConfig, disableSkip bool) (*sim.Result, error) {
 	p, image, err := workload.Program(w, scale, compile.DefaultOptions())
 	if err != nil {
 		return nil, err
@@ -34,6 +34,7 @@ func runTraced(ctx context.Context, name bench.ModelName, w workload.Workload, s
 	cfg.Hier = hc
 	cfg.DisableRegroup = name == bench.MNoRegroup
 	cfg.DisableRestart = name == bench.MNoRestart
+	cfg.DisableSkip = disableSkip
 	cfg.Trace = core.NewTracer(os.Stderr)
 	m, err := core.New(cfg)
 	if err != nil {
@@ -54,6 +55,7 @@ func main() {
 	list := flag.Bool("list", false, "list available workloads")
 	trace := flag.Bool("trace", false, "stream multipass pipeline events to stderr (multipass models only)")
 	jsonOut := flag.Bool("json", false, "emit the statistics as JSON")
+	skip := flag.Bool("skip", true, "idle-cycle fast-forwarding; stats are byte-identical either way, -skip=false exists for validation and timing comparisons")
 	flag.Parse()
 
 	if *list {
@@ -87,9 +89,13 @@ func main() {
 	var res *sim.Result
 	var err error
 	if *trace {
-		res, err = runTraced(ctx, bench.ModelName(*model), w, *scale, hc)
+		res, err = runTraced(ctx, bench.ModelName(*model), w, *scale, hc, !*skip)
 	} else {
-		res, err = bench.Run(ctx, bench.ModelName(*model), w, *scale, hc)
+		var pr *bench.Prepared
+		pr, err = bench.Prepare(w, *scale)
+		if err == nil {
+			res, err = pr.RunOpts(ctx, bench.ModelName(*model), sim.ModelOptions{Hier: hc, DisableSkip: !*skip})
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

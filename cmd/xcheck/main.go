@@ -33,6 +33,7 @@ func main() {
 	shrink := flag.Bool("shrink", true, "minimize failing programs before reporting")
 	corpus := flag.String("corpus", "internal/xcheck/testdata/corpus", "directory for failure repros")
 	inject := flag.Bool("inject", false, "also check the deliberately broken "+xcheck.BuggyModelName+" model (must fail)")
+	skipdiff := flag.Bool("skipdiff", false, "run every model twice (idle-cycle skipping on and off) and report any stats or state divergence")
 	quiet := flag.Bool("q", false, "suppress per-progress output")
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xcheck: unknown hierarchy %q (have %v)\n", *hier, mem.ConfigNames())
 		os.Exit(2)
 	}
-	opts := xcheck.Options{Hier: hc}
+	opts := xcheck.Options{Hier: hc, SkipDiff: *skipdiff}
 	switch *models {
 	case "":
 	case "all":

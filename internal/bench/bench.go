@@ -51,7 +51,13 @@ const (
 // NewMachine constructs the named model over the given hierarchy, via the
 // sim registry the model packages register themselves into.
 func NewMachine(name ModelName, hier mem.HierConfig) (sim.Machine, error) {
-	return sim.NewMachine(string(name), sim.ModelOptions{Hier: hier})
+	return NewMachineOpts(name, sim.ModelOptions{Hier: hier})
+}
+
+// NewMachineOpts constructs the named model with full per-run options, for
+// callers that vary more than the hierarchy (e.g. DisableSkip).
+func NewMachineOpts(name ModelName, opts sim.ModelOptions) (sim.Machine, error) {
+	return sim.NewMachine(string(name), opts)
 }
 
 // Run compiles one workload (paper-standard compiler options: scheduling and
@@ -62,7 +68,7 @@ func Run(ctx context.Context, name ModelName, w workload.Workload, scale int, hi
 	if err != nil {
 		return nil, err
 	}
-	return runProgram(ctx, name, p, image, decodeTrace(p, image), hier)
+	return runProgram(ctx, name, p, image, decodeTrace(p, image), sim.ModelOptions{Hier: hier})
 }
 
 // traceLimit caps pre-decoded traces; a workload longer than this falls back
@@ -102,11 +108,17 @@ func Prepare(w workload.Workload, scale int) (*Prepared, error) {
 
 // Run executes one model over the prepared binary.
 func (pr *Prepared) Run(ctx context.Context, name ModelName, hier mem.HierConfig) (*sim.Result, error) {
-	return runProgram(ctx, name, pr.P, pr.Image, pr.Tr, hier)
+	return runProgram(ctx, name, pr.P, pr.Image, pr.Tr, sim.ModelOptions{Hier: hier})
 }
 
-func runProgram(ctx context.Context, name ModelName, p *isa.Program, image *arch.Memory, tr *sim.Trace, hier mem.HierConfig) (*sim.Result, error) {
-	m, err := NewMachine(name, hier)
+// RunOpts executes one model over the prepared binary with full per-run
+// options (hierarchy, instruction limit, DisableSkip).
+func (pr *Prepared) RunOpts(ctx context.Context, name ModelName, opts sim.ModelOptions) (*sim.Result, error) {
+	return runProgram(ctx, name, pr.P, pr.Image, pr.Tr, opts)
+}
+
+func runProgram(ctx context.Context, name ModelName, p *isa.Program, image *arch.Memory, tr *sim.Trace, opts sim.ModelOptions) (*sim.Result, error) {
+	m, err := NewMachineOpts(name, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +187,7 @@ func runMatrix(ctx context.Context, ws []workload.Workload, models []ModelName, 
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			b := programs[j.w.Name]
-			res, err := runProgram(ctx, j.model, b.p, b.image, b.tr, hiers[j.hname])
+			res, err := runProgram(ctx, j.model, b.p, b.image, b.tr, sim.ModelOptions{Hier: hiers[j.hname]})
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"multipass/internal/compile"
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+	"multipass/internal/workload"
+)
+
+// TestSkipOffEquivalence runs every timing model on every kernel twice — idle-
+// cycle fast-forwarding on (the default) and off (DisableSkip) — and asserts
+// the two runs are indistinguishable: identical sim.Stats (cycle counts, stall
+// breakdown, model counters, cache stats) and identical architectural
+// snapshots. This is the escape-hatch contract: -skip=off must be purely a
+// performance knob, never a semantics knob.
+func TestSkipOffEquivalence(t *testing.T) {
+	for _, model := range goldenModels {
+		for _, kernel := range goldenKernels {
+			model, kernel := model, kernel
+			t.Run(string(model)+"/"+kernel, func(t *testing.T) {
+				t.Parallel()
+				w, ok := workload.ByName(kernel)
+				if !ok {
+					t.Fatalf("unknown kernel %q", kernel)
+				}
+				pr, err := Prepare(w, goldenScale)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := context.Background()
+				on, err := pr.RunOpts(ctx, model, sim.ModelOptions{Hier: mem.BaseConfig()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				off, err := pr.RunOpts(ctx, model, sim.ModelOptions{Hier: mem.BaseConfig(), DisableSkip: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if on.Stats != off.Stats {
+					t.Errorf("stats differ between skip on and off:\n  on: %+v\n off: %+v", on.Stats, off.Stats)
+				}
+				sOn, sOff := on.Snapshot(), off.Snapshot()
+				if !sOn.Equal(sOff) {
+					t.Errorf("snapshots differ between skip on and off: %v", sOn.Diff(sOff, 8))
+				}
+			})
+		}
+	}
+}
+
+// TestCancellationDuringSkip: a deadline expiring mid-run is honored promptly
+// with fast-forwarding enabled on a stall-dominated workload — the worst case
+// for cancellation latency, since most simulated time passes inside jumps. A
+// jump never crosses a context-poll boundary, so the wall-clock bound is the
+// same as the ticking path's.
+func TestCancellationDuringSkip(t *testing.T) {
+	w, _ := workload.ByName("mcf")
+	p, image, err := workload.Program(w, 8, compile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, disable := range []bool{false, true} {
+		for _, name := range []string{"inorder", "multipass", "runahead", "ooo"} {
+			m, err := sim.NewMachine(name, sim.ModelOptions{Hier: mem.BaseConfig(), DisableSkip: disable})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+			start := time.Now()
+			_, err = m.Run(ctx, p, image)
+			cancel()
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("%s (DisableSkip=%v): err = %v, want context.DeadlineExceeded", name, disable, err)
+			}
+			if el := time.Since(start); el > 5*time.Second {
+				t.Errorf("%s (DisableSkip=%v): took %v to honor the deadline", name, disable, el)
+			}
+		}
+	}
+}

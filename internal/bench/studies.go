@@ -11,6 +11,7 @@ import (
 	"multipass/internal/core"
 	"multipass/internal/isa"
 	"multipass/internal/mem"
+	"multipass/internal/sim"
 	"multipass/internal/workload"
 )
 
@@ -55,7 +56,7 @@ func RestartStudy(ctx context.Context, scale int) (*RestartStudyResult, error) {
 			return nil, err
 		}
 
-		base, err := runProgram(ctx, MInorder, withR, imageA, decodeTrace(withR, imageA), mem.BaseConfig())
+		base, err := runProgram(ctx, MInorder, withR, imageA, decodeTrace(withR, imageA), sim.ModelOptions{Hier: mem.BaseConfig()})
 		if err != nil {
 			return nil, err
 		}
@@ -170,7 +171,7 @@ func sweep(ctx context.Context, param string, scale int, sizes []int, apply func
 		if err != nil {
 			return nil, err
 		}
-		base, err := runProgram(ctx, MInorder, p, image, decodeTrace(p, image), mem.BaseConfig())
+		base, err := runProgram(ctx, MInorder, p, image, decodeTrace(p, image), sim.ModelOptions{Hier: mem.BaseConfig()})
 		if err != nil {
 			return nil, err
 		}

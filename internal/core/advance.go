@@ -96,11 +96,17 @@ func (r *run) advanceCycle() error {
 	slots := 0
 	executed := 0
 	mp := &r.st.Multipass
+	wasBlocked := r.passBlocked
+	iqFullIdle := false
+	// The main loop exits advance mode once now reaches stallUntil, so that
+	// is the latest cycle an idle advance cycle may replay to.
+	r.skip.Note(r.stallUntil)
 
 	for slots < r.cfg.Caps.MaxIssue && !r.passBlocked {
 		if r.peek >= r.next+uint64(r.cfg.IQSize) {
 			if slots == 0 {
 				mp.IQFullCycles++
+				iqFullIdle = true
 			}
 			break
 		}
@@ -132,6 +138,7 @@ func (r *run) advanceCycle() error {
 			break
 		}
 		if fready > r.now {
+			r.skip.Note(fready)
 			break // advance is fetch-limited this cycle
 		}
 
@@ -152,6 +159,7 @@ func (r *run) advanceCycle() error {
 				// prediction is actually wrong, everything fetched beyond
 				// is wrong-path for the rest of the episode.
 				if r.pred.Predict(d.Addr()) != d.Taken {
+					r.skip.MarkDirty() // blockAt changes without a slot used
 					r.blockAt = r.peek
 					break
 				}
@@ -172,6 +180,7 @@ func (r *run) advanceCycle() error {
 			continue
 		}
 		if qp.ready > r.now {
+			r.skip.Note(qp.ready)
 			break // in-order wait for a short-latency producer
 		}
 		qpTrue := qp.val.Bool()
@@ -185,6 +194,7 @@ func (r *run) advanceCycle() error {
 				// The advance value chain disagrees with the true path
 				// (possible only through data speculation): wrong-path
 				// guard ends the episode's reach here.
+				r.skip.MarkDirty() // blockAt changes without a slot used
 				r.blockAt = r.peek
 				break
 			}
@@ -256,6 +266,12 @@ func (r *run) advanceCycle() error {
 			continue
 		}
 		if src1.ready > r.now || src2.ready > r.now {
+			if src1.ready > r.now {
+				r.skip.Note(src1.ready)
+			}
+			if src2.ready > r.now {
+				r.skip.Note(src2.ready)
+			}
 			break // in-order wait
 		}
 		if !use.Fits(in.Op, &r.cfg.Caps) {
@@ -289,6 +305,15 @@ func (r *run) advanceCycle() error {
 		// Cycles with only merges or deferrals are charged to the latency
 		// that triggered advance mode (always a load).
 		r.st.Cat[sim.StallLoad]++
+		if slots == 0 && r.passBlocked == wasBlocked {
+			// No slot consumed and the blocked flag did not flip: every
+			// mutation path above passes through slots++, sets passBlocked,
+			// or marked the skip state dirty (blockAt, restartPass), so the
+			// cycle replays identically until the earliest noted deadline
+			// (at the latest, the episode exit at stallUntil).
+			r.idle, r.idleCat = true, sim.StallLoad
+			r.idleIQFull = iqFullIdle
+		}
 	}
 	return nil
 }
@@ -336,6 +361,7 @@ func (r *run) advanceStore(in *isa.Inst, d *sim.DynInst, use *isa.FUUse, slots, 
 		return true
 	}
 	if addrOp.ready > r.now {
+		r.skip.Note(addrOp.ready)
 		return false
 	}
 	addr := addrOp.val.Uint32() + uint32(in.Imm)
@@ -360,6 +386,7 @@ func (r *run) advanceStore(in *isa.Inst, d *sim.DynInst, use *isa.FUUse, slots, 
 		return true
 	}
 	if dataOp.ready > r.now {
+		r.skip.Note(dataOp.ready)
 		return false
 	}
 	if !use.Fits(in.Op, &r.cfg.Caps) {

@@ -45,6 +45,7 @@ group:
 		}
 		if fready > now {
 			blocker = sim.StallFrontEnd
+			r.skip.Note(fready)
 			break
 		}
 		in := d.Inst
@@ -94,6 +95,7 @@ group:
 				break
 			}
 			blocker = r.prodKind[qf].StallFor()
+			r.skip.Note(r.readyAt[qf])
 			break
 		}
 		qpTrue := r.ownRF.Read(in.QP).Bool()
@@ -113,6 +115,7 @@ group:
 						break group
 					}
 					blocker = r.prodKind[f].StallFor()
+					r.skip.Note(r.readyAt[f])
 					break group
 				}
 			}
@@ -125,6 +128,7 @@ group:
 				}
 				if f := reg.Flat(); r.readyAt[f] > now+lat {
 					blocker = sim.StallOther
+					r.skip.Note(r.readyAt[f] - lat)
 					break group
 				}
 			}
@@ -150,6 +154,11 @@ group:
 		r.lastWork = now
 	} else {
 		r.st.Cat[blocker]++
+		// A progress-free cycle mutated nothing (advance entry marks the
+		// skip state dirty, so Jump refuses after enterAdvance). The rally
+		// to arch flip below is harmless: repeats replay identically in the
+		// new mode and the main loop credits mode counters post-flip.
+		r.idle, r.idleCat = true, blocker
 	}
 	if r.mode == modeRally && r.next >= r.maxPeek {
 		r.mode = modeArch
@@ -251,6 +260,7 @@ func (r *run) commitSpecLoad(d *sim.DynInst, e *rsEntry, use *isa.FUUse, groupWr
 	}
 	if qf := in.QP.Flat(); r.readyAt[qf] > now {
 		*blocker = r.prodKind[qf].StallFor()
+		r.skip.Note(r.readyAt[qf])
 		return false, nil
 	}
 	if !r.ownRF.Read(in.QP).Bool() {

@@ -106,6 +106,17 @@ type run struct {
 	halted   bool
 	lastWork uint64
 	regBuf   [4]isa.Reg
+
+	// Idle-cycle fast-forwarding (see sim.SkipState). The cycle functions
+	// report whether the cycle was provably idle and which stall category
+	// its repeats are charged to; mode counters are credited by the mode in
+	// effect after the cycle (commitCycle may flip rally to arch at its end,
+	// and repeats of that cycle run in the new mode).
+	skip       sim.SkipState
+	skipOn     bool
+	idle       bool
+	idleCat    sim.StallKind
+	idleIQFull bool // repeats also charge Multipass.IQFullCycles
 }
 
 const progressWindow = 1 << 20
@@ -125,6 +136,7 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 	}
 	r.stream = sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
 	r.fe = sim.NewFetchUnit(r.stream, r.hier, cfg.FetchWidth)
+	r.skipOn = !cfg.DisableSkip
 
 	for !r.halted {
 		if err := sim.PollContext(ctx, r.now); err != nil {
@@ -133,6 +145,8 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		if r.mode == modeAdvance && r.now >= r.stallUntil {
 			r.exitAdvance()
 		}
+		r.skip.Begin()
+		r.idle, r.idleIQFull = false, false
 		var err error
 		if r.mode == modeAdvance {
 			err = r.advanceCycle()
@@ -145,6 +159,24 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		r.st.Cycles++
 		r.now++
 		r.fe.Release(r.next)
+		if r.skipOn && r.idle {
+			if d := r.skip.Jump(r.hier, r.now); d > 0 {
+				r.st.Cat[r.idleCat] += d
+				switch r.mode {
+				case modeAdvance:
+					r.st.Multipass.AdvanceCycles += d
+					if r.idleIQFull {
+						r.st.Multipass.IQFullCycles += d
+					}
+				case modeRally:
+					r.st.Multipass.RallyCycles += d
+				default:
+					r.st.Multipass.ArchCycles += d
+				}
+				r.st.Cycles += d
+				r.now += d
+			}
+		}
 		if r.now-r.lastWork > progressWindow {
 			return nil, fmt.Errorf("core: no progress for %d cycles at seq %d (mode %d)", progressWindow, r.next, r.mode)
 		}
@@ -183,6 +215,7 @@ func (r *run) clearPassState() {
 // enterAdvance begins an advance episode triggered by the instruction at
 // seq stalling on reg (paper §3.1.2).
 func (r *run) enterAdvance(seq uint64, until uint64) {
+	r.skip.MarkDirty() // mode change: the next cycle is an advance cycle
 	r.mode = modeAdvance
 	r.trigger = seq
 	r.stallUntil = until
@@ -197,6 +230,7 @@ func (r *run) enterAdvance(seq uint64, until uint64) {
 // restartPass implements advance restart (§3.3): speculative per-pass state
 // clears, the RS persists, and the PEEK pointer returns to the trigger.
 func (r *run) restartPass() {
+	r.skip.MarkDirty() // pass counters and PEEK change even when no slot was used
 	r.clearPassState()
 	r.peek = r.trigger
 	r.st.Multipass.AdvancePasses++

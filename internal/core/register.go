@@ -14,6 +14,7 @@ func init() {
 			}
 			cfg.DisableRegroup = noRegroup
 			cfg.DisableRestart = noRestart
+			cfg.DisableSkip = opts.DisableSkip
 			return New(cfg)
 		}
 	}

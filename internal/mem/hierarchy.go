@@ -88,6 +88,11 @@ type Hierarchy struct {
 	// makes a linear scan cheaper than any map, and the structure is
 	// allocation-free across runs and Resets.
 	inflight []mshr
+	// instFill is the most recent instruction-side fill. The front end has
+	// its own port (AccessInst consumes no data MSHR) and fetches lines
+	// serially, so a single slot covers every in-flight inst fill; it exists
+	// so NextEvent can see instruction misses as wake-up events too.
+	instFill mshr
 	// mshrStalls counts accesses that had to wait for a free MSHR.
 	mshrStalls uint64
 }
@@ -160,6 +165,28 @@ func (h *Hierarchy) earliestCompletion(now uint64) uint64 {
 	}
 	if first {
 		return now
+	}
+	return best
+}
+
+// NextEvent returns the earliest cycle strictly after now at which any
+// in-flight fill completes — data-side MSHR fills plus the instruction-side
+// fill — or 0 when nothing is in flight. This is the wake-up target for
+// event-driven stall skipping: a cycle loop that has proven no instruction
+// can make progress before the next memory completion may jump its clock
+// straight to this cycle instead of ticking through the stall. All fills in
+// this hierarchy are fixed-latency (the completion cycle is decided when the
+// miss issues and never moves), so the value returned for a given fill is
+// stable until that fill completes.
+func (h *Hierarchy) NextEvent(now uint64) uint64 {
+	var best uint64
+	for i := range h.inflight {
+		if r := h.inflight[i].ready; r > now && (best == 0 || r < best) {
+			best = r
+		}
+	}
+	if r := h.instFill.ready; r > now && (best == 0 || r < best) {
+		best = r
 	}
 	return best
 }
@@ -281,6 +308,7 @@ func (h *Hierarchy) AccessInst(addr uint32, now uint64) uint64 {
 	}
 	h.l2.install(addr, false)
 	h.l1i.install(addr, false)
+	h.instFill = mshr{addr: addr, ready: ready}
 	return ready
 }
 
@@ -315,5 +343,6 @@ func (h *Hierarchy) Reset() {
 	for i := range h.inflight {
 		h.inflight[i] = mshr{}
 	}
+	h.instFill = mshr{}
 	h.mshrStalls = 0
 }

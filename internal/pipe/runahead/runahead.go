@@ -25,6 +25,7 @@ func init() {
 		if opts.MaxInsts != 0 {
 			cfg.MaxInsts = opts.MaxInsts
 		}
+		cfg.DisableSkip = opts.DisableSkip
 		return New(cfg)
 	})
 }
@@ -108,6 +109,15 @@ type runState struct {
 	halted   bool
 	lastWork uint64
 	regBuf   [4]isa.Reg
+
+	// Idle-cycle fast-forwarding (see sim.SkipState). The cycle functions
+	// report whether the cycle they just simulated was provably idle and
+	// which counters its repeats must be credited to.
+	skip   sim.SkipState
+	skipOn bool
+	idle   bool         // cycle mutated nothing; repeats replay identically
+	idleRA bool         // repeats also count as runahead cycles
+	idleCat sim.StallKind // stall category repeats are charged to
 }
 
 const raStoreBuckets = 512
@@ -156,6 +166,7 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 	}
 	r.stream = sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
 	r.fe = sim.NewFetchUnit(r.stream, r.hier, cfg.FetchWidth)
+	r.skipOn = !cfg.DisableSkip
 
 	for !r.halted {
 		if err := sim.PollContext(ctx, r.now); err != nil {
@@ -164,6 +175,8 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		if r.inEpisode && r.now >= r.stallUntil {
 			r.exitEpisode()
 		}
+		r.skip.Begin()
+		r.idle, r.idleRA = false, false
 		var err error
 		if r.inEpisode {
 			err = r.runaheadCycle()
@@ -176,6 +189,16 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		r.st.Cycles++
 		r.now++
 		r.fe.Release(r.next)
+		if r.skipOn && r.idle {
+			if d := r.skip.Jump(r.hier, r.now); d > 0 {
+				r.st.Cat[r.idleCat] += d
+				if r.idleRA {
+					r.st.Runahead.Cycles += d
+				}
+				r.st.Cycles += d
+				r.now += d
+			}
+		}
 		if r.now-r.lastWork > progressWindow {
 			return nil, fmt.Errorf("runahead: no progress for %d cycles at seq %d", progressWindow, r.next)
 		}
@@ -189,6 +212,7 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 }
 
 func (r *runState) enterEpisode(until uint64) {
+	r.skip.MarkDirty() // mode change: the next cycle is a runahead cycle
 	r.inEpisode = true
 	r.stallUntil = until
 	r.peek = r.next
@@ -224,6 +248,8 @@ func (r *runState) archCycle() error {
 	if now < r.resumeAt {
 		// Pipeline restore after a runahead episode.
 		r.st.Cat[sim.StallLoad]++
+		r.idle, r.idleCat = true, sim.StallLoad
+		r.skip.Note(r.resumeAt)
 		return nil
 	}
 
@@ -245,6 +271,7 @@ group:
 		}
 		if fready > now {
 			blocker = sim.StallFrontEnd
+			r.skip.Note(fready)
 			break
 		}
 		in := d.Inst
@@ -259,6 +286,7 @@ group:
 				break
 			}
 			blocker = r.prodKind[qf].StallFor()
+			r.skip.Note(r.readyAt[qf])
 			break
 		}
 		qpTrue := r.own.RF.Read(in.QP).Bool()
@@ -278,6 +306,7 @@ group:
 						break group
 					}
 					blocker = r.prodKind[f].StallFor()
+					r.skip.Note(r.readyAt[f])
 					break group
 				}
 			}
@@ -290,6 +319,7 @@ group:
 				}
 				if f := reg.Flat(); r.readyAt[f] > now+lat {
 					blocker = sim.StallOther
+					r.skip.Note(r.readyAt[f] - lat)
 					break group
 				}
 			}
@@ -348,6 +378,9 @@ group:
 		r.st.Cat[sim.StallExecution]++
 	} else {
 		r.st.Cat[blocker]++
+		// An issue-free cycle mutated nothing (episode entry marks the skip
+		// state dirty, so Jump refuses after enterEpisode).
+		r.idle, r.idleCat = true, blocker
 	}
 	return nil
 }
@@ -409,6 +442,10 @@ func (r *runState) runaheadCycle() error {
 	var use isa.FUUse
 	slots := 0
 	now := r.now
+	wasBlocked := r.blocked
+	// The main loop exits the episode once now reaches stallUntil, so that
+	// is the latest cycle an idle runahead cycle may replay to.
+	r.skip.Note(r.stallUntil)
 
 	for slots < r.cfg.Caps.MaxIssue && !r.blocked {
 		if r.peek >= r.next+runaheadLookahead {
@@ -431,6 +468,7 @@ func (r *runState) runaheadCycle() error {
 			break
 		}
 		if fready > now {
+			r.skip.Note(fready)
 			break
 		}
 		in := d.Inst
@@ -453,6 +491,7 @@ func (r *runState) runaheadCycle() error {
 			continue
 		}
 		if qpReady > now {
+			r.skip.Note(qpReady)
 			break
 		}
 		qpTrue := qpVal.Bool()
@@ -489,10 +528,12 @@ func (r *runState) runaheadCycle() error {
 				continue
 			}
 			if ar > now {
+				r.skip.Note(ar)
 				break
 			}
 			dv, dr, dval := r.readRA(in.Src2)
 			if dv && dr > now {
+				r.skip.Note(dr)
 				break
 			}
 			if !use.Fits(in.Op, &r.cfg.Caps) {
@@ -524,6 +565,12 @@ func (r *runState) runaheadCycle() error {
 			continue
 		}
 		if sr > now || s2r > now {
+			if sr > now {
+				r.skip.Note(sr)
+			}
+			if s2r > now {
+				r.skip.Note(s2r)
+			}
 			break
 		}
 		if !use.Fits(in.Op, &r.cfg.Caps) {
@@ -563,5 +610,12 @@ func (r *runState) runaheadCycle() error {
 
 	// Runahead cycles are stall cycles hidden under the blocking load.
 	r.st.Cat[sim.StallLoad]++
+	if slots == 0 && r.blocked == wasBlocked {
+		// Nothing pre-executed and the blocked flag did not flip: every
+		// mutation path in the loop above passes through slots++ or sets
+		// blocked, so this cycle replays identically until the earliest
+		// noted deadline (at the latest, the episode exit at stallUntil).
+		r.idle, r.idleRA, r.idleCat = true, true, sim.StallLoad
+	}
 	return nil
 }

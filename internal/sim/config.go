@@ -48,6 +48,14 @@ type Config struct {
 	MispredictPenalty int
 	// MaxInsts bounds the dynamic instruction count of a run.
 	MaxInsts uint64
+	// DisableSkip turns off idle-cycle fast-forwarding (event-driven stall
+	// skipping), forcing the cycle loop to tick through every stalled cycle.
+	// Skipping is a pure simulator-speed optimization — sim.Stats and the
+	// final architectural state are byte-identical either way (enforced by
+	// the golden stats, the paired bench tests, and xcheck's skip
+	// differential) — so the switch exists as an escape hatch and for those
+	// paired runs, not as a modeling knob.
+	DisableSkip bool
 }
 
 // Default returns the Table 2 baseline configuration for in-order machines.

@@ -17,6 +17,10 @@ type ModelOptions struct {
 	// MaxInsts, when nonzero, overrides the model's default dynamic
 	// instruction limit.
 	MaxInsts uint64
+	// DisableSkip turns off idle-cycle fast-forwarding for the run. The
+	// zero value (skipping on) is the production configuration; see
+	// Config.DisableSkip.
+	DisableSkip bool
 }
 
 // Factory constructs a machine from the shared options.

@@ -1,0 +1,29 @@
+package xcheck
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSkipDifferentialSeeds runs the skip-on-vs-skip-off differential over a
+// deterministic slice of generated programs: every model runs twice per seed
+// and any divergence in sim.Stats or final architectural state is a FailSkip
+// failure. CI runs the same check over 500 seeds via `xcheck -skipdiff`.
+func TestSkipDifferentialSeeds(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	sum, err := Run(context.Background(), n, 1, Options{SkipDiff: true}, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range sum.Failed {
+		for _, f := range rep.Failures {
+			t.Errorf("seed %d: %s", rep.Seed, f)
+		}
+	}
+	if sum.Checked != n {
+		t.Errorf("checked %d seeds, want %d", sum.Checked, n)
+	}
+}

@@ -108,6 +108,14 @@ type Options struct {
 	// Gen is the generation template; the per-program seed overrides
 	// Gen.Seed. The zero value means progen.ForSeed defaults.
 	Gen progen.Options
+	// DisableSkip turns off idle-cycle fast-forwarding in every model run.
+	DisableSkip bool
+	// SkipDiff additionally runs every model a second time with
+	// fast-forwarding disabled and reports any divergence in stats or final
+	// architectural state as a FailSkip failure. It validates the skip
+	// machinery itself, so the primary run is always skip-on regardless of
+	// DisableSkip.
+	SkipDiff bool
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +155,9 @@ const (
 	// FailInvariant: a timing invariant was violated (cycle ordering,
 	// cycles vs retired/width, stats consistency, zero-advance equality).
 	FailInvariant FailureKind = "invariant"
+	// FailSkip: the skip-on and skip-off runs of the same model diverged in
+	// stats or final state (idle-cycle fast-forwarding is not cycle-exact).
+	FailSkip FailureKind = "skip-differential"
 )
 
 // Failure is one disagreement between a model and the oracle (or between
@@ -192,7 +203,11 @@ func CheckProgram(ctx context.Context, p *isa.Program, opts Options) (*Report, e
 	image := arch.NewMemory()
 	mp := make(map[string]*sim.Stats)
 	for _, name := range opts.Models {
-		m, err := opts.Registry.New(name, sim.ModelOptions{Hier: opts.Hier, MaxInsts: opts.MaxInsts})
+		mo := sim.ModelOptions{Hier: opts.Hier, MaxInsts: opts.MaxInsts, DisableSkip: opts.DisableSkip}
+		if opts.SkipDiff {
+			mo.DisableSkip = false
+		}
+		m, err := opts.Registry.New(name, mo)
 		if err != nil {
 			return nil, fmt.Errorf("xcheck: %w", err)
 		}
@@ -207,6 +222,37 @@ func CheckProgram(ctx context.Context, p *isa.Program, opts Options) (*Report, e
 		st := res.Stats
 		rep.Cycles[name] = st.Cycles
 		mp[name] = &st
+
+		if opts.SkipDiff {
+			mo.DisableSkip = true
+			m2, err := opts.Registry.New(name, mo)
+			if err != nil {
+				return nil, fmt.Errorf("xcheck: %w", err)
+			}
+			res2, err := m2.Run(ctx, p, image)
+			switch {
+			case err != nil:
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				rep.Failures = append(rep.Failures, Failure{
+					name, FailSkip, "skip-off run errored: " + err.Error(),
+				})
+			case res2.Stats != st:
+				rep.Failures = append(rep.Failures, Failure{
+					name, FailSkip,
+					fmt.Sprintf("stats diverged: skip-on cycles %d cat %v, skip-off cycles %d cat %v",
+						st.Cycles, st.Cat, res2.Stats.Cycles, res2.Stats.Cat),
+				})
+			default:
+				if s2 := res2.Snapshot(); !s2.Equal(res.Snapshot()) {
+					rep.Failures = append(rep.Failures, Failure{
+						name, FailSkip,
+						"final state diverged: " + strings.Join(res.Snapshot().Diff(s2, 8), "; "),
+					})
+				}
+			}
+		}
 
 		if got := res.Snapshot(); !got.Equal(want) {
 			rep.Failures = append(rep.Failures, Failure{
