@@ -8,9 +8,19 @@
 //	curl -s -X POST localhost:8080/v1/run -d '{"workload":"mcf","model":"multipass"}'
 //	curl -s localhost:8080/metrics
 //
+// The same binary runs as a fabric node: -worker marks a daemon as a sweep
+// worker, and -coordinator turns a daemon into a coordinator that shards
+// jobs across a comma-separated worker fleet:
+//
+//	mpsimd -worker -addr :9101 &
+//	mpsimd -worker -addr :9102 &
+//	mpsimd -coordinator http://localhost:9101,http://localhost:9102 -addr :8080
+//	curl -sN -X POST 'localhost:8080/v1/sweep?stream=true' -d '{"workloads":["mcf"]}'
+//
 // See EXPERIMENTS.md for the endpoint reference and a sweep example
-// reproducing Figure 7 over HTTP, and the README "Observability" section
-// for the metric catalog.
+// reproducing Figure 7 over HTTP, the README "Distributed mode" section for
+// the fabric topology, and the README "Observability" section for the
+// metric catalog.
 package main
 
 import (
@@ -27,8 +37,23 @@ import (
 	"syscall"
 	"time"
 
+	"multipass/internal/fabric"
 	"multipass/internal/server"
 )
+
+// splitURLs parses the -coordinator flag value: comma-separated worker base
+// URLs, blanks dropped, trailing slashes trimmed so URL+path joins stay
+// canonical.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -38,6 +63,8 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	coordinator := flag.String("coordinator", "", "run as a fabric coordinator over this comma-separated list of worker base URLs (e.g. http://host:9101,http://host:9102)")
+	workerMode := flag.Bool("worker", false, "run as a fabric worker (standalone semantics; reported via /v1/worker/health)")
 	flag.Parse()
 
 	log, err := newLogger(*logFormat, *logLevel)
@@ -46,12 +73,35 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := server.New(server.Config{
+	if *coordinator != "" && *workerMode {
+		fmt.Fprintln(os.Stderr, "-coordinator and -worker are mutually exclusive")
+		os.Exit(2)
+	}
+
+	cfg := server.Config{
 		Workers:        *workers,
 		DefaultTimeout: *timeout,
 		MaxCacheBytes:  *cacheBytes,
 		Logger:         log,
-	})
+	}
+	if *workerMode {
+		cfg.Role = "worker"
+	}
+	if *coordinator != "" {
+		urls := splitURLs(*coordinator)
+		d, err := fabric.New(fabric.Options{Workers: urls, Logger: log})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		d.Start()
+		defer d.Stop()
+		cfg.Role = "coordinator"
+		cfg.Dispatcher = d
+		log.Info("fabric coordinator", "workers", urls)
+	}
+
+	srv := server.New(cfg)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -19,6 +19,9 @@ func init() {
 		}
 	}
 	sim.Register("multipass", factory(false, false))
+	sim.Describe("multipass", "flea-flicker multipass pipeline: advance passes under misses, rally pass commits (paper §3)")
 	sim.Register("multipass-noregroup", factory(true, false))
+	sim.Describe("multipass-noregroup", "multipass ablation without issue-group re-formation (Figure 8)")
 	sim.Register("multipass-norestart", factory(false, true))
+	sim.Describe("multipass-norestart", "multipass ablation without critical-load RESTART hints (Figure 8)")
 }

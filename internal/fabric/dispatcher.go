@@ -1,0 +1,450 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multipass/internal/obs"
+	"multipass/internal/server"
+)
+
+// Defaults for Options fields left zero.
+const (
+	defaultMaxAttempts    = 3
+	defaultRetryBackoff   = 100 * time.Millisecond
+	defaultFailThreshold  = 2
+	defaultHealthInterval = 5 * time.Second
+	defaultProbeTimeout   = 2 * time.Second
+)
+
+// Options shapes a Dispatcher.
+type Options struct {
+	// Workers are the worker daemons' base URLs (e.g. http://host:9190).
+	// At least one is required.
+	Workers []string
+	// Client performs all worker HTTP calls; nil uses a dedicated client
+	// with no overall timeout (job deadlines come from the request context).
+	Client *http.Client
+	// MaxAttempts bounds how many distinct workers one job may try
+	// (primary + retries); 0 means 3, capped at the worker count.
+	MaxAttempts int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt; 0 means 100ms.
+	RetryBackoff time.Duration
+	// FailThreshold marks a worker unhealthy after this many consecutive
+	// dispatch failures; 0 means 2. Unhealthy workers are deprioritized,
+	// not abandoned: they still serve as last-resort fallbacks and are
+	// restored by the health loop or by any successful call.
+	FailThreshold int
+	// HealthInterval paces the background /v1/worker/health probe loop
+	// started by Start; 0 means 5s.
+	HealthInterval time.Duration
+	// ProbeTimeout bounds each health probe and /metrics scrape; 0 means 2s.
+	ProbeTimeout time.Duration
+	// VirtualNodes is the per-worker point count on the hash ring; 0 uses
+	// the ring default.
+	VirtualNodes int
+	// Logger receives dispatch retry and health-transition logs; nil
+	// discards them.
+	Logger *slog.Logger
+}
+
+// worker is the per-worker dispatch accounting, all atomics so Dispatch
+// needs no lock.
+type worker struct {
+	url string
+
+	dispatched     atomic.Uint64 // jobs whose first attempt went here
+	completed      atomic.Uint64 // jobs resolved here on the first attempt
+	retried        atomic.Uint64 // retry attempts sent here
+	retriedSuccess atomic.Uint64 // jobs rescued here after another worker failed
+	failed         atomic.Uint64 // jobs that exhausted every attempt (charged to the primary)
+
+	consecFails atomic.Int64
+	healthy     atomic.Bool
+}
+
+// Dispatcher shards jobs across the worker fleet. It satisfies
+// server.Dispatcher.
+type Dispatcher struct {
+	opts    Options
+	ring    *Ring
+	client  *http.Client
+	log     *slog.Logger
+	workers map[string]*worker
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a Dispatcher over the given workers. It does not probe them;
+// call Start to run the background health loop.
+func New(opts Options) (*Dispatcher, error) {
+	ring := NewRing(opts.Workers, opts.VirtualNodes)
+	urls := ring.Workers()
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("fabric: no worker URLs")
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = defaultMaxAttempts
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = defaultRetryBackoff
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = defaultFailThreshold
+	}
+	if opts.HealthInterval <= 0 {
+		opts.HealthInterval = defaultHealthInterval
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = defaultProbeTimeout
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	d := &Dispatcher{
+		opts:    opts,
+		ring:    ring,
+		client:  client,
+		log:     log,
+		workers: make(map[string]*worker, len(urls)),
+		stop:    make(chan struct{}),
+	}
+	for _, url := range urls {
+		w := &worker{url: url}
+		w.healthy.Store(true)
+		d.workers[url] = w
+	}
+	return d, nil
+}
+
+// Start launches the background health loop. Safe to skip in tests that
+// drive CheckHealth directly.
+func (d *Dispatcher) Start() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(d.opts.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+				d.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop terminates the health loop and waits for it.
+func (d *Dispatcher) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.wg.Wait()
+}
+
+// probeAll health-checks every worker concurrently.
+func (d *Dispatcher) probeAll() {
+	var wg sync.WaitGroup
+	for _, w := range d.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			d.CheckHealth(w.url)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// CheckHealth probes one worker's /v1/worker/health and updates its health
+// bit. It returns whether the worker answered ok.
+func (d *Dispatcher) CheckHealth(url string) bool {
+	w := d.workers[url]
+	if w == nil {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/worker/health", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		d.markFailure(w)
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		d.markFailure(w)
+		return false
+	}
+	d.markSuccess(w)
+	return true
+}
+
+func (d *Dispatcher) markFailure(w *worker) {
+	if w.consecFails.Add(1) >= int64(d.opts.FailThreshold) && w.healthy.CompareAndSwap(true, false) {
+		d.log.Warn("fabric worker unhealthy", "worker", w.url)
+	}
+}
+
+func (d *Dispatcher) markSuccess(w *worker) {
+	w.consecFails.Store(0)
+	if w.healthy.CompareAndSwap(false, true) {
+		d.log.Info("fabric worker recovered", "worker", w.url)
+	}
+}
+
+// attemptOrder is the ring's preference order for key, partitioned so
+// healthy workers come first. Unhealthy workers stay in the list as last
+// resorts — with the whole fleet marked down, dispatching is still better
+// than refusing.
+func (d *Dispatcher) attemptOrder(key string) []*worker {
+	owners := d.ring.Owners(key)
+	order := make([]*worker, 0, len(owners))
+	var down []*worker
+	for _, url := range owners {
+		w := d.workers[url]
+		if w.healthy.Load() {
+			order = append(order, w)
+		} else {
+			down = append(down, w)
+		}
+	}
+	return append(order, down...)
+}
+
+// Dispatch runs one job on the fabric: primary worker by consistent hash,
+// then bounded retries on the remaining ring order with doubling backoff.
+// On success it returns the worker's canonical RunResponse bytes —
+// byte-identical to a local execution, so the coordinator's cache replays
+// exactly what a single node would have served.
+func (d *Dispatcher) Dispatch(ctx context.Context, spec server.JobSpec) ([]byte, error) {
+	order := d.attemptOrder(spec.Key())
+	attempts := d.opts.MaxAttempts
+	if attempts > len(order) {
+		attempts = len(order)
+	}
+	primary := order[0]
+	primary.dispatched.Add(1)
+
+	var lastErr error
+	backoff := d.opts.RetryBackoff
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(backoff):
+				backoff *= 2
+			case <-ctx.Done():
+				primary.failed.Add(1)
+				return nil, ctx.Err()
+			}
+		}
+		w := order[i]
+		if i > 0 {
+			w.retried.Add(1)
+		}
+		data, err := d.post(ctx, w, spec)
+		if err == nil {
+			d.markSuccess(w)
+			if i == 0 {
+				w.completed.Add(1)
+			} else {
+				w.retriedSuccess.Add(1)
+			}
+			return data, nil
+		}
+		re, isRemote := err.(*remoteError)
+		if isRemote && re.retryable {
+			d.markFailure(w)
+			lastErr = err
+			d.log.Warn("fabric dispatch failed, retrying",
+				"worker", w.url, "attempt", i+1, "of", attempts,
+				"workload", spec.Workload, "model", spec.Model, "hier", spec.Hier,
+				"err", err)
+			continue
+		}
+		// Permanent: the worker answered authoritatively (a 4xx, a
+		// deterministic job failure) or our own context died. The job is
+		// resolved — retrying elsewhere would reproduce the same answer.
+		if isRemote {
+			// The worker is alive and answering; only the job failed.
+			d.markSuccess(w)
+			err = re.err
+		}
+		if i == 0 {
+			w.completed.Add(1)
+		} else {
+			w.retriedSuccess.Add(1)
+		}
+		return nil, err
+	}
+	primary.failed.Add(1)
+	msg := fmt.Sprintf("no fabric worker could run the job after %d attempts", attempts)
+	if re, ok := lastErr.(*remoteError); ok && re.err != nil {
+		msg = fmt.Sprintf("%s: last error: %v", msg, re.err)
+	} else if lastErr != nil {
+		msg = fmt.Sprintf("%s: last error: %v", msg, lastErr)
+	}
+	return nil, server.NewAPIError(http.StatusBadGateway, server.CodeWorkerFailed, msg,
+		"check worker health at /v1/worker/health")
+}
+
+// remoteError is one failed worker call, classified for the retry loop.
+// retryable means the failure is attributable to the worker (unreachable,
+// 502/503) rather than the job.
+type remoteError struct {
+	err       error
+	retryable bool
+}
+
+func (e *remoteError) Error() string { return e.err.Error() }
+
+// post runs spec on one worker via POST /v1/run and returns the raw
+// response bytes. The request carries the coordinator's request ID so a
+// job can be traced across daemons.
+func (d *Dispatcher) post(ctx context.Context, w *worker, spec server.JobSpec) ([]byte, error) {
+	rr := spec.RunRequest()
+	body, err := json.Marshal(&rr)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tr := obs.FromContext(ctx); tr != nil {
+		req.Header.Set("X-Mpsimd-Request-Id", tr.ID)
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Our deadline or the client going away, not the worker's
+			// fault: permanent, mapped to 504/503 upstream.
+			return nil, ctx.Err()
+		}
+		return nil, &remoteError{err: err, retryable: true}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, &remoteError{err: err, retryable: true}
+	}
+	if resp.StatusCode == http.StatusOK {
+		return data, nil
+	}
+
+	retryable := resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable
+	var er server.ErrorResponse
+	if jsonErr := json.Unmarshal(data, &er); jsonErr == nil && er.Error.Code != "" {
+		// Re-wrap the worker's envelope so the coordinator propagates the
+		// status, code, message, and hint unchanged.
+		return nil, &remoteError{
+			err:       server.NewAPIError(resp.StatusCode, er.Error.Code, er.Error.Message, er.Error.Hint),
+			retryable: retryable,
+		}
+	}
+	return nil, &remoteError{
+		err: server.NewAPIError(resp.StatusCode, server.CodeWorkerFailed,
+			fmt.Sprintf("worker %s: status %d: %s", w.url, resp.StatusCode, truncate(data, 200)), ""),
+		retryable: retryable,
+	}
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}
+
+// Dispositions snapshots cumulative per-worker accounting, keyed by worker
+// URL. Once a sweep settles, Dispatched == Completed + RetriedSuccess +
+// Failed summed over the fleet.
+func (d *Dispatcher) Dispositions() map[string]server.WorkerDisposition {
+	out := make(map[string]server.WorkerDisposition, len(d.workers))
+	for url, w := range d.workers {
+		out[url] = server.WorkerDisposition{
+			Healthy:        w.healthy.Load(),
+			Dispatched:     w.dispatched.Load(),
+			Completed:      w.completed.Load(),
+			Retried:        w.retried.Load(),
+			RetriedSuccess: w.retriedSuccess.Load(),
+			Failed:         w.failed.Load(),
+		}
+	}
+	return out
+}
+
+// WorkerFamilies scrapes every healthy worker's /metrics, relabels the
+// mpsimd_* families to mpsimd_worker_* with a `worker` label, and merges
+// the fleet into one family list. Scrapes run concurrently under the probe
+// timeout; a worker that fails to answer is simply absent from this
+// scrape (and its absence is visible via mpsimd_fabric_worker_healthy).
+func (d *Dispatcher) WorkerFamilies() []obs.TextFamily {
+	urls := d.ring.Workers()
+	sort.Strings(urls)
+	groups := make([][]obs.TextFamily, len(urls))
+	var wg sync.WaitGroup
+	for i, url := range urls {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			groups[i] = d.scrapeWorker(url)
+		}(i, url)
+	}
+	wg.Wait()
+	return obs.MergeFamilies(groups...)
+}
+
+// scrapeWorker fetches one worker's exposition and relabels it. Failures
+// return nil: metrics federation is best-effort and must not fail the
+// coordinator's own scrape.
+func (d *Dispatcher) scrapeWorker(url string) []obs.TextFamily {
+	ctx, cancel := context.WithTimeout(context.Background(), d.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	fams, err := obs.ParseText(resp.Body)
+	if err != nil {
+		d.log.Warn("fabric metrics scrape unparseable", "worker", url, "err", err)
+		return nil
+	}
+	// Only the service's own families federate; the workers' go_* runtime
+	// families would collide with the coordinator's and say nothing about
+	// the fleet.
+	return obs.RelabelFamilies(fams, "mpsimd_", "mpsimd_worker_", "worker", url)
+}

@@ -1,0 +1,390 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"multipass/internal/server"
+)
+
+// sweepGrid is the 60-cell equivalence grid: 4 workloads x 5 models x 3
+// hierarchies, all cheap kernels so the full grid runs in seconds.
+func sweepGrid() server.SweepRequest {
+	return server.SweepRequest{
+		Workloads: []string{"crafty", "gzip", "vpr", "parser"},
+		Models:    []string{"inorder", "multipass", "runahead", "ooo", "ooo-realistic"},
+		Hiers:     []string{"base", "config1", "config2"},
+	}
+}
+
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.Config{Workers: 2, Role: "worker"}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newCoordinator wires a Dispatcher over the worker URLs into a
+// coordinator-mode server.
+func newCoordinator(t *testing.T, urls []string) (*Dispatcher, *httptest.Server) {
+	t.Helper()
+	d, err := New(Options{
+		Workers:      urls,
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	ts := httptest.NewServer(server.New(server.Config{
+		Workers: 4, Role: "coordinator", Dispatcher: d,
+	}).Handler())
+	t.Cleanup(ts.Close)
+	return d, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readBody(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return buf.Bytes()
+}
+
+func runSweep(t *testing.T, base string, req server.SweepRequest) []byte {
+	t.Helper()
+	resp := postJSON(t, base+"/v1/sweep", req)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep against %s: status %d, body %.300s", base, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestShardedEquivalence is the fabric's correctness anchor: the same
+// 60-cell sweep run on a single standalone node and sharded across three
+// workers produces byte-identical buffered responses, and the
+// coordinator's cache replays individual cells byte-identically to the
+// standalone server's.
+func TestShardedEquivalence(t *testing.T) {
+	standalone := newWorker(t)
+
+	urls := []string{newWorker(t).URL, newWorker(t).URL, newWorker(t).URL}
+	d, coord := newCoordinator(t, urls)
+
+	req := sweepGrid()
+	single := runSweep(t, standalone.URL, req)
+	sharded := runSweep(t, coord.URL, req)
+	if !bytes.Equal(single, sharded) {
+		t.Fatalf("sharded sweep diverges from single-node:\n single: %.400s\nsharded: %.400s", single, sharded)
+	}
+
+	var sr server.SweepResponse
+	if err := json.Unmarshal(sharded, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Summary.Total != 60 || sr.Summary.Failed != 0 {
+		t.Fatalf("summary = %+v, want 60 jobs, 0 failed", sr.Summary)
+	}
+
+	// Every worker took a share of the grid, and the accounting balances.
+	disp := d.Dispositions()
+	var dispatched, completed, retriedSuccess, failed uint64
+	for url, w := range disp {
+		if w.Dispatched == 0 {
+			t.Errorf("worker %s dispatched 0 jobs: sharding is degenerate", url)
+		}
+		dispatched += w.Dispatched
+		completed += w.Completed
+		retriedSuccess += w.RetriedSuccess
+		failed += w.Failed
+	}
+	if dispatched != 60 {
+		t.Errorf("dispatched = %d, want 60", dispatched)
+	}
+	if dispatched != completed+retriedSuccess+failed {
+		t.Errorf("disposition imbalance: dispatched %d != completed %d + retried_success %d + failed %d",
+			dispatched, completed, retriedSuccess, failed)
+	}
+
+	// Per-cell replay: a cell from the sweep served via /v1/run hits the
+	// coordinator's cache with the exact bytes the standalone node serves.
+	cell := server.RunRequest{Workload: "gzip", Model: "multipass", Hier: "config1"}
+	wantResp := postJSON(t, standalone.URL+"/v1/run", cell)
+	want := readBody(t, wantResp)
+	gotResp := postJSON(t, coord.URL+"/v1/run", cell)
+	got := readBody(t, gotResp)
+	if hdr := gotResp.Header.Get("X-Mpsimd-Cache"); hdr != "hit" {
+		t.Errorf("coordinator replay cache header = %q, want hit", hdr)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("replayed cell diverges:\nstandalone: %s\ncoordinator: %s", want, got)
+	}
+}
+
+// mortalWorker proxies a real worker but aborts every connection once
+// kill() is called — the coordinator sees mid-sweep worker death as
+// transport errors.
+type mortalWorker struct {
+	ts    *httptest.Server
+	runs  atomic.Int64
+	dead  atomic.Bool
+	after int64
+}
+
+// newMortalWorker builds a worker that dies after `after` /v1/run calls.
+func newMortalWorker(t *testing.T, after int64) *mortalWorker {
+	t.Helper()
+	m := &mortalWorker{after: after}
+	inner := server.New(server.Config{Workers: 2, Role: "worker"}).Handler()
+	m.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/run" {
+			if m.runs.Add(1) > m.after {
+				m.dead.Store(true)
+			}
+		}
+		if m.dead.Load() {
+			// Sever the connection without a response, as a crashed
+			// process would.
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(m.ts.Close)
+	return m
+}
+
+// TestWorkerDeathMidSweep kills one of three workers partway through its
+// slice of a 60-cell sweep and requires the coordinator to (a) finish the
+// sweep with zero failed cells by retrying the dead worker's jobs
+// elsewhere, and (b) still produce the byte-identical single-node result.
+func TestWorkerDeathMidSweep(t *testing.T) {
+	standalone := newWorker(t)
+
+	// With three workers each slice is ~20 cells; dying after 5 run calls
+	// kills the worker mid-slice.
+	mortal := newMortalWorker(t, 5)
+	urls := []string{newWorker(t).URL, newWorker(t).URL, mortal.ts.URL}
+	d, coord := newCoordinator(t, urls)
+
+	req := sweepGrid()
+	single := runSweep(t, standalone.URL, req)
+	sharded := runSweep(t, coord.URL, req)
+	if !bytes.Equal(single, sharded) {
+		t.Fatalf("sweep with mid-flight worker death diverges from single-node:\n single: %.400s\nsharded: %.400s",
+			single, sharded)
+	}
+	if !mortal.dead.Load() {
+		t.Fatal("mortal worker never died: the test exercised nothing")
+	}
+
+	disp := d.Dispositions()
+	var retriedSuccess, failed uint64
+	for _, w := range disp {
+		retriedSuccess += w.RetriedSuccess
+		failed += w.Failed
+	}
+	if retriedSuccess == 0 {
+		t.Error("retried_success = 0, want the dead worker's jobs rescued elsewhere")
+	}
+	if failed != 0 {
+		t.Errorf("failed = %d, want 0: every job has two live fallbacks", failed)
+	}
+	// A straggler success from the dying worker may have raced the health
+	// bit back to true; the probe loop settles it. Two consecutive failed
+	// probes (the default threshold) must mark it down.
+	for i := 0; i < 2; i++ {
+		if d.CheckHealth(mortal.ts.URL) {
+			t.Fatal("health probe of a dead worker reported ok")
+		}
+	}
+	if d.Dispositions()[mortal.ts.URL].Healthy {
+		t.Error("dead worker still marked healthy after failed probes")
+	}
+}
+
+// TestStreamingOverFabric: a streaming sweep through the coordinator emits
+// one NDJSON record per cell plus a summary whose per-worker disposition
+// counts cover the whole grid.
+func TestStreamingOverFabric(t *testing.T) {
+	urls := []string{newWorker(t).URL, newWorker(t).URL}
+	_, coord := newCoordinator(t, urls)
+
+	req := server.SweepRequest{
+		Workloads: []string{"crafty", "twolf"},
+		Models:    []string{"inorder", "multipass"},
+		Hiers:     []string{"base", "config1", "config2"},
+	}
+	resp := postJSON(t, coord.URL+"/v1/sweep?stream=true", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	const cells = 12
+	var jobs, summaries int
+	var last server.SweepStreamRecord
+	seen := make(map[int]bool)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if summaries > 0 {
+			t.Fatalf("record after the summary terminator: %s", sc.Text())
+		}
+		var rec server.SweepStreamRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON record %q: %v", sc.Text(), err)
+		}
+		switch rec.Type {
+		case server.StreamRecordJob:
+			jobs++
+			if rec.Index == nil || *rec.Index < 0 || *rec.Index >= cells {
+				t.Fatalf("job record with bad index: %s", sc.Text())
+			}
+			if seen[*rec.Index] {
+				t.Fatalf("index %d emitted twice", *rec.Index)
+			}
+			seen[*rec.Index] = true
+			if rec.SweepJob == nil || rec.Status != server.JobDone {
+				t.Fatalf("job record not done: %s", sc.Text())
+			}
+		case server.StreamRecordSummary:
+			summaries++
+			last = rec
+		default:
+			t.Fatalf("unknown record type %q", rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if jobs != cells || summaries != 1 {
+		t.Fatalf("stream had %d job records and %d summaries, want %d and 1", jobs, summaries, cells)
+	}
+	if last.Summary == nil || last.Summary.Total != cells || last.Summary.Failed != 0 {
+		t.Fatalf("summary = %+v", last.Summary)
+	}
+	var dispatched, resolved uint64
+	for url, w := range last.Workers {
+		if !strings.HasPrefix(url, "http://") {
+			t.Errorf("summary worker key %q is not a worker URL", url)
+		}
+		dispatched += w.Dispatched
+		resolved += w.Completed + w.RetriedSuccess
+	}
+	if len(last.Workers) != len(urls) || dispatched != cells || resolved != cells {
+		t.Errorf("summary workers = %+v: want %d workers, %d dispatched, %d resolved",
+			last.Workers, len(urls), cells, cells)
+	}
+}
+
+// TestPermanentErrorPropagatesEnvelope: a deterministic job failure on a
+// worker is not retried, and the worker's error envelope (status, code,
+// message) passes through the coordinator unchanged.
+func TestPermanentErrorPropagatesEnvelope(t *testing.T) {
+	urls := []string{newWorker(t).URL, newWorker(t).URL}
+	d, coord := newCoordinator(t, urls)
+
+	// MaxInsts far below the kernel's dynamic length makes the simulation
+	// itself fail, deterministically, on any worker.
+	resp := postJSON(t, coord.URL+"/v1/run", server.RunRequest{
+		Workload: "crafty", Model: "inorder", MaxInsts: 100,
+	})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, body %s, want 500", resp.StatusCode, body)
+	}
+	var er server.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("body %s is not an ErrorResponse: %v", body, err)
+	}
+	if er.Error.Code != server.CodeJobFailed {
+		t.Errorf("code = %q, want %q", er.Error.Code, server.CodeJobFailed)
+	}
+
+	var retried uint64
+	for _, w := range d.Dispositions() {
+		retried += w.Retried
+	}
+	if retried != 0 {
+		t.Errorf("retried = %d, want 0: deterministic job errors must not be retried", retried)
+	}
+}
+
+// TestCoordinatorMetricsFederation: the coordinator's /metrics carries its
+// fabric accounting and the workers' families under mpsimd_worker_* with a
+// worker label, and the fabric balance invariant holds.
+func TestCoordinatorMetricsFederation(t *testing.T) {
+	urls := []string{newWorker(t).URL, newWorker(t).URL}
+	_, coord := newCoordinator(t, urls)
+
+	runSweep(t, coord.URL, server.SweepRequest{
+		Workloads: []string{"crafty"},
+		Models:    []string{"inorder", "multipass"},
+		Hiers:     []string{"base"},
+	})
+
+	resp, err := http.Get(coord.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(readBody(t, resp))
+
+	for _, want := range []string{
+		"# TYPE mpsimd_fabric_dispatched_total counter",
+		"# TYPE mpsimd_fabric_worker_healthy gauge",
+		"# TYPE mpsimd_worker_jobs_total counter",
+		`worker="` + urls[0] + `"`,
+		`worker="` + urls[1] + `"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("coordinator /metrics missing %q", want)
+		}
+	}
+
+	sum := func(metric string) (total float64) {
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, metric+"{") {
+				fields := strings.Fields(line)
+				if v, err := strconv.ParseFloat(fields[len(fields)-1], 64); err == nil {
+					total += v
+				}
+			}
+		}
+		return total
+	}
+	dispatched := sum("mpsimd_fabric_dispatched_total")
+	completed := sum("mpsimd_fabric_completed_total")
+	rescued := sum("mpsimd_fabric_retried_success_total")
+	failed := sum("mpsimd_fabric_failed_total")
+	if dispatched == 0 || dispatched != completed+rescued+failed {
+		t.Errorf("fabric balance: dispatched %v != completed %v + retried_success %v + failed %v",
+			dispatched, completed, rescued, failed)
+	}
+}

@@ -1,0 +1,105 @@
+// Package fabric is the coordinator side of distributed mpsimd: it shards
+// jobs across worker daemons by consistent hashing on the content-addressed
+// job key, retries jobs away from dead or failing workers with bounded
+// backoff, and federates the workers' /metrics into the coordinator's
+// exposition. It implements server.Dispatcher; the server package never
+// imports it.
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// defaultVirtualNodes is the per-worker point count on the ring. High
+// enough that a three-worker fabric shards a 60-cell grid roughly evenly;
+// cheap enough that building the ring is negligible.
+const defaultVirtualNodes = 64
+
+// Ring is a consistent-hash ring over worker URLs. Jobs hash to the first
+// point clockwise of their key, so each worker owns a stable slice of the
+// key space and its result cache stays hot for that slice across sweeps —
+// and adding or removing a worker only moves the keys adjacent to its
+// points, not the whole assignment.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	urls   []string    // distinct workers, insertion order
+}
+
+type ringPoint struct {
+	hash uint64
+	url  string
+}
+
+// NewRing places vnodes points per worker URL. vnodes <= 0 uses the
+// default. Duplicate URLs collapse to one worker.
+func NewRing(urls []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVirtualNodes
+	}
+	r := &Ring{}
+	seen := make(map[string]bool, len(urls))
+	for _, url := range urls {
+		if url == "" || seen[url] {
+			continue
+		}
+		seen[url] = true
+		r.urls = append(r.urls, url)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(url + "#" + strconv.Itoa(i)),
+				url:  url,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on URL so the ring is deterministic even in the
+		// astronomically unlikely event of a point-hash collision.
+		return r.points[i].url < r.points[j].url
+	})
+	return r
+}
+
+// Workers returns the distinct worker URLs on the ring, insertion order.
+func (r *Ring) Workers() []string {
+	out := make([]string, len(r.urls))
+	copy(out, r.urls)
+	return out
+}
+
+// Owners returns every worker in preference order for key: the owner of
+// the first point clockwise of the key's hash, then each subsequent
+// distinct worker walking the ring. The first entry is the job's primary;
+// the rest are its retry fallbacks.
+func (r *Ring) Owners(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, len(r.urls))
+	out := make([]string, 0, len(r.urls))
+	for n := 0; n < len(r.points) && len(out) < len(r.urls); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if seen[p.url] {
+			continue
+		}
+		seen[p.url] = true
+		out = append(out, p.url)
+	}
+	return out
+}
+
+// ringHash maps a string to a ring position: the first 8 bytes of its
+// SHA-256. Job keys are themselves hex SHA-256 digests, but hashing again
+// costs nothing and lets ring positions and virtual-node points share one
+// function.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

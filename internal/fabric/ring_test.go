@@ -1,0 +1,85 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnersDeterministicAndDistinct(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(urls, 0)
+
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := r.Owners(key)
+		if len(owners) != len(urls) {
+			t.Fatalf("key %s: %d owners, want %d", key, len(owners), len(urls))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %s: duplicate owner %s", key, o)
+			}
+			seen[o] = true
+		}
+		again := r.Owners(key)
+		for j := range owners {
+			if owners[j] != again[j] {
+				t.Fatalf("key %s: Owners not deterministic: %v vs %v", key, owners, again)
+			}
+		}
+	}
+}
+
+// TestRingDistribution: with virtual nodes, every worker owns a
+// non-trivial share of a key population. The bound is loose — the point is
+// no worker is starved or hogging the ring.
+func TestRingDistribution(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(urls, 0)
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owners(fmt.Sprintf("job-%d", i))[0]]++
+	}
+	for _, url := range urls {
+		if counts[url] < n/10 {
+			t.Errorf("worker %s owns only %d/%d keys", url, counts[url], n)
+		}
+	}
+}
+
+// TestRingStability: removing one worker only reassigns the keys it owned;
+// every other key keeps its primary. This is the property that keeps
+// worker result caches hot across fleet changes.
+func TestRingStability(t *testing.T) {
+	full := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	reduced := NewRing([]string{"http://a:1", "http://b:1"}, 0)
+	moved, kept := 0, 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		before := full.Owners(key)[0]
+		after := reduced.Owners(key)[0]
+		if before == "http://c:1" {
+			continue // had to move
+		}
+		if before == after {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved despite their owner surviving (kept %d)", moved, kept)
+	}
+}
+
+func TestRingEmptyAndDuplicates(t *testing.T) {
+	if owners := NewRing(nil, 0).Owners("k"); owners != nil {
+		t.Errorf("empty ring Owners = %v, want nil", owners)
+	}
+	r := NewRing([]string{"http://a:1", "http://a:1", ""}, 0)
+	if got := r.Workers(); len(got) != 1 || got[0] != "http://a:1" {
+		t.Errorf("Workers() = %v, want one deduped entry", got)
+	}
+}

@@ -68,6 +68,20 @@ func ConfigByName(name string) (HierConfig, bool) {
 // ConfigNames lists the named hierarchies in presentation order.
 func ConfigNames() []string { return []string{"base", "config1", "config2"} }
 
+// ConfigDescription returns a one-line description of a named hierarchy for
+// API enumeration, or "" for unknown names.
+func ConfigDescription(name string) string {
+	switch name {
+	case "base":
+		return "Table 2: 16KB 1-cycle L1s, 256KB 5-cycle L2, 3MB 12-cycle L3, 145-cycle memory"
+	case "config1":
+		return "Figure 7 config1: base hierarchy with 200-cycle main memory"
+	case "config2":
+		return "Figure 7 config2: 8KB L1s, 128KB 7-cycle L2, 1.5MB 16-cycle L3, 200-cycle memory"
+	}
+	return ""
+}
+
 // mshr is one miss-status holding register: the L2-line-aligned address of
 // an ongoing fill and the cycle it completes. A slot whose ready cycle has
 // passed is free.

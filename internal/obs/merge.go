@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file is the label-aware merge layer for federating expositions: a
+// parser from Prometheus text format back into structured families, helpers
+// to relabel and rename them, and (with Registry.CollectorFunc) the way a
+// coordinator re-exports its workers' /metrics under a `worker` label.
+
+// TextSample is one parsed sample line of a family. Values are kept as the
+// raw exposition text so re-emission is byte-faithful (no float round trip).
+type TextSample struct {
+	// Suffix distinguishes histogram/summary series: "", "_bucket", "_sum",
+	// or "_count".
+	Suffix string
+	// Labels is the raw label block including braces, or "" when the
+	// sample has no labels.
+	Labels string
+	// Value is the raw value text.
+	Value string
+}
+
+// TextFamily is one parsed metric family: declaration plus samples.
+type TextFamily struct {
+	Name    string
+	Help    string
+	Kind    string // "counter", "gauge", "histogram", "summary", "untyped"
+	Samples []TextSample
+}
+
+// ParseText parses a Prometheus text exposition into families. It accepts
+// what Lint accepts: every sample must belong to a family declared by a
+// preceding # TYPE line. Families are returned in declaration order.
+func ParseText(r io.Reader) ([]TextFamily, error) {
+	var fams []TextFamily
+	index := make(map[string]int) // family name -> fams index
+	help := make(map[string]string)
+	types := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", line, text)
+			}
+			name := fields[2]
+			rest := ""
+			if len(fields) == 4 {
+				rest = strings.TrimSpace(fields[3])
+			}
+			if fields[1] == "HELP" {
+				help[name] = rest
+				continue
+			}
+			if _, dup := types[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", line, name)
+			}
+			types[name] = rest
+			index[name] = len(fams)
+			fams = append(fams, TextFamily{Name: name, Help: help[name], Kind: rest})
+			continue
+		}
+
+		name, labels, value, err := splitSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		fam, ok := lookupFamily(types, name)
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding TYPE declaration", line, name)
+		}
+		i := index[fam]
+		fams[i].Samples = append(fams[i].Samples, TextSample{
+			Suffix: strings.TrimPrefix(name, fam),
+			Labels: labels,
+			Value:  value,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// AddLabel returns the label block with name="value" prepended, escaping
+// the value. block is either empty or a raw `{...}` block.
+func AddLabel(block, name, value string) string {
+	pair := name + `="` + escapeLabel(value) + `"`
+	if block == "" {
+		return "{" + pair + "}"
+	}
+	inner := block[1 : len(block)-1]
+	if inner == "" {
+		return "{" + pair + "}"
+	}
+	return "{" + pair + "," + inner + "}"
+}
+
+// RelabelFamilies selects the families whose name starts with oldPrefix,
+// renames them to newPrefix+rest, and stamps labelName=labelValue onto every
+// sample. It returns new values; the input is not mutated.
+func RelabelFamilies(fams []TextFamily, oldPrefix, newPrefix, labelName, labelValue string) []TextFamily {
+	var out []TextFamily
+	for _, f := range fams {
+		rest, ok := strings.CutPrefix(f.Name, oldPrefix)
+		if !ok {
+			continue
+		}
+		nf := TextFamily{Name: newPrefix + rest, Help: f.Help, Kind: f.Kind}
+		nf.Samples = make([]TextSample, len(f.Samples))
+		for i, s := range f.Samples {
+			s.Labels = AddLabel(s.Labels, labelName, labelValue)
+			nf.Samples[i] = s
+		}
+		out = append(out, nf)
+	}
+	return out
+}
+
+// MergeFamilies coalesces families with the same name (appending samples in
+// argument order), preserving first-seen declaration order, help, and kind.
+// This is how per-worker expositions with identical schemas collapse into
+// one family per name with a `worker` label distinguishing series.
+func MergeFamilies(groups ...[]TextFamily) []TextFamily {
+	var out []TextFamily
+	index := make(map[string]int)
+	for _, fams := range groups {
+		for _, f := range fams {
+			if i, ok := index[f.Name]; ok {
+				out[i].Samples = append(out[i].Samples, f.Samples...)
+				continue
+			}
+			index[f.Name] = len(out)
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const workerExposition = `# HELP mpsimd_jobs_total Simulations executed.
+# TYPE mpsimd_jobs_total counter
+mpsimd_jobs_total{model="inorder",workload="mcf",status="ok"} 3
+mpsimd_jobs_total{model="ooo",workload="gzip",status="ok"} 1
+# HELP mpsimd_cache_entries Current result-cache entries.
+# TYPE mpsimd_cache_entries gauge
+mpsimd_cache_entries 4
+# HELP mpsimd_job_duration_seconds Wall time of jobs.
+# TYPE mpsimd_job_duration_seconds histogram
+mpsimd_job_duration_seconds_bucket{le="0.1"} 2
+mpsimd_job_duration_seconds_bucket{le="+Inf"} 4
+mpsimd_job_duration_seconds_sum 0.5
+mpsimd_job_duration_seconds_count 4
+# HELP go_goroutines Number of goroutines.
+# TYPE go_goroutines gauge
+go_goroutines 12
+`
+
+func TestParseTextRoundTrip(t *testing.T) {
+	fams, err := ParseText(strings.NewReader(workerExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 4 {
+		t.Fatalf("parsed %d families, want 4", len(fams))
+	}
+	byName := map[string]TextFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	jobs := byName["mpsimd_jobs_total"]
+	if jobs.Kind != "counter" || len(jobs.Samples) != 2 {
+		t.Fatalf("jobs family = %+v", jobs)
+	}
+	if jobs.Samples[0].Labels != `{model="inorder",workload="mcf",status="ok"}` || jobs.Samples[0].Value != "3" {
+		t.Errorf("sample = %+v", jobs.Samples[0])
+	}
+
+	hist := byName["mpsimd_job_duration_seconds"]
+	if hist.Kind != "histogram" || len(hist.Samples) != 4 {
+		t.Fatalf("histogram family = %+v", hist)
+	}
+	suffixes := map[string]bool{}
+	for _, s := range hist.Samples {
+		suffixes[s.Suffix] = true
+	}
+	for _, want := range []string{"_bucket", "_sum", "_count"} {
+		if !suffixes[want] {
+			t.Errorf("histogram missing %s sample", want)
+		}
+	}
+
+	gauge := byName["mpsimd_cache_entries"]
+	if len(gauge.Samples) != 1 || gauge.Samples[0].Labels != "" || gauge.Samples[0].Value != "4" {
+		t.Errorf("gauge family = %+v", gauge)
+	}
+}
+
+func TestParseTextRejectsUndeclaredSample(t *testing.T) {
+	if _, err := ParseText(strings.NewReader("orphan_metric 1\n")); err == nil {
+		t.Error("sample without TYPE parsed without error")
+	}
+	if _, err := ParseText(strings.NewReader("# BOGUS x y\n")); err == nil {
+		t.Error("malformed comment parsed without error")
+	}
+}
+
+func TestAddLabel(t *testing.T) {
+	cases := []struct{ block, want string }{
+		{"", `{worker="http://w:1"}`},
+		{"{}", `{worker="http://w:1"}`},
+		{`{model="mcf"}`, `{worker="http://w:1",model="mcf"}`},
+	}
+	for _, tc := range cases {
+		if got := AddLabel(tc.block, "worker", "http://w:1"); got != tc.want {
+			t.Errorf("AddLabel(%q) = %q, want %q", tc.block, got, tc.want)
+		}
+	}
+	if got := AddLabel("", "worker", `a"b\c`); got != `{worker="a\"b\\c"}` {
+		t.Errorf("escaping: got %q", got)
+	}
+}
+
+// TestRelabelAndMerge covers the federation path end to end: two worker
+// expositions are parsed, relabeled under mpsimd_worker_* with a worker
+// label (dropping go_* runtime families), merged into one family list, and
+// the re-rendered exposition passes the linter.
+func TestRelabelAndMerge(t *testing.T) {
+	parse := func() []TextFamily {
+		fams, err := ParseText(strings.NewReader(workerExposition))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fams
+	}
+	a := RelabelFamilies(parse(), "mpsimd_", "mpsimd_worker_", "worker", "http://a:1")
+	b := RelabelFamilies(parse(), "mpsimd_", "mpsimd_worker_", "worker", "http://b:1")
+	for _, fams := range [][]TextFamily{a, b} {
+		if len(fams) != 3 {
+			t.Fatalf("relabel kept %d families, want 3 (go_* dropped)", len(fams))
+		}
+		for _, f := range fams {
+			if !strings.HasPrefix(f.Name, "mpsimd_worker_") {
+				t.Errorf("family %s not renamed", f.Name)
+			}
+		}
+	}
+
+	merged := MergeFamilies(a, b)
+	if len(merged) != 3 {
+		t.Fatalf("merged %d families, want 3", len(merged))
+	}
+	for _, f := range merged {
+		if f.Name == "mpsimd_worker_jobs_total" && len(f.Samples) != 4 {
+			t.Errorf("merged jobs family has %d samples, want 4", len(f.Samples))
+		}
+	}
+
+	// Render through a registry collector and lint: federation must never
+	// produce an exposition the linter would reject.
+	reg := NewRegistry()
+	reg.CounterVec("mpsimd_fabric_dispatched_total", "Jobs dispatched.", "worker").
+		With("http://a:1").Inc()
+	reg.CollectorFunc(func() []TextFamily { return merged })
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if _, err := Lint(strings.NewReader(text)); err != nil {
+		t.Fatalf("federated exposition fails lint: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`mpsimd_worker_jobs_total{worker="http://a:1",model="inorder",workload="mcf",status="ok"} 3`,
+		`mpsimd_worker_jobs_total{worker="http://b:1",model="inorder",workload="mcf",status="ok"} 3`,
+		`mpsimd_worker_cache_entries{worker="http://a:1"} 4`,
+		"# TYPE mpsimd_worker_job_duration_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered exposition missing %q\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "go_goroutines{worker=") {
+		t.Error("runtime family leaked through relabeling")
+	}
+}
+
+// TestCollectorFuncDedup: a collector family whose name collides with a
+// registered family is dropped, not double-declared.
+func TestCollectorFuncDedup(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("mpsimd_things_total", "Things.", "kind").With("a").Inc()
+	reg.CollectorFunc(func() []TextFamily {
+		return []TextFamily{
+			{Name: "mpsimd_things_total", Kind: "counter",
+				Samples: []TextSample{{Labels: `{kind="dup"}`, Value: "9"}}},
+			{Name: "mpsimd_extra_total", Help: "Extra.", Kind: "counter",
+				Samples: []TextSample{{Value: "1"}}},
+		}
+	})
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if _, err := Lint(strings.NewReader(text)); err != nil {
+		t.Fatalf("lint: %v\n%s", err, text)
+	}
+	if strings.Count(text, "# TYPE mpsimd_things_total counter") != 1 {
+		t.Errorf("duplicate TYPE for colliding family:\n%s", text)
+	}
+	if strings.Contains(text, `kind="dup"`) {
+		t.Errorf("colliding collector family not dropped:\n%s", text)
+	}
+	if !strings.Contains(text, "mpsimd_extra_total 1") {
+		t.Errorf("collector family missing:\n%s", text)
+	}
+}

@@ -61,10 +61,11 @@ type family struct {
 // exposition format. Registration is not concurrency-safe (do it at
 // construction time); collection and rendering are.
 type Registry struct {
-	mu      sync.Mutex
-	fams    []*family
-	names   map[string]bool
-	runtime bool
+	mu         sync.Mutex
+	fams       []*family
+	names      map[string]bool
+	runtime    bool
+	collectors []func() []TextFamily
 }
 
 // NewRegistry returns an empty Registry.
@@ -123,6 +124,18 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	}
 	r.add(&family{name: name, help: help, kind: kindHistogram, hist: h})
 	return h
+}
+
+// CollectorFunc registers a scrape-time source of pre-rendered families —
+// the federation hook: a coordinator collects its workers' expositions,
+// relabels them, and re-exports them here. fn runs on every WriteText; a
+// collected family whose name collides with a registered family (or an
+// earlier collector's) is skipped so the exposition never declares a
+// duplicate TYPE.
+func (r *Registry) CollectorFunc(fn func() []TextFamily) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
 }
 
 // EnableRuntimeMetrics appends a curated set of Go runtime statistics
@@ -285,6 +298,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	fams := append([]*family(nil), r.fams...)
 	withRuntime := r.runtime
+	collectors := append([]func() []TextFamily(nil), r.collectors...)
 	r.mu.Unlock()
 
 	var b strings.Builder
@@ -319,6 +333,25 @@ func (r *Registry) WriteText(w io.Writer) error {
 			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
 			fmt.Fprintf(&b, "%s_sum %s\n", f.name, formatFloat(h.Sum()))
 			fmt.Fprintf(&b, "%s_count %d\n", f.name, cum)
+		}
+	}
+	emitted := make(map[string]bool, len(fams))
+	for _, f := range fams {
+		emitted[f.name] = true
+	}
+	for _, collect := range collectors {
+		for _, cf := range collect() {
+			if emitted[cf.Name] {
+				continue
+			}
+			emitted[cf.Name] = true
+			if cf.Help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", cf.Name, strings.ReplaceAll(cf.Help, "\n", " "))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", cf.Name, cf.Kind)
+			for _, s := range cf.Samples {
+				fmt.Fprintf(&b, "%s%s%s %s\n", cf.Name, s.Suffix, s.Labels, s.Value)
+			}
 		}
 	}
 	if withRuntime {

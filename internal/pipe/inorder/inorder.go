@@ -26,6 +26,7 @@ func init() {
 		cfg.DisableSkip = opts.DisableSkip
 		return New(cfg)
 	})
+	sim.Describe("inorder", "stall-on-use in-order EPIC pipeline (paper baseline)")
 }
 
 // Machine is the baseline in-order model.

@@ -38,7 +38,9 @@ func init() {
 		}
 	}
 	sim.Register("ooo", factory(false))
+	sim.Describe("ooo", "idealized large-window out-of-order (the paper's high-power offense)")
 	sim.Register("ooo-realistic", factory(true))
+	sim.Describe("ooo-realistic", "resource-constrained out-of-order (Table 2 window and ROB)")
 }
 
 // Config extends the common configuration with window geometry.

@@ -28,6 +28,7 @@ func init() {
 		cfg.DisableSkip = opts.DisableSkip
 		return New(cfg)
 	})
+	sim.Describe("runahead", "checkpoint-and-runahead execution under long-latency misses")
 }
 
 // Config extends the common configuration with the runahead exit penalty.

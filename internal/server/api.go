@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"net/http"
 
 	"multipass/internal/compile"
 	"multipass/internal/mem"
@@ -12,9 +13,18 @@ import (
 	"multipass/internal/workload"
 )
 
-// APISchemaVersion versions every response body of the v1 endpoints. Bump on
-// any wire-visible change.
-const APISchemaVersion = 1
+// APISchemaVersion versions every response body of the v1 endpoints, echoed
+// both in the schema_version body field and the Mpsimd-Api-Version response
+// header. Bump on any wire-visible change.
+//
+// v2: uniform error envelope with stable codes; /v1/models and
+// /v1/workloads return objects (?compat=names restores v1 shapes);
+// /v1/sweep?stream=true NDJSON; /v1/worker/health.
+const APISchemaVersion = 2
+
+// HeaderAPIVersion is stamped on every /v1/* response so clients can detect
+// the schema without parsing a body.
+const HeaderAPIVersion = "Mpsimd-Api-Version"
 
 // CompileOverrides is the subset of compiler options a request may vary.
 // Nil fields keep the paper-standard defaults, so the canonical form of an
@@ -79,6 +89,26 @@ func (j JobSpec) CompileOptions() compile.Options {
 	return opts
 }
 
+// RunRequest returns the request whose normalization reproduces this spec
+// exactly: every field explicit, no defaults left to fill. The fabric
+// coordinator serializes this to dispatch a job to a worker, and the
+// canonical-form property guarantees the worker computes the same job key.
+func (j JobSpec) RunRequest() RunRequest {
+	schedule, restarts, unroll := j.Schedule, j.InsertRestarts, j.Unroll
+	return RunRequest{
+		Workload: j.Workload,
+		Model:    j.Model,
+		Hier:     j.Hier,
+		Scale:    j.Scale,
+		Compile: &CompileOverrides{
+			Schedule:       &schedule,
+			InsertRestarts: &restarts,
+			Unroll:         &unroll,
+		},
+		MaxInsts: j.MaxInsts,
+	}
+}
+
 // normalize validates a RunRequest against the registries and returns its
 // canonical JobSpec.
 func normalize(req *RunRequest) (JobSpec, error) {
@@ -112,28 +142,37 @@ func normalize(req *RunRequest) (JobSpec, error) {
 	}
 
 	if spec.Workload == "" {
-		return spec, fmt.Errorf("missing workload")
+		return spec, apiErrorf(http.StatusBadRequest, CodeMissingWorkload,
+			"see /v1/workloads", "missing workload")
 	}
 	if _, ok := workload.ByName(spec.Workload); !ok {
-		return spec, fmt.Errorf("unknown workload %q", spec.Workload)
+		return spec, apiErrorf(http.StatusBadRequest, CodeUnknownWorkload,
+			"see /v1/workloads", "unknown workload %q", spec.Workload)
 	}
 	if spec.Model == "" {
-		return spec, fmt.Errorf("missing model")
+		return spec, apiErrorf(http.StatusBadRequest, CodeMissingModel,
+			"see /v1/models", "missing model")
 	}
 	if _, ok := sim.Lookup(spec.Model); !ok {
-		return spec, fmt.Errorf("unknown model %q (see /v1/models)", spec.Model)
+		return spec, apiErrorf(http.StatusBadRequest, CodeUnknownModel,
+			"see /v1/models", "unknown model %q (see /v1/models)", spec.Model)
 	}
 	if _, ok := mem.ConfigByName(spec.Hier); !ok {
-		return spec, fmt.Errorf("unknown hierarchy %q (have %v)", spec.Hier, mem.ConfigNames())
+		return spec, apiErrorf(http.StatusBadRequest, CodeUnknownHier,
+			fmt.Sprintf("have %v", mem.ConfigNames()),
+			"unknown hierarchy %q (have %v)", spec.Hier, mem.ConfigNames())
 	}
 	if spec.Scale < 1 {
-		return spec, fmt.Errorf("scale %d < 1", spec.Scale)
+		return spec, apiErrorf(http.StatusBadRequest, CodeBadScale, "scale must be >= 1",
+			"scale %d < 1", spec.Scale)
 	}
 	if spec.Unroll < 0 {
-		return spec, fmt.Errorf("unroll %d < 0", spec.Unroll)
+		return spec, apiErrorf(http.StatusBadRequest, CodeBadUnroll, "unroll must be >= 0",
+			"unroll %d < 0", spec.Unroll)
 	}
 	if req.TimeoutMS < 0 {
-		return spec, fmt.Errorf("timeout_ms %d < 0", req.TimeoutMS)
+		return spec, apiErrorf(http.StatusBadRequest, CodeBadTimeout, "timeout_ms must be >= 0",
+			"timeout_ms %d < 0", req.TimeoutMS)
 	}
 	return spec, nil
 }
@@ -189,9 +228,65 @@ type SweepResponse struct {
 	Summary       SweepSummary `json:"summary"`
 }
 
+// Stream record types for /v1/sweep?stream=true.
+const (
+	StreamRecordJob     = "job"     // one completed sweep cell
+	StreamRecordSummary = "summary" // the terminating accounting record
+)
+
+// SweepStreamRecord is one newline-delimited JSON record of a streaming
+// sweep: a "job" record per cell, in completion order, terminated by
+// exactly one "summary" record. The buffered (non-stream) response remains
+// index-ordered and byte-identical to a single-node run.
+type SweepStreamRecord struct {
+	SchemaVersion int    `json:"schema_version"`
+	Type          string `json:"type"`
+	// Index is the cell's position in the request grid (job records only);
+	// a streaming client can reassemble request order from it.
+	Index     *int `json:"index,omitempty"`
+	*SweepJob      // job, status, error, stats — flattened into the record
+	Summary   *SweepSummary `json:"summary,omitempty"`
+	// Workers reports per-worker job dispositions for this sweep: the
+	// fabric workers in coordinator mode, a single "local" entry otherwise.
+	Workers map[string]WorkerDisposition `json:"workers,omitempty"`
+}
+
+// WorkerDisposition accounts for one worker's share of dispatched jobs.
+// Dispatched = Completed + RetriedSuccess + Failed once a sweep settles
+// (attributed to the worker that ultimately resolved the job).
+type WorkerDisposition struct {
+	Healthy        bool   `json:"healthy"`
+	Dispatched     uint64 `json:"dispatched"`
+	Completed      uint64 `json:"completed"`
+	Retried        uint64 `json:"retried"`
+	RetriedSuccess uint64 `json:"retried_success"`
+	Failed         uint64 `json:"failed"`
+}
+
+// ModelInfo describes one timing model in GET /v1/models.
+type ModelInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// HierarchyInfo describes one named cache hierarchy in GET /v1/models.
+type HierarchyInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
 // ModelsResponse is the body of GET /v1/models, enumerated from the sim
-// registry.
+// registry. With ?compat=names the endpoint serves ModelNamesResponse
+// (the v1 shape) instead.
 type ModelsResponse struct {
+	SchemaVersion int             `json:"schema_version"`
+	Models        []ModelInfo     `json:"models"`
+	Hierarchies   []HierarchyInfo `json:"hierarchies"`
+}
+
+// ModelNamesResponse is the ?compat=names body of GET /v1/models: bare
+// name arrays, as served before schema v2.
+type ModelNamesResponse struct {
 	SchemaVersion int      `json:"schema_version"`
 	Models        []string `json:"models"`
 	Hierarchies   []string `json:"hierarchies"`
@@ -204,10 +299,32 @@ type WorkloadInfo struct {
 	Description string `json:"description"`
 }
 
-// WorkloadsResponse is the body of GET /v1/workloads.
+// WorkloadsResponse is the body of GET /v1/workloads. With ?compat=names
+// the endpoint serves WorkloadNamesResponse instead.
 type WorkloadsResponse struct {
 	SchemaVersion int            `json:"schema_version"`
 	Workloads     []WorkloadInfo `json:"workloads"`
+}
+
+// WorkloadNamesResponse is the ?compat=names body of GET /v1/workloads:
+// a bare name array.
+type WorkloadNamesResponse struct {
+	SchemaVersion int      `json:"schema_version"`
+	Workloads     []string `json:"workloads"`
+}
+
+// WorkerHealthResponse is the body of GET /v1/worker/health: the liveness
+// surface a fabric coordinator probes on its workers.
+type WorkerHealthResponse struct {
+	SchemaVersion int    `json:"schema_version"`
+	Status        string `json:"status"` // "ok" while serving
+	Role          string `json:"role"`   // "standalone", "worker", or "coordinator"
+	// Workers is the worker-pool size (max concurrently executing jobs).
+	Workers       int     `json:"workers"`
+	InFlight      int64   `json:"in_flight"`
+	JobsExecuted  uint64  `json:"jobs_executed"`
+	CacheEntries  int     `json:"cache_entries"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // StatsResponse is the body of GET /v1/stats: server-level metrics.
@@ -242,8 +359,19 @@ type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorDetail is the uniform error envelope payload: a stable
+// machine-readable code, a human-readable message (which keeps the
+// quoted-name convention, e.g. `unknown model "oooo"`), and an optional
+// hint pointing at how to fix the request.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Hint    string `json:"hint,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response from a /v1/*
+// endpoint: {"error": {"code": ..., "message": ..., "hint": ...}}.
 type ErrorResponse struct {
-	SchemaVersion int    `json:"schema_version"`
-	Error         string `json:"error"`
+	SchemaVersion int         `json:"schema_version"`
+	Error         ErrorDetail `json:"error"`
 }

@@ -8,41 +8,48 @@ import (
 )
 
 // TestRunErrorMapping pins how /v1/run maps registry lookup failures into
-// HTTP errors: unknown models and hierarchies are rejected at normalization
-// with 400, and the error body names the bad value and points at where the
-// valid ones are listed — so a client never has to guess which field was
-// wrong or what the legal values are.
+// the v1 error envelope: unknown models and hierarchies are rejected at
+// normalization with 400 and a stable machine-readable code, and the
+// message names the bad value while the hint points at where the valid
+// ones are listed — so a client never has to guess which field was wrong
+// or what the legal values are.
 func TestRunErrorMapping(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	cases := []struct {
 		name string
 		req  RunRequest
-		// every substring must appear in the error body
+		code string
+		// every substring must appear in the error message
 		want []string
 	}{
 		{
 			"unknown model quotes name and hints /v1/models",
 			RunRequest{Workload: "mcf", Model: "oooo"},
+			CodeUnknownModel,
 			[]string{`unknown model "oooo"`, "/v1/models"},
 		},
 		{
 			"model name is case sensitive",
 			RunRequest{Workload: "mcf", Model: "Inorder"},
+			CodeUnknownModel,
 			[]string{`unknown model "Inorder"`, "/v1/models"},
 		},
 		{
 			"unknown hierarchy quotes name and lists valid ones",
 			RunRequest{Workload: "mcf", Model: "inorder", Hier: "config9"},
+			CodeUnknownHier,
 			[]string{`unknown hierarchy "config9"`, "base", "config1", "config2"},
 		},
 		{
 			"hierarchy name is case sensitive",
 			RunRequest{Workload: "mcf", Model: "inorder", Hier: "Base"},
+			CodeUnknownHier,
 			[]string{`unknown hierarchy "Base"`, "base", "config1", "config2"},
 		},
 		{
 			"model checked before hierarchy",
 			RunRequest{Workload: "mcf", Model: "nope", Hier: "also-nope"},
+			CodeUnknownModel,
 			[]string{`unknown model "nope"`},
 		},
 	}
@@ -57,44 +64,108 @@ func TestRunErrorMapping(t *testing.T) {
 			if err := json.Unmarshal(body, &er); err != nil {
 				t.Fatalf("error body %s is not an ErrorResponse: %v", body, err)
 			}
+			if er.Error.Code != tc.code {
+				t.Errorf("error code %q, want %q", er.Error.Code, tc.code)
+			}
 			for _, want := range tc.want {
-				if !strings.Contains(er.Error, want) {
-					t.Errorf("error %q missing %q", er.Error, want)
+				if !strings.Contains(er.Error.Message, want) && !strings.Contains(er.Error.Hint, want) {
+					t.Errorf("error %+v missing %q", er.Error, want)
 				}
 			}
 		})
 	}
 }
 
-// TestNegativeTimeoutRejected pins the timeout contract on both job
-// endpoints: a negative timeout_ms is a 400 naming the field, never a
-// silent fall-through to the server default. The sweep variant used to
-// slip past deadline's `> 0` check — the regression this guards.
-func TestNegativeTimeoutRejected(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1})
+// TestErrorEnvelopeCodes pins the stable code for each distinct failure
+// mode across the /v1/* endpoints. Codes are API: clients branch on them,
+// so a rename here is a breaking change and must bump the schema version.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxSweepJobs: 2})
 
-	for _, tc := range []struct {
-		name, path string
-		body       any
+	post := func(t *testing.T, path string, body any) (int, ErrorResponse) {
+		t.Helper()
+		resp := postJSON(t, ts.URL+path, body)
+		data := readBody(t, resp)
+		var er ErrorResponse
+		if err := json.Unmarshal(data, &er); err != nil {
+			t.Fatalf("error body %s is not an ErrorResponse: %v", data, err)
+		}
+		return resp.StatusCode, er
+	}
+
+	cases := []struct {
+		name   string
+		path   string
+		body   any
+		status int
+		code   string
 	}{
-		{"run", "/v1/run", RunRequest{Workload: "mcf", Model: "inorder", TimeoutMS: -1}},
-		{"sweep", "/v1/sweep", SweepRequest{Workloads: []string{"mcf"}, Models: []string{"inorder"}, TimeoutMS: -250}},
-	} {
+		{"missing workload", "/v1/run", RunRequest{Model: "inorder"},
+			http.StatusBadRequest, CodeMissingWorkload},
+		{"missing model", "/v1/run", RunRequest{Workload: "mcf"},
+			http.StatusBadRequest, CodeMissingModel},
+		{"unknown workload", "/v1/run", RunRequest{Workload: "nope", Model: "inorder"},
+			http.StatusBadRequest, CodeUnknownWorkload},
+		{"unknown model", "/v1/run", RunRequest{Workload: "mcf", Model: "nope"},
+			http.StatusBadRequest, CodeUnknownModel},
+		{"unknown hierarchy", "/v1/run", RunRequest{Workload: "mcf", Model: "inorder", Hier: "nope"},
+			http.StatusBadRequest, CodeUnknownHier},
+		{"bad scale", "/v1/run", RunRequest{Workload: "mcf", Model: "inorder", Scale: -1},
+			http.StatusBadRequest, CodeBadScale},
+		{"bad timeout run", "/v1/run", RunRequest{Workload: "mcf", Model: "inorder", TimeoutMS: -1},
+			http.StatusBadRequest, CodeBadTimeout},
+		{"bad timeout sweep", "/v1/sweep", SweepRequest{Workloads: []string{"mcf"}, Models: []string{"inorder"}, TimeoutMS: -1},
+			http.StatusBadRequest, CodeBadTimeout},
+		{"sweep axis typo", "/v1/sweep", SweepRequest{Workloads: []string{"mcf"}, Models: []string{"bogus"}},
+			http.StatusBadRequest, CodeUnknownModel},
+		{"sweep grid too large", "/v1/sweep", SweepRequest{Workloads: []string{"mcf"}, Models: []string{"inorder", "multipass", "ooo"}, Hiers: []string{"base"}},
+			http.StatusBadRequest, CodeQueueFull},
+	}
+	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			resp := postJSON(t, ts.URL+tc.path, tc.body)
-			body := readBody(t, resp)
-			if resp.StatusCode != http.StatusBadRequest {
-				t.Fatalf("status %d, body %s, want 400", resp.StatusCode, body)
+			status, er := post(t, tc.path, tc.body)
+			if status != tc.status {
+				t.Errorf("status %d, want %d", status, tc.status)
 			}
-			var er ErrorResponse
-			if err := json.Unmarshal(body, &er); err != nil {
-				t.Fatalf("error body %s is not an ErrorResponse: %v", body, err)
+			if er.Error.Code != tc.code {
+				t.Errorf("code %q, want %q", er.Error.Code, tc.code)
 			}
-			if !strings.Contains(er.Error, "timeout_ms") || !strings.Contains(er.Error, "< 0") {
-				t.Errorf("error %q does not name timeout_ms", er.Error)
+			if er.Error.Message == "" {
+				t.Error("empty error message")
+			}
+			if er.SchemaVersion != APISchemaVersion {
+				t.Errorf("schema_version %d, want %d", er.SchemaVersion, APISchemaVersion)
 			}
 		})
 	}
+
+	// Wrong method and undecodable body share the envelope too.
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(readBody(t, resp), &er); err != nil {
+		t.Fatalf("405 body not an ErrorResponse: %v", err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed || er.Error.Code != CodeMethodNotAllowed {
+		t.Errorf("GET /v1/run: status %d code %q", resp.StatusCode, er.Error.Code)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(readBody(t, resp), &er); err != nil {
+		t.Fatalf("bad-body response not an ErrorResponse: %v", err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || er.Error.Code != CodeBadBody {
+		t.Errorf("malformed body: status %d code %q", resp.StatusCode, er.Error.Code)
+	}
+
+	// Every rejection above must have happened before any simulation ran:
+	// sweeps validate their full grid up front, so a typo in one axis value
+	// never burns the rest of the grid.
 	if st := getStats(t, ts.URL); st.JobsExecuted != 0 {
 		t.Errorf("jobs_executed = %d after rejected requests, want 0", st.JobsExecuted)
 	}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Stable machine-readable error codes: every non-2xx response from a /v1/*
+// endpoint carries exactly one of these in error.code. Codes are API —
+// clients branch on them, so renaming one is a breaking change.
+const (
+	CodeBadBody          = "bad_body"           // request body is not valid JSON for the endpoint
+	CodeMethodNotAllowed = "method_not_allowed" // wrong HTTP method
+	CodeMissingWorkload  = "missing_workload"   // workload field absent
+	CodeMissingModel     = "missing_model"      // model field absent
+	CodeUnknownWorkload  = "unknown_workload"   // workload not in the registry
+	CodeUnknownModel     = "unknown_model"      // model not in the registry
+	CodeUnknownHier      = "unknown_hierarchy"  // hierarchy not in the registry
+	CodeBadScale         = "bad_scale"          // scale < 1
+	CodeBadUnroll        = "bad_unroll"         // unroll < 0
+	CodeBadTimeout       = "bad_timeout"        // timeout_ms < 0
+	CodeQueueFull        = "queue_full"         // sweep grid exceeds MaxSweepJobs
+	CodeDeadlineExceeded = "deadline_exceeded"  // the job hit its deadline
+	CodeCanceled         = "canceled"           // the client went away mid-job
+	CodeWorkerFailed     = "worker_failed"      // no fabric worker could run the job
+	CodeJobFailed        = "job_failed"         // the simulation itself reported an error
+)
+
+// apiError is the internal carrier of one error envelope: an HTTP status,
+// a stable code, a human-readable message, and an optional hint pointing at
+// how to fix the request.
+type apiError struct {
+	status  int
+	code    string
+	message string
+	hint    string
+}
+
+func (e *apiError) Error() string { return e.message }
+
+// NewAPIError builds an error that the HTTP layer renders verbatim as the
+// v1 error envelope. Exported for the fabric dispatcher, which propagates a
+// worker's envelope (status, code, message) through the coordinator
+// unchanged.
+func NewAPIError(status int, code, message, hint string) error {
+	return &apiError{status: status, code: code, message: message, hint: hint}
+}
+
+// apiErrorf builds an apiError with a formatted message.
+func apiErrorf(status int, code, hint, format string, args ...any) *apiError {
+	return &apiError{status: status, code: code, hint: hint, message: fmt.Sprintf(format, args...)}
+}
+
+// errMethodNotAllowed rejects a request made with the wrong HTTP method.
+func errMethodNotAllowed(want string) error {
+	return apiErrorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "", "%s required", want)
+}
+
+// errBadBody rejects a request whose body failed to decode.
+func errBadBody(err error) error {
+	return apiErrorf(http.StatusBadRequest, CodeBadBody, "", "bad request body: %v", err)
+}
+
+// asAPIError normalizes any job error into an apiError: typed errors pass
+// through, context errors map to their dedicated codes, and everything else
+// is a failed job.
+func asAPIError(err error) *apiError {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae
+	case errors.Is(err, context.DeadlineExceeded):
+		return apiErrorf(http.StatusGatewayTimeout, CodeDeadlineExceeded,
+			"raise timeout_ms or shrink the job", "%v", err)
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is moot but 499-style semantics
+		// map best onto 503 in net/http terms.
+		return apiErrorf(http.StatusServiceUnavailable, CodeCanceled, "", "%v", err)
+	}
+	return apiErrorf(http.StatusInternalServerError, CodeJobFailed, "", "%v", err)
+}
+
+// writeError renders err as the uniform v1 error envelope:
+// {"schema_version":N,"error":{"code":...,"message":...,"hint":...}}.
+func writeError(w http.ResponseWriter, err error) {
+	ae := asAPIError(err)
+	writeJSON(w, ae.status, ErrorResponse{
+		SchemaVersion: APISchemaVersion,
+		Error: ErrorDetail{
+			Code:    ae.code,
+			Message: ae.message,
+			Hint:    ae.hint,
+		},
+	})
+}
+
+// jobError prefixes a job error's message with the job identity while
+// preserving its status, code, and hint.
+func jobError(spec JobSpec, err error) error {
+	ae := asAPIError(err)
+	wrapped := *ae
+	wrapped.message = fmt.Sprintf("%s/%s/%s: %s", spec.Workload, spec.Model, spec.Hier, ae.message)
+	return &wrapped
+}

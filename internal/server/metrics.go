@@ -1,6 +1,8 @@
 package server
 
 import (
+	"sort"
+	"strconv"
 	"time"
 
 	"multipass/internal/obs"
@@ -76,6 +78,67 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Seconds since the server was constructed.",
 		func() float64 { return time.Since(s.start).Seconds() })
 
+	if s.cfg.Dispatcher != nil {
+		// Coordinator mode: export fabric accounting and federate the
+		// workers' own mpsimd_* families (relabeled mpsimd_worker_* with a
+		// `worker` label) into this exposition.
+		reg.CollectorFunc(func() []obs.TextFamily {
+			return append(fabricFamilies(s.cfg.Dispatcher.Dispositions()),
+				s.cfg.Dispatcher.WorkerFamilies()...)
+		})
+	}
+
 	reg.EnableRuntimeMetrics()
 	return m
+}
+
+// fabricFamilies renders the coordinator's per-worker dispatch accounting
+// as metric families. The invariant dashboards alert on: once a sweep
+// settles with no failures, dispatched == completed + retried_success.
+func fabricFamilies(disp map[string]WorkerDisposition) []obs.TextFamily {
+	urls := make([]string, 0, len(disp))
+	for url := range disp {
+		urls = append(urls, url)
+	}
+	sort.Strings(urls)
+
+	counter := func(name, help string, value func(WorkerDisposition) uint64) obs.TextFamily {
+		f := obs.TextFamily{Name: name, Help: help, Kind: "counter"}
+		for _, url := range urls {
+			f.Samples = append(f.Samples, obs.TextSample{
+				Labels: obs.AddLabel("", "worker", url),
+				Value:  strconv.FormatUint(value(disp[url]), 10),
+			})
+		}
+		return f
+	}
+	healthy := obs.TextFamily{Name: "mpsimd_fabric_worker_healthy",
+		Help: "Whether the fabric considers the worker healthy (1) or dead (0).", Kind: "gauge"}
+	for _, url := range urls {
+		v := "0"
+		if disp[url].Healthy {
+			v = "1"
+		}
+		healthy.Samples = append(healthy.Samples, obs.TextSample{
+			Labels: obs.AddLabel("", "worker", url), Value: v,
+		})
+	}
+	return []obs.TextFamily{
+		counter("mpsimd_fabric_dispatched_total",
+			"Jobs handed to the fabric, attributed to their primary worker.",
+			func(d WorkerDisposition) uint64 { return d.Dispatched }),
+		counter("mpsimd_fabric_completed_total",
+			"Jobs resolved on their primary worker (success or a deterministic job error).",
+			func(d WorkerDisposition) uint64 { return d.Completed }),
+		counter("mpsimd_fabric_retried_total",
+			"Retry attempts sent to this worker after another worker failed.",
+			func(d WorkerDisposition) uint64 { return d.Retried }),
+		counter("mpsimd_fabric_retried_success_total",
+			"Jobs rescued by this worker after their primary failed.",
+			func(d WorkerDisposition) uint64 { return d.RetriedSuccess }),
+		counter("mpsimd_fabric_failed_total",
+			"Jobs that exhausted every retry, attributed to their primary worker.",
+			func(d WorkerDisposition) uint64 { return d.Failed }),
+		healthy,
+	}
 }

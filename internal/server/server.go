@@ -7,22 +7,30 @@
 //
 // Endpoints:
 //
-//	POST /v1/run        one simulation job (?debug=true adds a trace section)
-//	POST /v1/sweep      a (workloads x models x hierarchies) batch
-//	GET  /v1/models     registered timing models and named hierarchies
-//	GET  /v1/workloads  the benchmark kernels
-//	GET  /v1/stats      server metrics (jobs, cache, latency percentiles)
-//	GET  /metrics       Prometheus text-format exposition
+//	POST /v1/run            one simulation job (?debug=true adds a trace section)
+//	POST /v1/sweep          a (workloads x models x hierarchies) batch;
+//	                        ?stream=true streams NDJSON results as they land
+//	GET  /v1/models         registered timing models and named hierarchies
+//	GET  /v1/workloads      the benchmark kernels
+//	GET  /v1/stats          server metrics (jobs, cache, latency percentiles)
+//	GET  /v1/worker/health  liveness + role, probed by fabric coordinators
+//	GET  /metrics           Prometheus text-format exposition
 //
-// Every response carries X-Mpsimd-Request-Id; /v1/run adds X-Mpsimd-Cache
-// (hit|miss|coalesced) and X-Mpsimd-Trace (per-phase spans). Request logs
-// go through the configured slog.Logger.
+// Every response carries X-Mpsimd-Request-Id and (on /v1/*) the
+// Mpsimd-Api-Version header; /v1/run adds X-Mpsimd-Cache
+// (hit|miss|coalesced) and X-Mpsimd-Trace (per-phase spans). Errors share
+// one envelope: {"error":{"code":...,"message":...,"hint":...}} with
+// stable codes. Request logs go through the configured slog.Logger.
+//
+// With Config.Dispatcher set the server runs as a fabric coordinator: jobs
+// are routed to remote workers (consistent-hashed on the job key) instead
+// of the local pool, while the result cache, coalescing, and replay
+// guarantees stay local — see internal/fabric.
 package server
 
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -65,6 +73,31 @@ type Config struct {
 	MaxCacheBytes int64
 	// Logger receives structured request and job logs; nil discards them.
 	Logger *slog.Logger
+	// Role names this daemon's place in a sweep fabric ("standalone",
+	// "worker", "coordinator"); it is reported by /v1/worker/health.
+	// Empty means "standalone".
+	Role string
+	// Dispatcher, when non-nil, routes job execution to remote fabric
+	// workers instead of the local pool. The result cache and flight
+	// coalescing still run locally, so cached replay stays byte-identical
+	// and duplicate cells dispatch once.
+	Dispatcher Dispatcher
+}
+
+// Dispatcher is the fabric hook: the coordinator-side transport that runs a
+// job on a remote worker and reports per-worker accounting. Implemented by
+// internal/fabric; defined here so the server does not depend on it.
+type Dispatcher interface {
+	// Dispatch runs one job remotely and returns the worker's canonical
+	// RunResponse bytes, which are byte-identical to a local execution.
+	Dispatch(ctx context.Context, spec JobSpec) ([]byte, error)
+	// Dispositions snapshots cumulative per-worker job accounting, keyed
+	// by worker base URL.
+	Dispositions() map[string]WorkerDisposition
+	// WorkerFamilies scrapes the workers' /metrics and returns their
+	// mpsimd_* families relabeled under mpsimd_worker_* with a `worker`
+	// label, for merging into the coordinator's exposition.
+	WorkerFamilies() []obs.TextFamily
 }
 
 // Cache dispositions: how runCached satisfied a request. Exactly one is
@@ -207,6 +240,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxSweepJobs <= 0 {
 		cfg.MaxSweepJobs = 4096
 	}
+	if cfg.Role == "" {
+		cfg.Role = "standalone"
+	}
 	log := cfg.Logger
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -232,6 +268,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/worker/health", s.handleWorkerHealth)
 	mux.Handle("/metrics", s.metrics.reg.Handler())
 	return s.withObs(mux)
 }
@@ -241,23 +278,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, ErrorResponse{SchemaVersion: APISchemaVersion, Error: fmt.Sprintf(format, args...)})
-}
-
-// statusFor maps a job error to an HTTP status.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		// The client went away; the status is moot but 499-style semantics
-		// map best onto 503 in net/http terms.
-		return http.StatusServiceUnavailable
-	}
-	return http.StatusInternalServerError
 }
 
 // deadline derives the effective job context from the request timeout.
@@ -424,7 +444,16 @@ func (s *Server) runCached(ctx context.Context, spec JobSpec) (data []byte, disp
 		s.flights[key] = f
 		s.flightMu.Unlock()
 
-		data, err = s.execute(ctx, spec, key)
+		if d := s.cfg.Dispatcher; d != nil {
+			// Coordinator mode: the job runs on a fabric worker; the local
+			// cache stores the worker's canonical bytes, so replay stays
+			// byte-identical to a single-node run.
+			end := obs.FromContext(ctx).StartSpan("dispatch")
+			data, err = d.Dispatch(ctx, spec)
+			end()
+		} else {
+			data, err = s.execute(ctx, spec, key)
+		}
 		if err == nil {
 			s.cache.put(key, data)
 		}
@@ -439,17 +468,17 @@ func (s *Server) runCached(ctx context.Context, spec JobSpec) (data []byte, disp
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		writeError(w, errMethodNotAllowed(http.MethodPost))
 		return
 	}
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, errBadBody(err))
 		return
 	}
 	spec, err := normalize(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, err)
 		return
 	}
 	tr := obs.FromContext(r.Context())
@@ -462,7 +491,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	data, disp, err := s.runCached(ctx, spec)
 	status := http.StatusOK
 	if err != nil {
-		status = statusFor(err)
+		status = asAPIError(err).status
 	}
 	s.log.Info("run",
 		"request_id", tr.ID,
@@ -472,7 +501,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		"dur_ms", float64(tr.Elapsed())/float64(time.Millisecond),
 	)
 	if err != nil {
-		writeError(w, status, "%s/%s/%s: %v", spec.Workload, spec.Model, spec.Hier, err)
+		writeError(w, jobError(spec, err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -484,144 +513,49 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var req SweepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
-	// Match the /v1/run contract: a negative timeout is a client error,
-	// not something to silently fall through to the server default.
-	if req.TimeoutMS < 0 {
-		writeError(w, http.StatusBadRequest, "timeout_ms %d < 0", req.TimeoutMS)
-		return
-	}
-	if len(req.Workloads) == 0 {
-		for _, wl := range workload.All() {
-			req.Workloads = append(req.Workloads, wl.Name)
-		}
-	}
-	if len(req.Models) == 0 {
-		req.Models = sim.Names()
-	}
-	if len(req.Hiers) == 0 {
-		req.Hiers = mem.ConfigNames()
-	}
+// handleSweep lives in sweep.go: grid planning, the buffered response, and
+// the ?stream=true NDJSON writer.
 
-	// Normalize the whole grid up front: an invalid axis value fails the
-	// sweep before any simulation runs.
-	var specs []JobSpec
-	for _, wl := range req.Workloads {
-		for _, hier := range req.Hiers {
-			for _, model := range req.Models {
-				rr := RunRequest{
-					Workload: wl, Model: model, Hier: hier,
-					Scale: req.Scale, Compile: req.Compile, MaxInsts: req.MaxInsts,
-				}
-				spec, err := normalize(&rr)
-				if err != nil {
-					writeError(w, http.StatusBadRequest, "%v", err)
-					return
-				}
-				specs = append(specs, spec)
-			}
-		}
-	}
-	if len(specs) > s.cfg.MaxSweepJobs {
-		writeError(w, http.StatusBadRequest, "sweep grid has %d jobs, limit %d", len(specs), s.cfg.MaxSweepJobs)
-		return
-	}
-
-	tr := obs.FromContext(r.Context())
-	if tr == nil {
-		tr = obs.NewTrace("")
-	}
-	ctx, cancel := s.deadline(obs.WithTrace(r.Context(), tr), req.TimeoutMS)
-	defer cancel()
-
-	// Fan out; the worker pool inside execute bounds real concurrency.
-	// Every job is accounted for: done, cached, or failed.
-	resp := SweepResponse{SchemaVersion: APISchemaVersion, Jobs: make([]SweepJob, len(specs))}
-	var wg sync.WaitGroup
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec JobSpec) {
-			defer wg.Done()
-			jobStart := time.Now()
-			job := SweepJob{Job: spec}
-			data, disp, err := s.runCached(ctx, spec)
-			switch {
-			case err != nil:
-				job.Status = JobFailed
-				job.Error = err.Error()
-			default:
-				var rr RunResponse
-				if err := json.Unmarshal(data, &rr); err != nil {
-					job.Status = JobFailed
-					job.Error = fmt.Sprintf("decode cached result: %v", err)
-					break
-				}
-				job.Stats = &rr.Stats
-				if disp == dispMiss {
-					job.Status = JobDone
-				} else {
-					job.Status = JobCached
-				}
-			}
-			resp.Jobs[i] = job
-			s.log.Debug("sweep job",
-				"request_id", tr.ID,
-				"workload", spec.Workload, "model", spec.Model, "hier", spec.Hier,
-				"status", job.Status, "cache", disp,
-				"dur_ms", float64(time.Since(jobStart))/float64(time.Millisecond),
-			)
-		}(i, spec)
-	}
-	wg.Wait()
-
-	for _, job := range resp.Jobs {
-		resp.Summary.Total++
-		switch job.Status {
-		case JobDone:
-			resp.Summary.Done++
-		case JobCached:
-			resp.Summary.Cached++
-		default:
-			resp.Summary.Failed++
-		}
-	}
-	s.log.Info("sweep",
-		"request_id", tr.ID,
-		"jobs", resp.Summary.Total, "done", resp.Summary.Done,
-		"cached", resp.Summary.Cached, "failed", resp.Summary.Failed,
-		"dur_ms", float64(tr.Elapsed())/float64(time.Millisecond),
-	)
-	// A full span list over hundreds of jobs would bloat the header; the
-	// sweep reports its shape and total only.
-	w.Header().Set(headerTrace, fmt.Sprintf("id=%s;jobs=%d;total=%.3fms",
-		tr.ID, resp.Summary.Total, float64(tr.Elapsed())/float64(time.Millisecond)))
-	writeJSON(w, http.StatusOK, &resp)
+// compatNames reports whether the request asked for the pre-v2 bare-name
+// response shape (?compat=names).
+func compatNames(r *http.Request) bool {
+	return r.URL.Query().Get("compat") == "names"
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, errMethodNotAllowed(http.MethodGet))
 		return
 	}
-	writeJSON(w, http.StatusOK, ModelsResponse{
-		SchemaVersion: APISchemaVersion,
-		Models:        sim.Names(),
-		Hierarchies:   mem.ConfigNames(),
-	})
+	if compatNames(r) {
+		writeJSON(w, http.StatusOK, ModelNamesResponse{
+			SchemaVersion: APISchemaVersion,
+			Models:        sim.Names(),
+			Hierarchies:   mem.ConfigNames(),
+		})
+		return
+	}
+	resp := ModelsResponse{SchemaVersion: APISchemaVersion}
+	for _, name := range sim.Names() {
+		resp.Models = append(resp.Models, ModelInfo{Name: name, Description: sim.Description(name)})
+	}
+	for _, name := range mem.ConfigNames() {
+		resp.Hierarchies = append(resp.Hierarchies, HierarchyInfo{Name: name, Description: mem.ConfigDescription(name)})
+	}
+	writeJSON(w, http.StatusOK, &resp)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, errMethodNotAllowed(http.MethodGet))
+		return
+	}
+	if compatNames(r) {
+		resp := WorkloadNamesResponse{SchemaVersion: APISchemaVersion}
+		for _, wl := range workload.All() {
+			resp.Workloads = append(resp.Workloads, wl.Name)
+		}
+		writeJSON(w, http.StatusOK, &resp)
 		return
 	}
 	resp := WorkloadsResponse{SchemaVersion: APISchemaVersion}
@@ -633,9 +567,26 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &resp)
 }
 
+func (s *Server) handleWorkerHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, errMethodNotAllowed(http.MethodGet))
+		return
+	}
+	writeJSON(w, http.StatusOK, WorkerHealthResponse{
+		SchemaVersion: APISchemaVersion,
+		Status:        "ok",
+		Role:          s.cfg.Role,
+		Workers:       s.cfg.Workers,
+		InFlight:      s.inFlight.Load(),
+		JobsExecuted:  s.jobsExecuted.Load(),
+		CacheEntries:  s.cache.len(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, errMethodNotAllowed(http.MethodGet))
 		return
 	}
 	// The percentile estimate reads the same fixed-bucket histogram that

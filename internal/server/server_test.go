@@ -131,8 +131,10 @@ func TestRunDeadlineMidRun(t *testing.T) {
 		var er ErrorResponse
 		if err := json.Unmarshal(body, &er); err != nil {
 			t.Errorf("%s: error body not JSON: %v", model, err)
-		} else if !strings.Contains(er.Error, "deadline") {
-			t.Errorf("%s: error = %q, want deadline mention", model, er.Error)
+		} else if er.Error.Code != CodeDeadlineExceeded {
+			t.Errorf("%s: error code %q, want %q", model, er.Error.Code, CodeDeadlineExceeded)
+		} else if !strings.Contains(er.Error.Message, "deadline") {
+			t.Errorf("%s: error = %q, want deadline mention", model, er.Error.Message)
 		}
 	}
 }
@@ -160,7 +162,7 @@ func TestRunValidation(t *testing.T) {
 			continue
 		}
 		var er ErrorResponse
-		if err := json.Unmarshal(body, &er); err != nil || !strings.Contains(er.Error, tc.want) {
+		if err := json.Unmarshal(body, &er); err != nil || !strings.Contains(er.Error.Message, tc.want) {
 			t.Errorf("%s: error body %s, want mention of %q", tc.name, body, tc.want)
 		}
 	}
@@ -374,7 +376,8 @@ func TestSweepValidation(t *testing.T) {
 	}
 }
 
-// TestModelsAndWorkloads: the enumeration endpoints reflect the registries.
+// TestModelsAndWorkloads: the enumeration endpoints reflect the registries
+// and, as of schema v2, describe every entry.
 func TestModelsAndWorkloads(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 
@@ -382,22 +385,41 @@ func TestModelsAndWorkloads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if got := resp.Header.Get(HeaderAPIVersion); got != fmt.Sprint(APISchemaVersion) {
+		t.Errorf("%s header = %q, want %d", HeaderAPIVersion, got, APISchemaVersion)
+	}
 	var mr ModelsResponse
 	if err := json.Unmarshal(readBody(t, resp), &mr); err != nil {
 		t.Fatal(err)
 	}
-	have := map[string]bool{}
+	if mr.SchemaVersion != APISchemaVersion {
+		t.Errorf("schema_version = %d, want %d", mr.SchemaVersion, APISchemaVersion)
+	}
+	have := map[string]ModelInfo{}
 	for _, m := range mr.Models {
-		have[m] = true
+		have[m.Name] = m
 	}
 	for _, want := range []string{"inorder", "multipass", "multipass-noregroup", "multipass-norestart", "runahead", "ooo", "ooo-realistic"} {
-		if !have[want] {
+		info, ok := have[want]
+		if !ok {
 			t.Errorf("/v1/models missing %q (got %v)", want, mr.Models)
+			continue
+		}
+		if info.Description == "" {
+			t.Errorf("model %s: empty description", want)
 		}
 	}
 	wantHiers := []string{"base", "config1", "config2"}
 	if len(mr.Hierarchies) != len(wantHiers) {
 		t.Errorf("hierarchies = %v, want %v", mr.Hierarchies, wantHiers)
+	}
+	for i, h := range mr.Hierarchies {
+		if h.Name != wantHiers[i] {
+			t.Errorf("hierarchy[%d] = %q, want %q", i, h.Name, wantHiers[i])
+		}
+		if h.Description == "" {
+			t.Errorf("hierarchy %s: empty description", h.Name)
+		}
 	}
 
 	resp, err = http.Get(ts.URL + "/v1/workloads")
@@ -421,6 +443,75 @@ func TestModelsAndWorkloads(t *testing.T) {
 		if info.Class == "" || info.Description == "" {
 			t.Errorf("%s: empty class/description: %+v", want, info)
 		}
+	}
+}
+
+// TestModelsCompatNames pins the ?compat=names escape hatch: the v1 bare
+// name-array shapes stay available for clients that have not moved to the
+// v2 object shapes yet.
+func TestModelsCompatNames(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/v1/models?compat=names")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mn ModelNamesResponse
+	if err := json.Unmarshal(readBody(t, resp), &mn); err != nil {
+		t.Fatal(err)
+	}
+	haveModel := map[string]bool{}
+	for _, m := range mn.Models {
+		haveModel[m] = true
+	}
+	if !haveModel["inorder"] || !haveModel["multipass"] {
+		t.Errorf("compat models = %v, want bare name strings", mn.Models)
+	}
+	wantHiers := []string{"base", "config1", "config2"}
+	if fmt.Sprint(mn.Hierarchies) != fmt.Sprint(wantHiers) {
+		t.Errorf("compat hierarchies = %v, want %v", mn.Hierarchies, wantHiers)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/workloads?compat=names")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wn WorkloadNamesResponse
+	if err := json.Unmarshal(readBody(t, resp), &wn); err != nil {
+		t.Fatal(err)
+	}
+	haveWL := map[string]bool{}
+	for _, w := range wn.Workloads {
+		haveWL[w] = true
+	}
+	for _, want := range []string{"mcf", "gzip", "crafty"} {
+		if !haveWL[want] {
+			t.Errorf("compat workloads missing %q (got %v)", want, wn.Workloads)
+		}
+	}
+}
+
+// TestWorkerHealth pins the fabric liveness surface: role, status, and the
+// counters a coordinator uses to judge a worker.
+func TestWorkerHealth(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3, Role: "worker"})
+
+	resp, err := http.Get(ts.URL + "/v1/worker/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wh WorkerHealthResponse
+	if err := json.Unmarshal(readBody(t, resp), &wh); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if wh.Status != "ok" || wh.Role != "worker" || wh.Workers != 3 {
+		t.Errorf("health = %+v", wh)
+	}
+	if wh.SchemaVersion != APISchemaVersion {
+		t.Errorf("schema_version = %d", wh.SchemaVersion)
 	}
 }
 

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"testing"
+)
+
+// TestSweepStreamSingleNode pins the NDJSON contract of
+// /v1/sweep?stream=true on a standalone server: one "job" record per cell
+// in completion order (request order recoverable via index), exactly one
+// terminating "summary" record, and a per-worker disposition map with the
+// synthetic "local" entry covering the whole grid.
+func TestSweepStreamSingleNode(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+
+	req := SweepRequest{
+		Workloads: []string{"crafty"},
+		Models:    []string{"inorder", "multipass", "runahead", "ooo"},
+		Hiers:     []string{"base", "config1", "config2"},
+	}
+	const cells = 12
+
+	resp := postJSON(t, ts.URL+"/v1/sweep?stream=true", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	var jobs, summaries int
+	var last SweepStreamRecord
+	seen := make(map[int]bool)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if summaries > 0 {
+			t.Fatalf("record after the summary terminator: %s", sc.Text())
+		}
+		var rec SweepStreamRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON record %q: %v", sc.Text(), err)
+		}
+		if rec.SchemaVersion != APISchemaVersion {
+			t.Fatalf("record schema_version = %d", rec.SchemaVersion)
+		}
+		switch rec.Type {
+		case StreamRecordJob:
+			jobs++
+			if rec.Index == nil || *rec.Index < 0 || *rec.Index >= cells || seen[*rec.Index] {
+				t.Fatalf("bad or duplicate index in %s", sc.Text())
+			}
+			seen[*rec.Index] = true
+			if rec.SweepJob == nil || rec.Stats == nil || rec.Stats.Cycles == 0 {
+				t.Fatalf("job record without stats: %s", sc.Text())
+			}
+		case StreamRecordSummary:
+			summaries++
+			last = rec
+		default:
+			t.Fatalf("unknown record type %q", rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if jobs != cells || summaries != 1 {
+		t.Fatalf("%d job records, %d summaries; want %d and 1", jobs, summaries, cells)
+	}
+	if last.Summary == nil || last.Summary.Total != cells || last.Summary.Failed != 0 {
+		t.Fatalf("summary = %+v", last.Summary)
+	}
+	local, ok := last.Workers["local"]
+	if !ok || len(last.Workers) != 1 {
+		t.Fatalf("workers = %+v, want exactly the synthetic local entry", last.Workers)
+	}
+	if !local.Healthy || local.Dispatched != cells || local.Completed != cells || local.Failed != 0 {
+		t.Errorf("local disposition = %+v", local)
+	}
+}
+
+// TestSweepStreamBufferedUnchanged: asking for the stream does not perturb
+// the buffered response — the same grid fetched without stream=true is
+// byte-identical across repeats (the replay guarantee sweeps inherit from
+// the result cache).
+func TestSweepStreamBufferedUnchanged(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	req := SweepRequest{
+		Workloads: []string{"crafty"},
+		Models:    []string{"inorder"},
+		Hiers:     []string{"base", "config1"},
+	}
+
+	first := readBody(t, postJSON(t, ts.URL+"/v1/sweep", req))
+	// Stream the same grid, then fetch buffered again.
+	resp := postJSON(t, ts.URL+"/v1/sweep?stream=true", req)
+	readBody(t, resp)
+	second := readBody(t, postJSON(t, ts.URL+"/v1/sweep", req))
+
+	var a, b SweepResponse
+	if err := json.Unmarshal(first, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second, &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Jobs) != len(b.Jobs) || a.Summary.Total != b.Summary.Total {
+		t.Fatalf("buffered sweep shape changed: %+v vs %+v", a.Summary, b.Summary)
+	}
+	for i := range a.Jobs {
+		af, _ := json.Marshal(a.Jobs[i].Job)
+		bf, _ := json.Marshal(b.Jobs[i].Job)
+		if string(af) != string(bf) {
+			t.Errorf("job %d identity changed across stream interleave", i)
+		}
+		if a.Jobs[i].Stats == nil || b.Jobs[i].Stats == nil {
+			t.Fatalf("job %d missing stats", i)
+		}
+		if a.Jobs[i].Stats.Cycles != b.Jobs[i].Stats.Cycles {
+			t.Errorf("job %d cycles diverge: %d vs %d", i, a.Jobs[i].Stats.Cycles, b.Jobs[i].Stats.Cycles)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"multipass/internal/mem"
+	"multipass/internal/obs"
+	"multipass/internal/sim"
+	"multipass/internal/workload"
+)
+
+// planSweep expands a sweep request into its fully-normalized job grid.
+// Every cell of the cross product is validated before anything is enqueued:
+// a typo in cell 40 of 60 is a 400 up front, never 39 burned simulations.
+// Empty axes default to everything the registries enumerate.
+func (s *Server) planSweep(req *SweepRequest) ([]JobSpec, error) {
+	if req.TimeoutMS < 0 {
+		// Match the /v1/run contract: a negative timeout is a client
+		// error, not something to silently fall through to the server
+		// default.
+		return nil, apiErrorf(http.StatusBadRequest, CodeBadTimeout, "timeout_ms must be >= 0",
+			"timeout_ms %d < 0", req.TimeoutMS)
+	}
+	if len(req.Workloads) == 0 {
+		for _, wl := range workload.All() {
+			req.Workloads = append(req.Workloads, wl.Name)
+		}
+	}
+	if len(req.Models) == 0 {
+		req.Models = sim.Names()
+	}
+	if len(req.Hiers) == 0 {
+		req.Hiers = mem.ConfigNames()
+	}
+
+	var specs []JobSpec
+	for _, wl := range req.Workloads {
+		for _, hier := range req.Hiers {
+			for _, model := range req.Models {
+				rr := RunRequest{
+					Workload: wl, Model: model, Hier: hier,
+					Scale: req.Scale, Compile: req.Compile, MaxInsts: req.MaxInsts,
+				}
+				spec, err := normalize(&rr)
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, spec)
+			}
+		}
+	}
+	if len(specs) > s.cfg.MaxSweepJobs {
+		return nil, apiErrorf(http.StatusBadRequest, CodeQueueFull,
+			fmt.Sprintf("shrink an axis or raise the limit (%d)", s.cfg.MaxSweepJobs),
+			"sweep grid has %d jobs, limit %d", len(specs), s.cfg.MaxSweepJobs)
+	}
+	return specs, nil
+}
+
+// sweepJob runs one cell through the cache/dispatch path and folds the
+// outcome into a SweepJob. disp reports the cache disposition for logging.
+func (s *Server) sweepJob(ctx context.Context, spec JobSpec) (job SweepJob, disp string) {
+	job = SweepJob{Job: spec}
+	data, disp, err := s.runCached(ctx, spec)
+	if err != nil {
+		job.Status = JobFailed
+		job.Error = err.Error()
+		return job, disp
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		job.Status = JobFailed
+		job.Error = fmt.Sprintf("decode cached result: %v", err)
+		return job, disp
+	}
+	job.Stats = &rr.Stats
+	if disp == dispMiss {
+		job.Status = JobDone
+	} else {
+		job.Status = JobCached
+	}
+	return job, disp
+}
+
+// runSweep fans the grid out and reports every completed cell to emit (in
+// completion order, from worker goroutines — emit must be safe for
+// concurrent use). It returns the jobs in grid order plus the summary, with
+// every cell accounted for: done, cached, or failed.
+func (s *Server) runSweep(ctx context.Context, tr *obs.Trace, specs []JobSpec, emit func(i int, job SweepJob)) ([]SweepJob, SweepSummary) {
+	jobs := make([]SweepJob, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec JobSpec) {
+			defer wg.Done()
+			jobStart := time.Now()
+			job, disp := s.sweepJob(ctx, spec)
+			jobs[i] = job
+			if emit != nil {
+				emit(i, job)
+			}
+			s.log.Debug("sweep job",
+				"request_id", tr.ID,
+				"workload", spec.Workload, "model", spec.Model, "hier", spec.Hier,
+				"status", job.Status, "cache", disp,
+				"dur_ms", float64(time.Since(jobStart))/float64(time.Millisecond),
+			)
+		}(i, spec)
+	}
+	wg.Wait()
+
+	var sum SweepSummary
+	for _, job := range jobs {
+		sum.Total++
+		switch job.Status {
+		case JobDone:
+			sum.Done++
+		case JobCached:
+			sum.Cached++
+		default:
+			sum.Failed++
+		}
+	}
+	return jobs, sum
+}
+
+// sweepWorkers builds the per-worker disposition map for a sweep's summary
+// record: the delta of the fabric dispatcher's counters across the sweep in
+// coordinator mode, or a single synthetic "local" entry otherwise.
+func (s *Server) sweepWorkers(before map[string]WorkerDisposition, sum SweepSummary) map[string]WorkerDisposition {
+	if s.cfg.Dispatcher == nil {
+		n := uint64(sum.Total)
+		return map[string]WorkerDisposition{
+			"local": {
+				Healthy:    true,
+				Dispatched: n,
+				Completed:  n - uint64(sum.Failed),
+				Failed:     uint64(sum.Failed),
+			},
+		}
+	}
+	after := s.cfg.Dispatcher.Dispositions()
+	out := make(map[string]WorkerDisposition, len(after))
+	for url, d := range after {
+		b := before[url]
+		out[url] = WorkerDisposition{
+			Healthy:        d.Healthy,
+			Dispatched:     d.Dispatched - b.Dispatched,
+			Completed:      d.Completed - b.Completed,
+			Retried:        d.Retried - b.Retried,
+			RetriedSuccess: d.RetriedSuccess - b.RetriedSuccess,
+			Failed:         d.Failed - b.Failed,
+		}
+	}
+	return out
+}
+
+// streamRequested reports whether the sweep asked for NDJSON streaming.
+func streamRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("stream") {
+	case "1", "true":
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, errMethodNotAllowed(http.MethodPost))
+		return
+	}
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, errBadBody(err))
+		return
+	}
+	specs, err := s.planSweep(&req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	tr := obs.FromContext(r.Context())
+	if tr == nil {
+		tr = obs.NewTrace("")
+	}
+	ctx, cancel := s.deadline(obs.WithTrace(r.Context(), tr), req.TimeoutMS)
+	defer cancel()
+
+	var before map[string]WorkerDisposition
+	if s.cfg.Dispatcher != nil {
+		before = s.cfg.Dispatcher.Dispositions()
+	}
+
+	if streamRequested(r) {
+		s.streamSweep(w, ctx, tr, specs, before)
+		return
+	}
+
+	jobs, sum := s.runSweep(ctx, tr, specs, nil)
+	resp := SweepResponse{SchemaVersion: APISchemaVersion, Jobs: jobs, Summary: sum}
+	s.logSweep(tr, sum)
+	// A full span list over hundreds of jobs would bloat the header; the
+	// sweep reports its shape and total only.
+	w.Header().Set(headerTrace, sweepTraceHeader(tr, sum))
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// streamSweep writes the sweep as newline-delimited JSON: one "job" record
+// per cell as it completes, flushed eagerly so a `curl -N` client sees
+// results land, terminated by exactly one "summary" record carrying the
+// per-worker disposition counts.
+func (s *Server) streamSweep(w http.ResponseWriter, ctx context.Context, tr *obs.Trace, specs []JobSpec, before map[string]WorkerDisposition) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set(headerTrace, fmt.Sprintf("id=%s;jobs=%d;stream=true", tr.ID, len(specs)))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	writeRecord := func(rec SweepStreamRecord) {
+		mu.Lock()
+		defer mu.Unlock()
+		enc.Encode(rec)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	_, sum := s.runSweep(ctx, tr, specs, func(i int, job SweepJob) {
+		idx := i
+		writeRecord(SweepStreamRecord{
+			SchemaVersion: APISchemaVersion,
+			Type:          StreamRecordJob,
+			Index:         &idx,
+			SweepJob:      &job,
+		})
+	})
+	s.logSweep(tr, sum)
+	writeRecord(SweepStreamRecord{
+		SchemaVersion: APISchemaVersion,
+		Type:          StreamRecordSummary,
+		Summary:       &sum,
+		Workers:       s.sweepWorkers(before, sum),
+	})
+}
+
+func (s *Server) logSweep(tr *obs.Trace, sum SweepSummary) {
+	s.log.Info("sweep",
+		"request_id", tr.ID,
+		"jobs", sum.Total, "done", sum.Done,
+		"cached", sum.Cached, "failed", sum.Failed,
+		"dur_ms", float64(tr.Elapsed())/float64(time.Millisecond),
+	)
+}
+
+func sweepTraceHeader(tr *obs.Trace, sum SweepSummary) string {
+	return fmt.Sprintf("id=%s;jobs=%d;total=%.3fms",
+		tr.ID, sum.Total, float64(tr.Elapsed())/float64(time.Millisecond))
+}

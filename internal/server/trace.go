@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"multipass/internal/obs"
@@ -27,7 +28,8 @@ const (
 // else (scans, typos) collapses into "other" so cardinality stays fixed.
 var knownPaths = map[string]bool{
 	"/v1/run": true, "/v1/sweep": true, "/v1/models": true,
-	"/v1/workloads": true, "/v1/stats": true, "/metrics": true,
+	"/v1/workloads": true, "/v1/stats": true, "/v1/worker/health": true,
+	"/metrics": true,
 }
 
 // statusRecorder captures the response code for logs and metrics.
@@ -58,6 +60,9 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 		id := obs.SanitizeRequestID(r.Header.Get(headerRequestID))
 		tr := obs.NewTrace(id) // generates an ID when sanitizing emptied it
 		w.Header().Set(headerRequestID, tr.ID)
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			w.Header().Set(HeaderAPIVersion, strconv.Itoa(APISchemaVersion))
+		}
 
 		rec := &statusRecorder{ResponseWriter: w}
 		next.ServeHTTP(rec, r.WithContext(obs.WithTrace(r.Context(), tr)))

@@ -32,11 +32,12 @@ type Factory func(opts ModelOptions) (Machine, error)
 type Registry struct {
 	mu        sync.RWMutex
 	factories map[string]Factory
+	descs     map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{factories: make(map[string]Factory)}
+	return &Registry{factories: make(map[string]Factory), descs: make(map[string]string)}
 }
 
 // Register adds a factory under name. Registering a duplicate name panics:
@@ -51,6 +52,27 @@ func (r *Registry) Register(name string, f Factory) {
 		panic(fmt.Sprintf("sim: model %q registered twice", name))
 	}
 	r.factories[name] = f
+}
+
+// Describe attaches a one-line human-readable description to a registered
+// model; API surfaces (GET /v1/models) report it alongside the name.
+// Describing an unregistered model panics: like a duplicate Register, it is
+// a package wiring bug.
+func (r *Registry) Describe(name, desc string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.factories[name]; !ok {
+		panic(fmt.Sprintf("sim: Describe of unregistered model %q", name))
+	}
+	r.descs[name] = desc
+}
+
+// Description returns the model's registered description, or "" when the
+// model is unknown or was registered without one.
+func (r *Registry) Description(name string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.descs[name]
 }
 
 // Lookup returns the factory registered under name.
@@ -88,6 +110,12 @@ var DefaultRegistry = NewRegistry()
 
 // Register adds a factory to the default registry.
 func Register(name string, f Factory) { DefaultRegistry.Register(name, f) }
+
+// Describe attaches a description to a model in the default registry.
+func Describe(name, desc string) { DefaultRegistry.Describe(name, desc) }
+
+// Description reads a model's description from the default registry.
+func Description(name string) string { return DefaultRegistry.Description(name) }
 
 // Lookup consults the default registry.
 func Lookup(name string) (Factory, bool) { return DefaultRegistry.Lookup(name) }
