@@ -62,6 +62,12 @@ type snapshot struct {
 	Hier            string       `json:"hier"`
 	Kernels         []kernelSnap `json:"kernels"`
 	GeomeanCyclesPS float64      `json:"geomean_simcycles_per_sec"`
+	// SampleInterval is the interval-sampling checkpoint spacing in retired
+	// instructions; zero (and absent, for older files) means monolithic runs.
+	SampleInterval uint64 `json:"sample_interval,omitempty"`
+	// SamplePeriod > 1 means sparse SMARTS measurement (every Nth interval
+	// simulated, cycles extrapolated); zero or absent means full coverage.
+	SamplePeriod uint64 `json:"sample_period,omitempty"`
 
 	// Legacy v1 fields, populated only when reading old files.
 	Kernel       string      `json:"kernel,omitempty"`
@@ -80,6 +86,11 @@ func main() {
 	models := flag.String("models", "", "comma-separated model subset (default: all)")
 	tag := flag.String("tag", "", "suffix for the snapshot filename: BENCH_<date>-<tag>.json")
 	skip := flag.Bool("skip", true, "idle-cycle fast-forwarding during measured runs")
+	force := flag.Bool("force", false, "overwrite an existing snapshot file for today's date")
+	sample := flag.Uint64("sample", 0, "interval sampling: checkpoint every N retired instructions and simulate intervals in parallel (0 = monolithic runs)")
+	par := flag.Int("par", 0, "with -sample: concurrent interval workers (0 = GOMAXPROCS)")
+	warmup := flag.Uint64("warmup", 0, "with -sample: detailed warm-up instructions before each interval, stats discarded (0 = interval/4)")
+	period := flag.Uint64("period", 1, "with -sample: simulate every Nth interval and extrapolate the rest (SMARTS sparse measurement; 1 = every interval)")
 	compare := flag.Bool("compare", false, "compare two snapshot files (positional: old.json new.json) instead of measuring")
 	tolerance := flag.Float64("tolerance", 0.05, "with -compare: allowed geomean regression fraction before exiting nonzero")
 	flag.Parse()
@@ -100,7 +111,8 @@ func main() {
 		return
 	}
 
-	if err := run(*kernels, *scale, *reps, *outDir, *models, *tag, *skip); err != nil {
+	scfg := sim.SampleConfig{Interval: *sample, Warmup: *warmup, Workers: *par, Period: *period}
+	if err := run(*kernels, *scale, *reps, *outDir, *models, *tag, *skip, *force, scfg); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
@@ -144,7 +156,25 @@ func skipLabel(on bool) string {
 	return "off"
 }
 
-func run(kernels string, scale, reps int, outDir, models, tag string, skipOn bool) error {
+// resolveOutPath returns the snapshot path for the run, refusing to clobber
+// an existing file: a second untagged run on the same day would silently
+// replace the day's record, so it must be distinguished with -tag or
+// explicitly forced.
+func resolveOutPath(outDir, date, tag string, force bool) (string, error) {
+	name := "BENCH_" + date
+	if tag != "" {
+		name += "-" + tag
+	}
+	path := filepath.Join(outDir, name+".json")
+	if tag == "" && !force {
+		if _, err := os.Stat(path); err == nil {
+			return "", fmt.Errorf("%s already exists; pass -tag to distinguish this run or -force to overwrite", path)
+		}
+	}
+	return path, nil
+}
+
+func run(kernels string, scale, reps int, outDir, models, tag string, skipOn, force bool, scfg sim.SampleConfig) error {
 	ws, err := kernelList(kernels)
 	if err != nil {
 		return err
@@ -165,15 +195,33 @@ func run(kernels string, scale, reps int, outDir, models, tag string, skipOn boo
 	opts := sim.ModelOptions{Hier: hier, DisableSkip: !skipOn}
 
 	snap := snapshot{
-		SchemaVersion: 2,
-		Date:          time.Now().UTC().Format("2006-01-02"),
-		GoVersion:     runtime.Version(),
-		GOOS:          runtime.GOOS,
-		GOARCH:        runtime.GOARCH,
-		CPU:           cpuModel(),
-		Skip:          skipLabel(skipOn),
-		Scale:         scale,
-		Hier:          "base",
+		SchemaVersion:  2,
+		Date:           time.Now().UTC().Format("2006-01-02"),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		CPU:            cpuModel(),
+		Skip:           skipLabel(skipOn),
+		Scale:          scale,
+		Hier:           "base",
+		SampleInterval: scfg.Interval,
+	}
+	if scfg.Interval > 0 && scfg.Period > 1 {
+		snap.SamplePeriod = scfg.Period
+	}
+
+	// Resolve the output path up front so a refused overwrite fails before
+	// the measurement, not after it.
+	path, err := resolveOutPath(outDir, snap.Date, tag, force)
+	if err != nil {
+		return err
+	}
+
+	runOne := func(pr *bench.Prepared, name bench.ModelName) (*sim.Result, error) {
+		if scfg.Interval > 0 {
+			return pr.RunSampled(ctx, name, opts, scfg)
+		}
+		return pr.RunOpts(ctx, name, opts)
 	}
 
 	logGeo := 0.0
@@ -187,7 +235,7 @@ func run(kernels string, scale, reps int, outDir, models, tag string, skipOn boo
 		for _, name := range names {
 			// Warm-up run: touch every lazily-grown structure and the page
 			// cache so the measured reps see steady state.
-			if _, err := pr.RunOpts(ctx, name, opts); err != nil {
+			if _, err := runOne(pr, name); err != nil {
 				return fmt.Errorf("%s/%s: %w", w.Name, name, err)
 			}
 
@@ -197,7 +245,7 @@ func run(kernels string, scale, reps int, outDir, models, tag string, skipOn boo
 			start := time.Now()
 			var cycles, total uint64
 			for i := 0; i < reps; i++ {
-				res, err := pr.RunOpts(ctx, name, opts)
+				res, err := runOne(pr, name)
 				if err != nil {
 					return fmt.Errorf("%s/%s: %w", w.Name, name, err)
 				}
@@ -229,11 +277,6 @@ func run(kernels string, scale, reps int, outDir, models, tag string, skipOn boo
 	fmt.Printf("geomean %12.0f simcycles/s (%d kernel x model cells, skip %s)\n",
 		snap.GeomeanCyclesPS, cells, snap.Skip)
 
-	name := "BENCH_" + snap.Date
-	if tag != "" {
-		name += "-" + tag
-	}
-	path := filepath.Join(outDir, name+".json")
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -283,6 +326,12 @@ func envWarnings(old, new *snapshot) []string {
 	mismatch("skip mode", old.Skip, new.Skip)
 	if old.Scale != new.Scale {
 		warns = append(warns, fmt.Sprintf("scale differs: %d vs %d", old.Scale, new.Scale))
+	}
+	if old.SampleInterval != new.SampleInterval {
+		warns = append(warns, fmt.Sprintf("sample interval differs: %d vs %d", old.SampleInterval, new.SampleInterval))
+	}
+	if old.SamplePeriod != new.SamplePeriod {
+		warns = append(warns, fmt.Sprintf("sample period differs: %d vs %d", old.SamplePeriod, new.SamplePeriod))
 	}
 	return warns
 }

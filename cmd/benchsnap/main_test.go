@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestResolveOutPathRefusesSilentOverwrite pins the guard: an untagged,
+// unforced run must not clobber an existing snapshot for the same date, and
+// the error must tell the operator both ways out.
+func TestResolveOutPathRefusesSilentOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	existing := filepath.Join(dir, "BENCH_2026-08-08.json")
+	if err := os.WriteFile(existing, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := resolveOutPath(dir, "2026-08-08", "", false)
+	if err == nil {
+		t.Fatal("resolveOutPath overwrote an existing untagged snapshot without -force")
+	}
+	if !strings.Contains(err.Error(), "-tag") || !strings.Contains(err.Error(), "-force") {
+		t.Errorf("error %q should mention both -tag and -force", err)
+	}
+
+	// -force allows the overwrite explicitly.
+	path, err := resolveOutPath(dir, "2026-08-08", "", true)
+	if err != nil {
+		t.Fatalf("resolveOutPath with force: %v", err)
+	}
+	if path != existing {
+		t.Errorf("forced path = %q, want %q", path, existing)
+	}
+
+	// A tag produces a distinct file, so no guard applies even when the
+	// tagged file itself exists (tags are an explicit namespace choice).
+	tagged, err := resolveOutPath(dir, "2026-08-08", "pgo", false)
+	if err != nil {
+		t.Fatalf("resolveOutPath with tag: %v", err)
+	}
+	if want := filepath.Join(dir, "BENCH_2026-08-08-pgo.json"); tagged != want {
+		t.Errorf("tagged path = %q, want %q", tagged, want)
+	}
+	if err := os.WriteFile(tagged, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resolveOutPath(dir, "2026-08-08", "pgo", false); err != nil {
+		t.Errorf("tagged run refused despite explicit tag: %v", err)
+	}
+}
+
+func TestResolveOutPathFreshDate(t *testing.T) {
+	dir := t.TempDir()
+	path, err := resolveOutPath(dir, "2026-08-09", "", false)
+	if err != nil {
+		t.Fatalf("resolveOutPath on a fresh date: %v", err)
+	}
+	if want := filepath.Join(dir, "BENCH_2026-08-09.json"); path != want {
+		t.Errorf("path = %q, want %q", path, want)
+	}
+}

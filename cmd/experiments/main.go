@@ -6,6 +6,7 @@
 //	experiments -fig 8          Figure 8  (regrouping / restart ablations)
 //	experiments -table 1        Table 1   (power ratios)
 //	experiments -extras         §5.2 realistic OOO and §5.4 runahead comparisons
+//	experiments -sampling       interval-sampling error table + speedup curve (not in -all; runs a scale-128 kernel)
 //	experiments -all            everything (the default)
 //	experiments -scale 4        longer runs (higher fidelity, more time)
 package main
@@ -28,6 +29,7 @@ func main() {
 	extras := flag.Bool("extras", false, "run the realistic-OOO and runahead comparisons")
 	restart := flag.Bool("restart-study", false, "compare compiler vs hardware advance restart (paper §3.3 footnote 1)")
 	sweepFlag := flag.String("sweep", "", "design-choice sweep: iq | asc")
+	sampling := flag.Bool("sampling", false, "measure interval sampling vs monolithic (error table + wall-clock curve)")
 	all := flag.Bool("all", false, "run every experiment")
 	scale := flag.Int("scale", 2, "workload scale factor (dynamic length multiplier)")
 	chart := flag.Bool("chart", false, "render figures as ASCII bar charts")
@@ -39,7 +41,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *fig == 0 && *table == 0 && !*extras && !*restart && *sweepFlag == "" {
+	if *fig == 0 && *table == 0 && !*extras && !*restart && *sweepFlag == "" && !*sampling {
 		*all = true
 	}
 
@@ -116,6 +118,16 @@ func main() {
 			fail("Restart study", err)
 		}
 		emit("Restart mechanisms (§3.3 footnote 1)", r.Render(), start)
+	}
+	// Deliberately not part of -all: the speedup curve runs a scale-128
+	// kernel monolithically, which dwarfs every other experiment here.
+	if *sampling {
+		start := time.Now()
+		r, err := bench.SamplingStudy(ctx, *scale)
+		if err != nil {
+			fail("Sampling study", err)
+		}
+		emit("Interval sampling vs monolithic", render(r), start)
 	}
 	if *all || *sweepFlag == "iq" {
 		start := time.Now()

@@ -56,6 +56,10 @@ func main() {
 	trace := flag.Bool("trace", false, "stream multipass pipeline events to stderr (multipass models only)")
 	jsonOut := flag.Bool("json", false, "emit the statistics as JSON")
 	skip := flag.Bool("skip", true, "idle-cycle fast-forwarding; stats are byte-identical either way, -skip=false exists for validation and timing comparisons")
+	sample := flag.Uint64("sample", 0, "interval sampling: checkpoint every N retired instructions and simulate intervals in parallel (0 = monolithic run)")
+	par := flag.Int("par", 0, "with -sample: concurrent interval workers (0 = GOMAXPROCS)")
+	warmup := flag.Uint64("warmup", 0, "with -sample: detailed warm-up instructions before each interval, stats discarded (0 = interval/4)")
+	period := flag.Uint64("period", 1, "with -sample: simulate every Nth interval and extrapolate the rest (SMARTS sparse measurement; 1 = every interval, cycles stay within the full-coverage bound)")
 	flag.Parse()
 
 	if *list {
@@ -82,6 +86,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-trace requires a multipass model (the tracer follows advance/rally mode transitions); model %q has no trace stream\n", *model)
 		os.Exit(1)
 	}
+	if *trace && *sample > 0 {
+		fmt.Fprintln(os.Stderr, "-trace and -sample are incompatible (parallel intervals would interleave the event stream)")
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -93,8 +101,14 @@ func main() {
 	} else {
 		var pr *bench.Prepared
 		pr, err = bench.Prepare(w, *scale)
-		if err == nil {
-			res, err = pr.RunOpts(ctx, bench.ModelName(*model), sim.ModelOptions{Hier: hc, DisableSkip: !*skip})
+		opts := sim.ModelOptions{Hier: hc, DisableSkip: !*skip}
+		switch {
+		case err != nil:
+		case *sample > 0:
+			scfg := sim.SampleConfig{Interval: *sample, Warmup: *warmup, Workers: *par, Period: *period}
+			res, err = pr.RunSampled(ctx, bench.ModelName(*model), opts, scfg)
+		default:
+			res, err = pr.RunOpts(ctx, bench.ModelName(*model), opts)
 		}
 	}
 	if err != nil {
@@ -128,6 +142,9 @@ func printResult(w, model, hier string, res *sim.Result) {
 	fmt.Fprintf(tw, "L2 miss rate\t%.2f%%\n", 100*s.Memory.L2.MissRate())
 	fmt.Fprintf(tw, "L3 miss rate\t%.2f%%\n", 100*s.Memory.L3.MissRate())
 	fmt.Fprintf(tw, "MSHR stalls\t%d\n", s.Memory.MSHRStalls)
+	for _, ph := range res.Phases {
+		fmt.Fprintf(tw, "wall[%s]\t%s\n", ph.Name, ph.Dur)
+	}
 	if mp := s.Multipass; mp.AdvanceEntries > 0 {
 		fmt.Fprintf(tw, "advance entries\t%d\n", mp.AdvanceEntries)
 		fmt.Fprintf(tw, "advance passes\t%d\n", mp.AdvancePasses)

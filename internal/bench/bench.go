@@ -117,6 +117,24 @@ func (pr *Prepared) RunOpts(ctx context.Context, name ModelName, opts sim.ModelO
 	return runProgram(ctx, name, pr.P, pr.Image, pr.Tr, opts)
 }
 
+// RunSampled executes one model over the prepared binary with SMARTS-style
+// interval sampling: checkpointed intervals simulated in parallel and
+// stitched into one result (see sim.RunSampled).
+func (pr *Prepared) RunSampled(ctx context.Context, name ModelName, opts sim.ModelOptions, scfg sim.SampleConfig) (*sim.Result, error) {
+	m, err := NewMachineOpts(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	if tu, ok := m.(sim.TraceUser); ok {
+		tu.UseTrace(pr.Tr)
+	}
+	res, err := sim.RunSampled(ctx, m, pr.P, pr.Image, scfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	return res, nil
+}
+
 func runProgram(ctx context.Context, name ModelName, p *isa.Program, image *arch.Memory, tr *sim.Trace, opts sim.ModelOptions) (*sim.Result, error) {
 	m, err := NewMachineOpts(name, opts)
 	if err != nil {

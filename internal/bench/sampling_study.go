@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+	"multipass/internal/workload"
+)
+
+// Sampling-study configuration. The error table runs full-coverage stitching
+// at the recommended operating point (interval >= 100k, warm-up K/4) on every
+// kernel and model; the speedup curve measures wall clock on one long kernel,
+// both full-coverage (parallel-in-time) and sparse (SMARTS measurement,
+// every studyPeriod-th interval).
+const (
+	studyInterval = 100000
+	studyWarmup   = 25000
+	studyPeriod   = 12
+	// curveScale is fixed independently of the table scale: the wall-clock
+	// claim needs a stream long enough (~32M instructions for mcf) that the
+	// sampled fraction and fast-forward amortize.
+	curveScale  = 128
+	curveKernel = "mcf"
+	// Full coverage materializes a checkpoint per interval (each holding a
+	// memory-image clone), so its sensible operating point on a long stream
+	// is a much larger interval than sparse measurement needs.
+	fullCurveInterval = 1000000
+	fullCurveWarmup   = 250000
+)
+
+// SamplingErrorRow is one kernel x model cell of the stitched-vs-monolithic
+// comparison.
+type SamplingErrorRow struct {
+	Kernel        string    `json:"kernel"`
+	Model         ModelName `json:"model"`
+	Intervals     int       `json:"intervals"`
+	MonoCycles    uint64    `json:"mono_cycles"`
+	SampledCycles uint64    `json:"sampled_cycles"`
+	// ErrPct is signed: positive means the stitched run overestimates.
+	ErrPct       float64 `json:"err_pct"`
+	RetiredExact bool    `json:"retired_exact"`
+	StateEqual   bool    `json:"state_equal"`
+}
+
+// SamplingSpeedupRow is one point of the wall-clock curve.
+type SamplingSpeedupRow struct {
+	Mode     string        `json:"mode"` // "full" | "sparse"
+	Interval uint64        `json:"interval"`
+	Period   uint64        `json:"period,omitempty"`
+	Workers  int           `json:"workers"`
+	Wall     time.Duration `json:"wall"`
+	FFWall   time.Duration `json:"ff_wall"`
+	Speedup  float64       `json:"speedup"`
+	ErrPct   float64       `json:"err_pct"`
+}
+
+// SamplingStudyResult is the EXPERIMENTS.md sampling section: the error
+// table over every kernel and model, and the speedup curve on one long run.
+type SamplingStudyResult struct {
+	Scale    int                `json:"scale"`
+	Interval uint64             `json:"interval"`
+	Warmup   uint64             `json:"warmup"`
+	Rows     []SamplingErrorRow `json:"rows"`
+	// MaxAbsErrPct is the worst |error| in Rows: the documented bound.
+	MaxAbsErrPct float64 `json:"max_abs_err_pct"`
+
+	CurveKernel string               `json:"curve_kernel"`
+	CurveScale  int                  `json:"curve_scale"`
+	CurveModel  ModelName            `json:"curve_model"`
+	Period      uint64               `json:"period"`
+	MonoWall    time.Duration        `json:"mono_wall"`
+	Curve       []SamplingSpeedupRow `json:"curve"`
+}
+
+// SamplingStudy measures interval sampling against monolithic simulation:
+// cycle error, retired-count and final-state exactness per kernel and model
+// at the given scale, plus the wall-clock curve on a long run. Wall-clock
+// rows time the simulation phase only — workload compilation and trace
+// pre-decode are shared by both modes.
+func SamplingStudy(ctx context.Context, scale int) (*SamplingStudyResult, error) {
+	out := &SamplingStudyResult{
+		Scale: scale, Interval: studyInterval, Warmup: studyWarmup,
+		CurveKernel: curveKernel, CurveScale: curveScale,
+		CurveModel: MMultipass, Period: studyPeriod,
+	}
+	opts := sim.ModelOptions{Hier: mem.BaseConfig()}
+	scfg := sim.SampleConfig{Interval: studyInterval, Warmup: studyWarmup}
+	for _, w := range workload.All() {
+		pr, err := Prepare(w, scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, model := range []ModelName{MInorder, MRunahead, MMultipass, MOOO, MOOORealistc} {
+			mono, err := pr.RunOpts(ctx, model, opts)
+			if err != nil {
+				return nil, err
+			}
+			sampled, err := pr.RunSampled(ctx, model, opts, scfg)
+			if err != nil {
+				return nil, err
+			}
+			row := SamplingErrorRow{
+				Kernel:        w.Name,
+				Model:         model,
+				Intervals:     int((mono.Stats.Retired + studyInterval - 1) / studyInterval),
+				MonoCycles:    mono.Stats.Cycles,
+				SampledCycles: sampled.Stats.Cycles,
+				ErrPct:        100 * (float64(sampled.Stats.Cycles) - float64(mono.Stats.Cycles)) / float64(mono.Stats.Cycles),
+				RetiredExact:  sampled.Stats.Retired == mono.Stats.Retired,
+				StateEqual:    sampled.Snapshot().Equal(mono.Snapshot()),
+			}
+			out.Rows = append(out.Rows, row)
+			if a := math.Abs(row.ErrPct); a > out.MaxAbsErrPct {
+				out.MaxAbsErrPct = a
+			}
+		}
+	}
+
+	// Speedup curve: one long kernel, simulation-phase wall clock.
+	w, ok := workload.ByName(curveKernel)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown curve kernel %q", curveKernel)
+	}
+	pr, err := Prepare(w, curveScale)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	mono, err := pr.RunOpts(ctx, MMultipass, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.MonoWall = time.Since(start)
+
+	point := func(mode string, cfg sim.SampleConfig) error {
+		start := time.Now()
+		res, err := pr.RunSampled(ctx, MMultipass, opts, cfg)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		var ff time.Duration
+		for _, ph := range res.Phases {
+			if ph.Name == "fastforward" {
+				ff = ph.Dur
+			}
+		}
+		out.Curve = append(out.Curve, SamplingSpeedupRow{
+			Mode:     mode,
+			Interval: cfg.Interval,
+			Period:   cfg.Period,
+			Workers:  cfg.Workers,
+			Wall:     wall,
+			FFWall:   ff,
+			Speedup:  out.MonoWall.Seconds() / wall.Seconds(),
+			ErrPct:   100 * (float64(res.Stats.Cycles) - float64(mono.Stats.Cycles)) / float64(mono.Stats.Cycles),
+		})
+		return nil
+	}
+	for _, workers := range []int{1, 8} {
+		cfg := sim.SampleConfig{Interval: fullCurveInterval, Warmup: fullCurveWarmup, Workers: workers}
+		if err := point("full", cfg); err != nil {
+			return nil, err
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := scfg
+		cfg.Workers = workers
+		cfg.Period = studyPeriod
+		if err := point("sparse", cfg); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Render formats the study as text tables.
+func (r *SamplingStudyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stitched vs monolithic, interval %d, warmup %d, full coverage, scale %d\n\n", r.Interval, r.Warmup, r.Scale)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kernel\tmodel\tintervals\tmono cycles\tstitched\terr%\tretired\tfinal state")
+	for _, row := range r.Rows {
+		exact := func(ok bool) string {
+			if ok {
+				return "exact"
+			}
+			return "DIVERGED"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%+.2f\t%s\t%s\n",
+			row.Kernel, row.Model, row.Intervals, row.MonoCycles, row.SampledCycles,
+			row.ErrPct, exact(row.RetiredExact), exact(row.StateEqual))
+	}
+	tw.Flush()
+	fmt.Fprintf(&b, "\nmax |cycle error|: %.2f%%\n", r.MaxAbsErrPct)
+
+	fmt.Fprintf(&b, "\nwall-clock curve: %s scale %d, %s (simulation phase only; compile/pre-decode shared)\n",
+		r.CurveKernel, r.CurveScale, r.CurveModel)
+	fmt.Fprintf(&b, "monolithic simulation wall: %.2fs\n\n", r.MonoWall.Seconds())
+	tw = tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\tinterval\tperiod\tworkers\twall\tfast-forward\tspeedup\terr%")
+	for _, p := range r.Curve {
+		period := "-"
+		if p.Period > 1 {
+			period = fmt.Sprint(p.Period)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%.2fs\t%.2fs\t%.2fx\t%+.2f\n",
+			p.Mode, p.Interval, period, p.Workers, p.Wall.Seconds(), p.FFWall.Seconds(), p.Speedup, p.ErrPct)
+	}
+	tw.Flush()
+	return b.String()
+}

@@ -3,6 +3,8 @@
 // a table of 2-bit saturating counters).
 package bpred
 
+import "fmt"
+
 // Gshare is the direction predictor. The zero value is not usable; call New.
 type Gshare struct {
 	table    []uint8
@@ -16,6 +18,20 @@ type Gshare struct {
 type Stats struct {
 	Lookups     uint64 `json:"lookups"`
 	Mispredicts uint64 `json:"mispredicts"`
+}
+
+// Add accumulates o into s fieldwise; Sub removes it. Interval stitching
+// adds per-interval snapshots and subtracts warm-up baselines, so both
+// operations must cover every counter.
+func (s *Stats) Add(o Stats) {
+	s.Lookups += o.Lookups
+	s.Mispredicts += o.Mispredicts
+}
+
+// Sub removes o from s fieldwise.
+func (s *Stats) Sub(o Stats) {
+	s.Lookups -= o.Lookups
+	s.Mispredicts -= o.Mispredicts
 }
 
 // Accuracy returns the fraction of correct predictions, or 1 for an idle
@@ -87,6 +103,34 @@ func (g *Gshare) Reset() {
 	}
 	g.history = 0
 	g.stats = Stats{}
+}
+
+// WarmState is a snapshot of the predictor's trainable state — the counter
+// table and global history — without its statistics. Checkpoints carry it so
+// an interval simulation starts with a trained predictor whose stats still
+// count only that interval's activity.
+type WarmState struct {
+	Table   []uint8
+	History uint32
+}
+
+// CaptureWarm deep-copies the counter table and history.
+func (g *Gshare) CaptureWarm() WarmState {
+	t := make([]uint8, len(g.table))
+	copy(t, g.table)
+	return WarmState{Table: t, History: g.history}
+}
+
+// RestoreWarm overwrites the table and history from a capture taken on a
+// predictor of the same geometry. Statistics are left untouched: restored
+// state is warm-up context, not activity this predictor performed.
+func (g *Gshare) RestoreWarm(w WarmState) error {
+	if len(w.Table) != len(g.table) {
+		return fmt.Errorf("bpred: warm table has %d entries, predictor has %d", len(w.Table), len(g.table))
+	}
+	copy(g.table, w.Table)
+	g.history = w.History
+	return nil
 }
 
 func boolBit(b bool) uint32 {

@@ -97,6 +97,39 @@ func TestDistinctBranchesIndependent(t *testing.T) {
 	}
 }
 
+func TestWarmCaptureRestoreRoundTrip(t *testing.T) {
+	src := Default()
+	for i := 0; i < 500; i++ {
+		src.Update(uint32(0x40+8*(i%13)), i%3 != 0)
+	}
+	dst := Default()
+	if err := dst.RestoreWarm(src.CaptureWarm()); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Stats().Lookups != 0 {
+		t.Error("RestoreWarm must not carry statistics")
+	}
+	// Identical table and history: the two predictors agree on every future
+	// prediction.
+	for i := 0; i < 200; i++ {
+		pc := uint32(0x40 + 8*(i%17))
+		if src.Predict(pc) != dst.Predict(pc) {
+			t.Fatalf("prediction diverged at pc %#x after restore", pc)
+		}
+		taken := i%2 == 0
+		src.Update(pc, taken)
+		dst.Update(pc, taken)
+	}
+}
+
+func TestRestoreWarmRejectsMismatchedTable(t *testing.T) {
+	src := New(4096)
+	dst := Default()
+	if err := dst.RestoreWarm(src.CaptureWarm()); err == nil {
+		t.Fatal("RestoreWarm accepted a warm table of the wrong size")
+	}
+}
+
 func TestUpdateReturnsCorrectness(t *testing.T) {
 	g := Default()
 	// First prediction from a weakly-not-taken counter: not taken.

@@ -26,9 +26,17 @@ func (r *run) commitCycle() error {
 	progress := 0
 	blocker := sim.StallFrontEnd
 	now := r.now
+	wcut := r.wm.Cut(r.measure, r.end)
 
 group:
 	for progress < r.cfg.Caps.MaxIssue && !r.halted {
+		if r.next >= wcut {
+			// Window boundary: no group spans the measurement mark or the
+			// interval end, and no advance episode may be entered past it.
+			// Unreachable with progress == 0 (the outer loop and Mark run
+			// first), so no idle cycle arises here.
+			break
+		}
 		d, err := r.stream.At(r.next)
 		if err != nil {
 			return err

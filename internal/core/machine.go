@@ -107,6 +107,13 @@ type run struct {
 	lastWork uint64
 	regBuf   [4]isa.Reg
 
+	// Interval window (sim.Checkpoint bounds). For a monolithic run these
+	// degenerate to measure == 0, end == ^uint64(0) and every check below
+	// is a no-op.
+	measure uint64
+	end     uint64
+	wm      sim.WarmMark
+
 	// Idle-cycle fast-forwarding (see sim.SkipState). The cycle functions
 	// report whether the cycle was provably idle and which stall category
 	// its repeats are charged to; mode counters are credited by the mode in
@@ -123,25 +130,64 @@ const progressWindow = 1 << 20
 
 // Run implements sim.Machine.
 func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+	return m.runFrom(ctx, p, image, nil)
+}
+
+// CheckpointSpec implements sim.IntervalRunner.
+func (m *Machine) CheckpointSpec() sim.CheckpointSpec {
+	return sim.CheckpointSpec{Hier: m.cfg.Hier, PredictorEntries: m.cfg.PredictorEntries, MaxInsts: m.cfg.MaxInsts}
+}
+
+// RunInterval implements sim.IntervalRunner: it simulates one checkpointed
+// interval of the dynamic stream. The machine carries only read-only state
+// (config, trace), so concurrent interval calls are safe.
+func (m *Machine) RunInterval(ctx context.Context, p *isa.Program, image *arch.Memory, ck *sim.Checkpoint) (*sim.Result, error) {
+	return m.runFrom(ctx, p, image, ck)
+}
+
+// runFrom is the cycle loop, generalized over a starting checkpoint. With a
+// nil checkpoint (a monolithic Run) the window bounds degenerate to
+// [0, ^uint64(0)) with measurement from zero, and every added check is a
+// no-op: the golden stats stay byte-identical.
+func (m *Machine) runFrom(ctx context.Context, p *isa.Program, image *arch.Memory, ck *sim.Checkpoint) (*sim.Result, error) {
 	cfg := m.cfg
 	r := &run{
-		cfg:    &cfg,
-		p:      p,
-		hier:   mem.MustNewHierarchy(cfg.Hier),
-		pred:   bpred.New(cfg.PredictorEntries),
-		ownRF:  arch.NewRegFile(),
-		ownMem: image.Clone(),
-		rs:     newResultStore(cfg.IQSize),
-		asc:    newASC(cfg.ASCEntries, cfg.ASCWays),
+		cfg:  &cfg,
+		p:    p,
+		hier: mem.MustNewHierarchy(cfg.Hier),
+		pred: bpred.New(cfg.PredictorEntries),
+		rs:   newResultStore(cfg.IQSize),
+		asc:  newASC(cfg.ASCEntries, cfg.ASCWays),
 	}
-	r.stream = sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
+	var start uint64
+	start, r.measure, r.end = ck.Bounds()
+	if ck == nil {
+		r.ownRF = arch.NewRegFile()
+		r.ownMem = image.Clone()
+		r.stream = sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
+	} else {
+		if err := r.hier.RestoreWarm(ck.Caches); err != nil {
+			return nil, err
+		}
+		if err := r.pred.RestoreWarm(ck.Pred); err != nil {
+			return nil, err
+		}
+		r.ownRF = ck.RF.Clone()
+		r.ownMem = ck.Mem.Clone()
+		r.ownPC = ck.PC
+		r.stream = sim.StreamFrom(p, ck, cfg.MaxInsts, m.tr)
+	}
 	r.fe = sim.NewFetchUnit(r.stream, r.hier, cfg.FetchWidth)
+	r.fe.StartAt(start)
+	r.next = start
+	r.maxPeek = start
 	r.skipOn = !cfg.DisableSkip
 
-	for !r.halted {
+	for !r.halted && r.next < r.end {
 		if err := sim.PollContext(ctx, r.now); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
+		r.wm.Mark(r.next, r.measure, &r.st, r.pred, r.hier)
 		if r.mode == modeAdvance && r.now >= r.stallUntil {
 			r.exitAdvance()
 		}
@@ -184,6 +230,7 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 
 	r.st.Branch = r.pred.Stats()
 	r.st.Memory = r.hier.Stats()
+	r.wm.Discard(&r.st)
 	if err := r.st.CheckConsistency(); err != nil {
 		return nil, err
 	}

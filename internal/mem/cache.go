@@ -61,6 +61,26 @@ type CacheStats struct {
 	Writebacks uint64 `json:"writebacks"`
 }
 
+// Add accumulates o into s fieldwise; Sub removes it. Interval stitching
+// adds per-interval snapshots and subtracts warm-up baselines, so both
+// operations must cover every counter.
+func (s *CacheStats) Add(o CacheStats) {
+	s.Accesses += o.Accesses
+	s.Misses += o.Misses
+	s.AdvanceAccesses += o.AdvanceAccesses
+	s.AdvanceMisses += o.AdvanceMisses
+	s.Writebacks += o.Writebacks
+}
+
+// Sub removes o from s fieldwise.
+func (s *CacheStats) Sub(o CacheStats) {
+	s.Accesses -= o.Accesses
+	s.Misses -= o.Misses
+	s.AdvanceAccesses -= o.AdvanceAccesses
+	s.AdvanceMisses -= o.AdvanceMisses
+	s.Writebacks -= o.Writebacks
+}
+
 // MissRate returns misses/accesses, or 0 for an idle cache.
 func (s CacheStats) MissRate() float64 {
 	if s.Accesses == 0 {

@@ -335,6 +335,24 @@ type HierStats struct {
 	MSHRStalls uint64     `json:"mshr_stalls"`
 }
 
+// Add accumulates o into s fieldwise; Sub removes it.
+func (s *HierStats) Add(o HierStats) {
+	s.L1I.Add(o.L1I)
+	s.L1D.Add(o.L1D)
+	s.L2.Add(o.L2)
+	s.L3.Add(o.L3)
+	s.MSHRStalls += o.MSHRStalls
+}
+
+// Sub removes o from s fieldwise.
+func (s *HierStats) Sub(o HierStats) {
+	s.L1I.Sub(o.L1I)
+	s.L1D.Sub(o.L1D)
+	s.L2.Sub(o.L2)
+	s.L3.Sub(o.L3)
+	s.MSHRStalls -= o.MSHRStalls
+}
+
 // Stats returns a snapshot of the hierarchy's counters.
 func (h *Hierarchy) Stats() HierStats {
 	return HierStats{

@@ -1,0 +1,81 @@
+package mem
+
+import "testing"
+
+// TestWarmCaptureRestoreRoundTrip warms one hierarchy functionally, restores
+// the capture into a fresh hierarchy, and checks the two agree on where every
+// line resides — with the restored hierarchy's stats untouched (warm state
+// carries placement, never accounting).
+func TestWarmCaptureRestoreRoundTrip(t *testing.T) {
+	src := MustNewHierarchy(BaseConfig())
+	lineBytes := uint32(BaseConfig().L1D.LineBytes)
+	var addrs []uint32
+	for i := 0; i < 512; i++ {
+		addrs = append(addrs, uint32(i)*lineBytes*3)
+	}
+	for _, a := range addrs {
+		src.WarmData(a, a%5 == 0)
+	}
+	src.WarmInst(0x40)
+
+	dst := MustNewHierarchy(BaseConfig())
+	if err := dst.RestoreWarm(src.CaptureWarm()); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range addrs {
+		if got, want := dst.Probe(a), src.Probe(a); got != want {
+			t.Fatalf("Probe(%#x) = %d after restore, want %d", a, got, want)
+		}
+	}
+	if s := dst.Stats(); s.L1D.Accesses != 0 || s.L2.Accesses != 0 || s.L3.Accesses != 0 {
+		t.Fatalf("restored hierarchy has nonzero stats: %+v", s)
+	}
+
+	// The restored LRU state must match too: an eviction-triggering access
+	// sequence lands identically on both hierarchies. The warming hierarchy's
+	// stats are polluted by WarmData itself, so compare deltas.
+	base := src.Stats()
+	for _, a := range addrs {
+		src.AccessData(a, 0, false, false)
+		dst.AccessData(a, 0, false, false)
+	}
+	ss, ds := src.Stats(), dst.Stats()
+	if ss.L1D.Misses-base.L1D.Misses != ds.L1D.Misses ||
+		ss.L2.Misses-base.L2.Misses != ds.L2.Misses ||
+		ss.L3.Misses-base.L3.Misses != ds.L3.Misses {
+		t.Fatalf("post-restore access pattern diverged: src delta %+v/%+v dst %+v", base, ss, ds)
+	}
+}
+
+func TestRestoreWarmRejectsMismatchedGeometry(t *testing.T) {
+	src := MustNewHierarchy(BaseConfig())
+	other, ok := ConfigByName("config1")
+	if !ok {
+		t.Skip("config1 hierarchy not registered")
+	}
+	dst := MustNewHierarchy(other)
+	if err := dst.RestoreWarm(src.CaptureWarm()); err == nil {
+		t.Fatal("RestoreWarm accepted warm state from a different geometry")
+	}
+	if err := dst.RestoreWarm(nil); err == nil {
+		t.Fatal("RestoreWarm accepted nil warm state")
+	}
+}
+
+func TestHierStatsAddSub(t *testing.T) {
+	h := MustNewHierarchy(BaseConfig())
+	for i := 0; i < 64; i++ {
+		h.AccessData(uint32(i)*4096, uint64(i)*100, i%2 == 0, false)
+	}
+	full := h.Stats()
+	var zero HierStats
+	sum := zero
+	sum.Add(full)
+	if sum != full {
+		t.Fatalf("zero.Add(full) = %+v, want %+v", sum, full)
+	}
+	sum.Sub(full)
+	if sum != zero {
+		t.Fatalf("full.Sub(full) = %+v, want zero", sum)
+	}
+}

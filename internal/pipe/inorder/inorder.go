@@ -59,14 +59,50 @@ const progressWindow = 1 << 20
 
 // Run implements sim.Machine.
 func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+	return m.runFrom(ctx, p, image, nil)
+}
+
+// CheckpointSpec implements sim.IntervalRunner.
+func (m *Machine) CheckpointSpec() sim.CheckpointSpec {
+	return sim.CheckpointSpec{Hier: m.cfg.Hier, PredictorEntries: m.cfg.PredictorEntries, MaxInsts: m.cfg.MaxInsts}
+}
+
+// RunInterval implements sim.IntervalRunner: it simulates one checkpointed
+// interval of the dynamic stream. The machine carries only read-only state
+// (config, trace), so concurrent interval calls are safe.
+func (m *Machine) RunInterval(ctx context.Context, p *isa.Program, image *arch.Memory, ck *sim.Checkpoint) (*sim.Result, error) {
+	return m.runFrom(ctx, p, image, ck)
+}
+
+// runFrom is the cycle loop, generalized over a starting checkpoint. With a
+// nil checkpoint (a monolithic Run) the window bounds degenerate to
+// [0, ^uint64(0)) with measurement from zero, and every added check is a
+// no-op: the golden stats stay byte-identical.
+func (m *Machine) runFrom(ctx context.Context, p *isa.Program, image *arch.Memory, ck *sim.Checkpoint) (*sim.Result, error) {
 	cfg := &m.cfg
 	hier := mem.MustNewHierarchy(cfg.Hier)
 	pred := bpred.New(cfg.PredictorEntries)
-	stream := sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
+	start, measure, end := ck.Bounds()
+	var stream *sim.Stream
+	var own *arch.State
+	if ck == nil {
+		stream = sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
+		own = arch.NewState(image.Clone())
+	} else {
+		if err := hier.RestoreWarm(ck.Caches); err != nil {
+			return nil, err
+		}
+		if err := pred.RestoreWarm(ck.Pred); err != nil {
+			return nil, err
+		}
+		stream = sim.StreamFrom(p, ck, cfg.MaxInsts, m.tr)
+		own = &arch.State{RF: ck.RF.Clone(), Mem: ck.Mem.Clone(), PC: ck.PC, Retired: ck.Seq}
+	}
 	fe := sim.NewFetchUnit(stream, hier, cfg.FetchWidth)
-	own := arch.NewState(image.Clone())
+	fe.StartAt(start)
 
 	var (
+		wm       sim.WarmMark
 		readyAt  [isa.NumFlatRegs]uint64
 		prodKind [isa.NumFlatRegs]sim.ProducerKind
 		st       sim.Stats
@@ -78,11 +114,13 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		skip     sim.SkipState
 	)
 	skipOn := !cfg.DisableSkip
+	next = start
 
-	for !halted {
+	for !halted && next < end {
 		if err := sim.PollContext(ctx, now); err != nil {
 			return nil, fmt.Errorf("inorder: %w", err)
 		}
+		wm.Mark(next, measure, &st, pred, hier)
 		skip.Begin()
 		fe.SetLimit(next + uint64(cfg.BufferSize))
 		var use isa.FUUse
@@ -90,8 +128,16 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		issued := 0
 		blocker := sim.StallFrontEnd
 
+		cut := wm.Cut(measure, end)
+
 	group:
 		for issued < cfg.Caps.MaxIssue && !halted {
+			if next >= cut {
+				// Window boundary: no group spans the measurement mark or
+				// the interval end. Unreachable with issued == 0 (the outer
+				// loop and Mark run first), so no idle cycle arises here.
+				break
+			}
 			d, err := stream.At(next)
 			if err != nil {
 				return nil, err
@@ -244,6 +290,7 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 
 	st.Branch = pred.Stats()
 	st.Memory = hier.Stats()
+	wm.Discard(&st)
 	if err := st.CheckConsistency(); err != nil {
 		return nil, err
 	}

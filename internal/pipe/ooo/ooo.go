@@ -167,11 +167,40 @@ const progressWindow = 1 << 20
 
 // Run implements sim.Machine.
 func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+	return m.runFrom(ctx, p, image, nil)
+}
+
+// CheckpointSpec implements sim.IntervalRunner.
+func (m *Machine) CheckpointSpec() sim.CheckpointSpec {
+	return sim.CheckpointSpec{Hier: m.cfg.Hier, PredictorEntries: m.cfg.PredictorEntries, MaxInsts: m.cfg.MaxInsts}
+}
+
+// RunInterval implements sim.IntervalRunner: it simulates one checkpointed
+// interval of the dynamic stream. The machine carries only read-only state
+// (config, trace), so concurrent interval calls are safe.
+func (m *Machine) RunInterval(ctx context.Context, p *isa.Program, image *arch.Memory, ck *sim.Checkpoint) (*sim.Result, error) {
+	return m.runFrom(ctx, p, image, ck)
+}
+
+func (m *Machine) runFrom(ctx context.Context, p *isa.Program, image *arch.Memory, ck *sim.Checkpoint) (*sim.Result, error) {
 	cfg := m.cfg
 	hier := mem.MustNewHierarchy(cfg.Hier)
 	pred := bpred.New(cfg.PredictorEntries)
-	stream := sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
+	start, measure, end := ck.Bounds()
+	var stream *sim.Stream
+	if ck == nil {
+		stream = sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
+	} else {
+		if err := hier.RestoreWarm(ck.Caches); err != nil {
+			return nil, err
+		}
+		if err := pred.RestoreWarm(ck.Pred); err != nil {
+			return nil, err
+		}
+		stream = sim.StreamFrom(p, ck, cfg.MaxInsts, m.tr)
+	}
 	fe := sim.NewFetchUnit(stream, hier, cfg.FetchWidth)
+	fe.StartAt(start)
 
 	// The ROB is a power-of-two ring of entry values indexed by seq&mask;
 	// live entries are [base, base+count).
@@ -183,9 +212,10 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 	mask := uint64(robCap - 1)
 
 	var (
+		wm       sim.WarmMark
 		st       sim.Stats
 		now      uint64
-		base     uint64                  // seq of the ROB head
+		base     = start                 // seq of the ROB head
 		count    int                     // live ROB entries
 		lastProd [isa.NumFlatRegs]uint64 // flat reg -> producing seq
 		inWindow int
@@ -223,10 +253,21 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		if err := sim.PollContext(ctx, now); err != nil {
 			return nil, fmt.Errorf("ooo: %w", err)
 		}
+		wm.Mark(base, measure, &st, pred, hier)
+		if base >= end {
+			// Non-final interval done: every measured sequence has retired
+			// (the final interval instead exits through the halt below).
+			break
+		}
 		skip.Begin()
 		// Retire in order from the ROB head.
 		retired := 0
 		for retired < cfg.RetireWidth && count > 0 {
+			if !wm.Marked() && base >= measure {
+				// No retire burst spans the measurement mark; the baseline
+				// lands exactly on the boundary next cycle.
+				break
+			}
 			e := entAt(base)
 			if e.state != stDone || e.completion > now {
 				if e.state == stDone {
@@ -255,6 +296,11 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 		robFullIdle, winFullIdle := false, false
 		for inserted < cfg.FetchWidth && barrier == ^uint64(0) {
 			seq := base + uint64(count)
+			if seq >= end {
+				// Interval end: nothing past it enters the machine, so base
+				// rises to exactly end as the ROB drains.
+				break
+			}
 			if count >= cfg.ROBSize {
 				st.OOO.ROBFullCy++
 				robFullIdle = inserted == 0
@@ -502,12 +548,15 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 
 	st.Branch = pred.Stats()
 	st.Memory = hier.Stats()
+	wm.Discard(&st)
 	if err := st.CheckConsistency(); err != nil {
 		return nil, err
 	}
 	// The OOO model does not simulate values; its architectural outcome is
 	// the oracle's final state (no wrong-path values can leak because
-	// wrong paths are never simulated).
+	// wrong paths are never simulated). Only the final interval — the one
+	// that retires the halt — reports a meaningful state; the stitcher uses
+	// exactly that one.
 	fin := stream.FinalState()
 	return &sim.Result{Stats: st, RF: fin.RF, Mem: fin.Mem}, nil
 }

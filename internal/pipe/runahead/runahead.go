@@ -111,13 +111,20 @@ type runState struct {
 	lastWork uint64
 	regBuf   [4]isa.Reg
 
+	// Interval window (sim.Checkpoint.Bounds); wm tracks the warm-up
+	// baseline. For a monolithic run the bounds degenerate to [0, ^uint64(0))
+	// and every window check is a no-op.
+	measure uint64
+	end     uint64
+	wm      sim.WarmMark
+
 	// Idle-cycle fast-forwarding (see sim.SkipState). The cycle functions
 	// report whether the cycle they just simulated was provably idle and
 	// which counters its repeats must be credited to.
-	skip   sim.SkipState
-	skipOn bool
-	idle   bool         // cycle mutated nothing; repeats replay identically
-	idleRA bool         // repeats also count as runahead cycles
+	skip    sim.SkipState
+	skipOn  bool
+	idle    bool          // cycle mutated nothing; repeats replay identically
+	idleRA  bool          // repeats also count as runahead cycles
 	idleCat sim.StallKind // stall category repeats are charged to
 }
 
@@ -157,22 +164,54 @@ func (r *runState) getStore(key uint64) (raStoreEnt, bool) {
 
 // Run implements sim.Machine.
 func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+	return m.runFrom(ctx, p, image, nil)
+}
+
+// CheckpointSpec implements sim.IntervalRunner.
+func (m *Machine) CheckpointSpec() sim.CheckpointSpec {
+	return sim.CheckpointSpec{Hier: m.cfg.Hier, PredictorEntries: m.cfg.PredictorEntries, MaxInsts: m.cfg.MaxInsts}
+}
+
+// RunInterval implements sim.IntervalRunner: it simulates one checkpointed
+// interval of the dynamic stream. The machine carries only read-only state
+// (config, trace), so concurrent interval calls are safe.
+func (m *Machine) RunInterval(ctx context.Context, p *isa.Program, image *arch.Memory, ck *sim.Checkpoint) (*sim.Result, error) {
+	return m.runFrom(ctx, p, image, ck)
+}
+
+func (m *Machine) runFrom(ctx context.Context, p *isa.Program, image *arch.Memory, ck *sim.Checkpoint) (*sim.Result, error) {
 	cfg := m.cfg
 	r := &runState{
 		cfg:  &cfg,
 		p:    p,
 		hier: mem.MustNewHierarchy(cfg.Hier),
 		pred: bpred.New(cfg.PredictorEntries),
-		own:  arch.NewState(image.Clone()),
 	}
-	r.stream = sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
+	var start uint64
+	start, r.measure, r.end = ck.Bounds()
+	if ck == nil {
+		r.own = arch.NewState(image.Clone())
+		r.stream = sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
+	} else {
+		if err := r.hier.RestoreWarm(ck.Caches); err != nil {
+			return nil, err
+		}
+		if err := r.pred.RestoreWarm(ck.Pred); err != nil {
+			return nil, err
+		}
+		r.own = &arch.State{RF: ck.RF.Clone(), Mem: ck.Mem.Clone(), PC: ck.PC, Retired: ck.Seq}
+		r.stream = sim.StreamFrom(p, ck, cfg.MaxInsts, m.tr)
+	}
 	r.fe = sim.NewFetchUnit(r.stream, r.hier, cfg.FetchWidth)
+	r.fe.StartAt(start)
+	r.next = start
 	r.skipOn = !cfg.DisableSkip
 
-	for !r.halted {
+	for !r.halted && r.next < r.end {
 		if err := sim.PollContext(ctx, r.now); err != nil {
 			return nil, fmt.Errorf("runahead: %w", err)
 		}
+		r.wm.Mark(r.next, r.measure, &r.st, r.pred, r.hier)
 		if r.inEpisode && r.now >= r.stallUntil {
 			r.exitEpisode()
 		}
@@ -206,6 +245,7 @@ func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (
 	}
 	r.st.Branch = r.pred.Stats()
 	r.st.Memory = r.hier.Stats()
+	r.wm.Discard(&r.st)
 	if err := r.st.CheckConsistency(); err != nil {
 		return nil, err
 	}
@@ -254,8 +294,16 @@ func (r *runState) archCycle() error {
 		return nil
 	}
 
+	cut := r.wm.Cut(r.measure, r.end)
+
 group:
 	for issued < r.cfg.Caps.MaxIssue && !r.halted {
+		if r.next >= cut {
+			// Window boundary: no group spans the measurement mark or the
+			// interval end (unreachable with issued == 0; the outer loop and
+			// Mark run first).
+			break
+		}
 		d, err := r.stream.At(r.next)
 		if err != nil {
 			return err

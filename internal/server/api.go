@@ -38,6 +38,32 @@ type CompileOverrides struct {
 	Unroll *int `json:"unroll,omitempty"`
 }
 
+// SampleOverrides opts a request into SMARTS-style interval sampling: the
+// job is checkpointed by a fast functional pass and its intervals simulate
+// in parallel, with warm-up stats discarded. Retired counts and final
+// architectural state are exact; cycle counts carry a small documented error
+// (see DESIGN.md §8), which is why sampling is part of the job identity.
+type SampleOverrides struct {
+	// Interval is the checkpoint spacing in retired instructions; it must
+	// be at least MinSampleInterval (checkpoints hold full memory images,
+	// so a tiny interval on a long workload is a memory bomb).
+	Interval uint64 `json:"interval"`
+	// Warmup is the detailed warm-up length before each interval, whose
+	// stats are discarded; 0 means interval/4 (filled during
+	// normalization, so explicit and defaulted forms share a cache key).
+	Warmup uint64 `json:"warmup,omitempty"`
+	// Period > 1 selects sparse SMARTS measurement: only every Period-th
+	// interval is simulated and the cycle counts are extrapolated (retired
+	// count and final state stay exact). 0 and 1 both mean full coverage
+	// and normalize identically.
+	Period uint64 `json:"period,omitempty"`
+}
+
+// MinSampleInterval floors sample.interval: each checkpoint carries a full
+// memory image and warm cache tags, and the interval count is what bounds
+// how many of those a single request can make the server materialize.
+const MinSampleInterval = 1024
+
 // RunRequest is the body of POST /v1/run.
 type RunRequest struct {
 	Workload string `json:"workload"`
@@ -49,6 +75,8 @@ type RunRequest struct {
 	Compile *CompileOverrides `json:"compile,omitempty"`
 	// MaxInsts, when nonzero, caps the dynamic instruction count.
 	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// Sample, when non-nil, runs the job with interval sampling.
+	Sample *SampleOverrides `json:"sample,omitempty"`
 	// TimeoutMS bounds this request's simulation time; 0 uses the server
 	// default. The timeout is not part of the job identity.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -66,6 +94,15 @@ type JobSpec struct {
 	InsertRestarts bool   `json:"insert_restarts"`
 	Unroll         int    `json:"unroll"`
 	MaxInsts       uint64 `json:"max_insts"`
+	// SampleInterval/SampleWarmup are zero for monolithic jobs and omitted
+	// from the canonical encoding, so every pre-sampling job key (and its
+	// cached bytes) is unchanged. Worker parallelism is a wall-clock knob,
+	// not part of the result, so it is deliberately not in the identity.
+	SampleInterval uint64 `json:"sample_interval,omitempty"`
+	SampleWarmup   uint64 `json:"sample_warmup,omitempty"`
+	// SamplePeriod is > 1 for sparse measurement and omitted otherwise
+	// (full coverage is the canonical form of period 0 and 1 alike).
+	SamplePeriod uint64 `json:"sample_period,omitempty"`
 }
 
 // Key returns the content address of the job: the hex SHA-256 of the
@@ -95,7 +132,7 @@ func (j JobSpec) CompileOptions() compile.Options {
 // canonical-form property guarantees the worker computes the same job key.
 func (j JobSpec) RunRequest() RunRequest {
 	schedule, restarts, unroll := j.Schedule, j.InsertRestarts, j.Unroll
-	return RunRequest{
+	req := RunRequest{
 		Workload: j.Workload,
 		Model:    j.Model,
 		Hier:     j.Hier,
@@ -107,6 +144,10 @@ func (j JobSpec) RunRequest() RunRequest {
 		},
 		MaxInsts: j.MaxInsts,
 	}
+	if j.SampleInterval > 0 {
+		req.Sample = &SampleOverrides{Interval: j.SampleInterval, Warmup: j.SampleWarmup, Period: j.SamplePeriod}
+	}
+	return req
 }
 
 // normalize validates a RunRequest against the registries and returns its
@@ -170,6 +211,26 @@ func normalize(req *RunRequest) (JobSpec, error) {
 		return spec, apiErrorf(http.StatusBadRequest, CodeBadUnroll, "unroll must be >= 0",
 			"unroll %d < 0", spec.Unroll)
 	}
+	if sa := req.Sample; sa != nil {
+		if sa.Interval < MinSampleInterval {
+			return spec, apiErrorf(http.StatusBadRequest, CodeBadSample,
+				fmt.Sprintf("sample.interval must be >= %d", MinSampleInterval),
+				"sample interval %d < %d", sa.Interval, MinSampleInterval)
+		}
+		spec.SampleInterval = sa.Interval
+		spec.SampleWarmup = sa.Warmup
+		if spec.SampleWarmup == 0 {
+			// Canonical fill: an explicit interval/4 and the default are the
+			// same job and must share a cache key.
+			spec.SampleWarmup = sa.Interval / 4
+		}
+		if sa.Period > 1 {
+			// Period 0 and 1 both mean full coverage; only sparse periods
+			// enter the identity, so their canonical form stays the zero
+			// value and pre-period cache keys are unchanged.
+			spec.SamplePeriod = sa.Period
+		}
+	}
 	if req.TimeoutMS < 0 {
 		return spec, apiErrorf(http.StatusBadRequest, CodeBadTimeout, "timeout_ms must be >= 0",
 			"timeout_ms %d < 0", req.TimeoutMS)
@@ -194,6 +255,8 @@ type SweepRequest struct {
 	Scale     int               `json:"scale,omitempty"`
 	Compile   *CompileOverrides `json:"compile,omitempty"`
 	MaxInsts  uint64            `json:"max_insts,omitempty"`
+	// Sample applies interval sampling to every cell of the grid.
+	Sample *SampleOverrides `json:"sample,omitempty"`
 	// TimeoutMS bounds the whole sweep; 0 uses the server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -243,8 +306,8 @@ type SweepStreamRecord struct {
 	Type          string `json:"type"`
 	// Index is the cell's position in the request grid (job records only);
 	// a streaming client can reassemble request order from it.
-	Index     *int `json:"index,omitempty"`
-	*SweepJob      // job, status, error, stats — flattened into the record
+	Index     *int          `json:"index,omitempty"`
+	*SweepJob               // job, status, error, stats — flattened into the record
 	Summary   *SweepSummary `json:"summary,omitempty"`
 	// Workers reports per-worker job dispositions for this sweep: the
 	// fabric workers in coordinator mode, a single "local" entry otherwise.

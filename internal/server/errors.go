@@ -20,6 +20,7 @@ const (
 	CodeUnknownHier      = "unknown_hierarchy"  // hierarchy not in the registry
 	CodeBadScale         = "bad_scale"          // scale < 1
 	CodeBadUnroll        = "bad_unroll"         // unroll < 0
+	CodeBadSample        = "bad_sample"         // sample.interval below MinSampleInterval
 	CodeBadTimeout       = "bad_timeout"        // timeout_ms < 0
 	CodeQueueFull        = "queue_full"         // sweep grid exceeds MaxSweepJobs
 	CodeDeadlineExceeded = "deadline_exceeded"  // the job hit its deadline

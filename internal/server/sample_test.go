@@ -1,0 +1,182 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSampleJobIdentity pins the cache-compatibility contract of the sample
+// fields: monolithic specs encode without them (so every pre-sampling job key
+// and cached body is unchanged), sampling is part of the identity, and the
+// defaulted warm-up normalizes to the same key as its explicit value.
+func TestSampleJobIdentity(t *testing.T) {
+	mono, err := normalize(&RunRequest{Workload: "mcf", Model: "inorder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "sample") {
+		t.Errorf("monolithic JobSpec encodes sample fields, breaking pre-sampling cache keys: %s", data)
+	}
+
+	sampled, err := normalize(&RunRequest{
+		Workload: "mcf", Model: "inorder",
+		Sample: &SampleOverrides{Interval: 100000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Key() == mono.Key() {
+		t.Error("sampling did not change the job key")
+	}
+	if sampled.SampleWarmup != 25000 {
+		t.Errorf("default warmup = %d, want interval/4 = 25000", sampled.SampleWarmup)
+	}
+	explicit, err := normalize(&RunRequest{
+		Workload: "mcf", Model: "inorder",
+		Sample: &SampleOverrides{Interval: 100000, Warmup: 25000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Key() != sampled.Key() {
+		t.Error("explicit interval/4 warmup and the default produce different keys")
+	}
+
+	// Sparse period: part of the identity when > 1, canonicalized away when
+	// it means full coverage (0 and 1 alike).
+	period1, err := normalize(&RunRequest{
+		Workload: "mcf", Model: "inorder",
+		Sample: &SampleOverrides{Interval: 100000, Period: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period1.Key() != sampled.Key() {
+		t.Error("period 1 and full coverage produce different keys")
+	}
+	sparse, err := normalize(&RunRequest{
+		Workload: "mcf", Model: "inorder",
+		Sample: &SampleOverrides{Interval: 100000, Period: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Key() == sampled.Key() {
+		t.Error("sparse period did not change the job key")
+	}
+	if sparse.SamplePeriod != 8 {
+		t.Errorf("sparse period = %d, want 8", sparse.SamplePeriod)
+	}
+
+	// The dispatch round trip: a worker normalizing the coordinator's
+	// re-serialized request must land on the same spec.
+	req := sampled.RunRequest()
+	back, err := normalize(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != sampled {
+		t.Errorf("RunRequest round trip changed the spec: %+v vs %+v", back, sampled)
+	}
+}
+
+// TestRunBadSampleEnvelope pins the error envelope for an interval below the
+// server floor.
+func TestRunBadSampleEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp := postJSON(t, ts.URL+"/v1/run", RunRequest{
+		Workload: "mcf", Model: "inorder",
+		Sample: &SampleOverrides{Interval: 16},
+	})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != CodeBadSample {
+		t.Errorf("code %q, want %q", er.Error.Code, CodeBadSample)
+	}
+	if !strings.Contains(er.Error.Hint, "1024") {
+		t.Errorf("hint %q should state the floor", er.Error.Hint)
+	}
+	if st := getStats(t, ts.URL); st.JobsExecuted != 0 {
+		t.Errorf("jobs_executed = %d after rejected run, want 0", st.JobsExecuted)
+	}
+}
+
+// TestSweepBadScaleEnvelope pins the envelope for an invalid scale on the
+// sweep endpoint: the whole grid is rejected up front with bad_scale.
+func TestSweepBadScaleEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Workloads: []string{"crafty"},
+		Models:    []string{"inorder"},
+		Hiers:     []string{"base"},
+		Scale:     -2,
+	})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != CodeBadScale {
+		t.Errorf("code %q, want %q", er.Error.Code, CodeBadScale)
+	}
+	if st := getStats(t, ts.URL); st.JobsExecuted != 0 {
+		t.Errorf("jobs_executed = %d after rejected sweep, want 0", st.JobsExecuted)
+	}
+}
+
+// TestRunSampledEndToEnd runs one small job both ways through the HTTP
+// surface: the sampled response carries the sampling identity in job, the
+// same retired count as the monolithic run, and a distinct cache entry.
+func TestRunSampledEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	monoResp := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "crafty", Model: "inorder"})
+	monoBody := readBody(t, monoResp)
+	if monoResp.StatusCode != http.StatusOK {
+		t.Fatalf("monolithic: status %d, body %s", monoResp.StatusCode, monoBody)
+	}
+	var mono RunResponse
+	if err := json.Unmarshal(monoBody, &mono); err != nil {
+		t.Fatal(err)
+	}
+
+	sampResp := postJSON(t, ts.URL+"/v1/run", RunRequest{
+		Workload: "crafty", Model: "inorder",
+		Sample: &SampleOverrides{Interval: 2048},
+	})
+	sampBody := readBody(t, sampResp)
+	if sampResp.StatusCode != http.StatusOK {
+		t.Fatalf("sampled: status %d, body %s", sampResp.StatusCode, sampBody)
+	}
+	if got := sampResp.Header.Get("X-Mpsimd-Cache"); got != "miss" {
+		t.Errorf("sampled run cache header = %q, want miss (distinct job identity)", got)
+	}
+	var samp RunResponse
+	if err := json.Unmarshal(sampBody, &samp); err != nil {
+		t.Fatal(err)
+	}
+	if samp.Job.SampleInterval != 2048 || samp.Job.SampleWarmup != 512 {
+		t.Errorf("sampled job identity = %+v", samp.Job)
+	}
+	if samp.Stats.Retired != mono.Stats.Retired {
+		t.Errorf("sampled retired %d vs monolithic %d, want exact match", samp.Stats.Retired, mono.Stats.Retired)
+	}
+	if samp.Stats.Cycles == 0 {
+		t.Error("sampled run reported zero cycles")
+	}
+}

@@ -344,7 +344,7 @@ func (s *Server) execute(ctx context.Context, spec JobSpec, key string) ([]byte,
 	var res *sim.Result
 	pprof.Do(ctx, pprof.Labels("job", key, "model", spec.Model, "workload", spec.Workload),
 		func(ctx context.Context) {
-			res, err = s.runModel(ctx, m, p, image)
+			res, err = s.runModel(ctx, m, spec, p, image)
 		})
 	simDur := time.Since(simStart)
 	if err != nil {
@@ -370,7 +370,7 @@ func (s *Server) execute(ctx context.Context, spec JobSpec, key string) ([]byte,
 // descriptive error instead of killing the process. This matters doubly for
 // sweeps, whose jobs run on bare goroutines — an unrecovered panic there
 // would take down the whole server.
-func (s *Server) runModel(ctx context.Context, m sim.Machine, p *isa.Program, image *arch.Memory) (res *sim.Result, err error) {
+func (s *Server) runModel(ctx context.Context, m sim.Machine, spec JobSpec, p *isa.Program, image *arch.Memory) (res *sim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
@@ -385,6 +385,15 @@ func (s *Server) runModel(ctx context.Context, m sim.Machine, p *isa.Program, im
 				"panic", fmt.Sprint(r))
 		}
 	}()
+	if spec.SampleInterval > 0 {
+		// Worker count stays the library default (GOMAXPROCS); it changes
+		// only wall-clock time, never the result, so it is not in the spec.
+		return sim.RunSampled(ctx, m, p, image, sim.SampleConfig{
+			Interval: spec.SampleInterval,
+			Warmup:   spec.SampleWarmup,
+			Period:   spec.SamplePeriod,
+		})
+	}
 	return m.Run(ctx, p, image)
 }
 

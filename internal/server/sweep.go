@@ -45,6 +45,7 @@ func (s *Server) planSweep(req *SweepRequest) ([]JobSpec, error) {
 				rr := RunRequest{
 					Workload: wl, Model: model, Hier: hier,
 					Scale: req.Scale, Compile: req.Compile, MaxInsts: req.MaxInsts,
+					Sample: req.Sample,
 				}
 				spec, err := normalize(&rr)
 				if err != nil {

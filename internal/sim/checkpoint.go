@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"fmt"
+
+	"multipass/internal/arch"
+	"multipass/internal/bpred"
+	"multipass/internal/isa"
+	"multipass/internal/mem"
+)
+
+// SampleConfig configures SMARTS-style parallel interval simulation: the
+// dynamic instruction stream is divided into intervals of Interval retired
+// instructions, each simulated independently by a detailed timing model
+// starting from a checkpoint taken Warmup instructions before the interval
+// (the warm-up window's stats are discarded), and the per-interval stats are
+// stitched into one run result.
+type SampleConfig struct {
+	// Interval is K, the number of retired instructions per measured
+	// interval. Must be positive.
+	Interval uint64
+	// Warmup is W, the number of instructions simulated in detail before
+	// each interval to re-establish pipeline and in-flight-miss state on top
+	// of the checkpoint's warm caches and predictor. Stats from the warm-up
+	// window are discarded. Zero selects the default, Interval/4.
+	Warmup uint64
+	// Workers bounds how many intervals simulate concurrently; <= 0 selects
+	// GOMAXPROCS. Worker count affects wall clock only, never the stitched
+	// statistics: interval boundaries are positions in the deterministic
+	// dynamic stream.
+	Workers int
+	// Period selects sparse SMARTS measurement: only every Period-th interval
+	// (0, P, 2P, ...) is simulated in detail and the stitched statistics are
+	// extrapolated to the full stream length. 0 and 1 both mean full coverage
+	// (every interval simulated, no extrapolation). Sparse mode trades the
+	// full-coverage cycle guarantee for wall-clock: retired count and final
+	// architectural state stay exact (both come from the functional pass),
+	// but total cycles become an estimate whose error grows with program
+	// phase heterogeneity.
+	Period uint64
+}
+
+// period returns the canonical sampling period (>= 1).
+func (c *SampleConfig) period() uint64 {
+	if c.Period <= 1 {
+		return 1
+	}
+	return c.Period
+}
+
+// CheckpointSpec reports the knobs a checkpoint builder needs to warm
+// microarchitectural state compatibly with a timing model.
+type CheckpointSpec struct {
+	Hier             mem.HierConfig
+	PredictorEntries int
+	// MaxInsts bounds the functional fast-forward like the model's own
+	// dynamic instruction limit; 0 means unbounded.
+	MaxInsts uint64
+}
+
+// Checkpoint is the starting state for one interval simulation: the
+// architectural state (registers, memory, PC) at sequence Seq of the dynamic
+// stream, plus warm microarchitectural state — cache tags and LRU order,
+// branch predictor table and history — accumulated by the functional
+// fast-forward up to that point. MSHRs are defined to be drained at a
+// checkpoint: a functional fast-forward has no timing, so in-flight misses
+// cannot be represented; the warm-up window re-establishes them before
+// measurement begins.
+type Checkpoint struct {
+	// Seq is where detailed simulation starts (the warm-up window start).
+	Seq uint64
+	// Measure is where measurement starts: stats accumulated on sequences in
+	// [Seq, Measure) are discarded as warm-up.
+	Measure uint64
+	// End is one past the last sequence this interval measures. The final
+	// interval's End is the dynamic stream length, which it reaches by
+	// retiring the halt instruction.
+	End uint64
+
+	PC     int
+	RF     *arch.RegFile
+	Mem    *arch.Memory
+	Caches *mem.WarmCaches
+	Pred   bpred.WarmState
+}
+
+// Snapshot returns the checkpoint's architectural state in the equivalence-
+// check form. It aliases the checkpoint's state.
+func (c *Checkpoint) Snapshot() *Snapshot {
+	return &Snapshot{RF: c.RF, Mem: c.Mem, Retired: c.Seq}
+}
+
+// Bounds returns the stream region the interval covers. A nil checkpoint
+// means a monolithic run: start at zero, measure everything, no end bound.
+func (c *Checkpoint) Bounds() (start, measure, end uint64) {
+	if c == nil {
+		return 0, 0, ^uint64(0)
+	}
+	return c.Seq, c.Measure, c.End
+}
+
+// CheckpointSet is the output of one fast-forward pass: one checkpoint per
+// selected interval, in stream order, plus the total dynamic instruction
+// count and the exact final architectural state.
+type CheckpointSet struct {
+	Checkpoints []*Checkpoint
+	// N is the dynamic stream length (retired instructions including halt).
+	N uint64
+	// Final is the architectural state after the whole stream has executed
+	// functionally — identical to any timing model's final state (the xcheck
+	// invariant). Sparse stitching uses it when the last interval is not
+	// among the simulated ones.
+	Final *Snapshot
+}
+
+// maxIntervals bounds how many checkpoints one run may materialize; each
+// carries a full memory image clone, so an accidentally tiny K on a long
+// stream would otherwise exhaust memory before any simulation starts.
+const maxIntervals = 4096
+
+// BuildCheckpoints runs the functional fast-forward: the arch interpreter
+// (the same oracle xcheck validates against) executes the whole program,
+// warming a dedicated cache hierarchy and branch predictor along the retired
+// path, and captures a checkpoint at each interval's warm-up start,
+// max(0, i*K-W). Interval 0's checkpoint is the cold initial state, so its
+// simulation is exactly a monolithic run truncated at K.
+func BuildCheckpoints(p *isa.Program, image *arch.Memory, cfg SampleConfig, spec CheckpointSpec) (*CheckpointSet, error) {
+	if cfg.Interval == 0 {
+		return nil, fmt.Errorf("sim: sample interval must be positive")
+	}
+	k, w := cfg.Interval, cfg.Warmup
+	hier, err := mem.NewHierarchy(spec.Hier)
+	if err != nil {
+		return nil, err
+	}
+	pred := bpred.New(spec.PredictorEntries)
+	limit := spec.MaxInsts
+	if limit == 0 {
+		limit = ^uint64(0)
+	}
+
+	st := arch.NewState(image.Clone())
+	lineMask := ^uint32(spec.Hier.L1I.LineBytes - 1)
+	var lineAddr uint32
+	haveLine := false
+
+	warmStart := func(i uint64) uint64 {
+		if s := i * k; s > w {
+			return s - w
+		}
+		return 0
+	}
+
+	set := &CheckpointSet{}
+	period := cfg.period()
+	next := uint64(0) // next interval index to capture for
+	for !st.Halted {
+		for warmStart(next) == st.Retired {
+			if next%period == 0 {
+				if len(set.Checkpoints) >= maxIntervals {
+					return nil, fmt.Errorf("sim: sample interval %d yields more than %d intervals; use a larger interval", k, maxIntervals)
+				}
+				set.Checkpoints = append(set.Checkpoints, &Checkpoint{
+					Seq:     st.Retired,
+					Measure: next * k,
+					PC:      st.PC,
+					RF:      st.RF.Clone(),
+					Mem:     st.Mem.Clone(),
+					Caches:  hier.CaptureWarm(),
+					Pred:    pred.CaptureWarm(),
+				})
+			}
+			next++
+		}
+		if st.Retired >= limit {
+			return nil, fmt.Errorf("sim: dynamic instruction limit %d exceeded", limit)
+		}
+		idx := st.PC
+		info, err := st.Step(p)
+		if err != nil {
+			return nil, err
+		}
+		// Warm the instruction side per fetched line, mirroring the fetch
+		// unit: a taken branch ends the current line (redirect).
+		addr := isa.InstAddr(idx)
+		if line := addr & lineMask; !haveLine || line != lineAddr {
+			hier.WarmInst(line)
+			lineAddr, haveLine = line, true
+		}
+		if info.IsBranch {
+			pred.Update(addr, info.Taken)
+			if info.Taken {
+				haveLine = false
+			}
+		}
+		if !info.Squashed {
+			if info.IsLoad {
+				hier.WarmData(info.MemAddr, false)
+			}
+			if info.IsStore {
+				hier.WarmData(info.MemAddr, true)
+			}
+		}
+	}
+	set.N = st.Retired
+	set.Final = &Snapshot{RF: st.RF.Clone(), Mem: st.Mem.Clone(), Retired: st.Retired}
+
+	// Drop checkpoints whose measured region starts at or past the halt:
+	// they were captured before the stream length was known and have nothing
+	// to measure.
+	cks := set.Checkpoints
+	for len(cks) > 0 && cks[len(cks)-1].Measure >= set.N {
+		cks = cks[:len(cks)-1]
+	}
+	if len(cks) == 0 {
+		return nil, fmt.Errorf("sim: empty dynamic stream")
+	}
+	for _, ck := range cks {
+		ck.End = ck.Measure + k
+		if ck.End > set.N {
+			ck.End = set.N
+		}
+	}
+	set.Checkpoints = cks
+	return set, nil
+}

@@ -41,6 +41,15 @@ func NewFetchUnit(s *Stream, h *mem.Hierarchy, width int) *FetchUnit {
 	}
 }
 
+// StartAt positions the front end at sequence seq for an interval run whose
+// stream starts mid-trace. It must be called before any fetch activity.
+func (f *FetchUnit) StartAt(seq uint64) {
+	if f.base != 0 || f.nextSeq != 0 || len(f.ready) != 0 {
+		panic("sim: StartAt after fetch began")
+	}
+	f.base, f.nextSeq = seq, seq
+}
+
 // SetLimit bounds fetch-ahead to sequences below seq, modeling the
 // instruction buffer's capacity backpressure. The limit may move in either
 // direction as the consumer advances or flushes.

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"multipass/internal/arch"
+	"multipass/internal/bpred"
+	"multipass/internal/isa"
+	"multipass/internal/mem"
+)
+
+// IntervalRunner is implemented by timing models that can simulate one
+// checkpointed interval of the dynamic stream. RunInterval with a nil
+// checkpoint is exactly Run; with a checkpoint it starts the pipeline at
+// ck.Seq from the checkpoint's architectural and warm state, discards stats
+// accumulated before ck.Measure, and stops issuing at ck.End. RunInterval
+// must be safe for concurrent calls on the same machine value: interval
+// workers share the machine (its config and pre-decoded trace are read-only)
+// but nothing else.
+type IntervalRunner interface {
+	Machine
+	CheckpointSpec() CheckpointSpec
+	RunInterval(ctx context.Context, p *isa.Program, image *arch.Memory, ck *Checkpoint) (*Result, error)
+}
+
+// WarmMark tracks the warm-up/measurement boundary inside a cycle loop. The
+// loop calls Mark at the top of every cycle with its next-to-retire sequence;
+// the first cycle at or past the measure boundary snapshots the running stats
+// plus the live predictor and hierarchy counters (the Stats.Branch/Memory
+// fields are only assigned at the end of a run, so the baseline must read the
+// devices directly). Discard then subtracts that baseline from the final
+// stats, leaving only the measured region. For a monolithic run (measure 0)
+// the baseline is captured on cycle zero with all counters zero, so Discard
+// is an exact no-op and the generalized loops stay byte-identical to the
+// originals.
+type WarmMark struct {
+	marked bool
+	warm   Stats
+}
+
+// Mark captures the warm-up baseline once seq reaches the measure boundary.
+func (m *WarmMark) Mark(seq, measure uint64, st *Stats, pred *bpred.Gshare, hier *mem.Hierarchy) {
+	if m.marked || seq < measure {
+		return
+	}
+	m.marked = true
+	m.warm = *st
+	m.warm.Branch = pred.Stats()
+	m.warm.Memory = hier.Stats()
+}
+
+// Marked reports whether the baseline has been captured.
+func (m *WarmMark) Marked() bool { return m.marked }
+
+// Cut returns the sequence before which the issue stage must stop: the
+// measure boundary until the baseline is captured (so no issue group spans
+// it and the baseline lands exactly on the boundary), the end bound after.
+func (m *WarmMark) Cut(measure, end uint64) uint64 {
+	if !m.marked {
+		return measure
+	}
+	return end
+}
+
+// Discard subtracts the warm-up baseline from the final stats. Call after
+// st.Branch/st.Memory have been assigned.
+func (m *WarmMark) Discard(st *Stats) { st.Sub(&m.warm) }
+
+// RunSampled simulates p in parallel across checkpointed intervals and
+// stitches the per-interval stats into one result. The stitched result has
+// the exact retired count and byte-identical final architectural state of a
+// monolithic run (interval boundaries are positions in the deterministic
+// dynamic stream; the last interval ends at the same halt); cycle counts and
+// stall attribution carry a small warm-up approximation error, measured in
+// EXPERIMENTS.md. With cfg.Period > 1 only every Period-th interval is
+// simulated and the stats are extrapolated to the full stream (Stats.ScaleTo);
+// retired count and final state remain exact because both come from the
+// functional pass. The model must implement IntervalRunner.
+func RunSampled(ctx context.Context, m Machine, p *isa.Program, image *arch.Memory, cfg SampleConfig) (*Result, error) {
+	ir, ok := m.(IntervalRunner)
+	if !ok {
+		return nil, fmt.Errorf("sim: model %q does not support interval sampling", m.Name())
+	}
+	if cfg.Interval == 0 {
+		return nil, fmt.Errorf("sim: sample interval must be positive")
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = cfg.Interval / 4
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	ffStart := time.Now()
+	set, err := BuildCheckpoints(p, image, cfg, ir.CheckpointSpec())
+	if err != nil {
+		return nil, err
+	}
+	ffDur := time.Since(ffStart)
+
+	cks := set.Checkpoints
+	results := make([]*Result, len(cks))
+	errs := make([]error, len(cks))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range cks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// A panicking interval must not kill the process: interval
+			// workers run on bare goroutines, outside any server-side
+			// recovery, so convert the panic to an error here.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("sim: interval %d panicked: %v", i, r)
+					cancel()
+				}
+			}()
+			if err := runCtx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := ir.RunInterval(runCtx, p, image, cks[i])
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	// Prefer a real failure over the cancellations it caused.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	stitchStart := time.Now()
+	final := &Result{}
+	for _, r := range results {
+		final.Stats.Add(&r.Stats)
+	}
+	if cfg.period() == 1 {
+		// Full coverage: the measured windows tile the stream, so the sum is
+		// exact and the last interval retired the same halt as a monolithic
+		// run would.
+		last := results[len(results)-1]
+		final.RF, final.Mem = last.RF, last.Mem
+		if final.Stats.Retired != set.N {
+			return nil, fmt.Errorf("sim: stitched retired %d != stream length %d (interval accounting bug)", final.Stats.Retired, set.N)
+		}
+	} else {
+		// Sparse: the simulated intervals cover only part of the stream.
+		// Verify their accounting, then extrapolate to the full length and
+		// take the exact final state from the functional pass.
+		var measured uint64
+		for _, ck := range cks {
+			measured += ck.End - ck.Measure
+		}
+		if final.Stats.Retired != measured {
+			return nil, fmt.Errorf("sim: stitched retired %d != measured span %d (interval accounting bug)", final.Stats.Retired, measured)
+		}
+		final.Stats.ScaleTo(set.N)
+		final.RF, final.Mem = set.Final.RF, set.Final.Mem
+	}
+	final.AddPhase("fastforward", ffDur)
+	final.AddPhase("stitch", time.Since(stitchStart))
+	return final, nil
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+)
+
+func snap() *Snapshot {
+	return &Snapshot{RF: arch.NewRegFile(), Mem: arch.NewMemory(), Retired: 100}
+}
+
+func TestSnapshotEqualAndEmptyDiff(t *testing.T) {
+	a, b := snap(), snap()
+	a.RF.Write(isa.IntReg(5), 42)
+	b.RF.Write(isa.IntReg(5), 42)
+	a.Mem.Store(0x1000, 4, 7)
+	b.Mem.Store(0x1000, 4, 7)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatalf("identical snapshots not Equal: %v", a.Diff(b, 10))
+	}
+	if d := a.Diff(b, 10); len(d) != 0 {
+		t.Fatalf("Diff of equal snapshots = %v, want empty", d)
+	}
+}
+
+// A register whose value matches but whose NaT bit differs must break
+// equality: NaT is architectural state (deferred speculative exceptions), and
+// a model that loses it silently corrupts speculation semantics.
+func TestSnapshotEqualNaTOnlyDivergence(t *testing.T) {
+	a, b := snap(), snap()
+	a.RF.Write(isa.IntReg(7), 99)
+	b.RF.Write(isa.IntReg(7), 99)
+	b.RF.WriteNaT(isa.IntReg(7))
+	if a.RF.Read(isa.IntReg(7)) != b.RF.Read(isa.IntReg(7)) {
+		t.Fatal("test setup: values should match")
+	}
+	if a.Equal(b) {
+		t.Fatal("snapshots Equal despite NaT-only divergence on r7")
+	}
+	d := a.Diff(b, 10)
+	if len(d) != 1 {
+		t.Fatalf("Diff = %v, want exactly the r7 line", d)
+	}
+	if !strings.Contains(d[0], "r7") || !strings.Contains(d[0], "nat false vs true") {
+		t.Fatalf("Diff line %q does not name r7's NaT divergence", d[0])
+	}
+}
+
+func TestSnapshotDiffLimit(t *testing.T) {
+	a, b := snap(), snap()
+	b.Retired = 200
+	for i := 1; i <= 8; i++ {
+		a.RF.Write(isa.IntReg(i), isa.Word(i))
+	}
+	for i := 0; i < 8; i++ {
+		a.Mem.Store(uint32(0x2000+4*i), 4, uint64(i+1))
+	}
+
+	// 17 total divergences (retired + 8 registers + 8 words): every limit at
+	// or below that must be honored exactly, and the retired line comes
+	// first so truncated reports still show the headline divergence.
+	for _, limit := range []int{1, 2, 5, 9, 16, 17} {
+		d := a.Diff(b, limit)
+		if len(d) != limit {
+			t.Fatalf("Diff(limit=%d) returned %d lines: %v", limit, len(d), d)
+		}
+		if !strings.HasPrefix(d[0], "retired:") {
+			t.Fatalf("Diff(limit=%d) first line %q, want retired", limit, d[0])
+		}
+	}
+	if d := a.Diff(b, 100); len(d) != 17 {
+		t.Fatalf("Diff(limit=100) = %d lines, want all 17: %v", len(d), d)
+	}
+}

@@ -96,6 +96,162 @@ type OOOStats struct {
 	ROBFullCy    uint64 `json:"rob_full_cy"`    // cycles rename stalled on a full ROB
 }
 
+// Add accumulates o into s fieldwise; Sub removes it. Every counter in Stats
+// is a pure uint64 count, so both operations are exact; they exist for
+// interval sampling, where per-interval stats are stitched by addition and
+// warm-up baselines removed by subtraction. Because the stall categories and
+// Cycles are always incremented together, both operations preserve the
+// CheckConsistency invariant.
+func (s *Stats) Add(o *Stats) {
+	s.Cycles += o.Cycles
+	s.Retired += o.Retired
+	for i := range s.Cat {
+		s.Cat[i] += o.Cat[i]
+	}
+	s.Branch.Add(o.Branch)
+	s.Memory.Add(o.Memory)
+	s.Multipass.add(&o.Multipass)
+	s.Runahead.add(&o.Runahead)
+	s.OOO.add(&o.OOO)
+}
+
+// Sub removes o from s fieldwise.
+func (s *Stats) Sub(o *Stats) {
+	s.Cycles -= o.Cycles
+	s.Retired -= o.Retired
+	for i := range s.Cat {
+		s.Cat[i] -= o.Cat[i]
+	}
+	s.Branch.Sub(o.Branch)
+	s.Memory.Sub(o.Memory)
+	s.Multipass.sub(&o.Multipass)
+	s.Runahead.sub(&o.Runahead)
+	s.OOO.sub(&o.OOO)
+}
+
+func (s *MultipassStats) add(o *MultipassStats) {
+	s.AdvanceEntries += o.AdvanceEntries
+	s.AdvancePasses += o.AdvancePasses
+	s.Restarts += o.Restarts
+	s.HWRestarts += o.HWRestarts
+	s.AdvanceExecuted += o.AdvanceExecuted
+	s.AdvanceDeferred += o.AdvanceDeferred
+	s.Merged += o.Merged
+	s.Reexecuted += o.Reexecuted
+	s.SpecLoads += o.SpecLoads
+	s.SpecFlushes += o.SpecFlushes
+	s.AdvanceCycles += o.AdvanceCycles
+	s.RallyCycles += o.RallyCycles
+	s.ArchCycles += o.ArchCycles
+	s.EarlyResolved += o.EarlyResolved
+	s.ASCHits += o.ASCHits
+	s.ASCReplacements += o.ASCReplacements
+	s.DeferredStores += o.DeferredStores
+	s.IQFullCycles += o.IQFullCycles
+	s.RestartInstsSeen += o.RestartInstsSeen
+}
+
+func (s *MultipassStats) sub(o *MultipassStats) {
+	s.AdvanceEntries -= o.AdvanceEntries
+	s.AdvancePasses -= o.AdvancePasses
+	s.Restarts -= o.Restarts
+	s.HWRestarts -= o.HWRestarts
+	s.AdvanceExecuted -= o.AdvanceExecuted
+	s.AdvanceDeferred -= o.AdvanceDeferred
+	s.Merged -= o.Merged
+	s.Reexecuted -= o.Reexecuted
+	s.SpecLoads -= o.SpecLoads
+	s.SpecFlushes -= o.SpecFlushes
+	s.AdvanceCycles -= o.AdvanceCycles
+	s.RallyCycles -= o.RallyCycles
+	s.ArchCycles -= o.ArchCycles
+	s.EarlyResolved -= o.EarlyResolved
+	s.ASCHits -= o.ASCHits
+	s.ASCReplacements -= o.ASCReplacements
+	s.DeferredStores -= o.DeferredStores
+	s.IQFullCycles -= o.IQFullCycles
+	s.RestartInstsSeen -= o.RestartInstsSeen
+}
+
+func (s *RunaheadStats) add(o *RunaheadStats) {
+	s.Episodes += o.Episodes
+	s.PreExecuted += o.PreExecuted
+	s.Deferred += o.Deferred
+	s.Cycles += o.Cycles
+}
+
+func (s *RunaheadStats) sub(o *RunaheadStats) {
+	s.Episodes -= o.Episodes
+	s.PreExecuted -= o.PreExecuted
+	s.Deferred -= o.Deferred
+	s.Cycles -= o.Cycles
+}
+
+func (s *OOOStats) add(o *OOOStats) {
+	s.Flushes += o.Flushes
+	s.Squashed += o.Squashed
+	s.WindowFullCy += o.WindowFullCy
+	s.ROBFullCy += o.ROBFullCy
+}
+
+func (s *OOOStats) sub(o *OOOStats) {
+	s.Flushes -= o.Flushes
+	s.Squashed -= o.Squashed
+	s.WindowFullCy -= o.WindowFullCy
+	s.ROBFullCy -= o.ROBFullCy
+}
+
+// ScaleTo linearly extrapolates every counter so the stats describe a stream
+// of n retired instructions instead of the s.Retired actually measured. Used
+// by sparse interval sampling, where only every Period-th interval is
+// simulated in detail: counts scale by n/Retired (rounded to nearest), then
+// Retired is set to n exactly and Cycles is recomputed as the sum of the
+// scaled stall categories so CheckConsistency still holds.
+func (s *Stats) ScaleTo(n uint64) {
+	if s.Retired == 0 || s.Retired == n {
+		s.Retired = n
+		return
+	}
+	r := float64(n) / float64(s.Retired)
+	sc := func(v *uint64) { *v = uint64(float64(*v)*r + 0.5) }
+	for i := range s.Cat {
+		sc(&s.Cat[i])
+	}
+	sc(&s.Branch.Lookups)
+	sc(&s.Branch.Mispredicts)
+	for _, c := range []*mem.CacheStats{&s.Memory.L1I, &s.Memory.L1D, &s.Memory.L2, &s.Memory.L3} {
+		sc(&c.Accesses)
+		sc(&c.Misses)
+		sc(&c.AdvanceAccesses)
+		sc(&c.AdvanceMisses)
+		sc(&c.Writebacks)
+	}
+	sc(&s.Memory.MSHRStalls)
+	mp := &s.Multipass
+	for _, v := range []*uint64{
+		&mp.AdvanceEntries, &mp.AdvancePasses, &mp.Restarts, &mp.HWRestarts,
+		&mp.AdvanceExecuted, &mp.AdvanceDeferred, &mp.Merged, &mp.Reexecuted,
+		&mp.SpecLoads, &mp.SpecFlushes, &mp.AdvanceCycles, &mp.RallyCycles,
+		&mp.ArchCycles, &mp.EarlyResolved, &mp.ASCHits, &mp.ASCReplacements,
+		&mp.DeferredStores, &mp.IQFullCycles, &mp.RestartInstsSeen,
+	} {
+		sc(v)
+	}
+	sc(&s.Runahead.Episodes)
+	sc(&s.Runahead.PreExecuted)
+	sc(&s.Runahead.Deferred)
+	sc(&s.Runahead.Cycles)
+	sc(&s.OOO.Flushes)
+	sc(&s.OOO.Squashed)
+	sc(&s.OOO.WindowFullCy)
+	sc(&s.OOO.ROBFullCy)
+	s.Retired = n
+	s.Cycles = 0
+	for _, c := range s.Cat {
+		s.Cycles += c
+	}
+}
+
 // TotalStalls returns the cycles not attributed to execution.
 func (s *Stats) TotalStalls() uint64 {
 	return s.Cat[StallFrontEnd] + s.Cat[StallOther] + s.Cat[StallLoad]

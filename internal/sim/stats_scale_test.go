@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+// TestScaleTo pins the sparse-sampling extrapolation: counters scale by the
+// stream-length ratio, Retired lands exactly on the target, and the stall
+// categories still sum to Cycles (the CheckConsistency invariant survives
+// rounding because Cycles is recomputed from the scaled categories).
+func TestScaleTo(t *testing.T) {
+	s := Stats{Retired: 1000}
+	s.Cat[StallExecution] = 600
+	s.Cat[StallLoad] = 333 // odd count: forces rounding
+	s.Cycles = 933
+	s.Branch.Lookups = 200
+	s.Branch.Mispredicts = 13
+	s.Memory.L1D.Accesses = 500
+	s.Memory.L1D.Misses = 77
+	s.Multipass.AdvancePasses = 9
+	s.Runahead.Cycles = 41
+	s.OOO.Flushes = 5
+
+	s.ScaleTo(4000)
+	if s.Retired != 4000 {
+		t.Fatalf("Retired = %d, want exactly 4000", s.Retired)
+	}
+	if s.Cat[StallExecution] != 2400 || s.Cat[StallLoad] != 1332 {
+		t.Errorf("categories scaled to %v, want 4x", s.Cat)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Errorf("scaled stats inconsistent: %v", err)
+	}
+	if s.Branch.Lookups != 800 || s.Branch.Mispredicts != 52 {
+		t.Errorf("branch stats = %+v, want 4x", s.Branch)
+	}
+	if s.Memory.L1D.Accesses != 2000 || s.Memory.L1D.Misses != 308 {
+		t.Errorf("L1D stats = %+v, want 4x", s.Memory.L1D)
+	}
+	if s.Multipass.AdvancePasses != 36 || s.Runahead.Cycles != 164 || s.OOO.Flushes != 20 {
+		t.Errorf("model counters not scaled: mp %d ra %d ooo %d",
+			s.Multipass.AdvancePasses, s.Runahead.Cycles, s.OOO.Flushes)
+	}
+
+	// Degenerate inputs: zero measured retires anything to the target,
+	// same-length scaling is the identity.
+	var zero Stats
+	zero.ScaleTo(100)
+	if zero.Retired != 100 || zero.Cycles != 0 {
+		t.Errorf("zero.ScaleTo(100) = %+v", zero)
+	}
+	same := Stats{Retired: 50, Cycles: 70}
+	same.Cat[StallExecution] = 70
+	same.ScaleTo(50)
+	if same.Cycles != 70 {
+		t.Errorf("identity scale changed cycles to %d", same.Cycles)
+	}
+}

@@ -58,6 +58,20 @@ func NewStream(p *isa.Program, m *arch.Memory, limit uint64) *Stream {
 	return &Stream{prog: p, state: arch.NewState(m), limit: limit}
 }
 
+// StreamFrom returns the stream for an interval run starting at checkpoint
+// ck. A pre-decoded trace (which is random access and shared read-only)
+// serves any starting point directly; otherwise interpretation starts from a
+// clone of the checkpoint's architectural state, positioned so that the
+// first instruction produced carries sequence ck.Seq. limit bounds the
+// absolute dynamic instruction count, as in NewStream.
+func StreamFrom(p *isa.Program, ck *Checkpoint, limit uint64, tr *Trace) *Stream {
+	if tr != nil && tr.prog == p && uint64(len(tr.insts)) <= limit {
+		return &Stream{prog: p, tr: tr, ended: true}
+	}
+	st := &arch.State{RF: ck.RF.Clone(), Mem: ck.Mem.Clone(), PC: ck.PC, Retired: ck.Seq}
+	return &Stream{prog: p, state: st, base: ck.Seq, limit: limit}
+}
+
 // At returns the dynamic instruction at seq, interpreting forward as needed.
 // Requesting a sequence below the released window start panics (model bug).
 // Requesting at or beyond the halt returns nil. The returned pointer stays
