@@ -17,6 +17,16 @@
 //	mpsimd -coordinator http://localhost:9101,http://localhost:9102 -addr :8080
 //	curl -sN -X POST 'localhost:8080/v1/sweep?stream=true' -d '{"workloads":["mcf"]}'
 //
+// Fleets can also be dynamic: `-coordinator dynamic` starts a coordinator
+// with no static workers, and workers started with `-join <coordinator>`
+// enter the fleet via POST /v1/fabric/join and keep a heartbeat lease
+// alive (leaving cleanly on shutdown). -persist-dir makes a coordinator's
+// results and program bundles survive restarts, so an interrupted sweep
+// resumes with only its missing cells re-dispatched:
+//
+//	mpsimd -coordinator dynamic -advertise http://localhost:8080 -persist-dir /tmp/mpsimd &
+//	mpsimd -worker -addr :9101 -join http://localhost:8080 &
+//
 // See EXPERIMENTS.md for the endpoint reference and a sweep example
 // reproducing Figure 7 over HTTP, the README "Distributed mode" section for
 // the fabric topology, and the README "Observability" section for the
@@ -24,10 +34,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // profiling endpoints, served only behind -pprof
@@ -63,8 +76,13 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
-	coordinator := flag.String("coordinator", "", "run as a fabric coordinator over this comma-separated list of worker base URLs (e.g. http://host:9101,http://host:9102)")
+	coordinator := flag.String("coordinator", "", "run as a fabric coordinator over this comma-separated list of worker base URLs (e.g. http://host:9101,http://host:9102); the literal value \"dynamic\" starts with no static workers")
 	workerMode := flag.Bool("worker", false, "run as a fabric worker (standalone semantics; reported via /v1/worker/health)")
+	joinURL := flag.String("join", "", "coordinator base URL to join as a dynamic fleet member (implies -worker); a heartbeat renews the lease and shutdown leaves cleanly")
+	advertise := flag.String("advertise", "", "this daemon's externally reachable base URL (default derived from -addr); used for -join heartbeats and coordinator program-bundle refs")
+	persistDir := flag.String("persist-dir", "", "persist results and program bundles under this directory so a restarted coordinator resumes interrupted sweeps")
+	lease := flag.Duration("lease", 0, "coordinator membership lease TTL for dynamic workers (0 = 15s default)")
+	workerSlots := flag.Int("worker-slots", 0, "coordinator-side in-flight jobs per worker (0 = 2 default)")
 	flag.Parse()
 
 	log, err := newLogger(*logFormat, *logLevel)
@@ -73,23 +91,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *coordinator != "" && *workerMode {
-		fmt.Fprintln(os.Stderr, "-coordinator and -worker are mutually exclusive")
+	if *coordinator != "" && (*workerMode || *joinURL != "") {
+		fmt.Fprintln(os.Stderr, "-coordinator is mutually exclusive with -worker and -join")
 		os.Exit(2)
 	}
+
+	self := *advertise
+	if self == "" {
+		self = advertiseFromAddr(*addr)
+	}
+	self = strings.TrimRight(self, "/")
 
 	cfg := server.Config{
 		Workers:        *workers,
 		DefaultTimeout: *timeout,
 		MaxCacheBytes:  *cacheBytes,
+		PersistDir:     *persistDir,
 		Logger:         log,
 	}
-	if *workerMode {
+	if *workerMode || *joinURL != "" {
 		cfg.Role = "worker"
 	}
 	if *coordinator != "" {
 		urls := splitURLs(*coordinator)
-		d, err := fabric.New(fabric.Options{Workers: urls, Logger: log})
+		dynamic := *coordinator == "dynamic"
+		if dynamic {
+			urls = nil
+		}
+		d, err := fabric.New(fabric.Options{
+			Workers:         urls,
+			AllowEmptyFleet: dynamic,
+			LeaseTTL:        *lease,
+			WorkerSlots:     *workerSlots,
+			SelfURL:         self,
+			PersistDir:      *persistDir,
+			Logger:          log,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -98,7 +135,7 @@ func main() {
 		defer d.Stop()
 		cfg.Role = "coordinator"
 		cfg.Dispatcher = d
-		log.Info("fabric coordinator", "workers", urls)
+		log.Info("fabric coordinator", "workers", urls, "dynamic", dynamic)
 	}
 
 	srv := server.New(cfg)
@@ -127,6 +164,14 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Info("mpsimd listening", "addr", *addr, "workers", *workers, "timeout", timeout.String())
 
+	if *joinURL != "" {
+		coord := strings.TrimRight(*joinURL, "/")
+		go heartbeat(ctx, log, coord, self)
+		// Leave the fleet on shutdown so the coordinator re-rings
+		// immediately instead of waiting out the lease.
+		defer fabricPost(coord+"/v1/fabric/leave", self)
+	}
+
 	select {
 	case err := <-errc:
 		log.Error("server failed", "error", err)
@@ -144,6 +189,68 @@ func main() {
 		os.Exit(1)
 	}
 	log.Info("mpsimd stopped")
+}
+
+// advertiseFromAddr derives a default externally reachable base URL from a
+// listen address: ":8080" becomes "http://localhost:8080", "host:port"
+// passes through with the scheme added.
+func advertiseFromAddr(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://localhost" + addr
+	}
+	if strings.Contains(addr, "://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
+// heartbeat keeps this worker's membership lease alive: an initial join
+// (retried until the coordinator answers) followed by renewals at a third
+// of the granted TTL. Renewal failures are retried at the same cadence —
+// the coordinator expires the lease if the worker really is gone.
+func heartbeat(ctx context.Context, log *slog.Logger, coord, self string) {
+	interval := 5 * time.Second
+	for first := true; ; first = false {
+		if !first {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(interval):
+			}
+		}
+		ttlMS, err := fabricPost(coord+"/v1/fabric/join", self)
+		if err != nil {
+			log.Warn("fabric join failed, will retry", "coordinator", coord, "err", err)
+			continue
+		}
+		if first {
+			log.Info("joined fabric", "coordinator", coord, "as", self, "ttl_ms", ttlMS)
+		}
+		if ttlMS > 0 {
+			interval = time.Duration(ttlMS) * time.Millisecond / 3
+		}
+	}
+}
+
+// fabricPost posts a JoinRequest to a coordinator membership endpoint and
+// returns the granted lease TTL (0 for leave).
+func fabricPost(endpoint, self string) (int64, error) {
+	body, _ := json.Marshal(server.JoinRequest{URL: self})
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var jr server.JoinResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return 0, err
+	}
+	return jr.TTLMS, nil
 }
 
 // newLogger builds the process logger from the -log-format and -log-level

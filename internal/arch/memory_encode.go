@@ -1,0 +1,79 @@
+package arch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Binary memory-image format: a fixed 8-byte magic, a page count, then per
+// page a 4-byte page number followed by the raw 4096-byte page. Pages are
+// written in ascending page-number order so the encoding of a given memory
+// is deterministic — the fabric's program-bundle content hashes depend on
+// that. All integers little-endian; versioned through the magic string.
+
+var memoryMagic = [8]byte{'M', 'P', 'M', 'E', 'M', '0', '1', '\n'}
+
+// MarshalBinary serializes the memory image deterministically.
+func (m *Memory) MarshalBinary() ([]byte, error) {
+	pns := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+
+	var buf bytes.Buffer
+	buf.Grow(len(memoryMagic) + 4 + len(pns)*(4+pageSize))
+	buf.Write(memoryMagic[:])
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(pns)))
+	buf.Write(u32[:])
+	for _, pn := range pns {
+		binary.LittleEndian.PutUint32(u32[:], pn)
+		buf.Write(u32[:])
+		buf.Write(m.pages[pn][:])
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary deserializes an image written by MarshalBinary,
+// replacing the memory's contents.
+func (m *Memory) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != memoryMagic {
+		return fmt.Errorf("arch: bad memory magic")
+	}
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return fmt.Errorf("arch: truncated memory image: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(u32[:])
+	if n > 1<<20 {
+		return fmt.Errorf("arch: unreasonable page count %d", n)
+	}
+	pages := make(map[uint32]*[pageSize]byte, n)
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(r, u32[:]); err != nil {
+			return fmt.Errorf("arch: truncated memory image: %w", err)
+		}
+		pn := binary.LittleEndian.Uint32(u32[:])
+		if _, dup := pages[pn]; dup {
+			return fmt.Errorf("arch: duplicate page %d in memory image", pn)
+		}
+		pg := new([pageSize]byte)
+		if _, err := io.ReadFull(r, pg[:]); err != nil {
+			return fmt.Errorf("arch: truncated memory image: %w", err)
+		}
+		pages[pn] = pg
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("arch: %d trailing bytes in memory image", r.Len())
+	}
+	m.pages = pages
+	m.lastPG = nil
+	m.lastPN = 0
+	return nil
+}

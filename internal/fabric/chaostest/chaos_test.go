@@ -1,0 +1,255 @@
+package chaostest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"multipass/internal/server"
+)
+
+// grid12 is the property-test sweep: small enough that one chaos run takes
+// seconds, wide enough that every worker owns cells.
+func grid12() server.SweepRequest {
+	return server.SweepRequest{
+		Workloads: []string{"crafty", "gzip"},
+		Models:    []string{"inorder", "multipass"},
+		Hiers:     []string{"base", "config1", "config2"},
+	}
+}
+
+// grid60 is the acceptance sweep, matching the fabric equivalence anchor.
+func grid60() server.SweepRequest {
+	return server.SweepRequest{
+		Workloads: []string{"crafty", "gzip", "vpr", "parser"},
+		Models:    []string{"inorder", "multipass", "runahead", "ooo", "ooo-realistic"},
+		Hiers:     []string{"base", "config1", "config2"},
+	}
+}
+
+func postSweep(base string, req server.SweepRequest) ([]byte, int, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := http.Post(base+"/v1/sweep", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return buf.Bytes(), resp.StatusCode, nil
+}
+
+// steadyReference computes what any fleet must converge to: a standalone
+// server's second sweep of the grid, i.e. the all-cached steady state (a
+// resumed or re-issued sweep reports restored cells as "cached", so the
+// first-run response — all "done" — is not the right reference).
+func steadyReference(t *testing.T, req server.SweepRequest) []byte {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.Config{Workers: 4}).Handler())
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		body, code, err := postSweep(ts.URL, req)
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("reference sweep: status %d, err %v", code, err)
+		}
+		if i == 1 {
+			return body
+		}
+	}
+	panic("unreachable")
+}
+
+// sweepUntilClean re-issues the sweep against the (possibly restarting)
+// coordinator until one run completes with zero failed cells. Transport
+// errors and failed cells are both expected mid-chaos — a severed
+// connection or an exhausted retry budget during a kill window — and both
+// must be recoverable by simply asking again.
+func sweepUntilClean(t *testing.T, f *Fleet, req server.SweepRequest) []byte {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	attempt := 0
+	for {
+		attempt++
+		body, code, err := postSweep(f.CoordinatorURL(), req)
+		if err == nil && code == http.StatusOK {
+			var sr server.SweepResponse
+			if jerr := json.Unmarshal(body, &sr); jerr == nil && sr.Summary.Failed == 0 {
+				return body
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no clean sweep after %d attempts (last: status %d, err %v)", attempt, code, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// saveFailingSchedule persists the schedule that broke the invariant so CI
+// uploads it and a developer replays it by seed. It also logs the JSON
+// inline: the artifact survives even when only logs do.
+func saveFailingSchedule(t *testing.T, sched Schedule) {
+	t.Helper()
+	data, _ := json.Marshal(sched)
+	t.Logf("failing chaos schedule: %s", data)
+	dir := os.Getenv("MPSIMD_CHAOS_ARTIFACTS")
+	if dir == "" {
+		return
+	}
+	path, err := sched.Save(dir, fmt.Sprintf("failing-seed-%d.json", sched.Seed))
+	if err != nil {
+		t.Logf("could not save failing schedule: %v", err)
+		return
+	}
+	t.Logf("failing schedule saved to %s", path)
+}
+
+// verifySteadyState quiesces the fleet and requires its next sweep to be
+// byte-identical to the standalone reference — the chaos invariant.
+func verifySteadyState(t *testing.T, f *Fleet, req server.SweepRequest, ref []byte, sched Schedule) {
+	t.Helper()
+	f.Quiesce()
+	body, code, err := postSweep(f.CoordinatorURL(), req)
+	if err != nil || code != http.StatusOK {
+		saveFailingSchedule(t, sched)
+		t.Fatalf("steady-state sweep: status %d, err %v", code, err)
+	}
+	if !bytes.Equal(ref, body) {
+		saveFailingSchedule(t, sched)
+		t.Fatalf("steady-state sweep diverges from single-node:\n  ref: %.400s\nfleet: %.400s", ref, body)
+	}
+}
+
+// TestChaosSweepEquivalence is the property test: for every seeded random
+// chaos schedule, a sweep driven through kills, delays, partitions,
+// leaves, joins, and coordinator restarts still converges to the exact
+// bytes a single node produces. Seed count and base are env-tunable
+// (MPSIMD_CHAOS_SEEDS, MPSIMD_CHAOS_BASE_SEED) so CI can sweep more
+// schedules than a local run.
+func TestChaosSweepEquivalence(t *testing.T) {
+	req := grid12()
+	ref := steadyReference(t, req)
+
+	seeds := 3
+	if s := os.Getenv("MPSIMD_CHAOS_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad MPSIMD_CHAOS_SEEDS %q", s)
+		}
+		seeds = n
+	}
+	base := int64(1)
+	if s := os.Getenv("MPSIMD_CHAOS_BASE_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad MPSIMD_CHAOS_BASE_SEED %q", s)
+		}
+		base = n
+	}
+
+	for i := 0; i < seeds; i++ {
+		seed := base + int64(i)
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			sched := Generate(seed, 2, 12)
+			f, err := NewFleet(2, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+
+			stop := make(chan struct{})
+			driven := f.Drive(sched, stop)
+			sweepUntilClean(t, f, req)
+			close(stop)
+			<-driven
+			verifySteadyState(t, f, req, ref, sched)
+		})
+	}
+}
+
+// TestChaosAcceptance is the scripted end-to-end hardening scenario on the
+// 60-cell grid: a worker is slowed (building a stealable backlog), a new
+// worker joins mid-sweep, a worker dies mid-sweep, and the coordinator is
+// restarted mid-sweep — and the fleet must still converge byte-identically
+// to single-node, with at least one stolen job, exactly one program build
+// per workload fleet-wide, and no worker ever compiling a program itself.
+func TestChaosAcceptance(t *testing.T) {
+	req := grid60()
+	ref := steadyReference(t, req)
+
+	f, err := NewFleet(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	sched := Schedule{Events: []Event{
+		{AtRunCalls: 4, Action: DelayWorker, Worker: 1, Delay: 40 * time.Millisecond, Dur: 2500 * time.Millisecond},
+		{AtRunCalls: 5, Action: JoinWorker},
+		{AtRunCalls: 12, Action: KillWorker, Worker: 1, Dur: 1200 * time.Millisecond},
+		{AtRunCalls: 26, Action: RestartCoordinator},
+	}}
+
+	stop := make(chan struct{})
+	driven := f.Drive(sched, stop)
+	body := sweepUntilClean(t, f, req)
+	close(stop)
+	<-driven
+
+	var sr server.SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Summary.Total != 60 || sr.Summary.Failed != 0 {
+		t.Fatalf("clean sweep summary = %+v, want 60 total, 0 failed", sr.Summary)
+	}
+
+	verifySteadyState(t, f, req, ref, sched)
+
+	if f.Restarts() < 1 {
+		t.Error("coordinator restart never fired: the scenario exercised nothing")
+	}
+	if got := len(f.Workers()); got != 3 {
+		t.Errorf("fleet has %d workers after the join, want 3", got)
+	}
+	if got := len(f.Dispatcher().Members()); got != 3 {
+		t.Errorf("membership after restart lists %d workers, want all 3", got)
+	}
+	if stolen := f.StolenTotal(); stolen == 0 {
+		t.Error("stolen = 0 across the whole scenario, want at least one steal")
+	}
+	builds, err := f.ProgramBuildsTotal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds != 4 {
+		t.Errorf("fleet-wide program builds = %d, want exactly 1 per workload (4)", builds)
+	}
+	for i, p := range f.Workers() {
+		resp, err := http.Get(p.InnerURL() + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st server.StatsResponse
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(buf.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.ProgramsBuilt != 0 {
+			t.Errorf("worker %d compiled %d programs itself, want 0 (all fetched from the memo)",
+				i, st.ProgramsBuilt)
+		}
+	}
+}

@@ -1,0 +1,518 @@
+// Package chaostest is the fault-injection harness for the sweep fabric.
+// It stands up a real coordinator/worker fleet (httptest servers end to
+// end), fronts every worker with a scriptable chaos proxy, and fires a
+// seeded Schedule of disturbances — worker kills, call delays, network
+// partitions, voluntary leaves, new joins, coordinator restarts — at
+// deterministic points in a sweep's run-call stream.
+//
+// The invariant the harness exists to check: no chaos schedule may change
+// the bytes a sweep produces. Whatever is killed, delayed, partitioned, or
+// restarted mid-flight, the fleet's steady-state sweep response must be
+// byte-identical to a single node's, and no cell may be lost or doubled.
+//
+// Schedules keep worker 0 undisturbed, so at least one healthy member
+// always remains and every job retains a live fallback.
+package chaostest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multipass/internal/fabric"
+	"multipass/internal/server"
+)
+
+// Chaos actions. All worker-targeted actions auto-heal after Event.Dur.
+const (
+	// KillWorker severs every connection through the worker's proxy, as a
+	// crashed process would.
+	KillWorker = "kill-worker"
+	// DelayWorker adds Event.Delay to every proxied call.
+	DelayWorker = "delay-worker"
+	// PartitionWorker hangs proxied calls until heal (or the caller's
+	// context dies), as a network partition would.
+	PartitionWorker = "partition-worker"
+	// LeaveWorker posts a voluntary leave for the worker, which rejoins on
+	// heal.
+	LeaveWorker = "leave-worker"
+	// JoinWorker adds a brand-new worker to the fleet mid-sweep.
+	JoinWorker = "join-worker"
+	// RestartCoordinator stops the coordinator (dispatcher and HTTP server)
+	// and starts a fresh one on the same persist directory; live workers
+	// re-join the new instance.
+	RestartCoordinator = "restart-coordinator"
+)
+
+// Event is one scripted disturbance, fired when the fleet-wide count of
+// /v1/run calls (arrivals at the proxies, retries included) reaches
+// AtRunCalls.
+type Event struct {
+	AtRunCalls int64         `json:"at_run_calls"`
+	Action     string        `json:"action"`
+	Worker     int           `json:"worker,omitempty"` // proxy index; ignored by join/restart
+	Delay      time.Duration `json:"delay,omitempty"`  // DelayWorker only
+	Dur        time.Duration `json:"dur,omitempty"`    // auto-heal after this long
+}
+
+// Schedule is a reproducible chaos script: the seed that generated it plus
+// the events in firing order. Failing schedules are persisted as JSON
+// artifacts so a CI failure replays locally by seed.
+type Schedule struct {
+	Seed   int64   `json:"seed"`
+	Events []Event `json:"events"`
+}
+
+// Generate derives a random schedule from seed for a fleet of `workers`
+// initial workers sweeping about totalCells cells. Thresholds are spread
+// over the first sweep's call stream; targets never include worker 0, so
+// one member is always left untouched.
+func Generate(seed int64, workers, totalCells int) Schedule {
+	r := rand.New(rand.NewSource(seed))
+	actions := []string{
+		KillWorker, DelayWorker, PartitionWorker,
+		LeaveWorker, JoinWorker, RestartCoordinator,
+	}
+	n := 2 + r.Intn(3)
+	s := Schedule{Seed: seed}
+	at := int64(1 + r.Intn(3))
+	for i := 0; i < n; i++ {
+		ev := Event{
+			AtRunCalls: at,
+			Action:     actions[r.Intn(len(actions))],
+			Dur:        time.Duration(100+r.Intn(400)) * time.Millisecond,
+		}
+		if workers > 1 {
+			ev.Worker = 1 + r.Intn(workers-1)
+		} else {
+			ev.Action = JoinWorker
+		}
+		if ev.Action == DelayWorker {
+			ev.Delay = time.Duration(20+r.Intn(60)) * time.Millisecond
+		}
+		s.Events = append(s.Events, ev)
+		at += int64(1 + r.Intn(totalCells/2+1))
+	}
+	return s
+}
+
+// Save writes the schedule as JSON under dir, creating dir if needed.
+func (s Schedule) Save(dir, name string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Proxy fronts one real worker with switchable fault injection.
+type Proxy struct {
+	inner *httptest.Server // the real worker daemon
+	front *httptest.Server // what the coordinator dials
+	rp    *httputil.ReverseProxy
+
+	mu        sync.Mutex
+	dead      bool
+	delay     time.Duration
+	partition chan struct{} // non-nil while partitioned; closed to heal
+	left      bool          // voluntarily out of the fleet (fleet bookkeeping)
+}
+
+// URL is the address the coordinator dispatches to (the chaos front).
+func (p *Proxy) URL() string { return p.front.URL }
+
+// InnerURL is the real worker daemon, reachable regardless of chaos state
+// (for /v1/stats assertions).
+func (p *Proxy) InnerURL() string { return p.inner.URL }
+
+func (p *Proxy) setDead(v bool) {
+	p.mu.Lock()
+	p.dead = v
+	p.mu.Unlock()
+}
+
+func (p *Proxy) setDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+func (p *Proxy) setPartitioned(v bool) {
+	p.mu.Lock()
+	if v && p.partition == nil {
+		p.partition = make(chan struct{})
+	} else if !v && p.partition != nil {
+		close(p.partition)
+		p.partition = nil
+	}
+	p.mu.Unlock()
+}
+
+// heal restores pass-through behavior whatever state the proxy is in.
+func (p *Proxy) heal() {
+	p.mu.Lock()
+	p.dead = false
+	p.delay = 0
+	if p.partition != nil {
+		close(p.partition)
+		p.partition = nil
+	}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) close() {
+	p.heal()
+	p.front.Close()
+	p.inner.Close()
+}
+
+// Fleet is one coordinator plus N chaos-proxied workers sharing a persist
+// directory, with cumulative accounting that survives coordinator
+// restarts.
+type Fleet struct {
+	persistDir string
+	runCalls   atomic.Int64 // fleet-wide /v1/run arrivals at the proxies
+
+	mu       sync.Mutex
+	workers  []*Proxy
+	disp     *fabric.Dispatcher
+	coord    *httptest.Server
+	retired  []*fabric.Dispatcher // pre-restart dispatchers, kept for accounting
+	restarts int
+
+	heals sync.WaitGroup
+}
+
+// NewFleet starts `workers` proxied workers and a dynamic coordinator over
+// persistDir, and joins every worker.
+func NewFleet(workers int, persistDir string) (*Fleet, error) {
+	f := &Fleet{persistDir: persistDir}
+	for i := 0; i < workers; i++ {
+		f.workers = append(f.workers, f.newProxy())
+	}
+	if err := f.startCoordinator(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// newProxy builds one real worker plus its chaos front.
+func (f *Fleet) newProxy() *Proxy {
+	p := &Proxy{}
+	p.inner = httptest.NewServer(server.New(server.Config{Workers: 2, Role: "worker"}).Handler())
+	target, _ := url.Parse(p.inner.URL)
+	p.rp = httputil.NewSingleHostReverseProxy(target)
+	// A canceled or severed upstream call is an expected chaos outcome, not
+	// something to spam test output with; the default handler's 502 answer
+	// is kept (the dispatcher classifies it as retryable).
+	p.rp.ErrorLog = log.New(io.Discard, "", 0)
+	p.front = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/run" {
+			f.runCalls.Add(1)
+		}
+		p.mu.Lock()
+		dead, delay, part := p.dead, p.delay, p.partition
+		p.mu.Unlock()
+		if dead {
+			panic(http.ErrAbortHandler)
+		}
+		if part != nil {
+			select {
+			case <-part:
+			case <-r.Context().Done():
+				panic(http.ErrAbortHandler)
+			}
+		}
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				panic(http.ErrAbortHandler)
+			}
+		}
+		p.rp.ServeHTTP(w, r)
+	}))
+	return p
+}
+
+// startCoordinator builds a dispatcher + coordinator server on the shared
+// persist dir and joins every worker that is not voluntarily out.
+// Callers hold no locks; the fleet lock is taken here.
+func (f *Fleet) startCoordinator() error {
+	d, err := fabric.New(fabric.Options{
+		AllowEmptyFleet: true,
+		RetryBackoff:    10 * time.Millisecond,
+		HealthInterval:  300 * time.Millisecond,
+		ProbeTimeout:    time.Second,
+		LeaseTTL:        10 * time.Minute, // tests drive churn explicitly, not via expiry
+		PersistDir:      f.persistDir,
+		Logger:          slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(server.New(server.Config{
+		Workers:    4,
+		Role:       "coordinator",
+		Dispatcher: d,
+		PersistDir: f.persistDir,
+	}).Handler())
+	d.SetSelfURL(ts.URL)
+	d.Start()
+
+	f.mu.Lock()
+	f.disp, f.coord = d, ts
+	workers := append([]*Proxy(nil), f.workers...)
+	f.mu.Unlock()
+	for _, p := range workers {
+		p.mu.Lock()
+		left := p.left
+		p.mu.Unlock()
+		if !left {
+			d.Join(p.URL())
+		}
+	}
+	return nil
+}
+
+// CoordinatorURL is the current coordinator's base URL (it changes on
+// restart).
+func (f *Fleet) CoordinatorURL() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.coord.URL
+}
+
+// Dispatcher is the current coordinator's dispatcher.
+func (f *Fleet) Dispatcher() *fabric.Dispatcher {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.disp
+}
+
+// Workers snapshots the current proxies.
+func (f *Fleet) Workers() []*Proxy {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Proxy(nil), f.workers...)
+}
+
+// Restarts is how many times the coordinator was restarted.
+func (f *Fleet) Restarts() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.restarts
+}
+
+// AddWorker starts a fresh proxied worker and joins it, returning its
+// index.
+func (f *Fleet) AddWorker() int {
+	p := f.newProxy()
+	f.mu.Lock()
+	f.workers = append(f.workers, p)
+	idx := len(f.workers) - 1
+	d := f.disp
+	f.mu.Unlock()
+	d.Join(p.URL())
+	return idx
+}
+
+// RestartCoordinator kills the coordinator — client connections severed,
+// dispatcher stopped — and brings up a fresh one on the same persist
+// directory. In-flight sweeps against the old instance die with their
+// connections; a re-issued sweep re-dispatches only cells missing from the
+// persisted results.
+func (f *Fleet) RestartCoordinator() error {
+	f.mu.Lock()
+	oldTS, oldD := f.coord, f.disp
+	f.retired = append(f.retired, oldD)
+	f.restarts++
+	f.mu.Unlock()
+
+	oldTS.CloseClientConnections()
+	oldTS.Close()
+	oldD.Stop()
+	return f.startCoordinator()
+}
+
+// Drive fires sched's events in order as the run-call clock passes their
+// thresholds, healing each disturbance after its Dur. The returned channel
+// closes when every event fired (or stop closed first).
+func (f *Fleet) Drive(sched Schedule, stop <-chan struct{}) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, ev := range sched.Events {
+			for f.runCalls.Load() < ev.AtRunCalls {
+				select {
+				case <-stop:
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+			f.fire(ev)
+		}
+	}()
+	return done
+}
+
+// fire applies one event and schedules its heal.
+func (f *Fleet) fire(ev Event) {
+	workers := f.Workers()
+	var p *Proxy
+	if ev.Worker >= 0 && ev.Worker < len(workers) {
+		p = workers[ev.Worker]
+	}
+	healAfter := func(fn func()) {
+		if ev.Dur <= 0 {
+			fn()
+			return
+		}
+		f.heals.Add(1)
+		time.AfterFunc(ev.Dur, func() {
+			defer f.heals.Done()
+			fn()
+		})
+	}
+	switch ev.Action {
+	case KillWorker:
+		if p == nil {
+			return
+		}
+		p.setDead(true)
+		healAfter(func() { p.setDead(false) })
+	case DelayWorker:
+		if p == nil {
+			return
+		}
+		p.setDelay(ev.Delay)
+		healAfter(func() { p.setDelay(0) })
+	case PartitionWorker:
+		if p == nil {
+			return
+		}
+		p.setPartitioned(true)
+		healAfter(func() { p.setPartitioned(false) })
+	case LeaveWorker:
+		if p == nil {
+			return
+		}
+		p.mu.Lock()
+		p.left = true
+		p.mu.Unlock()
+		f.Dispatcher().Leave(p.URL())
+		healAfter(func() {
+			p.mu.Lock()
+			p.left = false
+			p.mu.Unlock()
+			f.Dispatcher().Join(p.URL())
+		})
+	case JoinWorker:
+		f.AddWorker()
+	case RestartCoordinator:
+		// Errors here surface as the sweep never succeeding; the harness
+		// has no better channel mid-drive.
+		f.RestartCoordinator() //nolint:errcheck
+	}
+}
+
+// Quiesce waits for pending heals, then restores every proxy to
+// pass-through and re-joins any worker that is out of the fleet, leaving a
+// fully healthy fleet for steady-state verification.
+func (f *Fleet) Quiesce() {
+	f.heals.Wait()
+	d := f.Dispatcher()
+	members := make(map[string]bool)
+	for _, url := range d.Members() {
+		members[url] = true
+	}
+	for _, p := range f.Workers() {
+		p.heal()
+		p.mu.Lock()
+		p.left = false
+		p.mu.Unlock()
+		if !members[p.URL()] {
+			d.Join(p.URL())
+		}
+	}
+}
+
+// StolenTotal sums stolen-job counts across every coordinator generation.
+func (f *Fleet) StolenTotal() uint64 {
+	f.mu.Lock()
+	disps := append(append([]*fabric.Dispatcher(nil), f.retired...), f.disp)
+	f.mu.Unlock()
+	var total uint64
+	for _, d := range disps {
+		for _, w := range d.Dispositions() {
+			total += w.Stolen
+		}
+	}
+	return total
+}
+
+// ProgramBuildsTotal sums shared-program compilations across every
+// coordinator generation — the fleet-wide build count the memo is supposed
+// to hold at one per program.
+func (f *Fleet) ProgramBuildsTotal() (uint64, error) {
+	f.mu.Lock()
+	disps := append(append([]*fabric.Dispatcher(nil), f.retired...), f.disp)
+	f.mu.Unlock()
+	var total uint64
+	for _, d := range disps {
+		found := false
+		for _, fam := range d.FleetFamilies() {
+			if fam.Name != "mpsimd_fabric_program_builds_total" {
+				continue
+			}
+			for _, s := range fam.Samples {
+				v, err := strconv.ParseUint(s.Value, 10, 64)
+				if err != nil {
+					return 0, fmt.Errorf("bad %s sample %q: %w", fam.Name, s.Value, err)
+				}
+				total += v
+			}
+			found = true
+		}
+		if !found {
+			return 0, fmt.Errorf("dispatcher exports no mpsimd_fabric_program_builds_total")
+		}
+	}
+	return total, nil
+}
+
+// Close tears the whole fleet down.
+func (f *Fleet) Close() {
+	f.heals.Wait()
+	f.mu.Lock()
+	coord, disp := f.coord, f.disp
+	workers := append([]*Proxy(nil), f.workers...)
+	f.mu.Unlock()
+	if coord != nil {
+		coord.Close()
+	}
+	if disp != nil {
+		disp.Stop()
+	}
+	for _, p := range workers {
+		p.close()
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,21 +25,35 @@ const (
 	defaultFailThreshold  = 2
 	defaultHealthInterval = 5 * time.Second
 	defaultProbeTimeout   = 2 * time.Second
+	defaultWorkerSlots    = 2
+	defaultLeaseTTL       = 15 * time.Second
+
+	// maxPenalty caps the per-worker dispatch penalty that doubles on each
+	// failure; see markFailure.
+	maxPenalty = 2 * time.Second
+	// maxRetryBackoff caps the doubling re-dispatch delay of one job.
+	maxRetryBackoff = 5 * time.Second
 )
 
 // Options shapes a Dispatcher.
 type Options struct {
-	// Workers are the worker daemons' base URLs (e.g. http://host:9190).
-	// At least one is required.
+	// Workers are the static worker daemons' base URLs (e.g.
+	// http://host:9190). Static workers are permanent members: they never
+	// lease-expire. A fleet may start empty (AllowEmptyFleet) and be
+	// populated entirely by Join.
 	Workers []string
+	// AllowEmptyFleet permits New with zero static workers, for fleets
+	// built dynamically via /v1/fabric/join. Dispatching on an empty fleet
+	// fails with worker_failed.
+	AllowEmptyFleet bool
 	// Client performs all worker HTTP calls; nil uses a dedicated client
 	// with no overall timeout (job deadlines come from the request context).
 	Client *http.Client
 	// MaxAttempts bounds how many distinct workers one job may try
-	// (primary + retries); 0 means 3, capped at the worker count.
+	// (primary + retries); 0 means 3.
 	MaxAttempts int
-	// RetryBackoff is the sleep before the first retry, doubling per
-	// attempt; 0 means 100ms.
+	// RetryBackoff is the delay before a failed job is re-queued to its
+	// next fallback worker, doubling per attempt; 0 means 100ms.
 	RetryBackoff time.Duration
 	// FailThreshold marks a worker unhealthy after this many consecutive
 	// dispatch failures; 0 means 2. Unhealthy workers are deprioritized,
@@ -53,13 +68,33 @@ type Options struct {
 	// VirtualNodes is the per-worker point count on the hash ring; 0 uses
 	// the ring default.
 	VirtualNodes int
-	// Logger receives dispatch retry and health-transition logs; nil
-	// discards them.
+	// WorkerSlots is how many jobs the coordinator keeps in flight per
+	// worker (the runner count per member); 0 means 2. It should track the
+	// workers' own -workers pool size.
+	WorkerSlots int
+	// LeaseTTL is how long a dynamic member stays in the fleet without a
+	// join renewal; 0 means 15s. Static workers ignore it.
+	LeaseTTL time.Duration
+	// SelfURL is the coordinator's own externally reachable base URL,
+	// advertised to workers as the source for shared program bundles. Empty
+	// disables bundle sharing (workers build locally). Settable later via
+	// SetSelfURL.
+	SelfURL string
+	// PersistDir, when non-empty, persists built program bundles under
+	// PersistDir/programs so a restarted coordinator serves them without
+	// rebuilding.
+	PersistDir string
+	// Logger receives dispatch retry, membership, and health-transition
+	// logs; nil discards them.
 	Logger *slog.Logger
 }
 
-// worker is the per-worker dispatch accounting, all atomics so Dispatch
-// needs no lock.
+// worker is the per-worker dispatch accounting plus membership state.
+// Counters are atomics so the hot paths need no lock; membership fields
+// (member, static, leaseDeadline, stopRunners) are guarded by Dispatcher.mu.
+// A worker that leaves keeps its row (and its counters) so sweep
+// disposition deltas stay consistent across churn, and a rejoin revives
+// the same row.
 type worker struct {
 	url string
 
@@ -68,31 +103,52 @@ type worker struct {
 	retried        atomic.Uint64 // retry attempts sent here
 	retriedSuccess atomic.Uint64 // jobs rescued here after another worker failed
 	failed         atomic.Uint64 // jobs that exhausted every attempt (charged to the primary)
+	stolen         atomic.Uint64 // jobs this worker's runners stole from another queue
 
 	consecFails atomic.Int64
 	healthy     atomic.Bool
+	penaltyNS   atomic.Int64 // dispatch throttle, doubles on failure, zeroed on any success
+
+	// Guarded by Dispatcher.mu.
+	member        bool
+	static        bool
+	leaseDeadline time.Time
+	stopRunners   chan struct{}
 }
 
 // Dispatcher shards jobs across the worker fleet. It satisfies
-// server.Dispatcher.
+// server.Dispatcher, and via optional interfaces also the server's
+// Membership, ProgramProvider, and FleetReporter extension points.
+//
+// Lock order: mu before sched.mu. The ring and the workers map's
+// membership fields are guarded by mu; worker counters are atomics.
 type Dispatcher struct {
-	opts    Options
+	opts   Options
+	client *http.Client
+	log    *slog.Logger
+	sched  *scheduler
+	memo   *programMemo
+
+	mu      sync.RWMutex
 	ring    *Ring
-	client  *http.Client
-	log     *slog.Logger
 	workers map[string]*worker
+	selfURL string
+
+	joins         atomic.Uint64
+	leaves        atomic.Uint64
+	leaseExpiries atomic.Uint64
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
 }
 
-// New builds a Dispatcher over the given workers. It does not probe them;
-// call Start to run the background health loop.
+// New builds a Dispatcher over the given static workers. It does not probe
+// them; call Start to run the background health and lease loops.
 func New(opts Options) (*Dispatcher, error) {
 	ring := NewRing(opts.Workers, opts.VirtualNodes)
 	urls := ring.Workers()
-	if len(urls) == 0 {
+	if len(urls) == 0 && !opts.AllowEmptyFleet {
 		return nil, fmt.Errorf("fabric: no worker URLs")
 	}
 	if opts.MaxAttempts <= 0 {
@@ -110,6 +166,12 @@ func New(opts Options) (*Dispatcher, error) {
 	if opts.ProbeTimeout <= 0 {
 		opts.ProbeTimeout = defaultProbeTimeout
 	}
+	if opts.WorkerSlots <= 0 {
+		opts.WorkerSlots = defaultWorkerSlots
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = defaultLeaseTTL
+	}
 	client := opts.Client
 	if client == nil {
 		client = &http.Client{}
@@ -120,22 +182,51 @@ func New(opts Options) (*Dispatcher, error) {
 	}
 	d := &Dispatcher{
 		opts:    opts,
-		ring:    ring,
 		client:  client,
 		log:     log,
+		sched:   newScheduler(),
+		ring:    ring,
 		workers: make(map[string]*worker, len(urls)),
+		selfURL: opts.SelfURL,
 		stop:    make(chan struct{}),
 	}
+	d.memo = newProgramMemo(opts.PersistDir, log)
 	for _, url := range urls {
-		w := &worker{url: url}
+		w := &worker{url: url, member: true, static: true}
 		w.healthy.Store(true)
+		w.stopRunners = make(chan struct{})
 		d.workers[url] = w
+		d.startRunners(w)
 	}
 	return d, nil
 }
 
-// Start launches the background health loop. Safe to skip in tests that
-// drive CheckHealth directly.
+// SetSelfURL sets the coordinator's advertised base URL after construction
+// (tests learn their httptest URL only once the server exists).
+func (d *Dispatcher) SetSelfURL(url string) {
+	d.mu.Lock()
+	d.selfURL = url
+	d.mu.Unlock()
+}
+
+func (d *Dispatcher) getSelfURL() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.selfURL
+}
+
+// startRunners launches w's slot runners. Callers hold d.mu or own w
+// exclusively (New).
+func (d *Dispatcher) startRunners(w *worker) {
+	stop := w.stopRunners
+	for i := 0; i < d.opts.WorkerSlots; i++ {
+		d.wg.Add(1)
+		go d.runWorker(w, stop)
+	}
+}
+
+// Start launches the background health-probe and lease-expiry loops. Safe
+// to skip in tests that drive CheckHealth directly.
 func (d *Dispatcher) Start() {
 	d.wg.Add(1)
 	go func() {
@@ -151,31 +242,59 @@ func (d *Dispatcher) Start() {
 			}
 		}
 	}()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(d.opts.LeaseTTL / 4)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+				d.expireLeases()
+			}
+		}
+	}()
 }
 
-// Stop terminates the health loop and waits for it.
+// Stop terminates the background loops and all runners, failing any jobs
+// still queued so their waiters unblock, and waits for everything.
 func (d *Dispatcher) Stop() {
-	d.stopOnce.Do(func() { close(d.stop) })
+	d.stopOnce.Do(func() {
+		close(d.stop)
+		for _, j := range d.sched.close() {
+			d.fail(j)
+		}
+	})
 	d.wg.Wait()
 }
 
-// probeAll health-checks every worker concurrently.
+// probeAll health-checks every current member concurrently.
 func (d *Dispatcher) probeAll() {
+	d.mu.RLock()
+	urls := d.ring.Workers()
+	d.mu.RUnlock()
 	var wg sync.WaitGroup
-	for _, w := range d.workers {
+	for _, url := range urls {
 		wg.Add(1)
-		go func(w *worker) {
+		go func(url string) {
 			defer wg.Done()
-			d.CheckHealth(w.url)
-		}(w)
+			d.CheckHealth(url)
+		}(url)
 	}
 	wg.Wait()
 }
 
 // CheckHealth probes one worker's /v1/worker/health and updates its health
-// bit. It returns whether the worker answered ok.
+// bit. It returns whether the worker answered ok. A successful probe fully
+// clears the worker's failure state — consecutive-failure count and
+// dispatch penalty — so a worker that recovers between jobs is not
+// throttled on its next dispatch.
 func (d *Dispatcher) CheckHealth(url string) bool {
+	d.mu.RLock()
 	w := d.workers[url]
+	d.mu.RUnlock()
 	if w == nil {
 		return false
 	}
@@ -200,112 +319,232 @@ func (d *Dispatcher) CheckHealth(url string) bool {
 	return true
 }
 
+// markFailure records one failed call to w: the consecutive-failure count
+// feeds the health bit, and the dispatch penalty doubles so a
+// known-failing worker serves its backlog slowly — slow enough that
+// healthy workers steal it — instead of burning every job's retry budget
+// at full speed.
 func (d *Dispatcher) markFailure(w *worker) {
+	pen := time.Duration(w.penaltyNS.Load())
+	if pen == 0 {
+		pen = d.opts.RetryBackoff
+	} else {
+		pen *= 2
+	}
+	if pen > maxPenalty {
+		pen = maxPenalty
+	}
+	w.penaltyNS.Store(int64(pen))
 	if w.consecFails.Add(1) >= int64(d.opts.FailThreshold) && w.healthy.CompareAndSwap(true, false) {
 		d.log.Warn("fabric worker unhealthy", "worker", w.url)
 	}
 }
 
+// markSuccess clears w's failure state. Any success counts — a served job
+// or a bare health probe — so backoff decays the moment the worker is
+// observed alive, not only after it happens to serve a job.
 func (d *Dispatcher) markSuccess(w *worker) {
 	w.consecFails.Store(0)
+	w.penaltyNS.Store(0)
 	if w.healthy.CompareAndSwap(false, true) {
 		d.log.Info("fabric worker recovered", "worker", w.url)
 	}
 }
 
-// attemptOrder is the ring's preference order for key, partitioned so
-// healthy workers come first. Unhealthy workers stay in the list as last
-// resorts — with the whole fleet marked down, dispatching is still better
-// than refusing.
-func (d *Dispatcher) attemptOrder(key string) []*worker {
-	owners := d.ring.Owners(key)
-	order := make([]*worker, 0, len(owners))
-	var down []*worker
-	for _, url := range owners {
-		w := d.workers[url]
-		if w.healthy.Load() {
-			order = append(order, w)
-		} else {
-			down = append(down, w)
-		}
-	}
-	return append(order, down...)
-}
-
-// Dispatch runs one job on the fabric: primary worker by consistent hash,
-// then bounded retries on the remaining ring order with doubling backoff.
-// On success it returns the worker's canonical RunResponse bytes —
-// byte-identical to a local execution, so the coordinator's cache replays
-// exactly what a single node would have served.
-func (d *Dispatcher) Dispatch(ctx context.Context, spec server.JobSpec) ([]byte, error) {
-	order := d.attemptOrder(spec.Key())
-	attempts := d.opts.MaxAttempts
-	if attempts > len(order) {
-		attempts = len(order)
-	}
-	primary := order[0]
-	primary.dispatched.Add(1)
-
-	var lastErr error
-	backoff := d.opts.RetryBackoff
-	for i := 0; i < attempts; i++ {
-		if i > 0 {
-			select {
-			case <-time.After(backoff):
-				backoff *= 2
-			case <-ctx.Done():
-				primary.failed.Add(1)
-				return nil, ctx.Err()
-			}
-		}
-		w := order[i]
-		if i > 0 {
-			w.retried.Add(1)
-		}
-		data, err := d.post(ctx, w, spec)
-		if err == nil {
-			d.markSuccess(w)
-			if i == 0 {
-				w.completed.Add(1)
-			} else {
-				w.retriedSuccess.Add(1)
-			}
-			return data, nil
-		}
-		re, isRemote := err.(*remoteError)
-		if isRemote && re.retryable {
-			d.markFailure(w)
-			lastErr = err
-			d.log.Warn("fabric dispatch failed, retrying",
-				"worker", w.url, "attempt", i+1, "of", attempts,
-				"workload", spec.Workload, "model", spec.Model, "hier", spec.Hier,
-				"err", err)
+// assignee picks the next worker for key among current members, skipping
+// workers in tried: the first healthy owner in ring order, else the first
+// untried member at all (with the whole fleet marked down, dispatching is
+// still better than refusing). Returns nil if no untried member remains.
+func (d *Dispatcher) assignee(key string, tried map[string]bool) *worker {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var fallback *worker
+	for _, url := range d.ring.Owners(key) {
+		if tried[url] {
 			continue
 		}
-		// Permanent: the worker answered authoritatively (a 4xx, a
-		// deterministic job failure) or our own context died. The job is
-		// resolved — retrying elsewhere would reproduce the same answer.
-		if isRemote {
-			// The worker is alive and answering; only the job failed.
-			d.markSuccess(w)
-			err = re.err
+		w := d.workers[url]
+		if w == nil || !w.member {
+			continue
 		}
-		if i == 0 {
-			w.completed.Add(1)
-		} else {
-			w.retriedSuccess.Add(1)
+		if w.healthy.Load() {
+			return w
 		}
-		return nil, err
+		if fallback == nil {
+			fallback = w
+		}
 	}
-	primary.failed.Add(1)
-	msg := fmt.Sprintf("no fabric worker could run the job after %d attempts", attempts)
-	if re, ok := lastErr.(*remoteError); ok && re.err != nil {
+	return fallback
+}
+
+// Dispatch runs one job on the fabric. The job is queued to its primary
+// worker (first healthy ring owner of its content-addressed key); the
+// primary's runners drain their queue in order, and idle workers steal
+// from the longest backlog, so a skewed ring split levels out. Failed
+// attempts re-queue to the next ring owner with doubling backoff, up to
+// MaxAttempts distinct workers. On success it returns the worker's
+// canonical RunResponse bytes — byte-identical to a local execution, so
+// the coordinator's cache replays exactly what a single node would have
+// served.
+func (d *Dispatcher) Dispatch(ctx context.Context, spec server.JobSpec) ([]byte, error) {
+	key := spec.Key()
+	j := &pendingJob{
+		spec:  spec,
+		key:   key,
+		ctx:   ctx,
+		ref:   d.programRef(ctx, spec),
+		tried: make(map[string]bool),
+		res:   make(chan jobResult, 1),
+	}
+	w := d.assignee(key, nil)
+	if w == nil {
+		return nil, server.NewAPIError(http.StatusBadGateway, server.CodeWorkerFailed,
+			"no fabric workers available", "join workers via POST /v1/fabric/join")
+	}
+	j.primary = w
+	w.dispatched.Add(1)
+	if !d.sched.enqueue(w.url, j) {
+		d.fail(j)
+	}
+	select {
+	case r := <-j.res:
+		return r.data, r.err
+	case <-ctx.Done():
+		if j.resolved.CompareAndSwap(false, true) {
+			// Abandoned before any runner resolved it; a runner that later
+			// pops the job drops it on the resolved check.
+			w.failed.Add(1)
+			return nil, ctx.Err()
+		}
+		// A runner resolved concurrently; its send is already in flight.
+		r := <-j.res
+		return r.data, r.err
+	}
+}
+
+// runWorker is one worker slot: it pulls jobs assigned (or stolen) for w
+// until the worker leaves or the dispatcher stops.
+func (d *Dispatcher) runWorker(w *worker, stop <-chan struct{}) {
+	defer d.wg.Done()
+	for {
+		j := d.sched.next(w, stop)
+		if j == nil {
+			return
+		}
+		d.runJob(w, j)
+	}
+}
+
+// runJob executes one attempt of j on w and resolves or re-queues it.
+func (d *Dispatcher) runJob(w *worker, j *pendingJob) {
+	if j.resolved.Load() {
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		d.finish(w, j, nil, err)
+		return
+	}
+	if pen := time.Duration(w.penaltyNS.Load()); pen > 0 {
+		// Known-failing worker: serve its queue slowly so idle healthy
+		// workers steal the backlog instead.
+		select {
+		case <-time.After(pen):
+		case <-j.ctx.Done():
+			d.finish(w, j, nil, j.ctx.Err())
+			return
+		}
+	}
+	if j.attempts > 0 {
+		w.retried.Add(1)
+	}
+	data, err := d.post(j.ctx, w, j.spec, j.ref)
+	if err == nil {
+		d.markSuccess(w)
+		d.finish(w, j, data, nil)
+		return
+	}
+	re, isRemote := err.(*remoteError)
+	if isRemote && re.retryable {
+		d.markFailure(w)
+		j.tried[w.url] = true
+		j.attempts++
+		j.lastErr = err
+		d.log.Warn("fabric dispatch failed, retrying",
+			"worker", w.url, "attempt", j.attempts, "of", d.opts.MaxAttempts,
+			"workload", j.spec.Workload, "model", j.spec.Model, "hier", j.spec.Hier,
+			"err", err)
+		d.requeue(j)
+		return
+	}
+	// Permanent: the worker answered authoritatively (a 4xx, a
+	// deterministic job failure) or our own context died. The job is
+	// resolved — retrying elsewhere would reproduce the same answer.
+	if isRemote {
+		// The worker is alive and answering; only the job failed.
+		d.markSuccess(w)
+		err = re.err
+	}
+	d.finish(w, j, nil, err)
+}
+
+// finish resolves j on w, exactly once. The resolver worker is credited
+// with completed (first attempt) or retriedSuccess (after retries),
+// whether the result is success or a permanent error — either way the job
+// is accounted as resolved by that worker.
+func (d *Dispatcher) finish(w *worker, j *pendingJob, data []byte, err error) {
+	if !j.resolved.CompareAndSwap(false, true) {
+		return
+	}
+	if j.attempts == 0 {
+		w.completed.Add(1)
+	} else {
+		w.retriedSuccess.Add(1)
+	}
+	j.res <- jobResult{data: data, err: err}
+}
+
+// requeue schedules j's next attempt on its next untried ring owner after
+// a doubling backoff, or fails it when the attempt budget or the member
+// list is exhausted.
+func (d *Dispatcher) requeue(j *pendingJob) {
+	if j.attempts >= d.opts.MaxAttempts {
+		d.fail(j)
+		return
+	}
+	next := d.assignee(j.key, j.tried)
+	if next == nil {
+		d.fail(j)
+		return
+	}
+	backoff := d.opts.RetryBackoff << (j.attempts - 1)
+	if backoff > maxRetryBackoff {
+		backoff = maxRetryBackoff
+	}
+	url := next.url
+	time.AfterFunc(backoff, func() {
+		if j.resolved.Load() {
+			return
+		}
+		if !d.sched.enqueue(url, j) {
+			d.fail(j)
+		}
+	})
+}
+
+// fail resolves j as exhausted, charged to its primary.
+func (d *Dispatcher) fail(j *pendingJob) {
+	if !j.resolved.CompareAndSwap(false, true) {
+		return
+	}
+	j.primary.failed.Add(1)
+	msg := fmt.Sprintf("no fabric worker could run the job after %d attempts", j.attempts)
+	if re, ok := j.lastErr.(*remoteError); ok && re.err != nil {
 		msg = fmt.Sprintf("%s: last error: %v", msg, re.err)
-	} else if lastErr != nil {
-		msg = fmt.Sprintf("%s: last error: %v", msg, lastErr)
+	} else if j.lastErr != nil {
+		msg = fmt.Sprintf("%s: last error: %v", msg, j.lastErr)
 	}
-	return nil, server.NewAPIError(http.StatusBadGateway, server.CodeWorkerFailed, msg,
-		"check worker health at /v1/worker/health")
+	j.res <- jobResult{err: server.NewAPIError(http.StatusBadGateway, server.CodeWorkerFailed, msg,
+		"check worker health at /v1/worker/health")}
 }
 
 // remoteError is one failed worker call, classified for the retry loop.
@@ -320,9 +559,12 @@ func (e *remoteError) Error() string { return e.err.Error() }
 
 // post runs spec on one worker via POST /v1/run and returns the raw
 // response bytes. The request carries the coordinator's request ID so a
-// job can be traced across daemons.
-func (d *Dispatcher) post(ctx context.Context, w *worker, spec server.JobSpec) ([]byte, error) {
+// job can be traced across daemons, and — when the memo has the bundle —
+// a ProgramRef so the worker fetches the pre-built program instead of
+// compiling its own copy.
+func (d *Dispatcher) post(ctx context.Context, w *worker, spec server.JobSpec, ref *server.ProgramRef) ([]byte, error) {
 	rr := spec.RunRequest()
+	rr.ProgramRef = ref
 	body, err := json.Marshal(&rr)
 	if err != nil {
 		return nil, err
@@ -381,30 +623,37 @@ func truncate(b []byte, n int) string {
 }
 
 // Dispositions snapshots cumulative per-worker accounting, keyed by worker
-// URL. Once a sweep settles, Dispatched == Completed + RetriedSuccess +
-// Failed summed over the fleet.
+// URL. Departed workers keep their rows (Member false) so sweep deltas
+// stay consistent across churn. Once a sweep settles, Dispatched ==
+// Completed + RetriedSuccess + Failed summed over the fleet.
 func (d *Dispatcher) Dispositions() map[string]server.WorkerDisposition {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make(map[string]server.WorkerDisposition, len(d.workers))
 	for url, w := range d.workers {
 		out[url] = server.WorkerDisposition{
 			Healthy:        w.healthy.Load(),
+			Member:         w.member,
 			Dispatched:     w.dispatched.Load(),
 			Completed:      w.completed.Load(),
 			Retried:        w.retried.Load(),
 			RetriedSuccess: w.retriedSuccess.Load(),
 			Failed:         w.failed.Load(),
+			Stolen:         w.stolen.Load(),
 		}
 	}
 	return out
 }
 
-// WorkerFamilies scrapes every healthy worker's /metrics, relabels the
-// mpsimd_* families to mpsimd_worker_* with a `worker` label, and merges
-// the fleet into one family list. Scrapes run concurrently under the probe
-// timeout; a worker that fails to answer is simply absent from this
-// scrape (and its absence is visible via mpsimd_fabric_worker_healthy).
+// WorkerFamilies scrapes every member's /metrics, relabels the mpsimd_*
+// families to mpsimd_worker_* with a `worker` label, and merges the fleet
+// into one family list. Scrapes run concurrently under the probe timeout;
+// a worker that fails to answer is simply absent from this scrape (and its
+// absence is visible via mpsimd_fabric_worker_healthy).
 func (d *Dispatcher) WorkerFamilies() []obs.TextFamily {
+	d.mu.RLock()
 	urls := d.ring.Workers()
+	d.mu.RUnlock()
 	sort.Strings(urls)
 	groups := make([][]obs.TextFamily, len(urls))
 	var wg sync.WaitGroup
@@ -447,4 +696,33 @@ func (d *Dispatcher) scrapeWorker(url string) []obs.TextFamily {
 	// families would collide with the coordinator's and say nothing about
 	// the fleet.
 	return obs.RelabelFamilies(fams, "mpsimd_", "mpsimd_worker_", "worker", url)
+}
+
+// FleetFamilies exposes the coordinator's own fleet-level metrics:
+// membership churn, lease expiries, member count, and program-memo
+// activity. The server package picks this up via its FleetReporter
+// optional interface.
+func (d *Dispatcher) FleetFamilies() []obs.TextFamily {
+	d.mu.RLock()
+	members := d.ring.Len()
+	d.mu.RUnlock()
+	gauge := func(name, help string, v uint64) obs.TextFamily {
+		return obs.TextFamily{Name: name, Help: help, Kind: "gauge",
+			Samples: []obs.TextSample{{Value: strconv.FormatUint(v, 10)}}}
+	}
+	counter := func(name, help string, v uint64) obs.TextFamily {
+		return obs.TextFamily{Name: name, Help: help, Kind: "counter",
+			Samples: []obs.TextSample{{Value: strconv.FormatUint(v, 10)}}}
+	}
+	fams := []obs.TextFamily{
+		gauge("mpsimd_fabric_members",
+			"Current worker-fleet member count.", uint64(members)),
+		counter("mpsimd_fabric_joins_total",
+			"Worker joins accepted (first joins, not lease renewals).", d.joins.Load()),
+		counter("mpsimd_fabric_leaves_total",
+			"Worker leaves, voluntary and lease-expired.", d.leaves.Load()),
+		counter("mpsimd_fabric_lease_expiries_total",
+			"Dynamic members removed because their lease expired.", d.leaseExpiries.Load()),
+	}
+	return append(fams, d.memo.families()...)
 }

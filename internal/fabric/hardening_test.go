@@ -1,0 +1,453 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"multipass/internal/compile"
+	"multipass/internal/server"
+)
+
+// testSpec is one normalized job spec for unit tests that never execute a
+// real simulation (canned workers answer anything).
+func testSpec(workload, model, hier string) server.JobSpec {
+	def := compile.DefaultOptions()
+	return server.JobSpec{
+		Workload: workload, Model: model, Hier: hier, Scale: 1,
+		Schedule: def.Schedule, InsertRestarts: def.InsertRestarts, Unroll: def.Unroll,
+	}
+}
+
+// newCannedWorker is a fake worker: health always ok, every /v1/run answers
+// 200 with fixed bytes after delay. It lets dispatch-path tests control
+// timing exactly without running simulations.
+func newCannedWorker(t *testing.T, delay time.Duration) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/worker/health":
+			w.Write([]byte(`{"status":"ok"}`))
+		case "/v1/run":
+			io.Copy(io.Discard, r.Body)
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			w.Write([]byte(`{"ok":true}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestProbeSuccessDecaysPenalty is the regression test for the backoff
+// decay fix: a worker that accumulated dispatch penalty through failures
+// must have that penalty (and its failure count) fully cleared by a bare
+// successful health probe — not only by serving a job. Before the fix the
+// penalty survived probe-only recovery, so an idle recovered worker was
+// still throttled on its next dispatch.
+func TestProbeSuccessDecaysPenalty(t *testing.T) {
+	ts := newCannedWorker(t, 0)
+	d, err := New(Options{Workers: []string{ts.URL}, RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	w := d.workers[ts.URL]
+	d.markFailure(w)
+	d.markFailure(w)
+	if w.penaltyNS.Load() == 0 {
+		t.Fatal("failures did not accumulate a dispatch penalty")
+	}
+	if w.healthy.Load() {
+		t.Fatal("worker still healthy after reaching the failure threshold")
+	}
+
+	if !d.CheckHealth(ts.URL) {
+		t.Fatal("health probe of a live worker failed")
+	}
+	if pen := w.penaltyNS.Load(); pen != 0 {
+		t.Errorf("penalty = %dns after a successful probe, want 0: probe-only recovery must decay backoff", pen)
+	}
+	if n := w.consecFails.Load(); n != 0 {
+		t.Errorf("consecFails = %d after a successful probe, want 0", n)
+	}
+	if !w.healthy.Load() {
+		t.Error("worker not restored to healthy by a successful probe")
+	}
+}
+
+// TestStealRebalance: 24 jobs that all hash to the same primary worker —
+// the worst possible ring split — still level out across an equal-speed
+// two-worker fleet, because the idle worker steals from the primary's
+// backlog. Pinned: at least one steal happened, and the resolution split is
+// near-even even though the dispatch split was 24/0.
+func TestStealRebalance(t *testing.T) {
+	a := newCannedWorker(t, 20*time.Millisecond)
+	b := newCannedWorker(t, 20*time.Millisecond)
+	d, err := New(Options{Workers: []string{a.URL, b.URL}, WorkerSlots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	spec := testSpec("crafty", "inorder", "base")
+	const jobs = 24
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := d.Dispatch(context.Background(), spec); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	disp := d.Dispositions()
+	ra := disp[a.URL].Completed + disp[a.URL].RetriedSuccess
+	rb := disp[b.URL].Completed + disp[b.URL].RetriedSuccess
+	stolen := disp[a.URL].Stolen + disp[b.URL].Stolen
+	if ra+rb != jobs {
+		t.Fatalf("resolved %d+%d, want %d", ra, rb, jobs)
+	}
+	if stolen == 0 {
+		t.Error("stolen = 0: the idle worker never drained the primary's backlog")
+	}
+	min := ra
+	if rb < min {
+		min = rb
+	}
+	if min < 8 {
+		t.Errorf("resolution split %d/%d despite work stealing, want the smaller side >= 8", ra, rb)
+	}
+}
+
+// TestDynamicMembershipDispatch drives the Join/Leave lifecycle directly:
+// an empty fleet refuses jobs, a joined worker serves them, renewals are
+// not re-joins, a departed worker keeps its (non-member) accounting row,
+// and dispatch keeps working across the churn.
+func TestDynamicMembershipDispatch(t *testing.T) {
+	d, err := New(Options{AllowEmptyFleet: true, RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	ctx := context.Background()
+	spec := testSpec("crafty", "inorder", "base")
+
+	if _, err := d.Dispatch(ctx, spec); err == nil {
+		t.Fatal("dispatch on an empty fleet succeeded")
+	}
+
+	a := newCannedWorker(t, 0)
+	ttl, members := d.Join(a.URL)
+	if ttl <= 0 || len(members) != 1 || members[0] != a.URL {
+		t.Fatalf("Join = (%v, %v)", ttl, members)
+	}
+	if _, err := d.Dispatch(ctx, spec); err != nil {
+		t.Fatalf("dispatch after join: %v", err)
+	}
+
+	b := newCannedWorker(t, 0)
+	d.Join(b.URL)
+	d.Join(a.URL) // lease renewal, not a new join
+	if got := d.joins.Load(); got != 2 {
+		t.Errorf("joins = %d after two joins and one renewal, want 2", got)
+	}
+
+	if !d.Leave(a.URL) {
+		t.Fatal("Leave of a member returned false")
+	}
+	if d.Leave(a.URL) {
+		t.Fatal("second Leave of the same worker returned true, want idempotent false")
+	}
+	if m := d.Members(); len(m) != 1 || m[0] != b.URL {
+		t.Fatalf("members after leave = %v, want [%s]", m, b.URL)
+	}
+	row, ok := d.Dispositions()[a.URL]
+	if !ok {
+		t.Fatal("departed worker lost its accounting row")
+	}
+	if row.Member {
+		t.Error("departed worker still marked as a member")
+	}
+	if _, err := d.Dispatch(ctx, spec); err != nil {
+		t.Fatalf("dispatch after leave: %v", err)
+	}
+}
+
+// TestLeaseExpiry: a dynamic member that stops renewing is removed when its
+// lease lapses; renewals keep it alive; static workers never expire.
+func TestLeaseExpiry(t *testing.T) {
+	static := newCannedWorker(t, 0)
+	dyn := newCannedWorker(t, 0)
+	d, err := New(Options{Workers: []string{static.URL}, LeaseTTL: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	d.Join(dyn.URL)
+	// Renewals inside the TTL keep the member alive.
+	time.Sleep(25 * time.Millisecond)
+	d.Join(dyn.URL)
+	time.Sleep(25 * time.Millisecond)
+	d.expireLeases()
+	if m := d.Members(); len(m) != 2 {
+		t.Fatalf("renewing member expired: members = %v", m)
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	d.expireLeases()
+	m := d.Members()
+	if len(m) != 1 || m[0] != static.URL {
+		t.Fatalf("members after lease lapse = %v, want only the static worker", m)
+	}
+	if got := d.leaseExpiries.Load(); got != 1 {
+		t.Errorf("leaseExpiries = %d, want 1", got)
+	}
+}
+
+// TestLeaveReassignsBacklog: jobs queued on a worker that leaves mid-sweep
+// are reassigned (or stolen) and every one of them completes — leaving
+// never strands or fails queued work while another member remains.
+func TestLeaveReassignsBacklog(t *testing.T) {
+	a := newCannedWorker(t, 40*time.Millisecond)
+	b := newCannedWorker(t, 40*time.Millisecond)
+	d, err := New(Options{Workers: []string{a.URL, b.URL}, WorkerSlots: 1, RetryBackoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+
+	spec := testSpec("gzip", "multipass", "config1")
+	primary := d.assignee(spec.Key(), nil).url
+
+	const jobs = 12
+	errs := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		go func() {
+			_, err := d.Dispatch(context.Background(), spec)
+			errs <- err
+		}()
+	}
+	// Let the backlog form on the primary, then yank it out of the fleet.
+	time.Sleep(15 * time.Millisecond)
+	d.Leave(primary)
+
+	for i := 0; i < jobs; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("job failed across the leave: %v", err)
+		}
+	}
+	var failed uint64
+	for _, w := range d.Dispositions() {
+		failed += w.Failed
+	}
+	if failed != 0 {
+		t.Errorf("failed = %d, want 0: the remaining member covers the backlog", failed)
+	}
+	if m := d.Members(); len(m) != 1 || m[0] == primary {
+		t.Fatalf("members after leave = %v", m)
+	}
+}
+
+// TestSharedProgramMemo is the fleet-wide build-once guarantee: a sweep
+// over two workloads compiles exactly two programs — both on the
+// coordinator — and every worker fetches its pre-built bundle instead of
+// compiling its own, without perturbing the byte-identical sweep result.
+func TestSharedProgramMemo(t *testing.T) {
+	standalone := newWorker(t)
+	w1, w2 := newWorker(t), newWorker(t)
+	d, coord := newCoordinator(t, []string{w1.URL, w2.URL})
+	// The coordinator's advertised URL is only known once httptest picks a
+	// port; setting it turns bundle sharing on.
+	d.SetSelfURL(coord.URL)
+
+	req := server.SweepRequest{
+		Workloads: []string{"crafty", "gzip"},
+		Models:    []string{"inorder", "multipass"},
+		Hiers:     []string{"base", "config1", "config2"},
+	}
+	single := runSweep(t, standalone.URL, req)
+	sharded := runSweep(t, coord.URL, req)
+	if !bytes.Equal(single, sharded) {
+		t.Fatal("memo-backed sweep diverges from single-node")
+	}
+
+	if got := d.memo.builds.Load(); got != 2 {
+		t.Errorf("coordinator built %d programs, want exactly 1 per workload (2)", got)
+	}
+	if d.memo.serves.Load() == 0 {
+		t.Error("coordinator served no bundles: workers built locally")
+	}
+	var fetched uint64
+	for _, w := range []*httptest.Server{w1, w2} {
+		resp, err := http.Get(w.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st server.StatsResponse
+		if err := json.Unmarshal(readBody(t, resp), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.ProgramsBuilt != 0 {
+			t.Errorf("worker %s compiled %d programs itself, want 0 (fetch from coordinator)",
+				w.URL, st.ProgramsBuilt)
+		}
+		fetched += st.ProgramsFetched
+	}
+	if fetched < 2 {
+		t.Errorf("fleet fetched %d bundles, want >= 2 (each workload's program at least once)", fetched)
+	}
+}
+
+// TestMemoPersistRestore: program bundles built under a persist dir are
+// restored — decode-checked, not rebuilt — by the next coordinator process
+// on the same dir.
+func TestMemoPersistRestore(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec("crafty", "inorder", "base")
+	key := server.ProgramKey(spec)
+
+	d1, err := New(Options{AllowEmptyFleet: true, PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := d1.memo.ensure(spec)
+	<-e.done
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	d1.Stop()
+
+	d2, err := New(Options{AllowEmptyFleet: true, PersistDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d2.Stop)
+	if got := d2.memo.restores.Load(); got != 1 {
+		t.Fatalf("restores = %d, want 1", got)
+	}
+	data, ok := d2.memo.bundle(key)
+	if !ok {
+		t.Fatal("restored bundle not served by key")
+	}
+	if _, _, err := server.DecodeProgramBundle(data); err != nil {
+		t.Fatalf("restored bundle does not decode: %v", err)
+	}
+	// ensure() on a restored program must not rebuild.
+	e2 := d2.memo.ensure(spec)
+	<-e2.done
+	if e2.err != nil {
+		t.Fatal(e2.err)
+	}
+	if got := d2.memo.builds.Load(); got != 0 {
+		t.Errorf("restored coordinator rebuilt %d programs, want 0", got)
+	}
+}
+
+// newDynamicCoordinator wires an empty-fleet Dispatcher into a
+// coordinator-mode server, for tests that populate the fleet over HTTP.
+func newDynamicCoordinator(t *testing.T) (*Dispatcher, *httptest.Server) {
+	t.Helper()
+	d, err := New(Options{AllowEmptyFleet: true, RetryBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	ts := httptest.NewServer(server.New(server.Config{
+		Workers: 4, Role: "coordinator", Dispatcher: d,
+	}).Handler())
+	t.Cleanup(ts.Close)
+	return d, ts
+}
+
+// TestFabricEndpointsHTTP covers the membership wire protocol: join grants
+// a lease and lists the fleet, a joined fleet serves sweeps byte-identical
+// to single-node, leave is idempotent, malformed URLs are rejected with
+// bad_join, non-coordinators answer not_coordinator, and unknown program
+// keys answer unknown_program.
+func TestFabricEndpointsHTTP(t *testing.T) {
+	standalone := newWorker(t)
+	_, coord := newDynamicCoordinator(t)
+	w1, w2 := newWorker(t), newWorker(t)
+
+	join := func(url string) (*http.Response, server.JoinResponse) {
+		resp := postJSON(t, coord.URL+"/v1/fabric/join", server.JoinRequest{URL: url})
+		var jr server.JoinResponse
+		body := readBody(t, resp)
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, &jr); err != nil {
+				t.Fatalf("join response %s: %v", body, err)
+			}
+		}
+		return resp, jr
+	}
+
+	resp, jr := join(w1.URL)
+	if resp.StatusCode != http.StatusOK || jr.TTLMS <= 0 || len(jr.Members) != 1 {
+		t.Fatalf("join = status %d, %+v", resp.StatusCode, jr)
+	}
+	if _, jr = join(w2.URL); len(jr.Members) != 2 {
+		t.Fatalf("second join members = %v", jr.Members)
+	}
+
+	req := server.SweepRequest{
+		Workloads: []string{"crafty", "gzip"},
+		Models:    []string{"inorder", "multipass"},
+		Hiers:     []string{"base", "config1", "config2"},
+	}
+	single := runSweep(t, standalone.URL, req)
+	sharded := runSweep(t, coord.URL, req)
+	if !bytes.Equal(single, sharded) {
+		t.Fatal("sweep over an HTTP-joined fleet diverges from single-node")
+	}
+
+	// Malformed worker URL: rejected before touching the fleet.
+	resp = postJSON(t, coord.URL+"/v1/fabric/join", server.JoinRequest{URL: "not a url"})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest || !bytes.Contains(body, []byte(server.CodeBadJoin)) {
+		t.Errorf("bad join = status %d, body %s", resp.StatusCode, body)
+	}
+
+	// Fabric endpoints on a plain worker: not a coordinator.
+	resp = postJSON(t, w1.URL+"/v1/fabric/join", server.JoinRequest{URL: w2.URL})
+	body = readBody(t, resp)
+	if resp.StatusCode != http.StatusNotFound || !bytes.Contains(body, []byte(server.CodeNotCoordinator)) {
+		t.Errorf("join on a worker = status %d, body %s", resp.StatusCode, body)
+	}
+
+	// Unknown program key.
+	presp, err := http.Get(coord.URL + "/v1/fabric/program?key=feedfeed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readBody(t, presp)
+	if presp.StatusCode != http.StatusNotFound || !bytes.Contains(body, []byte(server.CodeUnknownProgram)) {
+		t.Errorf("unknown program = status %d, body %s", presp.StatusCode, body)
+	}
+
+	// Leave is idempotent: both posts answer 200, the fleet shrinks once.
+	for i := 0; i < 2; i++ {
+		resp = postJSON(t, coord.URL+"/v1/fabric/leave", server.JoinRequest{URL: w2.URL})
+		var lr server.JoinResponse
+		if err := json.Unmarshal(readBody(t, resp), &lr); err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("leave #%d = status %d, err %v", i, resp.StatusCode, err)
+		}
+		if len(lr.Members) != 1 || lr.Members[0] != w1.URL {
+			t.Fatalf("leave #%d members = %v", i, lr.Members)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package fabric
+
+import (
+	"strings"
+	"time"
+)
+
+// Join adds url to the fleet, or renews its lease if it is already a
+// member. A joining worker gets its virtual nodes placed on the ring —
+// moving only the keys those nodes now own — and its slot runners started,
+// all without disturbing in-flight jobs. Rejoining after a leave revives
+// the worker's existing accounting row. Join never fails; URL validation
+// is the caller's job (the server's join handler rejects malformed URLs
+// with bad_join before calling this).
+//
+// The returned TTL is the lease the worker must renew within (renewal is
+// simply another Join); the member list is the fleet after the join.
+func (d *Dispatcher) Join(url string) (time.Duration, []string) {
+	url = strings.TrimRight(url, "/")
+	d.mu.Lock()
+	w := d.workers[url]
+	if w == nil {
+		w = &worker{url: url}
+		d.workers[url] = w
+	}
+	renewal := w.member
+	if !w.member {
+		w.member = true
+		// A joiner starts with a clean slate: whatever failure state it
+		// accumulated before leaving says nothing about the new process.
+		w.healthy.Store(true)
+		w.consecFails.Store(0)
+		w.penaltyNS.Store(0)
+		d.ring.Add(url)
+		w.stopRunners = make(chan struct{})
+		d.startRunners(w)
+		d.joins.Add(1)
+	}
+	w.leaseDeadline = time.Now().Add(d.opts.LeaseTTL)
+	members := d.ring.Workers()
+	d.mu.Unlock()
+	if !renewal {
+		d.log.Info("fabric worker joined", "worker", url, "members", len(members))
+	}
+	return d.opts.LeaseTTL, members
+}
+
+// Leave removes url from the fleet: its virtual nodes come off the ring
+// (moving only the keys it owned), its runners stop after their current
+// job, and its queued backlog is reassigned by ring order among the
+// remaining members. The worker's accounting row survives so sweep
+// disposition deltas stay consistent; a later Join revives it. Returns
+// false if url was not a member.
+func (d *Dispatcher) Leave(url string) bool {
+	url = strings.TrimRight(url, "/")
+	d.mu.Lock()
+	w := d.workers[url]
+	if w == nil || !w.member {
+		d.mu.Unlock()
+		return false
+	}
+	w.member = false
+	w.leaseDeadline = time.Time{}
+	d.ring.Remove(url)
+	close(w.stopRunners)
+	d.leaves.Add(1)
+	members := d.ring.Len()
+	d.mu.Unlock()
+
+	// Reassign the departed worker's backlog. A job enqueued to the old
+	// URL in the narrow window after this drain is still rescued: healthy
+	// runners steal from any non-empty queue, member or not.
+	for _, j := range d.sched.take(url) {
+		if j == nil || j.resolved.Load() {
+			continue
+		}
+		j.tried[url] = true
+		if next := d.assignee(j.key, j.tried); next != nil {
+			if !d.sched.enqueue(next.url, j) {
+				d.fail(j)
+			}
+		} else {
+			d.fail(j)
+		}
+	}
+	d.log.Info("fabric worker left", "worker", url, "members", members)
+	return true
+}
+
+// expireLeases removes dynamic members whose lease lapsed. Static workers
+// (from the -coordinator flag) have no lease and never expire — for them
+// the health loop alone governs dispatch preference.
+func (d *Dispatcher) expireLeases() {
+	now := time.Now()
+	d.mu.RLock()
+	var expired []string
+	for url, w := range d.workers {
+		if w.member && !w.static && !w.leaseDeadline.IsZero() && now.After(w.leaseDeadline) {
+			expired = append(expired, url)
+		}
+	}
+	d.mu.RUnlock()
+	for _, url := range expired {
+		// Re-check under Leave's write lock via its member test; a renewal
+		// racing this loop wins by ordering (Join holds mu while extending
+		// the deadline, but once chosen here the leave proceeds — the
+		// worker simply rejoins on its next heartbeat).
+		if d.Leave(url) {
+			d.leaseExpiries.Add(1)
+			d.log.Warn("fabric worker lease expired", "worker", url)
+		}
+	}
+}
+
+// Members returns the current fleet member URLs, insertion order.
+func (d *Dispatcher) Members() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.ring.Workers()
+}

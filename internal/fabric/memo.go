@@ -1,0 +1,215 @@
+package fabric
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"multipass/internal/obs"
+	"multipass/internal/server"
+	"multipass/internal/workload"
+)
+
+// memoEntry is one program bundle being (or already) built; done closes
+// when data/sum/err are final.
+type memoEntry struct {
+	done chan struct{}
+	data []byte // encoded bundle (server.EncodeProgramBundle)
+	sum  string // hex SHA-256 of data
+	err  error
+}
+
+// programMemo is the coordinator's shared program-build cache: each
+// distinct program identity (workload, scale, compile options — see
+// server.ProgramKey) compiles exactly once per fleet, no matter how many
+// workers or sweep cells need it. Workers fetch the encoded bundle via
+// GET /v1/fabric/program and verify it against the sum the coordinator
+// advertises in each job's ProgramRef. With a persist dir, bundles
+// survive coordinator restarts (restored, not rebuilt).
+type programMemo struct {
+	dir string // "" disables persistence
+	log *slog.Logger
+
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+
+	builds   atomic.Uint64 // programs compiled by this coordinator
+	restores atomic.Uint64 // bundles restored from the persist dir
+	serves   atomic.Uint64 // bundle fetches served to workers
+}
+
+func newProgramMemo(persistDir string, log *slog.Logger) *programMemo {
+	m := &programMemo{log: log, entries: make(map[string]*memoEntry)}
+	if persistDir != "" {
+		dir := filepath.Join(persistDir, "programs")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Warn("program persist dir unavailable", "dir", dir, "err", err)
+		} else {
+			m.dir = dir
+			m.restore()
+		}
+	}
+	return m
+}
+
+// restore loads previously persisted bundles. Each is decode-checked so a
+// torn or stale file is skipped (and will simply be rebuilt on demand).
+func (m *programMemo) restore() {
+	des, err := os.ReadDir(m.dir)
+	if err != nil {
+		return
+	}
+	for _, de := range des {
+		key := de.Name()
+		if de.IsDir() || len(key) != 64 {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(m.dir, key))
+		if err != nil {
+			continue
+		}
+		if _, _, err := server.DecodeProgramBundle(data); err != nil {
+			m.log.Warn("discarding undecodable persisted program bundle", "key", key, "err", err)
+			continue
+		}
+		sum := sha256.Sum256(data)
+		e := &memoEntry{done: make(chan struct{}), data: data, sum: hex.EncodeToString(sum[:])}
+		close(e.done)
+		m.entries[key] = e
+		m.restores.Add(1)
+	}
+	if n := m.restores.Load(); n > 0 {
+		m.log.Info("restored persisted program bundles", "count", n)
+	}
+}
+
+// ensure returns the (possibly still building) entry for spec's program,
+// starting the build on first use.
+func (m *programMemo) ensure(spec server.JobSpec) *memoEntry {
+	key := server.ProgramKey(spec)
+	m.mu.Lock()
+	e := m.entries[key]
+	if e == nil {
+		e = &memoEntry{done: make(chan struct{})}
+		m.entries[key] = e
+		go m.build(e, key, spec)
+	}
+	m.mu.Unlock()
+	return e
+}
+
+// build compiles one program, encodes the bundle, and persists it.
+func (m *programMemo) build(e *memoEntry, key string, spec server.JobSpec) {
+	defer close(e.done)
+	w, ok := workload.ByName(spec.Workload)
+	if !ok {
+		e.err = fmt.Errorf("unknown workload %q", spec.Workload)
+		return
+	}
+	p, image, err := workload.Program(w, spec.Scale, spec.CompileOptions())
+	if err != nil {
+		e.err = err
+		return
+	}
+	data, err := server.EncodeProgramBundle(p, image)
+	if err != nil {
+		e.err = err
+		return
+	}
+	sum := sha256.Sum256(data)
+	e.data, e.sum = data, hex.EncodeToString(sum[:])
+	m.builds.Add(1)
+	if m.dir != "" {
+		persistBundle(filepath.Join(m.dir, key), data)
+	}
+	m.log.Info("built shared program bundle",
+		"workload", spec.Workload, "scale", spec.Scale, "bytes", len(data))
+}
+
+// persistBundle writes data atomically (tmp + rename), best-effort.
+func persistBundle(path string, data []byte) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(name, path) != nil {
+		os.Remove(name)
+	}
+}
+
+// bundle returns a finished bundle by key, or ok=false if unknown or
+// still building (a worker retrying its fetch will find it once built).
+func (m *programMemo) bundle(key string) (data []byte, ok bool) {
+	m.mu.Lock()
+	e := m.entries[key]
+	m.mu.Unlock()
+	if e == nil {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+	default:
+		return nil, false
+	}
+	if e.err != nil {
+		return nil, false
+	}
+	return e.data, true
+}
+
+func (m *programMemo) families() []obs.TextFamily {
+	counter := func(name, help string, v uint64) obs.TextFamily {
+		return obs.TextFamily{Name: name, Help: help, Kind: "counter",
+			Samples: []obs.TextSample{{Value: strconv.FormatUint(v, 10)}}}
+	}
+	return []obs.TextFamily{
+		counter("mpsimd_fabric_program_builds_total",
+			"Shared program bundles this coordinator compiled.", m.builds.Load()),
+		counter("mpsimd_fabric_program_restores_total",
+			"Shared program bundles restored from the persist directory.", m.restores.Load()),
+		counter("mpsimd_fabric_program_serves_total",
+			"Program-bundle fetches served to workers.", m.serves.Load()),
+	}
+}
+
+// programRef resolves the shared-program pointer attached to dispatched
+// jobs: it kicks off (or joins) the build for spec's program and waits for
+// it under ctx. It returns nil — meaning "worker builds locally" — when
+// bundle sharing is off (no SelfURL), the build failed, or ctx expired
+// first; the memo protocol never fails a job.
+func (d *Dispatcher) programRef(ctx context.Context, spec server.JobSpec) *server.ProgramRef {
+	self := d.getSelfURL()
+	if self == "" {
+		return nil
+	}
+	e := d.memo.ensure(spec)
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		return nil
+	}
+	if e.err != nil {
+		return nil
+	}
+	return &server.ProgramRef{Source: self, Key: server.ProgramKey(spec), Sum: e.sum}
+}
+
+// ProgramBundle serves one built bundle to a fetching worker; it
+// implements the server's ProgramProvider optional interface.
+func (d *Dispatcher) ProgramBundle(key string) ([]byte, bool) {
+	data, ok := d.memo.bundle(key)
+	if ok {
+		d.memo.serves.Add(1)
+	}
+	return data, ok
+}

@@ -1,9 +1,10 @@
 // Package fabric is the coordinator side of distributed mpsimd: it shards
 // jobs across worker daemons by consistent hashing on the content-addressed
-// job key, retries jobs away from dead or failing workers with bounded
-// backoff, and federates the workers' /metrics into the coordinator's
-// exposition. It implements server.Dispatcher; the server package never
-// imports it.
+// job key, balances skewed shards with pull-based work stealing, retries
+// jobs away from dead or failing workers with bounded backoff, lets workers
+// join and leave a live fleet under a heartbeat lease, and federates the
+// workers' /metrics into the coordinator's exposition. It implements
+// server.Dispatcher; the server package never imports it.
 package fabric
 
 import (
@@ -13,19 +14,26 @@ import (
 	"strconv"
 )
 
-// defaultVirtualNodes is the per-worker point count on the ring. High
-// enough that a three-worker fabric shards a 60-cell grid roughly evenly;
-// cheap enough that building the ring is negligible.
-const defaultVirtualNodes = 64
+// defaultVirtualNodes is the per-worker point count on the ring. Raised from
+// 64 (which split the standard 24-cell grid 10/14 across two workers) to
+// 128, which splits the same grid 12/12; the regression test in ring_test.go
+// pins the split at >= 11/13. Building and mutating the ring stays
+// negligible at this size.
+const defaultVirtualNodes = 128
 
 // Ring is a consistent-hash ring over worker URLs. Jobs hash to the first
 // point clockwise of their key, so each worker owns a stable slice of the
 // key space and its result cache stays hot for that slice across sweeps —
 // and adding or removing a worker only moves the keys adjacent to its
-// points, not the whole assignment.
+// points, not the whole assignment. Add and Remove re-place exactly one
+// worker's virtual nodes, so a fleet grown incrementally is point-for-point
+// identical to one built in a single NewRing call.
+//
+// Ring is not goroutine-safe; the Dispatcher guards it.
 type Ring struct {
 	points []ringPoint // sorted by hash
 	urls   []string    // distinct workers, insertion order
+	vnodes int         // per-worker point count
 }
 
 type ringPoint struct {
@@ -39,21 +47,63 @@ func NewRing(urls []string, vnodes int) *Ring {
 	if vnodes <= 0 {
 		vnodes = defaultVirtualNodes
 	}
-	r := &Ring{}
-	seen := make(map[string]bool, len(urls))
+	r := &Ring{vnodes: vnodes}
 	for _, url := range urls {
-		if url == "" || seen[url] {
-			continue
-		}
-		seen[url] = true
-		r.urls = append(r.urls, url)
-		for i := 0; i < vnodes; i++ {
-			r.points = append(r.points, ringPoint{
-				hash: ringHash(url + "#" + strconv.Itoa(i)),
-				url:  url,
-			})
+		r.Add(url)
+	}
+	return r
+}
+
+// Add places url's virtual nodes on the ring. It returns false (and changes
+// nothing) if url is empty or already present. Only keys whose first
+// clockwise point becomes one of the new nodes change primary, so the churn
+// from one join is bounded by the new worker's fair share.
+func (r *Ring) Add(url string) bool {
+	if url == "" {
+		return false
+	}
+	for _, u := range r.urls {
+		if u == url {
+			return false
 		}
 	}
+	r.urls = append(r.urls, url)
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: ringHash(url + "#" + strconv.Itoa(i)),
+			url:  url,
+		})
+	}
+	r.sortPoints()
+	return true
+}
+
+// Remove deletes url's virtual nodes from the ring. It returns false if url
+// was not a member. Keys the departed worker owned move to their next
+// clockwise owner; every other key keeps its primary.
+func (r *Ring) Remove(url string) bool {
+	found := false
+	for i, u := range r.urls {
+		if u == url {
+			r.urls = append(r.urls[:i], r.urls[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.url != url {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+func (r *Ring) sortPoints() {
 	sort.Slice(r.points, func(i, j int) bool {
 		if r.points[i].hash != r.points[j].hash {
 			return r.points[i].hash < r.points[j].hash
@@ -62,7 +112,6 @@ func NewRing(urls []string, vnodes int) *Ring {
 		// astronomically unlikely event of a point-hash collision.
 		return r.points[i].url < r.points[j].url
 	})
-	return r
 }
 
 // Workers returns the distinct worker URLs on the ring, insertion order.
@@ -71,6 +120,9 @@ func (r *Ring) Workers() []string {
 	copy(out, r.urls)
 	return out
 }
+
+// Len returns the number of distinct workers on the ring.
+func (r *Ring) Len() int { return len(r.urls) }
 
 // Owners returns every worker in preference order for key: the owner of
 // the first point clockwise of the key's hash, then each subsequent

@@ -3,6 +3,9 @@ package fabric
 import (
 	"fmt"
 	"testing"
+
+	"multipass/internal/compile"
+	"multipass/internal/server"
 )
 
 func TestRingOwnersDeterministicAndDistinct(t *testing.T) {
@@ -81,5 +84,212 @@ func TestRingEmptyAndDuplicates(t *testing.T) {
 	r := NewRing([]string{"http://a:1", "http://a:1", ""}, 0)
 	if got := r.Workers(); len(got) != 1 || got[0] != "http://a:1" {
 		t.Errorf("Workers() = %v, want one deduped entry", got)
+	}
+}
+
+// TestRingIncrementalEqualsBatch: a ring grown one Add at a time assigns
+// every key identically to a ring built in a single NewRing call, and
+// removing a member restores the assignment of the smaller batch ring. This
+// is what lets a coordinator re-ring a live fleet without restarting: the
+// assignment after any join/leave sequence depends only on the surviving
+// member set.
+func TestRingIncrementalEqualsBatch(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+
+	grown := NewRing(nil, 0)
+	for _, u := range urls {
+		if !grown.Add(u) {
+			t.Fatalf("Add(%s) = false, want true", u)
+		}
+	}
+	batch := NewRing(urls, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		g, b := grown.Owners(key), batch.Owners(key)
+		for j := range b {
+			if g[j] != b[j] {
+				t.Fatalf("key %s: grown owners %v != batch owners %v", key, g, b)
+			}
+		}
+	}
+
+	if !grown.Remove("http://c:1") {
+		t.Fatal("Remove of a member returned false")
+	}
+	reduced := NewRing([]string{"http://a:1", "http://b:1", "http://d:1"}, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		if grown.Owners(key)[0] != reduced.Owners(key)[0] {
+			t.Fatalf("key %s: post-Remove primary %s != batch primary %s",
+				key, grown.Owners(key)[0], reduced.Owners(key)[0])
+		}
+	}
+}
+
+// TestRingAddRemoveChurn is the table-driven rebalance bound: across a
+// series of membership changes, (a) a key only changes primary when the
+// change forces it — on Add it may move only to the added worker, on Remove
+// only keys owned by the departed worker move — and (b) the moved share is
+// bounded by roughly the fair share of the re-placed vnodes, with slack for
+// hash variance.
+func TestRingAddRemoveChurn(t *testing.T) {
+	const n = 4000
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("job-%d", i)
+	}
+	primaries := func(r *Ring) map[string]string {
+		out := make(map[string]string, n)
+		for _, k := range keys {
+			out[k] = r.Owners(k)[0]
+		}
+		return out
+	}
+
+	tests := []struct {
+		name    string
+		start   []string
+		op      func(*Ring) bool
+		changed string  // the worker whose vnodes move
+		add     bool    // Add (moved keys gain changed) vs Remove (moved keys lose it)
+		share   float64 // expected moved fraction (fair share of the change)
+	}{
+		{
+			name:    "add fourth worker",
+			start:   []string{"http://a:1", "http://b:1", "http://c:1"},
+			op:      func(r *Ring) bool { return r.Add("http://d:1") },
+			changed: "http://d:1", add: true, share: 1.0 / 4,
+		},
+		{
+			name:    "add second worker",
+			start:   []string{"http://a:1"},
+			op:      func(r *Ring) bool { return r.Add("http://b:1") },
+			changed: "http://b:1", add: true, share: 1.0 / 2,
+		},
+		{
+			name:    "remove one of four",
+			start:   []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"},
+			op:      func(r *Ring) bool { return r.Remove("http://d:1") },
+			changed: "http://d:1", add: false, share: 1.0 / 4,
+		},
+		{
+			name:    "remove one of two",
+			start:   []string{"http://a:1", "http://b:1"},
+			op:      func(r *Ring) bool { return r.Remove("http://b:1") },
+			changed: "http://b:1", add: false, share: 1.0 / 2,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRing(tc.start, 0)
+			before := primaries(r)
+			if !tc.op(r) {
+				t.Fatal("membership op reported no change")
+			}
+			after := primaries(r)
+
+			moved := 0
+			for _, k := range keys {
+				if before[k] == after[k] {
+					continue
+				}
+				moved++
+				if tc.add && after[k] != tc.changed {
+					t.Fatalf("key %s moved %s -> %s on Add(%s): collateral movement",
+						k, before[k], after[k], tc.changed)
+				}
+				if !tc.add && before[k] != tc.changed {
+					t.Fatalf("key %s moved %s -> %s on Remove(%s): collateral movement",
+						k, before[k], after[k], tc.changed)
+				}
+			}
+			// The moved share tracks the re-placed vnodes' fair share. 1.6x
+			// slack absorbs hash variance at 128 vnodes without letting a
+			// rebalance bug (e.g. a full re-sort moving everything) pass.
+			frac := float64(moved) / float64(n)
+			if frac > tc.share*1.6 {
+				t.Errorf("moved %d/%d keys (%.3f), want <= %.3f (share %.3f * 1.6)",
+					moved, n, frac, tc.share*1.6, tc.share)
+			}
+			if moved == 0 {
+				t.Error("no keys moved at all: the membership change had no effect")
+			}
+		})
+	}
+}
+
+// TestRingOwnersStabilityAcrossChange: for keys whose primary survives a
+// membership change, the *relative order* of surviving fallback owners is
+// also preserved — removing worker X from the fleet removes X from every
+// preference list without reshuffling the rest.
+func TestRingOwnersStabilityAcrossChange(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}, 0)
+	before := make(map[string][]string)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		before[key] = r.Owners(key)
+	}
+	r.Remove("http://d:1")
+	for key, owners := range before {
+		want := owners[:0:0]
+		for _, o := range owners {
+			if o != "http://d:1" {
+				want = append(want, o)
+			}
+		}
+		got := r.Owners(key)
+		if len(got) != len(want) {
+			t.Fatalf("key %s: %d owners after Remove, want %d", key, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("key %s: owners after Remove = %v, want %v (order preserved)", key, got, want)
+			}
+		}
+	}
+}
+
+// grid24Keys are the job keys of the standard 24-cell CI grid (2 workloads
+// x 4 models x 3 hierarchies), exactly as planSweep normalizes them.
+func grid24Keys(t *testing.T) []string {
+	t.Helper()
+	def := compile.DefaultOptions()
+	var keys []string
+	for _, wl := range []string{"crafty", "gzip"} {
+		for _, hier := range []string{"base", "config1", "config2"} {
+			for _, model := range []string{"inorder", "multipass", "runahead", "ooo"} {
+				spec := server.JobSpec{
+					Workload: wl, Model: model, Hier: hier, Scale: 1,
+					Schedule: def.Schedule, InsertRestarts: def.InsertRestarts, Unroll: def.Unroll,
+				}
+				keys = append(keys, spec.Key())
+			}
+		}
+	}
+	if len(keys) != 24 {
+		t.Fatalf("grid has %d keys, want 24", len(keys))
+	}
+	return keys
+}
+
+// TestRingSkewRegression24Cell pins the static shard split of the standard
+// 24-cell grid across the two CI fabric workers. At 64 vnodes this split
+// was 10/14 (the skew that motivated work stealing); the 128-vnode default
+// must keep it at 11/13 or better, and this test fails if a ring change
+// regresses it.
+func TestRingSkewRegression24Cell(t *testing.T) {
+	urls := []string{"http://localhost:9101", "http://localhost:9102"}
+	r := NewRing(urls, 0)
+	counts := map[string]int{}
+	for _, k := range grid24Keys(t) {
+		counts[r.Owners(k)[0]]++
+	}
+	min := counts[urls[0]]
+	if counts[urls[1]] < min {
+		min = counts[urls[1]]
+	}
+	if min < 11 {
+		t.Errorf("24-cell static split = %d/%d, want >= 11/13 (was 10/14 at 64 vnodes)",
+			counts[urls[0]], counts[urls[1]])
 	}
 }

@@ -1,0 +1,141 @@
+package fabric
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"multipass/internal/server"
+)
+
+// pendingJob is one job on the coordinator's pending set. It is owned by
+// exactly one goroutine at a time — the Dispatch caller until it is
+// enqueued, then whichever runner pops it from a queue — so its mutable
+// fields (tried, attempts, lastErr) need no lock. Resolution is a CAS on
+// resolved: the first of {runner finishing, waiter abandoning on context
+// cancel} wins, which is what makes completion exactly-once even when a
+// stolen job races its original assignee.
+type pendingJob struct {
+	spec server.JobSpec
+	key  string
+	ctx  context.Context
+	ref  *server.ProgramRef // shared program memo pointer, nil if unavailable
+
+	primary  *worker         // charged for dispatched/failed accounting
+	tried    map[string]bool // workers that already failed this job
+	attempts int             // failed attempts so far
+	lastErr  error
+
+	resolved atomic.Bool
+	res      chan jobResult // buffered(1); exactly one send, guarded by resolved
+}
+
+type jobResult struct {
+	data []byte
+	err  error
+}
+
+// scheduler is the coordinator's pending set: one FIFO queue per worker
+// URL, fed by Dispatch (jobs go to their ring primary) and drained by each
+// worker's slot runners. An idle runner whose own queue is empty steals
+// from the tail of the longest other backlog — owners drain from the head,
+// thieves from the tail, so a skewed consistent-hash split self-levels
+// without the owner and thief colliding on the same cells.
+type scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string][]*pendingJob
+	closed bool
+}
+
+func newScheduler() *scheduler {
+	s := &scheduler{queues: make(map[string][]*pendingJob)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue appends j to url's queue and wakes runners. It returns false if
+// the scheduler is closed (dispatcher stopping); the caller must fail the
+// job itself.
+func (s *scheduler) enqueue(url string, j *pendingJob) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.queues[url] = append(s.queues[url], j)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return true
+}
+
+// next blocks until a job is available for w's runner: its own queue's
+// head first, otherwise — if w is healthy — the tail of the longest other
+// queue (a steal, counted on w). It returns nil when stop closes or the
+// scheduler shuts down. Stealing is deliberately not restricted to member
+// queues: a queue orphaned by a racing leave is drained by whoever is
+// idle.
+func (s *scheduler) next(w *worker, stop <-chan struct{}) *pendingJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		if s.closed {
+			return nil
+		}
+		if q := s.queues[w.url]; len(q) > 0 {
+			j := q[0]
+			q[0] = nil
+			s.queues[w.url] = q[1:]
+			return j
+		}
+		if w.healthy.Load() {
+			var victim string
+			max := 0
+			for url, q := range s.queues {
+				if url != w.url && len(q) > max {
+					victim, max = url, len(q)
+				}
+			}
+			if max > 0 {
+				q := s.queues[victim]
+				j := q[len(q)-1]
+				q[len(q)-1] = nil
+				s.queues[victim] = q[:len(q)-1]
+				w.stolen.Add(1)
+				return j
+			}
+		}
+		s.cond.Wait()
+	}
+}
+
+// take removes and returns url's whole queue (used when a member leaves,
+// so its backlog can be reassigned by ring order).
+func (s *scheduler) take(url string) []*pendingJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[url]
+	delete(s.queues, url)
+	return q
+}
+
+// close marks the scheduler closed, wakes every runner, and returns all
+// still-queued jobs so the dispatcher can fail them instead of leaving
+// their waiters blocked.
+func (s *scheduler) close() []*pendingJob {
+	s.mu.Lock()
+	s.closed = true
+	var orphans []*pendingJob
+	for url, q := range s.queues {
+		orphans = append(orphans, q...)
+		delete(s.queues, url)
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return orphans
+}

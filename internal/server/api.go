@@ -80,6 +80,22 @@ type RunRequest struct {
 	// TimeoutMS bounds this request's simulation time; 0 uses the server
 	// default. The timeout is not part of the job identity.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// ProgramRef, when non-nil, points at a pre-built program bundle the
+	// executing server may fetch instead of compiling the workload itself.
+	// It is transport metadata from the fabric coordinator — never part of
+	// the job identity, and ignored when the fetch fails (the server just
+	// builds locally).
+	ProgramRef *ProgramRef `json:"program_ref,omitempty"`
+}
+
+// ProgramRef identifies a shared program bundle: where to fetch it
+// (GET {Source}/v1/fabric/program?key={Key}) and the SHA-256 the fetched
+// bytes must hash to. The key is the program identity — the job fields
+// that determine the compiled binary (see ProgramKey).
+type ProgramRef struct {
+	Source string `json:"source"`
+	Key    string `json:"key"`
+	Sum    string `json:"sum"`
 }
 
 // JobSpec is the canonical, fully-defaulted identity of one simulation job:
@@ -316,14 +332,37 @@ type SweepStreamRecord struct {
 
 // WorkerDisposition accounts for one worker's share of dispatched jobs.
 // Dispatched = Completed + RetriedSuccess + Failed once a sweep settles
-// (attributed to the worker that ultimately resolved the job).
+// (attributed to the worker that ultimately resolved the job). Departed
+// fleet members keep their rows with Member false so deltas stay
+// consistent across churn.
 type WorkerDisposition struct {
-	Healthy        bool   `json:"healthy"`
+	Healthy bool `json:"healthy"`
+	// Member reports whether the worker is currently in the fleet.
+	// Standalone-mode "local" dispositions are always members.
+	Member         bool   `json:"member"`
 	Dispatched     uint64 `json:"dispatched"`
 	Completed      uint64 `json:"completed"`
 	Retried        uint64 `json:"retried"`
 	RetriedSuccess uint64 `json:"retried_success"`
 	Failed         uint64 `json:"failed"`
+	// Stolen counts jobs this worker's coordinator-side runners pulled
+	// from another worker's backlog (work stealing).
+	Stolen uint64 `json:"stolen"`
+}
+
+// JoinRequest is the body of POST /v1/fabric/join and /v1/fabric/leave:
+// the worker's externally reachable base URL.
+type JoinRequest struct {
+	URL string `json:"url"`
+}
+
+// JoinResponse is the body of POST /v1/fabric/join: the lease the worker
+// must renew within (renewal is another join) and the member list after
+// the join.
+type JoinResponse struct {
+	SchemaVersion int      `json:"schema_version"`
+	TTLMS         int64    `json:"ttl_ms"`
+	Members       []string `json:"members"`
 }
 
 // ModelInfo describes one timing model in GET /v1/models.
@@ -414,6 +453,12 @@ type StatsResponse struct {
 	CacheBytes int64 `json:"cache_bytes"`
 	// InFlight is the number of simulations executing right now.
 	InFlight int64 `json:"in_flight"`
+	// ProgramsBuilt counts workload compilations this server performed
+	// itself; ProgramsFetched counts program bundles it fetched pre-built
+	// from a fabric coordinator instead. On a well-memoized fleet the
+	// workers' built count stays 0 for dispatched work.
+	ProgramsBuilt   uint64 `json:"programs_built"`
+	ProgramsFetched uint64 `json:"programs_fetched"`
 	// LatencyP50MS/LatencyP99MS summarize executed-job wall time over a
 	// sliding window of recent jobs.
 	LatencyP50MS float64 `json:"latency_p50_ms"`

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
@@ -56,17 +58,23 @@ type cacheShard struct {
 type resultCache struct {
 	shards      [cacheShards]cacheShard
 	shardBudget int64
+	// dir, when non-empty, persists every entry as a file named by its key
+	// so a restarted server resumes with its results intact (the sweep
+	// resumption path). Disk writes are best-effort; the memory cache is
+	// authoritative within one process lifetime.
+	dir string
 
-	hits       atomic.Uint64
-	misses     atomic.Uint64
-	coalesced  atomic.Uint64
-	evictions  atomic.Uint64
-	totalBytes atomic.Int64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	coalesced    atomic.Uint64
+	evictions    atomic.Uint64
+	diskRestores atomic.Uint64
+	totalBytes   atomic.Int64
 }
 
 // newResultCache builds a cache bounded to roughly maxBytes across all
-// shards; maxBytes <= 0 uses the default.
-func newResultCache(maxBytes int64) *resultCache {
+// shards; maxBytes <= 0 uses the default. dir != "" enables persistence.
+func newResultCache(maxBytes int64, dir string) *resultCache {
 	if maxBytes <= 0 {
 		maxBytes = defaultMaxCacheBytes
 	}
@@ -74,7 +82,7 @@ func newResultCache(maxBytes int64) *resultCache {
 	if budget < 1 {
 		budget = 1
 	}
-	c := &resultCache{shardBudget: budget}
+	c := &resultCache{shardBudget: budget, dir: dir}
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]*cacheEntry)
 	}
@@ -102,24 +110,63 @@ func (c *resultCache) shard(key string) *cacheShard {
 }
 
 // get returns the cached bytes for key and marks the entry recently used.
-// It does not count hits or misses: the request path resolves each
-// request's disposition exactly once.
+// A memory miss falls through to the persist directory (when configured):
+// an entry written by a previous process — or one evicted by the byte
+// budget — is restored into memory and served as a hit, which is what lets
+// a restarted coordinator re-dispatch only the cells it is missing. get
+// does not count hits or misses: the request path resolves each request's
+// disposition exactly once.
 func (c *resultCache) get(key string) ([]byte, bool) {
 	s := c.shard(key)
 	s.mu.RLock()
 	e, ok := s.m[key]
 	s.mu.RUnlock()
-	if !ok {
+	if ok {
+		e.ref.Store(true)
+		return e.data, true
+	}
+	if c.dir == "" || !hexKey(key) {
 		return nil, false
 	}
-	e.ref.Store(true)
-	return e.data, true
+	data, err := os.ReadFile(filepath.Join(c.dir, key))
+	if err != nil {
+		return nil, false
+	}
+	c.diskRestores.Add(1)
+	c.insert(key, data)
+	return data, true
 }
 
-// put stores the bytes for key, then evicts clock-style until the shard is
-// back under its byte budget (always keeping at least one entry, so a
-// single oversized result still caches rather than thrashing).
+// hexKey guards the persist path: only content-address-shaped keys (hex
+// digests) ever touch the filesystem, so a key can never be a path.
+func hexKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// put stores the bytes for key in memory and, when persistence is on,
+// writes them through to disk (atomic tmp+rename, best-effort) so a future
+// process can restore them.
 func (c *resultCache) put(key string, data []byte) {
+	c.insert(key, data)
+	if c.dir != "" && hexKey(key) {
+		writeFileAtomic(filepath.Join(c.dir, key), data)
+	}
+}
+
+// insert stores the bytes for key in the memory cache only, then evicts
+// clock-style until the shard is back under its byte budget (always
+// keeping at least one entry, so a single oversized result still caches
+// rather than thrashing).
+func (c *resultCache) insert(key string, data []byte) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -138,6 +185,29 @@ func (c *resultCache) put(key string, data []byte) {
 
 	for s.bytes > c.shardBudget && len(s.ring) > 1 {
 		c.evictOne(s)
+	}
+}
+
+// writeFileAtomic writes data to path via a temp file and rename, so a
+// crash mid-write never leaves a torn entry for a future restore to trust.
+// Errors are swallowed: persistence is an optimization, not a promise.
+func writeFileAtomic(path string, data []byte) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
 	}
 }
 

@@ -46,7 +46,7 @@ func TestShardIndexRange(t *testing.T) {
 // stays under budget, evicts, and still serves what it kept.
 func TestCacheEviction(t *testing.T) {
 	const budget = 64 << 10 // 64 KiB total, 2 KiB per shard
-	c := newResultCache(budget)
+	c := newResultCache(budget, "")
 	payload := make([]byte, 2048)
 	const inserts = 512
 	for i := 0; i < inserts; i++ {
@@ -107,7 +107,7 @@ func TestCacheEviction(t *testing.T) {
 // TestCacheSecondChance: a hot entry (its ref bit set by gets) survives an
 // eviction pass that removes cold entries around it.
 func TestCacheSecondChance(t *testing.T) {
-	c := newResultCache(cacheShards * 1024) // 1 KiB per shard
+	c := newResultCache(cacheShards*1024, "") // 1 KiB per shard
 	payload := make([]byte, 300)
 
 	// Find keys that land on one shard so the clock competition is real.
@@ -138,7 +138,7 @@ func TestCacheSecondChance(t *testing.T) {
 // TestCacheDuplicatePut: re-inserting an existing key neither double-counts
 // bytes nor duplicates the ring slot.
 func TestCacheDuplicatePut(t *testing.T) {
-	c := newResultCache(1 << 20)
+	c := newResultCache(1<<20, "")
 	key := JobSpec{Workload: "mcf", Model: "inorder", Hier: "base", Scale: 1}.Key()
 	c.put(key, []byte("payload"))
 	before := c.bytes()

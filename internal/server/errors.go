@@ -27,6 +27,9 @@ const (
 	CodeCanceled         = "canceled"           // the client went away mid-job
 	CodeWorkerFailed     = "worker_failed"      // no fabric worker could run the job
 	CodeJobFailed        = "job_failed"         // the simulation itself reported an error
+	CodeBadJoin          = "bad_join"           // join/leave request with a malformed worker URL
+	CodeNotCoordinator   = "not_coordinator"    // fabric endpoint on a non-coordinator daemon
+	CodeUnknownProgram   = "unknown_program"    // program bundle key not in the coordinator's memo
 )
 
 // apiError is the internal carrier of one error envelope: an HTTP status,

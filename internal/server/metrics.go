@@ -65,6 +65,16 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Current result-cache footprint charged against MaxCacheBytes.",
 		func() float64 { return float64(s.cache.bytes()) })
 
+	reg.CounterFunc("mpsimd_programs_built_total",
+		"Workload programs this server compiled itself.",
+		func() uint64 { return s.programsBuilt.Load() })
+	reg.CounterFunc("mpsimd_programs_fetched_total",
+		"Program bundles fetched pre-built from a fabric coordinator.",
+		func() uint64 { return s.programsFetched.Load() })
+	reg.CounterFunc("mpsimd_cache_disk_restores_total",
+		"Result-cache entries restored from the persist directory.",
+		func() uint64 { return s.cache.diskRestores.Load() })
+
 	reg.GaugeFunc("mpsimd_workers",
 		"Worker-pool size (max concurrently executing simulations).",
 		func() float64 { return float64(s.cfg.Workers) })
@@ -83,8 +93,11 @@ func newServerMetrics(s *Server) *serverMetrics {
 		// workers' own mpsimd_* families (relabeled mpsimd_worker_* with a
 		// `worker` label) into this exposition.
 		reg.CollectorFunc(func() []obs.TextFamily {
-			return append(fabricFamilies(s.cfg.Dispatcher.Dispositions()),
-				s.cfg.Dispatcher.WorkerFamilies()...)
+			fams := fabricFamilies(s.cfg.Dispatcher.Dispositions())
+			if fr, ok := s.cfg.Dispatcher.(FleetReporter); ok {
+				fams = append(fams, fr.FleetFamilies()...)
+			}
+			return append(fams, s.cfg.Dispatcher.WorkerFamilies()...)
 		})
 	}
 
@@ -139,6 +152,9 @@ func fabricFamilies(disp map[string]WorkerDisposition) []obs.TextFamily {
 		counter("mpsimd_fabric_failed_total",
 			"Jobs that exhausted every retry, attributed to their primary worker.",
 			func(d WorkerDisposition) uint64 { return d.Failed }),
+		counter("mpsimd_fabric_stolen_total",
+			"Jobs this worker stole from another worker's backlog.",
+			func(d WorkerDisposition) uint64 { return d.Stolen }),
 		healthy,
 	}
 }

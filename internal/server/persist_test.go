@@ -1,0 +1,125 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPersistDirResume is the sweep-resumption contract at the server
+// level: results written under PersistDir by one process are restored by
+// the next one, so a repeated sweep is served entirely from disk — byte
+// identical to a cached re-run on an uninterrupted server — and a single
+// cell replays as a cache hit without re-executing.
+func TestPersistDirResume(t *testing.T) {
+	dir := t.TempDir()
+	req := SweepRequest{
+		Workloads: []string{"crafty"},
+		Models:    []string{"inorder", "multipass"},
+		Hiers:     []string{"base", "config1"},
+	}
+
+	// First process: run the sweep twice. The second pass is the all-cached
+	// steady state — the reference for what a resumed sweep must serve.
+	srvA, tsA := newTestServer(t, Config{Workers: 4, PersistDir: dir})
+	readBody(t, postJSON(t, tsA.URL+"/v1/sweep", req))
+	want := readBody(t, postJSON(t, tsA.URL+"/v1/sweep", req))
+	executed := srvA.cache.misses.Load()
+	if executed == 0 {
+		t.Fatal("first sweep executed nothing")
+	}
+	tsA.Close()
+
+	// Second process on the same dir: the whole grid restores from disk.
+	srvB, tsB := newTestServer(t, Config{Workers: 4, PersistDir: dir})
+	got := readBody(t, postJSON(t, tsB.URL+"/v1/sweep", req))
+	if !bytes.Equal(want, got) {
+		t.Fatalf("resumed sweep diverges from the cached reference:\nwant %.300s\n got %.300s", want, got)
+	}
+	if srvB.cache.misses.Load() != 0 {
+		t.Errorf("resumed server executed %d cells, want 0 (all restored)", srvB.cache.misses.Load())
+	}
+	if srvB.cache.diskRestores.Load() == 0 {
+		t.Error("diskRestores = 0: the resumed grid did not come from the persist dir")
+	}
+
+	// Per-cell replay on the restarted server is a cache hit.
+	resp := postJSON(t, tsB.URL+"/v1/run", RunRequest{Workload: "crafty", Model: "inorder"})
+	readBody(t, resp)
+	if hdr := resp.Header.Get("X-Mpsimd-Cache"); hdr != "hit" {
+		t.Errorf("replay cache header = %q, want hit", hdr)
+	}
+
+	// The restores are visible on /metrics.
+	mresp, err := http.Get(tsB.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text := string(readBody(t, mresp)); !strings.Contains(text, "mpsimd_cache_disk_restores_total") {
+		t.Error("/metrics missing mpsimd_cache_disk_restores_total")
+	}
+}
+
+// TestPersistDirPartialResume: only the cells missing from the persist dir
+// execute after a restart — the resumption path re-dispatches incrementally
+// rather than all-or-nothing.
+func TestPersistDirPartialResume(t *testing.T) {
+	dir := t.TempDir()
+
+	srvA, tsA := newTestServer(t, Config{Workers: 4, PersistDir: dir})
+	readBody(t, postJSON(t, tsA.URL+"/v1/sweep", SweepRequest{
+		Workloads: []string{"crafty"},
+		Models:    []string{"inorder"},
+		Hiers:     []string{"base", "config1"},
+	}))
+	if srvA.cache.misses.Load() != 2 {
+		t.Fatalf("seed sweep executed %d cells, want 2", srvA.cache.misses.Load())
+	}
+	tsA.Close()
+
+	// The restarted server sweeps a superset: 2 cells restore, 2 execute.
+	srvB, tsB := newTestServer(t, Config{Workers: 4, PersistDir: dir})
+	readBody(t, postJSON(t, tsB.URL+"/v1/sweep", SweepRequest{
+		Workloads: []string{"crafty"},
+		Models:    []string{"inorder", "multipass"},
+		Hiers:     []string{"base", "config1"},
+	}))
+	if got := srvB.cache.misses.Load(); got != 2 {
+		t.Errorf("resumed superset executed %d cells, want exactly the 2 missing ones", got)
+	}
+	if got := srvB.cache.diskRestores.Load(); got != 2 {
+		t.Errorf("diskRestores = %d, want 2", got)
+	}
+}
+
+// TestResultCachePersistRoundTrip covers the cache layer directly: put
+// writes through to disk, a fresh cache on the same dir restores on get,
+// and non-hex keys never touch the filesystem.
+func TestResultCachePersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := strings.Repeat("ab", 32)
+	payload := []byte(`{"x":1}`)
+
+	c1 := newResultCache(0, dir)
+	c1.put(key, payload)
+
+	c2 := newResultCache(0, dir)
+	data, ok := c2.get(key)
+	if !ok || !bytes.Equal(data, payload) {
+		t.Fatalf("restore = (%q, %v), want the persisted payload", data, ok)
+	}
+	if c2.diskRestores.Load() != 1 {
+		t.Errorf("diskRestores = %d, want 1", c2.diskRestores.Load())
+	}
+	// Second get is a pure memory hit: no second restore.
+	if _, ok := c2.get(key); !ok || c2.diskRestores.Load() != 1 {
+		t.Error("restored entry not held in memory")
+	}
+
+	// Path-shaped keys must never reach the filesystem.
+	c1.put("../escape", []byte("nope"))
+	if _, ok := c2.get("../escape"); ok {
+		t.Error("non-hex key round-tripped through the persist dir")
+	}
+}

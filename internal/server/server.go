@@ -31,10 +31,13 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sync"
@@ -71,6 +74,11 @@ type Config struct {
 	// default of 256 MiB. Entries beyond the budget are evicted
 	// clock-style (second chance).
 	MaxCacheBytes int64
+	// PersistDir, when non-empty, persists the result cache under
+	// PersistDir/results so a restarted server (most importantly a sweep
+	// coordinator) serves previously computed cells from disk and
+	// re-dispatches only what it is missing.
+	PersistDir string
 	// Logger receives structured request and job logs; nil discards them.
 	Logger *slog.Logger
 	// Role names this daemon's place in a sweep fabric ("standalone",
@@ -122,6 +130,13 @@ type Server struct {
 	jobsExecuted atomic.Uint64
 	jobsFailed   atomic.Uint64
 	inFlight     atomic.Int64
+
+	// programsBuilt counts local workload compilations; programsFetched
+	// counts program bundles fetched pre-built from a coordinator instead.
+	programsBuilt   atomic.Uint64
+	programsFetched atomic.Uint64
+	// fabricClient performs program-bundle fetches (worker side).
+	fabricClient *http.Client
 
 	// flights coalesces concurrent executions of the same job: followers
 	// wait for the leader's bytes instead of re-simulating.
@@ -175,53 +190,98 @@ const traceLimit = 1 << 22
 // detached: a waiter whose ctx expires returns ctx.Err() immediately while
 // the compilation finishes for later requests. The request that triggered
 // the build reports compile and trace_decode spans on otr; memo hits
-// report only their wait.
-func (s *Server) program(ctx context.Context, spec JobSpec, otr *obs.Trace) (*isa.Program, *arch.Memory, *sim.Trace, error) {
-	key := fmt.Sprintf("%s|%d|%t|%t|%d", spec.Workload, spec.Scale, spec.Schedule, spec.InsertRestarts, spec.Unroll)
-	s.progMu.Lock()
-	if s.progs == nil || len(s.progs) >= progCacheCap {
-		s.progs = make(map[string]*builtProgram)
-	}
-	b, ok := s.progs[key]
-	triggered := !ok
-	if !ok {
-		b = &builtProgram{done: make(chan struct{})}
-		s.progs[key] = b
-		go buildProgram(b, spec)
-	}
-	s.progMu.Unlock()
+// report only their wait. A non-nil ref lets the build fetch the
+// coordinator's pre-built bundle instead of compiling.
+func (s *Server) program(ctx context.Context, spec JobSpec, ref *ProgramRef, otr *obs.Trace) (*isa.Program, *arch.Memory, *sim.Trace, error) {
+	key := ProgramKey(spec)
+	for {
+		s.progMu.Lock()
+		if s.progs == nil || len(s.progs) >= progCacheCap {
+			s.progs = make(map[string]*builtProgram)
+		}
+		b, ok := s.progs[key]
+		triggered := !ok
+		if !ok {
+			b = &builtProgram{done: make(chan struct{})}
+			s.progs[key] = b
+			go s.buildProgram(ctx, b, key, spec, ref)
+		}
+		s.progMu.Unlock()
 
-	wait := time.Now()
-	select {
-	case <-b.done:
-	case <-ctx.Done():
-		otr.Observe("compile", time.Since(wait))
-		return nil, nil, nil, ctx.Err()
+		wait := time.Now()
+		select {
+		case <-b.done:
+		case <-ctx.Done():
+			otr.Observe("compile", time.Since(wait))
+			return nil, nil, nil, ctx.Err()
+		}
+		if b.err == errProgramBuildAborted {
+			// The entry died with its triggering request (see buildProgram).
+			// This waiter is still live, so re-trigger with its own ref.
+			if err := ctx.Err(); err != nil {
+				return nil, nil, nil, err
+			}
+			continue
+		}
+		if triggered {
+			otr.Observe("compile", b.compileDur)
+			otr.Observe("trace_decode", b.traceDur)
+		} else {
+			otr.Observe("compile", time.Since(wait))
+		}
+		return b.p, b.image, b.tr, b.err
 	}
-	if triggered {
-		otr.Observe("compile", b.compileDur)
-		otr.Observe("trace_decode", b.traceDur)
-	} else {
-		otr.Observe("compile", time.Since(wait))
-	}
-	return b.p, b.image, b.tr, b.err
 }
 
-// buildProgram compiles and traces one memo entry, then publishes it by
-// closing done. It never holds progMu: a slow compilation must not block
-// memo lookups for other programs.
-func buildProgram(b *builtProgram, spec JobSpec) {
+// errProgramBuildAborted marks a memo entry whose triggering request died
+// before its bundle fetch resolved. The entry is dropped from the memo;
+// live waiters observe the sentinel and re-trigger with their own ref.
+var errProgramBuildAborted = errors.New("server: program build aborted: requester gone")
+
+// buildProgram compiles (or fetches) and traces one memo entry, then
+// publishes it by closing done. It never holds progMu: a slow compilation
+// must not block memo lookups for other programs. With a ProgramRef the
+// pre-built bundle is fetched and sum-verified first; a fetch failure
+// falls back to a local build, so the memo protocol is purely an
+// optimization — unless the triggering request itself is already dead
+// (its coordinator restarted mid-job, say), in which case compiling on a
+// dead job's behalf would just defeat the fleet-wide build-once memo: the
+// entry is dropped so the next live request re-resolves against a live
+// source. The trace always decodes locally — it is derived data, far
+// larger than the program, and cheap relative to shipping it.
+func (s *Server) buildProgram(ctx context.Context, b *builtProgram, key string, spec JobSpec, ref *ProgramRef) {
 	defer close(b.done)
-	w, ok := workload.ByName(spec.Workload)
-	if !ok {
-		b.err = fmt.Errorf("unknown workload %q", spec.Workload)
-		return
-	}
 	compileStart := time.Now()
-	b.p, b.image, b.err = workload.Program(w, spec.Scale, spec.CompileOptions())
-	b.compileDur = time.Since(compileStart)
-	if b.err != nil {
-		return
+	if ref != nil && ref.Source != "" && ref.Key != "" {
+		if p, image, err := s.fetchProgram(ctx, ref); err == nil {
+			s.programsFetched.Add(1)
+			b.p, b.image = p, image
+			b.compileDur = time.Since(compileStart)
+		} else if ctx.Err() != nil {
+			s.progMu.Lock()
+			if s.progs[key] == b {
+				delete(s.progs, key)
+			}
+			s.progMu.Unlock()
+			b.err = errProgramBuildAborted
+			return
+		} else {
+			s.log.Warn("program bundle fetch failed, building locally",
+				"key", ref.Key, "source", ref.Source, "err", err)
+		}
+	}
+	if b.p == nil {
+		w, ok := workload.ByName(spec.Workload)
+		if !ok {
+			b.err = fmt.Errorf("unknown workload %q", spec.Workload)
+			return
+		}
+		b.p, b.image, b.err = workload.Program(w, spec.Scale, spec.CompileOptions())
+		b.compileDur = time.Since(compileStart)
+		if b.err != nil {
+			return
+		}
+		s.programsBuilt.Add(1)
 	}
 	// A failed trace is not an error: the run interprets lazily and
 	// reports the real fault, if any.
@@ -247,13 +307,23 @@ func New(cfg Config) *Server {
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	resultsDir := ""
+	if cfg.PersistDir != "" {
+		resultsDir = filepath.Join(cfg.PersistDir, "results")
+		if err := os.MkdirAll(resultsDir, 0o755); err != nil {
+			log.Warn("persist dir unavailable, running without persistence",
+				"dir", resultsDir, "err", err)
+			resultsDir = ""
+		}
+	}
 	s := &Server{
-		cfg:     cfg,
-		cache:   newResultCache(cfg.MaxCacheBytes),
-		log:     log,
-		sem:     make(chan struct{}, cfg.Workers),
-		flights: make(map[string]*flight),
-		start:   time.Now(),
+		cfg:          cfg,
+		cache:        newResultCache(cfg.MaxCacheBytes, resultsDir),
+		log:          log,
+		sem:          make(chan struct{}, cfg.Workers),
+		flights:      make(map[string]*flight),
+		fabricClient: &http.Client{Timeout: 30 * time.Second},
+		start:        time.Now(),
 	}
 	s.metrics = newServerMetrics(s)
 	return s
@@ -269,6 +339,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/worker/health", s.handleWorkerHealth)
+	mux.HandleFunc("/v1/fabric/join", s.handleFabricJoin)
+	mux.HandleFunc("/v1/fabric/leave", s.handleFabricLeave)
+	mux.HandleFunc("/v1/fabric/program", s.handleFabricProgram)
 	mux.Handle("/metrics", s.metrics.reg.Handler())
 	return s.withObs(mux)
 }
@@ -295,8 +368,9 @@ func (s *Server) deadline(ctx context.Context, timeoutMS int64) (context.Context
 // execute runs one job under the worker pool and returns the marshaled
 // canonical RunResponse. The caller has already missed the cache. key is
 // the job's content address, used to label CPU profiles so pprof
-// attributes simulation time to jobs.
-func (s *Server) execute(ctx context.Context, spec JobSpec, key string) ([]byte, error) {
+// attributes simulation time to jobs. ref, when non-nil, points at a
+// coordinator's pre-built program bundle.
+func (s *Server) execute(ctx context.Context, spec JobSpec, key string, ref *ProgramRef) ([]byte, error) {
 	tr := obs.FromContext(ctx)
 	endQueue := tr.StartSpan("queue_wait")
 	select {
@@ -325,7 +399,7 @@ func (s *Server) execute(ctx context.Context, spec JobSpec, key string) ([]byte,
 	if !ok {
 		return nil, fmt.Errorf("unknown hierarchy %q", spec.Hier)
 	}
-	p, image, simTrace, err := s.program(ctx, spec, tr)
+	p, image, simTrace, err := s.program(ctx, spec, ref, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -403,7 +477,7 @@ func (s *Server) runModel(ctx context.Context, m sim.Machine, spec JobSpec, p *i
 // satisfied (dispHit, dispMiss, or dispCoalesced) and is counted exactly
 // once per call, so the three counters always balance against request
 // totals — a coalesced follower is no longer misaccounted as a miss.
-func (s *Server) runCached(ctx context.Context, spec JobSpec) (data []byte, disp string, err error) {
+func (s *Server) runCached(ctx context.Context, spec JobSpec, ref *ProgramRef) (data []byte, disp string, err error) {
 	defer func() {
 		switch disp {
 		case dispHit:
@@ -461,7 +535,7 @@ func (s *Server) runCached(ctx context.Context, spec JobSpec) (data []byte, disp
 			data, err = d.Dispatch(ctx, spec)
 			end()
 		} else {
-			data, err = s.execute(ctx, spec, key)
+			data, err = s.execute(ctx, spec, key, ref)
 		}
 		if err == nil {
 			s.cache.put(key, data)
@@ -497,7 +571,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.deadline(obs.WithTrace(r.Context(), tr), req.TimeoutMS)
 	defer cancel()
 
-	data, disp, err := s.runCached(ctx, spec)
+	data, disp, err := s.runCached(ctx, spec, req.ProgramRef)
 	status := http.StatusOK
 	if err != nil {
 		status = asAPIError(err).status
@@ -604,19 +678,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	p50 := s.metrics.jobDuration.Quantile(0.50) * msPerSecond
 	p99 := s.metrics.jobDuration.Quantile(0.99) * msPerSecond
 	writeJSON(w, http.StatusOK, StatsResponse{
-		SchemaVersion:  APISchemaVersion,
-		Workers:        s.cfg.Workers,
-		JobsExecuted:   s.jobsExecuted.Load(),
-		JobsFailed:     s.jobsFailed.Load(),
-		CacheHits:      s.cache.hits.Load(),
-		CacheMisses:    s.cache.misses.Load(),
-		CacheCoalesced: s.cache.coalesced.Load(),
-		CacheEvictions: s.cache.evictions.Load(),
-		CacheEntries:   s.cache.len(),
-		CacheBytes:     s.cache.bytes(),
-		InFlight:       s.inFlight.Load(),
-		LatencyP50MS:   p50,
-		LatencyP99MS:   p99,
-		UptimeSeconds:  time.Since(s.start).Seconds(),
+		SchemaVersion:   APISchemaVersion,
+		Workers:         s.cfg.Workers,
+		JobsExecuted:    s.jobsExecuted.Load(),
+		JobsFailed:      s.jobsFailed.Load(),
+		CacheHits:       s.cache.hits.Load(),
+		CacheMisses:     s.cache.misses.Load(),
+		CacheCoalesced:  s.cache.coalesced.Load(),
+		CacheEvictions:  s.cache.evictions.Load(),
+		CacheEntries:    s.cache.len(),
+		CacheBytes:      s.cache.bytes(),
+		InFlight:        s.inFlight.Load(),
+		ProgramsBuilt:   s.programsBuilt.Load(),
+		ProgramsFetched: s.programsFetched.Load(),
+		LatencyP50MS:    p50,
+		LatencyP99MS:    p99,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
 	})
 }

@@ -2,8 +2,12 @@ package server
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"encoding/json"
+	"net/http"
 	"testing"
+	"time"
 )
 
 // TestSweepStreamSingleNode pins the NDJSON contract of
@@ -121,5 +125,56 @@ func TestSweepStreamBufferedUnchanged(t *testing.T) {
 		if a.Jobs[i].Stats.Cycles != b.Jobs[i].Stats.Cycles {
 			t.Errorf("job %d cycles diverge: %d vs %d", i, a.Jobs[i].Stats.Cycles, b.Jobs[i].Stats.Cycles)
 		}
+	}
+}
+
+// TestSweepStreamClientDisconnect: a streaming client that vanishes
+// mid-sweep must not strand the server — in-flight cells observe the dead
+// request context and unwind, the worker pool drains, and the server keeps
+// serving new requests normally.
+func TestSweepStreamClientDisconnect(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2})
+
+	req := SweepRequest{
+		Workloads: []string{"crafty", "gzip"},
+		Models:    []string{"inorder", "multipass", "runahead", "ooo"},
+		Hiers:     []string{"base", "config1", "config2"},
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/sweep?stream=true", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one record to prove the stream is live, then hang up.
+	if _, err := bufio.NewReader(resp.Body).ReadBytes('\n'); err != nil {
+		t.Fatalf("no first stream record before disconnect: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The pool must drain: every in-flight cell sees the canceled context.
+	deadline := time.Now().Add(15 * time.Second)
+	for srv.inFlight.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in_flight = %d long after client disconnect", srv.inFlight.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// And the server still serves: a fresh request succeeds end to end.
+	rresp := postJSON(t, ts.URL+"/v1/run", RunRequest{Workload: "crafty", Model: "inorder"})
+	body := readBody(t, rresp)
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("post-disconnect run: status %d, body %.200s", rresp.StatusCode, body)
 	}
 }

@@ -67,7 +67,7 @@ func (s *Server) planSweep(req *SweepRequest) ([]JobSpec, error) {
 // outcome into a SweepJob. disp reports the cache disposition for logging.
 func (s *Server) sweepJob(ctx context.Context, spec JobSpec) (job SweepJob, disp string) {
 	job = SweepJob{Job: spec}
-	data, disp, err := s.runCached(ctx, spec)
+	data, disp, err := s.runCached(ctx, spec, nil)
 	if err != nil {
 		job.Status = JobFailed
 		job.Error = err.Error()
@@ -139,6 +139,7 @@ func (s *Server) sweepWorkers(before map[string]WorkerDisposition, sum SweepSumm
 		return map[string]WorkerDisposition{
 			"local": {
 				Healthy:    true,
+				Member:     true,
 				Dispatched: n,
 				Completed:  n - uint64(sum.Failed),
 				Failed:     uint64(sum.Failed),
@@ -151,11 +152,13 @@ func (s *Server) sweepWorkers(before map[string]WorkerDisposition, sum SweepSumm
 		b := before[url]
 		out[url] = WorkerDisposition{
 			Healthy:        d.Healthy,
+			Member:         d.Member,
 			Dispatched:     d.Dispatched - b.Dispatched,
 			Completed:      d.Completed - b.Completed,
 			Retried:        d.Retried - b.Retried,
 			RetriedSuccess: d.RetriedSuccess - b.RetriedSuccess,
 			Failed:         d.Failed - b.Failed,
+			Stolen:         d.Stolen - b.Stolen,
 		}
 	}
 	return out
