@@ -76,6 +76,7 @@ type snapshot struct {
 
 var allModels = []bench.ModelName{
 	bench.MInorder, bench.MRunahead, bench.MMultipass, bench.MOOO, bench.MOOORealistc,
+	bench.MCGOoO,
 }
 
 func main() {
@@ -93,6 +94,7 @@ func main() {
 	period := flag.Uint64("period", 1, "with -sample: simulate every Nth interval and extrapolate the rest (SMARTS sparse measurement; 1 = every interval)")
 	compare := flag.Bool("compare", false, "compare two snapshot files (positional: old.json new.json) instead of measuring")
 	tolerance := flag.Float64("tolerance", 0.05, "with -compare: allowed geomean regression fraction before exiting nonzero")
+	allowPartial := flag.Bool("allow-partial", false, "with -compare: accept snapshots whose kernel x model grids differ (uncompared cells are still reported)")
 	flag.Parse()
 
 	if *compare {
@@ -100,7 +102,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchsnap: -compare needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		ok, err := runCompare(flag.Arg(0), flag.Arg(1), *tolerance)
+		ok, err := runCompare(flag.Arg(0), flag.Arg(1), *tolerance, *allowPartial)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchsnap:", err)
 			os.Exit(2)
@@ -336,10 +338,33 @@ func envWarnings(old, new *snapshot) []string {
 	return warns
 }
 
+// cellGrid flattens a snapshot into kernel/model -> simcycles/s, keeping
+// first-seen key order for deterministic reporting.
+func cellGrid(s *snapshot) (map[string]float64, []string) {
+	cells := make(map[string]float64)
+	var keys []string
+	for _, ks := range s.Kernels {
+		for _, m := range ks.Models {
+			k := ks.Kernel + "/" + m.Model
+			if _, dup := cells[k]; !dup {
+				keys = append(keys, k)
+			}
+			cells[k] = m.SimCyclesPerSec
+		}
+	}
+	return cells, keys
+}
+
 // runCompare prints a per-cell ratio table (new/old simcycles/s) for every
 // kernel x model pair present in both snapshots and gates on the geomean
 // ratio: below 1-tolerance it reports a regression and returns false.
-func runCompare(oldPath, newPath string, tolerance float64) (bool, error) {
+//
+// Cells present in only one snapshot cannot be compared, but they must not
+// vanish silently: a snapshot taken before a model or kernel was added (or
+// after one was removed) would otherwise pass the gate while measuring a
+// shrunken grid. Every such cell is reported per side, and unless
+// allowPartial is set, a partial intersection fails the comparison.
+func runCompare(oldPath, newPath string, tolerance float64, allowPartial bool) (bool, error) {
 	old, err := readSnapshot(oldPath)
 	if err != nil {
 		return false, err
@@ -353,10 +378,17 @@ func runCompare(oldPath, newPath string, tolerance float64) (bool, error) {
 		fmt.Printf("warning: %s\n", w)
 	}
 
-	oldCells := make(map[string]float64)
-	for _, ks := range old.Kernels {
-		for _, m := range ks.Models {
-			oldCells[ks.Kernel+"/"+m.Model] = m.SimCyclesPerSec
+	oldCells, oldKeys := cellGrid(old)
+	newCells, newKeys := cellGrid(cur)
+	var onlyOld, onlyNew []string
+	for _, k := range oldKeys {
+		if _, ok := newCells[k]; !ok {
+			onlyOld = append(onlyOld, k)
+		}
+	}
+	for _, k := range newKeys {
+		if _, ok := oldCells[k]; !ok {
+			onlyNew = append(onlyNew, k)
 		}
 	}
 
@@ -366,7 +398,12 @@ func runCompare(oldPath, newPath string, tolerance float64) (bool, error) {
 	for _, ks := range cur.Kernels {
 		for _, m := range ks.Models {
 			oldCPS, ok := oldCells[ks.Kernel+"/"+m.Model]
-			if !ok || oldCPS <= 0 || m.SimCyclesPerSec <= 0 {
+			if !ok {
+				continue
+			}
+			if oldCPS <= 0 || m.SimCyclesPerSec <= 0 {
+				fmt.Printf("%-8s %-16s skipped: nonpositive throughput (%g vs %g)\n",
+					ks.Kernel, m.Model, oldCPS, m.SimCyclesPerSec)
 				continue
 			}
 			ratio := m.SimCyclesPerSec / oldCPS
@@ -381,9 +418,26 @@ func runCompare(oldPath, newPath string, tolerance float64) (bool, error) {
 	}
 	geo := math.Exp(logGeo / float64(n))
 	fmt.Printf("geomean ratio %.3fx over %d cells (tolerance %.0f%%)\n", geo, n, 100*tolerance)
+
+	partial := len(onlyOld)+len(onlyNew) > 0
+	if len(onlyOld) > 0 {
+		fmt.Printf("%d cells only in %s (dropped from comparison): %s\n",
+			len(onlyOld), oldPath, strings.Join(onlyOld, ", "))
+	}
+	if len(onlyNew) > 0 {
+		fmt.Printf("%d cells only in %s (dropped from comparison): %s\n",
+			len(onlyNew), newPath, strings.Join(onlyNew, ", "))
+	}
+
+	ok := true
 	if geo < 1-tolerance {
 		fmt.Printf("REGRESSION: geomean %.3fx below %.3fx floor\n", geo, 1-tolerance)
-		return false, nil
+		ok = false
 	}
-	return true, nil
+	if partial && !allowPartial {
+		fmt.Printf("PARTIAL: %d compared cells cover neither grid fully (%d old, %d new); pass -allow-partial to accept\n",
+			n, len(oldKeys), len(newKeys))
+		ok = false
+	}
+	return ok, nil
 }

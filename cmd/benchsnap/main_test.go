@@ -1,11 +1,140 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// writeSnap writes a minimal v2 snapshot with the given kernel/model cells
+// (all at the same throughput so ratios are 1.0 and the geomean gate passes).
+func writeSnap(t *testing.T, dir, name string, cells map[string][]string) string {
+	t.Helper()
+	s := snapshot{SchemaVersion: 2, Skip: "on", Scale: 1, Hier: "base"}
+	for kernel, models := range cells {
+		ks := kernelSnap{Kernel: kernel}
+		for _, m := range models {
+			ks.Models = append(ks.Models, modelSnap{Model: m, SimCyclesPerSec: 1e6, Cycles: 1000, Reps: 1})
+		}
+		s.Kernels = append(s.Kernels, ks)
+	}
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// captureCompare runs runCompare with stdout captured, so tests can assert
+// on the dropped-cell reporting as well as the verdict.
+func captureCompare(t *testing.T, oldPath, newPath string, tolerance float64, allowPartial bool) (bool, error, string) {
+	t.Helper()
+	saved := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ok, cerr := runCompare(oldPath, newPath, tolerance, allowPartial)
+	os.Stdout = saved
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok, cerr, string(out)
+}
+
+// TestCompareReportsDroppedCells pins the partial-snapshot contract: cells
+// present in only one snapshot must be reported per side and fail the
+// comparison unless -allow-partial. The old behavior — silently comparing
+// the intersection and passing — let a snapshot predating a model (or taken
+// after a kernel was removed) green-light a shrunken grid.
+func TestCompareReportsDroppedCells(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", map[string][]string{
+		"mcf": {"inorder", "ooo"},
+		"gap": {"inorder"},
+	})
+	newPath := writeSnap(t, dir, "new.json", map[string][]string{
+		"mcf": {"inorder", "cgooo"},
+	})
+
+	ok, err, out := captureCompare(t, oldPath, newPath, 0.05, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("partial comparison passed without -allow-partial")
+	}
+	for _, want := range []string{"mcf/ooo", "gap/inorder", "mcf/cgooo", "dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output does not report dropped cell %q:\n%s", want, out)
+		}
+	}
+	// Per-side attribution: each file's report line names only its own cells.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "old.json") && strings.Contains(line, "mcf/cgooo") {
+			t.Errorf("cell only in new.json attributed to old.json: %q", line)
+		}
+		if strings.Contains(line, "new.json") && strings.Contains(line, "mcf/ooo") {
+			t.Errorf("cell only in old.json attributed to new.json: %q", line)
+		}
+	}
+
+	// -allow-partial accepts the same pair but still reports the drops.
+	ok, err, out = captureCompare(t, oldPath, newPath, 0.05, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("-allow-partial still failed a healthy intersection")
+	}
+	if !strings.Contains(out, "mcf/ooo") || !strings.Contains(out, "mcf/cgooo") {
+		t.Errorf("-allow-partial stopped reporting dropped cells:\n%s", out)
+	}
+}
+
+// TestCompareFullGridPasses: identical grids compare cleanly with no partial
+// verdict and no dropped-cell noise.
+func TestCompareFullGridPasses(t *testing.T) {
+	dir := t.TempDir()
+	grid := map[string][]string{"mcf": {"inorder", "ooo", "cgooo"}}
+	oldPath := writeSnap(t, dir, "old.json", grid)
+	newPath := writeSnap(t, dir, "new.json", grid)
+	ok, err, out := captureCompare(t, oldPath, newPath, 0.05, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("identical grids failed:\n%s", out)
+	}
+	if strings.Contains(out, "dropped") || strings.Contains(out, "PARTIAL") {
+		t.Errorf("full-grid comparison reported drops:\n%s", out)
+	}
+}
+
+// TestCompareDisjointGridsError: no common cells is a hard error, not a
+// passing comparison of nothing.
+func TestCompareDisjointGridsError(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", map[string][]string{"mcf": {"inorder"}})
+	newPath := writeSnap(t, dir, "new.json", map[string][]string{"gap": {"ooo"}})
+	_, err, _ := captureCompare(t, oldPath, newPath, 0.05, true)
+	if err == nil {
+		t.Fatal("disjoint snapshots compared without error")
+	}
+	if !strings.Contains(err.Error(), "no common") {
+		t.Errorf("unexpected error %v", err)
+	}
+}
 
 // TestResolveOutPathRefusesSilentOverwrite pins the guard: an untagged,
 // unforced run must not clobber an existing snapshot for the same date, and

@@ -27,6 +27,7 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to reproduce (6, 7 or 8)")
 	table := flag.Int("table", 0, "table to reproduce (1)")
 	extras := flag.Bool("extras", false, "run the realistic-OOO and runahead comparisons")
+	fiveWay := flag.Bool("five-way", false, "energy/performance comparison of all latency-tolerant machines incl. cgooo")
 	restart := flag.Bool("restart-study", false, "compare compiler vs hardware advance restart (paper §3.3 footnote 1)")
 	sweepFlag := flag.String("sweep", "", "design-choice sweep: iq | asc")
 	sampling := flag.Bool("sampling", false, "measure interval sampling vs monolithic (error table + wall-clock curve)")
@@ -41,7 +42,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *fig == 0 && *table == 0 && !*extras && !*restart && *sweepFlag == "" && !*sampling {
+	if *fig == 0 && *table == 0 && !*extras && !*restart && *sweepFlag == "" && !*sampling && !*fiveWay {
 		*all = true
 	}
 
@@ -110,6 +111,14 @@ func main() {
 			fail("Extras", err)
 		}
 		emit("Extra comparisons (§5.2, §5.4)", render(r), start)
+	}
+	if *all || *fiveWay {
+		start := time.Now()
+		r, err := bench.FiveWay(ctx, *scale)
+		if err != nil {
+			fail("Five-way comparison", err)
+		}
+		emit("Five-way energy/performance comparison", render(r), start)
 	}
 	if *all || *restart {
 		start := time.Now()

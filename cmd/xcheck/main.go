@@ -28,7 +28,7 @@ import (
 func main() {
 	n := flag.Int("n", 100, "number of seeds to check")
 	seed0 := flag.Uint64("seed", 1, "first seed")
-	models := flag.String("models", "", "comma-separated model names (default: the five canonical models; 'all' for every registered model)")
+	models := flag.String("models", "", "comma-separated model names (default: the canonical models; 'all' for every registered model)")
 	hier := flag.String("hier", "base", "cache hierarchy: "+strings.Join(mem.ConfigNames(), " | "))
 	shrink := flag.Bool("shrink", true, "minimize failing programs before reporting")
 	corpus := flag.String("corpus", "internal/xcheck/testdata/corpus", "directory for failure repros")
@@ -48,7 +48,11 @@ func main() {
 	case "all":
 		opts.Models = sim.Names()
 	default:
-		opts.Models = strings.Split(*models, ",")
+		for _, name := range strings.Split(*models, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Models = append(opts.Models, name)
+			}
+		}
 	}
 	if *inject {
 		xcheck.RegisterBuggy(sim.DefaultRegistry)
@@ -73,8 +77,7 @@ func main() {
 	}
 	sum, err := xcheck.Run(ctx, *n, *seed0, opts, *shrink, progress)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "xcheck: %v\n", err)
-		os.Exit(2)
+		fail(err)
 	}
 
 	modelList := opts.Models
@@ -97,13 +100,11 @@ func main() {
 			fmt.Printf("  %s\n", f)
 		}
 		if err := os.MkdirAll(*corpus, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "xcheck: %v\n", err)
-			os.Exit(2)
+			fail(err)
 		}
 		path := filepath.Join(*corpus, fmt.Sprintf("seed%d.asm", rep.Seed))
 		if err := os.WriteFile(path, []byte(xcheck.ReproText(rep)), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "xcheck: %v\n", err)
-			os.Exit(2)
+			fail(err)
 		}
 		fmt.Printf("  repro: %s\n", path)
 	}
@@ -112,6 +113,17 @@ func main() {
 		return
 	}
 	os.Exit(1)
+}
+
+// fail prints err with a single "xcheck:" prefix (library errors already
+// carry one) and exits nonzero.
+func fail(err error) {
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "xcheck: ") {
+		msg = "xcheck: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(2)
 }
 
 // onlyBuggyFailed reports whether every failure involves the injected model,

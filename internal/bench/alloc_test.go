@@ -25,6 +25,7 @@ var allocBudgets = []struct {
 	{MMultipass, 4500},
 	{MOOO, 200},
 	{MOOORealistc, 200},
+	{MCGOoO, 200},
 }
 
 // maxAllocsPerCycle is the steady-state bound: a model that allocates on its

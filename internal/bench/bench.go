@@ -29,6 +29,7 @@ import (
 	// Link the evaluation's timing models into the sim registry. The
 	// harness constructs them by name; nothing here references the
 	// packages directly (studies.go uses core's config types).
+	_ "multipass/internal/pipe/cgooo"
 	_ "multipass/internal/pipe/inorder"
 	_ "multipass/internal/pipe/ooo"
 	_ "multipass/internal/pipe/runahead"
@@ -46,6 +47,7 @@ const (
 	MRunahead    ModelName = "runahead"
 	MOOO         ModelName = "ooo"
 	MOOORealistc ModelName = "ooo-realistic"
+	MCGOoO       ModelName = "cgooo"
 )
 
 // NewMachine constructs the named model over the given hierarchy, via the

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"multipass/internal/mem"
+	"multipass/internal/power"
+	"multipass/internal/sim"
+	"multipass/internal/workload"
+)
+
+// FiveWayRow is one machine's aggregate performance and structure power over
+// the full workload suite.
+type FiveWayRow struct {
+	Model ModelName
+	// MeanSpeedup is the arithmetic-mean speedup over the in-order baseline
+	// across the 12 kernels (1.0 for the baseline itself).
+	MeanSpeedup float64
+	// IPC is retired instructions per cycle, aggregated over the suite.
+	IPC float64
+	// PeakW and AvgW evaluate the machine's scheduling/bookkeeping
+	// structures (power.ModelStructures) at peak and observed activity.
+	PeakW float64
+	AvgW  float64
+	// EnergyPJPerInst is the average structure energy spent per retired
+	// instruction, in picojoules.
+	EnergyPJPerInst float64
+	// RelEnergy is EnergyPJPerInst normalized to the ideal out-of-order
+	// machine (ooo = 1.0).
+	RelEnergy float64
+}
+
+// FiveWayResult is the Table-1-style comparison extended across the five
+// latency-tolerant machines (multipass, runahead, ooo, ooo-realistic,
+// cgooo), with the in-order baseline as the reference row.
+type FiveWayResult struct {
+	Rows []FiveWayRow
+}
+
+// fiveWayModels orders the comparison; inorder first as the baseline.
+var fiveWayModels = []ModelName{MInorder, MMultipass, MRunahead, MOOO, MOOORealistc, MCGOoO}
+
+// FiveWay runs the full suite on every machine and evaluates each machine's
+// structure power against its own activity, producing the energy/performance
+// comparison the CG-OoO design point exists for: how much of the unified
+// machine's performance each alternative keeps, at what structure cost.
+func FiveWay(ctx context.Context, scale int) (*FiveWayResult, error) {
+	ws := workload.All()
+	hiers := map[string]mem.HierConfig{"base": mem.BaseConfig()}
+	res, err := runMatrix(ctx, ws, fiveWayModels, hiers, scale)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &FiveWayResult{}
+	var oooEnergy float64
+	for _, model := range fiveWayModels {
+		var agg sim.Stats
+		var speeds []float64
+		for _, w := range ws {
+			r := res[key(w.Name, model, "base")]
+			agg.Add(&r.Stats)
+			speeds = append(speeds, speedup(res[key(w.Name, MInorder, "base")], r))
+		}
+		peak, avg := power.ModelPower(string(model), &agg)
+		row := FiveWayRow{
+			Model:       model,
+			MeanSpeedup: mean(speeds),
+			IPC:         agg.IPC(),
+			PeakW:       peak,
+			AvgW:        avg,
+		}
+		if agg.Retired > 0 {
+			joules := avg * float64(agg.Cycles) / power.Freq
+			row.EnergyPJPerInst = 1e12 * joules / float64(agg.Retired)
+		}
+		if model == MOOO {
+			oooEnergy = row.EnergyPJPerInst
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	for i := range out.Rows {
+		if oooEnergy > 0 {
+			out.Rows[i].RelEnergy = out.Rows[i].EnergyPJPerInst / oooEnergy
+		}
+	}
+	return out, nil
+}
+
+// Render formats the comparison.
+func (r *FiveWayResult) Render() string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tspeedup\tIPC\tpeak W\tavg W\tpJ/inst\trel energy (ooo=1)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.2fx\t%.2f\t%.2f\t%.2f\t%.1f\t%.2f\n",
+			row.Model, row.MeanSpeedup, row.IPC, row.PeakW, row.AvgW,
+			row.EnergyPJPerInst, row.RelEnergy)
+	}
+	tw.Flush()
+	b.WriteString("(structure power only: the scheduling/bookkeeping arrays each machine adds; datapath and caches excluded)\n")
+	return b.String()
+}

@@ -24,7 +24,7 @@ const (
 	sampleMaxCycleError = 0.10
 )
 
-var sampleModels = []ModelName{MInorder, MRunahead, MMultipass, MOOO, MOOORealistc}
+var sampleModels = []ModelName{MInorder, MRunahead, MMultipass, MOOO, MOOORealistc, MCGOoO}
 
 // TestSampledEquivalence is the sampling contract, pinned per model: stitched
 // interval simulation reproduces the monolithic run's retired count and final

@@ -65,7 +65,7 @@ func TestCancellationDuringSkip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, disable := range []bool{false, true} {
-		for _, name := range []string{"inorder", "multipass", "runahead", "ooo"} {
+		for _, name := range []string{"inorder", "multipass", "runahead", "ooo", "cgooo"} {
 			m, err := sim.NewMachine(name, sim.ModelOptions{Hier: mem.BaseConfig(), DisableSkip: disable})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)

@@ -1,0 +1,564 @@
+// Package cgooo implements a coarse-grain out-of-order timing model after
+// CG-OoO (Mohammadi et al., "CG-OoO: Energy-Efficient Coarse-Grain
+// Out-of-Order Execution"): the other major point in the paper's "alternative
+// to the high-power out-of-order offense" design space. Instruction blocks —
+// cut at every branch and at BlockSize instructions — dispatch in program
+// order to a small set of block windows, each with its own energy-cheap
+// scheduler; within a block, instructions issue out of order as their
+// operands arrive (up to WindowIssue per block per cycle); blocks commit in
+// dispatch order, and a mispredicted branch squashes at block granularity
+// (every block younger than the branch's block — a branch always terminates
+// its block, so the squash boundary is exactly a block boundary).
+//
+// The energy argument this geometry models: the unified 128-entry wakeup CAM
+// and issue table of the baseline out-of-order machine are replaced by
+// NumWindows schedulers of BlockSize entries each, so tag broadcast and
+// select operate over windows an order of magnitude smaller (see
+// internal/power). The performance cost is the per-block issue-width cap and
+// in-order block dispatch.
+//
+// Idealizations match the ooo package, so cycle comparisons isolate the
+// scheduling geometry: renaming is global and free of WAW/WAR hazards,
+// scheduling and register read happen together, predicate renaming is ideal,
+// and memory disambiguation is perfect. The front end keeps the baseline
+// out-of-order depth (rename and block dispatch stages), so the misprediction
+// penalty matches the ooo model's.
+package cgooo
+
+import (
+	"context"
+	"fmt"
+
+	"multipass/internal/arch"
+	"multipass/internal/bpred"
+	"multipass/internal/isa"
+	"multipass/internal/mem"
+	"multipass/internal/sim"
+)
+
+func init() {
+	sim.Register("cgooo", func(opts sim.ModelOptions) (sim.Machine, error) {
+		cfg := DefaultConfig()
+		cfg.Hier = opts.Hier
+		if opts.MaxInsts != 0 {
+			cfg.MaxInsts = opts.MaxInsts
+		}
+		cfg.DisableSkip = opts.DisableSkip
+		return New(cfg)
+	})
+	sim.Describe("cgooo", "coarse-grain out-of-order: in-order block dispatch to small per-block schedulers (CG-OoO)")
+}
+
+// maxWindows bounds NumWindows so per-cycle bookkeeping fits fixed arrays.
+const maxWindows = 64
+
+// Config extends the common configuration with the block-window geometry.
+type Config struct {
+	sim.Config
+	// NumWindows is the number of block windows (concurrently live blocks).
+	NumWindows int
+	// BlockSize is the maximum instructions per block; blocks also end at
+	// every branch and at halt.
+	BlockSize int
+	// WindowIssue is each block window's issue width per cycle. The global
+	// functional-unit capacities (Caps) still arbitrate across windows.
+	WindowIssue int
+	// RetireWidth is instructions retired per cycle (block-order commit).
+	RetireWidth int
+}
+
+// DefaultConfig returns the CG-OoO machine: 8 block windows of 32 entries
+// (256 instructions in flight, matching the ooo model's ROB), 2-wide issue
+// per window, and the same +3 front-end stages in the misprediction penalty
+// as the baseline out-of-order machine.
+func DefaultConfig() Config {
+	c := Config{Config: sim.Default()}
+	c.BufferSize = 256
+	c.MispredictPenalty = 11
+	c.NumWindows = 8
+	c.BlockSize = 32
+	c.WindowIssue = 2
+	c.RetireWidth = 6
+	return c
+}
+
+// Validate checks the CG-OoO-specific parameters.
+func (c *Config) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	if c.NumWindows < 1 || c.NumWindows > maxWindows {
+		return fmt.Errorf("cgooo: NumWindows %d outside [1, %d]", c.NumWindows, maxWindows)
+	}
+	if c.BlockSize < 1 || c.WindowIssue < 1 || c.RetireWidth < 1 {
+		return fmt.Errorf("cgooo: invalid block geometry")
+	}
+	return nil
+}
+
+// Machine is the coarse-grain out-of-order model.
+type Machine struct {
+	cfg Config
+	tr  *sim.Trace
+}
+
+// New validates the configuration and returns the model.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := mem.NewHierarchy(cfg.Hier); err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// Name implements sim.Machine.
+func (m *Machine) Name() string { return "cgooo" }
+
+// UseTrace implements sim.TraceUser: subsequent runs of the traced program
+// read the pre-decoded stream instead of re-interpreting it.
+func (m *Machine) UseTrace(tr *sim.Trace) { m.tr = tr }
+
+// Run implements sim.Machine.
+func (m *Machine) Run(ctx context.Context, p *isa.Program, image *arch.Memory) (*sim.Result, error) {
+	return m.runFrom(ctx, p, image, nil)
+}
+
+// CheckpointSpec implements sim.IntervalRunner.
+func (m *Machine) CheckpointSpec() sim.CheckpointSpec {
+	return sim.CheckpointSpec{Hier: m.cfg.Hier, PredictorEntries: m.cfg.PredictorEntries, MaxInsts: m.cfg.MaxInsts}
+}
+
+// RunInterval implements sim.IntervalRunner: it simulates one checkpointed
+// interval of the dynamic stream. The machine carries only read-only state
+// (config, trace), so concurrent interval calls are safe.
+func (m *Machine) RunInterval(ctx context.Context, p *isa.Program, image *arch.Memory, ck *sim.Checkpoint) (*sim.Result, error) {
+	return m.runFrom(ctx, p, image, ck)
+}
+
+type entryState uint8
+
+const (
+	stWaiting entryState = iota
+	stIssued
+	stDone
+)
+
+// entry is one in-flight instruction. Entries live in a ring indexed by
+// seq&mask, and operands rename to at most four producer sequences (QP plus
+// three sources), so the whole window set is a fixed-size value array.
+type entry struct {
+	d          *sim.DynInst
+	state      entryState
+	ndeps      uint8
+	deps       [4]uint64
+	blk        uint64 // owning block id
+	completion uint64
+}
+
+// block is one block window's occupant: a contiguous run of the dynamic
+// stream starting at start, n instructions long, closed once a branch, halt,
+// or the BlockSize cap terminated it.
+type block struct {
+	start  uint64
+	n      int
+	closed bool
+}
+
+// noSeq marks an empty rename-table slot.
+const noSeq = ^uint64(0)
+
+const progressWindow = 1 << 20
+
+func (m *Machine) runFrom(ctx context.Context, p *isa.Program, image *arch.Memory, ck *sim.Checkpoint) (*sim.Result, error) {
+	cfg := m.cfg
+	hier := mem.MustNewHierarchy(cfg.Hier)
+	pred := bpred.New(cfg.PredictorEntries)
+	start, measure, end := ck.Bounds()
+	var stream *sim.Stream
+	if ck == nil {
+		stream = sim.StreamFor(p, image, cfg.MaxInsts, m.tr)
+	} else {
+		if err := hier.RestoreWarm(ck.Caches); err != nil {
+			return nil, err
+		}
+		if err := pred.RestoreWarm(ck.Pred); err != nil {
+			return nil, err
+		}
+		stream = sim.StreamFrom(p, ck, cfg.MaxInsts, m.tr)
+	}
+	fe := sim.NewFetchUnit(stream, hier, cfg.FetchWidth)
+	fe.StartAt(start)
+
+	// Entries live in a power-of-two ring indexed by seq&mask; capacity is
+	// the whole block-window set (NumWindows x BlockSize). Blocks live in
+	// their own power-of-two ring indexed by block id.
+	ringCap := 1
+	for ringCap < cfg.NumWindows*cfg.BlockSize {
+		ringCap <<= 1
+	}
+	ring := make([]entry, ringCap)
+	mask := uint64(ringCap - 1)
+	blkCap := 1
+	for blkCap < cfg.NumWindows {
+		blkCap <<= 1
+	}
+	blkRing := make([]block, blkCap)
+	blkMask := uint64(blkCap - 1)
+
+	var (
+		wm       sim.WarmMark
+		st       sim.Stats
+		now      uint64
+		base     = start // seq of the oldest in-flight instruction
+		count    int     // live entries
+		blkBase  uint64  // id of the oldest live block
+		blkCount int     // live blocks (occupied windows)
+		open     bool    // youngest live block still accepts instructions
+		lastProd [isa.NumFlatRegs]uint64
+		haltSeq  = noSeq
+		lastWork uint64
+		regBuf   [4]isa.Reg
+		// barrier is the sequence of an in-flight branch whose prediction
+		// is wrong: real hardware fetches the wrong path beyond it, so no
+		// younger instruction may enter the machine until it resolves.
+		barrier = noSeq
+		skip    sim.SkipState
+	)
+	skipOn := !cfg.DisableSkip
+	for i := range lastProd {
+		lastProd[i] = noSeq
+	}
+	entAt := func(seq uint64) *entry { return &ring[seq&mask] }
+	blkAt := func(id uint64) *block { return &blkRing[id&blkMask] }
+
+	rebuildRename := func() {
+		for i := range lastProd {
+			lastProd[i] = noSeq
+		}
+		for k := 0; k < count; k++ {
+			seq := base + uint64(k)
+			for _, reg := range entAt(seq).d.Inst.Writes(regBuf[:0]) {
+				if !reg.IsZeroReg() {
+					lastProd[reg.Flat()] = seq
+				}
+			}
+		}
+	}
+
+	for {
+		if err := sim.PollContext(ctx, now); err != nil {
+			return nil, fmt.Errorf("cgooo: %w", err)
+		}
+		wm.Mark(base, measure, &st, pred, hier)
+		if base >= end {
+			// Non-final interval done: every measured sequence has retired
+			// (the final interval instead exits through the halt below).
+			break
+		}
+		skip.Begin()
+		// Retire in block order from the oldest window; within a block,
+		// commit is in program order, so retirement walks the seq order and
+		// frees a window when its block's last instruction leaves.
+		retired := 0
+		for retired < cfg.RetireWidth && count > 0 {
+			if !wm.Marked() && base >= measure {
+				// No retire burst spans the measurement mark; the baseline
+				// lands exactly on the boundary next cycle.
+				break
+			}
+			e := entAt(base)
+			if e.state != stDone || e.completion > now {
+				if e.state == stDone {
+					skip.Note(e.completion)
+				}
+				break
+			}
+			if e.d.Halt {
+				haltSeq = e.d.Seq
+			}
+			hb := blkAt(blkBase)
+			base++
+			count--
+			st.Retired++
+			retired++
+			if hb.closed && base >= hb.start+uint64(hb.n) {
+				blkBase++
+				blkCount--
+			}
+		}
+		fe.Release(base)
+		if haltSeq != noSeq {
+			st.Cycles++ // the retire cycle of halt
+			st.Cat[sim.StallExecution]++
+			st.CGOOO.WindowOccCy += uint64(blkCount)
+			break
+		}
+
+		// Dispatch up to FetchWidth instructions in order. A new block needs
+		// a free window; the open block accepts until a branch, halt, or the
+		// BlockSize cap closes it.
+		fe.SetLimit(base + uint64(ringCap))
+		inserted := 0
+		winFullIdle := false
+		for inserted < cfg.FetchWidth && barrier == noSeq {
+			seq := base + uint64(count)
+			if seq >= end {
+				// Interval end: nothing past it enters the machine, so base
+				// rises to exactly end as the windows drain.
+				break
+			}
+			if !open && blkCount >= cfg.NumWindows {
+				st.CGOOO.WindowFullCy++
+				winFullIdle = inserted == 0
+				break
+			}
+			d, err := stream.At(seq)
+			if err != nil {
+				return nil, err
+			}
+			if d == nil {
+				break
+			}
+			fready, ok, err := fe.ReadyAt(seq)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if fready > now {
+				skip.Note(fready)
+				break
+			}
+			curBlk := blkBase + uint64(blkCount) - 1
+			if !open {
+				curBlk = blkBase + uint64(blkCount)
+				*blkAt(curBlk) = block{start: seq}
+				blkCount++
+				open = true
+				st.CGOOO.Blocks++
+				if uint64(blkCount) > st.CGOOO.PeakLiveBlocks {
+					st.CGOOO.PeakLiveBlocks = uint64(blkCount)
+				}
+			}
+			b := blkAt(curBlk)
+			e := entAt(seq)
+			*e = entry{d: d, blk: curBlk}
+			for _, reg := range d.Inst.Reads(regBuf[:0]) {
+				if reg.IsZeroReg() {
+					continue
+				}
+				// noSeq passes the >= base filter (it is the max uint64),
+				// so an empty slot must be rejected explicitly.
+				if prod := lastProd[reg.Flat()]; prod != noSeq && prod >= base {
+					e.deps[e.ndeps] = prod
+					e.ndeps++
+				}
+			}
+			for _, reg := range d.Inst.Writes(regBuf[:0]) {
+				if !reg.IsZeroReg() {
+					lastProd[reg.Flat()] = seq
+				}
+			}
+			b.n++
+			count++
+			inserted++
+			if d.IsBranch || d.Halt || b.n >= cfg.BlockSize {
+				b.closed = true
+				open = false
+				if uint64(b.n) > st.CGOOO.MaxBlockLen {
+					st.CGOOO.MaxBlockLen = uint64(b.n)
+				}
+			}
+			if d.Halt {
+				break
+			}
+			if d.IsBranch && pred.Predict(d.Addr()) != d.Taken {
+				// Everything fetched beyond this branch would be
+				// wrong-path; stall the front end until it resolves.
+				barrier = seq
+			}
+		}
+
+		// Select and issue: each window picks ready instructions oldest-first
+		// up to its own width; the shared functional units arbitrate across
+		// windows, favoring older blocks (the scan is global seq order, so
+		// per-window oldest-first and cross-window old-block-first coincide).
+		var use isa.FUUse
+		var blkIssued [maxWindows]uint8
+		issued := 0
+		for i := 0; i < count && issued < cfg.Caps.MaxIssue; i++ {
+			e := entAt(base + uint64(i))
+			if e.state != stWaiting {
+				continue
+			}
+			if int(blkIssued[e.blk&blkMask]) >= cfg.WindowIssue {
+				continue
+			}
+			ready := true
+			for _, dep := range e.deps[:e.ndeps] {
+				if dep < base {
+					continue
+				}
+				de := entAt(dep)
+				if de.state != stDone || de.completion > now {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			in := e.d.Inst
+			if !use.Fits(in.Op, &cfg.Caps) {
+				continue
+			}
+			use.Add(in.Op)
+			e.state = stIssued
+			blkIssued[e.blk&blkMask]++
+			issued++
+			lastWork = now
+
+			e.completion = now + uint64(in.Op.Latency())
+			switch {
+			case e.d.IsLoad:
+				e.completion = hier.AccessData(e.d.MemAddr, now, false, false)
+			case e.d.IsStore:
+				hier.AccessData(e.d.MemAddr, now, true, false)
+			}
+			if e.completion <= now {
+				e.completion = now + 1
+			}
+			if e.completion <= now+1 {
+				e.state = stDone
+			}
+
+			if e.d.IsBranch {
+				if e.d.Seq == barrier {
+					barrier = noSeq // resolved; fetch may resume
+				}
+				correct := pred.Update(e.d.Addr(), e.d.Taken)
+				if !correct {
+					// Block-granularity squash: the branch terminated its
+					// block, so every younger in-flight instruction belongs
+					// to a younger block; discard those blocks and refetch.
+					cut := int(e.d.Seq - base + 1)
+					squashed := count - cut
+					count = cut
+					removed := blkBase + uint64(blkCount) - (e.blk + 1)
+					blkCount = int(e.blk - blkBase + 1)
+					open = false
+					st.CGOOO.BlockSquashes++
+					st.CGOOO.SquashedBlocks += removed
+					st.CGOOO.SquashedInsts += uint64(squashed)
+					if barrier != noSeq && barrier >= base+uint64(cut) {
+						barrier = noSeq
+					}
+					fe.Flush(e.d.Seq+1, now+1+uint64(cfg.MispredictPenalty))
+					rebuildRename()
+					break
+				}
+			}
+		}
+		// Promote issued entries whose completion has arrived.
+		promoted := 0
+		for k := 0; k < count; k++ {
+			if e := entAt(base + uint64(k)); e.state == stIssued {
+				if e.completion <= now+1 {
+					e.state = stDone
+					promoted++
+				} else {
+					// First cycle this entry can promote; every waiting
+					// entry's time deadline bottoms out at an issued
+					// producer's completion, so noting these covers the
+					// whole dependence graph.
+					skip.Note(e.completion - 1)
+				}
+			}
+		}
+
+		// Attribution (paper §5.2): a cycle with no issue is charged to the
+		// oldest unfinished instruction's stall cause, or to the front end
+		// when the machine is empty.
+		cat := sim.StallExecution
+		if issued == 0 {
+			if count == 0 {
+				cat = sim.StallFrontEnd
+			} else {
+				cause := sim.StallFrontEnd
+				for k := 0; k < count; k++ {
+					e := entAt(base + uint64(k))
+					if e.state == stDone && e.completion <= now {
+						continue
+					}
+					switch {
+					case e.state != stWaiting:
+						// Oldest unfinished is executing.
+						if e.d.IsLoad {
+							cause = sim.StallLoad
+						} else {
+							cause = sim.StallOther
+						}
+					default:
+						// Waiting on producers: find the slowest unfinished one.
+						cause = sim.StallOther
+						for _, dep := range e.deps[:e.ndeps] {
+							if dep < base {
+								continue
+							}
+							de := entAt(dep)
+							if de.state == stDone && de.completion <= now {
+								continue
+							}
+							if de.d.IsLoad {
+								cause = sim.StallLoad
+								break
+							}
+						}
+					}
+					break
+				}
+				cat = cause
+			}
+		}
+		st.Cat[cat]++
+		st.Cycles++
+		st.CGOOO.WindowOccCy += uint64(blkCount)
+		now++
+		// Idle-cycle fast-forwarding: when nothing retired, dispatched,
+		// issued, or promoted, every structure (entries, blocks, rename,
+		// barrier) holds its state and the attribution scan reads only
+		// monotone comparisons, so cycles up to the earliest noted deadline
+		// replay identically; block occupancy is constant across the jump.
+		if skipOn && retired == 0 && inserted == 0 && issued == 0 && promoted == 0 {
+			if d := skip.Jump(hier, now); d > 0 {
+				st.Cat[cat] += d
+				if winFullIdle {
+					st.CGOOO.WindowFullCy += d
+				}
+				st.Cycles += d
+				st.CGOOO.WindowOccCy += d * uint64(blkCount)
+				now += d
+			}
+		}
+		if now-lastWork > progressWindow {
+			return nil, fmt.Errorf("cgooo: no issue for %d cycles at base %d", progressWindow, base)
+		}
+	}
+
+	st.Branch = pred.Stats()
+	st.Memory = hier.Stats()
+	wm.Discard(&st)
+	if err := st.CheckConsistency(); err != nil {
+		return nil, err
+	}
+	// Like the other oracle-driven timing model (ooo), cgooo does not
+	// simulate values; its architectural outcome is the oracle's final state
+	// (wrong paths are never simulated, so nothing can leak). Only the final
+	// interval — the one that retires the halt — reports a meaningful state;
+	// the stitcher uses exactly that one.
+	fin := stream.FinalState()
+	return &sim.Result{Stats: st, RF: fin.RF, Mem: fin.Mem}, nil
+}

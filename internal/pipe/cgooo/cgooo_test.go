@@ -1,0 +1,241 @@
+package cgooo
+
+import (
+	"context"
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/pipe/inorder"
+	"multipass/internal/pipe/ooo"
+	"multipass/internal/sim"
+)
+
+func run(t *testing.T, cfg Config, src string, setup func(*arch.Memory)) *sim.Result {
+	t.Helper()
+	p := isa.MustAssemble(src)
+	image := arch.NewMemory()
+	if setup != nil {
+		setup(image)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(context.Background(), p, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := arch.Run(p, image.Clone(), 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Retired != ref.State.Retired {
+		t.Fatalf("retired %d, reference %d", res.Stats.Retired, ref.State.Retired)
+	}
+	if !res.RF.Equal(ref.State.RF) || !res.Mem.Equal(ref.State.Mem) {
+		t.Fatal("cgooo final state diverged from reference")
+	}
+	return res
+}
+
+func runOther(t *testing.T, m sim.Machine, src string, setup func(*arch.Memory)) *sim.Result {
+	t.Helper()
+	p := isa.MustAssemble(src)
+	image := arch.NewMemory()
+	if setup != nil {
+		setup(image)
+	}
+	res, err := m.Run(context.Background(), p, image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const missOverlap = `
+	movi r10 = 0x100000
+	ld4 r1 = [r10]
+	add r2 = r1, r1
+	ld4 r3 = [r10+8192]
+	add r4 = r3, r3
+	ld4 r5 = [r10+16384]
+	add r6 = r5, r5
+	halt
+`
+
+// TestOverlapsIndependentMisses: the whole program is one block (no
+// branches), so intra-block out-of-order issue overlaps all three misses
+// where the in-order machine serializes them.
+func TestOverlapsIndependentMisses(t *testing.T) {
+	cg := run(t, DefaultConfig(), missOverlap, nil)
+	im, err := inorder.New(sim.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runOther(t, im, missOverlap, nil)
+	if cg.Stats.Cycles+200 > base.Stats.Cycles {
+		t.Errorf("cgooo %d cycles vs inorder %d: expected overlap win", cg.Stats.Cycles, base.Stats.Cycles)
+	}
+}
+
+func TestLoopMatchesReference(t *testing.T) {
+	res := run(t, DefaultConfig(), `
+	movi r1 = 0
+	movi r2 = 0x1000
+	movi r3 = 100
+loop:
+	ld4 r4 = [r2]
+	add r1 = r1, r4
+	addi r2 = r2, 4
+	subi r3 = r3, 1
+	cmpi.ne p1, p2 = r3, 0 ;;
+	(p1) br loop
+	halt
+`, func(m *arch.Memory) {
+		for i := 0; i < 100; i++ {
+			m.Store(uint32(0x1000+4*i), 4, uint64(i))
+		}
+	})
+	if res.Stats.IPC() <= 0.5 {
+		t.Errorf("IPC = %.2f, unexpectedly low for a simple loop", res.Stats.IPC())
+	}
+	// Every loop iteration ends in a branch, so blocks are iteration-sized
+	// and the model dispatched at least one block per iteration.
+	if res.Stats.CGOOO.Blocks < 100 {
+		t.Errorf("blocks dispatched = %d, want >= one per iteration", res.Stats.CGOOO.Blocks)
+	}
+	if res.Stats.CGOOO.MaxBlockLen == 0 || res.Stats.CGOOO.MaxBlockLen > uint64(DefaultConfig().BlockSize) {
+		t.Errorf("MaxBlockLen = %d, outside (0, BlockSize]", res.Stats.CGOOO.MaxBlockLen)
+	}
+}
+
+// TestBlockSquashAccounting: an unpredictable data-dependent branch must
+// squash at block granularity — flush events, squashed blocks, and squashed
+// instructions all counted, and the final state still byte-identical to the
+// oracle (squash bookkeeping cannot corrupt rename state).
+func TestBlockSquashAccounting(t *testing.T) {
+	res := run(t, DefaultConfig(), `
+	movi r1 = 12345
+	movi r4 = 1000
+loop:
+	shli r5 = r1, 13
+	xor r1 = r1, r5
+	shri r5 = r1, 17
+	xor r1 = r1, r5
+	andi r6 = r1, 1
+	cmpi.eq p1, p2 = r6, 1 ;;
+	(p1) br skip
+	addi r3 = r3, 1
+skip:
+	subi r4 = r4, 1
+	cmpi.ne p1, p2 = r4, 0 ;;
+	(p1) br loop
+	halt
+`, nil)
+	cg := &res.Stats.CGOOO
+	if cg.BlockSquashes == 0 {
+		t.Error("unpredictable branches never squashed a block")
+	}
+	if res.Stats.Branch.Mispredicts == 0 {
+		t.Error("no mispredictions recorded")
+	}
+	if cg.SquashedInsts == 0 {
+		t.Error("squashes discarded no instructions")
+	}
+	if cg.SquashedBlocks > cg.SquashedInsts {
+		t.Errorf("squashed blocks %d > squashed instructions %d", cg.SquashedBlocks, cg.SquashedInsts)
+	}
+}
+
+// TestWindowPressure: a long run of branch-free independent loads splits into
+// BlockSize-capped blocks; with only 2 windows the dispatch stage must stall
+// on window exhaustion, and fewer windows must never be faster.
+func TestWindowPressure(t *testing.T) {
+	src := "	movi r10 = 0x100000\n"
+	for i := 0; i < 80; i++ {
+		src += "	ld4 r" + itoa(1+i%60) + " = [r10+" + itoa(8192*(i+1)) + "]\n"
+	}
+	src += "	halt\n"
+
+	wide := run(t, DefaultConfig(), src, nil)
+	narrow := DefaultConfig()
+	narrow.NumWindows = 2
+	narrow.BlockSize = 8
+	res := run(t, narrow, src, nil)
+	if res.Stats.CGOOO.WindowFullCy == 0 {
+		t.Error("2 windows of 8 never filled on an 80-load run")
+	}
+	if res.Stats.Cycles < wide.Stats.Cycles {
+		t.Errorf("narrow geometry (%d cycles) beat default (%d)", res.Stats.Cycles, wide.Stats.Cycles)
+	}
+	if p := res.Stats.CGOOO.PeakLiveBlocks; p != 2 {
+		t.Errorf("PeakLiveBlocks = %d with 2 windows under pressure, want 2", p)
+	}
+}
+
+// TestNeverFasterThanOOO: on a block-friendly straight-line miss program the
+// unified-window machine is at least as fast — cgooo only constrains the
+// schedule (per-window width, in-order dispatch), it never adds capability.
+func TestNeverFasterThanOOO(t *testing.T) {
+	om, err := ooo.New(ooo.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := runOther(t, om, missOverlap, nil)
+	cg := run(t, DefaultConfig(), missOverlap, nil)
+	if cg.Stats.Cycles < o.Stats.Cycles {
+		t.Errorf("cgooo %d cycles beat ooo %d on a single-block program", cg.Stats.Cycles, o.Stats.Cycles)
+	}
+}
+
+// TestWindowOccupancyIntegral: the occupancy integral is bounded by
+// NumWindows per cycle and must be nonzero on any program that dispatches.
+func TestWindowOccupancyIntegral(t *testing.T) {
+	res := run(t, DefaultConfig(), missOverlap, nil)
+	cg := &res.Stats.CGOOO
+	if cg.WindowOccCy == 0 {
+		t.Error("occupancy integral is zero")
+	}
+	if max := res.Stats.Cycles * uint64(DefaultConfig().NumWindows); cg.WindowOccCy > max {
+		t.Errorf("WindowOccCy %d exceeds cycles x NumWindows %d", cg.WindowOccCy, max)
+	}
+	if cg.PeakLiveBlocks == 0 || cg.PeakLiveBlocks > uint64(DefaultConfig().NumWindows) {
+		t.Errorf("PeakLiveBlocks = %d, outside (0, NumWindows]", cg.PeakLiveBlocks)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.NumWindows = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero windows accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.NumWindows = maxWindows + 1
+	if _, err := New(bad2); err == nil {
+		t.Error("NumWindows above the fixed-array cap accepted")
+	}
+	bad3 := DefaultConfig()
+	bad3.WindowIssue = 0
+	if _, err := New(bad3); err == nil {
+		t.Error("zero per-window issue width accepted")
+	}
+	bad4 := DefaultConfig()
+	bad4.BlockSize = 0
+	if _, err := New(bad4); err == nil {
+		t.Error("zero block size accepted")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,170 @@
+package cgooo
+
+import (
+	"context"
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/sim"
+)
+
+// runBothWays runs src with idle-cycle skipping on and off and asserts the
+// two runs are byte-identical in sim.Stats and final architectural state.
+// Full-struct Stats equality also pins the skip-exactness of the cgooo
+// occupancy integral (WindowOccCy) and the window-full attribution.
+// It returns the skip-on result for further assertions.
+func runBothWays(t *testing.T, src string, setup func(*arch.Memory)) *sim.Result {
+	t.Helper()
+	p := isa.MustAssemble(src)
+	results := make([]*sim.Result, 2)
+	for i, disable := range []bool{false, true} {
+		image := arch.NewMemory()
+		if setup != nil {
+			setup(image)
+		}
+		cfg := DefaultConfig()
+		cfg.DisableSkip = disable
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(context.Background(), p, image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	on, off := results[0], results[1]
+	if on.Stats != off.Stats {
+		t.Errorf("stats diverged with skipping on:\n  on:  %+v\n  off: %+v", on.Stats, off.Stats)
+	}
+	if !on.RF.Equal(off.RF) {
+		t.Errorf("final registers diverged: %v", on.RF.Diff(off.RF))
+	}
+	if !on.Mem.Equal(off.Mem) {
+		t.Error("final memory diverged between skip modes")
+	}
+	return on
+}
+
+// TestSkipLandsOnRedirectCycle: each iteration stalls on a cold load whose
+// value steers an alternating branch, so the skip target is the fill cycle
+// that immediately resolves a mispredicting branch — a block squash. The
+// squash counters must be skip-exact.
+func TestSkipLandsOnRedirectCycle(t *testing.T) {
+	res := runBothWays(t, `
+	movi r2 = 0x1000
+	movi r3 = 40
+	movi r1 = 0
+loop:
+	ld4 r4 = [r2] ;;
+	cmpi.ne p1, p2 = r4, 0 ;;
+	(p1) br odd
+	addi r1 = r1, 100 ;;
+	br next
+odd:
+	addi r1 = r1, 1 ;;
+next:
+	addi r2 = r2, 4096
+	subi r3 = r3, 1
+	cmpi.ne p3, p4 = r3, 0 ;;
+	(p3) br loop
+	halt
+`, func(m *arch.Memory) {
+		for i := 0; i < 40; i++ {
+			m.Store(uint32(0x1000+4096*i), 4, uint64(i%2))
+		}
+	})
+	if got := res.RF.Read(isa.IntReg(1)).Uint32(); got != 20*100+20*1 {
+		t.Errorf("r1 = %d, want %d", got, 20*100+20*1)
+	}
+	if res.Stats.Branch.Mispredicts == 0 {
+		t.Error("no mispredictions: the redirect path was not exercised")
+	}
+	if res.Stats.CGOOO.BlockSquashes == 0 {
+		t.Error("no block squashes on an alternating branch")
+	}
+	if res.Stats.Cat[sim.StallLoad] == 0 {
+		t.Error("no load-stall cycles: nothing for the skip to fast-forward")
+	}
+}
+
+// TestSkipSingleCycleStall: dependent single-cycle latencies give wake targets
+// of now+1 — the degenerate one-cycle jump — which must account identically
+// to ticking, including the per-cycle occupancy integral.
+func TestSkipSingleCycleStall(t *testing.T) {
+	runBothWays(t, `
+	movi r2 = 0x1000
+	st4 [r2] = r2 ;;
+	ld4 r1 = [r2] ;;
+	add r3 = r1, r1 ;;
+	add r4 = r3, r3 ;;
+	mul r5 = r4, r4 ;;
+	add r6 = r5, r5 ;;
+	halt
+`, nil)
+}
+
+// TestSkipLongQuiescentStall: a pointer chase across cold lines produces long
+// idle stretches with a constant number of live blocks; the bulk jump must
+// credit load stalls and WindowOccCy exactly as the ticking path does.
+func TestSkipLongQuiescentStall(t *testing.T) {
+	res := runBothWays(t, `
+	movi r1 = 0x1000
+	movi r3 = 100
+loop:
+	ld4 r1 = [r1]
+	subi r3 = r3, 1
+	cmpi.ne p1, p2 = r3, 0 ;;
+	(p1) br loop
+	halt
+`, func(m *arch.Memory) {
+		addr := uint32(0x1000)
+		for i := 0; i < 110; i++ {
+			nxt := addr + 4096
+			m.Store(addr, 4, uint64(nxt))
+			addr = nxt
+		}
+	})
+	if ld := res.Stats.Cat[sim.StallLoad]; ld < res.Stats.Cycles/2 {
+		t.Errorf("load stalls %d of %d cycles; chase should be load-dominated", ld, res.Stats.Cycles)
+	}
+}
+
+// TestSkipWindowFullStall: with a tiny geometry the dispatch stage parks on
+// window exhaustion while misses drain; those idle window-full cycles are
+// exactly the ones the skip bulk-credits, so WindowFullCy must match between
+// modes (covered by the full-Stats equality in runBothWays).
+func TestSkipWindowFullStall(t *testing.T) {
+	src := "	movi r10 = 0x100000\n"
+	for i := 0; i < 40; i++ {
+		src += "	ld4 r" + itoa(1+i%60) + " = [r10+" + itoa(8192*(i+1)) + "]\n"
+	}
+	src += "	halt\n"
+	p := isa.MustAssemble(src)
+
+	cfg := DefaultConfig()
+	cfg.NumWindows = 2
+	cfg.BlockSize = 4
+	var got [2]*sim.Result
+	for i, disable := range []bool{false, true} {
+		c := cfg
+		c.DisableSkip = disable
+		m, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(context.Background(), p, arch.NewMemory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[i] = res
+	}
+	if got[0].Stats != got[1].Stats {
+		t.Errorf("stats diverged with skipping on:\n  on:  %+v\n  off: %+v", got[0].Stats, got[1].Stats)
+	}
+	if got[0].Stats.CGOOO.WindowFullCy == 0 {
+		t.Error("tiny geometry never hit window-full: the edge under test did not occur")
+	}
+}

@@ -1,0 +1,174 @@
+package power
+
+import "multipass/internal/sim"
+
+// Five-way structure sets: the scheduling and bookkeeping storage each
+// machine adds on top of the shared datapath (front end, FUs, caches), so
+// the comparison isolates exactly the structures the models disagree about.
+// The out-of-order and multipass sets reuse the Table 1 geometries; the
+// additions below cover runahead and the CG-OoO block-window machine.
+
+// cgWindows and cgWindowEntries mirror the cgooo model's default geometry:
+// 8 block windows of 32 entries (internal/pipe/cgooo DefaultConfig).
+const (
+	cgWindows       = 8
+	cgWindowEntries = 32
+	cgWindowIssue   = 2
+	// oooRealQueues mirrors ooo RealisticConfig: the 128-entry unified
+	// window is replaced by 8 decentralized 16-entry scheduling queues.
+	oooRealQueues    = 8
+	oooRealQueueSize = 16
+)
+
+// CGRegisterFile is the shared physical register file of the block-window
+// machine. Rename is still global, but issue is capped at 2 per window with
+// 6-wide retire, so the read/write porting is cheaper than the unified
+// machine's 12R/8W.
+func CGRegisterFile() ArraySpec {
+	return ArraySpec{Name: "cg-regfile", Entries: 512, Bits: dataBits, ReadPorts: 8, WritePorts: 6}
+}
+
+// CGRegisterAliasTable is the RAT; identical to the unified machine's, since
+// blocks rename at the same per-instruction rate.
+func CGRegisterAliasTable() ArraySpec {
+	return ArraySpec{Name: "cg-rat", Entries: 256, Bits: renameBit, ReadPorts: 12, WritePorts: 6}
+}
+
+// CGWakeup is the per-window wakeup CAM: 8 copies of 32 entries instead of
+// one 128-entry matrix. Each copy's dependence row spans only its own window
+// (CG-OoO's energy argument: tag broadcast and matchlines scale with window
+// entries, so 8 small CAMs searched at 2-wide beat one large CAM at 6-wide).
+func CGWakeup() ArraySpec {
+	return ArraySpec{Name: "cg-wakeup", Entries: cgWindowEntries, Bits: 83, CAM: true, TagBits: renameBit,
+		ReadPorts: cgWindowIssue, WritePorts: cgWindowIssue, Count: cgWindows}
+}
+
+// CGIssue is the per-window select table: 8 copies of 32 entries, 2R/2W.
+func CGIssue() ArraySpec {
+	return ArraySpec{Name: "cg-issue", Entries: cgWindowEntries, Bits: 19,
+		ReadPorts: cgWindowIssue, WritePorts: cgWindowIssue, Count: cgWindows}
+}
+
+// CGLoadBuffer and CGStoreBuffer are global (memory ordering crosses
+// blocks), identical to the unified machine's.
+func CGLoadBuffer() ArraySpec {
+	s := OOOLoadBuffer()
+	s.Name = "cg-loadbuf"
+	return s
+}
+
+// CGStoreBuffer is the store-ordering CAM.
+func CGStoreBuffer() ArraySpec {
+	s := OOOStoreBuffer()
+	s.Name = "cg-storebuf"
+	return s
+}
+
+// OOORealWakeup is the decentralized wakeup of the §5.2 realistic machine:
+// 8 queues of 16 entries replacing the 128-entry unified matrix.
+func OOORealWakeup() ArraySpec {
+	return ArraySpec{Name: "ooo-wakeup", Entries: oooRealQueueSize, Bits: 83, CAM: true, TagBits: renameBit,
+		ReadPorts: issueWide, WritePorts: issueWide, Count: oooRealQueues}
+}
+
+// RACheckpointRF is runahead's architectural-state checkpoint: a shadow
+// register file bulk-copied on episode entry and restored on exit, idle (and
+// gated) the rest of the time.
+func RACheckpointRF() ArraySpec {
+	return ArraySpec{Name: "ra-ckpt", Entries: 256, Bits: dataBits, ReadPorts: 2, WritePorts: 2}
+}
+
+// RARunaheadCache holds speculative stores during an episode so runahead
+// loads see them without touching memory: same small set-associative
+// geometry as the multipass ASC.
+func RARunaheadCache() ArraySpec {
+	s := MPASC()
+	s.Name = "ra-cache"
+	return s
+}
+
+// RAInvalidBits tracks poisoned (invalid) registers during an episode: one
+// bit per architectural register.
+func RAInvalidBits() ArraySpec {
+	return ArraySpec{Name: "ra-inv", Entries: 256, Bits: 1, ReadPorts: 4, WritePorts: 2}
+}
+
+// ModelStructures returns the comparison structure set for a registry model
+// name, or nil for models outside the five-way comparison. The in-order
+// baseline contributes its ARF so every machine's set includes the register
+// storage its schedule reads.
+func ModelStructures(model string) []ArraySpec {
+	switch model {
+	case "inorder":
+		return []ArraySpec{MPArchRegisterFile()}
+	case "multipass":
+		return []ArraySpec{MPArchRegisterFile(), MPSpecRegisterFile(), MPResultStore(),
+			MPInstructionQueue(), MPSMAQ(), MPASC()}
+	case "runahead":
+		return []ArraySpec{MPArchRegisterFile(), RACheckpointRF(), RARunaheadCache(), RAInvalidBits()}
+	case "ooo":
+		return []ArraySpec{OOORegisterFile(), OOORegisterAliasTable(), OOOWakeup(), OOOIssue(),
+			OOOLoadBuffer(), OOOStoreBuffer()}
+	case "ooo-realistic":
+		return []ArraySpec{OOORegisterFile(), OOORegisterAliasTable(), OOORealWakeup(), OOOIssue(),
+			OOOLoadBuffer(), OOOStoreBuffer()}
+	case "cgooo":
+		return []ArraySpec{CGRegisterFile(), CGRegisterAliasTable(), CGWakeup(), CGIssue(),
+			CGLoadBuffer(), CGStoreBuffer()}
+	}
+	return nil
+}
+
+// ModelActivities derives per-structure access rates for a model run. The
+// out-of-order and multipass mappings follow OOOActivities/MPActivities; the
+// runahead and cgooo mappings are documented in place.
+func ModelActivities(model string, st *sim.Stats) map[string]Activity {
+	c := st.Cycles
+	ipc := rate(st.Retired, c)
+	memRate := rate(st.Memory.L1D.Accesses, c)
+	switch model {
+	case "inorder":
+		return map[string]Activity{
+			"mp-arf": {Reads: 2 * ipc, Writes: 0.7 * ipc},
+		}
+	case "multipass":
+		return MPActivities(st)
+	case "runahead":
+		ra := &st.Runahead
+		// Episode entry/exit bulk-copies the checkpoint; invalid bits are
+		// consulted by every pre-executed instruction; the runahead cache
+		// serves episode memory traffic (AdvanceAccesses counts it).
+		raOff := 1 - rate(ra.Cycles, c)
+		advMem := st.Memory.L1D.AdvanceAccesses
+		return map[string]Activity{
+			"mp-arf":   {Reads: 2 * ipc, Writes: 0.7 * ipc},
+			"ra-ckpt":  {Reads: rate(ra.Episodes, c), Writes: rate(ra.Episodes, c), GatedOffFraction: raOff},
+			"ra-cache": {Reads: rate(advMem, c), Writes: rate(advMem/4, c), GatedOffFraction: raOff},
+			"ra-inv":   {Reads: 2 * rate(ra.PreExecuted, c), Writes: rate(ra.PreExecuted, c), GatedOffFraction: raOff},
+		}
+	case "ooo", "ooo-realistic":
+		return OOOActivities(st)
+	case "cgooo":
+		// Per-copy rates: dispatch, issue and completion traffic spreads
+		// across the live windows; empty windows are clock gated, so the
+		// per-copy gated fraction is one minus the mean occupancy.
+		perWin := func(r float64) float64 { return r / cgWindows }
+		occ := rate(st.CGOOO.WindowOccCy, c) / cgWindows // mean fraction of windows live
+		winOff := 1 - occ
+		return map[string]Activity{
+			"cg-regfile":  {Reads: 2 * ipc, Writes: 0.7 * ipc},
+			"cg-rat":      {Reads: 2 * ipc, Writes: 0.7 * ipc},
+			"cg-wakeup":   {Reads: perWin(ipc), Writes: perWin(ipc), GatedOffFraction: winOff},
+			"cg-issue":    {Reads: perWin(ipc), Writes: perWin(ipc), GatedOffFraction: winOff},
+			"cg-loadbuf":  {Reads: memRate, Writes: memRate / 2},
+			"cg-storebuf": {Reads: memRate, Writes: memRate / 2},
+		}
+	}
+	return nil
+}
+
+// ModelPower evaluates one model's comparison structure set against the
+// activity of a run: total peak watts and Wattch-average watts.
+func ModelPower(model string, st *sim.Stats) (peak, avg float64) {
+	return groupPower(ModelStructures(model), ModelActivities(model, st))
+}

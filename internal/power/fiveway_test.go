@@ -1,0 +1,100 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"multipass/internal/sim"
+)
+
+// TestCountMultiplier pins the replication semantics: N copies cost N times
+// one copy at peak, and N times one copy on average when every copy sees the
+// same per-copy activity.
+func TestCountMultiplier(t *testing.T) {
+	one := CGWakeup()
+	one.Count = 1
+	eight := CGWakeup()
+	eight.Count = 8
+	if got, want := eight.PeakPower(), 8*one.PeakPower(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("8-copy peak %.4g W, want 8x one copy = %.4g W", got, want)
+	}
+	act := Activity{Reads: 0.5, Writes: 0.5}
+	if got, want := eight.AvgPower(act), 8*one.AvgPower(act); math.Abs(got-want) > 1e-12 {
+		t.Errorf("8-copy avg %.4g W, want 8x one copy = %.4g W", got, want)
+	}
+	// Zero Count means one copy, so existing specs are unchanged.
+	zero := CGWakeup()
+	zero.Count = 0
+	if zero.PeakPower() != one.PeakPower() {
+		t.Error("Count 0 must behave as a single copy")
+	}
+	// Per-copy energies do not include the multiplier.
+	if one.ReadEnergy() != eight.ReadEnergy() {
+		t.Error("ReadEnergy must be per copy, independent of Count")
+	}
+}
+
+// TestCGWakeupCheaperThanUnified is the CG-OoO energy argument in model
+// form: 8 small per-window CAMs at 2-wide cost less — peak and per-search —
+// than one 128-entry unified CAM at 6-wide.
+func TestCGWakeupCheaperThanUnified(t *testing.T) {
+	cg, unified := CGWakeup(), OOOWakeup()
+	if cg.PeakPower() >= unified.PeakPower() {
+		t.Errorf("clustered wakeup peak %.3g W not below unified %.3g W", cg.PeakPower(), unified.PeakPower())
+	}
+	if cg.ReadEnergy() >= unified.ReadEnergy() {
+		t.Errorf("32-entry CAM search %.3g J not below 128-entry %.3g J", cg.ReadEnergy(), unified.ReadEnergy())
+	}
+}
+
+// fiveWayModels are the registry names ModelStructures/ModelActivities serve.
+var fiveWayModels = []string{"inorder", "multipass", "runahead", "ooo", "ooo-realistic", "cgooo"}
+
+// TestModelActivitiesCoverModelStructures: for every five-way model, each
+// structure has an activity mapping under its exact name, so no structure
+// silently idles at the clock-gate floor because of a key typo.
+func TestModelActivitiesCoverModelStructures(t *testing.T) {
+	st := &sim.Stats{Cycles: 1000, Retired: 2500}
+	st.Memory.L1D.Accesses = 700
+	st.Memory.L1D.AdvanceAccesses = 120
+	st.Runahead = sim.RunaheadStats{Episodes: 4, PreExecuted: 300, Cycles: 250}
+	st.CGOOO = sim.CGOOOStats{Blocks: 200, WindowOccCy: 4000}
+	for _, model := range fiveWayModels {
+		specs := ModelStructures(model)
+		if len(specs) == 0 {
+			t.Errorf("%s: no structures", model)
+			continue
+		}
+		acts := ModelActivities(model, st)
+		for _, s := range specs {
+			if _, ok := acts[s.Name]; !ok {
+				t.Errorf("%s: no activity mapping for %s", model, s.Name)
+			}
+		}
+		peak, avg := ModelPower(model, st)
+		if peak <= 0 || avg <= 0 || avg > peak {
+			t.Errorf("%s: implausible power peak %.3g avg %.3g", model, peak, avg)
+		}
+	}
+	if ModelStructures("bogus") != nil || ModelActivities("bogus", st) != nil {
+		t.Error("unknown model must return nil, not a partial set")
+	}
+}
+
+// TestFiveWayPeakOrdering pins the headline structure-power relationships:
+// the unified out-of-order machine has the highest peak, the block-window
+// machine sits strictly below it, and the in-order baseline is lowest.
+func TestFiveWayPeakOrdering(t *testing.T) {
+	peak := func(m string) float64 {
+		p, _ := ModelPower(m, &sim.Stats{Cycles: 1, Retired: 1})
+		return p
+	}
+	if !(peak("cgooo") < peak("ooo")) {
+		t.Errorf("cgooo peak %.3g W not below ooo %.3g W", peak("cgooo"), peak("ooo"))
+	}
+	for _, m := range []string{"multipass", "runahead", "ooo", "ooo-realistic", "cgooo"} {
+		if !(peak("inorder") < peak(m)) {
+			t.Errorf("inorder peak %.3g W not below %s %.3g W", peak("inorder"), m, peak(m))
+		}
+	}
+}

@@ -55,6 +55,18 @@ type ArraySpec struct {
 	// (read); their reads are searches.
 	CAM     bool
 	TagBits int
+	// Count replicates the structure: Count identical copies, as in the
+	// per-window schedulers of a clustered machine. Energies stay per copy;
+	// PeakPower and AvgPower return totals across all copies, with Activity
+	// rates interpreted per copy. Zero means one copy.
+	Count int
+}
+
+func (s ArraySpec) copies() float64 {
+	if s.Count < 1 {
+		return 1
+	}
+	return float64(s.Count)
 }
 
 func (s ArraySpec) banks() int {
@@ -145,14 +157,14 @@ func (s ArraySpec) searchEnergy() float64 {
 	return e
 }
 
-// PeakPower returns the structure's power in watts with every port active
-// every cycle.
+// PeakPower returns the structure's power in watts with every port of every
+// copy active every cycle.
 func (s ArraySpec) PeakPower() float64 {
 	perCycle := float64(s.ReadPorts)*s.ReadEnergy() +
 		float64(s.WritePorts)*s.WriteEnergy() +
 		float64(s.WideReadPorts)*s.WideReadEnergy() +
 		float64(s.WideWritePorts)*s.WideWriteEnergy()
-	return perCycle * Freq
+	return perCycle * Freq * s.copies()
 }
 
 // Activity is the observed per-cycle access rates of a structure.
@@ -182,7 +194,8 @@ func clamp(rate float64, ports int) float64 {
 // AvgPower returns the average power under Wattch's linear clock-gating
 // model: the used fraction of each port's peak plus the idle floor, with
 // the floor suppressed for the fraction of time the structure's clock is
-// gated off entirely.
+// gated off entirely. Activity rates are per copy; the result sums over all
+// Count copies (PeakPower already includes the multiplier).
 func (s ArraySpec) AvgPower(a Activity) float64 {
 	dynamic := clamp(a.Reads, s.ReadPorts)*s.ReadEnergy() +
 		clamp(a.Writes, s.WritePorts)*s.WriteEnergy() +
@@ -196,5 +209,5 @@ func (s ArraySpec) AvgPower(a Activity) float64 {
 		gate = 1
 	}
 	floor := ClockGateIdleFraction * s.PeakPower() * (1 - gate)
-	return floor + (1-ClockGateIdleFraction)*dynamic*Freq
+	return floor + (1-ClockGateIdleFraction)*dynamic*Freq*s.copies()
 }

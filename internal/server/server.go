@@ -54,6 +54,7 @@ import (
 	// Link the standard timing models into the sim registry so a bare
 	// server binary serves them all.
 	_ "multipass/internal/core"
+	_ "multipass/internal/pipe/cgooo"
 	_ "multipass/internal/pipe/inorder"
 	_ "multipass/internal/pipe/ooo"
 	_ "multipass/internal/pipe/runahead"

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"reflect"
 
 	"multipass/internal/bpred"
 	"multipass/internal/mem"
@@ -55,6 +56,7 @@ type Stats struct {
 	Multipass MultipassStats
 	Runahead  RunaheadStats
 	OOO       OOOStats
+	CGOOO     CGOOOStats
 }
 
 // MultipassStats counts multipass-specific activity (paper §3).
@@ -96,12 +98,30 @@ type OOOStats struct {
 	ROBFullCy    uint64 `json:"rob_full_cy"`    // cycles rename stalled on a full ROB
 }
 
-// Add accumulates o into s fieldwise; Sub removes it. Every counter in Stats
-// is a pure uint64 count, so both operations are exact; they exist for
+// CGOOOStats counts coarse-grain out-of-order model activity (block windows,
+// block-granularity dispatch/commit/squash).
+type CGOOOStats struct {
+	Blocks         uint64 `json:"blocks"`          // blocks dispatched to block windows
+	BlockSquashes  uint64 `json:"block_squashes"`  // branch misprediction flushes (block granularity)
+	SquashedBlocks uint64 `json:"squashed_blocks"` // younger blocks discarded by flushes
+	SquashedInsts  uint64 `json:"squashed_insts"`  // in-flight instructions discarded by flushes
+	WindowFullCy   uint64 `json:"window_full_cy"`  // cycles dispatch stalled with every block window live
+	WindowOccCy    uint64 `json:"window_occ_cy"`   // occupancy integral: sum over cycles of live block windows
+	// Gauges, not counts: a longer run of the same program does not grow
+	// them, so sparse-sampling extrapolation (ScaleTo) keeps them as-is.
+	PeakLiveBlocks uint64 `json:"peak_live_blocks"` // max simultaneously live block windows
+	MaxBlockLen    uint64 `json:"max_block_len"`    // longest block formed (bounded by BlockSize)
+}
+
+// Add accumulates o into s fieldwise; Sub removes it. Counters are pure
+// uint64 counts, so both operations are exact on them; they exist for
 // interval sampling, where per-interval stats are stitched by addition and
 // warm-up baselines removed by subtraction. Because the stall categories and
 // Cycles are always incremented together, both operations preserve the
-// CheckConsistency invariant.
+// CheckConsistency invariant. Gauges (peaks and widths, e.g.
+// CGOOOStats.PeakLiveBlocks) are not counts: Add merges them by maximum and
+// Sub leaves them in place — a peak observed during a warm-up window cannot
+// be un-observed, so a stitched gauge covers warm-up and measurement alike.
 func (s *Stats) Add(o *Stats) {
 	s.Cycles += o.Cycles
 	s.Retired += o.Retired
@@ -113,6 +133,7 @@ func (s *Stats) Add(o *Stats) {
 	s.Multipass.add(&o.Multipass)
 	s.Runahead.add(&o.Runahead)
 	s.OOO.add(&o.OOO)
+	s.CGOOO.add(&o.CGOOO)
 }
 
 // Sub removes o from s fieldwise.
@@ -127,6 +148,7 @@ func (s *Stats) Sub(o *Stats) {
 	s.Multipass.sub(&o.Multipass)
 	s.Runahead.sub(&o.Runahead)
 	s.OOO.sub(&o.OOO)
+	s.CGOOO.sub(&o.CGOOO)
 }
 
 func (s *MultipassStats) add(o *MultipassStats) {
@@ -201,54 +223,202 @@ func (s *OOOStats) sub(o *OOOStats) {
 	s.ROBFullCy -= o.ROBFullCy
 }
 
-// ScaleTo linearly extrapolates every counter so the stats describe a stream
-// of n retired instructions instead of the s.Retired actually measured. Used
-// by sparse interval sampling, where only every Period-th interval is
-// simulated in detail: counts scale by n/Retired (rounded to nearest), then
-// Retired is set to n exactly and Cycles is recomputed as the sum of the
-// scaled stall categories so CheckConsistency still holds.
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (s *CGOOOStats) add(o *CGOOOStats) {
+	s.Blocks += o.Blocks
+	s.BlockSquashes += o.BlockSquashes
+	s.SquashedBlocks += o.SquashedBlocks
+	s.SquashedInsts += o.SquashedInsts
+	s.WindowFullCy += o.WindowFullCy
+	s.WindowOccCy += o.WindowOccCy
+	s.PeakLiveBlocks = maxU64(s.PeakLiveBlocks, o.PeakLiveBlocks)
+	s.MaxBlockLen = maxU64(s.MaxBlockLen, o.MaxBlockLen)
+}
+
+func (s *CGOOOStats) sub(o *CGOOOStats) {
+	s.Blocks -= o.Blocks
+	s.BlockSquashes -= o.BlockSquashes
+	s.SquashedBlocks -= o.SquashedBlocks
+	s.SquashedInsts -= o.SquashedInsts
+	s.WindowFullCy -= o.WindowFullCy
+	s.WindowOccCy -= o.WindowOccCy
+	// PeakLiveBlocks and MaxBlockLen are gauges: subtraction is undefined
+	// for a maximum, so the observed peak stands.
+}
+
+// scaleRule is the declared sparse-sampling extrapolation treatment of one
+// numeric field of Stats.
+type scaleRule int
+
+const (
+	// scaleLinear marks an extensive counter (events, cycles): it grows with
+	// stream length and is multiplied by the extrapolation ratio.
+	scaleLinear scaleRule = iota
+	// scaleKeep marks a non-extensive gauge (a peak, width, or level): its
+	// value does not grow with stream length, so extrapolation keeps it.
+	scaleKeep
+	// scaleDerived marks a field ScaleTo recomputes itself after the
+	// per-field pass: Retired lands exactly on the target, and Cycles is
+	// re-summed from the scaled stall categories so CheckConsistency holds.
+	scaleDerived
+)
+
+// scaleRules declares, for every numeric leaf field of Stats (paths as
+// enumerated by statsFieldPaths), how ScaleTo treats it. There is no default:
+// ScaleTo panics on a field missing here, and TestScaleRulesExhaustive fails
+// on missing or stale entries, so a new counter must pick extensive vs gauge
+// explicitly rather than silently scaling either way.
+var scaleRules = map[string]scaleRule{
+	"Cycles":  scaleDerived,
+	"Retired": scaleDerived,
+	"Cat":     scaleLinear,
+
+	"Branch.Lookups":     scaleLinear,
+	"Branch.Mispredicts": scaleLinear,
+
+	"Memory.L1I.Accesses":        scaleLinear,
+	"Memory.L1I.Misses":          scaleLinear,
+	"Memory.L1I.AdvanceAccesses": scaleLinear,
+	"Memory.L1I.AdvanceMisses":   scaleLinear,
+	"Memory.L1I.Writebacks":      scaleLinear,
+	"Memory.L1D.Accesses":        scaleLinear,
+	"Memory.L1D.Misses":          scaleLinear,
+	"Memory.L1D.AdvanceAccesses": scaleLinear,
+	"Memory.L1D.AdvanceMisses":   scaleLinear,
+	"Memory.L1D.Writebacks":      scaleLinear,
+	"Memory.L2.Accesses":         scaleLinear,
+	"Memory.L2.Misses":           scaleLinear,
+	"Memory.L2.AdvanceAccesses":  scaleLinear,
+	"Memory.L2.AdvanceMisses":    scaleLinear,
+	"Memory.L2.Writebacks":       scaleLinear,
+	"Memory.L3.Accesses":         scaleLinear,
+	"Memory.L3.Misses":           scaleLinear,
+	"Memory.L3.AdvanceAccesses":  scaleLinear,
+	"Memory.L3.AdvanceMisses":    scaleLinear,
+	"Memory.L3.Writebacks":       scaleLinear,
+	"Memory.MSHRStalls":          scaleLinear,
+
+	"Multipass.AdvanceEntries":   scaleLinear,
+	"Multipass.AdvancePasses":    scaleLinear,
+	"Multipass.Restarts":         scaleLinear,
+	"Multipass.HWRestarts":       scaleLinear,
+	"Multipass.AdvanceExecuted":  scaleLinear,
+	"Multipass.AdvanceDeferred":  scaleLinear,
+	"Multipass.Merged":           scaleLinear,
+	"Multipass.Reexecuted":       scaleLinear,
+	"Multipass.SpecLoads":        scaleLinear,
+	"Multipass.SpecFlushes":      scaleLinear,
+	"Multipass.AdvanceCycles":    scaleLinear,
+	"Multipass.RallyCycles":      scaleLinear,
+	"Multipass.ArchCycles":       scaleLinear,
+	"Multipass.EarlyResolved":    scaleLinear,
+	"Multipass.ASCHits":          scaleLinear,
+	"Multipass.ASCReplacements":  scaleLinear,
+	"Multipass.DeferredStores":   scaleLinear,
+	"Multipass.IQFullCycles":     scaleLinear,
+	"Multipass.RestartInstsSeen": scaleLinear,
+
+	"Runahead.Episodes":    scaleLinear,
+	"Runahead.PreExecuted": scaleLinear,
+	"Runahead.Deferred":    scaleLinear,
+	"Runahead.Cycles":      scaleLinear,
+
+	"OOO.Flushes":      scaleLinear,
+	"OOO.Squashed":     scaleLinear,
+	"OOO.WindowFullCy": scaleLinear,
+	"OOO.ROBFullCy":    scaleLinear,
+
+	"CGOOO.Blocks":         scaleLinear,
+	"CGOOO.BlockSquashes":  scaleLinear,
+	"CGOOO.SquashedBlocks": scaleLinear,
+	"CGOOO.SquashedInsts":  scaleLinear,
+	"CGOOO.WindowFullCy":   scaleLinear,
+	"CGOOO.WindowOccCy":    scaleLinear,
+	"CGOOO.PeakLiveBlocks": scaleKeep,
+	"CGOOO.MaxBlockLen":    scaleKeep,
+}
+
+// statsFieldPaths enumerates the dot-joined paths of every numeric leaf field
+// reachable from t (a struct type). A fixed-size numeric array such as Cat is
+// a single leaf: its elements necessarily share one scaling decision.
+func statsFieldPaths(t reflect.Type, prefix string) []string {
+	var paths []string
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		path := f.Name
+		if prefix != "" {
+			path = prefix + "." + f.Name
+		}
+		switch f.Type.Kind() {
+		case reflect.Struct:
+			paths = append(paths, statsFieldPaths(f.Type, path)...)
+		default:
+			paths = append(paths, path)
+		}
+	}
+	return paths
+}
+
+// ScaleTo extrapolates the stats to describe a stream of n retired
+// instructions instead of the s.Retired actually measured. Used by sparse
+// interval sampling, where only every Period-th interval is simulated in
+// detail. Each field follows its declared scaleRules entry: extensive
+// counters scale by n/Retired (rounded to nearest), gauges keep their
+// measured value, then Retired is set to n exactly and Cycles is recomputed
+// as the sum of the scaled stall categories so CheckConsistency still holds.
 func (s *Stats) ScaleTo(n uint64) {
 	if s.Retired == 0 || s.Retired == n {
 		s.Retired = n
 		return
 	}
 	r := float64(n) / float64(s.Retired)
-	sc := func(v *uint64) { *v = uint64(float64(*v)*r + 0.5) }
-	for i := range s.Cat {
-		sc(&s.Cat[i])
-	}
-	sc(&s.Branch.Lookups)
-	sc(&s.Branch.Mispredicts)
-	for _, c := range []*mem.CacheStats{&s.Memory.L1I, &s.Memory.L1D, &s.Memory.L2, &s.Memory.L3} {
-		sc(&c.Accesses)
-		sc(&c.Misses)
-		sc(&c.AdvanceAccesses)
-		sc(&c.AdvanceMisses)
-		sc(&c.Writebacks)
-	}
-	sc(&s.Memory.MSHRStalls)
-	mp := &s.Multipass
-	for _, v := range []*uint64{
-		&mp.AdvanceEntries, &mp.AdvancePasses, &mp.Restarts, &mp.HWRestarts,
-		&mp.AdvanceExecuted, &mp.AdvanceDeferred, &mp.Merged, &mp.Reexecuted,
-		&mp.SpecLoads, &mp.SpecFlushes, &mp.AdvanceCycles, &mp.RallyCycles,
-		&mp.ArchCycles, &mp.EarlyResolved, &mp.ASCHits, &mp.ASCReplacements,
-		&mp.DeferredStores, &mp.IQFullCycles, &mp.RestartInstsSeen,
-	} {
-		sc(v)
-	}
-	sc(&s.Runahead.Episodes)
-	sc(&s.Runahead.PreExecuted)
-	sc(&s.Runahead.Deferred)
-	sc(&s.Runahead.Cycles)
-	sc(&s.OOO.Flushes)
-	sc(&s.OOO.Squashed)
-	sc(&s.OOO.WindowFullCy)
-	sc(&s.OOO.ROBFullCy)
+	scaleStruct(reflect.ValueOf(s).Elem(), "", r)
 	s.Retired = n
 	s.Cycles = 0
 	for _, c := range s.Cat {
 		s.Cycles += c
+	}
+}
+
+func scaleStruct(v reflect.Value, prefix string, r float64) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		path := f.Name
+		if prefix != "" {
+			path = prefix + "." + f.Name
+		}
+		fv := v.Field(i)
+		if f.Type.Kind() == reflect.Struct {
+			scaleStruct(fv, path, r)
+			continue
+		}
+		rule, ok := scaleRules[path]
+		if !ok {
+			// A wiring bug, like a duplicate registry name: the exhaustive
+			// test catches it before any sparse run can.
+			panic(fmt.Sprintf("sim: Stats field %s has no declared ScaleTo rule", path))
+		}
+		if rule != scaleLinear {
+			continue
+		}
+		switch f.Type.Kind() {
+		case reflect.Uint64:
+			fv.SetUint(uint64(float64(fv.Uint())*r + 0.5))
+		case reflect.Array:
+			for j := 0; j < fv.Len(); j++ {
+				e := fv.Index(j)
+				e.SetUint(uint64(float64(e.Uint())*r + 0.5))
+			}
+		default:
+			panic(fmt.Sprintf("sim: Stats field %s has unsupported kind %s", path, f.Type.Kind()))
+		}
 	}
 }
 

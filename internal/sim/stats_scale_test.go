@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestScaleTo pins the sparse-sampling extrapolation: counters scale by the
 // stream-length ratio, Retired lands exactly on the target, and the stall
@@ -52,5 +55,70 @@ func TestScaleTo(t *testing.T) {
 	same.ScaleTo(50)
 	if same.Cycles != 70 {
 		t.Errorf("identity scale changed cycles to %d", same.Cycles)
+	}
+}
+
+// TestScaleToKeepsGauges: non-extensive fields (peak occupancies, widths)
+// must survive extrapolation unchanged — a 4x longer stream of the same
+// program does not have 4x the peak live block windows.
+func TestScaleToKeepsGauges(t *testing.T) {
+	s := Stats{Retired: 1000, Cycles: 1000}
+	s.Cat[StallExecution] = 1000
+	s.CGOOO.Blocks = 120
+	s.CGOOO.WindowOccCy = 6400
+	s.CGOOO.PeakLiveBlocks = 7
+	s.CGOOO.MaxBlockLen = 13
+
+	s.ScaleTo(4000)
+	if s.CGOOO.Blocks != 480 || s.CGOOO.WindowOccCy != 25600 {
+		t.Errorf("extensive cgooo counters not scaled: %+v", s.CGOOO)
+	}
+	if s.CGOOO.PeakLiveBlocks != 7 || s.CGOOO.MaxBlockLen != 13 {
+		t.Errorf("gauges scaled: PeakLiveBlocks=%d MaxBlockLen=%d, want 7 and 13",
+			s.CGOOO.PeakLiveBlocks, s.CGOOO.MaxBlockLen)
+	}
+}
+
+// TestScaleRulesExhaustive walks every numeric leaf field of Stats by
+// reflection and requires a declared scaleRules entry for each, and no stale
+// entries for fields that no longer exist. Adding a field to Stats (or any
+// nested stats struct) without deciding whether it is an extensive counter
+// (scaleLinear) or a gauge (scaleKeep) fails here before any sparse-sampled
+// run can extrapolate it wrongly.
+func TestScaleRulesExhaustive(t *testing.T) {
+	paths := statsFieldPaths(reflect.TypeOf(Stats{}), "")
+	seen := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		seen[p] = true
+		if _, ok := scaleRules[p]; !ok {
+			t.Errorf("Stats field %s has no scaleRules entry; declare scaleLinear (extensive counter), scaleKeep (gauge), or scaleDerived", p)
+		}
+	}
+	for p := range scaleRules {
+		if !seen[p] {
+			t.Errorf("scaleRules entry %s matches no Stats field (stale after a rename?)", p)
+		}
+	}
+	// The derived set is closed: exactly the two fields ScaleTo recomputes.
+	for p, r := range scaleRules {
+		if r == scaleDerived && p != "Cycles" && p != "Retired" {
+			t.Errorf("scaleRules marks %s derived, but ScaleTo only recomputes Cycles and Retired", p)
+		}
+	}
+}
+
+// TestScaleToGaugeMerge pins the stitching semantics of gauges: Add takes the
+// maximum and Sub (warm-up discard) leaves the observed peak in place.
+func TestScaleToGaugeMerge(t *testing.T) {
+	var a, b Stats
+	a.CGOOO.PeakLiveBlocks, b.CGOOO.PeakLiveBlocks = 3, 5
+	a.CGOOO.MaxBlockLen, b.CGOOO.MaxBlockLen = 20, 10
+	a.Add(&b)
+	if a.CGOOO.PeakLiveBlocks != 5 || a.CGOOO.MaxBlockLen != 20 {
+		t.Errorf("gauge Add = %+v, want max-merge (5, 20)", a.CGOOO)
+	}
+	a.Sub(&b)
+	if a.CGOOO.PeakLiveBlocks != 5 || a.CGOOO.MaxBlockLen != 20 {
+		t.Errorf("gauge Sub = %+v, want unchanged (5, 20)", a.CGOOO)
 	}
 }

@@ -36,6 +36,7 @@ type statsJSON struct {
 	Multipass      *MultipassStats `json:"multipass,omitempty"`
 	Runahead       *RunaheadStats  `json:"runahead,omitempty"`
 	OOO            *OOOStats       `json:"ooo,omitempty"`
+	CGOOO          *CGOOOStats     `json:"cgooo,omitempty"`
 }
 
 // MarshalJSON implements the canonical versioned encoding. The receiver is a
@@ -66,6 +67,10 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 	if s.OOO != (OOOStats{}) {
 		oo := s.OOO
 		out.OOO = &oo
+	}
+	if s.CGOOO != (CGOOOStats{}) {
+		cg := s.CGOOO
+		out.CGOOO = &cg
 	}
 	return json.Marshal(&out)
 }
@@ -98,6 +103,9 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 	}
 	if in.OOO != nil {
 		s.OOO = *in.OOO
+	}
+	if in.CGOOO != nil {
+		s.CGOOO = *in.CGOOO
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -28,7 +29,7 @@ func testRegistry(t *testing.T) *sim.Registry {
 }
 
 // TestCrossModelSeeds is the deterministic slice of the differential check
-// that runs in every `go test ./...`: a few dozen seeds, all five models.
+// that runs in every `go test ./...`: a few dozen seeds, all canonical models.
 func TestCrossModelSeeds(t *testing.T) {
 	n := 40
 	if testing.Short() {
@@ -161,6 +162,54 @@ func TestShrinkKeepsValidPrograms(t *testing.T) {
 		return
 	}
 	t.Skip("no failing seed in range (generator changed?)")
+}
+
+// TestUnknownModelRejected pins the fail-fast contract for bad -models input:
+// every unknown name is rejected up front — before any program is generated
+// or the oracle runs — with an error naming the offender and listing the
+// registered models as the hint. A typo like "cgoo" must not start a
+// 500-seed run that dies at seed 1.
+func TestUnknownModelRejected(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name    string
+		models  []string
+		wantBad string // "" means the list must be accepted
+	}{
+		{"typo", []string{"cgoo"}, "cgoo"},
+		{"typo after valid names", []string{"inorder", "ooo", "oooo"}, "oooo"},
+		{"whitespace not trimmed upstream", []string{" ooo"}, " ooo"},
+		{"empty name", []string{""}, ""},
+		{"all canonical", CanonicalModels, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(ctx, 1, 1, Options{Models: tc.models}, false, nil)
+			if tc.wantBad == "" && tc.name != "empty name" {
+				if err != nil {
+					t.Fatalf("valid models rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Run accepted unknown model in %v", tc.models)
+			}
+			if !strings.Contains(err.Error(), strconv.Quote(tc.wantBad)) {
+				t.Errorf("error %q does not name the offending model %q", err, tc.wantBad)
+			}
+			if !strings.Contains(err.Error(), "registered:") {
+				t.Errorf("error %q lacks the registered-models hint", err)
+			}
+			// CheckProgram must enforce the same contract for direct callers.
+			p, perr := isa.Assemble("\thalt\n")
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			if _, err := CheckProgram(ctx, p, Options{Models: tc.models}); err == nil {
+				t.Errorf("CheckProgram accepted unknown model in %v", tc.models)
+			}
+		})
+	}
 }
 
 // TestFailureString pins the human-readable failure format used in repro
