@@ -23,11 +23,23 @@ import (
 	"strings"
 	"time"
 
+	"multipass/internal/arch"
 	"multipass/internal/bench"
 	"multipass/internal/mem"
 	"multipass/internal/sim"
 	"multipass/internal/workload"
 )
+
+// funcInterpModel is the pseudo-model row measuring the superblock functional
+// interpreter (the fast-forward engine behind checkpoint sampling): Cycles
+// holds the retired instruction count and SimCyclesPerSec holds retired
+// functional instructions per wall second, so the -compare ratio gate covers
+// the fast-forward path like any timing model cell.
+const funcInterpModel = "funcinterp"
+
+// funcInterpLimit mirrors the dynamic instruction budget the bench harness
+// uses for functional runs.
+const funcInterpLimit = 1 << 22
 
 // modelSnap is one model's measurement on one kernel.
 type modelSnap struct {
@@ -273,6 +285,15 @@ func run(kernels string, scale, reps int, outDir, models, tag string, skipOn, fo
 			fmt.Printf("%-8s %-16s %12.0f simcycles/s  %8.0f allocs/run  %.6f allocs/cycle\n",
 				w.Name, name, cps, allocsPerRun, allocsPerRun/float64(cycles))
 		}
+		fi, err := measureFuncInterp(pr, reps)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", w.Name, funcInterpModel, err)
+		}
+		ks.Models = append(ks.Models, fi)
+		logGeo += math.Log(fi.SimCyclesPerSec)
+		cells++
+		fmt.Printf("%-8s %-16s %12.0f funcinsts/s  %8.0f allocs/run  %.6f allocs/inst\n",
+			w.Name, funcInterpModel, fi.SimCyclesPerSec, fi.AllocsPerRun, fi.AllocsPerCycle)
 		snap.Kernels = append(snap.Kernels, ks)
 	}
 	snap.GeomeanCyclesPS = math.Exp(logGeo / float64(cells))
@@ -288,6 +309,46 @@ func run(kernels string, scale, reps int, outDir, models, tag string, skipOn, fo
 	}
 	fmt.Println("wrote", path)
 	return nil
+}
+
+// measureFuncInterp times the superblock interpreter over the prepared
+// kernel, with the same warm-up-then-measure discipline as the timing-model
+// cells. The program is pre-decoded once outside the timed region (the
+// design point: sim decodes once and reuses across every interval).
+func measureFuncInterp(pr *bench.Prepared, reps int) (modelSnap, error) {
+	sb := arch.NewSBProgram(pr.P)
+	if _, err := sb.Run(pr.Image.Clone(), funcInterpLimit); err != nil {
+		return modelSnap{}, err
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	var insts, total uint64
+	var wall time.Duration
+	for i := 0; i < reps; i++ {
+		img := pr.Image.Clone()
+		start := time.Now()
+		res, err := sb.Run(img, funcInterpLimit)
+		wall += time.Since(start)
+		if err != nil {
+			return modelSnap{}, err
+		}
+		insts = res.State.Retired
+		total += res.State.Retired
+	}
+	runtime.ReadMemStats(&ms1)
+
+	allocsPerRun := float64(ms1.Mallocs-ms0.Mallocs) / float64(reps)
+	return modelSnap{
+		Model:           funcInterpModel,
+		Cycles:          insts,
+		Reps:            reps,
+		WallSeconds:     wall.Seconds(),
+		SimCyclesPerSec: float64(total) / wall.Seconds(),
+		AllocsPerRun:    allocsPerRun,
+		AllocsPerCycle:  allocsPerRun / float64(insts),
+	}, nil
 }
 
 // readSnapshot loads a snapshot file, normalizing legacy v1 files (flat

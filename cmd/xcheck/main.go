@@ -34,6 +34,7 @@ func main() {
 	corpus := flag.String("corpus", "internal/xcheck/testdata/corpus", "directory for failure repros")
 	inject := flag.Bool("inject", false, "also check the deliberately broken "+xcheck.BuggyModelName+" model (must fail)")
 	skipdiff := flag.Bool("skipdiff", false, "run every model twice (idle-cycle skipping on and off) and report any stats or state divergence")
+	oracle := flag.String("oracle", "superblock", "reference interpreter: superblock | stepwise")
 	quiet := flag.Bool("q", false, "suppress per-progress output")
 	flag.Parse()
 
@@ -43,6 +44,14 @@ func main() {
 		os.Exit(2)
 	}
 	opts := xcheck.Options{Hier: hc, SkipDiff: *skipdiff}
+	switch *oracle {
+	case "superblock":
+	case "stepwise":
+		opts.StepwiseOracle = true
+	default:
+		fmt.Fprintf(os.Stderr, "xcheck: unknown oracle %q (have superblock | stepwise)\n", *oracle)
+		os.Exit(2)
+	}
 	switch *models {
 	case "":
 	case "all":

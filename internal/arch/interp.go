@@ -135,8 +135,18 @@ type RunResult struct {
 
 // Run interprets the program to completion (or until limit instructions have
 // retired, in which case it returns an error). The memory is mutated in
-// place.
+// place. Execution goes through the direct-threaded superblock interpreter
+// (superblock.go), which is proven byte-identical to the step-wise reference
+// by the differential tests in internal/xcheck; RunStepwise remains available
+// as the independent semantic baseline.
 func Run(p *isa.Program, mem *Memory, limit uint64) (*RunResult, error) {
+	return NewSBProgram(p).Run(mem, limit)
+}
+
+// RunStepwise interprets the program one State.Step at a time. It is the
+// semantic reference the superblock interpreter is validated against and is
+// deliberately kept as the original, obviously-correct loop.
+func RunStepwise(p *isa.Program, mem *Memory, limit uint64) (*RunResult, error) {
 	s := NewState(mem)
 	res := &RunResult{State: s}
 	for !s.Halted {

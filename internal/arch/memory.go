@@ -29,6 +29,15 @@ type Memory struct {
 	pages  map[uint32]*[pageSize]byte
 	lastPN uint32
 	lastPG *[pageSize]byte
+
+	// Dirty-page tracking for delta checkpoint captures (TrackDirty /
+	// CaptureDelta). dirty is nil unless tracking is enabled, so the only
+	// cost on ordinary memories is one nil check per store. dirtyPN is a
+	// one-entry mark cache: stores have strong page locality, so most marks
+	// hit the page already recorded.
+	dirty   map[uint32]struct{}
+	dirtyPN uint32
+	dirtyOK bool
 }
 
 // NewMemory returns an empty memory.
@@ -71,6 +80,65 @@ func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 	return pg
 }
 
+// TrackDirty enables dirty-page tracking: from now on every store records
+// its page, and CaptureDelta can snapshot the memory at a cost proportional
+// to the pages written since the previous capture rather than the full
+// image. Tracking stays enabled for the memory's lifetime.
+func (m *Memory) TrackDirty() {
+	if m.dirty == nil {
+		m.dirty = make(map[uint32]struct{})
+	}
+}
+
+// markStore records addr's page as dirty. Every store entry point calls it;
+// on memories without tracking it is a nil check.
+func (m *Memory) markStore(addr uint32) {
+	if m.dirty == nil {
+		return
+	}
+	pn := addr >> pageShift
+	if m.dirtyOK && m.dirtyPN == pn {
+		return
+	}
+	m.dirty[pn] = struct{}{}
+	m.dirtyPN, m.dirtyOK = pn, true
+}
+
+// CaptureDelta returns an immutable snapshot of the memory for checkpoint
+// use. With prev == nil (or tracking disabled) it is a full deep copy.
+// Otherwise prev must be the snapshot returned by the previous CaptureDelta
+// on this memory: pages untouched since then are shared with prev by
+// pointer, and only pages dirtied in between are copied fresh, so capture
+// cost follows the store stream, not the image size. The dirty set resets on
+// every capture.
+//
+// Snapshots are read-only by contract: every checkpoint consumer Clones the
+// snapshot before executing on it. Writing through a snapshot would corrupt
+// the pages it shares with its predecessors.
+func (m *Memory) CaptureDelta(prev *Memory) *Memory {
+	if m.dirty == nil || prev == nil {
+		c := m.Clone()
+		if m.dirty != nil {
+			m.dirty = make(map[uint32]struct{})
+			m.dirtyOK = false
+		}
+		return c
+	}
+	c := &Memory{pages: make(map[uint32]*[pageSize]byte, len(m.pages))}
+	for pn, pg := range prev.pages {
+		c.pages[pn] = pg
+	}
+	for pn := range m.dirty {
+		if pg := m.pages[pn]; pg != nil {
+			cp := *pg
+			c.pages[pn] = &cp
+		}
+	}
+	m.dirty = make(map[uint32]struct{})
+	m.dirtyOK = false
+	return c
+}
+
 // LoadByte reads one byte.
 func (m *Memory) LoadByte(addr uint32) byte {
 	pg := m.page(addr, false)
@@ -82,6 +150,7 @@ func (m *Memory) LoadByte(addr uint32) byte {
 
 // StoreByte writes one byte.
 func (m *Memory) StoreByte(addr uint32, v byte) {
+	m.markStore(addr)
 	m.page(addr, true)[addr&pageMask] = v
 }
 
@@ -121,6 +190,7 @@ func (m *Memory) Load(addr uint32, n int) uint64 {
 // single-page fast path as Load.
 func (m *Memory) Store(addr uint32, n int, v uint64) {
 	if off := int(addr & pageMask); off+n <= pageSize {
+		m.markStore(addr)
 		pg := m.page(addr, true)
 		switch n {
 		case 4:

@@ -1,0 +1,135 @@
+package arch
+
+import "testing"
+
+// TestCaptureDeltaChainMatchesClone drives a memory through several
+// write/capture rounds and checks each delta snapshot is content-identical to
+// a full Clone taken at the same instant.
+func TestCaptureDeltaChainMatchesClone(t *testing.T) {
+	m := NewMemory()
+	m.TrackDirty()
+
+	var snaps []*Memory
+	var wants []*Memory
+	var prev *Memory
+
+	write := func(addrs ...uint32) {
+		for i, a := range addrs {
+			m.Store(a, 4, uint64(0xdead0000+uint32(i)))
+		}
+		s := m.CaptureDelta(prev)
+		prev = s
+		snaps = append(snaps, s)
+		wants = append(wants, m.Clone())
+	}
+
+	write(0x1000, 0x2000)         // two fresh pages
+	write(0x2004)                 // dirty one existing page
+	write(0x7ff_f000, 0x10)       // high page + page 0
+	write()                       // no stores at all: pure sharing
+	write(0x1008, 0x1008, 0x1008) // repeated stores, one dirty page
+	write(0x2ffe)                 // store straddling 0x2000/0x3000 pages
+
+	for i := range snaps {
+		if !snaps[i].Equal(wants[i]) {
+			t.Fatalf("snapshot %d differs from full clone", i)
+		}
+	}
+
+	// Deltas must be immune to later writes through the live memory.
+	m.Store(0x1000, 4, 0xffffffff)
+	m.Store(0x2004, 4, 0xffffffff)
+	for i := range snaps {
+		if !snaps[i].Equal(wants[i]) {
+			t.Fatalf("snapshot %d changed after later writes to live memory", i)
+		}
+	}
+}
+
+// TestCaptureDeltaSharesCleanPages checks that pages untouched between
+// captures are shared by pointer with the previous snapshot, and dirty pages
+// are fresh copies.
+func TestCaptureDeltaSharesCleanPages(t *testing.T) {
+	m := NewMemory()
+	m.TrackDirty()
+	m.Store(0x1000, 8, 1)
+	m.Store(0x2000, 8, 2)
+	s1 := m.CaptureDelta(nil)
+
+	m.Store(0x2008, 8, 3)
+	s2 := m.CaptureDelta(s1)
+
+	if s1.pages[1] != s2.pages[1] {
+		t.Errorf("clean page 1 not shared between consecutive snapshots")
+	}
+	if s1.pages[2] == s2.pages[2] {
+		t.Errorf("dirty page 2 aliased between snapshots")
+	}
+	if m.pages[1] == s2.pages[1] || m.pages[2] == s2.pages[2] {
+		t.Errorf("live pages aliased into a snapshot")
+	}
+}
+
+// TestCaptureDeltaStraddleMarksBothPages checks a store crossing a page
+// boundary dirties both pages.
+func TestCaptureDeltaStraddleMarksBothPages(t *testing.T) {
+	m := NewMemory()
+	m.TrackDirty()
+	m.Store(0x1000, 4, 1)
+	m.Store(0x2000, 4, 2)
+	base := m.CaptureDelta(nil)
+
+	m.Store(0x1ffe, 4, 0xaabbccdd) // straddles pages 1 and 2
+	s := m.CaptureDelta(base)
+	if !s.Equal(m.Clone()) {
+		t.Fatalf("straddling store not fully captured")
+	}
+	if base.pages[1] == s.pages[1] || base.pages[2] == s.pages[2] {
+		t.Errorf("straddled pages should both be fresh copies")
+	}
+}
+
+// TestCaptureDeltaUntracked checks CaptureDelta degrades to a full clone when
+// tracking was never enabled.
+func TestCaptureDeltaUntracked(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x40, 8, 7)
+	s := m.CaptureDelta(nil)
+	if !s.Equal(m) {
+		t.Fatalf("untracked capture differs")
+	}
+	m.Store(0x40, 8, 9)
+	if s.Load(0x40, 8) != 7 {
+		t.Fatalf("untracked capture aliased live memory")
+	}
+}
+
+// TestSuperblockStoresMarkDirty checks the superblock interpreter's inlined
+// store fast path feeds dirty tracking: running a kernel between captures
+// must produce deltas content-identical to full clones.
+func TestSuperblockStoresMarkDirty(t *testing.T) {
+	p := mustAssemble(t, loopSrc)
+	sb := NewSBProgram(p)
+	mem := NewMemory()
+	mem.TrackDirty()
+	base := mem.CaptureDelta(nil)
+
+	st := NewState(mem)
+	if _, err := sb.Exec(st, 40); err != nil {
+		t.Fatal(err)
+	}
+	s1 := mem.CaptureDelta(base)
+	want1 := mem.Clone()
+
+	if _, err := sb.Exec(st, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mem.CaptureDelta(s1)
+
+	if !s1.Equal(want1) {
+		t.Fatalf("mid-run delta differs from clone")
+	}
+	if !s2.Equal(mem.Clone()) {
+		t.Fatalf("final delta differs from clone")
+	}
+}

@@ -2,9 +2,11 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"multipass/internal/mem"
 	"multipass/internal/sim"
@@ -139,7 +141,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if !ok {
 		t.Fatal("inorder does not implement sim.IntervalRunner")
 	}
-	set, err := sim.BuildCheckpoints(pr.P, pr.Image, sim.SampleConfig{Interval: 10000, Warmup: 2500}, ir.CheckpointSpec())
+	set, err := sim.BuildCheckpoints(ctx, pr.P, pr.Image, sim.SampleConfig{Interval: 10000, Warmup: 2500}, ir.CheckpointSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,5 +193,86 @@ func TestRunSampledValidation(t *testing.T) {
 	_, err := pr.RunSampled(context.Background(), MInorder, sim.ModelOptions{Hier: mem.BaseConfig()}, sim.SampleConfig{})
 	if err == nil {
 		t.Fatal("RunSampled accepted a zero interval")
+	}
+}
+
+// TestBuildCheckpointsCancel pins the fast-forward's cancellation contract:
+// a cancelled context must surface promptly as the pass's error, both from
+// the chunk-boundary poll and from a producer blocked sending to a consumer
+// that stopped draining.
+func TestBuildCheckpointsCancel(t *testing.T) {
+	pr := mustPrepare(t, "mcf", 1)
+	m, err := NewMachineOpts(MInorder, sim.ModelOptions{Hier: mem.BaseConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := m.(sim.IntervalRunner).CheckpointSpec()
+	cfg := sim.SampleConfig{Interval: 5000, Warmup: 1000}
+
+	t.Run("poll", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		start := time.Now()
+		_, err := sim.BuildCheckpoints(ctx, pr.P, pr.Image, cfg, spec)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("cancelled fast-forward took %s to return", d)
+		}
+	})
+
+	t.Run("blocked-send", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		src, err := sim.StreamCheckpoints(ctx, pr.P, pr.Image, cfg, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Take one checkpoint, then stop draining: the producer fills the
+		// channel buffer and blocks in its send. Cancellation must unblock it.
+		select {
+		case <-src.C:
+		case <-time.After(30 * time.Second):
+			t.Fatal("no checkpoint arrived")
+		}
+		cancel()
+		done := make(chan struct{})
+		go func() {
+			src.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("producer did not stop after cancellation")
+		}
+		// The pass may have finished before the cancel landed (tiny stream);
+		// either a clean finish or context.Canceled is acceptable, anything
+		// else is a bug.
+		if _, _, _, err := src.Wait(); err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want nil or context.Canceled", err)
+		}
+	})
+}
+
+// TestSampledPhaseFuncFFwd checks the fast-forward wall clock is reported as
+// the func_ffwd phase span on sampled results (the ?debug=true trace and
+// pprof label share the name).
+func TestSampledPhaseFuncFFwd(t *testing.T) {
+	pr := mustPrepare(t, "gzip", 1)
+	res, err := pr.RunSampled(context.Background(), MInorder,
+		sim.ModelOptions{Hier: mem.BaseConfig()}, sim.SampleConfig{Interval: sampleTestInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, ph := range res.Phases {
+		if ph.Name == "func_ffwd" {
+			found = ph.Dur > 0
+		}
+	}
+	if !found {
+		t.Fatalf("no func_ffwd phase with positive duration in %+v", res.Phases)
 	}
 }

@@ -147,7 +147,7 @@ func SamplingStudy(ctx context.Context, scale int) (*SamplingStudyResult, error)
 		wall := time.Since(start)
 		var ff time.Duration
 		for _, ph := range res.Phases {
-			if ph.Name == "fastforward" {
+			if ph.Name == "func_ffwd" {
 				ff = ph.Dur
 			}
 		}

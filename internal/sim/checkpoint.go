@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"time"
 
 	"multipass/internal/arch"
 	"multipass/internal/bpred"
@@ -72,9 +75,12 @@ type Checkpoint struct {
 	// Measure is where measurement starts: stats accumulated on sequences in
 	// [Seq, Measure) are discarded as warm-up.
 	Measure uint64
-	// End is one past the last sequence this interval measures. The final
-	// interval's End is the dynamic stream length, which it reaches by
-	// retiring the halt instruction.
+	// End is one past the last sequence this interval measures. A streamed
+	// checkpoint's End is the optimistic Measure+K — the stream length is not
+	// known yet when the checkpoint is handed out — and the final interval
+	// simply reaches the halt first. Consumers that need the exact measured
+	// span clamp End by the stream length N once the functional pass
+	// finishes (BuildCheckpoints does this for its collected set).
 	End uint64
 
 	PC     int
@@ -114,32 +120,100 @@ type CheckpointSet struct {
 }
 
 // maxIntervals bounds how many checkpoints one run may materialize; each
-// carries a full memory image clone, so an accidentally tiny K on a long
-// stream would otherwise exhaust memory before any simulation starts.
+// carries a memory snapshot, so an accidentally tiny K on a long stream
+// would otherwise exhaust memory before any simulation starts.
 const maxIntervals = 4096
 
-// BuildCheckpoints runs the functional fast-forward: the arch interpreter
-// (the same oracle xcheck validates against) executes the whole program,
-// warming a dedicated cache hierarchy and branch predictor along the retired
-// path, and captures a checkpoint at each interval's warm-up start,
-// max(0, i*K-W). Interval 0's checkpoint is the cold initial state, so its
-// simulation is exactly a monolithic run truncated at K.
-func BuildCheckpoints(p *isa.Program, image *arch.Memory, cfg SampleConfig, spec CheckpointSpec) (*CheckpointSet, error) {
+// ffEventChunk is how many retired-instruction events the fast-forward
+// executes per superblock dispatch call before replaying them into the warm
+// cache hierarchy and predictor. Each chunk boundary is also a cancellation
+// poll point, so it bounds both the replay working set and the cancel
+// latency (tens of microseconds of execution per chunk).
+const ffEventChunk = 32768
+
+// CheckpointSource is a functional fast-forward in flight. Checkpoints
+// arrive on C in stream order as the pass discovers them, so interval
+// workers can start detailed simulation while the fast-forward is still
+// running. After C closes, Wait reports the stream length, the exact final
+// architectural state, the fast-forward duration, and the pass's error, if
+// any. A checkpoint is only sent once the pass has retired past its Measure
+// boundary, which guarantees every delivered checkpoint has a non-empty
+// measured region; its End, however, is the optimistic Measure+K (see
+// Checkpoint.End).
+type CheckpointSource struct {
+	C <-chan *Checkpoint
+
+	done  chan struct{}
+	n     uint64
+	final *Snapshot
+	ffDur time.Duration
+	err   error
+}
+
+// Wait blocks until the fast-forward finishes and returns the dynamic stream
+// length, the final architectural state, the fast-forward duration, and the
+// first error. Callers must drain C (or cancel the context) or the producer
+// may block forever on a full channel.
+func (s *CheckpointSource) Wait() (n uint64, final *Snapshot, ffDur time.Duration, err error) {
+	<-s.done
+	return s.n, s.final, s.ffDur, s.err
+}
+
+// StreamCheckpoints starts the functional fast-forward as a streaming
+// producer: the superblock interpreter (the same oracle xcheck validates
+// against) executes the whole program in event chunks, warming a dedicated
+// cache hierarchy and branch predictor along the retired path, and captures
+// a checkpoint at each selected interval's warm-up start, max(0, i*K-W).
+// Interval 0's checkpoint is the cold initial state, so its simulation is
+// exactly a monolithic run truncated at K.
+//
+// Memory snapshots are delta captures: the fast-forward image tracks dirty
+// pages, and consecutive checkpoints share the pages untouched between them,
+// so capture cost follows the store stream rather than the image size.
+// Checkpoint memories are read-only by contract (every consumer clones them
+// before executing).
+//
+// The producer polls ctx between event chunks and shuts down promptly on
+// cancellation; Wait then returns the context's error. The producer's CPU
+// time is pprof-labeled phase=func_ffwd.
+func StreamCheckpoints(ctx context.Context, p *isa.Program, image *arch.Memory, cfg SampleConfig, spec CheckpointSpec) (*CheckpointSource, error) {
 	if cfg.Interval == 0 {
 		return nil, fmt.Errorf("sim: sample interval must be positive")
 	}
-	k, w := cfg.Interval, cfg.Warmup
 	hier, err := mem.NewHierarchy(spec.Hier)
 	if err != nil {
 		return nil, err
 	}
+	buf := cfg.Workers
+	if buf < 4 {
+		buf = 4
+	}
+	ch := make(chan *Checkpoint, buf)
+	src := &CheckpointSource{C: ch, done: make(chan struct{})}
+	start := time.Now()
+	go pprof.Do(ctx, pprof.Labels("phase", "func_ffwd"), func(ctx context.Context) {
+		defer close(src.done)
+		defer close(ch)
+		src.err = runFastForward(ctx, p, image, cfg, spec, hier, ch, src)
+		src.ffDur = time.Since(start)
+	})
+	return src, nil
+}
+
+// runFastForward is the producer body: execute, warm, capture, send.
+func runFastForward(ctx context.Context, p *isa.Program, image *arch.Memory, cfg SampleConfig, spec CheckpointSpec, hier *mem.Hierarchy, ch chan<- *Checkpoint, src *CheckpointSource) error {
+	k, w := cfg.Interval, cfg.Warmup
 	pred := bpred.New(spec.PredictorEntries)
 	limit := spec.MaxInsts
 	if limit == 0 {
 		limit = ^uint64(0)
 	}
 
+	sb := arch.NewSBProgram(p)
 	st := arch.NewState(image.Clone())
+	st.Mem.TrackDirty()
+	var prevSnap *arch.Memory
+
 	lineMask := ^uint32(spec.Hier.L1I.LineBytes - 1)
 	var lineAddr uint32
 	haveLine := false
@@ -151,21 +225,47 @@ func BuildCheckpoints(p *isa.Program, image *arch.Memory, cfg SampleConfig, spec
 		return 0
 	}
 
-	set := &CheckpointSet{}
 	period := cfg.period()
 	next := uint64(0) // next interval index to capture for
+	captured := 0
+	sent := 0
+
+	// pending holds captured checkpoints not yet known to have a non-empty
+	// measured region. The pass retires monotonically, so pending drains in
+	// order: a checkpoint is sent as soon as retirement passes its Measure
+	// boundary, and whatever is still pending at halt (Measure >= N) is
+	// dropped, matching the non-streaming trailing-checkpoint rule.
+	var pending []*Checkpoint
+	flush := func() error {
+		for len(pending) > 0 && st.Retired > pending[0].Measure {
+			select {
+			case ch <- pending[0]:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			pending = pending[1:]
+			sent++
+		}
+		return nil
+	}
+
+	evs := make([]arch.ExecEvent, ffEventChunk)
 	for !st.Halted {
 		for warmStart(next) == st.Retired {
 			if next%period == 0 {
-				if len(set.Checkpoints) >= maxIntervals {
-					return nil, fmt.Errorf("sim: sample interval %d yields more than %d intervals; use a larger interval", k, maxIntervals)
+				if captured >= maxIntervals {
+					return fmt.Errorf("sim: sample interval %d yields more than %d intervals; use a larger interval", k, maxIntervals)
 				}
-				set.Checkpoints = append(set.Checkpoints, &Checkpoint{
+				captured++
+				memSnap := st.Mem.CaptureDelta(prevSnap)
+				prevSnap = memSnap
+				pending = append(pending, &Checkpoint{
 					Seq:     st.Retired,
 					Measure: next * k,
+					End:     next*k + k,
 					PC:      st.PC,
 					RF:      st.RF.Clone(),
-					Mem:     st.Mem.Clone(),
+					Mem:     memSnap,
 					Caches:  hier.CaptureWarm(),
 					Pred:    pred.CaptureWarm(),
 				})
@@ -173,54 +273,80 @@ func BuildCheckpoints(p *isa.Program, image *arch.Memory, cfg SampleConfig, spec
 			next++
 		}
 		if st.Retired >= limit {
-			return nil, fmt.Errorf("sim: dynamic instruction limit %d exceeded", limit)
+			return fmt.Errorf("sim: dynamic instruction limit %d exceeded", limit)
 		}
-		idx := st.PC
-		info, err := st.Step(p)
-		if err != nil {
-			return nil, err
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		// Warm the instruction side per fetched line, mirroring the fetch
-		// unit: a taken branch ends the current line (redirect).
-		addr := isa.InstAddr(idx)
-		if line := addr & lineMask; !haveLine || line != lineAddr {
-			hier.WarmInst(line)
-			lineAddr, haveLine = line, true
-		}
-		if info.IsBranch {
-			pred.Update(addr, info.Taken)
-			if info.Taken {
-				haveLine = false
-			}
-		}
-		if !info.Squashed {
-			if info.IsLoad {
-				hier.WarmData(info.MemAddr, false)
-			}
-			if info.IsStore {
-				hier.WarmData(info.MemAddr, true)
-			}
-		}
-	}
-	set.N = st.Retired
-	set.Final = &Snapshot{RF: st.RF.Clone(), Mem: st.Mem.Clone(), Retired: st.Retired}
 
-	// Drop checkpoints whose measured region starts at or past the halt:
-	// they were captured before the stream length was known and have nothing
-	// to measure.
-	cks := set.Checkpoints
-	for len(cks) > 0 && cks[len(cks)-1].Measure >= set.N {
-		cks = cks[:len(cks)-1]
+		stopAt := warmStart(next)
+		if stopAt > limit {
+			stopAt = limit
+		}
+		_, nev, err := sb.ExecTrace(st, stopAt, evs)
+		// Replay the chunk's events into the warm state before surfacing any
+		// error: the instructions retired either way. The instruction side
+		// warms per fetched line, mirroring the fetch unit — a taken branch
+		// ends the current line (redirect) — and every branch trains the
+		// predictor (a squashed branch is architecturally not taken).
+		for i := 0; i < nev; i++ {
+			e := &evs[i]
+			if line := e.Fetch & lineMask; !haveLine || line != lineAddr {
+				hier.WarmInst(line)
+				lineAddr, haveLine = line, true
+			}
+			if e.Flags&arch.EvBranch != 0 {
+				taken := e.Flags&arch.EvTaken != 0
+				pred.Update(e.Fetch, taken)
+				if taken {
+					haveLine = false
+				}
+			} else if e.Flags&arch.EvLoad != 0 {
+				hier.WarmData(e.MemAddr, false)
+			} else if e.Flags&arch.EvStore != 0 {
+				hier.WarmData(e.MemAddr, true)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if err := flush(); err != nil {
+			return err
+		}
 	}
-	if len(cks) == 0 {
-		return nil, fmt.Errorf("sim: empty dynamic stream")
+
+	src.n = st.Retired
+	src.final = &Snapshot{RF: st.RF.Clone(), Mem: st.Mem.Clone(), Retired: st.Retired}
+	if err := flush(); err != nil {
+		return err
+	}
+	if sent == 0 {
+		return fmt.Errorf("sim: empty dynamic stream")
+	}
+	return nil
+}
+
+// BuildCheckpoints runs the functional fast-forward to completion and
+// collects the streamed checkpoints into a CheckpointSet, with each
+// checkpoint's End clamped to the now-known stream length. It is the
+// non-streaming convenience form of StreamCheckpoints.
+func BuildCheckpoints(ctx context.Context, p *isa.Program, image *arch.Memory, cfg SampleConfig, spec CheckpointSpec) (*CheckpointSet, error) {
+	src, err := StreamCheckpoints(ctx, p, image, cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	var cks []*Checkpoint
+	for ck := range src.C {
+		cks = append(cks, ck)
+	}
+	n, final, _, err := src.Wait()
+	if err != nil {
+		return nil, err
 	}
 	for _, ck := range cks {
-		ck.End = ck.Measure + k
-		if ck.End > set.N {
-			ck.End = set.N
+		if ck.End > n {
+			ck.End = n
 		}
 	}
-	set.Checkpoints = cks
-	return set, nil
+	return &CheckpointSet{Checkpoints: cks, N: n, Final: final}, nil
 }

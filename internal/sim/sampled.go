@@ -97,21 +97,28 @@ func RunSampled(ctx context.Context, m Machine, p *isa.Program, image *arch.Memo
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	ffStart := time.Now()
-	set, err := BuildCheckpoints(p, image, cfg, ir.CheckpointSpec())
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The functional pass streams checkpoints as it discovers them, so
+	// interval workers start detailed simulation while the fast-forward is
+	// still running; its wall clock overlaps the simulation instead of
+	// preceding it. The slices are pre-sized at the stream's hard interval
+	// cap so worker goroutines can write their slot without synchronization
+	// (cks never reallocates: its capacity is fixed and only this loop
+	// appends).
+	src, err := StreamCheckpoints(runCtx, p, image, cfg, ir.CheckpointSpec())
 	if err != nil {
 		return nil, err
 	}
-	ffDur := time.Since(ffStart)
-
-	cks := set.Checkpoints
-	results := make([]*Result, len(cks))
-	errs := make([]error, len(cks))
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	cks := make([]*Checkpoint, 0, maxIntervals)
+	results := make([]*Result, maxIntervals)
+	errs := make([]error, maxIntervals)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
-	for i := range cks {
+	for ck := range src.C {
+		i := len(cks)
+		cks = append(cks, ck)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -139,10 +146,18 @@ func RunSampled(ctx context.Context, m Machine, p *isa.Program, image *arch.Memo
 			results[i] = res
 		}(i)
 	}
+	n, finalSnap, ffDur, ferr := src.Wait()
+	if ferr != nil {
+		// The pass failed (or was cancelled): the run cannot produce a
+		// result, so stop the in-flight workers rather than finish them.
+		cancel()
+	}
 	wg.Wait()
-	// Prefer a real failure over the cancellations it caused.
+	results, errs = results[:len(cks)], errs[:len(cks)]
+	// Prefer a real failure over the cancellations it caused; the producer's
+	// error is the root cause when both it and workers failed.
 	var firstErr error
-	for _, err := range errs {
+	for _, err := range append([]error{ferr}, errs...) {
 		if err == nil {
 			continue
 		}
@@ -168,24 +183,30 @@ func RunSampled(ctx context.Context, m Machine, p *isa.Program, image *arch.Memo
 		// run would.
 		last := results[len(results)-1]
 		final.RF, final.Mem = last.RF, last.Mem
-		if final.Stats.Retired != set.N {
-			return nil, fmt.Errorf("sim: stitched retired %d != stream length %d (interval accounting bug)", final.Stats.Retired, set.N)
+		if final.Stats.Retired != n {
+			return nil, fmt.Errorf("sim: stitched retired %d != stream length %d (interval accounting bug)", final.Stats.Retired, n)
 		}
 	} else {
 		// Sparse: the simulated intervals cover only part of the stream.
-		// Verify their accounting, then extrapolate to the full length and
-		// take the exact final state from the functional pass.
+		// Verify their accounting (streamed checkpoints carry an optimistic
+		// End, clamped here by the now-known stream length), then
+		// extrapolate to the full length and take the exact final state from
+		// the functional pass.
 		var measured uint64
 		for _, ck := range cks {
-			measured += ck.End - ck.Measure
+			end := ck.End
+			if end > n {
+				end = n
+			}
+			measured += end - ck.Measure
 		}
 		if final.Stats.Retired != measured {
 			return nil, fmt.Errorf("sim: stitched retired %d != measured span %d (interval accounting bug)", final.Stats.Retired, measured)
 		}
-		final.Stats.ScaleTo(set.N)
-		final.RF, final.Mem = set.Final.RF, set.Final.Mem
+		final.Stats.ScaleTo(n)
+		final.RF, final.Mem = finalSnap.RF, finalSnap.Mem
 	}
-	final.AddPhase("fastforward", ffDur)
+	final.AddPhase("func_ffwd", ffDur)
 	final.AddPhase("stitch", time.Since(stitchStart))
 	return final, nil
 }

@@ -1,0 +1,105 @@
+package xcheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multipass/internal/arch"
+	"multipass/internal/isa"
+	"multipass/internal/sim"
+	"multipass/internal/xcheck/progen"
+)
+
+// diffInterps runs p through both the superblock and the step-wise
+// interpreter and fails the test on any divergence: final architectural
+// state (registers including NaT bits, memory, retired count) and the
+// retired-class counters must be byte-identical.
+func diffInterps(t *testing.T, label string, p *isa.Program, limit uint64) {
+	t.Helper()
+	swMem, sbMem := arch.NewMemory(), arch.NewMemory()
+	sw, swErr := arch.RunStepwise(p, swMem, limit)
+	sb, sbErr := arch.Run(p, sbMem, limit)
+	switch {
+	case (swErr == nil) != (sbErr == nil):
+		t.Fatalf("%s: error divergence: stepwise=%v superblock=%v", label, swErr, sbErr)
+	case swErr != nil && swErr.Error() != sbErr.Error():
+		t.Fatalf("%s: error text divergence:\n  stepwise:   %v\n  superblock: %v", label, swErr, sbErr)
+	}
+	want := &sim.Snapshot{RF: sw.State.RF, Mem: swMem, Retired: sw.State.Retired}
+	got := &sim.Snapshot{RF: sb.State.RF, Mem: sbMem, Retired: sb.State.Retired}
+	if d := got.Diff(want, 8); len(d) != 0 {
+		t.Fatalf("%s: architectural state diverged:\n  %s", label, strings.Join(d, "\n  "))
+	}
+	if sw.Loads != sb.Loads || sw.Stores != sb.Stores ||
+		sw.Branches != sb.Branches || sw.Taken != sb.Taken {
+		t.Fatalf("%s: counters diverged: stepwise {ld %d st %d br %d tk %d} superblock {ld %d st %d br %d tk %d}",
+			label, sw.Loads, sw.Stores, sw.Branches, sw.Taken,
+			sb.Loads, sb.Stores, sb.Branches, sb.Taken)
+	}
+}
+
+// TestInterpDifferential proves the superblock interpreter byte-identical to
+// the step-wise reference over the whole progen space the checker explores:
+// every committed corpus program plus a progen sweep across the generator's
+// option surface (default templates, small fuzz-shaped programs, compiled
+// programs).
+func TestInterpDifferential(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.asm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := isa.Assemble(string(src))
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", file, err)
+		}
+		diffInterps(t, filepath.Base(file), p, 4_000_000)
+	}
+
+	seeds := 50
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		p := progen.MustGenerate(progen.ForSeed(seed))
+		diffInterps(t, fmt.Sprintf("seed%d", seed), p, 4_000_000)
+
+		small := progen.Options{Seed: seed, Segments: 5, MaxTrip: 6, ChainNodes: 24, Compile: seed%3 == 2}
+		diffInterps(t, fmt.Sprintf("seed%d-small", seed), progen.MustGenerate(small), 4_000_000)
+	}
+}
+
+// FuzzInterpEquivalence explores generator seeds for any divergence between
+// the two interpreters. Without -fuzz it replays the seed corpus, keeping
+// `go test` fast; with -fuzz it searches indefinitely:
+//
+//	go test ./internal/xcheck -fuzz=FuzzInterpEquivalence -fuzztime=2m
+func FuzzInterpEquivalence(f *testing.F) {
+	for _, seed := range []uint64{1, 7, 42, 1337, 99991} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		opts := progen.Options{
+			Segments:   5,
+			MaxTrip:    6,
+			ChainNodes: 24,
+			Compile:    seed%3 == 2,
+			Seed:       seed,
+		}
+		p, err := progen.Generate(opts)
+		if err != nil {
+			t.Skip("unbuildable seed")
+		}
+		diffInterps(t, fmt.Sprintf("fuzz-seed%d", seed), p, 4_000_000)
+	})
+}

@@ -127,6 +127,12 @@ type Options struct {
 	// machinery itself, so the primary run is always skip-on regardless of
 	// DisableSkip.
 	SkipDiff bool
+	// StepwiseOracle selects the step-wise reference interpreter as the
+	// oracle instead of the default superblock interpreter. The two are
+	// proven byte-identical by TestInterpDifferential; this switch exists so
+	// a suspected interpreter bug can be bisected against the independent
+	// baseline without rebuilding.
+	StepwiseOracle bool
 }
 
 func (o Options) withDefaults() Options {
@@ -220,7 +226,11 @@ func CheckProgram(ctx context.Context, p *isa.Program, opts Options) (*Report, e
 	rep := &Report{Program: p, Cycles: make(map[string]uint64)}
 
 	oracleMem := arch.NewMemory()
-	ores, err := arch.Run(p, oracleMem, opts.MaxInsts)
+	oracle := arch.Run
+	if opts.StepwiseOracle {
+		oracle = arch.RunStepwise
+	}
+	ores, err := oracle(p, oracleMem, opts.MaxInsts)
 	if err != nil {
 		return nil, fmt.Errorf("xcheck: oracle: %w", err)
 	}
